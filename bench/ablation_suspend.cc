@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablation: barrier suspension policy under OS interrupt pressure.
+ * Compares the paper's chosen force-to-software behaviour (§4.2.2)
+ * against the counter-based alternative the paper describes but
+ * rejects for hardware complexity, on a barrier-heavy application
+ * with varying timer-interrupt rates.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "sim/logging.hh"
+#include "sync/sync_lib.hh"
+#include "system/interrupt_driver.hh"
+#include "system/system.hh"
+#include "workload/app_catalog.hh"
+#include "workload/synthetic_app.hh"
+
+using namespace misar;
+using namespace misar::workload;
+
+namespace {
+
+Tick
+run(const AppSpec &spec, unsigned cores, Tick irq_period, bool opt,
+    std::uint64_t *aborts, std::uint64_t *deferred)
+{
+    SystemConfig cfg = makeConfig(cores, AccelMode::MsaOmu, 2);
+    cfg.msa.barrierSuspendOpt = opt;
+    sys::System s(cfg);
+    sync::SyncLib lib(sync::SyncLib::Flavor::Hw, cores);
+    AppLayout lay;
+    for (CoreId c = 0; c < cores; ++c)
+        s.start(c, appThread(s.api(c), spec, lay, &lib, cores, 1));
+    sys::InterruptDriver irq(s, irq_period, 77);
+    if (!s.run(5000000000ULL))
+        fatal("run did not finish");
+    *aborts = 0;
+    *deferred = 0;
+    for (CoreId t = 0; t < cores; ++t) {
+        const std::string p = "tile" + std::to_string(t) + ".msa.";
+        *aborts += s.stats().counter(p + "barrierAborts").value();
+        *deferred +=
+            s.stats().counter(p + "barrierSuspendsDeferred").value();
+    }
+    return s.makespan();
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    bench::banner("Ablation",
+                  "barrier suspension policy under interrupts "
+                  "(streamcluster, 16 cores)");
+
+    const AppSpec &spec = appByName("streamcluster");
+    std::printf("%-14s %16s %18s %12s %12s\n", "IRQ period",
+                "ForceToSW(cyc)", "SuspendOpt(cyc)", "swAborts",
+                "deferred");
+    for (Tick period : {500u, 2000u, 10000u, 50000u}) {
+        std::uint64_t aborts = 0, dummy = 0, deferred = 0, dummy2 = 0;
+        Tick base = run(spec, 16, period, false, &aborts, &dummy);
+        Tick opt = run(spec, 16, period, true, &dummy2, &deferred);
+        std::printf("%-14llu %16llu %18llu %12llu %12llu\n",
+                    static_cast<unsigned long long>(period),
+                    static_cast<unsigned long long>(base),
+                    static_cast<unsigned long long>(opt),
+                    static_cast<unsigned long long>(aborts),
+                    static_cast<unsigned long long>(deferred));
+    }
+    std::printf("\nExpected: under frequent interrupts, force-to-"
+                "software pays repeated software\nbarriers (aborts "
+                "column), while the §4.2.2 alternative keeps the "
+                "barrier in\nhardware at the cost the paper worried "
+                "about only in verification effort.\n");
+    return 0;
+}

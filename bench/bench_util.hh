@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benchmark binaries.
+ */
+
+#ifndef MISAR_BENCH_BENCH_UTIL_HH
+#define MISAR_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace misar {
+namespace bench {
+
+/** Geometric mean of a vector of ratios. */
+inline double
+geoMean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += std::log(x);
+    return std::exp(s / static_cast<double>(v.size()));
+}
+
+/** Print a header banner for a figure. */
+inline void
+banner(const char *fig, const char *title)
+{
+    std::printf("\n");
+    std::printf("==============================================================="
+                "=================\n");
+    std::printf("%s: %s\n", fig, title);
+    std::printf("==============================================================="
+                "=================\n");
+}
+
+} // namespace bench
+} // namespace misar
+
+#endif // MISAR_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * misar_sim: command-line simulator driver.
+ *
+ * Runs any catalog application (or lists them) on a chosen core
+ * count and accelerator configuration, and prints a run report.
+ *
+ *   misar_sim --list
+ *   misar_sim --app streamcluster --cores 64 --config msa-omu \
+ *             --entries 2 [--no-hwsync] [--no-omu] [--seed N] [--stats]
+ *
+ * Configs: baseline | msa0 | mcs-tour | spinlock | msa-omu | msa-inf |
+ *          ideal
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "sim/logging.hh"
+#include "sync/sync_lib.hh"
+#include "system/system.hh"
+#include "workload/app_catalog.hh"
+#include "workload/synthetic_app.hh"
+
+using namespace misar;
+using namespace misar::workload;
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "usage: misar_sim --app NAME [options]\n"
+        "       misar_sim --list\n"
+        "options:\n"
+        "  --cores N       core count, perfect square (default 16)\n"
+        "  --config C      baseline|msa0|mcs-tour|spinlock|msa-omu|\n"
+        "                  msa-inf|ideal (default msa-omu)\n"
+        "  --entries N     MSA entries per tile (default 2)\n"
+        "  --smt N         hardware threads per core (default 1)\n"
+        "  --no-hwsync     disable the HWSync-bit optimization\n"
+        "  --no-omu        disable the OMU (entries never freed)\n"
+        "  --seed N        workload seed (default 1)\n"
+        "  --stats         dump the full statistics registry\n"
+        "  --trace FILE    write a Chrome trace-event JSON timeline\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string app_name, config = "msa-omu";
+    unsigned cores = 16, entries = 2, smt = 1;
+    bool hwsync = true, omu = true, dump_stats = false;
+    std::uint64_t seed = 1;
+    std::string trace_path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", a.c_str());
+            return argv[++i];
+        };
+        if (a == "--list") {
+            for (const AppSpec &s : appCatalog())
+                std::printf("%s\n", s.name.c_str());
+            return 0;
+        } else if (a == "--app") {
+            app_name = next();
+        } else if (a == "--cores") {
+            cores = static_cast<unsigned>(std::atoi(next()));
+        } else if (a == "--config") {
+            config = next();
+        } else if (a == "--entries") {
+            entries = static_cast<unsigned>(std::atoi(next()));
+        } else if (a == "--smt") {
+            smt = static_cast<unsigned>(std::atoi(next()));
+        } else if (a == "--no-hwsync") {
+            hwsync = false;
+        } else if (a == "--no-omu") {
+            omu = false;
+        } else if (a == "--seed") {
+            seed = static_cast<std::uint64_t>(std::atoll(next()));
+        } else if (a == "--stats") {
+            dump_stats = true;
+        } else if (a == "--trace") {
+            trace_path = next();
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown option %s", a.c_str());
+        }
+    }
+    if (app_name.empty()) {
+        usage();
+        return 1;
+    }
+
+    AccelMode mode;
+    sync::SyncLib::Flavor flavor;
+    if (config == "baseline") {
+        mode = AccelMode::None;
+        flavor = sync::SyncLib::Flavor::PthreadSw;
+    } else if (config == "msa0") {
+        mode = AccelMode::None;
+        flavor = sync::SyncLib::Flavor::Hw;
+    } else if (config == "mcs-tour") {
+        mode = AccelMode::None;
+        flavor = sync::SyncLib::Flavor::McsTourSw;
+    } else if (config == "spinlock") {
+        mode = AccelMode::None;
+        flavor = sync::SyncLib::Flavor::SpinSw;
+    } else if (config == "msa-omu") {
+        mode = AccelMode::MsaOmu;
+        flavor = sync::SyncLib::Flavor::Hw;
+    } else if (config == "msa-inf") {
+        mode = AccelMode::MsaInfinite;
+        flavor = sync::SyncLib::Flavor::Hw;
+    } else if (config == "ideal") {
+        mode = AccelMode::Ideal;
+        flavor = sync::SyncLib::Flavor::Hw;
+    } else {
+        fatal("unknown config '%s'", config.c_str());
+    }
+
+    const AppSpec &spec = appByName(app_name);
+    SystemConfig cfg = makeConfig(cores, mode, entries);
+    cfg.smtWays = smt;
+    cfg.validate();
+    cfg.msa.hwSyncBitOpt = hwsync;
+    cfg.msa.omuEnabled = omu;
+    cfg.seed = seed;
+
+    sys::System s(cfg);
+    if (!trace_path.empty())
+        s.enableTracing();
+    const unsigned threads = cfg.numThreads();
+    sync::SyncLib lib(flavor, threads);
+    AppLayout layout;
+    for (CoreId t = 0; t < threads; ++t)
+        s.start(t, appThread(s.api(t), spec, layout, &lib, threads,
+                             seed));
+
+    if (!s.run(5000000000ULL))
+        fatal("simulation did not finish (deadlock or runaway)");
+
+    std::printf("app            : %s\n", spec.name.c_str());
+    std::printf("cores          : %u (%ux%u mesh, %u threads)\n",
+                cores, cfg.meshDim(), cfg.meshDim(), threads);
+    std::printf("config         : %s + %s library\n",
+                cfg.accelName().c_str(),
+                sync::SyncLib::flavorName(flavor));
+    std::printf("makespan       : %llu cycles\n",
+                static_cast<unsigned long long>(s.makespan()));
+    std::printf("sync ops       : %llu hardware / %llu software "
+                "(%.1f%% coverage)\n",
+                static_cast<unsigned long long>(
+                    s.stats().counter("sync.hwOps").value()),
+                static_cast<unsigned long long>(
+                    s.stats().counter("sync.swOps").value()),
+                100.0 * s.hwCoverage());
+    std::printf("silent locks   : %llu\n",
+                static_cast<unsigned long long>(
+                    s.stats().counter("sync.silentLocks").value()));
+    std::printf("noc packets    : %llu (avg latency %.1f cycles)\n",
+                static_cast<unsigned long long>(
+                    s.stats().counter("noc.packetsSent").value()),
+                s.stats().average("noc.packetLatency").mean());
+    if (!trace_path.empty()) {
+        std::ofstream tf(trace_path);
+        if (!tf)
+            fatal("cannot open trace file %s", trace_path.c_str());
+        s.writeTrace(tf);
+        std::printf("trace          : %s\n", trace_path.c_str());
+    }
+    if (dump_stats) {
+        std::printf("\n--- full statistics ---\n");
+        s.stats().dump(std::cout);
+    }
+    return 0;
+}

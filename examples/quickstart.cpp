@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Quickstart: build a 16-core MiSAR system, run a handful of threads
+ * that contend on a lock and meet at a barrier, and print what the
+ * accelerator did.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "sync/sync_lib.hh"
+#include "system/system.hh"
+
+using namespace misar;
+using cpu::ThreadApi;
+using cpu::ThreadTask;
+
+namespace {
+
+constexpr Addr theLock = 0x1000;
+constexpr Addr theCounter = 0x2000;
+constexpr Addr theBarrier = 0x3000;
+
+/**
+ * A worker thread: increment a shared counter under a shared lock,
+ * hammer a private lock (which the HWSync bit makes nearly free),
+ * then wait for everyone at a barrier.
+ */
+ThreadTask
+worker(ThreadApi t, sync::SyncLib *lib, unsigned num_threads)
+{
+    const Addr my_lock = 0x90000 + t.id() * 0x1000;
+    for (int i = 0; i < 5; ++i) {
+        co_await t.compute(100); // "useful work"
+        co_await lib->mutexLock(t, theLock);
+        std::uint64_t v = co_await t.read(theCounter);
+        co_await t.write(theCounter, v + 1);
+        co_await lib->mutexUnlock(t, theLock);
+
+        // A thread-private lock: after the first acquire, the block
+        // stays in our L1 and re-acquires take the silent fast path.
+        co_await lib->mutexLock(t, my_lock);
+        co_await t.compute(20);
+        co_await lib->mutexUnlock(t, my_lock);
+    }
+    co_await lib->barrierWait(t, theBarrier, num_threads);
+    if (t.id() == 0)
+        std::printf("[cycle %8llu] all threads passed the barrier\n",
+                    static_cast<unsigned long long>(t.now()));
+}
+
+} // namespace
+
+int
+main()
+{
+    // A 16-core tiled CMP with a 2-entry MSA + OMU in every tile.
+    SystemConfig cfg = makeConfig(16, AccelMode::MsaOmu, 2);
+    sys::System system(cfg);
+
+    // The hybrid runtime: MiSAR instructions first, pthread fallback.
+    sync::SyncLib lib(sync::SyncLib::Flavor::Hw, cfg.numCores);
+
+    const unsigned threads = 8;
+    for (CoreId c = 0; c < threads; ++c)
+        system.start(c, worker(system.api(c), &lib, threads));
+
+    if (!system.run(10000000)) {
+        std::fprintf(stderr, "simulation did not finish\n");
+        return 1;
+    }
+
+    std::printf("finished at cycle %llu\n",
+                static_cast<unsigned long long>(system.makespan()));
+    std::printf("final counter value: %llu (expected %u)\n",
+                static_cast<unsigned long long>(
+                    system.mem().fmem().read(theCounter)),
+                threads * 5);
+    std::printf("sync ops handled in hardware: %.1f%%\n",
+                100.0 * system.hwCoverage());
+    std::printf("silent (HWSync-bit) lock re-acquires: %llu\n",
+                static_cast<unsigned long long>(
+                    system.stats().counter("sync.silentLocks").value()));
+    return 0;
+}

@@ -1,0 +1,154 @@
+#include "cpu/core.hh"
+
+#include "sim/logging.hh"
+
+namespace misar {
+namespace cpu {
+
+SyncUnit::~SyncUnit() = default;
+
+void
+SyncUnit::interrupt(CoreId)
+{
+    // Default: the unit has nothing blocked to suspend.
+}
+
+void
+OpAwaiter::await_suspend(std::coroutine_handle<> h)
+{
+    core.issue(op, this, h);
+}
+
+void
+ThreadTask::promise_type::FinalAwaiter::await_suspend(
+    std::coroutine_handle<promise_type> h) noexcept
+{
+    if (h.promise().core)
+        h.promise().core->threadFinished();
+}
+
+void
+ThreadTask::promise_type::unhandled_exception()
+{
+    panic("exception escaped a thread body");
+}
+
+ThreadTask &
+ThreadTask::operator=(ThreadTask &&other) noexcept
+{
+    if (this != &other) {
+        if (handle)
+            handle.destroy();
+        handle = std::exchange(other.handle, nullptr);
+    }
+    return *this;
+}
+
+ThreadTask::~ThreadTask()
+{
+    if (handle)
+        handle.destroy();
+}
+
+Core::Core(EventQueue &eq, const CoreConfig &cfg, CoreId id,
+           mem::L1Cache &l1, StatRegistry &stats)
+    : eq(eq), cfg(cfg), _id(id), _l1(l1), stats(stats),
+      statPrefix("core" + std::to_string(id) + ".")
+{}
+
+void
+Core::start(ThreadTask b)
+{
+    if (!b.handle)
+        panic("core %u: started with an empty thread body", _id);
+    body = std::move(b);
+    body.handle.promise().core = this;
+    _started = true;
+    _finished = false;
+    eq.schedule(0, [this] { body.handle.resume(); });
+}
+
+void
+Core::threadFinished()
+{
+    _finished = true;
+    _finishTick = eq.now();
+    stats.counter(statPrefix + "threadsFinished").inc();
+}
+
+void
+Core::interrupt()
+{
+    if (syncOutstanding && syncUnit)
+        syncUnit->interrupt(_id);
+}
+
+void
+Core::issue(const Op &op, OpAwaiter *aw, std::coroutine_handle<> h)
+{
+    const Tick t0 = eq.now();
+    switch (op.type) {
+      case OpType::Compute:
+        stats.counter(statPrefix + "computeCycles").inc(op.cycles);
+        eq.schedule(op.cycles, [this, t0, h] {
+            _trace.record(t0, eq.now(), "compute");
+            h.resume();
+        });
+        break;
+
+      case OpType::Read:
+        stats.counter(statPrefix + "loads").inc();
+        _l1.read(op.addr, [this, t0, a = op.addr, aw,
+                           h](std::uint64_t v) {
+            _trace.record(t0, eq.now(), "read", a);
+            aw->result = v;
+            h.resume();
+        });
+        break;
+
+      case OpType::Write:
+        stats.counter(statPrefix + "stores").inc();
+        _l1.write(op.addr, op.value, [this, t0, a = op.addr, aw,
+                                      h](std::uint64_t old) {
+            _trace.record(t0, eq.now(), "write", a);
+            aw->result = old;
+            h.resume();
+        });
+        break;
+
+      case OpType::Atomic:
+        stats.counter(statPrefix + "atomics").inc();
+        _l1.atomic(op.addr, op.aop, op.value, op.value2,
+                   [this, t0, a = op.addr, aw, h](std::uint64_t old) {
+            _trace.record(t0, eq.now(), "atomic", a);
+            aw->result = old;
+            h.resume();
+        });
+        break;
+
+      case OpType::Sync: {
+        if (!syncUnit)
+            panic("core %u: sync instruction with no sync unit", _id);
+        stats.counter(statPrefix + "syncInstrs").inc();
+        // The instruction acts as a memory fence and its actual
+        // synchronization activity begins only when the instruction
+        // is the next to commit (paper §3): charge the pipeline-drain
+        // cost up front.
+        syncOutstanding = true;
+        eq.schedule(cfg.syncFenceLatency, [this, t0, op, aw, h] {
+            syncUnit->execute(_id, op,
+                              [this, t0, op, aw, h](SyncResult r) {
+                syncOutstanding = false;
+                _trace.record(t0, eq.now(), syncInstrName(op.instr),
+                              op.addr);
+                aw->result = static_cast<std::uint64_t>(r);
+                h.resume();
+            });
+        });
+        break;
+      }
+    }
+}
+
+} // namespace cpu
+} // namespace misar

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Timing core model: drives one simulated thread (a coroutine) and
+ * executes its compute, memory, and synchronization operations.
+ */
+
+#ifndef MISAR_CPU_CORE_HH
+#define MISAR_CPU_CORE_HH
+
+#include <coroutine>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "cpu/op.hh"
+#include "mem/l1_cache.hh"
+#include "sim/trace.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace misar {
+namespace cpu {
+
+class Core;
+
+/**
+ * Interface the core uses to execute synchronization instructions.
+ * Implemented by the MSA client (hardware), the always-FAIL unit
+ * (MSA-0), and the zero-latency oracle (Ideal).
+ */
+class SyncUnit
+{
+  public:
+    using Cb = std::function<void(SyncResult)>;
+
+    virtual ~SyncUnit();
+
+    /** Execute sync instruction @p op for @p core; reply via @p cb. */
+    virtual void execute(CoreId core, const Op &op, Cb cb) = 0;
+
+    /**
+     * OS interrupt delivered to @p core while it is blocked in a
+     * sync instruction (thread suspension, paper §4.x.2).
+     */
+    virtual void interrupt(CoreId core);
+};
+
+/** Leaf awaitable: one operation executed by the core. */
+struct OpAwaiter
+{
+    Core &core;
+    Op op;
+    std::uint64_t result = 0;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    std::uint64_t await_resume() const noexcept { return result; }
+};
+
+/** Root coroutine type for a simulated thread body. */
+class ThreadTask
+{
+  public:
+    struct promise_type
+    {
+        Core *core = nullptr;
+
+        ThreadTask
+        get_return_object()
+        {
+            return ThreadTask{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter
+        {
+            bool await_ready() noexcept { return false; }
+            void await_suspend(
+                std::coroutine_handle<promise_type> h) noexcept;
+            void await_resume() noexcept {}
+        };
+
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void return_void() {}
+        void unhandled_exception();
+    };
+
+    ThreadTask() = default;
+    ThreadTask(ThreadTask &&other) noexcept
+        : handle(std::exchange(other.handle, nullptr))
+    {}
+    ThreadTask &operator=(ThreadTask &&other) noexcept;
+    ThreadTask(const ThreadTask &) = delete;
+    ThreadTask &operator=(const ThreadTask &) = delete;
+    ~ThreadTask();
+
+  private:
+    friend class Core;
+    explicit ThreadTask(std::coroutine_handle<promise_type> h) : handle(h) {}
+    std::coroutine_handle<promise_type> handle;
+};
+
+/**
+ * One core of the tiled CMP. Runs a single thread (as in the paper;
+ * the HWQueue is one bit per core).
+ */
+class Core
+{
+  public:
+    Core(EventQueue &eq, const CoreConfig &cfg, CoreId id, mem::L1Cache &l1,
+         StatRegistry &stats);
+
+    /** Attach the synchronization unit (not owned). */
+    void setSyncUnit(SyncUnit *unit) { syncUnit = unit; }
+
+    /** Begin executing @p body at the current tick. */
+    void start(ThreadTask body);
+
+    /** True once the thread body has returned (or none started). */
+    bool finished() const { return !_started || _finished; }
+
+    /** Tick at which the thread body returned. */
+    Tick finishTick() const { return _finishTick; }
+
+    /**
+     * Deliver an OS interrupt: if the core is blocked in a sync
+     * instruction, the sync unit is told to SUSPEND it (paper
+     * §4.1.2/4.2.2/4.3.2).
+     */
+    void interrupt();
+
+    CoreId id() const { return _id; }
+    EventQueue &eventQueue() { return eq; }
+    TraceBuffer &trace() { return _trace; }
+    const TraceBuffer &trace() const { return _trace; }
+    mem::L1Cache &l1() { return _l1; }
+    StatRegistry &statRegistry() { return stats; }
+
+  private:
+    friend struct OpAwaiter;
+    friend struct ThreadTask::promise_type;
+
+    /** Execute @p op, then set @p aw->result and resume @p h. */
+    void issue(const Op &op, OpAwaiter *aw, std::coroutine_handle<> h);
+
+    void threadFinished();
+
+    EventQueue &eq;
+    const CoreConfig &cfg;
+    CoreId _id;
+    mem::L1Cache &_l1;
+    StatRegistry &stats;
+    std::string statPrefix;
+    SyncUnit *syncUnit = nullptr;
+
+    TraceBuffer _trace;
+    ThreadTask body;
+    bool _started = false;
+    bool _finished = false;
+    Tick _finishTick = 0;
+    bool syncOutstanding = false;
+};
+
+} // namespace cpu
+} // namespace misar
+
+#endif // MISAR_CPU_CORE_HH

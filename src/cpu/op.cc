@@ -1,0 +1,53 @@
+#include "cpu/op.hh"
+
+namespace misar {
+namespace cpu {
+
+const char *
+syncInstrName(SyncInstr i)
+{
+    switch (i) {
+      case SyncInstr::Lock:
+        return "LOCK";
+      case SyncInstr::TryLock:
+        return "TRYLOCK";
+      case SyncInstr::Unlock:
+        return "UNLOCK";
+      case SyncInstr::RdLock:
+        return "RW_RDLOCK";
+      case SyncInstr::WrLock:
+        return "RW_WRLOCK";
+      case SyncInstr::RwUnlock:
+        return "RW_UNLOCK";
+      case SyncInstr::Barrier:
+        return "BARRIER";
+      case SyncInstr::CondWait:
+        return "COND_WAIT";
+      case SyncInstr::CondSignal:
+        return "COND_SIGNAL";
+      case SyncInstr::CondBcast:
+        return "COND_BCAST";
+      case SyncInstr::Finish:
+        return "FINISH";
+    }
+    return "?";
+}
+
+const char *
+syncResultName(SyncResult r)
+{
+    switch (r) {
+      case SyncResult::Success:
+        return "SUCCESS";
+      case SyncResult::Fail:
+        return "FAIL";
+      case SyncResult::Abort:
+        return "ABORT";
+      case SyncResult::Busy:
+        return "BUSY";
+    }
+    return "?";
+}
+
+} // namespace cpu
+} // namespace misar

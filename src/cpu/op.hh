@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Operations a simulated thread can issue, including the MiSAR
+ * synchronization ISA (paper §3).
+ */
+
+#ifndef MISAR_CPU_OP_HH
+#define MISAR_CPU_OP_HH
+
+#include <cstdint>
+
+#include "mem/functional_mem.hh"
+#include "sim/types.hh"
+
+namespace misar {
+namespace cpu {
+
+/** The six MiSAR synchronization instructions plus FINISH. */
+enum class SyncInstr : std::uint8_t
+{
+    Lock,
+    /** Non-blocking acquire (ISA extension; cf. SSB's trylock). */
+    TryLock,
+    Unlock,
+    /** @name Reader-writer lock extension (cf. LCU [23]). @{ */
+    RdLock,
+    WrLock,
+    RwUnlock,
+    /** @} */
+    Barrier,
+    CondWait,
+    CondSignal,
+    CondBcast,
+    /** OMU exit notification for software barriers / cond waits. */
+    Finish,
+};
+
+/** Return value of a synchronization instruction (paper §3). */
+enum class SyncResult : std::uint8_t
+{
+    Success, ///< operation performed in hardware
+    Fail,    ///< no hardware resources; fall back to software
+    Abort,   ///< terminated by the MSA due to OS thread scheduling
+    /** TRYLOCK only: performed in hardware, lock already held. */
+    Busy,
+};
+
+/** Kinds of operation a thread program can await. */
+enum class OpType : std::uint8_t
+{
+    Compute, ///< busy for N cycles
+    Read,
+    Write,
+    Atomic,
+    Sync,    ///< one of the SyncInstr instructions
+};
+
+/** One awaited operation (a tagged union kept simple and flat). */
+struct Op
+{
+    OpType type = OpType::Compute;
+
+    // Compute
+    Tick cycles = 0;
+
+    // Memory
+    Addr addr = invalidAddr;
+    std::uint64_t value = 0;
+    mem::AtomicOp aop = mem::AtomicOp::TestAndSet;
+    std::uint64_t value2 = 0;
+
+    // Sync
+    SyncInstr instr = SyncInstr::Lock;
+    Addr addr2 = invalidAddr;    ///< associated lock for COND_WAIT
+    std::uint32_t goal = 0;      ///< barrier goal count
+};
+
+/** Printable names, for stats and debug output. */
+const char *syncInstrName(SyncInstr i);
+const char *syncResultName(SyncResult r);
+
+} // namespace cpu
+} // namespace misar
+
+#endif // MISAR_CPU_OP_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * SubTask: an awaitable coroutine used for simulated-thread
+ * subroutines (synchronization library calls, workload helpers).
+ *
+ * A SubTask starts lazily when awaited and resumes its awaiter via
+ * symmetric transfer when it finishes, so arbitrarily deep call
+ * chains of simulated code cost no host stack.
+ */
+
+#ifndef MISAR_CPU_SUBTASK_HH
+#define MISAR_CPU_SUBTASK_HH
+
+#include <coroutine>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace misar {
+namespace cpu {
+
+namespace detail {
+
+/** Shared promise behaviour: continuation plumbing. */
+template <typename Promise>
+struct SubTaskPromiseBase
+{
+    std::coroutine_handle<> continuation;
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter
+    {
+        bool await_ready() noexcept { return false; }
+
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<Promise> h) noexcept
+        {
+            auto cont = h.promise().continuation;
+            return cont ? cont : std::noop_coroutine();
+        }
+
+        void await_resume() noexcept {}
+    };
+
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void
+    unhandled_exception()
+    {
+        panic("exception escaped a simulated-thread coroutine");
+    }
+};
+
+} // namespace detail
+
+/**
+ * Awaitable subroutine coroutine returning T (or void).
+ *
+ * Usage inside another coroutine:
+ * @code
+ *   SubTask<bool> tryLock(ThreadApi &t, Addr a);
+ *   ...
+ *   bool ok = co_await tryLock(t, a);
+ * @endcode
+ */
+template <typename T = void>
+class [[nodiscard]] SubTask
+{
+  public:
+    struct promise_type : detail::SubTaskPromiseBase<promise_type>
+    {
+        T value{};
+
+        SubTask
+        get_return_object()
+        {
+            return SubTask{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+
+        void return_value(T v) { value = std::move(v); }
+    };
+
+    SubTask(SubTask &&other) noexcept
+        : handle(std::exchange(other.handle, nullptr))
+    {}
+    SubTask(const SubTask &) = delete;
+    SubTask &operator=(const SubTask &) = delete;
+    SubTask &operator=(SubTask &&) = delete;
+
+    ~SubTask()
+    {
+        if (handle)
+            handle.destroy();
+    }
+
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> cont) noexcept
+    {
+        handle.promise().continuation = cont;
+        return handle; // start the subtask now
+    }
+
+    T await_resume() { return std::move(handle.promise().value); }
+
+  private:
+    explicit SubTask(std::coroutine_handle<promise_type> h) : handle(h) {}
+
+    std::coroutine_handle<promise_type> handle;
+};
+
+/** void specialization. */
+template <>
+class [[nodiscard]] SubTask<void>
+{
+  public:
+    struct promise_type : detail::SubTaskPromiseBase<promise_type>
+    {
+        SubTask
+        get_return_object()
+        {
+            return SubTask{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+
+        void return_void() {}
+    };
+
+    SubTask(SubTask &&other) noexcept
+        : handle(std::exchange(other.handle, nullptr))
+    {}
+    SubTask(const SubTask &) = delete;
+    SubTask &operator=(const SubTask &) = delete;
+    SubTask &operator=(SubTask &&) = delete;
+
+    ~SubTask()
+    {
+        if (handle)
+            handle.destroy();
+    }
+
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> cont) noexcept
+    {
+        handle.promise().continuation = cont;
+        return handle;
+    }
+
+    void await_resume() {}
+
+  private:
+    explicit SubTask(std::coroutine_handle<promise_type> h) : handle(h) {}
+
+    std::coroutine_handle<promise_type> handle;
+};
+
+} // namespace cpu
+} // namespace misar
+
+#endif // MISAR_CPU_SUBTASK_HH

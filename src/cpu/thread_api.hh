@@ -1,0 +1,212 @@
+/**
+ * @file
+ * ThreadApi: the programming interface of a simulated thread.
+ *
+ * Workload code and the synchronization runtime are coroutines that
+ * co_await these operations, e.g.:
+ * @code
+ *   ThreadTask worker(ThreadApi t) {
+ *       co_await t.compute(100);
+ *       std::uint64_t v = co_await t.read(0x1000);
+ *       co_await t.write(0x1000, v + 1);
+ *   }
+ * @endcode
+ */
+
+#ifndef MISAR_CPU_THREAD_API_HH
+#define MISAR_CPU_THREAD_API_HH
+
+#include "cpu/core.hh"
+#include "cpu/op.hh"
+#include "cpu/subtask.hh"
+
+namespace misar {
+namespace cpu {
+
+/** Thin per-thread handle used by simulated code to issue ops. */
+class ThreadApi
+{
+  public:
+    explicit ThreadApi(Core &core) : core(&core) {}
+
+    CoreId id() const { return core->id(); }
+    Tick now() const { return core->eventQueue().now(); }
+    StatRegistry &stats() const { return core->statRegistry(); }
+
+    /** Busy-execute @p cycles of non-memory work. */
+    OpAwaiter
+    compute(Tick cycles) const
+    {
+        Op op;
+        op.type = OpType::Compute;
+        op.cycles = cycles;
+        return {*core, op};
+    }
+
+    /** Load the word at @p a (awaits the value). */
+    OpAwaiter
+    read(Addr a) const
+    {
+        Op op;
+        op.type = OpType::Read;
+        op.addr = a;
+        return {*core, op};
+    }
+
+    /** Store @p v at @p a (awaits the old value). */
+    OpAwaiter
+    write(Addr a, std::uint64_t v) const
+    {
+        Op op;
+        op.type = OpType::Write;
+        op.addr = a;
+        op.value = v;
+        return {*core, op};
+    }
+
+    /** Atomic test-and-set; awaits the old value. */
+    OpAwaiter
+    testAndSet(Addr a) const
+    {
+        return atomicOp(a, mem::AtomicOp::TestAndSet, 0, 0);
+    }
+
+    /** Atomic exchange; awaits the old value. */
+    OpAwaiter
+    swap(Addr a, std::uint64_t v) const
+    {
+        return atomicOp(a, mem::AtomicOp::Swap, v, 0);
+    }
+
+    /** Atomic fetch-and-add; awaits the old value. */
+    OpAwaiter
+    fetchAdd(Addr a, std::uint64_t v) const
+    {
+        return atomicOp(a, mem::AtomicOp::FetchAdd, v, 0);
+    }
+
+    /** Atomic compare-and-swap; awaits the old value. */
+    OpAwaiter
+    compareSwap(Addr a, std::uint64_t expect, std::uint64_t desired) const
+    {
+        return atomicOp(a, mem::AtomicOp::CompareSwap, expect, desired);
+    }
+
+    /** @name MiSAR synchronization ISA (awaits a SyncResult). @{ */
+
+    OpAwaiter
+    lockInstr(Addr lock) const
+    {
+        return syncOp(SyncInstr::Lock, lock);
+    }
+
+    OpAwaiter
+    tryLockInstr(Addr lock) const
+    {
+        return syncOp(SyncInstr::TryLock, lock);
+    }
+
+    OpAwaiter
+    unlockInstr(Addr lock) const
+    {
+        return syncOp(SyncInstr::Unlock, lock);
+    }
+
+    OpAwaiter
+    rdLockInstr(Addr lock) const
+    {
+        return syncOp(SyncInstr::RdLock, lock);
+    }
+
+    OpAwaiter
+    wrLockInstr(Addr lock) const
+    {
+        return syncOp(SyncInstr::WrLock, lock);
+    }
+
+    OpAwaiter
+    rwUnlockInstr(Addr lock) const
+    {
+        return syncOp(SyncInstr::RwUnlock, lock);
+    }
+
+    OpAwaiter
+    barrierInstr(Addr barrier, std::uint32_t goal) const
+    {
+        Op op = makeSync(SyncInstr::Barrier, barrier);
+        op.goal = goal;
+        return {*core, op};
+    }
+
+    OpAwaiter
+    condWaitInstr(Addr cond, Addr lock) const
+    {
+        Op op = makeSync(SyncInstr::CondWait, cond);
+        op.addr2 = lock;
+        return {*core, op};
+    }
+
+    OpAwaiter
+    condSignalInstr(Addr cond) const
+    {
+        return syncOp(SyncInstr::CondSignal, cond);
+    }
+
+    OpAwaiter
+    condBcastInstr(Addr cond) const
+    {
+        return syncOp(SyncInstr::CondBcast, cond);
+    }
+
+    OpAwaiter
+    finishInstr(Addr sync_addr) const
+    {
+        return syncOp(SyncInstr::Finish, sync_addr);
+    }
+
+    /** @} */
+
+  private:
+    static Op
+    makeSync(SyncInstr i, Addr a)
+    {
+        Op op;
+        op.type = OpType::Sync;
+        op.instr = i;
+        op.addr = a;
+        return op;
+    }
+
+    OpAwaiter
+    syncOp(SyncInstr i, Addr a) const
+    {
+        return {*core, makeSync(i, a)};
+    }
+
+    OpAwaiter
+    atomicOp(Addr a, mem::AtomicOp aop, std::uint64_t v,
+             std::uint64_t v2) const
+    {
+        Op op;
+        op.type = OpType::Atomic;
+        op.addr = a;
+        op.aop = aop;
+        op.value = v;
+        op.value2 = v2;
+        return {*core, op};
+    }
+
+    Core *core;
+};
+
+/** Convert an awaited sync-instruction result back to the enum. */
+inline SyncResult
+toSyncResult(std::uint64_t raw)
+{
+    return static_cast<SyncResult>(raw);
+}
+
+} // namespace cpu
+} // namespace misar
+
+#endif // MISAR_CPU_THREAD_API_HH

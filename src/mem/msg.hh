@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Coherence protocol messages (MESI, blocking full-map directory).
+ */
+
+#ifndef MISAR_MEM_MSG_HH
+#define MISAR_MEM_MSG_HH
+
+#include "noc/packet.hh"
+#include "sim/types.hh"
+
+namespace misar {
+namespace mem {
+
+/** Coherence message opcodes. */
+enum class MemOp
+{
+    // L1 -> home (requests, vnet 0)
+    GetS,    ///< read miss
+    GetM,    ///< write/atomic miss or upgrade
+    PutM,    ///< dirty eviction (fire-and-forget, data)
+    PutE,    ///< clean-exclusive eviction notification
+    // home -> L1 (forwards, vnet 0)
+    FwdGetS, ///< downgrade owner to S
+    Inv,     ///< invalidate (sharer or owner)
+    BackInv, ///< LLC eviction back-invalidation (no ack expected)
+    // L1 -> home (responses, vnet 1)
+    FwdAck,  ///< response to FwdGetS
+    InvAck,  ///< response to Inv
+    // home -> L1 (grants, vnet 1, data-sized)
+    DataS,   ///< read data, shared
+    DataE,   ///< read data, exclusive clean
+    DataM,   ///< write grant with data
+    GrantM,  ///< upgrade grant, no data needed
+    // home -> L1 (push-install for MSA lock grants, vnet 1)
+    InstallE,
+};
+
+/** True for messages that carry a cache block. */
+inline bool
+carriesData(MemOp op)
+{
+    return op == MemOp::PutM || op == MemOp::DataS || op == MemOp::DataE ||
+           op == MemOp::DataM || op == MemOp::InstallE;
+}
+
+/** One coherence message. */
+class MemMsg : public noc::Packet
+{
+  public:
+    MemMsg(CoreId src, CoreId dst, MemOp op, Addr block)
+        : Packet(src, dst,
+                 carriesData(op) ? noc::dataBytes : noc::ctrlBytes),
+          op(op), block(block)
+    {
+        // Requests/forwards travel on vnet 0; acks/grants on vnet 1.
+        vnet = (op == MemOp::GetS || op == MemOp::GetM ||
+                op == MemOp::FwdGetS || op == MemOp::Inv ||
+                op == MemOp::BackInv) ? 0u : 1u;
+    }
+
+    MemOp op;
+    Addr block;
+    /** For InstallE: set the HWSync bit on installation (MSA §5). */
+    bool hwSync = false;
+};
+
+/** Home tile of a block: line-interleaved across all tiles. */
+inline CoreId
+homeTile(Addr block, unsigned num_tiles)
+{
+    return static_cast<CoreId>((block / blockBytes) % num_tiles);
+}
+
+} // namespace mem
+} // namespace misar
+
+#endif // MISAR_MEM_MSG_HH

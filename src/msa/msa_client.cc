@@ -1,0 +1,329 @@
+#include "msa/msa_client.hh"
+
+#include "sim/logging.hh"
+
+namespace misar {
+namespace msa {
+
+MsaClientHub::MsaClientHub(EventQueue &eq, const SystemConfig &cfg,
+                           mem::MemSystem &ms, StatRegistry &stats)
+    : eq(eq), cfg(cfg), ms(ms), stats(stats), cores(cfg.numThreads())
+{
+    // Let every L1 ask "is this block a silently-held lock?" so it
+    // can pin the line and defer snoops while the lock is held. The
+    // cache is per tile: check every hardware thread living there.
+    for (CoreId t = 0; t < cfg.numCores; ++t) {
+        ms.l1(t).setHoldQuery([this, t, ways = cfg.smtWays](Addr block) {
+            for (unsigned w = 0; w < ways; ++w) {
+                for (Addr a : cores[t * ways + w].silentHeld)
+                    if (blockAlign(a) == block)
+                        return true;
+            }
+            return false;
+        });
+    }
+}
+
+CoreId
+MsaClientHub::homeOf(Addr a) const
+{
+    return mem::homeTile(blockAlign(a), cfg.numCores);
+}
+
+void
+MsaClientHub::countOp(const cpu::Op &op, bool hw)
+{
+    if (op.instr == cpu::SyncInstr::Finish)
+        return; // bookkeeping, not a synchronization operation
+    stats.counter(hw ? "sync.hwOps" : "sync.swOps").inc();
+    std::string name = cpu::syncInstrName(op.instr);
+    stats.counter("sync." + name + (hw ? ".hw" : ".sw")).inc();
+}
+
+void
+MsaClientHub::sendRequest(CoreId core, const cpu::Op &op)
+{
+    MsaOp mop;
+    switch (op.instr) {
+      case cpu::SyncInstr::Lock:
+        mop = MsaOp::Lock;
+        break;
+      case cpu::SyncInstr::TryLock:
+        mop = MsaOp::TryLock;
+        break;
+      case cpu::SyncInstr::Unlock:
+        mop = MsaOp::Unlock;
+        break;
+      case cpu::SyncInstr::RdLock:
+        mop = MsaOp::RdLock;
+        break;
+      case cpu::SyncInstr::WrLock:
+        mop = MsaOp::WrLock;
+        break;
+      case cpu::SyncInstr::RwUnlock:
+        mop = MsaOp::RwUnlock;
+        break;
+      case cpu::SyncInstr::Barrier:
+        mop = MsaOp::Barrier;
+        break;
+      case cpu::SyncInstr::CondWait:
+        mop = MsaOp::CondWait;
+        break;
+      case cpu::SyncInstr::CondSignal:
+        mop = MsaOp::CondSignal;
+        break;
+      case cpu::SyncInstr::CondBcast:
+        mop = MsaOp::CondBcast;
+        break;
+      case cpu::SyncInstr::Finish:
+        mop = MsaOp::Finish;
+        break;
+      default:
+        panic("client %u: bad sync instruction", core);
+    }
+    auto m = std::make_shared<MsaMsg>(cfg.tileOf(core),
+                                      homeOf(op.addr), mop, op.addr);
+    m->addr2 = op.addr2;
+    m->goal = op.goal;
+    m->requester = core;
+    if (op.instr == cpu::SyncInstr::CondWait) {
+        PerCore &pc = cores[core];
+        if (pc.silentHeld.count(op.addr2))
+            m->lockHeldSilently = true;
+        // COND_WAIT releases the lock on our behalf, and marks the
+        // lock cond-associated so it skips the silent path from now
+        // on (see PerCore::condAssociated).
+        pc.hwHeld.erase(op.addr2);
+        pc.condAssociated.insert(op.addr2);
+        pc.silentAddrOfBlock.erase(blockAlign(op.addr2));
+    }
+    ms.send(std::move(m));
+}
+
+void
+MsaClientHub::execute(CoreId core, const cpu::Op &op, Cb cb)
+{
+    PerCore &pc = cores[core];
+    if (pc.active)
+        panic("client %u: second outstanding sync instruction", core);
+
+    auto silent_eligible = [&](Addr a) {
+        // The silent fast path relies on exclusive per-thread block
+        // ownership; SMT siblings share the L1 line, so a sibling's
+        // access could not be deferred. A real design would tag the
+        // HWSync bit with the hardware-thread id; we disable the
+        // optimization under SMT instead.
+        if (cfg.smtWays > 1)
+            return false;
+        if (!cfg.msa.hwSyncBitOpt ||
+            !ms.l1(cfg.tileOf(core)).hasWritableHwSync(a))
+            return false;
+        auto it = pc.silentAddrOfBlock.find(blockAlign(a));
+        return it != pc.silentAddrOfBlock.end() && it->second == a;
+    };
+
+    if ((op.instr == cpu::SyncInstr::Lock ||
+         op.instr == cpu::SyncInstr::TryLock) &&
+        silent_eligible(op.addr)) {
+        // §5 fast path: re-acquire locally; notify the home without
+        // waiting. The L1 defers snoops on this block from now on.
+        pc.silentHeld.insert(op.addr);
+        auto m = std::make_shared<MsaMsg>(cfg.tileOf(core),
+                                          homeOf(op.addr),
+                                          MsaOp::LockSilent, op.addr);
+        m->requester = core;
+        ms.send(std::move(m));
+        stats.counter("sync.silentLocks").inc();
+        countOp(op, true);
+        cb(cpu::SyncResult::Success);
+        return;
+    }
+
+    if (op.instr == cpu::SyncInstr::RwUnlock &&
+        pc.hwHeld.count(op.addr)) {
+        // Hardware-held RW locks release like regular ones: the
+        // entry cannot vanish while held, so complete locally.
+        pc.hwHeld.erase(op.addr);
+        auto m = std::make_shared<MsaMsg>(cfg.tileOf(core),
+                                          homeOf(op.addr),
+                                          MsaOp::RwUnlock, op.addr);
+        m->requester = core;
+        m->noReply = true;
+        ms.send(std::move(m));
+        countOp(op, true);
+        cb(cpu::SyncResult::Success);
+        return;
+    }
+
+    if (op.instr == cpu::SyncInstr::Unlock && pc.hwHeld.count(op.addr)) {
+        // The lock is hardware-held: its entry cannot vanish while
+        // owned, so UNLOCK is guaranteed to succeed. Complete the
+        // instruction now (release semantics) and let the home hand
+        // the lock off asynchronously.
+        pc.hwHeld.erase(op.addr);
+        auto m = std::make_shared<MsaMsg>(cfg.tileOf(core),
+                                          homeOf(op.addr),
+                                          MsaOp::Unlock, op.addr);
+        m->requester = core;
+        m->noReply = true;
+        ms.send(std::move(m));
+        countOp(op, true);
+        cb(cpu::SyncResult::Success);
+        return;
+    }
+
+    if (op.instr == cpu::SyncInstr::Unlock &&
+        pc.silentHeld.count(op.addr)) {
+        // Silent release: drop the hold, let any stalled snoop
+        // proceed, and notify the home without waiting.
+        pc.silentHeld.erase(op.addr);
+        ms.l1(cfg.tileOf(core)).flushDeferred(op.addr);
+        auto m = std::make_shared<MsaMsg>(cfg.tileOf(core),
+                                          homeOf(op.addr),
+                                          MsaOp::UnlockSilent, op.addr);
+        m->requester = core;
+        ms.send(std::move(m));
+        countOp(op, true);
+        cb(cpu::SyncResult::Success);
+        return;
+    }
+
+    pc.active = true;
+    pc.op = op;
+    pc.cb = std::move(cb);
+    pc.interrupted = false;
+    ++pc.opSeq;
+    sendRequest(core, op);
+}
+
+void
+MsaClientHub::complete(CoreId core, cpu::SyncResult result, bool no_silent)
+{
+    PerCore &pc = cores[core];
+    if (!pc.active)
+        return; // stale response (op already completed)
+    pc.active = false;
+    // BUSY is a hardware-performed outcome (TRYLOCK observed a held
+    // lock at the MSA); only FAIL/ABORT mean the software path ran.
+    countOp(pc.op, result == cpu::SyncResult::Success ||
+                       result == cpu::SyncResult::Busy);
+    if (result == cpu::SyncResult::Success) {
+        // Track hardware-held locks (their unlocks complete locally).
+        if (pc.op.instr == cpu::SyncInstr::Lock ||
+            pc.op.instr == cpu::SyncInstr::TryLock ||
+            pc.op.instr == cpu::SyncInstr::RdLock ||
+            pc.op.instr == cpu::SyncInstr::WrLock)
+            pc.hwHeld.insert(pc.op.addr);
+        else if (pc.op.instr == cpu::SyncInstr::CondWait)
+            pc.hwHeld.insert(pc.op.addr2);
+        const bool is_lock = pc.op.instr == cpu::SyncInstr::Lock ||
+                             pc.op.instr == cpu::SyncInstr::TryLock;
+        if (cfg.msa.hwSyncBitOpt && !no_silent &&
+            !pc.condAssociated.count(is_lock ? pc.op.addr
+                                             : pc.op.addr2)) {
+            // A lock grant ships the block with the HWSync bit (paper
+            // §5): record which address the bit vouches for. A
+            // COND_WAIT success re-acquired the lock the same way.
+            if (is_lock)
+                pc.silentAddrOfBlock[blockAlign(pc.op.addr)] = pc.op.addr;
+            else if (pc.op.instr == cpu::SyncInstr::CondWait)
+                pc.silentAddrOfBlock[blockAlign(pc.op.addr2)] =
+                    pc.op.addr2;
+        }
+    }
+    Cb cb = std::move(pc.cb);
+    if (pc.interrupted) {
+        // The thread was descheduled; it observes the result only
+        // after it is scheduled back in.
+        pc.interrupted = false;
+        eq.schedule(cfg.core.suspendResumeDelay,
+                    [cb = std::move(cb), result] { cb(result); });
+    } else {
+        cb(result);
+    }
+}
+
+void
+MsaClientHub::interrupt(CoreId core)
+{
+    PerCore &pc = cores[core];
+    if (!pc.active || pc.interrupted || pc.resendPending)
+        return; // idle, already suspending, or already descheduled
+    const cpu::SyncInstr k = pc.op.instr;
+    if (k != cpu::SyncInstr::Lock && k != cpu::SyncInstr::Barrier &&
+        k != cpu::SyncInstr::CondWait && k != cpu::SyncInstr::RdLock &&
+        k != cpu::SyncInstr::WrLock) {
+        return; // non-blocking instructions need no SUSPEND
+    }
+    pc.interrupted = true;
+    stats.counter("sync.suspends").inc();
+    auto m = std::make_shared<MsaMsg>(cfg.tileOf(core),
+                                      homeOf(pc.op.addr), MsaOp::Suspend,
+                                      pc.op.addr);
+    m->requester = core;
+    m->suspendKind = k;
+    ms.send(std::move(m));
+}
+
+void
+MsaClientHub::handleMessage(CoreId core, const std::shared_ptr<MsaMsg> &msg)
+{
+    PerCore &pc = cores[core];
+    switch (msg->op) {
+      case MsaOp::UnlockDone:
+      case MsaOp::RespSuccess:
+        if (msg->handoff) {
+            // An unlock of ours handed the lock to a waiter: the
+            // silent privilege is gone (the grant's invalidation may
+            // still be in flight; dropping the record now closes the
+            // re-acquire window, and at worst costs an optimization).
+            pc.silentAddrOfBlock.erase(blockAlign(msg->addr));
+            ms.l1(cfg.tileOf(core)).clearHwSync(msg->addr);
+        }
+        if (msg->op == MsaOp::RespSuccess)
+            complete(core, cpu::SyncResult::Success, msg->noSilent);
+        break;
+      case MsaOp::RespFail:
+        complete(core, cpu::SyncResult::Fail);
+        break;
+      case MsaOp::RespAbort:
+        complete(core, cpu::SyncResult::Abort);
+        break;
+      case MsaOp::RespBusy:
+        complete(core, cpu::SyncResult::Busy);
+        break;
+
+      case MsaOp::SuspendAck:
+        // Lock-waiter dequeue acknowledged: the squashed LOCK
+        // re-executes once the thread is scheduled back (paper
+        // §4.1.2). Ignore if the grant crossed in flight and already
+        // completed the instruction.
+        if (pc.active && pc.interrupted &&
+            (pc.op.instr == cpu::SyncInstr::Lock ||
+             pc.op.instr == cpu::SyncInstr::RdLock ||
+             pc.op.instr == cpu::SyncInstr::WrLock)) {
+            pc.interrupted = false;
+            pc.resendPending = true;
+            eq.schedule(cfg.core.suspendResumeDelay,
+                        [this, core, seq = pc.opSeq] {
+                PerCore &p = cores[core];
+                p.resendPending = false;
+                // Only re-send if the suspended LOCK is still the
+                // outstanding operation (not a later one).
+                if (p.active && p.opSeq == seq &&
+                    (p.op.instr == cpu::SyncInstr::Lock ||
+                     p.op.instr == cpu::SyncInstr::RdLock ||
+                     p.op.instr == cpu::SyncInstr::WrLock))
+                    sendRequest(core, p.op);
+            });
+        }
+        break;
+
+      default:
+        panic("client %u: unexpected MSA message op %d", core,
+              static_cast<int>(msg->op));
+    }
+}
+
+} // namespace msa
+} // namespace misar

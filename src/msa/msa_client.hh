@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Client side of the MSA: executes the synchronization ISA for every
+ * core, talking to the MSA slices over the NoC.
+ *
+ * Implements the HWSync-bit fast path (paper §5): a LOCK whose block
+ * is still writable in the local L1 with the HWSync bit set returns
+ * SUCCESS immediately and only notifies the home with LOCK_SILENT.
+ */
+
+#ifndef MISAR_MSA_MSA_CLIENT_HH
+#define MISAR_MSA_MSA_CLIENT_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "mem/mem_system.hh"
+#include "msa/msa_msg.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace misar {
+namespace msa {
+
+/** True for MSA messages consumed by the client hub (not a slice). */
+inline bool
+isClientBound(MsaOp op)
+{
+    switch (op) {
+      case MsaOp::RespSuccess:
+      case MsaOp::RespFail:
+      case MsaOp::RespAbort:
+      case MsaOp::RespBusy:
+      case MsaOp::SuspendAck:
+      case MsaOp::UnlockDone:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** SyncUnit implementation for MSA/OMU and MSA-inf configurations. */
+class MsaClientHub : public cpu::SyncUnit
+{
+  public:
+    MsaClientHub(EventQueue &eq, const SystemConfig &cfg,
+                 mem::MemSystem &ms, StatRegistry &stats);
+
+    void execute(CoreId core, const cpu::Op &op, Cb cb) override;
+    void interrupt(CoreId core) override;
+
+    /** Incoming client-bound MSA message (addressed to @p core). */
+    void handleMessage(CoreId core, const std::shared_ptr<MsaMsg> &msg);
+
+  private:
+    struct PerCore
+    {
+        bool active = false;
+        cpu::Op op;
+        Cb cb;
+        /** An OS interrupt arrived while this op was outstanding. */
+        bool interrupted = false;
+        /** A suspended LOCK is waiting out the resume delay before
+         *  re-executing; further interrupts are no-ops meanwhile. */
+        bool resendPending = false;
+        /** Generation counter: stale resume callbacks for an earlier
+         *  operation must not re-send the current one. */
+        std::uint64_t opSeq = 0;
+
+        /** Locks held via a silent acquire, not yet unlocked. */
+        std::set<Addr> silentHeld;
+        /**
+         * Locks this core acquired through the MSA (normal grants).
+         * Their UNLOCK is guaranteed to hit the entry, so it can
+         * complete immediately and release the home asynchronously.
+         */
+        std::set<Addr> hwHeld;
+        /**
+         * Which sync address each cached block's HWSync bit vouches
+         * for. The L1 bit is per line; two locks in one block must
+         * not share the privilege (only the recorded one was granted
+         * by the MSA).
+         */
+        std::map<Addr, Addr> silentAddrOfBlock;
+        /**
+         * Locks observed as the mutex of a COND_WAIT. A silent hold
+         * has no MSA entry, which would force the cond var to
+         * software (cond-in-HW requires lock-in-HW), so these locks
+         * stop using the silent fast path.
+         */
+        std::set<Addr> condAssociated;
+    };
+
+    /** Send @p op's request message to its home MSA slice. */
+    void sendRequest(CoreId core, const cpu::Op &op);
+
+    /** Complete the pending op of @p core with @p result. */
+    void complete(CoreId core, cpu::SyncResult result,
+                  bool no_silent = false);
+
+    /** Count one finished operation for coverage statistics. */
+    void countOp(const cpu::Op &op, bool hw);
+
+    CoreId homeOf(Addr a) const;
+
+    EventQueue &eq;
+    const SystemConfig &cfg;
+    mem::MemSystem &ms;
+    StatRegistry &stats;
+    std::vector<PerCore> cores;
+};
+
+} // namespace msa
+} // namespace misar
+
+#endif // MISAR_MSA_MSA_CLIENT_HH

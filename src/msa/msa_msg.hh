@@ -1,0 +1,136 @@
+/**
+ * @file
+ * MSA protocol messages between per-core clients and per-tile MSA
+ * slices, and between MSA slices (condition-variable pinning).
+ */
+
+#ifndef MISAR_MSA_MSA_MSG_HH
+#define MISAR_MSA_MSA_MSG_HH
+
+#include "cpu/op.hh"
+#include "noc/packet.hh"
+#include "sim/types.hh"
+
+namespace misar {
+namespace msa {
+
+/** MSA message opcodes. */
+enum class MsaOp : std::uint8_t
+{
+    // client -> home MSA (vnet 0)
+    Lock,
+    TryLock,
+    Unlock,
+    RdLock,
+    WrLock,
+    RwUnlock,
+    Barrier,
+    CondWait,
+    CondSignal,
+    CondBcast,
+    Finish,
+    /** Interrupt while blocked in a sync instruction (paper §4.x.2). */
+    Suspend,
+    /** HWSync-bit fast re-acquire notification (paper §5). */
+    LockSilent,
+    /** Release notification for a silently-held lock (paper §5). */
+    UnlockSilent,
+
+    // home MSA -> client (vnet 1)
+    RespSuccess,
+    RespFail,
+    RespAbort,
+    /** TRYLOCK handled in hardware but the lock is held. */
+    RespBusy,
+    /** Lock-waiter suspend acknowledged; client re-executes LOCK. */
+    SuspendAck,
+    /**
+     * Completion notice for a fire-and-forget UNLOCK of a
+     * hardware-held lock: carries the handoff flag for silent-
+     * privilege cleanup but never completes an instruction.
+     */
+    UnlockDone,
+
+    // cond-var home -> lock home (vnet 0)
+    /** UNLOCK&PIN: unlock on behalf of requester, pin lock entry. */
+    UnlockPin,
+    /** Plain unlock on behalf of requester (COND_WAIT on a hit). */
+    UnlockOnBehalf,
+    /** LOCK on behalf of requester (cond signal wake-up). */
+    LockOnBehalf,
+    /** LOCK&UNPIN: last cond waiter; also unpin the lock entry. */
+    LockUnpin,
+    /** Unpin only (cond entry died without a lock re-acquire). */
+    Unpin,
+
+    // lock home -> cond-var home (vnet 1)
+    UnlockPinAck,
+    UnlockPinNack,
+};
+
+/** True for messages travelling on the reply virtual network. */
+inline bool
+isReplyOp(MsaOp op)
+{
+    switch (op) {
+      case MsaOp::RespSuccess:
+      case MsaOp::RespFail:
+      case MsaOp::RespAbort:
+      case MsaOp::RespBusy:
+      case MsaOp::SuspendAck:
+      case MsaOp::UnlockDone:
+      case MsaOp::UnlockPinAck:
+      case MsaOp::UnlockPinNack:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** One MSA protocol message (always control-sized). */
+class MsaMsg : public noc::Packet
+{
+  public:
+    MsaMsg(CoreId src, CoreId dst, MsaOp op, Addr addr)
+        : Packet(src, dst, noc::ctrlBytes), op(op), addr(addr)
+    {
+        vnet = isReplyOp(op) ? 1u : 0u;
+    }
+
+    MsaOp op;
+    /** Primary synchronization address. */
+    Addr addr;
+    /** Associated lock address (COND_WAIT and cond->lock traffic). */
+    Addr addr2 = invalidAddr;
+    /** Barrier goal count. */
+    std::uint32_t goal = 0;
+    /**
+     * Core the operation is performed for. For client requests this
+     * equals src; for cond->lock traffic it is the waiting core.
+     */
+    CoreId requester = invalidCore;
+    /** For Suspend: which instruction is being suspended. */
+    cpu::SyncInstr suspendKind = cpu::SyncInstr::Lock;
+    /** For COND_WAIT: the requester holds the lock via a silent
+     *  acquire (no MSA entry); the cond var must go to software. */
+    bool lockHeldSilently = false;
+    /** For lock-grant RespSuccess: pinned lock, do not record the
+     *  silent privilege. */
+    bool noSilent = false;
+    /**
+     * For UNLOCK RespSuccess: the lock was handed to a waiter. The
+     * releaser is still blocked in its UNLOCK when this arrives, so
+     * its client can revoke the local silent privilege before the
+     * core can issue another LOCK — closing the race between a
+     * silent re-acquire and the in-flight handoff invalidation.
+     */
+    bool handoff = false;
+    /** For UNLOCK: the sender already completed the instruction and
+     *  expects an UnlockDone notice, not a RespSuccess. */
+    bool noReply = false;
+};
+
+} // namespace msa
+} // namespace misar
+
+#endif // MISAR_MSA_MSA_MSG_HH

@@ -1,0 +1,1066 @@
+#include "msa/msa_slice.hh"
+
+#include "sim/logging.hh"
+
+namespace misar {
+namespace msa {
+
+MsaSlice::MsaSlice(EventQueue &eq, const SystemConfig &cfg, CoreId tile,
+                   mem::HomeSlice &home, SendFn send, StatRegistry &stats)
+    : eq(eq), cfg(cfg), tile(tile), home(home), send(std::move(send)),
+      stats(stats), statPrefix("tile" + std::to_string(tile) + ".msa."),
+      infinite(cfg.msa.mode == AccelMode::MsaInfinite),
+      _omu(cfg.msa.omuCounters, stats, statPrefix)
+{
+    if (!infinite)
+        entries.resize(cfg.msa.msaEntries);
+}
+
+unsigned
+MsaSlice::validEntries() const
+{
+    unsigned n = 0;
+    for (const auto &e : entries)
+        n += e.valid;
+    return n;
+}
+
+const MsaEntry *
+MsaSlice::findEntry(Addr addr) const
+{
+    for (const auto &e : entries)
+        if (e.valid && e.addr == addr)
+            return &e;
+    return nullptr;
+}
+
+MsaEntry *
+MsaSlice::find(Addr addr)
+{
+    for (auto &e : entries)
+        if (e.valid && e.addr == addr)
+            return &e;
+    return nullptr;
+}
+
+bool
+MsaSlice::typeSupported(SyncType t) const
+{
+    switch (t) {
+      case SyncType::Lock:
+        return cfg.msa.support.locks;
+      case SyncType::Barrier:
+        return cfg.msa.support.barriers;
+      case SyncType::Cond:
+        return cfg.msa.support.condVars;
+    }
+    return false;
+}
+
+void
+MsaSlice::omuInc(Addr a, std::uint32_t n)
+{
+    if (cfg.msa.omuEnabled)
+        _omu.increment(a, n);
+}
+
+void
+MsaSlice::omuDec(Addr a, std::uint32_t n)
+{
+    if (cfg.msa.omuEnabled)
+        _omu.decrement(a, n);
+}
+
+bool
+MsaSlice::omuActive(Addr a) const
+{
+    return cfg.msa.omuEnabled && _omu.active(a);
+}
+
+void
+MsaSlice::retireEntry(MsaEntry &e)
+{
+    if (cfg.msa.omuEnabled) {
+        e.reset();
+        stats.counter(statPrefix + "evictions").inc();
+        return;
+    }
+    // Without the OMU, deallocation is unsafe (paper §3.2): park the
+    // entry; the address keeps it forever.
+    e.hwQueue.reset();
+    e.owner = invalidCore;
+    e.busy = false;
+}
+
+void
+MsaSlice::respond(CoreId core, MsaOp op, Addr addr)
+{
+    auto m = std::make_shared<MsaMsg>(tile, cfg.tileOf(core), op, addr);
+    m->requester = core;
+    send(std::move(m));
+}
+
+void
+MsaSlice::defer(const std::shared_ptr<MsaMsg> &msg)
+{
+    deferred.push_back(msg);
+    stats.counter(statPrefix + "deferred").inc();
+}
+
+void
+MsaSlice::drainDeferred()
+{
+    std::deque<std::shared_ptr<MsaMsg>> drained;
+    drained.swap(deferred);
+    for (auto &m : drained) {
+        eq.schedule(cfg.msa.msaLatency,
+                    [this, m = std::move(m)] { process(m); });
+    }
+}
+
+void
+MsaSlice::handleMessage(std::shared_ptr<MsaMsg> msg)
+{
+    eq.schedule(cfg.msa.msaLatency,
+                [this, m = std::move(msg)] { process(m); });
+}
+
+void
+MsaSlice::process(const std::shared_ptr<MsaMsg> &msg)
+{
+    stats.counter(statPrefix + "requests").inc();
+    switch (msg->op) {
+      case MsaOp::Lock:
+        doLock(msg);
+        break;
+      case MsaOp::TryLock:
+        doTryLock(msg);
+        break;
+      case MsaOp::Unlock:
+        doUnlock(msg);
+        break;
+      case MsaOp::RdLock:
+        doRwLock(msg, false);
+        break;
+      case MsaOp::WrLock:
+        doRwLock(msg, true);
+        break;
+      case MsaOp::RwUnlock:
+        doRwUnlock(msg);
+        break;
+      case MsaOp::Barrier:
+        doBarrier(msg);
+        break;
+      case MsaOp::CondWait:
+        doCondWait(msg);
+        break;
+      case MsaOp::CondSignal:
+        doCondSignal(msg, false);
+        break;
+      case MsaOp::CondBcast:
+        doCondSignal(msg, true);
+        break;
+      case MsaOp::Finish:
+        doFinish(msg);
+        break;
+      case MsaOp::Suspend:
+        doSuspend(msg);
+        break;
+      case MsaOp::LockSilent:
+        // Entry-less notification: the silent holder re-acquired.
+        stats.counter(statPrefix + "silentLocks").inc();
+        break;
+      case MsaOp::UnlockSilent:
+        stats.counter(statPrefix + "silentUnlocks").inc();
+        break;
+      case MsaOp::UnlockPin:
+        doUnlockPin(msg);
+        break;
+      case MsaOp::UnlockOnBehalf:
+        doUnlockOnBehalf(msg);
+        break;
+      case MsaOp::LockOnBehalf:
+        doLockOnBehalf(msg, false);
+        break;
+      case MsaOp::LockUnpin:
+        doLockOnBehalf(msg, true);
+        break;
+      case MsaOp::Unpin:
+        doUnpin(msg);
+        break;
+      case MsaOp::UnlockPinAck:
+        doUnlockPinResp(msg, true);
+        break;
+      case MsaOp::UnlockPinNack:
+        doUnlockPinResp(msg, false);
+        break;
+      default:
+        panic("MSA %u: unexpected message op %d", tile,
+              static_cast<int>(msg->op));
+    }
+}
+
+MsaEntry *
+MsaSlice::allocate(Addr addr)
+{
+    for (auto &e : entries) {
+        if (!e.valid) {
+            e.reset();
+            e.valid = true;
+            e.addr = addr;
+            stats.counter(statPrefix + "allocations").inc();
+            return &e;
+        }
+    }
+    if (infinite) {
+        // Callers only hold the returned pointer transiently within
+        // this event, so growing the vector here is safe.
+        entries.emplace_back();
+        MsaEntry &e = entries.back();
+        e.valid = true;
+        e.addr = addr;
+        stats.counter(statPrefix + "allocations").inc();
+        return &e;
+    }
+    return nullptr;
+}
+
+void
+MsaSlice::release(MsaEntry &e)
+{
+    if (e.hwQueue.any())
+        panic("MSA %u: releasing entry with a non-empty HWQueue", tile);
+    e.owner = invalidCore;
+    if (e.pinCount > 0)
+        return; // pinned by condition variables; keep the entry
+    retireEntry(e);
+}
+
+CoreId
+MsaSlice::pickNext(MsaEntry &e)
+{
+    const unsigned n = cfg.numThreads();
+    for (unsigned i = 0; i < n; ++i) {
+        CoreId c = (nbtc + i) % n;
+        if (e.hwQueue.test(c)) {
+            nbtc = (c + 1) % n;
+            return c;
+        }
+    }
+    panic("MSA %u: pickNext on an empty HWQueue", tile);
+}
+
+void
+MsaSlice::grantLock(MsaEntry &e, CoreId core)
+{
+    e.owner = core;
+    const Addr addr = e.addr;
+    stats.counter(statPrefix + "lockGrants").inc();
+
+    // The HWSync privilege (paper §5) only pays off when the grantee
+    // is likely the next acquirer, so do not push the block when
+    // other waiters are queued, when the lock is pinned by condition
+    // variables (a silent hold has no MSA entry, which would break
+    // the cond-in-HW => lock-in-HW invariant), or when the
+    // optimization is off.
+    const bool contended = e.hwQueue.count() > 1;
+    const bool want_push =
+        cfg.msa.hwSyncBitOpt && e.pinCount == 0 && !contended;
+    // A copy pushed to some *other* core earlier may still carry the
+    // silent privilege; it must be revoked (invalidated, ack-gated)
+    // before this grant completes. Freshly allocated entries always
+    // take the gated path (want_push) because a privilege from a
+    // previous entry generation may be outstanding.
+    const bool need_revoke =
+        e.pushedTo != invalidCore && e.pushedTo != core;
+
+    auto respond_grant = [this, core, addr](bool no_silent) {
+        auto r = std::make_shared<MsaMsg>(tile, cfg.tileOf(core),
+                                          MsaOp::RespSuccess, addr);
+        r->requester = core;
+        r->noSilent = no_silent;
+        send(std::move(r));
+    };
+
+    // The block lives in the thread's tile-level L1; pushedTo tracks
+    // the thread (its tile's cache holds the privilege copy).
+    if (want_push) {
+        // Ship the block in E state with the HWSync bit set along
+        // with the SUCCESS response (paper §5).
+        e.pushedTo = core;
+        home.grantExclusive(blockAlign(addr), cfg.tileOf(core), true,
+                            [respond_grant] { respond_grant(false); });
+    } else if (need_revoke) {
+        // Strip the stale copy; push without the bit.
+        e.pushedTo = invalidCore;
+        home.grantExclusive(blockAlign(addr), cfg.tileOf(core), false,
+                            [respond_grant] { respond_grant(true); });
+    } else {
+        respond_grant(true);
+    }
+}
+
+bool
+MsaSlice::unlockCommon(MsaEntry &e, CoreId core)
+{
+    if (e.owner != core || !e.hwQueue.test(core))
+        return false;
+    e.hwQueue.reset(core);
+    e.owner = invalidCore;
+    if (e.hwQueue.any()) {
+        CoreId next = pickNext(e);
+        grantLock(e, next);
+    } else {
+        release(e);
+    }
+    return true;
+}
+
+void
+MsaSlice::doLock(const std::shared_ptr<MsaMsg> &msg)
+{
+    const Addr addr = msg->addr;
+    const CoreId core = msg->requester;
+
+    if (!typeSupported(SyncType::Lock)) {
+        omuInc(addr);
+        respond(core, MsaOp::RespFail, addr);
+        return;
+    }
+
+    MsaEntry *e = find(addr);
+    if (e) {
+        if (e->tombstone) {
+            respond(core, MsaOp::RespFail, addr);
+            return;
+        }
+        if (e->busy) {
+            defer(msg);
+            return;
+        }
+        if (e->type != SyncType::Lock)
+            panic("MSA %u: LOCK on active non-lock addr %llx", tile,
+                  static_cast<unsigned long long>(addr));
+        if (e->hwQueue.test(core))
+            panic("MSA %u: recursive LOCK by core %u on %llx", tile, core,
+                  static_cast<unsigned long long>(addr));
+        e->hwQueue.set(core);
+        if (e->hwQueue.count() == 1)
+            grantLock(*e, core);
+        // else: hold the reply until the lock is handed to us.
+        return;
+    }
+
+    // Miss: consult the OMU.
+    if (omuActive(addr)) {
+        omuInc(addr);
+        respond(core, MsaOp::RespFail, addr);
+        return;
+    }
+    e = allocate(addr);
+    if (!e) {
+        omuInc(addr);
+        respond(core, MsaOp::RespFail, addr);
+        return;
+    }
+    e->type = SyncType::Lock;
+    e->hwQueue.set(core);
+    grantLock(*e, core);
+}
+
+void
+MsaSlice::doTryLock(const std::shared_ptr<MsaMsg> &msg)
+{
+    const Addr addr = msg->addr;
+    const CoreId core = msg->requester;
+
+    // Any FAIL below pre-increments the OMU: the requester's software
+    // CAS must be ordered after the address becomes software-active,
+    // or a concurrent LOCK could win an MSA entry against a software
+    // holder. If the software attempt loses, the client cancels the
+    // increment with a no-reply FINISH.
+    if (!typeSupported(SyncType::Lock)) {
+        omuInc(addr);
+        respond(core, MsaOp::RespFail, addr);
+        return;
+    }
+    MsaEntry *e = find(addr);
+    if (e) {
+        if (e->tombstone) {
+            omuInc(addr);
+            respond(core, MsaOp::RespFail, addr);
+            return;
+        }
+        if (e->busy) {
+            defer(msg);
+            return;
+        }
+        if (e->type != SyncType::Lock)
+            panic("MSA %u: TRYLOCK on active non-lock addr %llx", tile,
+                  static_cast<unsigned long long>(addr));
+        if (e->hwQueue.any()) {
+            // Held (or waited on): report busy without enqueueing.
+            respond(core, MsaOp::RespBusy, addr);
+            return;
+        }
+        e->hwQueue.set(core);
+        grantLock(*e, core);
+        return;
+    }
+    if (omuActive(addr)) {
+        omuInc(addr);
+        respond(core, MsaOp::RespFail, addr);
+        return;
+    }
+    e = allocate(addr);
+    if (!e) {
+        omuInc(addr);
+        respond(core, MsaOp::RespFail, addr);
+        return;
+    }
+    e->type = SyncType::Lock;
+    e->hwQueue.set(core);
+    grantLock(*e, core);
+}
+
+void
+MsaSlice::doUnlock(const std::shared_ptr<MsaMsg> &msg)
+{
+    const Addr addr = msg->addr;
+    const CoreId core = msg->requester;
+
+    if (!typeSupported(SyncType::Lock)) {
+        omuDec(addr);
+        respond(core, MsaOp::RespFail, addr);
+        return;
+    }
+
+    MsaEntry *e = find(addr);
+    if (!e) {
+        if (msg->noReply)
+            panic("MSA %u: fire-and-forget UNLOCK missed entry %llx",
+                  tile, static_cast<unsigned long long>(addr));
+        // Default-to-software: the matching LOCK failed too.
+        omuDec(addr);
+        respond(core, MsaOp::RespFail, addr);
+        return;
+    }
+    if (e->tombstone) {
+        omuDec(addr);
+        respond(core, MsaOp::RespFail, addr);
+        return;
+    }
+    if (e->busy) {
+        defer(msg);
+        return;
+    }
+    if (e->owner == core) {
+        const bool handoff = e->hwQueue.count() > 1;
+        unlockCommon(*e, core);
+        auto r = std::make_shared<MsaMsg>(
+            tile, cfg.tileOf(core),
+            msg->noReply ? MsaOp::UnlockDone : MsaOp::RespSuccess, addr);
+        r->requester = core;
+        r->handoff = handoff;
+        send(std::move(r));
+        return;
+    }
+
+    // UNLOCK from a core that is not the recorded owner: the owning
+    // thread migrated (paper §4.1.2).
+    stats.counter(statPrefix + "migratedUnlocks").inc();
+    if (e->pinCount == 0 && cfg.msa.omuEnabled) {
+        // Paper behaviour: reply SUCCESS, abort every waiter to
+        // software, free the entry, bump the OMU by the abort count.
+        respond(core, MsaOp::RespSuccess, addr);
+        std::uint32_t aborted = 0;
+        for (unsigned c = 0; c < cfg.numThreads(); ++c) {
+            if (e->hwQueue.test(c)) {
+                e->hwQueue.reset(c);
+                respond(c, MsaOp::RespAbort, addr);
+                ++aborted;
+            }
+        }
+        if (aborted)
+            omuInc(addr, aborted);
+        stats.counter(statPrefix + "lockAborts").inc(aborted);
+        e->reset();
+        return;
+    }
+    // Pinned lock (freeing it would strand its condition variables)
+    // or HWSync optimization enabled (abort-and-free would leave the
+    // old owner's silent privilege dangling): use the tracked owner
+    // for a precise handoff instead (see header comment).
+    if (e->owner == invalidCore) {
+        respond(core, MsaOp::RespFail, addr);
+        return;
+    }
+    unlockCommon(*e, e->owner);
+    respond(core, MsaOp::RespSuccess, addr);
+}
+
+void
+MsaSlice::rwDrain(MsaEntry &e)
+{
+    // Nothing to grant while a writer holds or waiters are absent.
+    if (e.owner != invalidCore || !e.hwQueue.any())
+        return;
+    CoreId next = pickNext(e);
+    if (e.waitIsWriter.test(next)) {
+        // Writers need full exclusivity.
+        if (e.readersHeld.any())
+            return;
+        e.hwQueue.reset(next);
+        e.waitIsWriter.reset(next);
+        e.owner = next;
+        respond(next, MsaOp::RespSuccess, e.addr);
+        return;
+    }
+    // Reader at the head: batch-grant every queued reader.
+    for (unsigned c = 0; c < cfg.numThreads(); ++c) {
+        if (e.hwQueue.test(c) && !e.waitIsWriter.test(c)) {
+            e.hwQueue.reset(c);
+            e.readersHeld.set(c);
+            respond(c, MsaOp::RespSuccess, e.addr);
+        }
+    }
+}
+
+void
+MsaSlice::doRwLock(const std::shared_ptr<MsaMsg> &msg, bool writer)
+{
+    const Addr addr = msg->addr;
+    const CoreId core = msg->requester;
+
+    if (!typeSupported(SyncType::Lock)) {
+        omuInc(addr);
+        respond(core, MsaOp::RespFail, addr);
+        return;
+    }
+    MsaEntry *e = find(addr);
+    if (e) {
+        if (e->tombstone) {
+            omuInc(addr);
+            respond(core, MsaOp::RespFail, addr);
+            return;
+        }
+        if (e->busy) {
+            defer(msg);
+            return;
+        }
+        if (e->type != SyncType::RwLock)
+            panic("MSA %u: RW op on active non-RW addr %llx", tile,
+                  static_cast<unsigned long long>(addr));
+    } else {
+        if (omuActive(addr)) {
+            omuInc(addr);
+            respond(core, MsaOp::RespFail, addr);
+            return;
+        }
+        e = allocate(addr);
+        if (!e) {
+            omuInc(addr);
+            respond(core, MsaOp::RespFail, addr);
+            return;
+        }
+        e->type = SyncType::RwLock;
+    }
+
+    if (e->readersHeld.test(core) || e->owner == core ||
+        e->hwQueue.test(core))
+        panic("MSA %u: recursive RW acquire by core %u on %llx", tile,
+              core, static_cast<unsigned long long>(addr));
+
+    if (writer) {
+        if (e->owner == invalidCore && !e->readersHeld.any() &&
+            !e->hwQueue.any()) {
+            e->owner = core;
+            respond(core, MsaOp::RespSuccess, addr);
+            return;
+        }
+    } else {
+        // Readers may join unless a writer holds or waits (writer
+        // preference prevents starvation).
+        const bool writer_waiting = (e->hwQueue & e->waitIsWriter).any();
+        if (e->owner == invalidCore && !writer_waiting) {
+            e->readersHeld.set(core);
+            respond(core, MsaOp::RespSuccess, addr);
+            return;
+        }
+    }
+    // Hold the reply: enqueue.
+    e->hwQueue.set(core);
+    if (writer)
+        e->waitIsWriter.set(core);
+    else
+        e->waitIsWriter.reset(core);
+}
+
+void
+MsaSlice::doRwUnlock(const std::shared_ptr<MsaMsg> &msg)
+{
+    const Addr addr = msg->addr;
+    const CoreId core = msg->requester;
+
+    if (!typeSupported(SyncType::Lock)) {
+        omuDec(addr);
+        respond(core, MsaOp::RespFail, addr);
+        return;
+    }
+    MsaEntry *e = find(addr);
+    if (!e) {
+        if (msg->noReply)
+            panic("MSA %u: fire-and-forget RW_UNLOCK missed entry %llx",
+                  tile, static_cast<unsigned long long>(addr));
+        omuDec(addr);
+        respond(core, MsaOp::RespFail, addr);
+        return;
+    }
+    if (e->tombstone) {
+        omuDec(addr);
+        respond(core, MsaOp::RespFail, addr);
+        return;
+    }
+    if (e->busy) {
+        defer(msg);
+        return;
+    }
+    if (e->type != SyncType::RwLock)
+        panic("MSA %u: RW_UNLOCK on non-RW addr %llx", tile,
+              static_cast<unsigned long long>(addr));
+
+    if (e->owner == core)
+        e->owner = invalidCore;
+    else if (e->readersHeld.test(core))
+        e->readersHeld.reset(core);
+    else
+        panic("MSA %u: RW_UNLOCK by non-holder core %u on %llx", tile,
+              core, static_cast<unsigned long long>(addr));
+
+    if (!msg->noReply)
+        respond(core, MsaOp::RespSuccess, addr);
+    rwDrain(*e);
+    if (e->owner == invalidCore && !e->readersHeld.any() &&
+        !e->hwQueue.any())
+        retireEntry(*e);
+}
+
+void
+MsaSlice::doBarrier(const std::shared_ptr<MsaMsg> &msg)
+{
+    const Addr addr = msg->addr;
+    const CoreId core = msg->requester;
+
+    if (!typeSupported(SyncType::Barrier)) {
+        omuInc(addr);
+        respond(core, MsaOp::RespFail, addr);
+        return;
+    }
+
+    MsaEntry *e = find(addr);
+    if (!e) {
+        if (omuActive(addr)) {
+            omuInc(addr);
+            respond(core, MsaOp::RespFail, addr);
+            return;
+        }
+        e = allocate(addr);
+        if (!e) {
+            omuInc(addr);
+            respond(core, MsaOp::RespFail, addr);
+            return;
+        }
+        e->type = SyncType::Barrier;
+        e->goal = msg->goal;
+    } else {
+        if (e->tombstone) {
+            omuInc(addr);
+            respond(core, MsaOp::RespFail, addr);
+            return;
+        }
+        if (e->busy) {
+            defer(msg);
+            return;
+        }
+        if (e->type != SyncType::Barrier)
+            panic("MSA %u: BARRIER on active non-barrier addr %llx", tile,
+                  static_cast<unsigned long long>(addr));
+        if (e->goal != msg->goal)
+            panic("MSA %u: BARRIER goal mismatch on %llx (%u vs %u)", tile,
+                  static_cast<unsigned long long>(addr), e->goal, msg->goal);
+    }
+
+    if (e->hwQueue.test(core))
+        panic("MSA %u: duplicate BARRIER arrival of core %u", tile, core);
+    e->hwQueue.set(core);
+    if (e->hwQueue.count() >= e->goal) {
+        for (unsigned c = 0; c < cfg.numThreads(); ++c)
+            if (e->hwQueue.test(c))
+                respond(c, MsaOp::RespSuccess, addr);
+        stats.counter(statPrefix + "barrierReleases").inc();
+        retireEntry(*e);
+    }
+}
+
+void
+MsaSlice::doCondWait(const std::shared_ptr<MsaMsg> &msg)
+{
+    const Addr cond = msg->addr;
+    const Addr lock = msg->addr2;
+    const CoreId core = msg->requester;
+
+    if (!typeSupported(SyncType::Cond)) {
+        omuInc(cond);
+        respond(core, MsaOp::RespFail, cond);
+        return;
+    }
+    if (msg->lockHeldSilently) {
+        // The waiter holds the lock via a silent acquire, so the lock
+        // has no MSA entry; the cond var must go to software (whose
+        // unlock path handles the silent hold correctly).
+        omuInc(cond);
+        respond(core, MsaOp::RespFail, cond);
+        return;
+    }
+
+    MsaEntry *e = find(cond);
+    if (e) {
+        if (e->tombstone) {
+            omuInc(cond);
+            respond(core, MsaOp::RespFail, cond);
+            return;
+        }
+        if (e->busy) {
+            defer(msg);
+            return;
+        }
+        if (e->type != SyncType::Cond)
+            panic("MSA %u: COND_WAIT on active non-cond addr %llx", tile,
+                  static_cast<unsigned long long>(cond));
+        if (e->lockAddr != lock)
+            panic("MSA %u: COND_WAIT with mismatched lock on %llx", tile,
+                  static_cast<unsigned long long>(cond));
+        e->hwQueue.set(core);
+        // Release the lock the waiter holds (paper §4.3): plain
+        // unlock on the waiter's behalf; the pin already exists.
+        auto u = std::make_shared<MsaMsg>(
+            tile, mem::homeTile(blockAlign(lock), cfg.numCores),
+            MsaOp::UnlockOnBehalf, lock);
+        u->requester = core;
+        send(std::move(u));
+        return; // reply held until signal/broadcast
+    }
+
+    if (omuActive(cond)) {
+        omuInc(cond);
+        respond(core, MsaOp::RespFail, cond);
+        return;
+    }
+    e = allocate(cond);
+    if (!e) {
+        omuInc(cond);
+        respond(core, MsaOp::RespFail, cond);
+        return;
+    }
+    // Reserve the entry and ask the lock's home to UNLOCK&PIN.
+    e->type = SyncType::Cond;
+    e->lockAddr = lock;
+    e->busy = true;
+    auto up = std::make_shared<MsaMsg>(
+        tile, mem::homeTile(blockAlign(lock), cfg.numCores),
+        MsaOp::UnlockPin, lock);
+    up->addr2 = cond;
+    up->requester = core;
+    send(std::move(up));
+}
+
+void
+MsaSlice::doUnlockPin(const std::shared_ptr<MsaMsg> &msg)
+{
+    const Addr lock = msg->addr;
+    const Addr cond = msg->addr2;
+    const CoreId waiter = msg->requester;
+    const CoreId cond_home = msg->src();
+
+    auto nack = [&] {
+        auto r = std::make_shared<MsaMsg>(tile, cond_home,
+                                          MsaOp::UnlockPinNack, cond);
+        r->addr2 = lock;
+        r->requester = waiter;
+        send(std::move(r));
+    };
+
+    MsaEntry *e = find(lock);
+    if (!e || e->type != SyncType::Lock) {
+        nack(); // lock is (or must stay) in software
+        return;
+    }
+    if (e->busy) {
+        defer(msg);
+        return;
+    }
+    if (e->owner != waiter || !e->hwQueue.test(waiter)) {
+        nack();
+        return;
+    }
+    // Pin before unlocking so the entry cannot be evicted.
+    ++e->pinCount;
+    unlockCommon(*e, waiter);
+    auto r = std::make_shared<MsaMsg>(tile, cond_home, MsaOp::UnlockPinAck,
+                                      cond);
+    r->addr2 = lock;
+    r->requester = waiter;
+    send(std::move(r));
+}
+
+void
+MsaSlice::doUnlockPinResp(const std::shared_ptr<MsaMsg> &msg, bool ok)
+{
+    const Addr cond = msg->addr;
+    const CoreId waiter = msg->requester;
+    MsaEntry *e = find(cond);
+    if (!e || !e->busy || e->type != SyncType::Cond)
+        panic("MSA %u: stray UNLOCK&PIN response for %llx", tile,
+              static_cast<unsigned long long>(cond));
+    e->busy = false;
+    if (ok) {
+        e->hwQueue.set(waiter);
+    } else {
+        if (cfg.msa.omuEnabled) {
+            e->reset();
+        } else {
+            // Without the OMU the entry cannot be freed safely; park
+            // it as a tombstone so the address stays software-handled.
+            e->tombstone = true;
+            e->hwQueue.reset();
+        }
+        omuInc(cond);
+        respond(waiter, MsaOp::RespFail, cond);
+    }
+    drainDeferred();
+}
+
+void
+MsaSlice::doUnlockOnBehalf(const std::shared_ptr<MsaMsg> &msg)
+{
+    const Addr lock = msg->addr;
+    const CoreId waiter = msg->requester;
+    MsaEntry *e = find(lock);
+    if (!e || e->type != SyncType::Lock)
+        panic("MSA %u: UnlockOnBehalf for unpinned lock %llx", tile,
+              static_cast<unsigned long long>(lock));
+    if (e->busy) {
+        defer(msg);
+        return;
+    }
+    if (!unlockCommon(*e, waiter))
+        panic("MSA %u: COND_WAIT by core %u not holding lock %llx", tile,
+              waiter, static_cast<unsigned long long>(lock));
+}
+
+void
+MsaSlice::doCondSignal(const std::shared_ptr<MsaMsg> &msg, bool broadcast)
+{
+    const Addr cond = msg->addr;
+    const CoreId signaler = msg->requester;
+
+    if (!typeSupported(SyncType::Cond)) {
+        respond(signaler, MsaOp::RespFail, cond);
+        return;
+    }
+    MsaEntry *e = find(cond);
+    if (!e || e->tombstone) {
+        respond(signaler, MsaOp::RespFail, cond);
+        return;
+    }
+    if (e->busy) {
+        defer(msg);
+        return;
+    }
+    if (e->type != SyncType::Cond)
+        panic("MSA %u: COND_SIGNAL on active non-cond addr %llx", tile,
+              static_cast<unsigned long long>(cond));
+    if (!e->hwQueue.any()) {
+        // Parked entry (OMU disabled) with no waiters: no-op signal.
+        respond(signaler, MsaOp::RespFail, cond);
+        return;
+    }
+
+    respond(signaler, MsaOp::RespSuccess, cond);
+    stats.counter(statPrefix +
+                  (broadcast ? "condBroadcasts" : "condSignals")).inc();
+
+    const Addr lock = e->lockAddr;
+    const CoreId lock_home = mem::homeTile(blockAlign(lock), cfg.numCores);
+    // Without the OMU the cond entry is never freed, so its pin on
+    // the lock entry must be kept across "releases" as well.
+    const bool can_unpin = cfg.msa.omuEnabled;
+    auto wake = [&](CoreId w, bool last) {
+        auto m = std::make_shared<MsaMsg>(
+            tile, lock_home,
+            (last && can_unpin) ? MsaOp::LockUnpin : MsaOp::LockOnBehalf,
+            lock);
+        m->addr2 = cond;
+        m->requester = w;
+        send(std::move(m));
+    };
+
+    if (broadcast) {
+        std::vector<CoreId> waiters;
+        for (unsigned i = 0; i < cfg.numThreads(); ++i) {
+            CoreId c = (nbtc + i) % cfg.numThreads();
+            if (e->hwQueue.test(c))
+                waiters.push_back(c);
+        }
+        for (std::size_t i = 0; i < waiters.size(); ++i) {
+            e->hwQueue.reset(waiters[i]);
+            wake(waiters[i], i + 1 == waiters.size());
+        }
+        retireEntry(*e);
+    } else {
+        CoreId w = pickNext(*e);
+        e->hwQueue.reset(w);
+        const bool last = !e->hwQueue.any();
+        wake(w, last);
+        if (last)
+            retireEntry(*e);
+    }
+}
+
+void
+MsaSlice::doLockOnBehalf(const std::shared_ptr<MsaMsg> &msg, bool unpin)
+{
+    const Addr lock = msg->addr;
+    const CoreId waiter = msg->requester;
+    MsaEntry *e = find(lock);
+    if (!e || e->type != SyncType::Lock)
+        panic("MSA %u: LockOnBehalf for unpinned lock %llx", tile,
+              static_cast<unsigned long long>(lock));
+    if (e->busy) {
+        defer(msg);
+        return;
+    }
+    if (unpin) {
+        if (e->pinCount == 0)
+            panic("MSA %u: LOCK&UNPIN with zero pin count on %llx", tile,
+                  static_cast<unsigned long long>(lock));
+        --e->pinCount;
+    }
+    e->hwQueue.set(waiter);
+    if (e->hwQueue.count() == 1)
+        grantLock(*e, waiter);
+}
+
+void
+MsaSlice::doUnpin(const std::shared_ptr<MsaMsg> &msg)
+{
+    const Addr lock = msg->addr;
+    MsaEntry *e = find(lock);
+    if (!e || e->type != SyncType::Lock)
+        panic("MSA %u: Unpin for unknown lock %llx", tile,
+              static_cast<unsigned long long>(lock));
+    if (e->busy) {
+        defer(msg);
+        return;
+    }
+    if (e->pinCount == 0)
+        panic("MSA %u: Unpin with zero pin count on %llx", tile,
+              static_cast<unsigned long long>(lock));
+    --e->pinCount;
+    if (e->pinCount == 0 && !e->hwQueue.any() && e->owner == invalidCore)
+        retireEntry(*e);
+}
+
+void
+MsaSlice::doFinish(const std::shared_ptr<MsaMsg> &msg)
+{
+    omuDec(msg->addr);
+    if (!msg->noReply)
+        respond(msg->requester, MsaOp::RespFail, msg->addr);
+}
+
+void
+MsaSlice::doSuspend(const std::shared_ptr<MsaMsg> &msg)
+{
+    const Addr addr = msg->addr;
+    const CoreId core = msg->requester;
+    MsaEntry *e = find(addr);
+
+    switch (msg->suspendKind) {
+      case cpu::SyncInstr::RdLock:
+      case cpu::SyncInstr::WrLock:
+        if (e && !e->busy && e->type == SyncType::RwLock &&
+            e->hwQueue.test(core)) {
+            e->hwQueue.reset(core);
+            e->waitIsWriter.reset(core);
+            stats.counter(statPrefix + "lockSuspends").inc();
+            rwDrain(*e); // a parked reader batch may now be eligible
+        }
+        respond(core, MsaOp::SuspendAck, addr);
+        break;
+
+      case cpu::SyncInstr::Lock:
+        if (e && !e->busy && e->type == SyncType::Lock &&
+            e->hwQueue.test(core) && e->owner != core) {
+            // Dequeue the waiter (paper §4.1.2).
+            e->hwQueue.reset(core);
+            stats.counter(statPrefix + "lockSuspends").inc();
+        }
+        // Ack in all cases; if a grant crossed in flight it reaches
+        // the client first (FIFO) and the ack is ignored there.
+        respond(core, MsaOp::SuspendAck, addr);
+        break;
+
+      case cpu::SyncInstr::Barrier:
+        if (cfg.msa.barrierSuspendOpt) {
+            // §4.2.2 alternative: the suspended thread's arrival
+            // stays counted; its release notice is simply consumed
+            // when the thread is scheduled back in (the client
+            // delays delivery by the resume latency). No software
+            // fallback, no OMU traffic.
+            stats.counter(statPrefix + "barrierSuspendsDeferred").inc();
+            break;
+        }
+        if (e && !e->busy && e->type == SyncType::Barrier &&
+            e->hwQueue.test(core) && cfg.msa.omuEnabled) {
+            // Force the whole barrier to software (paper §4.2.2).
+            std::uint32_t n = 0;
+            for (unsigned c = 0; c < cfg.numThreads(); ++c) {
+                if (e->hwQueue.test(c)) {
+                    respond(c, MsaOp::RespAbort, addr);
+                    ++n;
+                }
+            }
+            omuInc(addr, n);
+            stats.counter(statPrefix + "barrierAborts").inc();
+            e->reset();
+        }
+        break;
+
+      case cpu::SyncInstr::CondWait:
+        if (e && !e->busy && e->type == SyncType::Cond &&
+            e->hwQueue.test(core) && cfg.msa.omuEnabled) {
+            e->hwQueue.reset(core);
+            respond(core, MsaOp::RespAbort, addr);
+            omuInc(addr);
+            stats.counter(statPrefix + "condAborts").inc();
+            if (!e->hwQueue.any()) {
+                // Last waiter left without re-acquiring: unpin.
+                auto u = std::make_shared<MsaMsg>(
+                    tile,
+                    mem::homeTile(blockAlign(e->lockAddr), cfg.numCores),
+                    MsaOp::Unpin, e->lockAddr);
+                send(std::move(u));
+                e->reset();
+            }
+        }
+        break;
+
+      default:
+        panic("MSA %u: SUSPEND of non-blocking instruction", tile);
+    }
+}
+
+
+} // namespace msa
+} // namespace misar

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Minimalistic Synchronization Accelerator slice (paper §3-5).
+ *
+ * One slice lives in each tile and holds the MSA entries for the
+ * synchronization addresses homed there, the per-tile OMU, and the
+ * per-slice NBTC fairness register.
+ *
+ * Entry life cycle notes (design decisions beyond the paper text):
+ *
+ * - Entry-less HWSync privilege (§5). The silent re-acquire fast
+ *   path does not require a live MSA entry: when a lock's HWQueue
+ *   empties the entry is evicted normally, and the last owner's
+ *   privilege lives entirely in its L1 (HWSync bit + client record).
+ *   LOCK_SILENT / UNLOCK_SILENT are fire-and-forget notifications.
+ *   Mutual exclusion against a concurrent hardware grant or software
+ *   test-and-set is enforced at the holder's L1, which defers
+ *   incoming invalidations of a silently-held lock block until the
+ *   lock is released (the grant's or the atomic's completion is
+ *   thereby serialized after the silent critical section).
+ *
+ * - Owner tracking. The paper's HWQueue does not record which bit is
+ *   the owner; we track it (a log2(N)-bit cost) because it is needed
+ *   to distinguish a suspended waiter from a just-granted owner when
+ *   a SUSPEND crosses a grant in flight, and to handle the
+ *   migrated-UNLOCK of a *pinned* lock precisely (the paper's
+ *   abort-all-and-free would strand its condition variables).
+ *   Unpinned locks keep the paper's abort-all behaviour.
+ */
+
+#ifndef MISAR_MSA_MSA_SLICE_HH
+#define MISAR_MSA_MSA_SLICE_HH
+
+#include <bitset>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mem/home_slice.hh"
+#include "msa/msa_msg.hh"
+#include "msa/omu.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace misar {
+namespace msa {
+
+/** What a valid MSA entry is currently used for (2-bit Type field). */
+enum class SyncType : std::uint8_t { Lock, Barrier, Cond, RwLock };
+
+/** One MSA entry (paper Figure 1). */
+struct MsaEntry
+{
+    bool valid = false;
+    SyncType type = SyncType::Lock;
+    Addr addr = invalidAddr;
+    /** One bit per core: waiters, plus the owner for locks. */
+    std::bitset<mem::maxCores> hwQueue;
+
+    // Lock state
+    /** Core that currently owns the lock (see file comment). */
+    CoreId owner = invalidCore;
+    /** AuxInfo for locks: condition variables pinning this entry. */
+    std::uint32_t pinCount = 0;
+    /**
+     * Core that last received the lock block with the HWSync bit (a
+     * push). A later grant to a different core must revoke that copy
+     * (gated on its invalidation ack) before completing, or a stale
+     * silent privilege could race the new owner.
+     */
+    CoreId pushedTo = invalidCore;
+
+    /** Multi-step operation in progress (revoke or cond reserve). */
+    bool busy = false;
+
+    /**
+     * OMU-disabled mode only: the entry is a permanent marker that
+     * this address is handled in software; every request FAILs.
+     */
+    bool tombstone = false;
+
+    // Reader-writer lock state (AuxInfo; owner doubles as the
+    // current writer, invalidCore when reader-held or free)
+    std::bitset<mem::maxCores> readersHeld;
+    std::bitset<mem::maxCores> waitIsWriter;
+
+    // Barrier state (AuxInfo)
+    std::uint32_t goal = 0;
+
+    // Condition-variable state (AuxInfo)
+    Addr lockAddr = invalidAddr;
+
+    void
+    reset()
+    {
+        *this = MsaEntry{};
+    }
+};
+
+/** The MSA slice + OMU of one tile. */
+class MsaSlice
+{
+  public:
+    using SendFn = std::function<void(std::shared_ptr<MsaMsg>)>;
+
+    MsaSlice(EventQueue &eq, const SystemConfig &cfg, CoreId tile,
+             mem::HomeSlice &home, SendFn send, StatRegistry &stats);
+
+    /** Incoming MSA message from the NoC. */
+    void handleMessage(std::shared_ptr<MsaMsg> msg);
+
+    /** Tests/debug: number of valid entries. */
+    unsigned validEntries() const;
+
+    /** Tests/debug: entry for @p addr, or nullptr. */
+    const MsaEntry *findEntry(Addr addr) const;
+
+    Omu &omu() { return _omu; }
+
+  private:
+    /** Process @p msg after the MSA pipeline latency. */
+    void process(const std::shared_ptr<MsaMsg> &msg);
+
+    void doLock(const std::shared_ptr<MsaMsg> &msg);
+    void doTryLock(const std::shared_ptr<MsaMsg> &msg);
+    void doRwLock(const std::shared_ptr<MsaMsg> &msg, bool writer);
+    void doRwUnlock(const std::shared_ptr<MsaMsg> &msg);
+    /** Grant queued RW waiters after a release (batch readers). */
+    void rwDrain(MsaEntry &e);
+    void doUnlock(const std::shared_ptr<MsaMsg> &msg);
+    void doBarrier(const std::shared_ptr<MsaMsg> &msg);
+    void doCondWait(const std::shared_ptr<MsaMsg> &msg);
+    void doCondSignal(const std::shared_ptr<MsaMsg> &msg, bool broadcast);
+    void doFinish(const std::shared_ptr<MsaMsg> &msg);
+    void doSuspend(const std::shared_ptr<MsaMsg> &msg);
+    void doUnlockPin(const std::shared_ptr<MsaMsg> &msg);
+    void doLockOnBehalf(const std::shared_ptr<MsaMsg> &msg, bool unpin);
+    void doUnlockOnBehalf(const std::shared_ptr<MsaMsg> &msg);
+    void doUnpin(const std::shared_ptr<MsaMsg> &msg);
+    void doUnlockPinResp(const std::shared_ptr<MsaMsg> &msg, bool ok);
+
+    MsaEntry *find(Addr addr);
+
+    /** Allocate an entry for @p addr; nullptr if none is free. */
+    MsaEntry *allocate(Addr addr);
+
+    /** A lock's HWQueue emptied: free the entry unless pinned. */
+    void release(MsaEntry &e);
+
+    /** Grant the lock of @p e to @p core (block push + SUCCESS). */
+    void grantLock(MsaEntry &e, CoreId core);
+
+    /** Pick the next waiter via the NBTC register; clears its bit. */
+    CoreId pickNext(MsaEntry &e);
+
+    /** Perform an unlock by @p core on @p e; true on success. */
+    bool unlockCommon(MsaEntry &e, CoreId core);
+
+    void respond(CoreId core, MsaOp op, Addr addr);
+
+    /** Queue @p msg until a busy entry settles. */
+    void defer(const std::shared_ptr<MsaMsg> &msg);
+
+    /** Re-inject deferred messages (after a busy entry settled). */
+    void drainDeferred();
+
+    bool typeSupported(SyncType t) const;
+
+    /** @name OMU accessors that no-op when the OMU is disabled. @{ */
+    void omuInc(Addr a, std::uint32_t n = 1);
+    void omuDec(Addr a, std::uint32_t n = 1);
+    bool omuActive(Addr a) const;
+    /** @} */
+
+    /**
+     * Entry is done with its current use: free it (OMU enabled) or
+     * keep it parked forever (OMU disabled, Fig 7 "Without OMU").
+     */
+    void retireEntry(MsaEntry &e);
+
+    EventQueue &eq;
+    const SystemConfig &cfg;
+    CoreId tile;
+    mem::HomeSlice &home;
+    SendFn send;
+    StatRegistry &stats;
+    std::string statPrefix;
+
+    std::vector<MsaEntry> entries;
+    bool infinite;
+    Omu _omu;
+    /** Next-bit-to-check fairness register (one per slice). */
+    CoreId nbtc = 0;
+    std::deque<std::shared_ptr<MsaMsg>> deferred;
+};
+
+} // namespace msa
+} // namespace misar
+
+#endif // MISAR_MSA_MSA_SLICE_HH

@@ -1,0 +1,35 @@
+#include "msa/omu.hh"
+
+#include "sim/logging.hh"
+
+namespace misar {
+namespace msa {
+
+Omu::Omu(unsigned num_counters, StatRegistry &stats,
+         const std::string &stat_prefix)
+    : counters(num_counters, 0), stats(stats), statPrefix(stat_prefix)
+{
+    if (num_counters == 0)
+        fatal("OMU requires at least one counter");
+}
+
+void
+Omu::increment(Addr a, std::uint32_t n)
+{
+    counters[index(a)] += n;
+    stats.counter(statPrefix + "omuIncrements").inc(n);
+}
+
+void
+Omu::decrement(Addr a, std::uint32_t n)
+{
+    std::uint32_t &c = counters[index(a)];
+    if (c < n)
+        panic("OMU counter underflow for addr %llx (have %u, dec %u)",
+              static_cast<unsigned long long>(a), c, n);
+    c -= n;
+    stats.counter(statPrefix + "omuDecrements").inc(n);
+}
+
+} // namespace msa
+} // namespace misar

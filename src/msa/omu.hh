@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Overflow Management Unit (paper §3.2).
+ *
+ * A small set of per-tile counters, indexed (without tags) by the
+ * synchronization address. A non-zero counter means the address has
+ * software-active synchronization (waiting or lock-owning threads),
+ * so the MSA must not allocate an entry for it. Aliasing between
+ * addresses can only steer an operation to software unnecessarily —
+ * never break correctness.
+ */
+
+#ifndef MISAR_MSA_OMU_HH
+#define MISAR_MSA_OMU_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace misar {
+namespace msa {
+
+/** The per-tile overflow management unit. */
+class Omu
+{
+  public:
+    Omu(unsigned num_counters, StatRegistry &stats,
+        const std::string &stat_prefix);
+
+    /** True if the address has active software synchronization. */
+    bool
+    active(Addr a) const
+    {
+        return counters[index(a)] > 0;
+    }
+
+    /** A synchronization operation on @p a fell back to software. */
+    void increment(Addr a, std::uint32_t n = 1);
+
+    /** A software synchronization operation on @p a completed. */
+    void decrement(Addr a, std::uint32_t n = 1);
+
+    std::uint32_t
+    count(Addr a) const
+    {
+        return counters[index(a)];
+    }
+
+    unsigned numCounters() const
+    {
+        return static_cast<unsigned>(counters.size());
+    }
+
+  private:
+    unsigned
+    index(Addr a) const
+    {
+        // Untagged index by sync-address hash (word granularity).
+        std::uint64_t h = a >> 3;
+        h ^= h >> 17;
+        h *= 0xff51afd7ed558ccdULL;
+        h ^= h >> 33;
+        return static_cast<unsigned>(h % counters.size());
+    }
+
+    std::vector<std::uint32_t> counters;
+    StatRegistry &stats;
+    std::string statPrefix;
+};
+
+} // namespace msa
+} // namespace misar
+
+#endif // MISAR_MSA_OMU_HH

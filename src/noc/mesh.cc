@@ -1,0 +1,74 @@
+#include "noc/mesh.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace misar {
+namespace noc {
+
+Mesh::Mesh(EventQueue &eq, const NocConfig &cfg, unsigned dim,
+           StatRegistry &stats)
+    : _dim(dim)
+{
+    routers.reserve(dim * dim);
+    nis.reserve(dim * dim);
+    for (unsigned y = 0; y < dim; ++y) {
+        for (unsigned x = 0; x < dim; ++x) {
+            unsigned id = y * dim + x;
+            routers.push_back(
+                std::make_unique<Router>(eq, cfg, id, x, y, dim));
+        }
+    }
+    for (unsigned y = 0; y < dim; ++y) {
+        for (unsigned x = 0; x < dim; ++x) {
+            Router *r = routers[y * dim + x].get();
+            if (x + 1 < dim)
+                r->connect(portEast, routers[y * dim + x + 1].get(),
+                           portWest);
+            if (x > 0)
+                r->connect(portWest, routers[y * dim + x - 1].get(),
+                           portEast);
+            if (y + 1 < dim)
+                r->connect(portSouth, routers[(y + 1) * dim + x].get(),
+                           portNorth);
+            if (y > 0)
+                r->connect(portNorth, routers[(y - 1) * dim + x].get(),
+                           portSouth);
+        }
+    }
+    for (unsigned t = 0; t < dim * dim; ++t) {
+        nis.push_back(std::make_unique<NetworkInterface>(
+            eq, cfg, *routers[t], t, stats));
+    }
+}
+
+void
+Mesh::send(std::shared_ptr<Packet> pkt)
+{
+    CoreId s = pkt->src();
+    if (s >= nis.size())
+        panic("packet source tile %u out of range", s);
+    if (pkt->dst() >= nis.size())
+        panic("packet destination tile %u out of range", pkt->dst());
+    nis[s]->send(std::move(pkt));
+}
+
+void
+Mesh::setSink(CoreId t, NetworkInterface::Sink sink)
+{
+    if (t >= nis.size())
+        panic("sink tile %u out of range", t);
+    nis[t]->setSink(std::move(sink));
+}
+
+unsigned
+Mesh::hopDistance(CoreId a, CoreId b) const
+{
+    int ax = static_cast<int>(a % _dim), ay = static_cast<int>(a / _dim);
+    int bx = static_cast<int>(b % _dim), by = static_cast<int>(b / _dim);
+    return static_cast<unsigned>(std::abs(ax - bx) + std::abs(ay - by));
+}
+
+} // namespace noc
+} // namespace misar

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * 2D-mesh network assembly: routers, links, and per-tile interfaces.
+ */
+
+#ifndef MISAR_NOC_MESH_HH
+#define MISAR_NOC_MESH_HH
+
+#include <memory>
+#include <vector>
+
+#include "noc/network_interface.hh"
+#include "noc/router.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace misar {
+namespace noc {
+
+/**
+ * The on-chip network: dim x dim routers wired as a 2D mesh, one
+ * NetworkInterface per tile. Tiles are numbered row-major; tile i
+ * sits at (i % dim, i / dim).
+ */
+class Mesh
+{
+  public:
+    Mesh(EventQueue &eq, const NocConfig &cfg, unsigned dim,
+         StatRegistry &stats);
+
+    /** Inject @p pkt at its source tile. */
+    void send(std::shared_ptr<Packet> pkt);
+
+    /** Install tile @p t's delivery callback. */
+    void setSink(CoreId t, NetworkInterface::Sink sink);
+
+    unsigned dim() const { return _dim; }
+    unsigned numTiles() const { return _dim * _dim; }
+
+    /** Manhattan hop distance between two tiles. */
+    unsigned hopDistance(CoreId a, CoreId b) const;
+
+  private:
+    unsigned _dim;
+    std::vector<std::unique_ptr<Router>> routers;
+    std::vector<std::unique_ptr<NetworkInterface>> nis;
+};
+
+} // namespace noc
+} // namespace misar
+
+#endif // MISAR_NOC_MESH_HH

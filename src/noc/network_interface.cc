@@ -1,0 +1,112 @@
+#include "noc/network_interface.hh"
+
+#include "sim/logging.hh"
+
+namespace misar {
+namespace noc {
+
+NetworkInterface::NetworkInterface(EventQueue &eq, const NocConfig &cfg,
+                                   Router &router, CoreId tile,
+                                   StatRegistry &stats)
+    : eq(eq), cfg(cfg), router(router), _tile(tile), stats(stats),
+      nextSeq(static_cast<std::uint64_t>(tile) << 40)
+{
+    for (unsigned v = 0; v < numVnets; ++v)
+        credits[v] = cfg.bufferDepth;
+    router.setEjectFn([this](Flit f) { eject(std::move(f)); });
+    router.setLocalCreditFn([this](unsigned v) { creditReturn(v); });
+}
+
+void
+NetworkInterface::send(std::shared_ptr<Packet> pkt)
+{
+    pkt->injectTick = eq.now();
+    stats.counter("noc.packetsSent").inc();
+
+    if (pkt->dst() == _tile) {
+        // Local loopback: bypass the mesh with a short fixed latency.
+        Sink &s = sink;
+        stats.counter("noc.localLoopbacks").inc();
+        eq.schedule(cfg.routerLatency, [&s, pkt] { s(pkt); });
+        return;
+    }
+
+    if (pkt->vnet >= numVnets)
+        panic("packet with invalid vnet %u", pkt->vnet);
+
+    unsigned flits = flitCount(pkt->sizeBytes(), cfg.flitBytes);
+    outQ[pkt->vnet].push_back(
+        OutPacket{std::move(pkt), flits, flits, nextSeq++});
+    scheduleTick();
+}
+
+void
+NetworkInterface::creditReturn(unsigned vnet)
+{
+    ++credits[vnet];
+    scheduleTick();
+}
+
+void
+NetworkInterface::scheduleTick()
+{
+    if (tickPending)
+        return;
+    bool work = false;
+    for (unsigned v = 0; v < numVnets; ++v)
+        work |= (!outQ[v].empty() && credits[v] > 0);
+    if (!work)
+        return;
+    tickPending = true;
+    eq.schedule(1, [this] { tick(); });
+}
+
+void
+NetworkInterface::tick()
+{
+    tickPending = false;
+    // Inject at most one flit per cycle, round-robin across vnets.
+    for (unsigned k = 0; k < numVnets; ++k) {
+        unsigned v = (rrVnet + k) % numVnets;
+        if (outQ[v].empty() || credits[v] == 0)
+            continue;
+        OutPacket &op = outQ[v].front();
+        Flit flit;
+        flit.pkt = op.pkt;
+        flit.head = (op.flitsLeft == op.flitsTotal);
+        flit.tail = (op.flitsLeft == 1);
+        flit.packetSeq = op.seq;
+        --op.flitsLeft;
+        --credits[v];
+        router.acceptFlit(portLocal, v, std::move(flit));
+        if (op.flitsLeft == 0)
+            outQ[v].pop_front();
+        rrVnet = (v + 1) % numVnets;
+        break;
+    }
+    scheduleTick();
+}
+
+void
+NetworkInterface::eject(Flit flit)
+{
+    unsigned &got = reassembly[flit.packetSeq];
+    ++got;
+    if (!flit.tail)
+        return;
+    // Tail flit: the whole packet has arrived.
+    unsigned expect = flitCount(flit.pkt->sizeBytes(), cfg.flitBytes);
+    if (got != expect)
+        panic("NI %u: packet %llu reassembled %u of %u flits", _tile,
+              static_cast<unsigned long long>(flit.packetSeq), got, expect);
+    reassembly.erase(flit.packetSeq);
+    stats.counter("noc.packetsRecv").inc();
+    stats.average("noc.packetLatency")
+        .sample(static_cast<double>(eq.now() - flit.pkt->injectTick));
+    if (!sink)
+        panic("NI %u has no sink installed", _tile);
+    sink(std::move(flit.pkt));
+}
+
+} // namespace noc
+} // namespace misar

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Per-tile network interface: packet segmentation/injection on one
+ * side, flit reassembly/ejection on the other.
+ */
+
+#ifndef MISAR_NOC_NETWORK_INTERFACE_HH
+#define MISAR_NOC_NETWORK_INTERFACE_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "noc/packet.hh"
+#include "noc/router.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace misar {
+namespace noc {
+
+/**
+ * Tile endpoint of the NoC.
+ *
+ * Outbound packets queue (unbounded) in the NI and trickle into the
+ * local router input as credits allow, one flit per cycle. Inbound
+ * flits are reassembled by packet sequence number; complete packets
+ * are handed to the tile's sink callback.
+ */
+class NetworkInterface
+{
+  public:
+    using Sink = std::function<void(std::shared_ptr<Packet>)>;
+
+    NetworkInterface(EventQueue &eq, const NocConfig &cfg, Router &router,
+                     CoreId tile, StatRegistry &stats);
+
+    /** Queue @p pkt for injection (or local loopback if dst==tile). */
+    void send(std::shared_ptr<Packet> pkt);
+
+    /** Install the delivery callback. */
+    void setSink(Sink sink) { this->sink = std::move(sink); }
+
+    CoreId tile() const { return _tile; }
+
+  private:
+    /** Router freed an injection-buffer slot on @p vnet. */
+    void creditReturn(unsigned vnet);
+
+    /** Router ejected @p flit towards us. */
+    void eject(Flit flit);
+
+    /** Try to inject one flit this cycle. */
+    void tick();
+
+    void scheduleTick();
+
+    EventQueue &eq;
+    const NocConfig &cfg;
+    Router &router;
+    CoreId _tile;
+    StatRegistry &stats;
+    Sink sink;
+
+    struct OutPacket
+    {
+        std::shared_ptr<Packet> pkt;
+        unsigned flitsLeft;
+        unsigned flitsTotal;
+        std::uint64_t seq;
+    };
+    /** Per-vnet injection queues. */
+    std::array<std::deque<OutPacket>, numVnets> outQ;
+    /** Credits towards the local router input, per vnet. */
+    std::array<unsigned, numVnets> credits;
+    /** Reassembly: flits received per in-flight packet seq. */
+    std::map<std::uint64_t, unsigned> reassembly;
+
+    unsigned rrVnet = 0;
+    bool tickPending = false;
+    std::uint64_t nextSeq;
+};
+
+} // namespace noc
+} // namespace misar
+
+#endif // MISAR_NOC_NETWORK_INTERFACE_HH

@@ -1,0 +1,16 @@
+#include "noc/packet.hh"
+
+namespace misar {
+namespace noc {
+
+Packet::~Packet() = default;
+
+unsigned
+flitCount(unsigned size_bytes, unsigned flit_bytes)
+{
+    unsigned n = (size_bytes + flit_bytes - 1) / flit_bytes;
+    return n ? n : 1;
+}
+
+} // namespace noc
+} // namespace misar

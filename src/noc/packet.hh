@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Network packet base class and flit representation.
+ *
+ * Higher layers (coherence, MSA) subclass Packet; the NoC only looks
+ * at source, destination and size. Packets are segmented into flits
+ * at injection and reassembled at ejection.
+ */
+
+#ifndef MISAR_NOC_PACKET_HH
+#define MISAR_NOC_PACKET_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/types.hh"
+
+namespace misar {
+namespace noc {
+
+/** Base class for everything that travels over the NoC. */
+class Packet
+{
+  public:
+    Packet(CoreId src, CoreId dst, unsigned size_bytes)
+        : _src(src), _dst(dst), _sizeBytes(size_bytes)
+    {}
+
+    virtual ~Packet();
+
+    CoreId src() const { return _src; }
+    CoreId dst() const { return _dst; }
+    unsigned sizeBytes() const { return _sizeBytes; }
+
+    /** Tick at which the packet entered the injection queue. */
+    Tick injectTick = 0;
+
+    /**
+     * Virtual network: 0 for requests, 1 for replies/data. Keeping
+     * the two classes on separate virtual channels removes
+     * request-reply protocol deadlock.
+     */
+    unsigned vnet = 0;
+
+  private:
+    CoreId _src;
+    CoreId _dst;
+    unsigned _sizeBytes;
+};
+
+/** Size of a control (header-only) message in bytes. */
+constexpr unsigned ctrlBytes = 8;
+
+/** Size of a data message (header + one cache block) in bytes. */
+constexpr unsigned dataBytes = 8 + blockBytes;
+
+/**
+ * One flow-control unit. The head flit carries ownership of the
+ * packet; body/tail flits only carry routing state.
+ */
+struct Flit
+{
+    std::shared_ptr<Packet> pkt; ///< set on every flit for dst lookup
+    bool head = false;
+    bool tail = false;
+    std::uint64_t packetSeq = 0; ///< global packet sequence number
+};
+
+/** Number of flits a packet of @p size_bytes occupies. */
+unsigned flitCount(unsigned size_bytes, unsigned flit_bytes);
+
+} // namespace noc
+} // namespace misar
+
+#endif // MISAR_NOC_PACKET_HH

@@ -1,0 +1,172 @@
+#include "noc/router.hh"
+
+#include "sim/logging.hh"
+
+namespace misar {
+namespace noc {
+
+Router::Router(EventQueue &eq, const NocConfig &cfg, unsigned id, unsigned x,
+               unsigned y, unsigned dim)
+    : eq(eq), cfg(cfg), _id(id), x(x), y(y), dim(dim)
+{
+    for (unsigned o = 0; o < numPorts; ++o) {
+        rrPtr[o] = 0;
+        for (unsigned v = 0; v < numVnets; ++v) {
+            outOwner[o][v] = -1;
+            credits[o][v] = cfg.bufferDepth;
+        }
+    }
+}
+
+void
+Router::connect(Port out, Router *next, Port in)
+{
+    links[out].next = next;
+    links[out].nextIn = in;
+    // Record the reverse mapping so 'next' can return credits for the
+    // buffer slots of its input port 'in' to our output port 'out'.
+    next->upstream[in] = {this, out};
+}
+
+Port
+Router::route(CoreId dst) const
+{
+    unsigned dx = dst % dim;
+    unsigned dy = dst / dim;
+    if (dx > x)
+        return portEast;
+    if (dx < x)
+        return portWest;
+    if (dy > y)
+        return portSouth;
+    if (dy < y)
+        return portNorth;
+    return portLocal;
+}
+
+void
+Router::acceptFlit(Port in, unsigned vnet, Flit flit)
+{
+    if (inBuf[in][vnet].size() >= cfg.bufferDepth)
+        panic("router %u input %u vnet %u buffer overflow", _id, in, vnet);
+    inBuf[in][vnet].push_back(std::move(flit));
+    scheduleTick();
+}
+
+void
+Router::returnCredit(Port out, unsigned vnet)
+{
+    if (credits[out][vnet] >= cfg.bufferDepth)
+        panic("router %u output %u vnet %u credit overflow", _id, out, vnet);
+    ++credits[out][vnet];
+    scheduleTick();
+}
+
+bool
+Router::hasWork() const
+{
+    for (unsigned p = 0; p < numPorts; ++p)
+        for (unsigned v = 0; v < numVnets; ++v)
+            if (!inBuf[p][v].empty())
+                return true;
+    return false;
+}
+
+void
+Router::scheduleTick()
+{
+    if (tickPending)
+        return;
+    tickPending = true;
+    eq.schedule(1, [this] { tick(); });
+}
+
+void
+Router::tick()
+{
+    tickPending = false;
+    bool progress = false;
+    bool served_input[numPorts] = {};
+
+    for (unsigned out = 0; out < numPorts; ++out) {
+        const unsigned slots = numVnets * numPorts;
+        for (unsigned k = 0; k < slots; ++k) {
+            unsigned idx = (rrPtr[out] + k) % slots;
+            unsigned vnet = idx / numPorts;
+            unsigned in = idx % numPorts;
+            if (served_input[in])
+                continue;
+            auto &buf = inBuf[in][vnet];
+            if (buf.empty())
+                continue;
+            Flit &front = buf.front();
+            if (route(front.pkt->dst()) != static_cast<Port>(out))
+                continue;
+
+            // Wormhole allocation: head flits need a free channel,
+            // body/tail flits may only follow their own head.
+            if (front.head) {
+                if (outOwner[out][vnet] != -1)
+                    continue;
+            } else {
+                if (outOwner[out][vnet] != static_cast<int>(in))
+                    continue;
+            }
+
+            const bool is_local = (out == portLocal);
+            if (!is_local && credits[out][vnet] == 0)
+                continue;
+
+            // Grant: forward this flit.
+            Flit flit = std::move(front);
+            buf.pop_front();
+            served_input[in] = true;
+            progress = true;
+            rrPtr[out] = (idx + 1) % slots;
+
+            if (flit.head && !flit.tail)
+                outOwner[out][vnet] = static_cast<int>(in);
+            if (flit.tail)
+                outOwner[out][vnet] = -1;
+
+            // Return the freed buffer slot upstream (one cycle).
+            if (in == portLocal) {
+                if (localCreditFn) {
+                    auto fn = localCreditFn;
+                    eq.schedule(1, [fn, vnet] { fn(vnet); });
+                }
+            } else if (upstream[in].router) {
+                Router *up = upstream[in].router;
+                Port up_out = upstream[in].out;
+                eq.schedule(1, [up, up_out, vnet] {
+                    up->returnCredit(up_out, vnet);
+                });
+            }
+
+            if (is_local) {
+                ejectFn(std::move(flit));
+            } else {
+                --credits[out][vnet];
+                Router *next = links[out].next;
+                Port next_in = links[out].nextIn;
+                if (!next)
+                    panic("router %u: flit routed off mesh edge", _id);
+                Tick lat = cfg.routerLatency + cfg.linkLatency;
+                // Move the flit into the lambda; shared_ptr keeps the
+                // packet alive across hops.
+                eq.schedule(lat,
+                            [next, next_in, vnet, f = std::move(flit)]()
+                                mutable {
+                    next->acceptFlit(next_in, vnet, std::move(f));
+                });
+            }
+            break; // one flit per output per cycle
+        }
+    }
+
+    if (hasWork() && progress)
+        scheduleTick();
+}
+
+} // namespace noc
+} // namespace misar

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Cycle-level input-queued wormhole mesh router.
+ *
+ * Five ports (Local, N, E, S, W), XY dimension-order routing,
+ * credit-based flow control, and per-port virtual channels used as
+ * virtual networks (request vs. reply) to avoid protocol deadlock.
+ * Routers are event-driven: they tick only while flits are buffered.
+ */
+
+#ifndef MISAR_NOC_ROUTER_HH
+#define MISAR_NOC_ROUTER_HH
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "noc/packet.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+
+namespace misar {
+namespace noc {
+
+/** Router port indices. */
+enum Port : unsigned
+{
+    portLocal = 0,
+    portNorth = 1,
+    portEast = 2,
+    portSouth = 3,
+    portWest = 4,
+    numPorts = 5,
+};
+
+/** Number of virtual networks (0 = requests, 1 = replies/data). */
+constexpr unsigned numVnets = 2;
+
+/**
+ * One mesh router.
+ *
+ * Each (input port, vnet) has a FIFO flit buffer. Each cycle, every
+ * output port forwards at most one flit, selected round-robin over
+ * (vnet, input) pairs; wormhole allocation holds an output/vnet for
+ * a packet from head to tail flit.
+ */
+class Router
+{
+  public:
+    Router(EventQueue &eq, const NocConfig &cfg, unsigned id, unsigned x,
+           unsigned y, unsigned dim);
+
+    /** Connect output port @p out to neighbour @p next (its @p in). */
+    void connect(Port out, Router *next, Port in);
+
+    /** Install the ejection callback for the Local output. */
+    void setEjectFn(std::function<void(Flit)> fn) { ejectFn = std::move(fn); }
+
+    /**
+     * Install the credit-return callback for the Local input (wakes
+     * the network interface when an injection buffer slot frees).
+     */
+    void
+    setLocalCreditFn(std::function<void(unsigned)> fn)
+    {
+        localCreditFn = std::move(fn);
+    }
+
+    /** Accept a flit into input @p in on virtual network @p vnet. */
+    void acceptFlit(Port in, unsigned vnet, Flit flit);
+
+    /** Free buffer space available on input @p in, vnet @p vnet. */
+    unsigned
+    freeSlots(Port in, unsigned vnet) const
+    {
+        return cfg.bufferDepth
+            - static_cast<unsigned>(inBuf[in][vnet].size());
+    }
+
+    /** Credit returned by the downstream hop of output @p out. */
+    void returnCredit(Port out, unsigned vnet);
+
+    unsigned id() const { return _id; }
+
+  private:
+    /** XY route: output port towards @p dst. */
+    Port route(CoreId dst) const;
+
+    /** Run one cycle of switch allocation and traversal. */
+    void tick();
+
+    /** Schedule a tick next cycle unless one is already pending. */
+    void scheduleTick();
+
+    /** True if any input buffer holds a flit. */
+    bool hasWork() const;
+
+    EventQueue &eq;
+    const NocConfig &cfg;
+    unsigned _id;
+    unsigned x, y, dim;
+
+    /** inBuf[port][vnet] */
+    std::array<std::array<std::deque<Flit>, numVnets>, numPorts> inBuf;
+    /** Input (port) currently owning each (output, vnet); -1 = free. */
+    std::array<std::array<int, numVnets>, numPorts> outOwner;
+    /** Credits available towards downstream (output, vnet). */
+    std::array<std::array<unsigned, numVnets>, numPorts> credits;
+    /** Round-robin pointer per output over (vnet*numPorts+input). */
+    std::array<unsigned, numPorts> rrPtr;
+
+    struct Link
+    {
+        Router *next = nullptr;
+        Port nextIn = portLocal;
+    };
+    std::array<Link, numPorts> links;
+
+    /** Who feeds each of our input ports (for credit return). */
+    struct Upstream
+    {
+        Router *router = nullptr;
+        Port out = portLocal;
+    };
+    std::array<Upstream, numPorts> upstream;
+
+    std::function<void(Flit)> ejectFn;
+    std::function<void(unsigned)> localCreditFn;
+    bool tickPending = false;
+};
+
+} // namespace noc
+} // namespace misar
+
+#endif // MISAR_NOC_ROUTER_HH

@@ -1,0 +1,65 @@
+#include "sim/config.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace misar {
+
+unsigned
+SystemConfig::meshDim() const
+{
+    unsigned d = static_cast<unsigned>(std::lround(std::sqrt(numCores)));
+    return d;
+}
+
+void
+SystemConfig::validate() const
+{
+    unsigned d = meshDim();
+    if (d * d != numCores)
+        fatal("numCores (%u) must be a perfect square for a 2D mesh",
+              numCores);
+    if (numCores == 0 || numCores > 256)
+        fatal("numCores (%u) out of supported range [1, 256]", numCores);
+    if (smtWays == 0 || smtWays > 4)
+        fatal("smtWays (%u) out of supported range [1, 4]", smtWays);
+    if (numThreads() > 256)
+        fatal("numCores*smtWays (%u) exceeds the 256 HWQueue bits",
+              numThreads());
+    if (msa.mode == AccelMode::MsaOmu && msa.omuCounters == 0)
+        fatal("MSA/OMU mode requires at least one OMU counter");
+    if ((mem.l1Sets & (mem.l1Sets - 1)) != 0)
+        fatal("l1Sets must be a power of two");
+    if ((mem.llcSliceSets & (mem.llcSliceSets - 1)) != 0)
+        fatal("llcSliceSets must be a power of two");
+}
+
+std::string
+SystemConfig::accelName() const
+{
+    switch (msa.mode) {
+      case AccelMode::None:
+        return "MSA-0";
+      case AccelMode::MsaOmu:
+        return "MSA/OMU-" + std::to_string(msa.msaEntries);
+      case AccelMode::MsaInfinite:
+        return "MSA-inf";
+      case AccelMode::Ideal:
+        return "Ideal";
+    }
+    return "?";
+}
+
+SystemConfig
+makeConfig(unsigned cores, AccelMode mode, unsigned msa_entries)
+{
+    SystemConfig cfg;
+    cfg.numCores = cores;
+    cfg.msa.mode = mode;
+    cfg.msa.msaEntries = msa_entries;
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace misar

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * System configuration: every tunable knob of the simulated chip.
+ */
+
+#ifndef MISAR_SIM_CONFIG_HH
+#define MISAR_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace misar {
+
+/** Which synchronization-acceleration hardware a run models. */
+enum class AccelMode
+{
+    /**
+     * No hardware: all sync instructions return FAIL locally with no
+     * message (the paper's MSA-0 compatibility configuration).
+     */
+    None,
+    /** MSA with msaEntries entries per tile, managed by the OMU. */
+    MsaOmu,
+    /** MSA with unbounded entries; the OMU is never consulted. */
+    MsaInfinite,
+    /** Zero-latency oracle synchronization (paper's "Ideal"). */
+    Ideal,
+};
+
+/** Which primitive types the MSA accepts (Fig 9 breakdown study). */
+struct MsaTypeSupport
+{
+    bool locks = true;
+    bool barriers = true;
+    bool condVars = true;
+};
+
+/** NoC parameters. */
+struct NocConfig
+{
+    /** Cycles a flit spends in a router (pipeline depth). */
+    unsigned routerLatency = 2;
+    /** Cycles per inter-router link traversal. */
+    unsigned linkLatency = 1;
+    /** Input buffer depth per port, in flits. */
+    unsigned bufferDepth = 8;
+    /** Flit payload width in bytes. */
+    unsigned flitBytes = 16;
+};
+
+/** Cache hierarchy parameters. */
+struct MemConfig
+{
+    unsigned l1Sets = 128;        ///< 32KB: 128 sets x 4 ways x 64B
+    unsigned l1Ways = 4;
+    Tick l1HitLatency = 2;
+    unsigned llcSliceSets = 1024; ///< 512KB/slice: 1024 x 8 x 64B
+    unsigned llcWays = 8;
+    Tick llcHitLatency = 10;
+    Tick memLatency = 120;        ///< DRAM access behind the LLC
+};
+
+/** MSA/OMU parameters. */
+struct MsaConfig
+{
+    AccelMode mode = AccelMode::MsaOmu;
+    /** MSA entries per tile (paper evaluates 1 and 2). */
+    unsigned msaEntries = 2;
+    /** OMU counters per tile (paper uses four). */
+    unsigned omuCounters = 4;
+    /**
+     * Disable the OMU (Figure 7's "Without OMU" bars): entries are
+     * allocated on first use and never deallocated, because without
+     * software-activity tracking deallocation would be unsafe. An
+     * address is then handled forever in hardware (if it won an
+     * entry) or forever in software.
+     */
+    bool omuEnabled = true;
+    /** Enable the HWSync-bit LOCK_SILENT optimization (paper §5). */
+    bool hwSyncBitOpt = true;
+    /**
+     * Paper §4.2.2 discusses (and rejects, for hardware complexity)
+     * a barrier-suspension scheme that counts inactive-but-arrived
+     * threads and tracks release notification, instead of forcing
+     * the whole barrier to software. This implements that scheme:
+     * a suspended barrier waiter's arrival stays counted and the
+     * release notification is delivered when the thread resumes.
+     * Default off = the paper's chosen force-to-software behaviour.
+     */
+    bool barrierSuspendOpt = false;
+    /** Which primitive types the accelerator handles (Fig 9). */
+    MsaTypeSupport support;
+    /** Cycles the MSA pipeline takes to process one request. */
+    Tick msaLatency = 1;
+};
+
+/** Core timing parameters. */
+struct CoreConfig
+{
+    /**
+     * Extra commit-fence cycles charged by each synchronization
+     * instruction (models the "acts as a memory fence, begins at
+     * commit" pipeline stall; the paper reports it is negligible).
+     */
+    Tick syncFenceLatency = 2;
+
+    /**
+     * Cycles a thread is descheduled after an OS interrupt before a
+     * squashed LOCK instruction re-executes (paper §4.1.2).
+     */
+    Tick suspendResumeDelay = 500;
+};
+
+/** Top-level configuration for one simulated system. */
+struct SystemConfig
+{
+    unsigned numCores = 16;   ///< must be a perfect square (mesh)
+    /**
+     * Hardware threads per core (paper §3: "to support hardware
+     * multithreading, the HWQueue would be augmented to have 1-bit
+     * per hardware thread"). SMT threads share their tile's L1 and
+     * network interface; each runs its own thread program.
+     */
+    unsigned smtWays = 1;
+    std::uint64_t seed = 1;
+    NocConfig noc;
+    MemConfig mem;
+    MsaConfig msa;
+    CoreConfig core;
+
+    /** Mesh edge length (sqrt of numCores). */
+    unsigned meshDim() const;
+
+    /** Total hardware threads on the chip. */
+    unsigned numThreads() const { return numCores * smtWays; }
+
+    /** Tile (core) a hardware thread lives on. */
+    CoreId tileOf(CoreId thread) const { return thread / smtWays; }
+
+    /** Validate invariants; fatal() on user error. */
+    void validate() const;
+
+    /** Human-readable name of the accel configuration. */
+    std::string accelName() const;
+};
+
+/** Convenience builders for the paper's configurations. */
+SystemConfig makeConfig(unsigned cores, AccelMode mode,
+                        unsigned msa_entries = 2);
+
+} // namespace misar
+
+#endif // MISAR_SIM_CONFIG_HH

@@ -1,0 +1,49 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace misar {
+
+void
+EventQueue::scheduleAt(Tick when, Callback cb)
+{
+    if (when < _now)
+        panic("event scheduled in the past (%llu < %llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(_now));
+    events.push(Event{when, nextSeq++, std::move(cb)});
+}
+
+bool
+EventQueue::run(Tick limit)
+{
+    const Tick deadline = (limit == maxTick) ? maxTick : _now + limit;
+    while (!events.empty()) {
+        const Event &top = events.top();
+        if (top.when > deadline)
+            return false;
+        _now = top.when;
+        Callback cb = std::move(const_cast<Event &>(top).cb);
+        events.pop();
+        ++executed;
+        cb();
+    }
+    return true;
+}
+
+void
+EventQueue::runUntil(Tick until)
+{
+    while (!events.empty() && events.top().when <= until) {
+        const Event &top = events.top();
+        _now = top.when;
+        Callback cb = std::move(const_cast<Event &>(top).cb);
+        events.pop();
+        ++executed;
+        cb();
+    }
+    if (_now < until)
+        _now = until;
+}
+
+} // namespace misar

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global-ordered queue of (tick, sequence) keyed callbacks.
+ * Events scheduled for the same tick execute in scheduling order,
+ * which keeps the whole simulation deterministic.
+ */
+
+#ifndef MISAR_SIM_EVENT_QUEUE_HH
+#define MISAR_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace misar {
+
+/**
+ * The simulation event queue and clock.
+ *
+ * All simulated components share one EventQueue. Components schedule
+ * callbacks at absolute or relative ticks; run() drains the queue in
+ * (tick, insertion-order) order.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    void
+    schedule(Tick delay, Callback cb)
+    {
+        scheduleAt(_now + delay, std::move(cb));
+    }
+
+    /**
+     * Schedule @p cb at absolute tick @p when.
+     * @pre when >= now()
+     */
+    void scheduleAt(Tick when, Callback cb);
+
+    /** True when no events remain. */
+    bool empty() const { return events.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events.size(); }
+
+    /**
+     * Run until the queue drains or @p limit ticks elapse.
+     * @return true if the queue drained, false if the limit was hit
+     *         (a livelock/deadlock indicator for callers).
+     */
+    bool run(Tick limit = maxTick);
+
+    /** Run until now() would exceed @p until (events at @p until run). */
+    void runUntil(Tick until);
+
+    /** Total number of events executed so far. */
+    std::uint64_t executedEvents() const { return executed; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events;
+    Tick _now = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t executed = 0;
+};
+
+} // namespace misar
+
+#endif // MISAR_SIM_EVENT_QUEUE_HH

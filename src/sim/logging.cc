@@ -1,0 +1,66 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace misar {
+
+namespace {
+bool verboseEnabled = true;
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    verboseEnabled = verbose;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::fputs("panic: ", stderr);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::fputs("fatal: ", stderr);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::fputs("warn: ", stderr);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (!verboseEnabled)
+        return;
+    std::fputs("info: ", stdout);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stdout, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stdout);
+}
+
+} // namespace misar

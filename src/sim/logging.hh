@@ -1,0 +1,37 @@
+/**
+ * @file
+ * gem5-style logging and error-exit helpers.
+ *
+ * panic() is for internal invariant violations (simulator bugs),
+ * fatal() is for user/configuration errors. Both terminate; panic
+ * aborts (core dump friendly) while fatal exits cleanly with code 1.
+ */
+
+#ifndef MISAR_SIM_LOGGING_HH
+#define MISAR_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace misar {
+
+/** Abort with a formatted message; use for simulator bugs. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a formatted message; use for user errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational message to stdout. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+
+} // namespace misar
+
+#endif // MISAR_SIM_LOGGING_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xorshift64*).
+ *
+ * std::mt19937 is avoided so that RNG state is tiny and behaviour is
+ * identical across standard-library implementations.
+ */
+
+#ifndef MISAR_SIM_RNG_HH
+#define MISAR_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace misar {
+
+/** Small, fast, deterministic RNG. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545F4914F6CDD1DULL;
+    }
+
+    /** Uniform value in [0, bound). @pre bound > 0 */
+    std::uint64_t range(std::uint64_t bound) { return next() % bound; }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace misar
+
+#endif // MISAR_SIM_RNG_HH

@@ -1,0 +1,66 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace misar {
+
+void
+StatHistogram::sample(std::uint64_t v)
+{
+    unsigned b = 0;
+    while (v > 1 && b + 1 < buckets.size()) {
+        v >>= 1;
+        ++b;
+    }
+    ++buckets[b];
+    ++_total;
+}
+
+std::uint64_t
+StatRegistry::sumCounters(const std::string &prefix) const
+{
+    std::uint64_t sum = 0;
+    for (auto it = counters.lower_bound(prefix); it != counters.end(); ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        sum += it->second.value();
+    }
+    return sum;
+}
+
+double
+StatRegistry::pooledMean(const std::string &prefix) const
+{
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    for (auto it = averages.lower_bound(prefix); it != averages.end(); ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        sum += it->second.sum();
+        n += it->second.count();
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : counters)
+        os << name << " " << c.value() << "\n";
+    for (const auto &[name, a] : averages) {
+        os << name << " mean=" << std::fixed << std::setprecision(2)
+           << a.mean() << " count=" << a.count() << " min=" << a.min()
+           << " max=" << a.max() << "\n";
+    }
+}
+
+void
+StatRegistry::reset()
+{
+    for (auto &[name, c] : counters)
+        c.reset();
+    for (auto &[name, a] : averages)
+        a.reset();
+}
+
+} // namespace misar

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Components register named scalar counters, averages, and histograms
+ * in a StatRegistry; harnesses query and dump them after simulation.
+ */
+
+#ifndef MISAR_SIM_STATS_HH
+#define MISAR_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace misar {
+
+/** A monotonically increasing scalar statistic. */
+class StatCounter
+{
+  public:
+    void inc(std::uint64_t n = 1) { _value += n; }
+    void dec(std::uint64_t n = 1) { _value -= n; }
+    std::uint64_t value() const { return _value; }
+    void reset() { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** Running sample mean / min / max. */
+class StatAverage
+{
+  public:
+    void
+    sample(double v)
+    {
+        _sum += v;
+        ++_count;
+        if (v < _min || _count == 1)
+            _min = v;
+        if (v > _max || _count == 1)
+            _max = v;
+    }
+
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double sum() const { return _sum; }
+    std::uint64_t count() const { return _count; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+
+    void
+    reset()
+    {
+        _sum = 0.0;
+        _count = 0;
+        _min = 0.0;
+        _max = 0.0;
+    }
+
+  private:
+    double _sum = 0.0;
+    std::uint64_t _count = 0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/** Fixed-bucket histogram (power-of-two buckets by default). */
+class StatHistogram
+{
+  public:
+    explicit StatHistogram(unsigned num_buckets = 20)
+        : buckets(num_buckets, 0)
+    {}
+
+    /** Record @p v into its log2 bucket. */
+    void sample(std::uint64_t v);
+
+    const std::vector<std::uint64_t> &data() const { return buckets; }
+    std::uint64_t total() const { return _total; }
+
+  private:
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t _total = 0;
+};
+
+/**
+ * Registry of named statistics.
+ *
+ * Names are hierarchical by convention ("tile3.l1.misses"). Accessors
+ * create-on-first-use so components need no registration phase.
+ */
+class StatRegistry
+{
+  public:
+    StatCounter &counter(const std::string &name) { return counters[name]; }
+    StatAverage &average(const std::string &name) { return averages[name]; }
+
+    /** Sum of all counters whose name matches "prefix*". */
+    std::uint64_t sumCounters(const std::string &prefix) const;
+
+    /** Mean over all averages whose name matches "prefix*" (by sample). */
+    double pooledMean(const std::string &prefix) const;
+
+    /** Dump everything, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    void reset();
+
+  private:
+    std::map<std::string, StatCounter> counters;
+    std::map<std::string, StatAverage> averages;
+};
+
+} // namespace misar
+
+#endif // MISAR_SIM_STATS_HH

@@ -1,0 +1,32 @@
+#include "sim/trace.hh"
+
+namespace misar {
+
+void
+writeChromeTrace(std::ostream &os,
+                 const std::vector<const TraceBuffer *> &cores)
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (std::size_t tid = 0; tid < cores.size(); ++tid) {
+        if (!cores[tid])
+            continue;
+        for (const TraceEvent &e : cores[tid]->data()) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << tid
+               << ",\"ts\":" << e.start
+               << ",\"dur\":" << (e.end - e.start) << ",\"name\":\""
+               << e.name << "\"";
+            if (e.addr) {
+                os << ",\"args\":{\"addr\":\"0x" << std::hex << e.addr
+                   << std::dec << "\"}";
+            }
+            os << "}";
+        }
+    }
+    os << "],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+} // namespace misar

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Per-core operation timeline tracing.
+ *
+ * When enabled, every operation a core executes (compute, memory,
+ * sync instruction) is recorded with its start/end ticks. The
+ * timeline can be exported in Chrome trace-event JSON ("catapult"
+ * format) and opened in chrome://tracing or https://ui.perfetto.dev
+ * to see exactly where threads wait.
+ */
+
+#ifndef MISAR_SIM_TRACE_HH
+#define MISAR_SIM_TRACE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace misar {
+
+/** One completed operation on a core's timeline. */
+struct TraceEvent
+{
+    Tick start;
+    Tick end;
+    /** Short label, e.g. "LOCK", "read", "compute". */
+    const char *name;
+    /** Extra detail (sync address etc.), 0 if unused. */
+    Addr addr;
+};
+
+/** Per-core timeline container. */
+class TraceBuffer
+{
+  public:
+    void
+    record(Tick start, Tick end, const char *name, Addr addr = 0)
+    {
+        if (_enabled)
+            events.push_back(TraceEvent{start, end, name, addr});
+    }
+
+    void setEnabled(bool on) { _enabled = on; }
+    bool enabled() const { return _enabled; }
+    const std::vector<TraceEvent> &data() const { return events; }
+
+  private:
+    bool _enabled = false;
+    std::vector<TraceEvent> events;
+};
+
+/**
+ * Write Chrome trace-event JSON for a set of per-core timelines.
+ * Ticks are reported as microseconds so the viewers render nicely
+ * (1 cycle == 1 "us" in the viewer).
+ */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<const TraceBuffer *> &cores);
+
+} // namespace misar
+
+#endif // MISAR_SIM_TRACE_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fundamental simulation types shared by every module.
+ */
+
+#ifndef MISAR_SIM_TYPES_HH
+#define MISAR_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace misar {
+
+/** Simulated time, in core clock cycles. */
+using Tick = std::uint64_t;
+
+/** Physical (simulated) byte address. */
+using Addr = std::uint64_t;
+
+/** Core / tile identifier. Tiles and cores are 1:1 in this model. */
+using CoreId = std::uint32_t;
+
+/** Sentinel for "no core". */
+constexpr CoreId invalidCore = static_cast<CoreId>(-1);
+
+/** Sentinel for "no address". */
+constexpr Addr invalidAddr = static_cast<Addr>(-1);
+
+/** Maximum tick, used as "never". */
+constexpr Tick maxTick = static_cast<Tick>(-1);
+
+/** Cache block size used throughout the memory system. */
+constexpr unsigned blockBytes = 64;
+
+/** Mask an address down to its cache block base. */
+constexpr Addr
+blockAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(blockBytes - 1);
+}
+
+/** Byte offset of an address within its cache block. */
+constexpr unsigned
+blockOffset(Addr a)
+{
+    return static_cast<unsigned>(a & (blockBytes - 1));
+}
+
+} // namespace misar
+
+#endif // MISAR_SIM_TYPES_HH

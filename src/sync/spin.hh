@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Spin-wait helpers for software synchronization algorithms.
+ */
+
+#ifndef MISAR_SYNC_SPIN_HH
+#define MISAR_SYNC_SPIN_HH
+
+#include <functional>
+
+#include "cpu/subtask.hh"
+#include "cpu/thread_api.hh"
+#include "sim/rng.hh"
+
+namespace misar {
+namespace sync {
+
+/**
+ * Spin-read @p addr until @p done(value) is true, waiting @p interval
+ * cycles between polls. Returns the satisfying value. A fixed short
+ * interval models local spinning (MCS-style); the caller can model
+ * futex-like sleep/wake latency with a larger interval.
+ */
+inline cpu::SubTask<std::uint64_t>
+spinUntil(cpu::ThreadApi t, Addr addr,
+          std::function<bool(std::uint64_t)> done, Tick interval = 8)
+{
+    for (;;) {
+        std::uint64_t v = co_await t.read(addr);
+        if (done(v))
+            co_return v;
+        co_await t.compute(interval);
+    }
+}
+
+/**
+ * Futex-style wait: poll @p addr every ~@p wake cycles (uniformly
+ * jittered 50%-150%) until @p done(value). The interval models the
+ * sleep/wake round trip of a futex (syscall + scheduler); the jitter
+ * breaks phase-locking between waiters and release waves.
+ */
+inline cpu::SubTask<std::uint64_t>
+futexWait(cpu::ThreadApi t, Addr addr,
+          std::function<bool(std::uint64_t)> done, Tick wake = 1200)
+{
+    Rng rng(0x5bd1e995ULL * (addr + 1) + t.id() * 0x9e3779b9ULL + 1);
+    // A short optimistic spin before "sleeping" (glibc adaptive).
+    for (int i = 0; i < 2; ++i) {
+        std::uint64_t v = co_await t.read(addr);
+        if (done(v))
+            co_return v;
+        co_await t.compute(20);
+    }
+    for (;;) {
+        co_await t.compute(wake / 2 + rng.range(wake));
+        std::uint64_t v = co_await t.read(addr);
+        if (done(v))
+            co_return v;
+    }
+}
+
+/**
+ * Spin with exponential backoff between polls (test-and-test-and-set
+ * style), from @p start cycles doubling to @p cap.
+ */
+inline cpu::SubTask<std::uint64_t>
+backoffSpinUntil(cpu::ThreadApi t, Addr addr,
+                 std::function<bool(std::uint64_t)> done, Tick start = 16,
+                 Tick cap = 1024)
+{
+    Tick d = start;
+    for (;;) {
+        std::uint64_t v = co_await t.read(addr);
+        if (done(v))
+            co_return v;
+        co_await t.compute(d);
+        d = std::min<Tick>(d * 2, cap);
+    }
+}
+
+} // namespace sync
+} // namespace misar
+
+#endif // MISAR_SYNC_SPIN_HH

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The synchronization runtime library.
+ *
+ * One SyncLib instance per simulated system provides mutexes,
+ * barriers, and condition variables to workload code, in one of
+ * several flavors:
+ *
+ * - PthreadSw: glibc-like software implementations (TTAS mutex with
+ *   futex-style backoff, generation barrier, ticket condition
+ *   variable). The paper's baseline.
+ * - SpinSw:    raw test-and-set spinlock (locks only; barrier/cond
+ *   fall back to the pthread algorithms).
+ * - McsTourSw: MCS queue locks + tournament barrier (the paper's
+ *   "advanced software" MCS-Tour configuration).
+ * - TicketDissemSw: ticket locks + dissemination barrier (a second
+ *   classic scalable-software point for the algorithm ablation).
+ * - Hw:        the paper's hybrid Algorithms 1-3 — try the MiSAR
+ *   instruction first, fall back to the pthread software path (and
+ *   issue FINISH where required). Used for MSA-0 / MSA/OMU-N /
+ *   MSA-inf / Ideal runs; with MSA-0 every instruction FAILs and
+ *   this measures pure fallback overhead.
+ *
+ * Auxiliary state for software algorithms (MCS queue nodes,
+ * tournament flags, condvar tickets) is allocated per object from a
+ * private heap on first use, each field in its own cache block.
+ */
+
+#ifndef MISAR_SYNC_SYNC_LIB_HH
+#define MISAR_SYNC_SYNC_LIB_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "cpu/subtask.hh"
+#include "cpu/thread_api.hh"
+
+namespace misar {
+namespace sync {
+
+using cpu::SubTask;
+using cpu::ThreadApi;
+
+/** Simple bump allocator for block-aligned simulated memory. */
+class SyncHeap
+{
+  public:
+    explicit SyncHeap(Addr base = 0x40000000ULL) : next(base) {}
+
+    Addr
+    alloc(unsigned bytes)
+    {
+        Addr r = next;
+        next = (next + bytes + blockBytes - 1) &
+               ~static_cast<Addr>(blockBytes - 1);
+        return r;
+    }
+
+  private:
+    Addr next;
+};
+
+/** Synchronization runtime facade. */
+class SyncLib
+{
+  public:
+    enum class Flavor
+    {
+        PthreadSw,
+        SpinSw,
+        McsTourSw,
+        TicketDissemSw,
+        Hw,
+    };
+
+    SyncLib(Flavor flavor, unsigned num_cores);
+
+    /** @name Public API used by workloads (Algorithms 1-3 for Hw). @{ */
+    SubTask<> mutexLock(ThreadApi t, Addr m);
+    SubTask<> mutexUnlock(ThreadApi t, Addr m);
+    /** Non-blocking acquire; true if the lock was taken. */
+    SubTask<bool> mutexTryLock(ThreadApi t, Addr m);
+    SubTask<> barrierWait(ThreadApi t, Addr b, std::uint32_t goal);
+    /** @name Reader-writer lock extension (hybrid like Alg. 1). @{ */
+    SubTask<> rwRdLock(ThreadApi t, Addr l);
+    SubTask<> rwWrLock(ThreadApi t, Addr l);
+    SubTask<> rwUnlock(ThreadApi t, Addr l);
+    /** @} */
+
+    SubTask<> condWait(ThreadApi t, Addr c, Addr m);
+    SubTask<> condSignal(ThreadApi t, Addr c);
+    SubTask<> condBroadcast(ThreadApi t, Addr c);
+    /** @} */
+
+    Flavor flavor() const { return _flavor; }
+
+    static const char *flavorName(Flavor f);
+
+  private:
+    /** @name Software mutexes @{ */
+    SubTask<> pthreadLock(ThreadApi t, Addr m);
+    SubTask<> pthreadUnlock(ThreadApi t, Addr m);
+    SubTask<bool> swTryLock(ThreadApi t, Addr m);
+    SubTask<> spinLock(ThreadApi t, Addr m);
+    SubTask<> spinUnlock(ThreadApi t, Addr m);
+    SubTask<> mcsLock(ThreadApi t, Addr m);
+    SubTask<> mcsUnlock(ThreadApi t, Addr m);
+    SubTask<> ticketLock(ThreadApi t, Addr m);
+    SubTask<> ticketUnlock(ThreadApi t, Addr m);
+    SubTask<> swRdLock(ThreadApi t, Addr l);
+    SubTask<> swWrLock(ThreadApi t, Addr l);
+    SubTask<> swRwUnlockReader(ThreadApi t, Addr l);
+    SubTask<> swRwUnlockWriter(ThreadApi t, Addr l);
+    /** @} */
+
+    /** @name Software barriers @{ */
+    SubTask<> centralBarrier(ThreadApi t, Addr b, std::uint32_t goal);
+    SubTask<> tournamentBarrier(ThreadApi t, Addr b, std::uint32_t goal);
+    SubTask<> disseminationBarrier(ThreadApi t, Addr b,
+                                   std::uint32_t goal);
+    /** @} */
+
+    /** @name Software condition variables (ticket-based) @{ */
+    SubTask<> swCondWait(ThreadApi t, Addr c, Addr m);
+    SubTask<> swCondSignal(ThreadApi t, Addr c);
+    SubTask<> swCondBroadcast(ThreadApi t, Addr c);
+    /** @} */
+
+    /** Dispatch to the flavor's software lock. */
+    SubTask<> swLock(ThreadApi t, Addr m);
+    SubTask<> swUnlock(ThreadApi t, Addr m);
+    SubTask<> swBarrier(ThreadApi t, Addr b, std::uint32_t goal);
+
+    /** Per-object auxiliary memory region (created on first use). */
+    Addr aux(Addr obj, unsigned bytes);
+
+    /** MCS queue node of @p core for lock @p m. */
+    Addr mcsNode(Addr m, CoreId core);
+
+    /** How each (core, rwlock) pair currently holds it. */
+    enum class RwHold : std::uint8_t { None, Hw, SwReader, SwWriter };
+
+    RwHold &rwHold(CoreId core, Addr l);
+
+    Flavor _flavor;
+    unsigned numCores;
+    SyncHeap heap;
+    std::unordered_map<Addr, Addr> auxOf;
+    std::unordered_map<std::uint64_t, RwHold> rwHolds;
+};
+
+} // namespace sync
+} // namespace misar
+
+#endif // MISAR_SYNC_SYNC_LIB_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * OS timer-interrupt driver: periodically interrupts random cores so
+ * the SUSPEND machinery (paper §4.1.2 / §4.2.2 / §4.3.2) is
+ * exercised under load. A core interrupted while blocked in a
+ * synchronization instruction is suspended per the paper's rules; an
+ * interrupt at any other time is a no-op (the thread would simply be
+ * rescheduled).
+ */
+
+#ifndef MISAR_SYSTEM_INTERRUPT_DRIVER_HH
+#define MISAR_SYSTEM_INTERRUPT_DRIVER_HH
+
+#include "sim/rng.hh"
+#include "system/system.hh"
+
+namespace misar {
+namespace sys {
+
+/** Delivers random timer interrupts until the system quiesces. */
+class InterruptDriver
+{
+  public:
+    /**
+     * @param system  the chip to interrupt
+     * @param period  mean cycles between interrupts (jittered 50-150%)
+     * @param seed    determinism seed
+     */
+    InterruptDriver(System &system, Tick period, std::uint64_t seed)
+        : system(system), period(period), rng(seed ? seed : 1)
+    {
+        scheduleNext();
+    }
+
+    std::uint64_t delivered() const { return _delivered; }
+
+  private:
+    void
+    scheduleNext()
+    {
+        Tick delay = period / 2 + rng.range(period);
+        system.eventQueue().schedule(delay, [this] { fire(); });
+    }
+
+    void
+    fire()
+    {
+        bool all_done = true;
+        for (CoreId c = 0; c < system.numCores(); ++c)
+            all_done &= system.core(c).finished();
+        if (all_done)
+            return; // stop once the workload quiesces
+        CoreId victim =
+            static_cast<CoreId>(rng.range(system.numCores()));
+        system.core(victim).interrupt();
+        ++_delivered;
+        scheduleNext();
+    }
+
+    System &system;
+    Tick period;
+    Rng rng;
+    std::uint64_t _delivered = 0;
+};
+
+} // namespace sys
+} // namespace misar
+
+#endif // MISAR_SYSTEM_INTERRUPT_DRIVER_HH

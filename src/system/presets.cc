@@ -1,0 +1,71 @@
+#include "system/presets.hh"
+
+namespace misar {
+namespace sys {
+
+SystemConfig
+configFor(PaperConfig pc, unsigned cores)
+{
+    switch (pc) {
+      case PaperConfig::Baseline:
+      case PaperConfig::McsTour:
+      case PaperConfig::Msa0:
+      case PaperConfig::Spinlock:
+        return makeConfig(cores, AccelMode::None);
+      case PaperConfig::MsaOmu1:
+        return makeConfig(cores, AccelMode::MsaOmu, 1);
+      case PaperConfig::MsaOmu2:
+        return makeConfig(cores, AccelMode::MsaOmu, 2);
+      case PaperConfig::MsaOmu4:
+        return makeConfig(cores, AccelMode::MsaOmu, 4);
+      case PaperConfig::MsaInf:
+        return makeConfig(cores, AccelMode::MsaInfinite);
+      case PaperConfig::Ideal:
+        return makeConfig(cores, AccelMode::Ideal);
+    }
+    return makeConfig(cores, AccelMode::None);
+}
+
+sync::SyncLib::Flavor
+flavorFor(PaperConfig pc)
+{
+    switch (pc) {
+      case PaperConfig::Baseline:
+        return sync::SyncLib::Flavor::PthreadSw;
+      case PaperConfig::McsTour:
+        return sync::SyncLib::Flavor::McsTourSw;
+      case PaperConfig::Spinlock:
+        return sync::SyncLib::Flavor::SpinSw;
+      default:
+        return sync::SyncLib::Flavor::Hw;
+    }
+}
+
+const char *
+paperConfigName(PaperConfig pc)
+{
+    switch (pc) {
+      case PaperConfig::Baseline:
+        return "Baseline(pthread)";
+      case PaperConfig::Msa0:
+        return "MSA-0";
+      case PaperConfig::McsTour:
+        return "MCS-Tour";
+      case PaperConfig::MsaOmu1:
+        return "MSA/OMU-1";
+      case PaperConfig::MsaOmu2:
+        return "MSA/OMU-2";
+      case PaperConfig::MsaOmu4:
+        return "MSA/OMU-4";
+      case PaperConfig::MsaInf:
+        return "MSA-inf";
+      case PaperConfig::Ideal:
+        return "Ideal";
+      case PaperConfig::Spinlock:
+        return "Spinlock";
+    }
+    return "?";
+}
+
+} // namespace sys
+} // namespace misar

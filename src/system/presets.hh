@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The paper's evaluated configurations (§6): baseline pthread,
+ * MSA-0, MCS-Tour, MSA/OMU-1, MSA/OMU-2, MSA-inf, and Ideal.
+ */
+
+#ifndef MISAR_SYSTEM_PRESETS_HH
+#define MISAR_SYSTEM_PRESETS_HH
+
+#include "sim/config.hh"
+#include "sync/sync_lib.hh"
+
+namespace misar {
+namespace sys {
+
+/** One column of the paper's evaluation figures. */
+enum class PaperConfig
+{
+    Baseline, ///< pthread software library, no sync instructions
+    Msa0,     ///< hybrid library, always-FAIL hardware
+    McsTour,  ///< MCS locks + tournament barrier software library
+    MsaOmu1,  ///< hybrid library, 1-entry MSA with OMU
+    MsaOmu2,  ///< hybrid library, 2-entry MSA with OMU
+    MsaOmu4,  ///< hybrid library, 4-entry MSA with OMU (Fig 9 note)
+    MsaInf,   ///< hybrid library, unbounded MSA
+    Ideal,    ///< hybrid library, zero-latency oracle
+    Spinlock, ///< raw test-and-set spinlock library (Figure 5)
+};
+
+/** All configurations shown in Figure 6, in plot order. */
+constexpr PaperConfig fig6Configs[] = {
+    PaperConfig::Msa0,    PaperConfig::McsTour, PaperConfig::MsaOmu1,
+    PaperConfig::MsaOmu2, PaperConfig::MsaInf,  PaperConfig::Ideal,
+};
+
+/** System configuration for @p pc with @p cores cores. */
+SystemConfig configFor(PaperConfig pc, unsigned cores);
+
+/** Synchronization library flavor used with @p pc. */
+sync::SyncLib::Flavor flavorFor(PaperConfig pc);
+
+/** Display name matching the paper's figures. */
+const char *paperConfigName(PaperConfig pc);
+
+} // namespace sys
+} // namespace misar
+
+#endif // MISAR_SYSTEM_PRESETS_HH

@@ -1,0 +1,115 @@
+#include "system/system.hh"
+
+#include "sim/logging.hh"
+
+namespace misar {
+namespace sys {
+
+System::System(const SystemConfig &cfg_in) : cfg(cfg_in)
+{
+    cfg.validate();
+    ms = std::make_unique<mem::MemSystem>(eq, cfg, _stats);
+
+    const bool has_msa = cfg.msa.mode == AccelMode::MsaOmu ||
+                         cfg.msa.mode == AccelMode::MsaInfinite;
+
+    if (has_msa) {
+        auto hub_owner =
+            std::make_unique<msa::MsaClientHub>(eq, cfg, *ms, _stats);
+        hub = hub_owner.get();
+        syncUnit = std::move(hub_owner);
+
+        auto send_fn = [this](std::shared_ptr<msa::MsaMsg> m) {
+            ms->send(std::move(m));
+        };
+        for (CoreId t = 0; t < cfg.numCores; ++t) {
+            slices.push_back(std::make_unique<msa::MsaSlice>(
+                eq, cfg, t, ms->home(t), send_fn, _stats));
+        }
+        ms->setOtherSink([this](CoreId tile,
+                                std::shared_ptr<noc::Packet> pkt) {
+            auto mm = std::dynamic_pointer_cast<msa::MsaMsg>(pkt);
+            if (!mm)
+                panic("tile %u: unknown packet class", tile);
+            if (msa::isClientBound(mm->op)) {
+                // Client-bound responses name the hardware thread.
+                CoreId thread = mm->requester;
+                if (thread == invalidCore)
+                    thread = tile; // defensive: 1-thread-per-core
+                hub->handleMessage(thread, mm);
+            } else {
+                slices[tile]->handleMessage(std::move(mm));
+            }
+        });
+    } else if (cfg.msa.mode == AccelMode::Ideal) {
+        syncUnit = std::make_unique<msa::IdealSyncUnit>(_stats);
+    } else {
+        syncUnit = std::make_unique<msa::NullSyncUnit>(_stats);
+    }
+
+    for (CoreId t = 0; t < cfg.numThreads(); ++t) {
+        cores.push_back(std::make_unique<cpu::Core>(
+            eq, cfg.core, t, ms->l1(cfg.tileOf(t)), _stats));
+        cores.back()->setSyncUnit(syncUnit.get());
+    }
+}
+
+bool
+System::run(Tick limit)
+{
+    // Run in slices so we can stop as soon as all threads are done
+    // (background NoC/coherence events may still be queued).
+    const Tick chunk = 10000;
+    const Tick start = eq.now();
+    const Tick deadline = (limit == maxTick) ? maxTick : start + limit;
+    for (;;) {
+        Tick until = (deadline - eq.now() < chunk) ? deadline
+                                                   : eq.now() + chunk;
+        eq.runUntil(until);
+        bool all_done = true;
+        for (auto &c : cores)
+            all_done &= c->finished();
+        if (all_done)
+            return true;
+        if (eq.empty())
+            return false; // queue empty but threads blocked: deadlock
+        if (eq.now() >= deadline)
+            return false;
+    }
+}
+
+Tick
+System::makespan() const
+{
+    Tick m = 0;
+    for (auto &c : cores)
+        m = std::max(m, c->finishTick());
+    return m;
+}
+
+void
+System::enableTracing()
+{
+    for (auto &c : cores)
+        c->trace().setEnabled(true);
+}
+
+void
+System::writeTrace(std::ostream &os) const
+{
+    std::vector<const TraceBuffer *> bufs;
+    for (auto &c : cores)
+        bufs.push_back(&c->trace());
+    writeChromeTrace(os, bufs);
+}
+
+double
+System::hwCoverage() const
+{
+    double hw = static_cast<double>(_stats.sumCounters("sync.hwOps"));
+    double sw = static_cast<double>(_stats.sumCounters("sync.swOps"));
+    return (hw + sw) > 0 ? hw / (hw + sw) : 0.0;
+}
+
+} // namespace sys
+} // namespace misar

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Top-level simulated system: tiles (core + L1 + LLC/directory slice
+ * + MSA slice + router) assembled per a SystemConfig.
+ */
+
+#ifndef MISAR_SYSTEM_SYSTEM_HH
+#define MISAR_SYSTEM_SYSTEM_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "cpu/thread_api.hh"
+#include "mem/mem_system.hh"
+#include "msa/ideal_sync.hh"
+#include "msa/msa_client.hh"
+#include "msa/msa_slice.hh"
+#include "msa/null_sync.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace misar {
+namespace sys {
+
+/**
+ * A complete simulated chip. Construct, start one thread body per
+ * core, then run().
+ */
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+
+    /** Start @p body on core @p c at the current tick. */
+    void
+    start(CoreId c, cpu::ThreadTask body)
+    {
+        cores[c]->start(std::move(body));
+    }
+
+    /** Run until every started thread finishes (or @p limit ticks).
+     *  @return true if all threads finished. */
+    bool run(Tick limit = maxTick);
+
+    cpu::ThreadApi api(CoreId c) { return cpu::ThreadApi(*cores[c]); }
+    cpu::Core &core(CoreId c) { return *cores[c]; }
+    msa::MsaSlice &msaSlice(CoreId t) { return *slices[t]; }
+    mem::MemSystem &mem() { return *ms; }
+    EventQueue &eventQueue() { return eq; }
+    StatRegistry &stats() { return _stats; }
+    const SystemConfig &config() const { return cfg; }
+    unsigned numCores() const { return cfg.numCores; }
+    /** Total hardware threads (== numCores unless SMT is enabled). */
+    unsigned numThreads() const { return cfg.numThreads(); }
+
+    /** Latest finish tick over all cores (the parallel makespan). */
+    Tick makespan() const;
+
+    /** Fraction of sync operations handled in hardware [0, 1]. */
+    double hwCoverage() const;
+
+    /** Enable per-core operation tracing (see sim/trace.hh). */
+    void enableTracing();
+
+    /** Write all core timelines as Chrome trace-event JSON. */
+    void writeTrace(std::ostream &os) const;
+
+  private:
+    SystemConfig cfg;
+    EventQueue eq;
+    StatRegistry _stats;
+    std::unique_ptr<mem::MemSystem> ms;
+    std::vector<std::unique_ptr<cpu::Core>> cores;
+    std::vector<std::unique_ptr<msa::MsaSlice>> slices;
+    std::unique_ptr<cpu::SyncUnit> syncUnit;
+    msa::MsaClientHub *hub = nullptr; // owned via syncUnit when MSA
+};
+
+} // namespace sys
+} // namespace misar
+
+#endif // MISAR_SYSTEM_SYSTEM_HH

@@ -1,0 +1,312 @@
+#include "workload/app_catalog.hh"
+
+#include "sim/logging.hh"
+
+namespace misar {
+namespace workload {
+
+namespace {
+
+/**
+ * Build the catalog. Parameters encode each benchmark's published
+ * synchronization signature (see DESIGN.md §3): lock counts and
+ * affinity from the Splash-2/PARSEC characterization literature and
+ * the paper's own discussion (radiosity: frequent low-contention
+ * locks spread over threads; fluidanimate: many locks re-acquired by
+ * the same thread; streamcluster: barrier-dominated; raytrace: one
+ * hot lock; ocean: barrier phases; etc.). Sync-light benchmarks get
+ * mostly-compute signatures so the suite GeoMean stays honest.
+ */
+std::vector<AppSpec>
+buildCatalog()
+{
+    std::vector<AppSpec> v;
+    auto add = [&](AppSpec s) { v.push_back(std::move(s)); };
+
+    // ---------------- Splash-2 ----------------
+    {
+        AppSpec s;
+        s.name = "barnes";
+        s.iters = 40;
+        s.computePerIter = 900;
+        s.lockPoolSize = 128;
+        s.lockOpsPerIter = 3;
+        s.lockAffinity = 0.3;
+        s.csLen = 30;
+        s.barrierEvery = 10;
+        add(s);
+    }
+    {
+        AppSpec s;
+        s.name = "fmm";
+        s.iters = 40;
+        s.computePerIter = 1000;
+        s.lockPoolSize = 64;
+        s.lockOpsPerIter = 2;
+        s.lockAffinity = 0.4;
+        s.barrierEvery = 8;
+        add(s);
+    }
+    {
+        AppSpec s;
+        s.name = "ocean";
+        s.iters = 60;
+        s.computePerIter = 900;
+        s.barrierEvery = 1; // barrier phase per step
+        s.sharedMemOps = 4;
+        add(s);
+    }
+    {
+        AppSpec s;
+        s.name = "ocean-nc";
+        s.iters = 90;
+        s.computePerIter = 500;
+        s.barrierEvery = 1; // finer phases than contiguous ocean
+        s.sharedMemOps = 4;
+        add(s);
+    }
+    {
+        AppSpec s;
+        s.name = "radiosity";
+        s.iters = 60;
+        s.computePerIter = 300;
+        s.lockPoolSize = 512; // task queues + patch locks
+        s.lockOpsPerIter = 4;
+        s.lockAffinity = 0.2; // locks migrate between threads
+        s.csLen = 25;
+        s.barrierEvery = 30;
+        add(s);
+    }
+    {
+        AppSpec s;
+        s.name = "raytrace";
+        s.iters = 80;
+        s.computePerIter = 350;
+        s.lockPoolSize = 32;
+        s.lockOpsPerIter = 1;
+        s.lockAffinity = 0.1;
+        s.csLen = 20;
+        s.hotLockEvery = 1; // global ray-id / memory counter
+        add(s);
+    }
+    {
+        AppSpec s;
+        s.name = "volrend";
+        s.iters = 50;
+        s.computePerIter = 800;
+        s.lockPoolSize = 8;
+        s.lockOpsPerIter = 1;
+        s.hotLockEvery = 8;
+        s.barrierEvery = 16;
+        add(s);
+    }
+    {
+        AppSpec s;
+        s.name = "water-ns";
+        s.iters = 50;
+        s.computePerIter = 700;
+        s.lockPoolSize = 64;
+        s.lockOpsPerIter = 2;
+        s.lockAffinity = 0.5;
+        s.barrierEvery = 6;
+        add(s);
+    }
+    {
+        AppSpec s;
+        s.name = "water-sp";
+        s.iters = 60;
+        s.computePerIter = 500;
+        s.lockPoolSize = 64;
+        s.lockOpsPerIter = 2;
+        s.lockAffinity = 0.5;
+        s.csLen = 25;
+        s.barrierEvery = 4;
+        add(s);
+    }
+    {
+        AppSpec s;
+        s.name = "cholesky";
+        s.iters = 60;
+        s.computePerIter = 400;
+        s.lockPoolSize = 16; // task-queue locks
+        s.lockOpsPerIter = 2;
+        s.lockAffinity = 0.15;
+        s.csLen = 35;
+        s.hotLockEvery = 4;
+        add(s);
+    }
+    {
+        AppSpec s;
+        s.name = "fft";
+        s.iters = 30;
+        s.computePerIter = 2500;
+        s.barrierEvery = 10;
+        add(s);
+    }
+    {
+        AppSpec s;
+        s.name = "lu";
+        s.iters = 40;
+        s.computePerIter = 1800;
+        s.barrierEvery = 8;
+        add(s);
+    }
+    {
+        AppSpec s;
+        s.name = "lu-nc";
+        s.iters = 40;
+        s.computePerIter = 1500;
+        s.barrierEvery = 6;
+        add(s);
+    }
+    {
+        AppSpec s;
+        s.name = "radix";
+        s.iters = 30;
+        s.computePerIter = 2000;
+        s.barrierEvery = 6;
+        add(s);
+    }
+
+    // ---------------- PARSEC ----------------
+    {
+        AppSpec s;
+        s.name = "blackscholes";
+        s.iters = 30;
+        s.computePerIter = 3000;
+        s.barrierEvery = 30; // one barrier per run unit
+        add(s);
+    }
+    {
+        AppSpec s;
+        s.name = "bodytrack";
+        s.iters = 40;
+        s.computePerIter = 1200;
+        s.lockPoolSize = 16;
+        s.lockOpsPerIter = 1;
+        s.hotLockEvery = 4;
+        s.barrierEvery = 8;
+        add(s);
+    }
+    {
+        AppSpec s;
+        s.name = "canneal";
+        s.iters = 50;
+        s.computePerIter = 1000;
+        s.lockPoolSize = 256;
+        s.lockOpsPerIter = 2;
+        s.lockAffinity = 0.05;
+        s.csLen = 15;
+        add(s);
+    }
+    {
+        AppSpec s;
+        s.name = "dedup";
+        s.pipeline = true;
+        s.pipelineItems = 40;
+        s.computePerIter = 600;
+        add(s);
+    }
+    {
+        AppSpec s;
+        s.name = "facesim";
+        s.iters = 40;
+        s.computePerIter = 1500;
+        s.barrierEvery = 4;
+        add(s);
+    }
+    {
+        AppSpec s;
+        s.name = "ferret";
+        s.pipeline = true;
+        s.pipelineItems = 50;
+        s.computePerIter = 400;
+        add(s);
+    }
+    {
+        AppSpec s;
+        s.name = "fluidanimate";
+        s.iters = 50;
+        s.computePerIter = 700;
+        s.lockPoolSize = 1024; // per-cell locks
+        s.lockOpsPerIter = 8;
+        s.lockAffinity = 0.95; // same thread re-acquires its cells
+        s.csLen = 12;
+        s.barrierEvery = 10;
+        add(s);
+    }
+    {
+        AppSpec s;
+        s.name = "freqmine";
+        s.iters = 30;
+        s.computePerIter = 2500;
+        add(s);
+    }
+    {
+        AppSpec s;
+        s.name = "streamcluster";
+        s.iters = 120;
+        s.computePerIter = 300;
+        s.barrierEvery = 1; // barrier after every tiny phase
+        s.sharedMemOps = 1;
+        add(s);
+    }
+    {
+        AppSpec s;
+        s.name = "swaptions";
+        s.iters = 25;
+        s.computePerIter = 4000;
+        add(s);
+    }
+    {
+        AppSpec s;
+        s.name = "vips";
+        s.iters = 40;
+        s.computePerIter = 1500;
+        s.lockPoolSize = 8;
+        s.lockOpsPerIter = 1;
+        s.lockAffinity = 0.3;
+        add(s);
+    }
+    {
+        AppSpec s;
+        s.name = "x264";
+        s.pipeline = true;
+        s.pipelineItems = 35;
+        s.computePerIter = 800;
+        add(s);
+    }
+
+    return v;
+}
+
+} // namespace
+
+const std::vector<AppSpec> &
+appCatalog()
+{
+    static const std::vector<AppSpec> catalog = buildCatalog();
+    return catalog;
+}
+
+const AppSpec &
+appByName(const std::string &name)
+{
+    for (const AppSpec &s : appCatalog())
+        if (s.name == name)
+            return s;
+    fatal("unknown application '%s'", name.c_str());
+}
+
+const std::vector<std::string> &
+headlineApps()
+{
+    static const std::vector<std::string> apps = {
+        "radiosity", "raytrace",     "water-sp",     "ocean",
+        "ocean-nc",  "cholesky",     "fluidanimate", "streamcluster",
+    };
+    return apps;
+}
+
+} // namespace workload
+} // namespace misar

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Catalog of the 26 Splash-2 + PARSEC synchronization-signature
+ * workloads evaluated in the paper (§6.2).
+ */
+
+#ifndef MISAR_WORKLOAD_APP_CATALOG_HH
+#define MISAR_WORKLOAD_APP_CATALOG_HH
+
+#include <vector>
+
+#include "workload/synthetic_app.hh"
+
+namespace misar {
+namespace workload {
+
+/** All 26 benchmark signatures (Splash-2 first, then PARSEC). */
+const std::vector<AppSpec> &appCatalog();
+
+/** Lookup by name; fatal() if unknown. */
+const AppSpec &appByName(const std::string &name);
+
+/** The applications individually plotted in Figure 6 (>=4% ideal
+ *  benefit): radiosity, raytrace, water-sp, ocean, ocean-nc,
+ *  cholesky, fluidanimate, streamcluster. */
+const std::vector<std::string> &headlineApps();
+
+} // namespace workload
+} // namespace misar
+
+#endif // MISAR_WORKLOAD_APP_CATALOG_HH

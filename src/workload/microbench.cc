@@ -1,0 +1,252 @@
+#include "workload/microbench.hh"
+
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sync/sync_lib.hh"
+#include "system/system.hh"
+
+namespace misar {
+namespace workload {
+
+using cpu::ThreadApi;
+using cpu::ThreadTask;
+using sync::SyncLib;
+
+namespace {
+
+constexpr int warmup = 3;
+constexpr int measured = 20;
+constexpr Addr lockBase = 0x10000000;
+constexpr Addr theLock = 0x11000000;
+constexpr Addr theBarrier = 0x12000000;
+constexpr Addr theMutex = 0x13000000;
+constexpr Addr theCond = 0x13000040;
+constexpr Addr theFlag = 0x13000080;
+
+struct Accum
+{
+    double sum = 0;
+    std::uint64_t n = 0;
+
+    void
+    sample(double v)
+    {
+        sum += v;
+        ++n;
+    }
+
+    double mean() const { return n ? sum / n : 0; }
+};
+
+/** 1. Uncontended acquire: every core has a private lock. */
+ThreadTask
+noContentionBody(ThreadApi t, SyncLib *lib, Accum *acc, unsigned cores)
+{
+    // Stride by (cores+1) blocks so the private locks spread across
+    // home tiles instead of aliasing onto one MSA slice.
+    const Addr lock =
+        lockBase + static_cast<Addr>(t.id()) * (cores + 1) * blockBytes;
+    for (int i = 0; i < warmup + measured; ++i) {
+        Tick t0 = t.now();
+        co_await lib->mutexLock(t, lock);
+        if (i >= warmup)
+            acc->sample(static_cast<double>(t.now() - t0));
+        co_await t.compute(50);
+        co_await lib->mutexUnlock(t, lock);
+        co_await t.compute(50);
+    }
+}
+
+/** 2. High contention: all cores hammer one lock. */
+struct HandoffState
+{
+    Tick lastUnlockEnter = maxTick;
+    Accum acc;
+};
+
+ThreadTask
+handoffBody(ThreadApi t, SyncLib *lib, HandoffState *st, int iters)
+{
+    for (int i = 0; i < iters; ++i) {
+        co_await lib->mutexLock(t, theLock);
+        if (st->lastUnlockEnter != maxTick)
+            st->acc.sample(static_cast<double>(t.now() -
+                                               st->lastUnlockEnter));
+        co_await t.compute(50);
+        st->lastUnlockEnter = t.now();
+        co_await lib->mutexUnlock(t, theLock);
+        co_await t.compute(20);
+    }
+}
+
+/** 3. Barrier: last-arrival entry to last exit per episode. */
+struct BarrierState
+{
+    std::vector<Tick> lastArrive, lastExit;
+    std::vector<unsigned> exited;
+    Accum acc;
+};
+
+ThreadTask
+barrierBody(ThreadApi t, SyncLib *lib, BarrierState *st, unsigned goal,
+            int episodes, std::uint64_t seed)
+{
+    Rng rng(seed + t.id());
+    for (int e = 0; e < episodes; ++e) {
+        co_await t.compute(100 + rng.range(400));
+        Tick arrive = t.now();
+        st->lastArrive[e] = std::max(st->lastArrive[e], arrive);
+        co_await lib->barrierWait(t, theBarrier, goal);
+        st->lastExit[e] = std::max(st->lastExit[e], t.now());
+        if (++st->exited[e] == goal && e >= warmup)
+            st->acc.sample(static_cast<double>(st->lastExit[e] -
+                                               st->lastArrive[e]));
+    }
+}
+
+/** 4./5. Condition variables. */
+struct CondState
+{
+    Tick signalEnter = 0;
+    unsigned woken = 0;
+    Accum acc;
+};
+
+ThreadTask
+condWaiterBody(ThreadApi t, SyncLib *lib, CondState *st, unsigned waiters,
+               unsigned goal, int episodes, bool broadcast)
+{
+    for (int e = 1; e <= episodes; ++e) {
+        co_await lib->mutexLock(t, theMutex);
+        for (;;) {
+            std::uint64_t v = co_await t.read(theFlag);
+            if (static_cast<int>(v) >= e)
+                break;
+            co_await lib->condWait(t, theCond, theMutex);
+        }
+        // Count this waiter as released for episode e.
+        if (++st->woken == waiters) {
+            if (e > warmup)
+                st->acc.sample(static_cast<double>(t.now() -
+                                                   st->signalEnter));
+            st->woken = 0;
+        } else if (!broadcast && e > warmup) {
+            // Signal wakes exactly one; sample per wake.
+            st->acc.sample(static_cast<double>(t.now() - st->signalEnter));
+            st->woken = 0;
+        }
+        co_await lib->mutexUnlock(t, theMutex);
+        // Re-align before the next episode.
+        co_await lib->barrierWait(t, theBarrier, goal);
+    }
+}
+
+ThreadTask
+condSignalerBody(ThreadApi t, SyncLib *lib, CondState *st, unsigned goal,
+                 int episodes, bool broadcast)
+{
+    for (int e = 1; e <= episodes; ++e) {
+        co_await t.compute(800); // let waiters settle onto the cond var
+        co_await lib->mutexLock(t, theMutex);
+        co_await t.write(theFlag, e);
+        co_await lib->mutexUnlock(t, theMutex);
+        st->signalEnter = t.now();
+        if (broadcast)
+            co_await lib->condBroadcast(t, theCond);
+        else
+            co_await lib->condSignal(t, theCond);
+        co_await lib->barrierWait(t, theBarrier, goal);
+    }
+}
+
+} // namespace
+
+RawLatencies
+measureRawLatency(unsigned cores, sys::PaperConfig pc)
+{
+    return measureRawLatencyFlavor(cores, sys::flavorFor(pc),
+                                   sys::configFor(pc, cores).msa.mode,
+                                   sys::configFor(pc, cores).msa.msaEntries);
+}
+
+RawLatencies
+measureRawLatencyFlavor(unsigned cores, SyncLib::Flavor flavor,
+                        AccelMode mode, unsigned msa_entries)
+{
+    RawLatencies out;
+    auto make_cfg = [&] { return makeConfig(cores, mode, msa_entries); };
+
+    // 1. Uncontended lock acquire.
+    {
+        sys::System s(make_cfg());
+        SyncLib lib(flavor, cores);
+        Accum acc;
+        for (CoreId c = 0; c < cores; ++c)
+            s.start(c, noContentionBody(s.api(c), &lib, &acc, cores));
+        s.run(200000000ULL);
+        out.lockAcquire = acc.mean();
+    }
+
+    // 2. Contended lock handoff.
+    {
+        sys::System s(make_cfg());
+        SyncLib lib(flavor, cores);
+        HandoffState st;
+        for (CoreId c = 0; c < cores; ++c)
+            s.start(c, handoffBody(s.api(c), &lib, &st, 8));
+        s.run(200000000ULL);
+        out.lockHandoff = st.acc.mean();
+    }
+
+    // 3. Barrier handoff.
+    {
+        sys::System s(make_cfg());
+        SyncLib lib(flavor, cores);
+        BarrierState st;
+        const int episodes = warmup + measured;
+        st.lastArrive.assign(episodes, 0);
+        st.lastExit.assign(episodes, 0);
+        st.exited.assign(episodes, 0);
+        for (CoreId c = 0; c < cores; ++c)
+            s.start(c, barrierBody(s.api(c), &lib, &st, cores, episodes,
+                                   7));
+        s.run(200000000ULL);
+        out.barrierHandoff = st.acc.mean();
+    }
+
+    // 4. Cond signal: one waiter, one signaler.
+    {
+        sys::System s(make_cfg());
+        SyncLib lib(flavor, cores);
+        CondState st;
+        const int episodes = warmup + measured;
+        s.start(0, condWaiterBody(s.api(0), &lib, &st, 1, 2, episodes,
+                                  false));
+        s.start(1, condSignalerBody(s.api(1), &lib, &st, 2, episodes,
+                                    false));
+        s.run(200000000ULL);
+        out.condSignal = st.acc.mean();
+    }
+
+    // 5. Cond broadcast: all-but-one waiters.
+    {
+        sys::System s(make_cfg());
+        SyncLib lib(flavor, cores);
+        CondState st;
+        const int episodes = warmup + measured;
+        const unsigned waiters = cores - 1;
+        for (CoreId c = 0; c < waiters; ++c)
+            s.start(c, condWaiterBody(s.api(c), &lib, &st, waiters, cores,
+                                      episodes, true));
+        s.start(waiters, condSignalerBody(s.api(waiters), &lib, &st, cores,
+                                          episodes, true));
+        s.run(500000000ULL);
+        out.condBroadcast = st.acc.mean();
+    }
+
+    return out;
+}
+
+} // namespace workload
+} // namespace misar

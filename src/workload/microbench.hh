@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Raw synchronization latency microbenchmarks (paper §6.1, Fig 5).
+ */
+
+#ifndef MISAR_WORKLOAD_MICROBENCH_HH
+#define MISAR_WORKLOAD_MICROBENCH_HH
+
+#include "sync/sync_lib.hh"
+#include "system/presets.hh"
+
+namespace misar {
+namespace workload {
+
+/** Mean raw latencies, in cycles, per Figure 5's five groups. */
+struct RawLatencies
+{
+    double lockAcquire = 0;    ///< no contention, enter-to-exit lock()
+    double lockHandoff = 0;    ///< high contention, unlock() to next
+                               ///< lock() exit
+    double barrierHandoff = 0; ///< last arrival enters to all exited
+    double condSignal = 0;     ///< cond_signal() to released wait exit
+    double condBroadcast = 0;  ///< cond_broadcast() to last wait exit
+};
+
+/** Run all five microbenchmarks on @p cores under @p pc. */
+RawLatencies measureRawLatency(unsigned cores, sys::PaperConfig pc);
+
+/** Same, with an explicit library flavor and accelerator mode. */
+RawLatencies measureRawLatencyFlavor(unsigned cores,
+                                     sync::SyncLib::Flavor flavor,
+                                     AccelMode mode,
+                                     unsigned msa_entries = 2);
+
+} // namespace workload
+} // namespace misar
+
+#endif // MISAR_WORKLOAD_MICROBENCH_HH

@@ -1,0 +1,44 @@
+#include "workload/runner.hh"
+
+#include "sim/logging.hh"
+#include "system/system.hh"
+#include "workload/app_catalog.hh"
+
+namespace misar {
+namespace workload {
+
+RunResult
+runAppWithConfig(const AppSpec &spec, const SystemConfig &cfg,
+                 sync::SyncLib::Flavor flavor, std::uint64_t seed)
+{
+    sys::System s(cfg);
+    sync::SyncLib lib(flavor, cfg.numCores);
+    AppLayout layout;
+
+    for (CoreId c = 0; c < cfg.numCores; ++c)
+        s.start(c, appThread(s.api(c), spec, layout, &lib, cfg.numCores,
+                             seed));
+
+    RunResult r;
+    r.finished = s.run(2000000000ULL);
+    if (!r.finished)
+        warn("app %s did not finish on %s", spec.name.c_str(),
+             cfg.accelName().c_str());
+    r.makespan = s.makespan();
+    r.hwCoverage = s.hwCoverage();
+    r.hwOps = s.stats().counter("sync.hwOps").value();
+    r.swOps = s.stats().counter("sync.swOps").value();
+    r.silentLocks = s.stats().counter("sync.silentLocks").value();
+    return r;
+}
+
+RunResult
+runApp(const AppSpec &spec, unsigned cores, sys::PaperConfig pc,
+       std::uint64_t seed)
+{
+    return runAppWithConfig(spec, sys::configFor(pc, cores),
+                            sys::flavorFor(pc), seed);
+}
+
+} // namespace workload
+} // namespace misar

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Experiment runner: executes one application on one configuration
+ * and reports makespan, hardware coverage, and key statistics.
+ */
+
+#ifndef MISAR_WORKLOAD_RUNNER_HH
+#define MISAR_WORKLOAD_RUNNER_HH
+
+#include <string>
+
+#include "system/presets.hh"
+#include "workload/synthetic_app.hh"
+
+namespace misar {
+namespace workload {
+
+/** Result of one application run. */
+struct RunResult
+{
+    Tick makespan = 0;       ///< finish tick of the slowest thread
+    double hwCoverage = 0.0; ///< fraction of sync ops handled by MSA
+    std::uint64_t hwOps = 0;
+    std::uint64_t swOps = 0;
+    std::uint64_t silentLocks = 0;
+    bool finished = false;
+};
+
+/** Run @p spec on @p cores cores under configuration @p pc. */
+RunResult runApp(const AppSpec &spec, unsigned cores, sys::PaperConfig pc,
+                 std::uint64_t seed = 1);
+
+/** Same, but with an explicit SystemConfig (for ablations). */
+RunResult runAppWithConfig(const AppSpec &spec, const SystemConfig &cfg,
+                           sync::SyncLib::Flavor flavor,
+                           std::uint64_t seed = 1);
+
+} // namespace workload
+} // namespace misar
+
+#endif // MISAR_WORKLOAD_RUNNER_HH

@@ -1,0 +1,178 @@
+#include "workload/synthetic_app.hh"
+
+#include <algorithm>
+
+#include "sim/rng.hh"
+
+namespace misar {
+namespace workload {
+
+using cpu::SubTask;
+using cpu::ThreadApi;
+using cpu::ThreadTask;
+using sync::SyncLib;
+
+namespace {
+
+/** Mailbox layout of one producer/consumer pair. */
+struct Mailbox
+{
+    Addr mutex, condProd, condCons, slot;
+
+    Mailbox(const AppLayout &lay, unsigned pair)
+    {
+        const Addr base = lay.pipeBase + static_cast<Addr>(pair) * 4 * 64;
+        mutex = base;
+        condProd = base + 64;
+        condCons = base + 128;
+        slot = base + 192;
+    }
+};
+
+SubTask<>
+produceOne(ThreadApi t, SyncLib *lib, Mailbox mb, std::uint64_t item)
+{
+    co_await lib->mutexLock(t, mb.mutex);
+    for (;;) {
+        std::uint64_t v = co_await t.read(mb.slot);
+        if (v == 0)
+            break;
+        co_await lib->condWait(t, mb.condProd, mb.mutex);
+    }
+    co_await t.write(mb.slot, item);
+    co_await lib->condSignal(t, mb.condCons);
+    co_await lib->mutexUnlock(t, mb.mutex);
+}
+
+SubTask<std::uint64_t>
+consumeOne(ThreadApi t, SyncLib *lib, Mailbox mb)
+{
+    co_await lib->mutexLock(t, mb.mutex);
+    std::uint64_t v;
+    for (;;) {
+        v = co_await t.read(mb.slot);
+        if (v != 0)
+            break;
+        co_await lib->condWait(t, mb.condCons, mb.mutex);
+    }
+    co_await t.write(mb.slot, 0);
+    co_await lib->condSignal(t, mb.condProd);
+    co_await lib->mutexUnlock(t, mb.mutex);
+    co_return v;
+}
+
+} // namespace
+
+ThreadTask
+appThread(ThreadApi t, const AppSpec &spec_in, const AppLayout &lay_in,
+          SyncLib *lib, unsigned num_threads, std::uint64_t seed)
+{
+    // Copy parameters into the coroutine frame: callers' spec/layout
+    // may not outlive the whole run.
+    const AppSpec spec = spec_in;
+    const AppLayout lay = lay_in;
+
+    if (spec.pipeline) {
+        Rng rng(seed ^ (0x1234567ULL + t.id()));
+        const unsigned pairs = num_threads / 2;
+        const unsigned id = t.id() - lay.firstCore;
+        if (id >= pairs * 2) {
+            for (unsigned i = 0; i < spec.pipelineItems; ++i)
+                co_await t.compute(spec.computePerIter);
+            co_return;
+        }
+        const Mailbox mb(lay, id % pairs);
+        const bool is_producer = id < pairs;
+        for (unsigned i = 1; i <= spec.pipelineItems; ++i) {
+            if (is_producer) {
+                co_await t.compute(spec.computePerIter / 2 +
+                                   rng.range(spec.computePerIter + 1));
+                co_await produceOne(t, lib, mb, i);
+            } else {
+                co_await consumeOne(t, lib, mb);
+                co_await t.compute(spec.computePerIter / 2 +
+                                   rng.range(spec.computePerIter + 1));
+            }
+        }
+        co_return;
+    }
+
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + t.id() * 0x7f4a7c15ULL + 1);
+    const unsigned id = t.id() - lay.firstCore;
+
+    // Partition the lock pool for affinity-based selection.
+    const unsigned pool = std::max(1u, spec.lockPoolSize);
+    const unsigned per_thread = std::max(1u, pool / num_threads);
+    const unsigned part_start = (id * per_thread) % pool;
+
+    const Addr hot_lock = lay.lockBase - 0x1000;
+    const Addr data_base = lay.lockBase + static_cast<Addr>(pool) * 64;
+
+    // Startup: the main thread briefly locks a set of one-shot
+    // initialization locks (setting up shared structures) before the
+    // workers start — the usual init-then-spawn pattern. Randomly
+    // placed, so their home tiles follow a Poisson-like distribution:
+    // without the OMU they permanently capture most (not all) MSA
+    // entries, which is exactly the Figure 7 effect.
+    if (spec.initLocksPerThread) {
+        if (id == 0) {
+            const Addr init_base = lay.lockBase + 0x400000;
+            const unsigned n = spec.initLocksPerThread * num_threads;
+            for (unsigned k = 0; k < n; ++k) {
+                Addr l = init_base + rng.range(16 * n) * blockBytes;
+                co_await lib->mutexLock(t, l);
+                co_await t.compute(20);
+                co_await lib->mutexUnlock(t, l);
+            }
+        }
+        co_await lib->barrierWait(t, lay.barrierAddr, num_threads);
+    }
+
+    for (unsigned it = 0; it < spec.iters; ++it) {
+        // Local compute with jitter.
+        co_await t.compute(spec.computePerIter / 2 +
+                           rng.range(spec.computePerIter + 1));
+
+        // Background shared-memory traffic.
+        for (unsigned m = 0; m < spec.sharedMemOps; ++m) {
+            Addr a = lay.sharedBase +
+                     rng.range(lay.sharedBlocks) * blockBytes;
+            if (rng.range(2))
+                co_await t.read(a);
+            else
+                co_await t.write(a, it);
+        }
+
+        // Lock activity.
+        if (spec.lockPoolSize) {
+            for (unsigned j = 0; j < spec.lockOpsPerIter; ++j) {
+                unsigned idx;
+                if (rng.uniform() < spec.lockAffinity)
+                    idx = (part_start + rng.range(per_thread)) % pool;
+                else
+                    idx = static_cast<unsigned>(rng.range(pool));
+                const Addr lock = lay.lockBase + static_cast<Addr>(idx) * 64;
+                co_await lib->mutexLock(t, lock);
+                co_await t.compute(spec.csLen);
+                co_await t.write(data_base + static_cast<Addr>(idx) * 64,
+                                 it);
+                co_await lib->mutexUnlock(t, lock);
+            }
+        }
+
+        // Hot-lock contention (work-queue counter pattern).
+        if (spec.hotLockEvery && (it % spec.hotLockEvery) == 0) {
+            co_await lib->mutexLock(t, hot_lock);
+            co_await t.compute(spec.csLen);
+            co_await t.write(hot_lock + 8, it);
+            co_await lib->mutexUnlock(t, hot_lock);
+        }
+
+        // Barrier phases.
+        if (spec.barrierEvery && ((it + 1) % spec.barrierEvery) == 0)
+            co_await lib->barrierWait(t, lay.barrierAddr, num_threads);
+    }
+}
+
+} // namespace workload
+} // namespace misar

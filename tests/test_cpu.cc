@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for the coroutine thread-program machinery and core timing:
+ * compute timing, memory ops through the coroutine path, nested
+ * SubTask call chains, sync-instruction dispatch, and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "cpu/subtask.hh"
+#include "cpu/thread_api.hh"
+#include "mem/mem_system.hh"
+#include "sim/config.hh"
+
+namespace misar {
+namespace cpu {
+namespace {
+
+/** Sync unit stub: records calls, returns a canned result. */
+class StubSyncUnit : public SyncUnit
+{
+  public:
+    void
+    execute(CoreId core, const Op &op, Cb cb) override
+    {
+        calls.push_back({core, op.instr, op.addr});
+        cb(result);
+    }
+
+    struct Call
+    {
+        CoreId core;
+        SyncInstr instr;
+        Addr addr;
+    };
+    std::vector<Call> calls;
+    SyncResult result = SyncResult::Fail;
+};
+
+struct CpuFixture
+{
+    EventQueue eq;
+    SystemConfig cfg;
+    StatRegistry stats;
+    std::unique_ptr<mem::MemSystem> ms;
+    std::vector<std::unique_ptr<Core>> cores;
+    StubSyncUnit stub;
+
+    explicit CpuFixture(unsigned n = 16)
+    {
+        cfg = makeConfig(n, AccelMode::MsaOmu, 2);
+        ms = std::make_unique<mem::MemSystem>(eq, cfg, stats);
+        for (CoreId c = 0; c < n; ++c) {
+            cores.push_back(std::make_unique<Core>(eq, cfg.core, c,
+                                                   ms->l1(c), stats));
+            cores.back()->setSyncUnit(&stub);
+        }
+    }
+
+    ThreadApi api(CoreId c) { return ThreadApi(*cores[c]); }
+};
+
+ThreadTask
+computeBody(ThreadApi t, Tick cycles)
+{
+    co_await t.compute(cycles);
+}
+
+TEST(Cpu, ComputeTakesExactCycles)
+{
+    CpuFixture f;
+    f.cores[0]->start(computeBody(f.api(0), 123));
+    f.eq.run();
+    EXPECT_TRUE(f.cores[0]->finished());
+    EXPECT_EQ(f.cores[0]->finishTick(), 123u);
+}
+
+ThreadTask
+rmwBody(ThreadApi t, Addr a, std::uint64_t *out)
+{
+    std::uint64_t v = co_await t.read(a);
+    co_await t.write(a, v + 5);
+    *out = co_await t.read(a);
+}
+
+TEST(Cpu, MemoryOpsThroughCoroutine)
+{
+    CpuFixture f;
+    std::uint64_t out = 0;
+    f.ms->fmem().write(0x1000, 37);
+    f.cores[2]->start(rmwBody(f.api(2), 0x1000, &out));
+    f.eq.run();
+    EXPECT_EQ(out, 42u);
+}
+
+ThreadTask
+atomicBody(ThreadApi t, Addr a, int n)
+{
+    for (int i = 0; i < n; ++i)
+        co_await t.fetchAdd(a, 1);
+}
+
+TEST(Cpu, ConcurrentThreadsAtomicSum)
+{
+    CpuFixture f;
+    for (CoreId c = 0; c < 16; ++c)
+        f.cores[c]->start(atomicBody(f.api(c), 0x2000, 10));
+    ASSERT_TRUE(f.eq.run(10000000));
+    for (CoreId c = 0; c < 16; ++c)
+        EXPECT_TRUE(f.cores[c]->finished());
+    EXPECT_EQ(f.ms->fmem().read(0x2000), 160u);
+}
+
+SubTask<std::uint64_t>
+addSub(ThreadApi t, Addr a, std::uint64_t v)
+{
+    std::uint64_t old = co_await t.fetchAdd(a, v);
+    co_return old + v;
+}
+
+SubTask<std::uint64_t>
+doubleAdd(ThreadApi t, Addr a, std::uint64_t v)
+{
+    // Nested subtask calls.
+    co_await addSub(t, a, v);
+    std::uint64_t r = co_await addSub(t, a, v);
+    co_return r;
+}
+
+ThreadTask
+nestedBody(ThreadApi t, Addr a, std::uint64_t *out)
+{
+    *out = co_await doubleAdd(t, a, 3);
+}
+
+TEST(Cpu, NestedSubTasks)
+{
+    CpuFixture f;
+    std::uint64_t out = 0;
+    f.cores[1]->start(nestedBody(f.api(1), 0x3000, &out));
+    f.eq.run();
+    EXPECT_EQ(out, 6u);
+    EXPECT_EQ(f.ms->fmem().read(0x3000), 6u);
+}
+
+SubTask<int>
+recurse(ThreadApi t, int depth)
+{
+    if (depth == 0) {
+        co_await t.compute(1);
+        co_return 0;
+    }
+    int below = co_await recurse(t, depth - 1);
+    co_return below + 1;
+}
+
+ThreadTask
+deepBody(ThreadApi t, int *out)
+{
+    *out = co_await recurse(t, 500);
+}
+
+TEST(Cpu, DeepRecursionViaSymmetricTransfer)
+{
+    CpuFixture f;
+    int out = -1;
+    f.cores[0]->start(deepBody(f.api(0), &out));
+    f.eq.run();
+    EXPECT_EQ(out, 500);
+}
+
+ThreadTask
+syncBody(ThreadApi t, Addr a, SyncResult *out)
+{
+    std::uint64_t r = co_await t.lockInstr(a);
+    *out = toSyncResult(r);
+}
+
+TEST(Cpu, SyncInstrReachesUnitAndReturnsResult)
+{
+    CpuFixture f;
+    SyncResult out = SyncResult::Success;
+    f.stub.result = SyncResult::Fail;
+    f.cores[3]->start(syncBody(f.api(3), 0xabc0, &out));
+    f.eq.run();
+    EXPECT_EQ(out, SyncResult::Fail);
+    ASSERT_EQ(f.stub.calls.size(), 1u);
+    EXPECT_EQ(f.stub.calls[0].core, 3u);
+    EXPECT_EQ(f.stub.calls[0].instr, SyncInstr::Lock);
+    EXPECT_EQ(f.stub.calls[0].addr, 0xabc0u);
+}
+
+TEST(Cpu, SyncInstrChargesFenceLatency)
+{
+    CpuFixture f;
+    SyncResult out = SyncResult::Success;
+    f.cores[0]->start(syncBody(f.api(0), 0x10, &out));
+    f.eq.run();
+    EXPECT_GE(f.cores[0]->finishTick(), f.cfg.core.syncFenceLatency);
+}
+
+ThreadTask
+allInstrBody(ThreadApi t)
+{
+    co_await t.lockInstr(0x100);
+    co_await t.unlockInstr(0x100);
+    co_await t.barrierInstr(0x200, 16);
+    co_await t.condWaitInstr(0x300, 0x100);
+    co_await t.condSignalInstr(0x300);
+    co_await t.condBcastInstr(0x300);
+    co_await t.finishInstr(0x300);
+}
+
+TEST(Cpu, AllSevenSyncInstructionsDispatch)
+{
+    CpuFixture f;
+    f.cores[0]->start(allInstrBody(f.api(0)));
+    f.eq.run();
+    ASSERT_EQ(f.stub.calls.size(), 7u);
+    EXPECT_EQ(f.stub.calls[0].instr, SyncInstr::Lock);
+    EXPECT_EQ(f.stub.calls[1].instr, SyncInstr::Unlock);
+    EXPECT_EQ(f.stub.calls[2].instr, SyncInstr::Barrier);
+    EXPECT_EQ(f.stub.calls[3].instr, SyncInstr::CondWait);
+    EXPECT_EQ(f.stub.calls[4].instr, SyncInstr::CondSignal);
+    EXPECT_EQ(f.stub.calls[5].instr, SyncInstr::CondBcast);
+    EXPECT_EQ(f.stub.calls[6].instr, SyncInstr::Finish);
+}
+
+TEST(Cpu, DeterministicAcrossRuns)
+{
+    Tick first = 0;
+    for (int run = 0; run < 2; ++run) {
+        CpuFixture f;
+        for (CoreId c = 0; c < 16; ++c)
+            f.cores[c]->start(atomicBody(f.api(c), 0x9000, 20));
+        f.eq.run();
+        if (run == 0)
+            first = f.eq.now();
+        else
+            EXPECT_EQ(f.eq.now(), first);
+    }
+}
+
+TEST(Cpu, StatsCountOps)
+{
+    CpuFixture f;
+    std::uint64_t out;
+    f.cores[0]->start(rmwBody(f.api(0), 0x100, &out));
+    f.eq.run();
+    EXPECT_EQ(f.stats.counter("core0.loads").value(), 2u);
+    EXPECT_EQ(f.stats.counter("core0.stores").value(), 1u);
+}
+
+} // namespace
+} // namespace cpu
+} // namespace misar

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Failure-injection tests: random OS timer interrupts delivered
+ * while applications run. Every suspension path (lock requeue,
+ * barrier force-to-software, cond-var abort with spurious wakeup)
+ * must preserve correctness: mutual exclusion, barrier epoch
+ * alignment, no lost wakeups, and OMU balance at quiescence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sync/sync_lib.hh"
+#include "system/interrupt_driver.hh"
+#include "system/system.hh"
+#include "workload/app_catalog.hh"
+#include "workload/synthetic_app.hh"
+
+namespace misar {
+namespace sys {
+namespace {
+
+using cpu::ThreadApi;
+using cpu::ThreadTask;
+
+struct Shared
+{
+    int inCs = 0;
+    int maxInCs = 0;
+    std::uint64_t counter = 0;
+    std::vector<unsigned> epoch;
+};
+
+ThreadTask
+mixedWorker(ThreadApi t, sync::SyncLib *lib, Shared *sh, unsigned threads,
+            int iters)
+{
+    for (int i = 0; i < iters; ++i) {
+        co_await lib->mutexLock(t, 0x1000);
+        sh->inCs++;
+        sh->maxInCs = std::max(sh->maxInCs, sh->inCs);
+        co_await t.compute(40);
+        sh->counter++;
+        sh->inCs--;
+        co_await lib->mutexUnlock(t, 0x1000);
+        co_await t.compute(60);
+        if (i % 3 == 2) {
+            co_await lib->barrierWait(t, 0x2000, threads);
+            sh->epoch[t.id()]++;
+        }
+    }
+}
+
+class InterruptStressTest : public ::testing::TestWithParam<Tick>
+{};
+
+TEST_P(InterruptStressTest, InvariantsHoldUnderRandomInterrupts)
+{
+    SystemConfig cfg = makeConfig(16, AccelMode::MsaOmu, 2);
+    System s(cfg);
+    sync::SyncLib lib(sync::SyncLib::Flavor::Hw, 16);
+    Shared sh;
+    sh.epoch.assign(16, 0);
+    const int iters = 9;
+    for (CoreId c = 0; c < 16; ++c)
+        s.start(c, mixedWorker(s.api(c), &lib, &sh, 16, iters));
+    InterruptDriver irq(s, GetParam(), 99);
+    ASSERT_TRUE(s.run(100000000));
+    EXPECT_EQ(sh.maxInCs, 1) << "mutual exclusion violated";
+    EXPECT_EQ(sh.counter, 16u * iters);
+    for (unsigned e : sh.epoch)
+        EXPECT_EQ(e, 3u);
+    // Interrupt pressure actually exercised the suspend paths.
+    if (GetParam() <= 500)
+        EXPECT_GT(s.stats().counter("sync.suspends").value(), 0u);
+    // OMU balance at quiescence.
+    EXPECT_EQ(s.msaSlice(mem::homeTile(0x1000, 16)).omu().count(0x1000),
+              0u);
+    EXPECT_EQ(s.msaSlice(mem::homeTile(0x2000, 16)).omu().count(0x2000),
+              0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, InterruptStressTest,
+                         ::testing::Values<Tick>(200, 500, 2000, 10000));
+
+TEST(InterruptApps, SyntheticAppsSurviveInterrupts)
+{
+    for (const char *name : {"radiosity", "streamcluster", "dedup"}) {
+        const workload::AppSpec &spec = workload::appByName(name);
+        SystemConfig cfg = makeConfig(16, AccelMode::MsaOmu, 2);
+        System s(cfg);
+        sync::SyncLib lib(sync::SyncLib::Flavor::Hw, 16);
+        workload::AppLayout lay;
+        for (CoreId c = 0; c < 16; ++c)
+            s.start(c, workload::appThread(s.api(c), spec, lay, &lib, 16,
+                                           3));
+        InterruptDriver irq(s, 1500, 42);
+        EXPECT_TRUE(s.run(2000000000ULL)) << name;
+    }
+}
+
+TEST(InterruptApps, DeterministicWithSameSeed)
+{
+    Tick first = 0;
+    for (int run = 0; run < 2; ++run) {
+        SystemConfig cfg = makeConfig(16, AccelMode::MsaOmu, 2);
+        System s(cfg);
+        sync::SyncLib lib(sync::SyncLib::Flavor::Hw, 16);
+        Shared sh;
+        sh.epoch.assign(16, 0);
+        for (CoreId c = 0; c < 16; ++c)
+            s.start(c, mixedWorker(s.api(c), &lib, &sh, 16, 6));
+        InterruptDriver irq(s, 700, 1234);
+        ASSERT_TRUE(s.run(100000000));
+        if (run == 0)
+            first = s.makespan();
+        else
+            EXPECT_EQ(s.makespan(), first);
+    }
+}
+
+TEST(Multiprogram, TwoAppsCoRunCorrectly)
+{
+    const workload::AppSpec &a = workload::appByName("water-sp");
+    const workload::AppSpec &b = workload::appByName("cholesky");
+    SystemConfig cfg = makeConfig(16, AccelMode::MsaOmu, 2);
+    System s(cfg);
+    sync::SyncLib lib(sync::SyncLib::Flavor::Hw, 16);
+    workload::AppLayout la;
+    workload::AppLayout lb;
+    lb.relocate(1);
+    lb.firstCore = 8;
+    for (CoreId c = 0; c < 8; ++c)
+        s.start(c, workload::appThread(s.api(c), a, la, &lib, 8, 1));
+    for (CoreId c = 8; c < 16; ++c)
+        s.start(c, workload::appThread(s.api(c), b, lb, &lib, 8, 2));
+    EXPECT_TRUE(s.run(2000000000ULL));
+}
+
+} // namespace
+} // namespace sys
+} // namespace misar

@@ -1,0 +1,454 @@
+/**
+ * @file
+ * Unit and property tests for the coherent memory hierarchy:
+ * read/write/atomic correctness, MESI state transitions, ping-pong
+ * timing, eviction behaviour, InstallE push, and randomized
+ * coherence stress with a sequential reference model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "mem/mem_system.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+namespace misar {
+namespace mem {
+namespace {
+
+struct MemFixture
+{
+    EventQueue eq;
+    SystemConfig cfg;
+    StatRegistry stats;
+    std::unique_ptr<MemSystem> ms;
+
+    explicit MemFixture(unsigned cores = 16)
+    {
+        cfg = makeConfig(cores, AccelMode::MsaOmu, 2);
+        ms = std::make_unique<MemSystem>(eq, cfg, stats);
+    }
+
+    /** Blocking-style read: run the sim until the access completes. */
+    std::uint64_t
+    read(CoreId c, Addr a)
+    {
+        std::uint64_t v = 0;
+        bool done = false;
+        ms->l1(c).read(a, [&](std::uint64_t r) {
+            v = r;
+            done = true;
+        });
+        eq.run();
+        EXPECT_TRUE(done);
+        return v;
+    }
+
+    std::uint64_t
+    write(CoreId c, Addr a, std::uint64_t v)
+    {
+        std::uint64_t old = 0;
+        bool done = false;
+        ms->l1(c).write(a, v, [&](std::uint64_t r) {
+            old = r;
+            done = true;
+        });
+        eq.run();
+        EXPECT_TRUE(done);
+        return old;
+    }
+
+    std::uint64_t
+    atomic(CoreId c, Addr a, AtomicOp op, std::uint64_t o1,
+           std::uint64_t o2 = 0)
+    {
+        std::uint64_t old = 0;
+        bool done = false;
+        ms->l1(c).atomic(a, op, o1, o2, [&](std::uint64_t r) {
+            old = r;
+            done = true;
+        });
+        eq.run();
+        EXPECT_TRUE(done);
+        return old;
+    }
+};
+
+TEST(Mem, ReadReturnsZeroInitially)
+{
+    MemFixture f;
+    EXPECT_EQ(f.read(0, 0x1000), 0u);
+}
+
+TEST(Mem, WriteThenReadSameCore)
+{
+    MemFixture f;
+    f.write(3, 0x1000, 77);
+    EXPECT_EQ(f.read(3, 0x1000), 77u);
+}
+
+TEST(Mem, WriteThenReadOtherCore)
+{
+    MemFixture f;
+    f.write(0, 0x2000, 123);
+    EXPECT_EQ(f.read(15, 0x2000), 123u);
+}
+
+TEST(Mem, FirstReadGetsExclusive)
+{
+    MemFixture f;
+    f.read(2, 0x3000);
+    EXPECT_EQ(f.ms->l1(2).state(0x3000), L1State::Exclusive);
+    EXPECT_TRUE(f.ms->homeOf(blockAlign(0x3000)).isOwner(blockAlign(0x3000),
+                                                         2));
+}
+
+TEST(Mem, SecondReaderDowngradesToShared)
+{
+    MemFixture f;
+    f.read(2, 0x3000);
+    f.read(5, 0x3000);
+    EXPECT_EQ(f.ms->l1(2).state(0x3000), L1State::Shared);
+    EXPECT_EQ(f.ms->l1(5).state(0x3000), L1State::Shared);
+}
+
+TEST(Mem, WriterInvalidatesSharers)
+{
+    MemFixture f;
+    f.read(1, 0x4000);
+    f.read(2, 0x4000);
+    f.read(3, 0x4000);
+    f.write(4, 0x4000, 9);
+    EXPECT_EQ(f.ms->l1(1).state(0x4000), L1State::Invalid);
+    EXPECT_EQ(f.ms->l1(2).state(0x4000), L1State::Invalid);
+    EXPECT_EQ(f.ms->l1(3).state(0x4000), L1State::Invalid);
+    EXPECT_EQ(f.ms->l1(4).state(0x4000), L1State::Modified);
+    EXPECT_EQ(f.read(1, 0x4000), 9u);
+}
+
+TEST(Mem, SilentEUpgrade)
+{
+    MemFixture f;
+    f.read(6, 0x5000); // E
+    std::uint64_t hits_before =
+        f.stats.counter("tile6.l1.hits").value();
+    f.write(6, 0x5000, 1); // silent E->M, must be a hit
+    EXPECT_EQ(f.stats.counter("tile6.l1.hits").value(), hits_before + 1);
+    EXPECT_EQ(f.ms->l1(6).state(0x5000), L1State::Modified);
+}
+
+TEST(Mem, UpgradeFromShared)
+{
+    MemFixture f;
+    f.read(1, 0x6000);
+    f.read(2, 0x6000); // both S
+    f.write(1, 0x6000, 5); // upgrade, invalidates 2
+    EXPECT_EQ(f.ms->l1(1).state(0x6000), L1State::Modified);
+    EXPECT_EQ(f.ms->l1(2).state(0x6000), L1State::Invalid);
+    EXPECT_EQ(f.read(2, 0x6000), 5u);
+}
+
+TEST(Mem, AtomicTestAndSet)
+{
+    MemFixture f;
+    EXPECT_EQ(f.atomic(0, 0x7000, AtomicOp::TestAndSet, 0), 0u);
+    EXPECT_EQ(f.atomic(1, 0x7000, AtomicOp::TestAndSet, 0), 1u);
+    EXPECT_EQ(f.read(2, 0x7000), 1u);
+}
+
+TEST(Mem, AtomicFetchAdd)
+{
+    MemFixture f;
+    for (CoreId c = 0; c < 16; ++c)
+        f.atomic(c, 0x8000, AtomicOp::FetchAdd, 1);
+    EXPECT_EQ(f.read(0, 0x8000), 16u);
+}
+
+TEST(Mem, AtomicCompareSwap)
+{
+    MemFixture f;
+    EXPECT_EQ(f.atomic(0, 0x9000, AtomicOp::CompareSwap, 0, 42), 0u);
+    EXPECT_EQ(f.read(1, 0x9000), 42u);
+    // Failing CAS leaves the value alone.
+    EXPECT_EQ(f.atomic(2, 0x9000, AtomicOp::CompareSwap, 0, 99), 42u);
+    EXPECT_EQ(f.read(3, 0x9000), 42u);
+}
+
+TEST(Mem, AtomicSwap)
+{
+    MemFixture f;
+    f.write(0, 0xa000, 7);
+    EXPECT_EQ(f.atomic(1, 0xa000, AtomicOp::Swap, 13), 7u);
+    EXPECT_EQ(f.read(2, 0xa000), 13u);
+}
+
+TEST(Mem, RemoteAccessSlowerThanLocalHit)
+{
+    MemFixture f;
+    f.write(0, 0xb000, 1); // core 0 now has M
+    Tick t0 = f.eq.now();
+    f.read(0, 0xb000); // local L1 hit
+    Tick local = f.eq.now() - t0;
+    t0 = f.eq.now();
+    f.read(9, 0xb000); // remote: home + fwd + transfer
+    Tick remote = f.eq.now() - t0;
+    EXPECT_GT(remote, local * 4);
+}
+
+TEST(Mem, PingPongCostStaysBounded)
+{
+    // Alternating writers: every write is a full coherence round trip.
+    MemFixture f;
+    Tick t0 = f.eq.now();
+    for (int i = 0; i < 10; ++i) {
+        f.write(0, 0xc000, i);
+        f.write(15, 0xc000, i);
+    }
+    Tick total = f.eq.now() - t0;
+    EXPECT_GT(total, 20u * 20u);   // each hop chain costs real cycles
+    EXPECT_LT(total, 20u * 2000u); // but must not blow up
+}
+
+TEST(Mem, EvictionWritebackPreservesData)
+{
+    MemFixture f;
+    // Fill one L1 set beyond capacity with dirty lines. Set index is
+    // (block/64) & 127, so stride 64*128 = 8192 keeps one set.
+    const unsigned ways = f.cfg.mem.l1Ways;
+    for (unsigned i = 0; i <= ways; ++i)
+        f.write(0, 0x10000 + static_cast<Addr>(i) * 64 * 128, 100 + i);
+    EXPECT_GT(f.stats.counter("tile0.l1.evictions").value(), 0u);
+    for (unsigned i = 0; i <= ways; ++i)
+        EXPECT_EQ(f.read(1, 0x10000 + static_cast<Addr>(i) * 64 * 128),
+                  100u + i);
+}
+
+TEST(Mem, ReacquireAfterEvictionStaleRegrant)
+{
+    // Evict an M line, then immediately re-read it from the same
+    // core: the home may see the Get before the Put (different
+    // vnets) and must re-grant without corrupting state.
+    MemFixture f;
+    const unsigned ways = f.cfg.mem.l1Ways;
+    f.write(0, 0x20000, 55);
+    for (unsigned i = 1; i <= ways; ++i)
+        f.write(0, 0x20000 + static_cast<Addr>(i) * 64 * 128, i);
+    EXPECT_EQ(f.ms->l1(0).state(0x20000), L1State::Invalid);
+    EXPECT_EQ(f.read(0, 0x20000), 55u);
+    // Another core must still be able to take the line.
+    EXPECT_EQ(f.read(5, 0x20000), 55u);
+    f.write(5, 0x20000, 56);
+    EXPECT_EQ(f.read(0, 0x20000), 56u);
+}
+
+TEST(Mem, InstallEPushSetsHwSync)
+{
+    MemFixture f;
+    const Addr block = blockAlign(0xd000);
+    bool done = false;
+    f.ms->homeOf(block).grantExclusive(block, 7, true, [&] { done = true; });
+    f.eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(f.ms->l1(7).state(block), L1State::Exclusive);
+    EXPECT_TRUE(f.ms->l1(7).hasWritableHwSync(block));
+}
+
+TEST(Mem, InstallEInvalidatesOthers)
+{
+    MemFixture f;
+    const Addr block = blockAlign(0xd000);
+    f.read(1, block);
+    f.read(2, block);
+    f.ms->homeOf(block).grantExclusive(block, 3, true, [] {});
+    f.eq.run();
+    EXPECT_EQ(f.ms->l1(1).state(block), L1State::Invalid);
+    EXPECT_EQ(f.ms->l1(2).state(block), L1State::Invalid);
+    EXPECT_TRUE(f.ms->l1(3).hasWritableHwSync(block));
+}
+
+TEST(Mem, HwSyncClearedOnInvalidation)
+{
+    MemFixture f;
+    const Addr block = blockAlign(0xe000);
+    f.ms->homeOf(block).grantExclusive(block, 4, true, [] {});
+    f.eq.run();
+    EXPECT_TRUE(f.ms->l1(4).hasWritableHwSync(block));
+    f.write(5, block, 1); // invalidates core 4's copy
+    EXPECT_FALSE(f.ms->l1(4).hasWritableHwSync(block));
+}
+
+TEST(Mem, HwSyncClearedOnDowngrade)
+{
+    MemFixture f;
+    const Addr block = blockAlign(0xf000);
+    f.ms->homeOf(block).grantExclusive(block, 4, true, [] {});
+    f.eq.run();
+    f.read(5, block); // downgrades core 4 to S
+    EXPECT_FALSE(f.ms->l1(4).hasWritableHwSync(block));
+    EXPECT_EQ(f.ms->l1(4).state(block), L1State::Shared);
+}
+
+TEST(Mem, NormalReadDoesNotSetHwSync)
+{
+    MemFixture f;
+    f.write(4, 0x11000, 1);
+    EXPECT_FALSE(f.ms->l1(4).hasWritableHwSync(0x11000));
+}
+
+TEST(Mem, ConcurrentAtomicsSerialize)
+{
+    // Fire all cores' fetch-adds simultaneously; the blocking
+    // directory must serialize them so none is lost.
+    MemFixture f;
+    unsigned done = 0;
+    for (CoreId c = 0; c < 16; ++c)
+        f.ms->l1(c).atomic(0x12000, AtomicOp::FetchAdd, 1, 0,
+                           [&](std::uint64_t) { ++done; });
+    ASSERT_TRUE(f.eq.run(1000000));
+    EXPECT_EQ(done, 16u);
+    EXPECT_EQ(f.read(0, 0x12000), 16u);
+}
+
+TEST(Mem, ConcurrentTestAndSetExactlyOneWinner)
+{
+    MemFixture f;
+    unsigned winners = 0, done = 0;
+    for (CoreId c = 0; c < 16; ++c)
+        f.ms->l1(c).atomic(0x13000, AtomicOp::TestAndSet, 0, 0,
+                           [&](std::uint64_t old) {
+            if (old == 0)
+                ++winners;
+            ++done;
+        });
+    ASSERT_TRUE(f.eq.run(1000000));
+    EXPECT_EQ(done, 16u);
+    EXPECT_EQ(winners, 1u);
+}
+
+TEST(Mem, LlcSetEvictionAndRefetch)
+{
+    // Overflow one LLC set with read-shared blocks: the LRU victim is
+    // back-invalidated from sharers and refetching it pays DRAM again.
+    MemFixture f;
+    f.cfg.mem.llcSliceSets = 4; // tiny LLC: 4 sets x 8 ways per slice
+    f.ms = std::make_unique<MemSystem>(f.eq, f.cfg, f.stats);
+    // Blocks homed on tile 0 mapping to set 0 of its slice:
+    // line = k * 16 * 4 (16 tiles, 4 sets).
+    auto blk = [](unsigned k) { return static_cast<Addr>(k) * 16 * 4 * 64; };
+    for (unsigned k = 0; k < 12; ++k) {
+        f.write(1, blk(k), 100 + k);
+        f.read(2, blk(k)); // downgrade to Shared so it is evictable
+    }
+    EXPECT_GT(f.stats.counter("tile0.llc.llcEvictions").value(), 0u);
+    // Values survive eviction (memory is the backing store).
+    for (unsigned k = 0; k < 12; ++k)
+        EXPECT_EQ(f.read(3, blk(k)), 100u + k);
+    EXPECT_GT(f.stats.sumCounters("tile"), 0u);
+}
+
+TEST(Mem, LlcNeverEvictsOwnedLines)
+{
+    MemFixture f;
+    f.cfg.mem.llcSliceSets = 4;
+    f.ms = std::make_unique<MemSystem>(f.eq, f.cfg, f.stats);
+    auto blk = [](unsigned k) { return static_cast<Addr>(k) * 16 * 4 * 64; };
+    // 12 owned (Modified) lines in a 8-way set: must overflow, not
+    // evict, and all values must remain exact.
+    for (unsigned k = 0; k < 12; ++k)
+        f.write(static_cast<CoreId>(k % 8), blk(k), 200 + k);
+    EXPECT_GT(f.stats.counter("tile0.llc.setOverflows").value(), 0u);
+    for (unsigned k = 0; k < 12; ++k)
+        EXPECT_EQ(f.read(15, blk(k)), 200u + k);
+}
+
+// Property test: random single-word operations from random cores,
+// executed one at a time, must match a sequential reference model.
+class MemRandomTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(MemRandomTest, MatchesSequentialReference)
+{
+    MemFixture f;
+    Rng rng(GetParam());
+    std::map<Addr, std::uint64_t> ref;
+    const std::vector<Addr> addrs = {0x1000, 0x1008, 0x2000, 0x40000,
+                                     0x40040, 0x80000};
+    for (int i = 0; i < 400; ++i) {
+        CoreId c = static_cast<CoreId>(rng.range(16));
+        Addr a = addrs[rng.range(addrs.size())];
+        switch (rng.range(4)) {
+          case 0:
+            EXPECT_EQ(f.read(c, a), ref[a]);
+            break;
+          case 1: {
+            std::uint64_t v = rng.next() & 0xffff;
+            f.write(c, a, v);
+            ref[a] = v;
+            break;
+          }
+          case 2: {
+            EXPECT_EQ(f.atomic(c, a, AtomicOp::FetchAdd, 3), ref[a]);
+            ref[a] += 3;
+            break;
+          }
+          case 3: {
+            std::uint64_t expect = rng.range(2) ? ref[a] : ref[a] + 1;
+            EXPECT_EQ(f.atomic(c, a, AtomicOp::CompareSwap, expect, 7),
+                      ref[a]);
+            if (ref[a] == expect)
+                ref[a] = 7;
+            break;
+          }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemRandomTest,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1234u));
+
+// Property test: concurrent random traffic; only atomics, whose sum
+// is checked at the end (linearizability of fetch-add).
+class MemConcurrentTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(MemConcurrentTest, FetchAddNeverLosesUpdates)
+{
+    MemFixture f(16);
+    Rng rng(GetParam());
+    const std::vector<Addr> addrs = {0x1000, 0x2000, 0x3000};
+    std::map<Addr, std::uint64_t> expect;
+    unsigned done = 0, issued = 0;
+
+    // Each core issues a chain of 30 random fetch-adds.
+    std::function<void(CoreId, int)> issue = [&](CoreId c, int left) {
+        if (left == 0)
+            return;
+        Addr a = addrs[rng.range(addrs.size())];
+        ++expect[a];
+        ++issued;
+        f.ms->l1(c).atomic(a, AtomicOp::FetchAdd, 1, 0,
+                           [&, c, left](std::uint64_t) {
+            ++done;
+            issue(c, left - 1);
+        });
+    };
+    for (CoreId c = 0; c < 16; ++c)
+        issue(c, 30);
+    ASSERT_TRUE(f.eq.run(10000000));
+    EXPECT_EQ(done, issued);
+    for (auto &[a, cnt] : expect)
+        EXPECT_EQ(f.read(0, a), cnt) << "addr " << std::hex << a;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemConcurrentTest,
+                         ::testing::Values(7u, 99u, 555u));
+
+} // namespace
+} // namespace mem
+} // namespace misar

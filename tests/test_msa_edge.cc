@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Edge-case and adversarial tests for the MSA/OMU protocol: silent-
+ * hold snoop deferral vs hardware grants and software test-and-set,
+ * fire-and-forget unlock ordering, migrated unlocks, cond-var
+ * suspension, OMU aliasing, tombstones, and randomized mixed stress
+ * with mutual-exclusion checking.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/subtask.hh"
+#include "cpu/thread_api.hh"
+#include "sim/rng.hh"
+#include "sync/sync_lib.hh"
+#include "system/system.hh"
+
+namespace misar {
+namespace msa {
+namespace {
+
+using cpu::SyncResult;
+using cpu::ThreadApi;
+using cpu::ThreadTask;
+using cpu::toSyncResult;
+
+SystemConfig
+cfgOf(unsigned cores, unsigned entries, bool hwsync = true)
+{
+    SystemConfig cfg = makeConfig(cores, AccelMode::MsaOmu, entries);
+    cfg.msa.hwSyncBitOpt = hwsync;
+    return cfg;
+}
+
+struct CsCheck
+{
+    int inCs = 0;
+    int maxInCs = 0;
+    std::uint64_t entries = 0;
+};
+
+/** Acquire via raw instructions with software fallback, check CS. */
+cpu::SubTask<>
+checkedCs(ThreadApi t, sync::SyncLib *lib, Addr lock, CsCheck *cs,
+          Tick hold)
+{
+    co_await lib->mutexLock(t, lock);
+    cs->inCs++;
+    cs->maxInCs = std::max(cs->maxInCs, cs->inCs);
+    cs->entries++;
+    co_await t.compute(hold);
+    cs->inCs--;
+    co_await lib->mutexUnlock(t, lock);
+}
+
+// --- Silent-hold deferral ---------------------------------------------------
+
+TEST(MsaDeferral, SilentHoldBlocksHardwareGrant)
+{
+    // Core 0 silently holds; core 1's hardware grant must not
+    // complete until core 0 releases.
+    sys::System s(cfgOf(16, 2));
+    std::vector<Tick> events;
+    auto holder = [](ThreadApi t, Addr l,
+                     std::vector<Tick> *ev) -> ThreadTask {
+        co_await t.lockInstr(l);
+        co_await t.unlockInstr(l);
+        co_await t.compute(20);
+        co_await t.lockInstr(l); // silent
+        co_await t.compute(4000);
+        ev->push_back(t.now()); // release time
+        co_await t.unlockInstr(l);
+    };
+    auto contender = [](ThreadApi t, Addr l,
+                        std::vector<Tick> *ev) -> ThreadTask {
+        co_await t.compute(500);
+        co_await t.lockInstr(l);
+        ev->push_back(t.now()); // grant time
+        co_await t.unlockInstr(l);
+    };
+    std::vector<Tick> rel, grant;
+    s.start(0, holder(s.api(0), 0x4000, &rel));
+    s.start(1, contender(s.api(1), 0x4000, &grant));
+    ASSERT_TRUE(s.run(1000000));
+    ASSERT_EQ(rel.size(), 1u);
+    ASSERT_EQ(grant.size(), 1u);
+    EXPECT_GT(grant[0], rel[0]) << "grant completed during silent hold";
+}
+
+TEST(MsaDeferral, SilentHoldBlocksSoftwareTas)
+{
+    // Core 1's raw atomic on the lock word must serialize after core
+    // 0's silent critical section (the L1 defers the invalidation).
+    sys::System s(cfgOf(16, 2));
+    std::vector<Tick> rel, tas;
+    auto holder = [](ThreadApi t, Addr l,
+                     std::vector<Tick> *ev) -> ThreadTask {
+        co_await t.lockInstr(l);
+        co_await t.unlockInstr(l);
+        co_await t.compute(20);
+        co_await t.lockInstr(l); // silent
+        co_await t.compute(3000);
+        ev->push_back(t.now());
+        co_await t.unlockInstr(l);
+    };
+    auto sw = [](ThreadApi t, Addr l, std::vector<Tick> *ev) -> ThreadTask {
+        co_await t.compute(500);
+        co_await t.testAndSet(l); // software-style access to the word
+        ev->push_back(t.now());
+    };
+    s.start(0, holder(s.api(0), 0x4000, &rel));
+    s.start(1, sw(s.api(1), 0x4000, &tas));
+    ASSERT_TRUE(s.run(1000000));
+    EXPECT_GT(tas[0], rel[0]) << "TAS completed during silent hold";
+}
+
+TEST(MsaDeferral, SilentLockLineNeverEvicted)
+{
+    // Pressure the set containing a silently-held lock: the line
+    // must be pinned and the hold preserved.
+    sys::System s(cfgOf(16, 2));
+    const Addr lock = 0x4000;
+    auto body = [](ThreadApi t, Addr lock) -> ThreadTask {
+        co_await t.lockInstr(lock);
+        co_await t.unlockInstr(lock);
+        co_await t.lockInstr(lock); // silent
+        // Touch >l1Ways conflicting blocks (stride = sets*64).
+        for (int i = 1; i <= 6; ++i)
+            co_await t.write(lock + static_cast<Addr>(i) * 128 * 64, i);
+        co_await t.unlockInstr(lock);
+    };
+    s.start(0, body(s.api(0), lock));
+    ASSERT_TRUE(s.run(1000000));
+    EXPECT_EQ(s.stats().counter("sync.silentLocks").value(), 1u);
+}
+
+// --- Unlock ordering --------------------------------------------------------
+
+TEST(MsaUnlock, FireAndForgetKeepsProgramOrder)
+{
+    // Unlock then immediately re-lock the same lock: FIFO ordering
+    // to the home must keep the pair consistent, every time.
+    sys::System s(cfgOf(16, 2, false)); // no silent path: all remote
+    std::vector<SyncResult> res;
+    auto body = [](ThreadApi t, Addr l,
+                   std::vector<SyncResult> *res) -> ThreadTask {
+        for (int i = 0; i < 20; ++i) {
+            res->push_back(toSyncResult(co_await t.lockInstr(l)));
+            co_await t.unlockInstr(l);
+        }
+    };
+    s.start(3, body(s.api(3), 0x7000, &res));
+    ASSERT_TRUE(s.run(1000000));
+    for (auto r : res)
+        EXPECT_EQ(r, SyncResult::Success);
+}
+
+TEST(MsaUnlock, MigratedUnlockAbortsWaiters)
+{
+    // An UNLOCK from a core that never acquired (simulating thread
+    // migration) frees the lock, aborts waiters to software, and the
+    // OMU rebalances once they drain.
+    SystemConfig cfg = cfgOf(16, 2, false);
+    sys::System s(cfg);
+    sync::SyncLib lib(sync::SyncLib::Flavor::Hw, 16);
+    CsCheck cs;
+    std::vector<SyncResult> unlock_res;
+
+    auto owner = [](ThreadApi t, Addr l) -> ThreadTask {
+        co_await t.lockInstr(l);
+        co_await t.compute(3000);
+        // The "thread" migrates: core 5 will release instead.
+    };
+    auto migrant = [](ThreadApi t, Addr l,
+                      std::vector<SyncResult> *res) -> ThreadTask {
+        co_await t.compute(3000);
+        res->push_back(toSyncResult(co_await t.unlockInstr(l)));
+    };
+    auto waiter = [](ThreadApi t, sync::SyncLib *lib, Addr l,
+                     CsCheck *cs) -> ThreadTask {
+        co_await t.compute(500);
+        co_await checkedCs(t, lib, l, cs, 100);
+    };
+    s.start(0, owner(s.api(0), 0x8000));
+    s.start(5, migrant(s.api(5), 0x8000, &unlock_res));
+    for (CoreId c = 1; c <= 3; ++c)
+        s.start(c, waiter(s.api(c), &lib, 0x8000, &cs));
+    ASSERT_TRUE(s.run(10000000));
+    ASSERT_EQ(unlock_res.size(), 1u);
+    EXPECT_EQ(unlock_res[0], SyncResult::Success); // paper §4.1.2
+    EXPECT_EQ(cs.entries, 3u);
+    EXPECT_EQ(cs.maxInCs, 1);
+    std::uint64_t aborts = 0;
+    for (CoreId t = 0; t < 16; ++t)
+        aborts += s.stats()
+                      .counter("tile" + std::to_string(t) +
+                               ".msa.lockAborts")
+                      .value();
+    EXPECT_GT(aborts, 0u);
+}
+
+// --- Suspension edge cases ---------------------------------------------------
+
+TEST(MsaSuspend, CondWaiterAborted)
+{
+    SystemConfig cfg = cfgOf(16, 4);
+    sys::System s(cfg);
+    sync::SyncLib lib(sync::SyncLib::Flavor::Hw, 16);
+    std::vector<int> woke;
+    auto waiter = [](ThreadApi t, sync::SyncLib *lib, Addr c, Addr m,
+                     std::vector<int> *woke) -> ThreadTask {
+        co_await lib->mutexLock(t, m);
+        co_await lib->condWait(t, c, m); // may wake spuriously (abort)
+        woke->push_back(static_cast<int>(t.id()));
+        co_await lib->mutexUnlock(t, m);
+    };
+    s.start(1, waiter(s.api(1), &lib, 0x5000, 0x6000, &woke));
+    // Interrupt the waiter while it blocks on the cond var.
+    s.eventQueue().schedule(3000, [&] { s.core(1).interrupt(); });
+    ASSERT_TRUE(s.run(1000000));
+    // Spurious wakeup: the thread re-acquired the lock and returned.
+    EXPECT_EQ(woke, (std::vector<int>{1}));
+    EXPECT_EQ(s.msaSlice(mem::homeTile(0x5000, 16)).omu().count(0x5000),
+              0u);
+}
+
+TEST(MsaSuspend, InterruptAfterGrantIsHarmless)
+{
+    sys::System s(cfgOf(16, 2));
+    std::vector<CoreId> order;
+    auto body = [](ThreadApi t, Addr l,
+                   std::vector<CoreId> *order) -> ThreadTask {
+        co_await t.lockInstr(l);
+        order->push_back(t.id());
+        co_await t.compute(2000);
+        co_await t.unlockInstr(l);
+    };
+    s.start(0, body(s.api(0), 0x7000, &order));
+    // Interrupt while core 0 *owns* the lock (no pending sync op).
+    s.eventQueue().schedule(1000, [&] { s.core(0).interrupt(); });
+    ASSERT_TRUE(s.run(1000000));
+    EXPECT_EQ(order, (std::vector<CoreId>{0}));
+}
+
+// --- OMU properties -----------------------------------------------------------
+
+TEST(MsaOmuEdge, AliasingIsSafe)
+{
+    // One OMU counter: every address aliases. Correctness must hold;
+    // only coverage may suffer.
+    SystemConfig cfg = cfgOf(16, 1, false);
+    cfg.msa.omuCounters = 1;
+    sys::System s(cfg);
+    sync::SyncLib lib(sync::SyncLib::Flavor::Hw, 16);
+    CsCheck cs[4];
+    auto body = [](ThreadApi t, sync::SyncLib *lib, Addr l,
+                   CsCheck *cs) -> ThreadTask {
+        for (int i = 0; i < 6; ++i)
+            co_await checkedCs(t, lib, l, cs, 30);
+    };
+    for (CoreId c = 0; c < 16; ++c)
+        s.start(c,
+                body(s.api(c), &lib, 0x100 + (c % 4) * 16 * 64,
+                     &cs[c % 4]));
+    ASSERT_TRUE(s.run(50000000));
+    std::uint64_t total = 0;
+    for (auto &check : cs) {
+        EXPECT_EQ(check.maxInCs, 1);
+        total += check.entries;
+    }
+    EXPECT_EQ(total, 96u);
+}
+
+TEST(MsaOmuEdge, CountersBalancedAfterQuiescence)
+{
+    SystemConfig cfg = cfgOf(16, 1, false);
+    sys::System s(cfg);
+    sync::SyncLib lib(sync::SyncLib::Flavor::Hw, 16);
+    CsCheck cs;
+    auto body = [](ThreadApi t, sync::SyncLib *lib, Addr l,
+                   CsCheck *cs) -> ThreadTask {
+        for (int i = 0; i < 4; ++i)
+            co_await checkedCs(t, lib, l, cs, 25);
+    };
+    // Many locks all homed on tile 0 to force constant overflow.
+    for (CoreId c = 0; c < 16; ++c)
+        s.start(c, body(s.api(c), &lib, (c / 2) * 16 * 64, &cs));
+    ASSERT_TRUE(s.run(50000000));
+    // After the system quiesces, every OMU counter must be zero.
+    for (Addr a = 0; a < 8; ++a)
+        EXPECT_EQ(s.msaSlice(0).omu().count(a * 16 * 64), 0u)
+            << "lock " << a;
+}
+
+// --- No-OMU (Fig 7) behaviour --------------------------------------------------
+
+TEST(MsaNoOmu, EntriesNeverFreed)
+{
+    SystemConfig cfg = cfgOf(16, 2, false);
+    cfg.msa.omuEnabled = false;
+    sys::System s(cfg);
+    std::vector<SyncResult> res;
+    auto body = [](ThreadApi t, Addr l,
+                   std::vector<SyncResult> *res) -> ThreadTask {
+        res->push_back(toSyncResult(co_await t.lockInstr(l)));
+        co_await t.unlockInstr(l);
+    };
+    s.start(0, body(s.api(0), 0x9000, &res));
+    ASSERT_TRUE(s.run(1000000));
+    EXPECT_EQ(res[0], SyncResult::Success);
+    // Entry still present after release.
+    EXPECT_EQ(s.msaSlice(mem::homeTile(0x9000, 16)).validEntries(), 1u);
+}
+
+TEST(MsaNoOmu, AddressStaysSoftwareForever)
+{
+    SystemConfig cfg = cfgOf(16, 1, false);
+    cfg.msa.omuEnabled = false;
+    sys::System s(cfg);
+    std::vector<SyncResult> res;
+    auto body = [](ThreadApi t, Addr a, Addr b,
+                   std::vector<SyncResult> *res) -> ThreadTask {
+        // Lock a claims the single entry forever.
+        res->push_back(toSyncResult(co_await t.lockInstr(a)));
+        co_await t.unlockInstr(a);
+        // Lock b (same home) can never be accelerated...
+        res->push_back(toSyncResult(co_await t.lockInstr(b)));
+        co_await t.unlockInstr(b);
+        res->push_back(toSyncResult(co_await t.lockInstr(b)));
+        co_await t.unlockInstr(b);
+        // ...while lock a stays in hardware.
+        res->push_back(toSyncResult(co_await t.lockInstr(a)));
+        co_await t.unlockInstr(a);
+    };
+    s.start(2, body(s.api(2), 0x0, 16 * 64, &res));
+    ASSERT_TRUE(s.run(1000000));
+    EXPECT_EQ(res[0], SyncResult::Success);
+    EXPECT_EQ(res[1], SyncResult::Fail);
+    EXPECT_EQ(res[2], SyncResult::Fail);
+    EXPECT_EQ(res[3], SyncResult::Success);
+}
+
+// --- Randomized mixed stress ---------------------------------------------------
+
+class MsaStressTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(MsaStressTest, MixedPrimitivesKeepInvariants)
+{
+    SystemConfig cfg = cfgOf(16, GetParam() % 2 ? 1 : 2);
+    sys::System s(cfg);
+    sync::SyncLib lib(sync::SyncLib::Flavor::Hw, 16);
+    CsCheck cs[4];
+    std::vector<unsigned> epochs(16, 0);
+
+    auto body = [](ThreadApi t, sync::SyncLib *lib, std::uint64_t seed,
+                   CsCheck *cs, std::vector<unsigned> *epochs)
+        -> ThreadTask {
+        Rng rng(seed + t.id() * 977);
+        for (int i = 0; i < 12; ++i) {
+            unsigned which = static_cast<unsigned>(rng.range(4));
+            Addr lock = 0x100 + which * 16 * 64;
+            co_await checkedCs(t, lib, lock, &cs[which],
+                               10 + rng.range(40));
+            co_await t.compute(rng.range(100));
+            if (i % 4 == 3) {
+                co_await lib->barrierWait(t, 0xb000, 16);
+                (*epochs)[t.id()]++;
+            }
+        }
+    };
+    for (CoreId c = 0; c < 16; ++c)
+        s.start(c, body(s.api(c), &lib, GetParam(), cs, &epochs));
+    ASSERT_TRUE(s.run(100000000));
+    for (int w = 0; w < 4; ++w)
+        EXPECT_EQ(cs[w].maxInCs, 1) << "lock " << w;
+    std::uint64_t total = 0;
+    for (int w = 0; w < 4; ++w)
+        total += cs[w].entries;
+    EXPECT_EQ(total, 16u * 12u);
+    for (unsigned e : epochs)
+        EXPECT_EQ(e, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MsaStressTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+} // namespace
+} // namespace msa
+} // namespace misar

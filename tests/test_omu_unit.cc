@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Focused unit tests for the OMU counters and NBTC fairness that
+ * don't need a full system: hash distribution, aliasing, underflow
+ * detection (via death test), and rotation order over many rounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "msa/omu.hh"
+#include "sim/stats.hh"
+#include "sync/sync_lib.hh"
+#include "system/system.hh"
+
+namespace misar {
+namespace msa {
+namespace {
+
+TEST(OmuUnit, IncrementDecrementRoundTrip)
+{
+    StatRegistry stats;
+    Omu omu(4, stats, "t.");
+    EXPECT_FALSE(omu.active(0x100));
+    omu.increment(0x100);
+    EXPECT_TRUE(omu.active(0x100));
+    EXPECT_EQ(omu.count(0x100), 1u);
+    omu.increment(0x100, 3);
+    EXPECT_EQ(omu.count(0x100), 4u);
+    omu.decrement(0x100, 4);
+    EXPECT_FALSE(omu.active(0x100));
+}
+
+TEST(OmuUnit, AliasesShareACounter)
+{
+    StatRegistry stats;
+    Omu omu(1, stats, "t.");
+    omu.increment(0x100);
+    // With a single counter every address aliases: a different
+    // address must observe the activity (conservative steering).
+    EXPECT_TRUE(omu.active(0x98765432));
+}
+
+TEST(OmuUnit, HashSpreadsAddresses)
+{
+    StatRegistry stats;
+    Omu omu(4, stats, "t.");
+    // Consecutive sync words must not all land in one counter.
+    std::set<unsigned> hit;
+    for (Addr a = 0; a < 64; ++a) {
+        Omu probe(4, stats, "p.");
+        probe.increment(0x1000 + a * 8);
+        for (unsigned k = 0; k < 4; ++k) {
+            // Find which counter the address landed in by testing a
+            // witness address per counter... simpler: count actives.
+        }
+        unsigned actives = 0;
+        for (Addr w = 0; w < 4096; w += 8)
+            actives += probe.active(w);
+        // At least a quarter of probes alias with this address.
+        EXPECT_GT(actives, 0u);
+        hit.insert(actives);
+    }
+    // Different addresses see different alias sets -> hash varies.
+    EXPECT_GT(hit.size(), 1u);
+}
+
+TEST(OmuUnitDeathTest, UnderflowPanics)
+{
+    StatRegistry stats;
+    Omu omu(4, stats, "t.");
+    EXPECT_DEATH(omu.decrement(0x100), "underflow");
+}
+
+TEST(NbtcUnit, RotationIsFairOverManyRounds)
+{
+    // Full-system check: with persistent contention, consecutive
+    // grant orders rotate rather than repeatedly favouring the same
+    // low-numbered cores.
+    sys::System s(makeConfig(16, AccelMode::MsaOmu, 2));
+    sync::SyncLib lib(sync::SyncLib::Flavor::Hw, 16);
+    std::vector<CoreId> order;
+    auto body = [](cpu::ThreadApi t, sync::SyncLib *lib,
+                   std::vector<CoreId> *order) -> cpu::ThreadTask {
+        for (int i = 0; i < 6; ++i) {
+            co_await lib->mutexLock(t, 0x1000);
+            order->push_back(t.id());
+            co_await t.compute(60);
+            co_await lib->mutexUnlock(t, 0x1000);
+            co_await t.compute(5); // rejoin the queue quickly
+        }
+    };
+    for (CoreId c = 0; c < 8; ++c)
+        s.start(c, body(s.api(c), &lib, &order));
+    ASSERT_TRUE(s.run(50000000));
+    ASSERT_EQ(order.size(), 48u);
+    // Fairness: between two grants to the same core, every other
+    // persistent contender must have been granted at least once
+    // (round-robin property of the NBTC scan).
+    std::vector<int> grants(8, 0);
+    for (std::size_t i = 0; i + 8 < order.size(); ++i) {
+        std::set<CoreId> window(order.begin() + i,
+                                order.begin() + i + 8);
+        // In any window of 8 consecutive grants with 8 contenders,
+        // at least 6 distinct cores must appear (allowing boundary
+        // effects as threads finish).
+        EXPECT_GE(window.size(), 6u) << "starvation at index " << i;
+    }
+    for (CoreId c : order)
+        grants[c]++;
+    for (int g : grants)
+        EXPECT_EQ(g, 6);
+}
+
+} // namespace
+} // namespace msa
+} // namespace misar

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Tests for the reader-writer lock extension: reader concurrency,
+ * writer exclusion, writer preference, hardware/software fallback
+ * with OMU balance, suspension of RW waiters, and randomized stress
+ * with an invariant checker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sync/sync_lib.hh"
+#include "system/system.hh"
+
+namespace misar {
+namespace sync {
+namespace {
+
+using cpu::SyncResult;
+using cpu::ThreadApi;
+using cpu::ThreadTask;
+using cpu::toSyncResult;
+
+struct RwShared
+{
+    int readers = 0;
+    int writers = 0;
+    int maxReaders = 0;
+    bool violation = false;
+    std::uint64_t sections = 0;
+
+    void
+    enter(bool writer)
+    {
+        if (writer) {
+            if (writers || readers)
+                violation = true;
+            writers++;
+        } else {
+            if (writers)
+                violation = true;
+            readers++;
+            maxReaders = std::max(maxReaders, readers);
+        }
+        sections++;
+    }
+
+    void
+    leave(bool writer)
+    {
+        (writer ? writers : readers)--;
+    }
+};
+
+ThreadTask
+rwWorker(ThreadApi t, SyncLib *lib, Addr l, RwShared *sh, int iters,
+         unsigned writer_every, std::uint64_t seed)
+{
+    Rng rng(seed + t.id() * 31);
+    for (int i = 0; i < iters; ++i) {
+        bool writer = writer_every && (rng.range(writer_every) == 0);
+        if (writer)
+            co_await lib->rwWrLock(t, l);
+        else
+            co_await lib->rwRdLock(t, l);
+        sh->enter(writer);
+        co_await t.compute(20 + rng.range(40));
+        sh->leave(writer);
+        co_await lib->rwUnlock(t, l);
+        co_await t.compute(rng.range(80));
+    }
+}
+
+TEST(RwLock, ReadersShareHardware)
+{
+    sys::System s(makeConfig(16, AccelMode::MsaOmu, 2));
+    SyncLib lib(SyncLib::Flavor::Hw, 16);
+    RwShared sh;
+    // Readers only: all 8 must be able to overlap.
+    auto reader = [](ThreadApi t, SyncLib *lib, Addr l,
+                     RwShared *sh) -> ThreadTask {
+        co_await lib->rwRdLock(t, l);
+        sh->enter(false);
+        co_await t.compute(3000); // long overlap window
+        sh->leave(false);
+        co_await lib->rwUnlock(t, l);
+    };
+    for (CoreId c = 0; c < 8; ++c)
+        s.start(c, reader(s.api(c), &lib, 0x1000, &sh));
+    ASSERT_TRUE(s.run(10000000));
+    EXPECT_FALSE(sh.violation);
+    EXPECT_GE(sh.maxReaders, 6) << "readers failed to share";
+    EXPECT_DOUBLE_EQ(s.hwCoverage(), 1.0);
+}
+
+TEST(RwLock, WriterExcludesEveryone)
+{
+    sys::System s(makeConfig(16, AccelMode::MsaOmu, 2));
+    SyncLib lib(SyncLib::Flavor::Hw, 16);
+    RwShared sh;
+    for (CoreId c = 0; c < 12; ++c)
+        s.start(c, rwWorker(s.api(c), &lib, 0x1000, &sh, 8, 3, 5));
+    ASSERT_TRUE(s.run(50000000));
+    EXPECT_FALSE(sh.violation);
+    EXPECT_EQ(sh.sections, 12u * 8u);
+}
+
+TEST(RwLock, WriterPreferenceAvoidsStarvation)
+{
+    // A writer arriving amid a reader stream must get the lock before
+    // later readers pile in.
+    sys::System s(makeConfig(16, AccelMode::MsaOmu, 2));
+    SyncLib lib(SyncLib::Flavor::Hw, 16);
+    std::vector<int> order;
+    auto early_reader = [](ThreadApi t, SyncLib *lib, Addr l,
+                           std::vector<int> *order) -> ThreadTask {
+        co_await lib->rwRdLock(t, l);
+        co_await t.compute(2000);
+        co_await lib->rwUnlock(t, l);
+        order->push_back(0);
+    };
+    auto writer = [](ThreadApi t, SyncLib *lib, Addr l,
+                     std::vector<int> *order) -> ThreadTask {
+        co_await t.compute(500);
+        co_await lib->rwWrLock(t, l);
+        order->push_back(1);
+        co_await t.compute(100);
+        co_await lib->rwUnlock(t, l);
+    };
+    auto late_reader = [](ThreadApi t, SyncLib *lib, Addr l,
+                          std::vector<int> *order) -> ThreadTask {
+        co_await t.compute(1000); // after the writer queued
+        co_await lib->rwRdLock(t, l);
+        order->push_back(2);
+        co_await lib->rwUnlock(t, l);
+    };
+    s.start(0, early_reader(s.api(0), &lib, 0x1000, &order));
+    s.start(1, writer(s.api(1), &lib, 0x1000, &order));
+    s.start(2, late_reader(s.api(2), &lib, 0x1000, &order));
+    ASSERT_TRUE(s.run(10000000));
+    ASSERT_EQ(order.size(), 3u);
+    // Early reader finishes, then the queued writer, then the late
+    // reader (who arrived after the writer and must wait behind it).
+    EXPECT_EQ(order[1], 1);
+    EXPECT_EQ(order[2], 2);
+}
+
+TEST(RwLock, OverflowFallsBackAndBalancesOmu)
+{
+    // Exhaust the home tile's single entry so RW ops go software.
+    SystemConfig cfg = makeConfig(16, AccelMode::MsaOmu, 1);
+    cfg.msa.hwSyncBitOpt = false;
+    sys::System s(cfg);
+    SyncLib lib(SyncLib::Flavor::Hw, 16);
+    RwShared sh;
+    const Addr blockers = 0x0, rw = 16 * 64; // both homed on tile 0
+    auto hog = [](ThreadApi t, Addr l) -> ThreadTask {
+        co_await t.lockInstr(l);
+        co_await t.compute(40000);
+        co_await t.unlockInstr(l);
+    };
+    s.start(15, hog(s.api(15), blockers));
+    for (CoreId c = 0; c < 6; ++c)
+        s.start(c, rwWorker(s.api(c), &lib, rw, &sh, 6, 3, 7));
+    ASSERT_TRUE(s.run(50000000));
+    EXPECT_FALSE(sh.violation);
+    EXPECT_EQ(sh.sections, 36u);
+    EXPECT_GT(s.stats().counter("sync.swOps").value(), 0u);
+    EXPECT_EQ(s.msaSlice(0).omu().count(rw), 0u);
+}
+
+TEST(RwLock, SuspendedWaiterRequeues)
+{
+    sys::System s(makeConfig(16, AccelMode::MsaOmu, 2));
+    SyncLib lib(SyncLib::Flavor::Hw, 16);
+    RwShared sh;
+    auto writer_hold = [](ThreadApi t, SyncLib *lib, Addr l,
+                          RwShared *sh) -> ThreadTask {
+        co_await lib->rwWrLock(t, l);
+        sh->enter(true);
+        co_await t.compute(4000);
+        sh->leave(true);
+        co_await lib->rwUnlock(t, l);
+    };
+    auto reader_wait = [](ThreadApi t, SyncLib *lib, Addr l,
+                          RwShared *sh) -> ThreadTask {
+        co_await t.compute(300);
+        co_await lib->rwRdLock(t, l);
+        sh->enter(false);
+        co_await t.compute(50);
+        sh->leave(false);
+        co_await lib->rwUnlock(t, l);
+    };
+    s.start(0, writer_hold(s.api(0), &lib, 0x2000, &sh));
+    s.start(1, reader_wait(s.api(1), &lib, 0x2000, &sh));
+    s.eventQueue().schedule(1000, [&] { s.core(1).interrupt(); });
+    ASSERT_TRUE(s.run(10000000));
+    EXPECT_FALSE(sh.violation);
+    EXPECT_EQ(sh.sections, 2u);
+}
+
+TEST(RwLock, IdealSemantics)
+{
+    sys::System s(makeConfig(16, AccelMode::Ideal));
+    SyncLib lib(SyncLib::Flavor::Hw, 16);
+    RwShared sh;
+    for (CoreId c = 0; c < 10; ++c)
+        s.start(c, rwWorker(s.api(c), &lib, 0x1000, &sh, 6, 4, 11));
+    ASSERT_TRUE(s.run(50000000));
+    EXPECT_FALSE(sh.violation);
+    EXPECT_EQ(sh.sections, 60u);
+}
+
+TEST(RwLock, PureSoftwareFlavor)
+{
+    sys::System s(makeConfig(16, AccelMode::None));
+    SyncLib lib(SyncLib::Flavor::PthreadSw, 16);
+    RwShared sh;
+    for (CoreId c = 0; c < 10; ++c)
+        s.start(c, rwWorker(s.api(c), &lib, 0x1000, &sh, 6, 4, 13));
+    ASSERT_TRUE(s.run(50000000));
+    EXPECT_FALSE(sh.violation);
+    EXPECT_EQ(sh.sections, 60u);
+}
+
+class RwStressTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(RwStressTest, MixedRwAndMutexStress)
+{
+    sys::System s(makeConfig(16, AccelMode::MsaOmu,
+                             GetParam() % 2 ? 1 : 2));
+    SyncLib lib(SyncLib::Flavor::Hw, 16);
+    RwShared sh;
+    int mutex_cs = 0, mutex_max = 0;
+    auto body = [](ThreadApi t, SyncLib *lib, RwShared *sh, int *cs,
+                   int *mx, std::uint64_t seed) -> ThreadTask {
+        Rng rng(seed * 131 + t.id());
+        for (int i = 0; i < 10; ++i) {
+            if (rng.range(2)) {
+                bool w = rng.range(4) == 0;
+                if (w)
+                    co_await lib->rwWrLock(t, 0x1000);
+                else
+                    co_await lib->rwRdLock(t, 0x1000);
+                sh->enter(w);
+                co_await t.compute(rng.range(50));
+                sh->leave(w);
+                co_await lib->rwUnlock(t, 0x1000);
+            } else {
+                co_await lib->mutexLock(t, 0x5000);
+                (*cs)++;
+                *mx = std::max(*mx, *cs);
+                co_await t.compute(rng.range(30));
+                (*cs)--;
+                co_await lib->mutexUnlock(t, 0x5000);
+            }
+        }
+    };
+    for (CoreId c = 0; c < 16; ++c)
+        s.start(c, body(s.api(c), &lib, &sh, &mutex_cs, &mutex_max,
+                        GetParam()));
+    ASSERT_TRUE(s.run(100000000));
+    EXPECT_FALSE(sh.violation);
+    EXPECT_LE(mutex_max, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RwStressTest,
+                         ::testing::Values(3u, 14u, 15u, 92u, 65u));
+
+} // namespace
+} // namespace sync
+} // namespace misar

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering,
+ * statistics, RNG determinism, and configuration validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include <algorithm>
+
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+
+namespace misar {
+namespace {
+
+TEST(EventQueue, StartsAtZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RunsEventsInTickOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NestedScheduling)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        eq.schedule(1, [&] {
+            eq.schedule(1, [&] { ++fired; });
+            ++fired;
+        });
+        ++fired;
+    });
+    eq.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.now(), 3u);
+}
+
+TEST(EventQueue, ZeroDelayRunsSameTick)
+{
+    EventQueue eq;
+    Tick seen = maxTick;
+    eq.schedule(7, [&] { eq.schedule(0, [&] { seen = eq.now(); }); });
+    eq.run();
+    EXPECT_EQ(seen, 7u);
+}
+
+TEST(EventQueue, RunLimitStops)
+{
+    EventQueue eq;
+    bool late = false;
+    eq.schedule(100, [&] { late = true; });
+    EXPECT_FALSE(eq.run(50));
+    EXPECT_FALSE(late);
+    EXPECT_TRUE(eq.run());
+    EXPECT_TRUE(late);
+}
+
+TEST(EventQueue, RunUntilAdvancesClock)
+{
+    EventQueue eq;
+    eq.runUntil(42);
+    EXPECT_EQ(eq.now(), 42u);
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(i, [] {});
+    eq.run();
+    EXPECT_EQ(eq.executedEvents(), 5u);
+}
+
+TEST(Stats, CounterBasics)
+{
+    StatCounter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.dec(2);
+    EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(Stats, AverageTracksMoments)
+{
+    StatAverage a;
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(9.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Stats, RegistryPrefixSum)
+{
+    StatRegistry r;
+    r.counter("tile0.l1.miss").inc(3);
+    r.counter("tile1.l1.miss").inc(4);
+    r.counter("tile1.l1.hit").inc(100);
+    r.counter("other").inc(7);
+    EXPECT_EQ(r.sumCounters("tile"), 107u);
+    EXPECT_EQ(r.sumCounters("tile0"), 3u);
+    EXPECT_EQ(r.sumCounters("nope"), 0u);
+}
+
+TEST(Stats, PooledMeanWeightsBySamples)
+{
+    StatRegistry r;
+    r.average("x.a").sample(1.0);
+    r.average("x.a").sample(1.0);
+    r.average("x.b").sample(4.0);
+    EXPECT_DOUBLE_EQ(r.pooledMean("x."), 2.0);
+}
+
+TEST(Stats, DumpContainsNames)
+{
+    StatRegistry r;
+    r.counter("alpha").inc(1);
+    r.average("beta").sample(2.5);
+    std::ostringstream os;
+    r.dump(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("beta"), std::string::npos);
+}
+
+TEST(Stats, HistogramBucketsPowersOfTwo)
+{
+    StatHistogram h(8);
+    h.sample(1);
+    h.sample(2);
+    h.sample(3);
+    h.sample(1024);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.data()[0], 1u);
+    EXPECT_EQ(h.data()[1], 2u); // 2 and 3 both land in bucket 1
+    EXPECT_EQ(h.data()[7], 1u); // 1024 clamps to the last bucket
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, RangeInBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.range(17), 17u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Config, MeshDimSquare)
+{
+    SystemConfig cfg = makeConfig(16, AccelMode::MsaOmu, 2);
+    EXPECT_EQ(cfg.meshDim(), 4u);
+    cfg = makeConfig(64, AccelMode::MsaInfinite);
+    EXPECT_EQ(cfg.meshDim(), 8u);
+}
+
+TEST(Config, AccelNames)
+{
+    EXPECT_EQ(makeConfig(16, AccelMode::None).accelName(), "MSA-0");
+    EXPECT_EQ(makeConfig(16, AccelMode::MsaOmu, 1).accelName(), "MSA/OMU-1");
+    EXPECT_EQ(makeConfig(16, AccelMode::MsaOmu, 2).accelName(), "MSA/OMU-2");
+    EXPECT_EQ(makeConfig(16, AccelMode::MsaInfinite).accelName(), "MSA-inf");
+    EXPECT_EQ(makeConfig(16, AccelMode::Ideal).accelName(), "Ideal");
+}
+
+TEST(Config, BlockHelpers)
+{
+    EXPECT_EQ(blockAlign(0x1234), 0x1200u);
+    EXPECT_EQ(blockOffset(0x1234), 0x34u);
+    EXPECT_EQ(blockAlign(blockAlign(0xdeadbeef)), blockAlign(0xdeadbeef));
+}
+
+TEST(Trace, DisabledRecordsNothing)
+{
+    TraceBuffer tb;
+    tb.record(0, 10, "x");
+    EXPECT_TRUE(tb.data().empty());
+}
+
+TEST(Trace, RecordsWhenEnabled)
+{
+    TraceBuffer tb;
+    tb.setEnabled(true);
+    tb.record(5, 10, "compute");
+    tb.record(10, 30, "LOCK", 0x1000);
+    ASSERT_EQ(tb.data().size(), 2u);
+    EXPECT_EQ(tb.data()[1].addr, 0x1000u);
+}
+
+TEST(Trace, ChromeJsonWellFormed)
+{
+    TraceBuffer a, b;
+    a.setEnabled(true);
+    b.setEnabled(true);
+    a.record(0, 4, "compute");
+    b.record(2, 9, "read", 0x40);
+    std::ostringstream os;
+    writeChromeTrace(os, {&a, &b});
+    const std::string j = os.str();
+    EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(j.find("\"name\":\"compute\""), std::string::npos);
+    EXPECT_NE(j.find("\"tid\":1"), std::string::npos);
+    EXPECT_NE(j.find("0x40"), std::string::npos);
+    // Balanced braces/brackets as a cheap well-formedness check.
+    EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+              std::count(j.begin(), j.end(), '}'));
+    EXPECT_EQ(std::count(j.begin(), j.end(), '['),
+              std::count(j.begin(), j.end(), ']'));
+}
+
+} // namespace
+} // namespace misar

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Tests for the synchronization runtime: mutual exclusion, barrier
+ * epoch alignment, and condition-variable semantics, across every
+ * library flavor and accelerator configuration (including hardware
+ * overflow and the MSA-0 always-FAIL mode).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sync/sync_lib.hh"
+#include "system/system.hh"
+
+namespace misar {
+namespace sync {
+namespace {
+
+using cpu::ThreadApi;
+using cpu::ThreadTask;
+
+struct Combo
+{
+    SyncLib::Flavor flavor;
+    AccelMode mode;
+    unsigned entries;
+    const char *name;
+};
+
+std::ostream &
+operator<<(std::ostream &os, const Combo &c)
+{
+    return os << c.name;
+}
+
+const Combo combos[] = {
+    {SyncLib::Flavor::PthreadSw, AccelMode::None, 0, "pthread"},
+    {SyncLib::Flavor::SpinSw, AccelMode::None, 0, "spinlock"},
+    {SyncLib::Flavor::McsTourSw, AccelMode::None, 0, "mcstour"},
+    {SyncLib::Flavor::TicketDissemSw, AccelMode::None, 0, "ticketdissem"},
+    {SyncLib::Flavor::Hw, AccelMode::None, 0, "msa0"},
+    {SyncLib::Flavor::Hw, AccelMode::MsaOmu, 1, "msaomu1"},
+    {SyncLib::Flavor::Hw, AccelMode::MsaOmu, 2, "msaomu2"},
+    {SyncLib::Flavor::Hw, AccelMode::MsaInfinite, 0, "msainf"},
+    {SyncLib::Flavor::Hw, AccelMode::Ideal, 0, "ideal"},
+};
+
+struct Shared
+{
+    int inCs = 0;
+    int maxInCs = 0;
+    std::uint64_t counter = 0;
+    std::vector<unsigned> epoch;
+    bool epochViolation = false;
+    std::vector<int> log;
+};
+
+ThreadTask
+csWorker(ThreadApi t, SyncLib *lib, Addr lock, int iters, Shared *sh)
+{
+    for (int i = 0; i < iters; ++i) {
+        co_await lib->mutexLock(t, lock);
+        sh->inCs++;
+        sh->maxInCs = std::max(sh->maxInCs, sh->inCs);
+        co_await t.compute(20);
+        sh->counter++;
+        sh->inCs--;
+        co_await lib->mutexUnlock(t, lock);
+        co_await t.compute(10);
+    }
+}
+
+class SyncComboTest : public ::testing::TestWithParam<Combo>
+{
+  protected:
+    std::unique_ptr<sys::System> makeSystem(unsigned cores = 16)
+    {
+        const Combo &c = GetParam();
+        SystemConfig cfg = makeConfig(cores, c.mode,
+                                      c.entries ? c.entries : 2);
+        return std::make_unique<sys::System>(cfg);
+    }
+
+    std::unique_ptr<SyncLib> makeLib(unsigned cores = 16)
+    {
+        return std::make_unique<SyncLib>(GetParam().flavor, cores);
+    }
+};
+
+TEST_P(SyncComboTest, MutualExclusionOneLock)
+{
+    auto s = makeSystem();
+    auto lib = makeLib();
+    Shared sh;
+    const int iters = 5;
+    for (CoreId c = 0; c < 16; ++c)
+        s->start(c, csWorker(s->api(c), lib.get(), 0x1000, iters, &sh));
+    ASSERT_TRUE(s->run(50000000));
+    EXPECT_EQ(sh.maxInCs, 1) << "mutual exclusion violated";
+    EXPECT_EQ(sh.counter, 16u * iters);
+}
+
+TEST_P(SyncComboTest, MutualExclusionManyLocks)
+{
+    auto s = makeSystem();
+    auto lib = makeLib();
+    Shared sh;
+    // 8 locks; each pair of cores shares one. Exceeds MSA capacity
+    // on some tiles in the 1-entry configuration.
+    auto worker = [](ThreadApi t, SyncLib *lib, Addr lock, int iters,
+                     Shared *sh) -> ThreadTask {
+        for (int i = 0; i < iters; ++i) {
+            co_await lib->mutexLock(t, lock);
+            sh->inCs++;
+            sh->maxInCs = std::max(sh->maxInCs, sh->inCs);
+            co_await t.compute(15);
+            sh->counter++;
+            sh->inCs--;
+            co_await lib->mutexUnlock(t, lock);
+        }
+    };
+    // All 8 locks homed on tile 3 to force overflow.
+    for (CoreId c = 0; c < 16; ++c) {
+        Addr lock = 3 * 64 + (c / 2) * 16 * 64;
+        s->start(c, worker(s->api(c), lib.get(), lock, 5, &sh));
+    }
+    ASSERT_TRUE(s->run(50000000));
+    EXPECT_EQ(sh.counter, 80u);
+}
+
+ThreadTask
+barrierWorker(ThreadApi t, SyncLib *lib, Addr bar, std::uint32_t goal,
+              int epochs, Shared *sh)
+{
+    for (int e = 0; e < epochs; ++e) {
+        co_await t.compute(10 + (t.id() * 7 + e * 13) % 50);
+        // Before entering barrier e, no thread can already be past
+        // barrier e (that would need our own arrival).
+        for (unsigned other : sh->epoch)
+            if (other > static_cast<unsigned>(e) + 1)
+                sh->epochViolation = true;
+        co_await lib->barrierWait(t, bar, goal);
+        sh->epoch[t.id()]++;
+    }
+}
+
+TEST_P(SyncComboTest, BarrierKeepsEpochsAligned)
+{
+    auto s = makeSystem();
+    auto lib = makeLib();
+    Shared sh;
+    sh.epoch.assign(16, 0);
+    const int epochs = 6;
+    for (CoreId c = 0; c < 16; ++c)
+        s->start(c, barrierWorker(s->api(c), lib.get(), 0x2000, 16, epochs,
+                                  &sh));
+    ASSERT_TRUE(s->run(50000000));
+    EXPECT_FALSE(sh.epochViolation);
+    for (unsigned e : sh.epoch)
+        EXPECT_EQ(e, static_cast<unsigned>(epochs));
+}
+
+TEST_P(SyncComboTest, BarrierNonPowerOfTwo)
+{
+    auto s = makeSystem();
+    auto lib = makeLib();
+    Shared sh;
+    sh.epoch.assign(16, 0);
+    for (CoreId c = 0; c < 6; ++c)
+        s->start(c, barrierWorker(s->api(c), lib.get(), 0x2000, 6, 4, &sh));
+    ASSERT_TRUE(s->run(50000000));
+    for (CoreId c = 0; c < 6; ++c)
+        EXPECT_EQ(sh.epoch[c], 4u);
+}
+
+ThreadTask
+producer(ThreadApi t, SyncLib *lib, Addr m, Addr cv, Addr flag, int n,
+         bool bcast)
+{
+    for (int i = 1; i <= n; ++i) {
+        co_await t.compute(500);
+        co_await lib->mutexLock(t, m);
+        co_await t.write(flag, i);
+        if (bcast)
+            co_await lib->condBroadcast(t, cv);
+        else
+            co_await lib->condSignal(t, cv);
+        co_await lib->mutexUnlock(t, m);
+    }
+}
+
+ThreadTask
+consumer(ThreadApi t, SyncLib *lib, Addr m, Addr cv, Addr flag, int upto,
+         Shared *sh)
+{
+    co_await lib->mutexLock(t, m);
+    for (;;) {
+        std::uint64_t v = co_await t.read(flag);
+        if (static_cast<int>(v) >= upto)
+            break;
+        co_await lib->condWait(t, cv, m);
+    }
+    sh->log.push_back(static_cast<int>(t.id()));
+    co_await lib->mutexUnlock(t, m);
+}
+
+TEST_P(SyncComboTest, CondVarSignalChain)
+{
+    auto s = makeSystem();
+    auto lib = makeLib();
+    Shared sh;
+    s->start(1, consumer(s->api(1), lib.get(), 0x3000, 0x3040, 0x3080, 3,
+                         &sh));
+    s->start(2, producer(s->api(2), lib.get(), 0x3000, 0x3040, 0x3080, 3,
+                         false));
+    ASSERT_TRUE(s->run(50000000));
+    EXPECT_EQ(sh.log.size(), 1u);
+}
+
+TEST_P(SyncComboTest, CondVarBroadcastManyWaiters)
+{
+    auto s = makeSystem();
+    auto lib = makeLib();
+    Shared sh;
+    for (CoreId c = 1; c <= 6; ++c)
+        s->start(c, consumer(s->api(c), lib.get(), 0x3000, 0x3040, 0x3080,
+                             1, &sh));
+    s->start(10, producer(s->api(10), lib.get(), 0x3000, 0x3040, 0x3080, 1,
+                          true));
+    ASSERT_TRUE(s->run(50000000));
+    EXPECT_EQ(sh.log.size(), 6u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Flavors, SyncComboTest, ::testing::ValuesIn(combos),
+    [](const ::testing::TestParamInfo<Combo> &info) {
+        return info.param.name;
+    });
+
+// --- Flavor-specific behaviours -------------------------------------------
+
+TEST(SyncLibUnit, TicketLockHandoffOrderIsFifo)
+{
+    SystemConfig cfg = makeConfig(16, AccelMode::None);
+    sys::System s(cfg);
+    SyncLib lib(SyncLib::Flavor::TicketDissemSw, 16);
+    std::vector<int> order;
+    auto worker = [](ThreadApi t, SyncLib *lib, Addr lock, Tick delay,
+                     std::vector<int> *order) -> ThreadTask {
+        co_await t.compute(delay);
+        co_await lib->mutexLock(t, lock);
+        order->push_back(static_cast<int>(t.id()));
+        co_await t.compute(400);
+        co_await lib->mutexUnlock(t, lock);
+    };
+    for (CoreId c = 0; c < 6; ++c)
+        s.start(c, worker(s.api(c), &lib, 0x1000, c * 120, &order));
+    ASSERT_TRUE(s.run(10000000));
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(SyncLibUnit, DisseminationBarrierNonPowerOfTwoStress)
+{
+    SystemConfig cfg = makeConfig(64, AccelMode::None);
+    sys::System s(cfg);
+    SyncLib lib(SyncLib::Flavor::TicketDissemSw, 64);
+    Shared sh;
+    const unsigned parts = 33; // awkward participant count
+    sh.epoch.assign(64, 0);
+    for (CoreId c = 0; c < parts; ++c)
+        s.start(c, barrierWorker(s.api(c), &lib, 0x2000, parts, 5, &sh));
+    ASSERT_TRUE(s.run(50000000));
+    EXPECT_FALSE(sh.epochViolation);
+    for (CoreId c = 0; c < parts; ++c)
+        EXPECT_EQ(sh.epoch[c], 5u);
+}
+
+TEST(SyncLibUnit, McsLockHandoffOrderIsFifo)
+{
+    SystemConfig cfg = makeConfig(16, AccelMode::None);
+    sys::System s(cfg);
+    SyncLib lib(SyncLib::Flavor::McsTourSw, 16);
+    std::vector<int> order;
+    auto worker = [](ThreadApi t, SyncLib *lib, Addr lock, Tick delay,
+                     std::vector<int> *order) -> ThreadTask {
+        co_await t.compute(delay);
+        co_await lib->mutexLock(t, lock);
+        order->push_back(static_cast<int>(t.id()));
+        co_await t.compute(500);
+        co_await lib->mutexUnlock(t, lock);
+    };
+    // Stagger arrivals so queue order is deterministic.
+    for (CoreId c = 0; c < 6; ++c)
+        s.start(c, worker(s.api(c), &lib, 0x1000, c * 100, &order));
+    ASSERT_TRUE(s.run(10000000));
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(SyncLibUnit, HybridUsesHardwareWhenAvailable)
+{
+    SystemConfig cfg = makeConfig(16, AccelMode::MsaOmu, 2);
+    sys::System s(cfg);
+    SyncLib lib(SyncLib::Flavor::Hw, 16);
+    Shared sh;
+    for (CoreId c = 0; c < 8; ++c)
+        s.start(c, csWorker(s.api(c), &lib, 0x1000, 3, &sh));
+    ASSERT_TRUE(s.run(10000000));
+    EXPECT_EQ(sh.counter, 24u);
+    EXPECT_GT(s.hwCoverage(), 0.9);
+}
+
+TEST(SyncLibUnit, Msa0FallbackMatchesPthreadResults)
+{
+    // The hybrid library on MSA-0 must behave exactly like pthread
+    // (all instructions FAIL), just with small instruction overhead.
+    Tick pthread_time = 0, msa0_time = 0;
+    for (int run = 0; run < 2; ++run) {
+        SystemConfig cfg = makeConfig(16, AccelMode::None);
+        sys::System s(cfg);
+        SyncLib lib(run == 0 ? SyncLib::Flavor::PthreadSw
+                             : SyncLib::Flavor::Hw,
+                    16);
+        Shared sh;
+        for (CoreId c = 0; c < 16; ++c)
+            s.start(c, csWorker(s.api(c), &lib, 0x1000, 4, &sh));
+        ASSERT_TRUE(s.run(50000000));
+        EXPECT_EQ(sh.counter, 64u);
+        (run == 0 ? pthread_time : msa0_time) = s.makespan();
+    }
+    // MSA-0 adds only instruction-fail overhead (paper: within ~1%,
+    // here we allow slack since contention paths may reorder).
+    EXPECT_LT(msa0_time, pthread_time * 2);
+}
+
+TEST(SyncLibUnit, TournamentBarrierStress)
+{
+    SystemConfig cfg = makeConfig(64, AccelMode::None);
+    sys::System s(cfg);
+    SyncLib lib(SyncLib::Flavor::McsTourSw, 64);
+    Shared sh;
+    sh.epoch.assign(64, 0);
+    for (CoreId c = 0; c < 64; ++c)
+        s.start(c, barrierWorker(s.api(c), &lib, 0x2000, 64, 3, &sh));
+    ASSERT_TRUE(s.run(50000000));
+    EXPECT_FALSE(sh.epochViolation);
+    for (unsigned e : sh.epoch)
+        EXPECT_EQ(e, 3u);
+}
+
+TEST(SyncLibUnit, HybridCondWithLockInHardware)
+{
+    // Cond falls back to software while its lock stays in hardware:
+    // sw_cond_wait must release/re-acquire through the hybrid lock.
+    SystemConfig cfg = makeConfig(16, AccelMode::MsaOmu, 1);
+    cfg.msa.support.condVars = false; // force cond to software
+    sys::System s(cfg);
+    SyncLib lib(SyncLib::Flavor::Hw, 16);
+    Shared sh;
+    s.start(1, consumer(s.api(1), &lib, 0x3000, 0x3040, 0x3080, 2, &sh));
+    s.start(2, producer(s.api(2), &lib, 0x3000, 0x3040, 0x3080, 2, false));
+    ASSERT_TRUE(s.run(50000000));
+    EXPECT_EQ(sh.log.size(), 1u);
+}
+
+} // namespace
+} // namespace sync
+} // namespace misar

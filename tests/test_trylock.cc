@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the TRYLOCK ISA extension: hardware success/busy paths,
+ * the silent fast path, software fallback with OMU balancing, and
+ * mixed trylock/lock contention across flavors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sync/sync_lib.hh"
+#include "system/system.hh"
+
+namespace misar {
+namespace sync {
+namespace {
+
+using cpu::SyncResult;
+using cpu::ThreadApi;
+using cpu::ThreadTask;
+using cpu::toSyncResult;
+
+TEST(TryLock, FreeLockAcquiredInHardware)
+{
+    sys::System s(makeConfig(16, AccelMode::MsaOmu, 2));
+    std::vector<SyncResult> res;
+    auto body = [](ThreadApi t, Addr l,
+                   std::vector<SyncResult> *res) -> ThreadTask {
+        res->push_back(toSyncResult(co_await t.tryLockInstr(l)));
+        co_await t.unlockInstr(l);
+    };
+    s.start(0, body(s.api(0), 0x1000, &res));
+    ASSERT_TRUE(s.run(1000000));
+    EXPECT_EQ(res[0], SyncResult::Success);
+}
+
+TEST(TryLock, HeldLockReportsBusyWithoutEnqueue)
+{
+    sys::System s(makeConfig(16, AccelMode::MsaOmu, 2));
+    std::vector<SyncResult> res;
+    auto holder = [](ThreadApi t, Addr l) -> ThreadTask {
+        co_await t.lockInstr(l);
+        co_await t.compute(5000);
+        co_await t.unlockInstr(l);
+    };
+    auto trier = [](ThreadApi t, Addr l,
+                    std::vector<SyncResult> *res) -> ThreadTask {
+        co_await t.compute(1000);
+        Tick t0 = t.now();
+        res->push_back(toSyncResult(co_await t.tryLockInstr(l)));
+        // Busy must return promptly, not wait for the release.
+        EXPECT_LT(t.now() - t0, 500u);
+    };
+    s.start(0, holder(s.api(0), 0x1000));
+    s.start(1, trier(s.api(1), 0x1000, &res));
+    ASSERT_TRUE(s.run(1000000));
+    EXPECT_EQ(res[0], SyncResult::Busy);
+}
+
+TEST(TryLock, SilentFastPath)
+{
+    sys::System s(makeConfig(16, AccelMode::MsaOmu, 2));
+    std::vector<SyncResult> res;
+    auto body = [](ThreadApi t, Addr l,
+                   std::vector<SyncResult> *res) -> ThreadTask {
+        co_await t.lockInstr(l);
+        co_await t.unlockInstr(l);
+        co_await t.compute(50);
+        res->push_back(toSyncResult(co_await t.tryLockInstr(l))); // silent
+        co_await t.unlockInstr(l);
+    };
+    s.start(3, body(s.api(3), 0x2000, &res));
+    ASSERT_TRUE(s.run(1000000));
+    EXPECT_EQ(res[0], SyncResult::Success);
+    EXPECT_EQ(s.stats().counter("sync.silentLocks").value(), 1u);
+}
+
+TEST(TryLock, LibraryFallbackBalancesOmu)
+{
+    // Overflow the single entry, so trylocks hit the software path;
+    // all OMU counters must drain to zero afterwards.
+    SystemConfig cfg = makeConfig(16, AccelMode::MsaOmu, 1);
+    cfg.msa.hwSyncBitOpt = false;
+    sys::System s(cfg);
+    SyncLib lib(SyncLib::Flavor::Hw, 16);
+    unsigned acquired = 0, busy = 0;
+    auto blocker = [](ThreadApi t, Addr l) -> ThreadTask {
+        co_await t.lockInstr(l); // hogs the home's only entry
+        co_await t.compute(30000);
+        co_await t.unlockInstr(l);
+    };
+    auto trier = [](ThreadApi t, SyncLib *lib, Addr l, unsigned *acq,
+                    unsigned *busy) -> ThreadTask {
+        co_await t.compute(200);
+        for (int i = 0; i < 10; ++i) {
+            bool got = co_await lib->mutexTryLock(t, l);
+            if (got) {
+                ++*acq;
+                co_await t.compute(50);
+                co_await lib->mutexUnlock(t, l);
+            } else {
+                ++*busy;
+                co_await t.compute(100);
+            }
+        }
+    };
+    const Addr hog = 0x0, tried = 16 * 64; // both homed on tile 0
+    s.start(15, blocker(s.api(15), hog));
+    for (CoreId c = 0; c < 4; ++c)
+        s.start(c, trier(s.api(c), &lib, tried, &acquired, &busy));
+    ASSERT_TRUE(s.run(50000000));
+    EXPECT_EQ(acquired + busy, 40u);
+    EXPECT_GT(acquired, 0u);
+    EXPECT_EQ(s.msaSlice(0).omu().count(tried), 0u);
+}
+
+class TryLockFlavorTest
+    : public ::testing::TestWithParam<SyncLib::Flavor>
+{};
+
+TEST_P(TryLockFlavorTest, MutualExclusionUnderMixedUse)
+{
+    SystemConfig cfg = makeConfig(16, GetParam() == SyncLib::Flavor::Hw
+                                          ? AccelMode::MsaOmu
+                                          : AccelMode::None,
+                                  2);
+    sys::System s(cfg);
+    SyncLib lib(GetParam(), 16);
+    int in_cs = 0, max_in_cs = 0;
+    std::uint64_t done = 0;
+    auto body = [](ThreadApi t, SyncLib *lib, Addr l, int *in_cs,
+                   int *max_in_cs, std::uint64_t *done) -> ThreadTask {
+        for (int i = 0; i < 8; ++i) {
+            bool got;
+            if ((t.id() + i) % 2 == 0) {
+                got = co_await lib->mutexTryLock(t, l);
+            } else {
+                co_await lib->mutexLock(t, l);
+                got = true;
+            }
+            if (got) {
+                (*in_cs)++;
+                *max_in_cs = std::max(*max_in_cs, *in_cs);
+                co_await t.compute(30);
+                (*in_cs)--;
+                ++*done;
+                co_await lib->mutexUnlock(t, l);
+            }
+            co_await t.compute(40);
+        }
+    };
+    for (CoreId c = 0; c < 12; ++c)
+        s.start(c,
+                body(s.api(c), &lib, 0x3000, &in_cs, &max_in_cs, &done));
+    ASSERT_TRUE(s.run(50000000));
+    EXPECT_EQ(max_in_cs, 1);
+    EXPECT_GT(done, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Flavors, TryLockFlavorTest,
+    ::testing::Values(SyncLib::Flavor::PthreadSw, SyncLib::Flavor::Hw),
+    [](const ::testing::TestParamInfo<SyncLib::Flavor> &info) {
+        return info.param == SyncLib::Flavor::Hw ? "hw" : "pthread";
+    });
+
+} // namespace
+} // namespace sync
+} // namespace misar

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the workload layer: every catalog app must run to
+ * completion on every configuration, speedups must be sane, and the
+ * microbenchmarks must produce ordered, positive latencies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/app_catalog.hh"
+#include "workload/microbench.hh"
+#include "workload/runner.hh"
+
+namespace misar {
+namespace workload {
+namespace {
+
+using sys::PaperConfig;
+
+TEST(Catalog, Has26Apps)
+{
+    EXPECT_EQ(appCatalog().size(), 26u);
+}
+
+TEST(Catalog, HeadlineAppsExist)
+{
+    for (const auto &name : headlineApps())
+        EXPECT_EQ(appByName(name).name, name);
+}
+
+// Every app finishes on every config (16 cores to keep it fast).
+class AppRunTest : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(AppRunTest, FinishesOnAllConfigs)
+{
+    const AppSpec &spec = appByName(GetParam());
+    for (PaperConfig pc : {PaperConfig::Baseline, PaperConfig::Msa0,
+                           PaperConfig::McsTour, PaperConfig::MsaOmu2,
+                           PaperConfig::MsaInf, PaperConfig::Ideal}) {
+        RunResult r = runApp(spec, 16, pc);
+        EXPECT_TRUE(r.finished)
+            << spec.name << " on " << sys::paperConfigName(pc);
+        EXPECT_GT(r.makespan, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Headline, AppRunTest,
+    ::testing::Values("radiosity", "raytrace", "water-sp", "ocean",
+                      "ocean-nc", "cholesky", "fluidanimate",
+                      "streamcluster", "dedup", "barnes", "swaptions"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string n = info.param;
+        for (auto &ch : n)
+            if (ch == '-')
+                ch = '_';
+        return n;
+    });
+
+TEST(AppRun, DeterministicAcrossRuns)
+{
+    const AppSpec &spec = appByName("radiosity");
+    RunResult a = runApp(spec, 16, PaperConfig::MsaOmu2, 42);
+    RunResult b = runApp(spec, 16, PaperConfig::MsaOmu2, 42);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.hwOps, b.hwOps);
+}
+
+TEST(AppRun, IdealAtLeastAsFastAsBaseline)
+{
+    for (const char *name : {"streamcluster", "radiosity", "ocean"}) {
+        const AppSpec &spec = appByName(name);
+        RunResult base = runApp(spec, 16, PaperConfig::Baseline);
+        RunResult ideal = runApp(spec, 16, PaperConfig::Ideal);
+        EXPECT_LT(ideal.makespan, base.makespan) << name;
+    }
+}
+
+TEST(AppRun, MsaOmuBeatsBaselineOnSyncHeavyApps)
+{
+    for (const char *name : {"streamcluster", "fluidanimate"}) {
+        const AppSpec &spec = appByName(name);
+        RunResult base = runApp(spec, 16, PaperConfig::Baseline);
+        RunResult msa = runApp(spec, 16, PaperConfig::MsaOmu2);
+        EXPECT_LT(msa.makespan, base.makespan) << name;
+    }
+}
+
+TEST(AppRun, CoverageHighWithTwoEntries)
+{
+    // Paper: MSA/OMU-2 covers most operations even with tiny MSAs.
+    const AppSpec &spec = appByName("radiosity");
+    RunResult r = runApp(spec, 16, PaperConfig::MsaOmu2);
+    EXPECT_GT(r.hwCoverage, 0.5);
+}
+
+TEST(AppRun, FluidanimateUsesSilentLocks)
+{
+    const AppSpec &spec = appByName("fluidanimate");
+    RunResult r = runApp(spec, 16, PaperConfig::MsaOmu2);
+    EXPECT_GT(r.silentLocks, 0u);
+}
+
+TEST(AppRun, NoOmuCoverageLower)
+{
+    const AppSpec &spec = appByName("radiosity");
+    SystemConfig with = sys::configFor(PaperConfig::MsaOmu2, 16);
+    SystemConfig without = with;
+    without.msa.omuEnabled = false;
+    RunResult rw = runAppWithConfig(spec, with,
+                                    sync::SyncLib::Flavor::Hw);
+    RunResult ro = runAppWithConfig(spec, without,
+                                    sync::SyncLib::Flavor::Hw);
+    EXPECT_TRUE(rw.finished);
+    EXPECT_TRUE(ro.finished);
+    EXPECT_GT(rw.hwCoverage, ro.hwCoverage);
+}
+
+TEST(Microbench, LatenciesPositiveAndOrdered)
+{
+    RawLatencies base = measureRawLatency(16, PaperConfig::Baseline);
+    RawLatencies msa = measureRawLatency(16, PaperConfig::MsaOmu2);
+    EXPECT_GT(base.lockAcquire, 0.0);
+    EXPECT_GT(base.lockHandoff, 0.0);
+    EXPECT_GT(base.barrierHandoff, 0.0);
+    EXPECT_GT(base.condSignal, 0.0);
+    EXPECT_GT(base.condBroadcast, 0.0);
+    // The accelerator's handoffs beat the pthread baseline.
+    EXPECT_LT(msa.lockHandoff, base.lockHandoff);
+    EXPECT_LT(msa.barrierHandoff, base.barrierHandoff);
+    EXPECT_LT(msa.condSignal, base.condSignal);
+}
+
+} // namespace
+} // namespace workload
+} // namespace misar
