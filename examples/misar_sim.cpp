@@ -10,7 +10,8 @@
  *             --entries 2 [--no-hwsync] [--no-omu] [--seed N] [--stats]
  *
  * Configs: baseline | msa0 | mcs-tour | spinlock | msa-omu | msa-inf |
- *          ideal
+ *          ideal | msa-omu-faults (the resilience campaign preset:
+ *          message drops/dups/delays plus tile 0 decommissioned)
  */
 
 #include <cstdio>
@@ -22,6 +23,7 @@
 
 #include "sim/logging.hh"
 #include "sync/sync_lib.hh"
+#include "system/presets.hh"
 #include "system/system.hh"
 #include "workload/app_catalog.hh"
 #include "workload/synthetic_app.hh"
@@ -40,7 +42,7 @@ usage()
         "options:\n"
         "  --cores N       core count, perfect square (default 16)\n"
         "  --config C      baseline|msa0|mcs-tour|spinlock|msa-omu|\n"
-        "                  msa-inf|ideal (default msa-omu)\n"
+        "                  msa-inf|ideal|msa-omu-faults (default msa-omu)\n"
         "  --entries N     MSA entries per tile (default 2)\n"
         "  --smt N         hardware threads per core (default 1)\n"
         "  --no-hwsync     disable the HWSync-bit optimization\n"
@@ -105,9 +107,12 @@ main(int argc, char **argv)
         return 1;
     }
 
-    AccelMode mode;
-    sync::SyncLib::Flavor flavor;
-    if (config == "baseline") {
+    AccelMode mode = AccelMode::MsaOmu;
+    sync::SyncLib::Flavor flavor = sync::SyncLib::Flavor::Hw;
+    bool faults = false;
+    if (config == "msa-omu-faults") {
+        faults = true;
+    } else if (config == "baseline") {
         mode = AccelMode::None;
         flavor = sync::SyncLib::Flavor::PthreadSw;
     } else if (config == "msa0") {
@@ -133,12 +138,21 @@ main(int argc, char **argv)
     }
 
     const AppSpec &spec = appByName(app_name);
-    SystemConfig cfg = makeConfig(cores, mode, entries);
+    SystemConfig cfg;
+    if (faults) {
+        cfg = sys::configFor(sys::PaperConfig::MsaOmu2Faults, cores);
+        cfg.msa.msaEntries = entries;
+    } else {
+        cfg = makeConfig(cores, mode, entries);
+    }
     cfg.smtWays = smt;
     cfg.validate();
     cfg.msa.hwSyncBitOpt = hwsync;
     cfg.msa.omuEnabled = omu;
     cfg.seed = seed;
+    if (faults && !omu)
+        fatal("--no-omu is incompatible with msa-omu-faults (the "
+              "offline slice sheds waiters to software)");
 
     sys::System s(cfg);
     if (!trace_path.empty())
@@ -150,8 +164,14 @@ main(int argc, char **argv)
         s.start(t, appThread(s.api(t), spec, layout, &lib, threads,
                              seed));
 
-    if (!s.run(5000000000ULL))
-        fatal("simulation did not finish (deadlock or runaway)");
+    switch (s.runDetailed(5000000000ULL)) {
+      case sys::RunOutcome::Finished:
+        break;
+      case sys::RunOutcome::Deadlock:
+        fatal("simulation deadlocked (see stall report above)");
+      case sys::RunOutcome::LimitReached:
+        fatal("simulation hit the tick budget (livelock or runaway)");
+    }
 
     std::printf("app            : %s\n", spec.name.c_str());
     std::printf("cores          : %u (%ux%u mesh, %u threads)\n",
@@ -171,6 +191,17 @@ main(int argc, char **argv)
     std::printf("silent locks   : %llu\n",
                 static_cast<unsigned long long>(
                     s.stats().counter("sync.silentLocks").value()));
+    if (cfg.resil.messageFaultsEnabled() || cfg.resil.offlineTile >= 0)
+        std::printf("resilience     : %llu drops / %llu timeouts / "
+                    "%llu retries / %llu abandoned\n",
+                    static_cast<unsigned long long>(
+                        s.stats().counter("resil.injectedDrops").value()),
+                    static_cast<unsigned long long>(
+                        s.stats().counter("resil.timeouts").value()),
+                    static_cast<unsigned long long>(
+                        s.stats().counter("resil.retries").value()),
+                    static_cast<unsigned long long>(
+                        s.stats().counter("resil.abandonedOps").value()));
     std::printf("noc packets    : %llu (avg latency %.1f cycles)\n",
                 static_cast<unsigned long long>(
                     s.stats().counter("noc.packetsSent").value()),

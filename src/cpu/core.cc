@@ -73,6 +73,8 @@ Core::threadFinished()
 {
     _finished = true;
     _finishTick = eq.now();
+    if (progressCell)
+        ++*progressCell;
     stats.counter(statPrefix + "threadsFinished").inc();
 }
 
@@ -139,6 +141,8 @@ Core::issue(const Op &op, OpAwaiter *aw, std::coroutine_handle<> h)
             syncUnit->execute(_id, op,
                               [this, t0, op, aw, h](SyncResult r) {
                 syncOutstanding = false;
+                if (progressCell)
+                    ++*progressCell;
                 _trace.record(t0, eq.now(), syncInstrName(op.instr),
                               op.addr);
                 aw->result = static_cast<std::uint64_t>(r);

@@ -116,6 +116,14 @@ class Core
     /** Attach the synchronization unit (not owned). */
     void setSyncUnit(SyncUnit *unit) { syncUnit = unit; }
 
+    /**
+     * Attach a shared forward-progress counter (not owned; may be
+     * null). The core bumps it whenever a sync instruction retires or
+     * the thread finishes; the liveness watchdog samples it to detect
+     * system-wide stalls.
+     */
+    void setProgressCell(std::uint64_t *cell) { progressCell = cell; }
+
     /** Begin executing @p body at the current tick. */
     void start(ThreadTask body);
 
@@ -162,6 +170,7 @@ class Core
     bool _finished = false;
     Tick _finishTick = 0;
     bool syncOutstanding = false;
+    std::uint64_t *progressCell = nullptr;
 };
 
 } // namespace cpu

@@ -378,5 +378,19 @@ HomeSlice::isSharer(Addr block, CoreId c) const
     return it->second.state == DState::Exclusive && it->second.owner == c;
 }
 
+void
+HomeSlice::forEachEntry(const std::function<void(const DirView &)> &fn) const
+{
+    for (const auto &[block, e] : entries) {
+        DirView v;
+        v.block = block;
+        v.exclusive = e.state == DState::Exclusive;
+        v.shared = e.state == DState::Shared;
+        v.owner = e.owner;
+        v.busy = e.busy;
+        fn(v);
+    }
+}
+
 } // namespace mem
 } // namespace misar

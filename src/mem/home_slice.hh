@@ -65,6 +65,19 @@ class HomeSlice
     bool isOwner(Addr block, CoreId c) const;
     bool isSharer(Addr block, CoreId c) const;
 
+    /** Read-only directory view for the invariant checker. */
+    struct DirView
+    {
+        Addr block;
+        bool exclusive; ///< directory state is Exclusive
+        bool shared;    ///< directory state is Shared
+        CoreId owner;
+        bool busy;
+    };
+
+    /** Visit every directory entry (invariant checker / debug). */
+    void forEachEntry(const std::function<void(const DirView &)> &fn) const;
+
   private:
     enum class DState : std::uint8_t { Uncached, Shared, Exclusive };
 

@@ -219,9 +219,21 @@ L1Cache::complete(L1State new_state, Addr block)
     }
     if (!hit)
         panic("L1 %u: grant with no matching outstanding miss", _core);
-    install(block, new_state);
+    Line &line = install(block, new_state);
     Mshr m = std::move(*hit);
     hit->valid = false;
+
+    // A snoop serialized after this grant crossed the fill in
+    // flight: honor it now that the data (and the functional op
+    // below) have been satisfied exactly once.
+    if (m.postFill == Mshr::PostFill::ToShared) {
+        line.state = L1State::Shared;
+        line.hwSync = false;
+    } else if (m.postFill == Mshr::PostFill::ToInvalid) {
+        line.state = L1State::Invalid;
+        line.hwSync = false;
+        line.block = invalidAddr;
+    }
 
     std::uint64_t result = 0;
     switch (m.kind) {
@@ -254,6 +266,34 @@ L1Cache::handleMessage(const std::shared_ptr<MemMsg> &msg)
         deferredMsgs[block] = msg;
         stats.counter(statPrefix + "deferredSnoops").inc();
         return;
+    }
+    if (msg->op == MemOp::FwdGetS || msg->op == MemOp::Inv ||
+        msg->op == MemOp::BackInv) {
+        for (Mshr &slot : mshrs) {
+            if (!slot.valid || slot.block != block)
+                continue;
+            // Snoop crossed our in-flight fill (see Mshr::PostFill).
+            stats.counter(statPrefix + "crossedSnoops").inc();
+            if (msg->op == MemOp::FwdGetS) {
+                if (slot.postFill == Mshr::PostFill::None)
+                    slot.postFill = Mshr::PostFill::ToShared;
+                send(std::make_shared<MemMsg>(_core, home, MemOp::FwdAck,
+                                              block));
+            } else {
+                slot.postFill = Mshr::PostFill::ToInvalid;
+                if (msg->op == MemOp::Inv)
+                    send(std::make_shared<MemMsg>(_core, home,
+                                                  MemOp::InvAck, block));
+            }
+            // Any copy we still hold is from the pre-grant epoch and
+            // covered by the same snoop.
+            if (Line *line = findLine(block)) {
+                line->state = L1State::Invalid;
+                line->hwSync = false;
+                line->block = invalidAddr;
+            }
+            return;
+        }
     }
     switch (msg->op) {
       case MemOp::FwdGetS: {
@@ -325,6 +365,18 @@ L1Cache::state(Addr a) const
 {
     const Line *line = findLine(blockAlign(a));
     return line ? line->state : L1State::Invalid;
+}
+
+void
+L1Cache::forEachLine(const std::function<void(const LineView &)> &fn) const
+{
+    for (const auto &set : sets) {
+        for (const Line &line : set) {
+            if (line.state == L1State::Invalid)
+                continue;
+            fn(LineView{line.block, line.state, line.hwSync});
+        }
+    }
 }
 
 } // namespace mem

@@ -93,6 +93,17 @@ class L1Cache
     /** Lookup state of the block holding @p a (tests/debug). */
     L1State state(Addr a) const;
 
+    /** Read-only line view for the invariant checker. */
+    struct LineView
+    {
+        Addr block;
+        L1State state;
+        bool hwSync;
+    };
+
+    /** Visit every valid line (invariant checker / debug). */
+    void forEachLine(const std::function<void(const LineView &)> &fn) const;
+
     CoreId core() const { return _core; }
 
   private:
@@ -108,6 +119,18 @@ class L1Cache
     {
         bool valid = false;
         Addr block = invalidAddr;
+        /**
+         * A snoop that crossed the in-flight fill on the other
+         * virtual network. The home serializes per-block
+         * transactions and has our ack for everything it sent before
+         * granting us, so a snoop arriving while the fill is
+         * outstanding is always ordered after the grant: it is acked
+         * immediately and applied to the line once the fill lands
+         * (otherwise the late fill would install a copy the
+         * directory no longer tracks).
+         */
+        enum class PostFill { None, ToShared, ToInvalid };
+        PostFill postFill = PostFill::None;
         // Deferred functional operation, applied at grant time.
         enum class Kind { Read, Write, Atomic } kind = Kind::Read;
         Addr addr = invalidAddr;

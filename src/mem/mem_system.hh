@@ -47,8 +47,31 @@ class MemSystem
     /** Install the handler for non-coherence packets. */
     void setOtherSink(OtherSink s) { otherSink = std::move(s); }
 
+    /**
+     * Interceptor consulted on every send(); returning true means the
+     * packet was consumed (dropped, delayed, duplicated...). Used by
+     * the fault injector. Only send() is intercepted — coherence
+     * traffic uses internal paths and is never faulted.
+     */
+    using SendInterceptor =
+        std::function<bool(const std::shared_ptr<noc::Packet> &)>;
+
+    void setSendInterceptor(SendInterceptor f) { interceptor = std::move(f); }
+
     /** Inject an arbitrary packet (used by the MSA layer). */
-    void send(std::shared_ptr<noc::Packet> pkt) { _mesh->send(std::move(pkt)); }
+    void
+    send(std::shared_ptr<noc::Packet> pkt)
+    {
+        if (interceptor && interceptor(pkt))
+            return;
+        _mesh->send(std::move(pkt));
+    }
+
+    /** Inject bypassing the interceptor (injector re-injection). */
+    void sendDirect(std::shared_ptr<noc::Packet> pkt)
+    {
+        _mesh->send(std::move(pkt));
+    }
 
   private:
     void dispatch(CoreId tile, std::shared_ptr<noc::Packet> pkt);
@@ -58,6 +81,7 @@ class MemSystem
     std::vector<std::unique_ptr<L1Cache>> l1s;
     std::vector<std::unique_ptr<HomeSlice>> homes;
     OtherSink otherSink;
+    SendInterceptor interceptor;
 };
 
 } // namespace mem

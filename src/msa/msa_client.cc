@@ -1,5 +1,7 @@
 #include "msa/msa_client.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace misar {
@@ -86,6 +88,10 @@ MsaClientHub::sendRequest(CoreId core, const cpu::Op &op)
     m->addr2 = op.addr2;
     m->goal = op.goal;
     m->requester = core;
+    // Transaction id: lets the slice deduplicate retransmissions and
+    // lets us discard stale responses. opSeq is never 0 here (it is
+    // pre-incremented before the first send).
+    m->txn = cores[core].opSeq;
     if (op.instr == cpu::SyncInstr::CondWait) {
         PerCore &pc = cores[core];
         if (pc.silentHeld.count(op.addr2))
@@ -193,7 +199,75 @@ MsaClientHub::execute(CoreId core, const cpu::Op &op, Cb cb)
     pc.cb = std::move(cb);
     pc.interrupted = false;
     ++pc.opSeq;
+    pc.retries = 0;
+    pc.issuedAt = eq.now();
     sendRequest(core, op);
+    armTimeout(core);
+}
+
+bool
+MsaClientHub::boundedRetry(cpu::SyncInstr k)
+{
+    switch (k) {
+      case cpu::SyncInstr::Unlock:
+      case cpu::SyncInstr::RwUnlock:
+      case cpu::SyncInstr::CondSignal:
+      case cpu::SyncInstr::CondBcast:
+      case cpu::SyncInstr::Finish:
+        return true;
+      default:
+        // Blocking acquires (LOCK/RDLOCK/WRLOCK/BARRIER/COND_WAIT)
+        // and TRYLOCK retry indefinitely: a locally-invented FAIL
+        // would race the software fallback against live hardware
+        // ownership (mutual-exclusion loss) or strand barrier peers.
+        return false;
+    }
+}
+
+void
+MsaClientHub::armTimeout(CoreId core)
+{
+    const Tick base = cfg.resil.timeoutTicks;
+    if (base == 0)
+        return;
+    PerCore &pc = cores[core];
+    const unsigned shift = std::min(pc.retries, 16u);
+    Tick d = base << shift;
+    if ((d >> shift) != base || d > cfg.resil.timeoutCap)
+        d = cfg.resil.timeoutCap;
+    eq.schedule(d, [this, core, seq = pc.opSeq] { onTimeout(core, seq); });
+}
+
+void
+MsaClientHub::onTimeout(CoreId core, std::uint64_t seq)
+{
+    PerCore &pc = cores[core];
+    if (!pc.active || pc.opSeq != seq)
+        return; // the op completed; this deadline is stale
+    stats.counter("resil.timeouts").inc();
+    if (boundedRetry(pc.op.instr) && pc.retries >= cfg.resil.maxRetries) {
+        // Give up: ask the home to reconcile OMU accounting for
+        // whatever it saw of this transaction, and resolve FAIL so
+        // Algorithms 1-3 route the op to software.
+        auto m = std::make_shared<MsaMsg>(cfg.tileOf(core),
+                                          homeOf(pc.op.addr),
+                                          MsaOp::FailNotice, pc.op.addr);
+        m->requester = core;
+        m->txn = seq;
+        m->suspendKind = pc.op.instr;
+        ms.send(std::move(m));
+        stats.counter("resil.abandonedOps").inc();
+        complete(core, cpu::SyncResult::Fail);
+        return;
+    }
+    ++pc.retries;
+    stats.counter("resil.retries").inc();
+    // While suspended (interrupted/resendPending) the op is
+    // deliberately not enqueued at the home; keep the deadline chain
+    // alive but do not retransmit until the thread resumes.
+    if (!pc.interrupted && !pc.resendPending)
+        sendRequest(core, pc.op);
+    armTimeout(core);
 }
 
 void
@@ -230,6 +304,14 @@ MsaClientHub::complete(CoreId core, cpu::SyncResult result, bool no_silent)
                 pc.silentAddrOfBlock[blockAlign(pc.op.addr2)] =
                     pc.op.addr2;
         }
+    }
+    if (result == cpu::SyncResult::Abort) {
+        // Degraded-mode observability: an ABORT sends the op to the
+        // software path with re-acquire semantics (migrated unlocks,
+        // suspend-forced demotions, offline-slice shedding).
+        stats.counter("sync.abortedOps").inc();
+        if (pc.op.instr == cpu::SyncInstr::Barrier)
+            stats.counter("sync.barrierDemotions").inc();
     }
     Cb cb = std::move(pc.cb);
     if (pc.interrupted) {
@@ -269,6 +351,13 @@ void
 MsaClientHub::handleMessage(CoreId core, const std::shared_ptr<MsaMsg> &msg)
 {
     PerCore &pc = cores[core];
+    if (msg->txn != 0 && (!pc.active || msg->txn != pc.opSeq)) {
+        // Response for a transaction we already resolved (e.g. a
+        // delayed duplicate racing a cache re-response). Only ever
+        // non-zero under fault injection.
+        stats.counter("resil.staleResponses").inc();
+        return;
+    }
     switch (msg->op) {
       case MsaOp::UnlockDone:
       case MsaOp::RespSuccess:
@@ -323,6 +412,30 @@ MsaClientHub::handleMessage(CoreId core, const std::shared_ptr<MsaMsg> &msg)
         panic("client %u: unexpected MSA message op %d", core,
               static_cast<int>(msg->op));
     }
+}
+
+MsaClientHub::OpSnapshot
+MsaClientHub::snapshot(CoreId core) const
+{
+    const PerCore &pc = cores[core];
+    OpSnapshot s;
+    s.active = pc.active;
+    s.interrupted = pc.interrupted || pc.resendPending;
+    s.retries = pc.retries;
+    s.issuedAt = pc.issuedAt;
+    if (pc.active) {
+        s.instr = pc.op.instr;
+        s.addr = pc.op.addr;
+        s.addr2 = pc.op.addr2;
+    }
+    return s;
+}
+
+bool
+MsaClientHub::holdsHw(CoreId core, Addr a) const
+{
+    const PerCore &pc = cores[core];
+    return pc.hwHeld.count(a) != 0 || pc.silentHeld.count(a) != 0;
 }
 
 } // namespace msa

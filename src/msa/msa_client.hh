@@ -57,6 +57,34 @@ class MsaClientHub : public cpu::SyncUnit
     /** Incoming client-bound MSA message (addressed to @p core). */
     void handleMessage(CoreId core, const std::shared_ptr<MsaMsg> &msg);
 
+    /**
+     * Read-only view of a core's outstanding operation, for the
+     * liveness watchdog and invariant checker.
+     */
+    struct OpSnapshot
+    {
+        bool active = false;
+        bool interrupted = false;
+        unsigned retries = 0;
+        Tick issuedAt = 0;
+        cpu::SyncInstr instr = cpu::SyncInstr::Lock;
+        Addr addr = invalidAddr;
+        Addr addr2 = invalidAddr;
+    };
+
+    OpSnapshot snapshot(CoreId core) const;
+
+    /** True while @p core holds @p a in hardware (grant or silent). */
+    bool holdsHw(CoreId core, Addr a) const;
+
+    /**
+     * Ops whose retries are bounded: their FAIL contract is safe to
+     * apply locally after giving up (the home reconciles accounting
+     * via FailNotice). Blocking acquires retry indefinitely — see
+     * docs/PROTOCOL.md "Failure semantics".
+     */
+    static bool boundedRetry(cpu::SyncInstr k);
+
   private:
     struct PerCore
     {
@@ -69,8 +97,13 @@ class MsaClientHub : public cpu::SyncUnit
          *  re-executing; further interrupts are no-ops meanwhile. */
         bool resendPending = false;
         /** Generation counter: stale resume callbacks for an earlier
-         *  operation must not re-send the current one. */
+         *  operation must not re-send the current one. Doubles as the
+         *  transaction id stamped on the op's request messages. */
         std::uint64_t opSeq = 0;
+        /** Timeout retransmissions of the current op. */
+        unsigned retries = 0;
+        /** Tick the current op was issued (watchdog reporting). */
+        Tick issuedAt = 0;
 
         /** Locks held via a silent acquire, not yet unlocked. */
         std::set<Addr> silentHeld;
@@ -98,6 +131,12 @@ class MsaClientHub : public cpu::SyncUnit
 
     /** Send @p op's request message to its home MSA slice. */
     void sendRequest(CoreId core, const cpu::Op &op);
+
+    /** Arm the (backed-off) retransmission timeout for @p core. */
+    void armTimeout(CoreId core);
+
+    /** Timeout fired for op generation @p seq of @p core. */
+    void onTimeout(CoreId core, std::uint64_t seq);
 
     /** Complete the pending op of @p core with @p result. */
     void complete(CoreId core, cpu::SyncResult result,

@@ -35,6 +35,13 @@ enum class MsaOp : std::uint8_t
     LockSilent,
     /** Release notification for a silently-held lock (paper §5). */
     UnlockSilent,
+    /**
+     * Timeout abandonment notice: the client gave up retrying txn
+     * (a bounded-retry op) and resolved it to FAIL locally. The home
+     * reconciles OMU accounting for whatever it did or did not see
+     * of that transaction. Never fault-injected.
+     */
+    FailNotice,
 
     // home MSA -> client (vnet 1)
     RespSuccess,
@@ -128,6 +135,15 @@ class MsaMsg : public noc::Packet
     /** For UNLOCK: the sender already completed the instruction and
      *  expects an UnlockDone notice, not a RespSuccess. */
     bool noReply = false;
+    /**
+     * Transaction id for at-most-once delivery under retransmission
+     * (0 = untracked). Clients stamp their per-core op sequence
+     * number on transactional requests; slices echo it on the final
+     * response so stale/duplicate responses can be discarded.
+     * Fire-and-forget, silent, suspend and slice-to-slice traffic
+     * stays untracked.
+     */
+    std::uint64_t txn = 0;
 };
 
 } // namespace msa

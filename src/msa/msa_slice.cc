@@ -10,10 +10,19 @@ MsaSlice::MsaSlice(EventQueue &eq, const SystemConfig &cfg, CoreId tile,
     : eq(eq), cfg(cfg), tile(tile), home(home), send(std::move(send)),
       stats(stats), statPrefix("tile" + std::to_string(tile) + ".msa."),
       infinite(cfg.msa.mode == AccelMode::MsaInfinite),
-      _omu(cfg.msa.omuCounters, stats, statPrefix)
+      _omu(cfg.msa.omuCounters, stats, statPrefix),
+      txns(cfg.numThreads())
 {
     if (!infinite)
         entries.resize(cfg.msa.msaEntries);
+}
+
+void
+MsaSlice::forEachEntry(const std::function<void(const MsaEntry &)> &fn) const
+{
+    for (const auto &e : entries)
+        if (e.valid)
+            fn(e);
 }
 
 unsigned
@@ -48,6 +57,7 @@ MsaSlice::typeSupported(SyncType t) const
 {
     switch (t) {
       case SyncType::Lock:
+      case SyncType::RwLock: // rides the lock flag (Fig 9 study)
         return cfg.msa.support.locks;
       case SyncType::Barrier:
         return cfg.msa.support.barriers;
@@ -92,11 +102,47 @@ MsaSlice::retireEntry(MsaEntry &e)
     e.busy = false;
 }
 
-void
-MsaSlice::respond(CoreId core, MsaOp op, Addr addr)
+std::shared_ptr<MsaMsg>
+MsaSlice::makeClientResp(CoreId core, MsaOp op, Addr addr)
 {
     auto m = std::make_shared<MsaMsg>(tile, cfg.tileOf(core), op, addr);
     m->requester = core;
+    if (op == MsaOp::RespSuccess || op == MsaOp::RespFail ||
+        op == MsaOp::RespAbort || op == MsaOp::RespBusy) {
+        // Which transaction does this answer? The one being
+        // dispatched right now if it is this core's own request;
+        // otherwise the core's latest tracked request (held replies:
+        // lock/barrier/RW grants delivered long after arrival).
+        // On-behalf wake-ups (cond grants from the lock home) have
+        // id <= done and stay untracked (txn 0), which the client
+        // accepts unconditionally.
+        ClientTxn &ct = txns[core];
+        const std::uint64_t id = ct.cur ? ct.cur : ct.seen;
+        if (id > ct.done) {
+            ct.done = id;
+            ct.doneOp = op;
+            ct.doneHandoff = false;
+            m->txn = id;
+        }
+    }
+    return m;
+}
+
+void
+MsaSlice::respond(CoreId core, MsaOp op, Addr addr)
+{
+    send(makeClientResp(core, op, addr));
+}
+
+void
+MsaSlice::respondFinal(CoreId core, MsaOp op, Addr addr, bool handoff,
+                       bool no_silent)
+{
+    auto m = makeClientResp(core, op, addr);
+    m->handoff = handoff;
+    m->noSilent = no_silent;
+    if (m->txn != 0)
+        txns[core].doneHandoff = handoff;
     send(std::move(m));
 }
 
@@ -113,8 +159,10 @@ MsaSlice::drainDeferred()
     std::deque<std::shared_ptr<MsaMsg>> drained;
     drained.swap(deferred);
     for (auto &m : drained) {
+        // Re-enter below the dedup gate: a deferred original must
+        // not be mistaken for a retransmission of itself.
         eq.schedule(cfg.msa.msaLatency,
-                    [this, m = std::move(m)] { process(m); });
+                    [this, m = std::move(m)] { dispatch(m); });
     }
 }
 
@@ -129,6 +177,41 @@ void
 MsaSlice::process(const std::shared_ptr<MsaMsg> &msg)
 {
     stats.counter(statPrefix + "requests").inc();
+    if (msg->txn != 0 && msg->op != MsaOp::FailNotice) {
+        // Transaction-tracked client request: deduplicate against
+        // retransmissions (at-most-once execution).
+        ClientTxn &ct = txns[msg->requester];
+        if (msg->txn == ct.done) {
+            // Completed already — the final response was lost or
+            // outrun; re-answer from the completion cache.
+            stats.counter(statPrefix + "dupCompleted").inc();
+            auto r = std::make_shared<MsaMsg>(
+                tile, cfg.tileOf(msg->requester), ct.doneOp, msg->addr);
+            r->requester = msg->requester;
+            r->txn = ct.done;
+            r->handoff = ct.doneHandoff;
+            r->noSilent = true;
+            send(std::move(r));
+            return;
+        }
+        if (msg->txn <= ct.seen) {
+            // Duplicate of a transaction still in progress (queued,
+            // deferred, or already superseded); drop it.
+            stats.counter(statPrefix + "dupInProgress").inc();
+            return;
+        }
+        ct.seen = msg->txn;
+    }
+    dispatch(msg);
+}
+
+void
+MsaSlice::dispatch(const std::shared_ptr<MsaMsg> &msg)
+{
+    const bool tracked = msg->txn != 0 && msg->op != MsaOp::FailNotice &&
+                         msg->requester != invalidCore;
+    if (tracked)
+        txns[msg->requester].cur = msg->txn;
     switch (msg->op) {
       case MsaOp::Lock:
         doLock(msg);
@@ -194,15 +277,27 @@ MsaSlice::process(const std::shared_ptr<MsaMsg> &msg)
       case MsaOp::UnlockPinNack:
         doUnlockPinResp(msg, false);
         break;
+      case MsaOp::FailNotice:
+        doFailNotice(msg);
+        break;
       default:
         panic("MSA %u: unexpected message op %d", tile,
               static_cast<int>(msg->op));
     }
+    if (tracked)
+        txns[msg->requester].cur = 0;
 }
 
 MsaEntry *
 MsaSlice::allocate(Addr addr)
 {
+    if (offline) {
+        // Decommissioned: every miss is denied, so the caller's
+        // existing FAIL path (omuInc + RespFail) routes the address
+        // to software.
+        stats.counter(statPrefix + "offlineDenied").inc();
+        return nullptr;
+    }
     for (auto &e : entries) {
         if (!e.valid) {
             e.reset();
@@ -264,8 +359,11 @@ MsaSlice::grantLock(MsaEntry &e, CoreId core)
     // the cond-in-HW => lock-in-HW invariant), or when the
     // optimization is off.
     const bool contended = e.hwQueue.count() > 1;
+    // An offline slice keeps serving pinned/live entries until they
+    // drain, but must not mint new silent privileges: the entry will
+    // be shed at release, and a dangling privilege would outlive it.
     const bool want_push =
-        cfg.msa.hwSyncBitOpt && e.pinCount == 0 && !contended;
+        cfg.msa.hwSyncBitOpt && e.pinCount == 0 && !contended && !offline;
     // A copy pushed to some *other* core earlier may still carry the
     // silent privilege; it must be revoked (invalidated, ack-gated)
     // before this grant completes. Freshly allocated entries always
@@ -275,11 +373,7 @@ MsaSlice::grantLock(MsaEntry &e, CoreId core)
         e.pushedTo != invalidCore && e.pushedTo != core;
 
     auto respond_grant = [this, core, addr](bool no_silent) {
-        auto r = std::make_shared<MsaMsg>(tile, cfg.tileOf(core),
-                                          MsaOp::RespSuccess, addr);
-        r->requester = core;
-        r->noSilent = no_silent;
-        send(std::move(r));
+        respondFinal(core, MsaOp::RespSuccess, addr, false, no_silent);
     };
 
     // The block lives in the thread's tile-level L1; pushedTo tracks
@@ -455,14 +549,27 @@ MsaSlice::doUnlock(const std::shared_ptr<MsaMsg> &msg)
         return;
     }
     if (e->owner == core) {
+        if (offline && cfg.msa.omuEnabled && e->pinCount == 0) {
+            // Graceful decommission: instead of handing the lock to
+            // the next hardware waiter, abort every waiter to
+            // software and retire the entry. handoff=true revokes
+            // the releaser's silent-privilege record — the word
+            // belongs to software acquirers from here on.
+            e->hwQueue.reset(core);
+            e->owner = invalidCore;
+            abortWaiters(*e, "offlineLockAborts");
+            retireEntry(*e);
+            respondFinal(core,
+                         msg->noReply ? MsaOp::UnlockDone
+                                      : MsaOp::RespSuccess,
+                         addr, /*handoff=*/true);
+            return;
+        }
         const bool handoff = e->hwQueue.count() > 1;
         unlockCommon(*e, core);
-        auto r = std::make_shared<MsaMsg>(
-            tile, cfg.tileOf(core),
-            msg->noReply ? MsaOp::UnlockDone : MsaOp::RespSuccess, addr);
-        r->requester = core;
-        r->handoff = handoff;
-        send(std::move(r));
+        respondFinal(core,
+                     msg->noReply ? MsaOp::UnlockDone : MsaOp::RespSuccess,
+                     addr, handoff);
         return;
     }
 
@@ -502,6 +609,10 @@ MsaSlice::doUnlock(const std::shared_ptr<MsaMsg> &msg)
 void
 MsaSlice::rwDrain(MsaEntry &e)
 {
+    // Offline: no new grants; doRwUnlock sheds the waiters once the
+    // current holders fully release.
+    if (offline && cfg.msa.omuEnabled)
+        return;
     // Nothing to grant while a writer holds or waiters are absent.
     if (e.owner != invalidCore || !e.hwQueue.any())
         return;
@@ -639,6 +750,17 @@ MsaSlice::doRwUnlock(const std::shared_ptr<MsaMsg> &msg)
 
     if (!msg->noReply)
         respond(core, MsaOp::RespSuccess, addr);
+    if (offline && cfg.msa.omuEnabled) {
+        // Shed only at full release: aborting waiters to software
+        // while hardware holders remain would let a software writer
+        // acquire the word concurrently with them.
+        if (e->owner == invalidCore && !e->readersHeld.any()) {
+            abortWaiters(*e, "offlineRwAborts");
+            e->waitIsWriter.reset();
+            retireEntry(*e);
+        }
+        return;
+    }
     rwDrain(*e);
     if (e->owner == invalidCore && !e->readersHeld.any() &&
         !e->hwQueue.any())
@@ -718,6 +840,15 @@ MsaSlice::doCondWait(const std::shared_ptr<MsaMsg> &msg)
         // The waiter holds the lock via a silent acquire, so the lock
         // has no MSA entry; the cond var must go to software (whose
         // unlock path handles the silent hold correctly).
+        omuInc(cond);
+        respond(core, MsaOp::RespFail, cond);
+        return;
+    }
+    if (offline && cfg.msa.omuEnabled) {
+        // All cond entries were shed when the slice went offline (or
+        // abort at UnlockPinResp settle), so no live entry can exist
+        // here; sending the wait to software keeps every waiter of a
+        // condvar in a single (software) domain.
         omuInc(cond);
         respond(core, MsaOp::RespFail, cond);
         return;
@@ -824,6 +955,20 @@ MsaSlice::doUnlockPinResp(const std::shared_ptr<MsaMsg> &msg, bool ok)
               static_cast<unsigned long long>(cond));
     e->busy = false;
     if (ok) {
+        if (offline && cfg.msa.omuEnabled) {
+            // The slice went offline while this reserve was in
+            // flight (busy entries are skipped by shedEntries):
+            // abort the waiter to the software path now. The lock
+            // was already unlocked-and-pinned on its behalf; drop
+            // the pin again.
+            stats.counter(statPrefix + "offlineCondAborts").inc();
+            respond(waiter, MsaOp::RespAbort, cond);
+            omuInc(cond);
+            sendUnpin(e->lockAddr);
+            e->reset();
+            drainDeferred();
+            return;
+        }
         e->hwQueue.set(waiter);
     } else {
         if (cfg.msa.omuEnabled) {
@@ -993,6 +1138,10 @@ MsaSlice::doSuspend(const std::shared_ptr<MsaMsg> &msg)
             e->hwQueue.test(core)) {
             e->hwQueue.reset(core);
             e->waitIsWriter.reset(core);
+            // The dequeued transaction leaves the slice; the client
+            // re-sends it (same txn) after the resume delay, and that
+            // re-send must pass the dedup gate.
+            txns[core].seen = txns[core].done;
             stats.counter(statPrefix + "lockSuspends").inc();
             rwDrain(*e); // a parked reader batch may now be eligible
         }
@@ -1002,8 +1151,10 @@ MsaSlice::doSuspend(const std::shared_ptr<MsaMsg> &msg)
       case cpu::SyncInstr::Lock:
         if (e && !e->busy && e->type == SyncType::Lock &&
             e->hwQueue.test(core) && e->owner != core) {
-            // Dequeue the waiter (paper §4.1.2).
+            // Dequeue the waiter (paper §4.1.2); let the post-resume
+            // re-send (same txn) pass the dedup gate.
             e->hwQueue.reset(core);
+            txns[core].seen = txns[core].done;
             stats.counter(statPrefix + "lockSuspends").inc();
         }
         // Ack in all cases; if a grant crossed in flight it reaches
@@ -1046,11 +1197,7 @@ MsaSlice::doSuspend(const std::shared_ptr<MsaMsg> &msg)
             stats.counter(statPrefix + "condAborts").inc();
             if (!e->hwQueue.any()) {
                 // Last waiter left without re-acquiring: unpin.
-                auto u = std::make_shared<MsaMsg>(
-                    tile,
-                    mem::homeTile(blockAlign(e->lockAddr), cfg.numCores),
-                    MsaOp::Unpin, e->lockAddr);
-                send(std::move(u));
+                sendUnpin(e->lockAddr);
                 e->reset();
             }
         }
@@ -1061,6 +1208,123 @@ MsaSlice::doSuspend(const std::shared_ptr<MsaMsg> &msg)
     }
 }
 
+std::uint32_t
+MsaSlice::abortWaiters(MsaEntry &e, const char *stat_name)
+{
+    std::uint32_t n = 0;
+    for (unsigned c = 0; c < cfg.numThreads(); ++c) {
+        if (e.hwQueue.test(c) && c != e.owner) {
+            e.hwQueue.reset(c);
+            respond(c, MsaOp::RespAbort, e.addr);
+            ++n;
+        }
+    }
+    if (n) {
+        omuInc(e.addr, n);
+        stats.counter(statPrefix + stat_name).inc(n);
+    }
+    return n;
+}
+
+void
+MsaSlice::sendUnpin(Addr lock)
+{
+    auto u = std::make_shared<MsaMsg>(
+        tile, mem::homeTile(blockAlign(lock), cfg.numCores), MsaOp::Unpin,
+        lock);
+    send(std::move(u));
+}
+
+void
+MsaSlice::shedEntries()
+{
+    for (auto &e : entries) {
+        if (!e.valid || e.tombstone || e.busy)
+            continue;
+        switch (e.type) {
+          case SyncType::Barrier:
+            abortWaiters(e, "offlineBarrierAborts");
+            e.reset();
+            break;
+          case SyncType::Cond:
+            // Aborted waiters re-run the wait in software; the cond
+            // entry's pin on its lock entry is no longer needed.
+            abortWaiters(e, "offlineCondAborts");
+            sendUnpin(e.lockAddr);
+            e.reset();
+            break;
+          default:
+            // Locks and RW locks shed at their next full release
+            // (doUnlock / doRwUnlock): aborting their waiters while a
+            // hardware holder remains would race software acquirers
+            // against it.
+            break;
+        }
+    }
+}
+
+void
+MsaSlice::goOffline()
+{
+    if (offline)
+        return;
+    offline = true;
+    stats.counter(statPrefix + "offlineEvents").inc();
+    if (cfg.msa.omuEnabled)
+        shedEntries();
+}
+
+void
+MsaSlice::doFailNotice(const std::shared_ptr<MsaMsg> &msg)
+{
+    const CoreId core = msg->requester;
+    ClientTxn &ct = txns[core];
+    stats.counter(statPrefix + "failNotices").inc();
+
+    if (msg->txn <= ct.done) {
+        // The transaction executed here and completed (its response
+        // was lost). For the bounded (release/notify) class both the
+        // executed outcome and the client's local FAIL leave the
+        // accounting consistent — nothing to undo.
+        return;
+    }
+    if (msg->txn <= ct.seen) {
+        // The request arrived but is still pending (deferred behind
+        // a busy entry). Only CondSignal/CondBcast can be in this
+        // state, and executing the signal later is benign (condvars
+        // tolerate spurious signals); its completion will settle the
+        // cache and the client drops the stale response.
+        return;
+    }
+
+    // The request never arrived (every copy was lost): reconcile the
+    // OMU for the op the client resolved FAIL locally.
+    switch (msg->suspendKind) {
+      case cpu::SyncInstr::Unlock:
+      case cpu::SyncInstr::RwUnlock:
+        // FAIL contract: "the matching acquire failed too" — the
+        // software release ends an episode opened by the acquire's
+        // FAIL-time increment.
+        omuDec(msg->addr);
+        break;
+      case cpu::SyncInstr::Finish:
+        omuDec(msg->addr);
+        break;
+      case cpu::SyncInstr::CondSignal:
+      case cpu::SyncInstr::CondBcast:
+        break; // no OMU side effects on the FAIL path
+      default:
+        panic("MSA %u: FailNotice for unbounded op kind %d", tile,
+              static_cast<int>(msg->suspendKind));
+    }
+    // Poison the transaction in the dedup cache: a delayed duplicate
+    // of the abandoned request must answer from the cache, never
+    // execute.
+    ct.seen = msg->txn;
+    ct.done = msg->txn;
+    ct.doneOp = MsaOp::RespFail;
+    ct.doneHandoff = false;
+}
 
 } // namespace msa
 } // namespace misar

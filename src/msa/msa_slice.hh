@@ -117,11 +117,50 @@ class MsaSlice
     /** Tests/debug: entry for @p addr, or nullptr. */
     const MsaEntry *findEntry(Addr addr) const;
 
+    /** Tests only: mutable entry access (invariant-checker tests
+     *  corrupt state through this hook). */
+    MsaEntry *mutableEntry(Addr addr) { return find(addr); }
+
+    /** Visit every valid entry (invariant checker / watchdog). */
+    void forEachEntry(const std::function<void(const MsaEntry &)> &fn) const;
+
+    /**
+     * Take the slice offline (graceful decommission): stop
+     * allocating entries, shed barrier/cond entries immediately
+     * (ABORT waiters to software with OMU accounting), and shed each
+     * lock/RW entry at its next full release. Front-end accounting
+     * (OMU, dedup cache) stays alive so in-flight software episodes
+     * settle correctly. See docs/PROTOCOL.md "Failure semantics".
+     */
+    void goOffline();
+
+    bool isOffline() const { return offline; }
+
     Omu &omu() { return _omu; }
 
   private:
+    /**
+     * Per-client transaction state: retransmission dedup plus a
+     * one-deep completed-response cache (at-most-once execution).
+     */
+    struct ClientTxn
+    {
+        /** Highest txn received from this core. */
+        std::uint64_t seen = 0;
+        /** Txn of the cached final response. */
+        std::uint64_t done = 0;
+        /** Txn of the request currently being dispatched (0 outside
+         *  a request's dispatch window). */
+        std::uint64_t cur = 0;
+        MsaOp doneOp = MsaOp::RespFail;
+        bool doneHandoff = false;
+    };
+
     /** Process @p msg after the MSA pipeline latency. */
     void process(const std::shared_ptr<MsaMsg> &msg);
+
+    /** Dedup-gated by process(); deferred messages re-enter here. */
+    void dispatch(const std::shared_ptr<MsaMsg> &msg);
 
     void doLock(const std::shared_ptr<MsaMsg> &msg);
     void doTryLock(const std::shared_ptr<MsaMsg> &msg);
@@ -140,6 +179,7 @@ class MsaSlice
     void doUnlockOnBehalf(const std::shared_ptr<MsaMsg> &msg);
     void doUnpin(const std::shared_ptr<MsaMsg> &msg);
     void doUnlockPinResp(const std::shared_ptr<MsaMsg> &msg, bool ok);
+    void doFailNotice(const std::shared_ptr<MsaMsg> &msg);
 
     MsaEntry *find(Addr addr);
 
@@ -158,7 +198,30 @@ class MsaSlice
     /** Perform an unlock by @p core on @p e; true on success. */
     bool unlockCommon(MsaEntry &e, CoreId core);
 
+    /**
+     * Build a client-bound response. Final instruction responses
+     * (Success/Fail/Abort/Busy) are stamped with the transaction id
+     * they answer and recorded in the per-client completion cache so
+     * retransmissions can be re-answered without re-execution.
+     */
+    std::shared_ptr<MsaMsg> makeClientResp(CoreId core, MsaOp op,
+                                           Addr addr);
+
     void respond(CoreId core, MsaOp op, Addr addr);
+
+    /** respond() with handoff/noSilent flags (also cached). */
+    void respondFinal(CoreId core, MsaOp op, Addr addr,
+                      bool handoff = false, bool no_silent = false);
+
+    /** ABORT every queued (non-owner) waiter of @p e to software,
+     *  with OMU accounting; returns the number aborted. */
+    std::uint32_t abortWaiters(MsaEntry &e, const char *stat_name);
+
+    /** Shed barrier/cond entries when going offline. */
+    void shedEntries();
+
+    /** Fire-and-forget Unpin to @p lock's home slice. */
+    void sendUnpin(Addr lock);
 
     /** Queue @p msg until a busy entry settles. */
     void defer(const std::shared_ptr<MsaMsg> &msg);
@@ -194,6 +257,10 @@ class MsaSlice
     /** Next-bit-to-check fairness register (one per slice). */
     CoreId nbtc = 0;
     std::deque<std::shared_ptr<MsaMsg>> deferred;
+    /** Per-client transaction dedup state (indexed by thread id). */
+    std::vector<ClientTxn> txns;
+    /** Offline (decommissioned) — see goOffline(). */
+    bool offline = false;
 };
 
 } // namespace msa

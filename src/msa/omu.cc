@@ -16,7 +16,18 @@ Omu::Omu(unsigned num_counters, StatRegistry &stats,
 void
 Omu::increment(Addr a, std::uint32_t n)
 {
-    counters[index(a)] += n;
+    std::uint32_t &c = counters[index(a)];
+    if (c >= saturatedValue - n) {
+        // Sticky saturation: the true software-active population can
+        // no longer be tracked, so the bucket pins at the ceiling and
+        // its addresses stay in software forever (safe: the OMU may
+        // only ever steer operations *toward* software).
+        if (c != saturatedValue)
+            stats.counter(statPrefix + "omuSaturations").inc();
+        c = saturatedValue;
+    } else {
+        c += n;
+    }
     stats.counter(statPrefix + "omuIncrements").inc(n);
 }
 
@@ -24,6 +35,12 @@ void
 Omu::decrement(Addr a, std::uint32_t n)
 {
     std::uint32_t &c = counters[index(a)];
+    if (c == saturatedValue) {
+        // The counter overflowed in the past; decrements cannot be
+        // applied meaningfully, so the bucket stays saturated.
+        stats.counter(statPrefix + "omuDecrements").inc(n);
+        return;
+    }
     if (c < n)
         panic("OMU counter underflow for addr %llx (have %u, dec %u)",
               static_cast<unsigned long long>(a), c, n);

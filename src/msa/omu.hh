@@ -26,6 +26,15 @@ namespace msa {
 class Omu
 {
   public:
+    /**
+     * Counter ceiling: a counter reaching this value saturates
+     * stickily (its addresses are treated as software-active forever)
+     * because the true population can no longer be reconstructed.
+     * Safe by the OMU's one-sided contract: aliasing/saturation may
+     * only steer operations toward software, never toward hardware.
+     */
+    static constexpr std::uint32_t saturatedValue = 0xffffffffu;
+
     Omu(unsigned num_counters, StatRegistry &stats,
         const std::string &stat_prefix);
 
@@ -52,6 +61,9 @@ class Omu
     {
         return static_cast<unsigned>(counters.size());
     }
+
+    /** Raw counter value by index (invariant checker / tests). */
+    std::uint32_t countAt(unsigned i) const { return counters[i]; }
 
   private:
     unsigned

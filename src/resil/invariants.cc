@@ -1,0 +1,332 @@
+#include "resil/invariants.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "system/system.hh"
+
+namespace misar {
+namespace resil {
+
+namespace {
+
+std::string
+hex(Addr a)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << a;
+    return os.str();
+}
+
+bool
+hasMsa(const SystemConfig &cfg)
+{
+    return cfg.msa.mode == AccelMode::MsaOmu ||
+           cfg.msa.mode == AccelMode::MsaInfinite;
+}
+
+} // namespace
+
+InvariantChecker::InvariantChecker(sys::System &system, Tick interval,
+                                   StatRegistry &stats)
+    : sys(system), interval(interval), stats(stats)
+{
+    onViolation = [](const std::vector<std::string> &v) {
+        for (const auto &s : v)
+            warn("invariant violation: %s", s.c_str());
+        fatal("%zu invariant violation(s)", v.size());
+    };
+}
+
+void
+InvariantChecker::start()
+{
+    if (scheduled || interval == 0)
+        return;
+    scheduled = true;
+    sys.eventQueue().schedule(interval, [this] { sweep(); });
+}
+
+void
+InvariantChecker::report(const std::vector<std::string> &v)
+{
+    if (v.empty())
+        return;
+    stats.counter("resil.invariantViolations").inc(v.size());
+    onViolation(v);
+}
+
+void
+InvariantChecker::sweep()
+{
+    scheduled = false;
+    if (sys.allFinished())
+        return; // the quiesce pass takes over from here
+
+    std::vector<std::string> v;
+    structural(v);
+
+    // Cross-component findings race benignly against in-flight
+    // messages (e.g. a grant whose response is still on the NoC), so
+    // only report one seen in two consecutive sweeps.
+    std::vector<std::string> c;
+    cross(c);
+    std::set<std::string> now(c.begin(), c.end());
+    for (const auto &s : now)
+        if (lastCross.count(s))
+            v.push_back(s);
+    lastCross = std::move(now);
+
+    if (!v.empty()) {
+        report(v);
+        return; // a (non-fatal) handler saw it; stop sweeping
+    }
+    scheduled = true;
+    sys.eventQueue().schedule(interval, [this] { sweep(); });
+}
+
+std::vector<std::string>
+InvariantChecker::checkNow(bool at_quiesce)
+{
+    std::vector<std::string> v;
+    structural(v);
+    cross(v);
+    if (at_quiesce)
+        quiesce(v);
+    return v;
+}
+
+void
+InvariantChecker::atQuiesce()
+{
+    report(checkNow(true));
+}
+
+void
+InvariantChecker::structural(std::vector<std::string> &out) const
+{
+    const SystemConfig &cfg = sys.config();
+    if (!hasMsa(cfg))
+        return;
+    const unsigned threads = cfg.numThreads();
+
+    for (CoreId t = 0; t < cfg.numCores; ++t) {
+        msa::MsaSlice &slice = sys.msaSlice(t);
+        std::string where = "slice " + std::to_string(t) + ": ";
+        slice.forEachEntry([&](const msa::MsaEntry &e) {
+            std::string id = where + hex(e.addr) + ": ";
+            if (e.addr == invalidAddr)
+                out.push_back(where + "valid entry with invalid addr");
+            if (e.tombstone) {
+                if (cfg.msa.omuEnabled)
+                    out.push_back(id + "tombstone with OMU enabled");
+                return; // parked forever; no further state to check
+            }
+            switch (e.type) {
+              case msa::SyncType::Lock:
+                if (e.owner != invalidCore && !e.hwQueue.test(e.owner))
+                    out.push_back(id + "lock owner " +
+                                  std::to_string(e.owner) +
+                                  " missing from HWQueue");
+                if (e.owner == invalidCore && e.hwQueue.any())
+                    out.push_back(id + "ownerless lock with waiters");
+                break;
+              case msa::SyncType::Barrier:
+                if (e.goal == 0 || e.goal > threads)
+                    out.push_back(id + "barrier goal " +
+                                  std::to_string(e.goal) +
+                                  " out of range");
+                else if (e.hwQueue.count() >= e.goal)
+                    out.push_back(id + "barrier arrivals not below "
+                                  "goal (missed release)");
+                if (e.owner != invalidCore)
+                    out.push_back(id + "barrier with an owner");
+                if (e.pinCount)
+                    out.push_back(id + "pinned barrier");
+                break;
+              case msa::SyncType::RwLock:
+                if (e.owner != invalidCore && e.readersHeld.any())
+                    out.push_back(id + "RW writer and readers "
+                                  "co-resident");
+                if (e.owner != invalidCore && e.hwQueue.test(e.owner))
+                    out.push_back(id + "RW writer still queued");
+                if ((e.waitIsWriter & ~e.hwQueue).any())
+                    out.push_back(id + "writer-waiter bit without a "
+                                  "queued waiter");
+                if ((e.readersHeld & e.hwQueue).any())
+                    out.push_back(id + "RW holder also queued");
+                if (e.pinCount)
+                    out.push_back(id + "pinned RW lock");
+                break;
+              case msa::SyncType::Cond:
+                if (e.lockAddr == invalidAddr)
+                    out.push_back(id + "cond without an associated "
+                                  "lock");
+                if (e.owner != invalidCore)
+                    out.push_back(id + "cond with an owner");
+                if (e.pinCount)
+                    out.push_back(id + "pinned cond");
+                break;
+            }
+        });
+
+        // OMU smoke bound: any counter beyond what the thread
+        // population can plausibly account for (and not the sticky
+        // saturation sentinel) indicates a leak.
+        if (cfg.msa.omuEnabled) {
+            msa::Omu &omu = slice.omu();
+            const std::uint32_t bound = 8 * threads + 16;
+            for (unsigned i = 0; i < omu.numCounters(); ++i) {
+                std::uint32_t c = omu.countAt(i);
+                if (c > bound && c != msa::Omu::saturatedValue)
+                    out.push_back(where + "OMU counter " +
+                                  std::to_string(i) +
+                                  " implausibly large (" +
+                                  std::to_string(c) + ")");
+            }
+        }
+    }
+}
+
+void
+InvariantChecker::cross(std::vector<std::string> &out) const
+{
+    const SystemConfig &cfg = sys.config();
+    const msa::MsaClientHub *hub = sys.clientHub();
+    if (!hasMsa(cfg) || !hub)
+        return;
+
+    auto holder_live = [&](CoreId c, Addr a) {
+        return hub->snapshot(c).active || hub->holdsHw(c, a);
+    };
+    auto waiter_live = [&](CoreId c) {
+        return hub->snapshot(c).active;
+    };
+
+    for (CoreId t = 0; t < cfg.numCores; ++t) {
+        msa::MsaSlice &slice = sys.msaSlice(t);
+        std::string where = "slice " + std::to_string(t) + ": ";
+        slice.forEachEntry([&](const msa::MsaEntry &e) {
+            if (e.tombstone || e.busy)
+                return; // parked / mid-transaction
+            std::string id = where + hex(e.addr) + ": ";
+            if ((e.type == msa::SyncType::Lock ||
+                 e.type == msa::SyncType::RwLock) &&
+                e.owner != invalidCore &&
+                !holder_live(e.owner, e.addr))
+                out.push_back(id + "owner " + std::to_string(e.owner) +
+                              " has no client-side hold or pending op");
+            if (e.type == msa::SyncType::RwLock) {
+                for (unsigned c = 0; c < cfg.numThreads(); ++c)
+                    if (e.readersHeld.test(c) &&
+                        !holder_live(c, e.addr))
+                        out.push_back(id + "reader " +
+                                      std::to_string(c) +
+                                      " has no client-side hold or "
+                                      "pending op");
+            }
+            for (unsigned c = 0; c < cfg.numThreads(); ++c) {
+                if (!e.hwQueue.test(c) || c == e.owner)
+                    continue;
+                if (!waiter_live(c))
+                    out.push_back(id + "queued waiter " +
+                                  std::to_string(c) +
+                                  " has no outstanding operation");
+            }
+        });
+    }
+}
+
+void
+InvariantChecker::quiesce(std::vector<std::string> &out) const
+{
+    const SystemConfig &cfg = sys.config();
+
+    if (const msa::MsaClientHub *hub = sys.clientHub()) {
+        for (CoreId c = 0; c < cfg.numThreads(); ++c)
+            if (hub->snapshot(c).active)
+                out.push_back("thread " + std::to_string(c) +
+                              " still has an outstanding sync op at "
+                              "quiesce");
+    }
+
+    if (hasMsa(cfg)) {
+        for (CoreId t = 0; t < cfg.numCores; ++t) {
+            msa::MsaSlice &slice = sys.msaSlice(t);
+            std::string where = "slice " + std::to_string(t) + ": ";
+            slice.forEachEntry([&](const msa::MsaEntry &e) {
+                if (e.tombstone)
+                    return;
+                std::string id = where + hex(e.addr) + ": ";
+                if (e.busy)
+                    out.push_back(id + "busy entry at quiesce");
+                // Held locks may outlive the threads (a workload may
+                // legitimately end while holding), but nobody can be
+                // left waiting.
+                unsigned waiters =
+                    static_cast<unsigned>(e.hwQueue.count()) -
+                    (e.type == msa::SyncType::Lock &&
+                     e.owner != invalidCore && e.hwQueue.test(e.owner)
+                         ? 1u : 0u);
+                if (waiters)
+                    out.push_back(id + std::to_string(waiters) +
+                                  " stranded waiter(s) at quiesce");
+            });
+            if (cfg.msa.omuEnabled) {
+                msa::Omu &omu = slice.omu();
+                for (unsigned i = 0; i < omu.numCounters(); ++i) {
+                    std::uint32_t c = omu.countAt(i);
+                    if (c != 0 && c != msa::Omu::saturatedValue)
+                        out.push_back(where + "OMU counter " +
+                                      std::to_string(i) +
+                                      " not drained at quiesce (" +
+                                      std::to_string(c) + ")");
+                }
+            }
+        }
+    }
+
+    // L1 <-> directory agreement (valid in any mode once quiesced).
+    mem::MemSystem &ms = sys.mem();
+    for (CoreId t = 0; t < cfg.numCores; ++t) {
+        std::string where = "L1 " + std::to_string(t) + ": ";
+        ms.l1(t).forEachLine([&](const mem::L1Cache::LineView &l) {
+            std::string id = where + hex(l.block) + ": ";
+            mem::HomeSlice &home = ms.homeOf(l.block);
+            switch (l.state) {
+              case mem::L1State::Exclusive:
+              case mem::L1State::Modified:
+                if (!home.isOwner(l.block, t)) {
+                    std::string dir = "no directory entry";
+                    home.forEachEntry(
+                        [&](const mem::HomeSlice::DirView &d) {
+                        if (d.block != l.block)
+                            return;
+                        dir = std::string("dir ") +
+                              (d.exclusive ? "E" : d.shared ? "S"
+                                                            : "I") +
+                              " owner=" + std::to_string(d.owner) +
+                              (d.busy ? " busy" : "");
+                    });
+                    out.push_back(id + "E/M line not exclusive in "
+                                  "the directory (" + dir + ")");
+                }
+                break;
+              case mem::L1State::Shared:
+                if (!home.isSharer(l.block, t))
+                    out.push_back(id + "Shared line missing from the "
+                                  "sharer vector");
+                break;
+              case mem::L1State::Invalid:
+                break;
+            }
+            if (l.hwSync && l.state != mem::L1State::Exclusive &&
+                l.state != mem::L1State::Modified)
+                out.push_back(id + "HWSync bit on a non-writable "
+                              "line");
+        });
+    }
+}
+
+} // namespace resil
+} // namespace misar

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Debug-mode invariant checker.
+ *
+ * Periodically (and once more at quiesce) sweeps the whole system and
+ * cross-checks the components' views of each other:
+ *
+ *  - structural MSA-entry sanity (owner recorded in the HWQueue,
+ *    barrier arrivals below the goal, no reader/writer co-ownership,
+ *    no orphaned writer-waiter bits, OMU smoke bounds);
+ *  - cross-component agreement (an entry's owner/reader must have a
+ *    matching client-side hold or an outstanding operation) — these
+ *    race benignly against in-flight messages, so a finding is only
+ *    reported when it persists across two consecutive sweeps;
+ *  - quiesce-only strictness (no outstanding client ops, no stranded
+ *    waiters, OMU fully drained, and every L1 line's MESI state
+ *    backed by the directory).
+ *
+ * Violations go to a handler (default: warn each line + fatal) so
+ * tests can capture them instead of dying.
+ */
+
+#ifndef MISAR_RESIL_INVARIANTS_HH
+#define MISAR_RESIL_INVARIANTS_HH
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace misar {
+namespace sys {
+class System;
+} // namespace sys
+
+namespace resil {
+
+/** Periodic + quiesce-time consistency checker. */
+class InvariantChecker
+{
+  public:
+    using ViolationHandler =
+        std::function<void(const std::vector<std::string> &)>;
+
+    InvariantChecker(sys::System &system, Tick interval,
+                     StatRegistry &stats);
+
+    /** Arm the periodic sweep. */
+    void start();
+
+    /**
+     * Run every applicable check now and return the violations.
+     * @p at_quiesce additionally runs the strict end-state checks
+     * (only meaningful once the event queue has drained).
+     */
+    std::vector<std::string> checkNow(bool at_quiesce);
+
+    /** Run the strict end-state checks and report violations through
+     *  the handler. Call only after the event queue has drained. */
+    void atQuiesce();
+
+    void setViolationHandler(ViolationHandler h) { onViolation = std::move(h); }
+
+    /** Pending maintenance events (0 or 1), excluded from the
+     *  system's deadlock detection. */
+    unsigned pendingMaintenance() const { return scheduled ? 1u : 0u; }
+
+  private:
+    void sweep();
+
+    /** Count @p v in stats and hand it to the violation handler. */
+    void report(const std::vector<std::string> &v);
+
+    /** Race-free entry/OMU sanity (always-true invariants). */
+    void structural(std::vector<std::string> &out) const;
+
+    /** Cross-component agreement (tolerates in-flight messages). */
+    void cross(std::vector<std::string> &out) const;
+
+    /** Strict end-state checks (valid only after a full drain). */
+    void quiesce(std::vector<std::string> &out) const;
+
+    sys::System &sys;
+    Tick interval;
+    StatRegistry &stats;
+    ViolationHandler onViolation;
+    bool scheduled = false;
+    /** Cross-check findings of the previous sweep (for two-round
+     *  confirmation). */
+    std::set<std::string> lastCross;
+};
+
+} // namespace resil
+} // namespace misar
+
+#endif // MISAR_RESIL_INVARIANTS_HH

@@ -33,6 +33,25 @@ SystemConfig::validate() const
         fatal("l1Sets must be a power of two");
     if ((mem.llcSliceSets & (mem.llcSliceSets - 1)) != 0)
         fatal("llcSliceSets must be a power of two");
+    auto prob_ok = [](double p) { return p >= 0.0 && p <= 1.0; };
+    if (!prob_ok(resil.dropProb) || !prob_ok(resil.dupProb) ||
+        !prob_ok(resil.delayProb))
+        fatal("fault probabilities must lie in [0, 1]");
+    if (resil.dropProb + resil.dupProb + resil.delayProb > 1.0)
+        fatal("fault probabilities must sum to at most 1");
+    if (resil.dropProb > 0.0 && resil.timeoutTicks == 0)
+        fatal("dropProb > 0 requires timeoutTicks > 0, or dropped "
+              "requests would hang their issuing thread forever");
+    if (resil.offlineTile >= static_cast<int>(numCores))
+        fatal("offlineTile (%d) out of range for %u cores",
+              resil.offlineTile, numCores);
+    if (resil.offlineTile >= 0 && msa.mode != AccelMode::MsaOmu &&
+        msa.mode != AccelMode::MsaInfinite)
+        fatal("offlineTile requires an MSA mode (there is no slice to "
+              "take offline under %s)", accelName().c_str());
+    if (resil.offlineTile >= 0 && !msa.omuEnabled)
+        fatal("offlineTile requires the OMU: graceful shedding moves "
+              "waiters to software, which needs activity accounting");
 }
 
 std::string

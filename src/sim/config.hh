@@ -96,6 +96,59 @@ struct MsaConfig
     Tick msaLatency = 1;
 };
 
+/**
+ * Resilience / fault-injection parameters. All defaults are "off":
+ * a default ResilConfig adds no events, no messages and no stat
+ * activity, so zero-fault runs are bit-identical to a build without
+ * the subsystem.
+ */
+struct ResilConfig
+{
+    /** Probability a faultable MSA message is silently dropped. */
+    double dropProb = 0.0;
+    /** Probability a faultable MSA message is duplicated. */
+    double dupProb = 0.0;
+    /** Probability a faultable MSA message is delayed. */
+    double delayProb = 0.0;
+    /** Extra ticks a delayed (or duplicated) message waits. */
+    Tick delayTicks = 200;
+    /** Tick at which message faults start firing (0 = immediately). */
+    Tick faultsFromTick = 0;
+    /** Seed for the injector's private RNG stream. */
+    std::uint64_t faultSeed = 0x5eedULL;
+    /** Tile whose MSA slice goes offline (-1 = never). */
+    int offlineTile = -1;
+    /** Tick at which the slice goes offline. */
+    Tick offlineAtTick = 0;
+    /**
+     * Client-side timeout for an outstanding transactional sync op
+     * (0 = timeouts disabled). Retries back off exponentially from
+     * this base, capped at timeoutCap.
+     */
+    Tick timeoutTicks = 0;
+    /** Retries before a bounded-retry op gives up and FAILs. */
+    unsigned maxRetries = 8;
+    /** Upper bound on the backed-off retry timeout. */
+    Tick timeoutCap = 1u << 17;
+    /**
+     * Liveness watchdog window (0 = disabled): if no thread retires
+     * a sync op or finishes within this many ticks, dump a waits-for
+     * report and abort.
+     */
+    Tick watchdogInterval = 0;
+    /** Enable periodic + quiesce-time invariant checking. */
+    bool invariantChecks = false;
+    /** Ticks between periodic invariant sweeps. */
+    Tick invariantInterval = 50000;
+
+    /** True when any message fault or the offline event is armed. */
+    bool
+    messageFaultsEnabled() const
+    {
+        return dropProb > 0.0 || dupProb > 0.0 || delayProb > 0.0;
+    }
+};
+
 /** Core timing parameters. */
 struct CoreConfig
 {
@@ -129,6 +182,7 @@ struct SystemConfig
     MemConfig mem;
     MsaConfig msa;
     CoreConfig core;
+    ResilConfig resil;
 
     /** Mesh edge length (sqrt of numCores). */
     unsigned meshDim() const;

@@ -14,21 +14,21 @@ EventQueue::scheduleAt(Tick when, Callback cb)
     events.push(Event{when, nextSeq++, std::move(cb)});
 }
 
-bool
-EventQueue::run(Tick limit)
+EventQueue::DrainResult
+EventQueue::drain(Tick limit)
 {
     const Tick deadline = (limit == maxTick) ? maxTick : _now + limit;
     while (!events.empty()) {
         const Event &top = events.top();
         if (top.when > deadline)
-            return false;
+            return DrainResult::LimitHit;
         _now = top.when;
         Callback cb = std::move(const_cast<Event &>(top).cb);
         events.pop();
         ++executed;
         cb();
     }
-    return true;
+    return DrainResult::Drained;
 }
 
 void

@@ -31,6 +31,13 @@ class EventQueue
   public:
     using Callback = std::function<void()>;
 
+    /** Why drain() returned. */
+    enum class DrainResult
+    {
+        Drained,  ///< queue empty: the simulation quiesced cleanly
+        LimitHit, ///< tick limit reached with events still pending
+    };
+
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -58,11 +65,18 @@ class EventQueue
     std::size_t pending() const { return events.size(); }
 
     /**
-     * Run until the queue drains or @p limit ticks elapse.
-     * @return true if the queue drained, false if the limit was hit
-     *         (a livelock/deadlock indicator for callers).
+     * Run until the queue drains or @p limit ticks elapse. Returns
+     * why it stopped, so callers can tell clean termination from a
+     * livelock/deadlock (events still pending at the limit).
      */
-    bool run(Tick limit = maxTick);
+    DrainResult drain(Tick limit = maxTick);
+
+    /** Compatibility wrapper: true iff the queue drained. */
+    bool
+    run(Tick limit = maxTick)
+    {
+        return drain(limit) == DrainResult::Drained;
+    }
 
     /** Run until now() would exceed @p until (events at @p until run). */
     void runUntil(Tick until);

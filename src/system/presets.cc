@@ -22,6 +22,29 @@ configFor(PaperConfig pc, unsigned cores)
         return makeConfig(cores, AccelMode::MsaInfinite);
       case PaperConfig::Ideal:
         return makeConfig(cores, AccelMode::Ideal);
+      case PaperConfig::MsaOmu2Faults: {
+        SystemConfig cfg;
+        cfg.numCores = cores;
+        cfg.msa.mode = AccelMode::MsaOmu;
+        cfg.msa.msaEntries = 2;
+        // Fault rates chosen so a lost message is an inconvenience
+        // (one short timeout), not a catastrophe: the timeout is a
+        // small multiple of the worst-case NoC round trip, which is
+        // what a real deployment would provision.
+        cfg.resil.dropProb = 0.005;
+        cfg.resil.dupProb = 0.01;
+        cfg.resil.delayProb = 0.03;
+        cfg.resil.delayTicks = 80;
+        cfg.resil.timeoutTicks = 1000;
+        cfg.resil.maxRetries = 8;
+        cfg.resil.offlineTile = 0;
+        cfg.resil.offlineAtTick = 60000;
+        cfg.resil.watchdogInterval = 2000000;
+        cfg.resil.invariantChecks = true;
+        cfg.resil.invariantInterval = 100000;
+        cfg.validate();
+        return cfg;
+      }
     }
     return makeConfig(cores, AccelMode::None);
 }
@@ -63,6 +86,8 @@ paperConfigName(PaperConfig pc)
         return "Ideal";
       case PaperConfig::Spinlock:
         return "Spinlock";
+      case PaperConfig::MsaOmu2Faults:
+        return "MSA/OMU-2+faults";
     }
     return "?";
 }

@@ -25,6 +25,10 @@ enum class PaperConfig
     MsaInf,   ///< hybrid library, unbounded MSA
     Ideal,    ///< hybrid library, zero-latency oracle
     Spinlock, ///< raw test-and-set spinlock library (Figure 5)
+    /** MSA/OMU-2 under the resilience fault campaign: message
+     *  drops/dups/delays plus tile 0's slice decommissioned mid-run,
+     *  with the watchdog and invariant checker armed. */
+    MsaOmu2Faults,
 };
 
 /** All configurations shown in Figure 6, in plot order. */

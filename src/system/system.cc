@@ -1,5 +1,9 @@
 #include "system/system.hh"
 
+#include <algorithm>
+#include <set>
+#include <sstream>
+
 #include "sim/logging.hh"
 
 namespace misar {
@@ -52,10 +56,55 @@ System::System(const SystemConfig &cfg_in) : cfg(cfg_in)
             eq, cfg.core, t, ms->l1(cfg.tileOf(t)), _stats));
         cores.back()->setSyncUnit(syncUnit.get());
     }
+
+    // --- resilience wiring (all no-ops under the default config) ---
+
+    if (cfg.resil.messageFaultsEnabled() && has_msa) {
+        injector = std::make_unique<resil::FaultInjector>(
+            eq, cfg.resil, _stats,
+            [this](std::shared_ptr<noc::Packet> p) {
+                ms->sendDirect(std::move(p));
+            });
+        ms->setSendInterceptor([this](
+                const std::shared_ptr<noc::Packet> &p) {
+            return injector->intercept(p);
+        });
+    }
+
+    if (cfg.resil.offlineTile >= 0 && has_msa) {
+        CoreId t = static_cast<CoreId>(cfg.resil.offlineTile);
+        eq.scheduleAt(cfg.resil.offlineAtTick,
+                      [this, t] { slices[t]->goOffline(); });
+    }
+
+    if (cfg.resil.watchdogInterval > 0) {
+        wdog = std::make_unique<resil::Watchdog>(
+            eq, cfg.resil.watchdogInterval, _stats);
+        for (auto &c : cores)
+            c->setProgressCell(wdog->progressCell());
+        wdog->setReportFn([this] { return buildStallReport(); });
+        wdog->setDoneFn([this] { return allFinished(); });
+        wdog->start();
+    }
+
+    if (cfg.resil.invariantChecks && has_msa) {
+        checker = std::make_unique<resil::InvariantChecker>(
+            *this, cfg.resil.invariantInterval, _stats);
+        checker->start();
+    }
 }
 
 bool
-System::run(Tick limit)
+System::allFinished() const
+{
+    for (auto &c : cores)
+        if (!c->finished())
+            return false;
+    return true;
+}
+
+RunOutcome
+System::runDetailed(Tick limit)
 {
     // Run in slices so we can stop as soon as all threads are done
     // (background NoC/coherence events may still be queued).
@@ -66,15 +115,31 @@ System::run(Tick limit)
         Tick until = (deadline - eq.now() < chunk) ? deadline
                                                    : eq.now() + chunk;
         eq.runUntil(until);
-        bool all_done = true;
-        for (auto &c : cores)
-            all_done &= c->finished();
-        if (all_done)
-            return true;
-        if (eq.empty())
-            return false; // queue empty but threads blocked: deadlock
+        if (allFinished()) {
+            if (checker) {
+                // Settle in-flight background traffic so the strict
+                // end-state checks see a quiesced system. Safe: the
+                // interrupt driver, watchdog, and checker all stop
+                // once every thread has finished.
+                eq.run();
+                checker->atQuiesce();
+            }
+            return RunOutcome::Finished;
+        }
+        // Maintenance self-rescheduling events (watchdog/checker)
+        // must not mask a dead system.
+        std::size_t maint =
+            (wdog ? wdog->pendingMaintenance() : 0u) +
+            (checker ? checker->pendingMaintenance() : 0u);
+        if (eq.pending() <= maint) {
+            warn("event queue drained with threads still blocked "
+                 "(deadlock) at tick %llu",
+                 static_cast<unsigned long long>(eq.now()));
+            warn("%s", buildStallReport().c_str());
+            return RunOutcome::Deadlock;
+        }
         if (eq.now() >= deadline)
-            return false;
+            return RunOutcome::LimitReached;
     }
 }
 
@@ -101,6 +166,104 @@ System::writeTrace(std::ostream &os) const
     for (auto &c : cores)
         bufs.push_back(&c->trace());
     writeChromeTrace(os, bufs);
+}
+
+std::string
+System::buildStallReport() const
+{
+    std::ostringstream os;
+    os << "=== stall report @ tick " << eq.now()
+       << " (pending events: " << eq.pending() << ") ===\n";
+
+    // Per-thread outstanding operations.
+    struct Blocked { CoreId core; Addr addr; };
+    std::vector<Blocked> blocked;
+    for (CoreId c = 0; c < cfg.numThreads(); ++c) {
+        if (cores[c]->finished())
+            continue;
+        os << "  thread " << static_cast<unsigned>(c) << ": running";
+        if (hub) {
+            auto s = hub->snapshot(c);
+            if (s.active) {
+                os << ", blocked in " << cpu::syncInstrName(s.instr)
+                   << " @ 0x" << std::hex << s.addr << std::dec
+                   << " since tick " << s.issuedAt
+                   << " (waited " << (eq.now() - s.issuedAt)
+                   << ", retries " << s.retries
+                   << (s.interrupted ? ", interrupted" : "") << ")";
+                if (s.instr == cpu::SyncInstr::Lock ||
+                    s.instr == cpu::SyncInstr::TryLock ||
+                    s.instr == cpu::SyncInstr::RdLock ||
+                    s.instr == cpu::SyncInstr::WrLock)
+                    blocked.push_back({c, s.addr});
+            }
+        }
+        os << "\n";
+    }
+
+    // Per-slice entry state.
+    static const char *type_names[] = {"Lock", "Barrier", "Cond",
+                                       "RwLock"};
+    for (CoreId t = 0; t < cfg.numCores && t < slices.size(); ++t) {
+        slices[t]->forEachEntry([&](const msa::MsaEntry &e) {
+            os << "  slice " << static_cast<unsigned>(t) << ": "
+               << type_names[static_cast<unsigned>(e.type)]
+               << " @ 0x" << std::hex << e.addr << std::dec
+               << " owner=";
+            if (e.owner == invalidCore)
+                os << "-";
+            else
+                os << static_cast<unsigned>(e.owner);
+            os << " waiters=" << e.hwQueue.count();
+            if (e.busy)
+                os << " busy";
+            if (e.pinCount)
+                os << " pins=" << e.pinCount;
+            if (slices[t]->isOffline())
+                os << " (offline)";
+            os << "\n";
+        });
+    }
+
+    // Waits-for edges: blocked acquirer -> recorded lock owner.
+    // A cycle among them is a hard deadlock.
+    std::vector<std::pair<CoreId, CoreId>> edges;
+    for (const auto &b : blocked) {
+        CoreId home = mem::homeTile(blockAlign(b.addr), cfg.numCores);
+        if (home >= slices.size())
+            continue;
+        const msa::MsaEntry *e = slices[home]->findEntry(b.addr);
+        if (e && e->owner != invalidCore && e->owner != b.core) {
+            edges.emplace_back(b.core, e->owner);
+            os << "  waits-for: thread "
+               << static_cast<unsigned>(b.core) << " -> thread "
+               << static_cast<unsigned>(e->owner) << " (lock 0x"
+               << std::hex << b.addr << std::dec << ")\n";
+        }
+    }
+    // Simple cycle walk over the (at most one outgoing edge per
+    // thread) waits-for graph.
+    for (const auto &[from, to] : edges) {
+        CoreId cur = to;
+        std::set<CoreId> seen{from};
+        while (true) {
+            if (seen.count(cur)) {
+                if (cur == from)
+                    os << "  CYCLE: waits-for cycle through thread "
+                       << static_cast<unsigned>(from) << "\n";
+                break;
+            }
+            seen.insert(cur);
+            auto it = std::find_if(edges.begin(), edges.end(),
+                                   [cur](const auto &e) {
+                                       return e.first == cur;
+                                   });
+            if (it == edges.end())
+                break;
+            cur = it->second;
+        }
+    }
+    return os.str();
 }
 
 double

@@ -18,12 +18,23 @@
 #include "msa/msa_client.hh"
 #include "msa/msa_slice.hh"
 #include "msa/null_sync.hh"
+#include "resil/fault_injector.hh"
+#include "resil/invariants.hh"
+#include "resil/watchdog.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 
 namespace misar {
 namespace sys {
+
+/** How a run() ended. */
+enum class RunOutcome
+{
+    Finished,     ///< every started thread completed
+    Deadlock,     ///< event queue drained with threads still blocked
+    LimitReached, ///< tick budget exhausted (livelock or just slow)
+};
 
 /**
  * A complete simulated chip. Construct, start one thread body per
@@ -43,7 +54,18 @@ class System
 
     /** Run until every started thread finishes (or @p limit ticks).
      *  @return true if all threads finished. */
-    bool run(Tick limit = maxTick);
+    bool run(Tick limit = maxTick)
+    {
+        return runDetailed(limit) == RunOutcome::Finished;
+    }
+
+    /**
+     * run() distinguishing clean termination from a drained-but-
+     * blocked event queue (deadlock) and from an exhausted tick
+     * budget (livelock or long run). On deadlock the waits-for
+     * report is logged before returning.
+     */
+    RunOutcome runDetailed(Tick limit = maxTick);
 
     cpu::ThreadApi api(CoreId c) { return cpu::ThreadApi(*cores[c]); }
     cpu::Core &core(CoreId c) { return *cores[c]; }
@@ -55,6 +77,27 @@ class System
     unsigned numCores() const { return cfg.numCores; }
     /** Total hardware threads (== numCores unless SMT is enabled). */
     unsigned numThreads() const { return cfg.numThreads(); }
+
+    /** True once every started thread has finished. */
+    bool allFinished() const;
+
+    /**
+     * Human-readable stall report: per-thread outstanding operations,
+     * per-slice entry state, and the waits-for edges between blocked
+     * threads and lock owners (cycles flagged). Used by the liveness
+     * watchdog and the deadlock path of runDetailed().
+     */
+    std::string buildStallReport() const;
+
+    /** MSA client hub, or nullptr outside MSA modes. */
+    msa::MsaClientHub *clientHub() { return hub; }
+    const msa::MsaClientHub *clientHub() const { return hub; }
+
+    /** Liveness watchdog, or nullptr when not configured. */
+    resil::Watchdog *watchdog() { return wdog.get(); }
+
+    /** Invariant checker, or nullptr when not configured. */
+    resil::InvariantChecker *invariantChecker() { return checker.get(); }
 
     /** Latest finish tick over all cores (the parallel makespan). */
     Tick makespan() const;
@@ -77,6 +120,9 @@ class System
     std::vector<std::unique_ptr<msa::MsaSlice>> slices;
     std::unique_ptr<cpu::SyncUnit> syncUnit;
     msa::MsaClientHub *hub = nullptr; // owned via syncUnit when MSA
+    std::unique_ptr<resil::FaultInjector> injector;
+    std::unique_ptr<resil::Watchdog> wdog;
+    std::unique_ptr<resil::InvariantChecker> checker;
 };
 
 } // namespace sys

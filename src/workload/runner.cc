@@ -20,10 +20,14 @@ runAppWithConfig(const AppSpec &spec, const SystemConfig &cfg,
                              seed));
 
     RunResult r;
-    r.finished = s.run(2000000000ULL);
-    if (!r.finished)
-        warn("app %s did not finish on %s", spec.name.c_str(),
-             cfg.accelName().c_str());
+    r.outcome = s.runDetailed(2000000000ULL);
+    r.finished = r.outcome == sys::RunOutcome::Finished;
+    if (r.outcome == sys::RunOutcome::Deadlock)
+        warn("app %s DEADLOCKED on %s (see stall report above)",
+             spec.name.c_str(), cfg.accelName().c_str());
+    else if (r.outcome == sys::RunOutcome::LimitReached)
+        warn("app %s hit the tick budget on %s (livelock or slow run)",
+             spec.name.c_str(), cfg.accelName().c_str());
     r.makespan = s.makespan();
     r.hwCoverage = s.hwCoverage();
     r.hwOps = s.stats().counter("sync.hwOps").value();

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "system/presets.hh"
+#include "system/system.hh"
 #include "workload/synthetic_app.hh"
 
 namespace misar {
@@ -24,6 +25,8 @@ struct RunResult
     std::uint64_t swOps = 0;
     std::uint64_t silentLocks = 0;
     bool finished = false;
+    /** Why the run stopped (deadlock vs tick-budget exhaustion). */
+    sys::RunOutcome outcome = sys::RunOutcome::LimitReached;
 };
 
 /** Run @p spec on @p cores cores under configuration @p pc. */

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "sim/rng.hh"
@@ -28,6 +29,8 @@ struct FuzzParam
     unsigned omuCounters;
     bool hwsync;
     std::uint64_t seed;
+    /** Run under the fault injector + offline slice + checkers. */
+    bool faults = false;
 };
 
 std::string
@@ -37,7 +40,7 @@ paramName(const ::testing::TestParamInfo<FuzzParam> &info)
     return "c" + std::to_string(p.cores) + "_e" +
            std::to_string(p.entries) + "_o" +
            std::to_string(p.omuCounters) + (p.hwsync ? "_hws" : "_plain") +
-           "_s" + std::to_string(p.seed);
+           "_s" + std::to_string(p.seed) + (p.faults ? "_flt" : "");
 }
 
 struct FuzzShared
@@ -105,7 +108,27 @@ TEST_P(FuzzTest, TerminatesWithInvariantsIntact)
     SystemConfig cfg = makeConfig(p.cores, AccelMode::MsaOmu, p.entries);
     cfg.msa.omuCounters = p.omuCounters;
     cfg.msa.hwSyncBitOpt = p.hwsync;
+    if (p.faults) {
+        cfg.resil.dropProb = 0.03;
+        cfg.resil.dupProb = 0.02;
+        cfg.resil.delayProb = 0.05;
+        cfg.resil.delayTicks = 250;
+        cfg.resil.timeoutTicks = 3000;
+        cfg.resil.maxRetries = 8;
+        cfg.resil.faultSeed = p.seed * 977 + 5;
+        cfg.resil.offlineTile = 0;
+        cfg.resil.offlineAtTick = 20000;
+        cfg.resil.watchdogInterval = 5000000;
+        cfg.resil.invariantChecks = true;
+        cfg.resil.invariantInterval = 50000;
+    }
     sys::System s(cfg);
+    std::vector<std::string> violations;
+    if (auto *ic = s.invariantChecker())
+        ic->setViolationHandler(
+            [&violations](const std::vector<std::string> &v) {
+                violations.insert(violations.end(), v.begin(), v.end());
+            });
     SyncLib lib(SyncLib::Flavor::Hw, p.cores);
     FuzzShared sh;
     sh.inCs.assign(fuzzLocks, 0);
@@ -132,6 +155,11 @@ TEST_P(FuzzTest, TerminatesWithInvariantsIntact)
             ASSERT_EQ(omu.count(k * 8), 0u)
                 << "tile " << tile << " counter probe " << k;
     }
+    EXPECT_TRUE(violations.empty())
+        << "first violation: " << violations.front();
+    if (p.faults) {
+        EXPECT_TRUE(s.msaSlice(0).isOffline());
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -147,7 +175,14 @@ INSTANTIATE_TEST_SUITE_P(
                       FuzzParam{64, 2, 1, false, 9},
                       FuzzParam{16, 2, 4, true, 10},
                       FuzzParam{16, 2, 4, true, 11},
-                      FuzzParam{16, 2, 4, true, 12}),
+                      FuzzParam{16, 2, 4, true, 12},
+                      // Same chaos under the fault campaign: message
+                      // drops/dups/delays plus tile 0 decommissioned
+                      // mid-run, with watchdog + invariant checker.
+                      FuzzParam{4, 2, 4, true, 21, true},
+                      FuzzParam{16, 1, 4, false, 22, true},
+                      FuzzParam{16, 2, 2, true, 23, true},
+                      FuzzParam{64, 2, 4, true, 24, true}),
     paramName);
 
 } // namespace

@@ -70,8 +70,9 @@ TEST_P(InterruptStressTest, InvariantsHoldUnderRandomInterrupts)
     for (unsigned e : sh.epoch)
         EXPECT_EQ(e, 3u);
     // Interrupt pressure actually exercised the suspend paths.
-    if (GetParam() <= 500)
+    if (GetParam() <= 500) {
         EXPECT_GT(s.stats().counter("sync.suspends").value(), 0u);
+    }
     // OMU balance at quiescence.
     EXPECT_EQ(s.msaSlice(mem::homeTile(0x1000, 16)).omu().count(0x1000),
               0u);

@@ -74,6 +74,52 @@ TEST(OmuUnitDeathTest, UnderflowPanics)
     EXPECT_DEATH(omu.decrement(0x100), "underflow");
 }
 
+TEST(OmuUnit, SaturationIsSticky)
+{
+    StatRegistry stats;
+    Omu omu(4, stats, "t.");
+    // Drive a counter to the ceiling in two large steps; the second
+    // would overflow, so it must pin at the ceiling instead.
+    omu.increment(0x100, 0x80000000u);
+    omu.increment(0x100, 0x80000000u);
+    EXPECT_EQ(omu.count(0x100), Omu::saturatedValue);
+    EXPECT_EQ(stats.counter("t.omuSaturations").value(), 1u);
+
+    // A saturated counter no longer tracks population: decrements
+    // must not revive hardware eligibility for its addresses.
+    omu.decrement(0x100);
+    omu.decrement(0x100, 1000);
+    EXPECT_EQ(omu.count(0x100), Omu::saturatedValue);
+    EXPECT_TRUE(omu.active(0x100));
+
+    // Further increments keep it pinned (no wraparound to small
+    // values, which would re-enable hardware for a busy address).
+    omu.increment(0x100, 0xffffffffu);
+    EXPECT_EQ(omu.count(0x100), Omu::saturatedValue);
+    // Saturation is counted once per counter, not per event.
+    EXPECT_EQ(stats.counter("t.omuSaturations").value(), 1u);
+}
+
+TEST(OmuUnit, SaturationIsPerCounter)
+{
+    StatRegistry stats;
+    Omu omu(64, stats, "t.");
+    omu.increment(0x100, Omu::saturatedValue);
+    // Find an address in a different counter: it must be unaffected.
+    Addr other = 0;
+    for (Addr a = 0x2000; a < 0x4000; a += 8) {
+        if (!omu.active(a)) {
+            other = a;
+            break;
+        }
+    }
+    ASSERT_NE(other, 0u) << "all 64 counters aliased one address?";
+    omu.increment(other);
+    omu.decrement(other);
+    EXPECT_FALSE(omu.active(other));
+    EXPECT_TRUE(omu.active(0x100));
+}
+
 TEST(NbtcUnit, RotationIsFairOverManyRounds)
 {
     // Full-system check: with persistent contention, consecutive

@@ -1,0 +1,499 @@
+/**
+ * @file
+ * Resilience subsystem tests: timeout/retry under message faults,
+ * bounded-op abandonment with OMU reconciliation, graceful slice
+ * decommission (locks, barriers, condition variables), liveness
+ * watchdog stall detection with waits-for reporting, invariant
+ * checker corruption detection, and deterministic fault replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mem/msg.hh"
+#include "sim/rng.hh"
+#include "sync/sync_lib.hh"
+#include "system/presets.hh"
+#include "system/system.hh"
+
+namespace misar {
+namespace resil {
+namespace {
+
+using cpu::ThreadApi;
+using cpu::ThreadTask;
+using sync::SyncLib;
+
+/** Collect invariant violations into @p out instead of dying. */
+void
+armCollector(sys::System &s, std::vector<std::string> &out)
+{
+    if (auto *c = s.invariantChecker())
+        c->setViolationHandler([&out](const std::vector<std::string> &v) {
+            out.insert(out.end(), v.begin(), v.end());
+        });
+}
+
+struct LockShared
+{
+    std::vector<int> inCs;
+    std::vector<int> maxInCs;
+    std::vector<std::uint64_t> csCount;
+    unsigned done = 0;
+};
+
+ThreadTask
+lockLoop(ThreadApi t, SyncLib *lib, LockShared *sh,
+         const std::vector<Addr> *locks, unsigned threads, int iters,
+         std::uint64_t seed, bool end_barrier)
+{
+    Rng rng(seed * 6151 + t.id() * 389 + 7);
+    for (int i = 0; i < iters; ++i) {
+        unsigned w = static_cast<unsigned>(rng.range(locks->size()));
+        co_await lib->mutexLock(t, (*locks)[w]);
+        sh->inCs[w]++;
+        sh->maxInCs[w] = std::max(sh->maxInCs[w], sh->inCs[w]);
+        sh->csCount[w]++;
+        co_await t.compute(rng.range(100));
+        sh->inCs[w]--;
+        co_await lib->mutexUnlock(t, (*locks)[w]);
+        co_await t.compute(rng.range(80));
+    }
+    if (end_barrier)
+        co_await lib->barrierWait(t, 0xbeef00, threads);
+    sh->done++;
+}
+
+TEST(Resil, TimeoutRetryRecoversFromDropsAndDups)
+{
+    SystemConfig cfg = makeConfig(4, AccelMode::MsaOmu, 2);
+    cfg.resil.dropProb = 0.2;
+    cfg.resil.dupProb = 0.05;
+    cfg.resil.delayProb = 0.1;
+    cfg.resil.delayTicks = 200;
+    cfg.resil.timeoutTicks = 1500;
+    cfg.resil.maxRetries = 8;
+    cfg.resil.faultSeed = 99;
+    cfg.resil.invariantChecks = true;
+    cfg.resil.invariantInterval = 5000;
+    cfg.resil.watchdogInterval = 2000000;
+    sys::System s(cfg);
+    std::vector<std::string> violations;
+    armCollector(s, violations);
+    SyncLib lib(SyncLib::Flavor::Hw, 4);
+
+    const std::vector<Addr> locks = {0x1000, 0x1800};
+    LockShared sh;
+    sh.inCs.assign(locks.size(), 0);
+    sh.maxInCs.assign(locks.size(), 0);
+    sh.csCount.assign(locks.size(), 0);
+    for (CoreId c = 0; c < 4; ++c)
+        s.start(c, lockLoop(s.api(c), &lib, &sh, &locks, 4, 25, 11,
+                            true));
+
+    ASSERT_TRUE(s.run(500000000ULL)) << "hung under message faults";
+    EXPECT_EQ(sh.done, 4u);
+    std::uint64_t total = 0;
+    for (unsigned w = 0; w < locks.size(); ++w) {
+        EXPECT_EQ(sh.inCs[w], 0);
+        EXPECT_LE(sh.maxInCs[w], 1) << "mutual exclusion broken";
+        total += sh.csCount[w];
+    }
+    EXPECT_EQ(total, 4u * 25u);
+
+    // The campaign must actually have exercised the machinery.
+    EXPECT_GT(s.stats().counter("resil.injectedDrops").value(), 0u);
+    EXPECT_GT(s.stats().counter("resil.timeouts").value(), 0u);
+    EXPECT_GT(s.stats().counter("resil.retries").value(), 0u);
+
+    for (CoreId t = 0; t < 4; ++t)
+        for (Addr l : locks)
+            EXPECT_EQ(s.msaSlice(t).omu().count(l), 0u);
+    EXPECT_TRUE(violations.empty())
+        << "first violation: " << violations.front();
+}
+
+TEST(Resil, BoundedOpAbandonmentReconcilesOmu)
+{
+    // Locks unsupported in hardware: every acquire FAILs to software
+    // (bumping the OMU), and the later transactional UNLOCK is the
+    // message that carries the decrement. Dropping every tracked
+    // message from tick 20000 forces those unlocks to exhaust their
+    // bounded retries; the client then resolves FAIL locally and the
+    // fire-and-forget FailNotice (never faulted) reconciles the OMU.
+    SystemConfig cfg = makeConfig(4, AccelMode::MsaOmu, 2);
+    cfg.msa.support.locks = false;
+    cfg.resil.dropProb = 1.0;
+    cfg.resil.faultsFromTick = 20000;
+    cfg.resil.timeoutTicks = 500;
+    cfg.resil.maxRetries = 2;
+    cfg.resil.invariantChecks = true;
+    cfg.resil.invariantInterval = 5000;
+    sys::System s(cfg);
+    std::vector<std::string> violations;
+    armCollector(s, violations);
+    SyncLib lib(SyncLib::Flavor::Hw, 4);
+
+    auto body = [](ThreadApi t, SyncLib *lib) -> ThreadTask {
+        const Addr lock = 0x1000 + t.id() * 2048;
+        co_await lib->mutexLock(t, lock);   // software-held
+        co_await t.compute(30000);          // ...past faultsFromTick
+        co_await lib->mutexUnlock(t, lock); // abandoned, FAILs local
+    };
+    for (CoreId c = 0; c < 4; ++c)
+        s.start(c, body(s.api(c), &lib));
+
+    ASSERT_TRUE(s.run(500000000ULL))
+        << "an abandoned unlock must resolve FAIL, not hang";
+    EXPECT_EQ(s.stats().counter("resil.abandonedOps").value(), 4u);
+    // Each abandonment pays maxRetries retransmissions first.
+    EXPECT_GE(s.stats().counter("resil.timeouts").value(),
+              4u * (cfg.resil.maxRetries + 1));
+    for (CoreId t = 0; t < 4; ++t)
+        for (CoreId c = 0; c < 4; ++c)
+            EXPECT_EQ(s.msaSlice(t).omu().count(0x1000 + c * 2048), 0u)
+                << "FailNotice failed to reconcile the OMU";
+    EXPECT_TRUE(violations.empty())
+        << "first violation: " << violations.front();
+}
+
+TEST(Resil, SliceOfflineLockHeavy)
+{
+    SystemConfig cfg = makeConfig(16, AccelMode::MsaOmu, 2);
+    // All three locks are homed on tile 0 (line interleaving).
+    const std::vector<Addr> locks = {0x1000, 0x1400, 0x1800};
+    for (Addr l : locks)
+        ASSERT_EQ(mem::homeTile(blockAlign(l), 16), 0u);
+    cfg.resil.offlineTile = 0;
+    cfg.resil.offlineAtTick = 30000;
+    cfg.resil.invariantChecks = true;
+    cfg.resil.invariantInterval = 10000;
+    cfg.resil.watchdogInterval = 2000000;
+    sys::System s(cfg);
+    std::vector<std::string> violations;
+    armCollector(s, violations);
+    SyncLib lib(SyncLib::Flavor::Hw, 16);
+
+    LockShared sh;
+    sh.inCs.assign(locks.size(), 0);
+    sh.maxInCs.assign(locks.size(), 0);
+    sh.csCount.assign(locks.size(), 0);
+    const int iters = 150;
+    for (CoreId c = 0; c < 16; ++c)
+        s.start(c, lockLoop(s.api(c), &lib, &sh, &locks, 16, iters, 5,
+                            true));
+
+    ASSERT_TRUE(s.run(500000000ULL)) << "hung across the decommission";
+    EXPECT_GT(s.makespan(), 30000u) << "offline hit after the run";
+    EXPECT_TRUE(s.msaSlice(0).isOffline());
+    EXPECT_EQ(s.stats().counter("tile0.msa.offlineEvents").value(), 1u);
+
+    std::uint64_t total = 0;
+    for (unsigned w = 0; w < locks.size(); ++w) {
+        EXPECT_EQ(sh.inCs[w], 0);
+        EXPECT_LE(sh.maxInCs[w], 1)
+            << "mutual exclusion broken across HW->SW handover";
+        total += sh.csCount[w];
+    }
+    EXPECT_EQ(total, 16u * iters);
+    EXPECT_EQ(sh.done, 16u);
+
+    // The decommissioned slice must end empty, with its software
+    // episodes fully settled.
+    EXPECT_EQ(s.msaSlice(0).validEntries(), 0u);
+    for (CoreId t = 0; t < 16; ++t)
+        for (Addr l : locks)
+            EXPECT_EQ(s.msaSlice(t).omu().count(l), 0u);
+    // Waiters were moved to software (shed at release) or rejected
+    // at allocation — with 16 contenders, at least one of each path.
+    std::uint64_t aborted =
+        s.stats().counter("tile0.msa.offlineLockAborts").value();
+    std::uint64_t denied =
+        s.stats().counter("tile0.msa.offlineDenied").value();
+    EXPECT_GT(aborted + denied, 0u);
+    EXPECT_TRUE(violations.empty())
+        << "first violation: " << violations.front();
+}
+
+TEST(Resil, OfflineBarrierRoundsStayAligned)
+{
+    SystemConfig cfg = makeConfig(16, AccelMode::MsaOmu, 2);
+    const Addr barrier = 0x1000; // homed on tile 0
+    cfg.resil.offlineTile = 0;
+    cfg.resil.offlineAtTick = 2000;
+    cfg.resil.invariantChecks = true;
+    cfg.resil.invariantInterval = 5000;
+    sys::System s(cfg);
+    std::vector<std::string> violations;
+    armCollector(s, violations);
+    SyncLib lib(SyncLib::Flavor::Hw, 16);
+
+    constexpr int rounds = 10;
+    struct Sh
+    {
+        std::vector<int> arrivals;
+        unsigned misaligned = 0;
+        unsigned done = 0;
+    } sh;
+    sh.arrivals.assign(rounds, 0);
+
+    auto body = [](ThreadApi t, SyncLib *lib, Sh *sh,
+                   Addr b) -> ThreadTask {
+        Rng rng(t.id() * 271 + 13);
+        for (int r = 0; r < rounds; ++r) {
+            co_await t.compute(rng.range(400));
+            sh->arrivals[r]++;
+            co_await lib->barrierWait(t, b, 16);
+            // After the barrier every arrival of this round (and no
+            // later round) must be visible.
+            if (sh->arrivals[r] != 16)
+                sh->misaligned++;
+            if (r + 1 < rounds && sh->arrivals[r + 1] > 16)
+                sh->misaligned++;
+        }
+        sh->done++;
+    };
+    for (CoreId c = 0; c < 16; ++c)
+        s.start(c, body(s.api(c), &lib, &sh, barrier));
+
+    ASSERT_TRUE(s.run(500000000ULL));
+    EXPECT_EQ(sh.done, 16u);
+    EXPECT_EQ(sh.misaligned, 0u)
+        << "barrier semantics broken across the HW->SW demotion";
+    EXPECT_TRUE(s.msaSlice(0).isOffline());
+    for (CoreId t = 0; t < 16; ++t)
+        EXPECT_EQ(s.msaSlice(t).omu().count(barrier), 0u);
+    EXPECT_TRUE(violations.empty())
+        << "first violation: " << violations.front();
+}
+
+TEST(Resil, OfflineCondVarsFallBackToSoftware)
+{
+    SystemConfig cfg = makeConfig(16, AccelMode::MsaOmu, 4);
+    const Addr cond = 0x1000;  // homed on tile 0 (goes offline)
+    const Addr mutex = 0x1040; // homed on tile 1 (stays online)
+    ASSERT_EQ(mem::homeTile(blockAlign(cond), 16), 0u);
+    ASSERT_EQ(mem::homeTile(blockAlign(mutex), 16), 1u);
+    cfg.resil.offlineTile = 0;
+    cfg.resil.offlineAtTick = 5000;
+    cfg.resil.invariantChecks = true;
+    cfg.resil.invariantInterval = 5000;
+    sys::System s(cfg);
+    std::vector<std::string> violations;
+    armCollector(s, violations);
+    SyncLib lib(SyncLib::Flavor::Hw, 16);
+
+    struct Sh
+    {
+        int ready = 0;
+        unsigned woken = 0;
+    } sh;
+
+    auto waiter = [](ThreadApi t, SyncLib *lib, Sh *sh, Addr c,
+                     Addr m) -> ThreadTask {
+        co_await lib->mutexLock(t, m);
+        while (!sh->ready)
+            co_await lib->condWait(t, c, m);
+        sh->woken++;
+        co_await lib->mutexUnlock(t, m);
+    };
+    auto signaller = [](ThreadApi t, SyncLib *lib, Sh *sh, Addr c,
+                        Addr m) -> ThreadTask {
+        co_await t.compute(20000); // well past the decommission
+        co_await lib->mutexLock(t, m);
+        sh->ready = 1;
+        co_await lib->mutexUnlock(t, m);
+        co_await lib->condBroadcast(t, c);
+    };
+    for (CoreId c = 1; c < 4; ++c)
+        s.start(c, waiter(s.api(c), &lib, &sh, cond, mutex));
+    s.start(0, signaller(s.api(0), &lib, &sh, cond, mutex));
+
+    ASSERT_TRUE(s.run(500000000ULL))
+        << "a waiter parked on the decommissioned slice was stranded";
+    EXPECT_EQ(sh.woken, 3u);
+    // The shed moved the parked waiters to the software condvar.
+    EXPECT_GE(s.stats()
+                  .counter("tile0.msa.offlineCondAborts")
+                  .value(),
+              1u);
+    for (CoreId t = 0; t < 16; ++t) {
+        EXPECT_EQ(s.msaSlice(t).omu().count(cond), 0u);
+        EXPECT_EQ(s.msaSlice(t).omu().count(mutex), 0u);
+    }
+    EXPECT_TRUE(violations.empty())
+        << "first violation: " << violations.front();
+}
+
+TEST(Resil, WatchdogReportsAbbaDeadlock)
+{
+    SystemConfig cfg = makeConfig(4, AccelMode::MsaOmu, 2);
+    cfg.msa.hwSyncBitOpt = false; // keep both entries resident
+    cfg.resil.watchdogInterval = 2000;
+    sys::System s(cfg);
+    std::string report;
+    ASSERT_NE(s.watchdog(), nullptr);
+    s.watchdog()->setStallHandler(
+        [&report](const std::string &r) { report = r; });
+    SyncLib lib(SyncLib::Flavor::Hw, 4);
+
+    const Addr a = 0x1000, b = 0x2000;
+    auto body = [](ThreadApi t, SyncLib *lib, Addr first,
+                   Addr second) -> ThreadTask {
+        co_await lib->mutexLock(t, first);
+        co_await t.compute(500);
+        co_await lib->mutexLock(t, second); // AB-BA: blocks forever
+    };
+    s.start(0, body(s.api(0), &lib, a, b));
+    s.start(1, body(s.api(1), &lib, b, a));
+
+    EXPECT_EQ(s.runDetailed(10000000ULL), sys::RunOutcome::Deadlock);
+    EXPECT_TRUE(s.watchdog()->stalled());
+    EXPECT_EQ(s.stats().counter("resil.watchdogStalls").value(), 1u);
+    ASSERT_FALSE(report.empty());
+    EXPECT_NE(report.find("waits-for"), std::string::npos) << report;
+    EXPECT_NE(report.find("CYCLE"), std::string::npos) << report;
+}
+
+TEST(Resil, CleanTerminationIsNotReportedAsDeadlock)
+{
+    SystemConfig cfg = makeConfig(4, AccelMode::MsaOmu, 2);
+    cfg.resil.watchdogInterval = 2000;
+    sys::System s(cfg);
+    bool stalled = false;
+    s.watchdog()->setStallHandler(
+        [&stalled](const std::string &) { stalled = true; });
+    SyncLib lib(SyncLib::Flavor::Hw, 4);
+    auto body = [](ThreadApi t, SyncLib *lib) -> ThreadTask {
+        co_await lib->mutexLock(t, 0x1000);
+        co_await t.compute(100);
+        co_await lib->mutexUnlock(t, 0x1000);
+    };
+    for (CoreId c = 0; c < 4; ++c)
+        s.start(c, body(s.api(c), &lib));
+    EXPECT_EQ(s.runDetailed(10000000ULL), sys::RunOutcome::Finished);
+    EXPECT_FALSE(stalled);
+    EXPECT_FALSE(s.watchdog()->stalled());
+}
+
+TEST(Resil, InvariantCheckerDetectsCorruption)
+{
+    SystemConfig cfg = makeConfig(4, AccelMode::MsaOmu, 2);
+    cfg.msa.hwSyncBitOpt = false; // entry stays resident while held
+    cfg.resil.invariantChecks = true;
+    cfg.resil.invariantInterval = 1000;
+    sys::System s(cfg);
+    std::vector<std::string> violations;
+    armCollector(s, violations);
+    SyncLib lib(SyncLib::Flavor::Hw, 4);
+
+    const Addr lock = 0x1000;
+    auto body = [](ThreadApi t, SyncLib *lib, Addr l) -> ThreadTask {
+        co_await lib->mutexLock(t, l);
+        co_await t.compute(20000);
+        co_await lib->mutexUnlock(t, l);
+    };
+    s.start(0, body(s.api(0), &lib, lock));
+
+    // Corrupt the entry mid-hold (drop the owner's HWQueue bit), then
+    // repair it before the unlock so the run still terminates.
+    const CoreId home = mem::homeTile(blockAlign(lock), 4);
+    s.eventQueue().scheduleAt(5000, [&s, home, lock] {
+        msa::MsaEntry *e = s.msaSlice(home).mutableEntry(lock);
+        ASSERT_NE(e, nullptr);
+        e->hwQueue.reset(e->owner);
+    });
+    s.eventQueue().scheduleAt(8000, [&s, home, lock] {
+        msa::MsaEntry *e = s.msaSlice(home).mutableEntry(lock);
+        if (e && e->owner != invalidCore)
+            e->hwQueue.set(e->owner);
+    });
+
+    ASSERT_TRUE(s.run(10000000ULL));
+    ASSERT_FALSE(violations.empty())
+        << "checker missed a corrupted entry";
+    EXPECT_NE(violations.front().find("missing from HWQueue"),
+              std::string::npos)
+        << violations.front();
+    EXPECT_GE(s.stats().counter("resil.invariantViolations").value(),
+              1u);
+}
+
+TEST(Resil, FaultedRunsReplayDeterministically)
+{
+    auto once = [](std::uint64_t workload_seed) {
+        SystemConfig cfg = makeConfig(16, AccelMode::MsaOmu, 2);
+        cfg.resil.dropProb = 0.05;
+        cfg.resil.dupProb = 0.02;
+        cfg.resil.delayProb = 0.1;
+        cfg.resil.delayTicks = 300;
+        cfg.resil.timeoutTicks = 2500;
+        cfg.resil.faultSeed = 0xfeed;
+        cfg.resil.offlineTile = 0;
+        cfg.resil.offlineAtTick = 20000;
+        sys::System s(cfg);
+        SyncLib lib(SyncLib::Flavor::Hw, 16);
+        const std::vector<Addr> locks = {0x1000, 0x1400, 0x1800};
+        LockShared sh;
+        sh.inCs.assign(locks.size(), 0);
+        sh.maxInCs.assign(locks.size(), 0);
+        sh.csCount.assign(locks.size(), 0);
+        for (CoreId c = 0; c < 16; ++c)
+            s.start(c, lockLoop(s.api(c), &lib, &sh, &locks, 16, 40,
+                                workload_seed, true));
+        EXPECT_TRUE(s.run(500000000ULL));
+        struct
+        {
+            Tick makespan;
+            std::uint64_t drops, timeouts, retries;
+        } r{s.makespan(),
+            s.stats().counter("resil.injectedDrops").value(),
+            s.stats().counter("resil.timeouts").value(),
+            s.stats().counter("resil.retries").value()};
+        return std::make_tuple(r.makespan, r.drops, r.timeouts,
+                               r.retries);
+    };
+    // Identical (workload seed, fault seed, fault config) must replay
+    // cycle-exactly; a different workload seed must not.
+    EXPECT_EQ(once(3), once(3));
+    EXPECT_NE(std::get<0>(once(3)), std::get<0>(once(4)));
+}
+
+TEST(Resil, FaultPresetRunsToCompletion)
+{
+    // The MSA/OMU-2+faults preset (used by bench/resil_degradation)
+    // must validate and carry a lock-heavy run across the fault
+    // campaign with its checkers armed.
+    SystemConfig cfg = sys::configFor(sys::PaperConfig::MsaOmu2Faults,
+                                      16);
+    sys::System s(cfg);
+    std::vector<std::string> violations;
+    armCollector(s, violations);
+    SyncLib lib(SyncLib::Flavor::Hw, 16);
+    const std::vector<Addr> locks = {0x1000, 0x2040, 0x3080};
+    LockShared sh;
+    sh.inCs.assign(locks.size(), 0);
+    sh.maxInCs.assign(locks.size(), 0);
+    sh.csCount.assign(locks.size(), 0);
+    const int iters = 80;
+    for (CoreId c = 0; c < 16; ++c)
+        s.start(c, lockLoop(s.api(c), &lib, &sh, &locks, 16, iters, 11,
+                            true));
+    ASSERT_TRUE(s.run(500000000ULL));
+    std::uint64_t total = 0;
+    for (unsigned w = 0; w < locks.size(); ++w) {
+        EXPECT_EQ(sh.inCs[w], 0);
+        EXPECT_LE(sh.maxInCs[w], 1);
+        total += sh.csCount[w];
+    }
+    EXPECT_EQ(total, 16u * iters);
+    EXPECT_TRUE(s.msaSlice(0).isOffline());
+    EXPECT_TRUE(violations.empty())
+        << "first violation: " << violations.front();
+}
+
+} // namespace
+} // namespace resil
+} // namespace misar
