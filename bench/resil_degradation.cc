@@ -8,9 +8,16 @@
  * preset; the faulted column must retain a speedup at least as good
  * as MSA-0 (degraded, never worse than having no accelerator state
  * to lose).
+ *
+ * The faulted runs also feed the observability layer: their
+ * resilience counters (timeouts, retries, aborted ops, offline
+ * sheds, crossed snoops) are tabulated per app, and with
+ * MISAR_RESIL_REPORT=DIR set in the environment each faulted run
+ * writes its machine-readable JSON run report into DIR.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -44,6 +51,21 @@ main()
     std::vector<double> speedups[3][2];
     bool all_retained = true;
 
+    // Per-app resilience totals accumulated over the faulted runs,
+    // straight from RunResult's observability fields.
+    struct ResilRow
+    {
+        std::string app;
+        unsigned cores = 0;
+        std::uint64_t timeouts = 0, retries = 0, aborted = 0;
+        std::uint64_t sheds = 0, snoops = 0;
+    };
+    std::vector<ResilRow> resil_rows;
+
+    // With MISAR_RESIL_REPORT=DIR each faulted run leaves its JSON
+    // run report in DIR (exercises the obs::writeRunReport path).
+    const char *report_dir = std::getenv("MISAR_RESIL_REPORT");
+
     const auto &headline = headlineApps();
     for (const AppSpec &spec : appCatalog()) {
         bool is_headline = false;
@@ -67,13 +89,24 @@ main()
                     // baseline run, so one unlucky drop on a critical
                     // handoff doesn't decide the row.
                     std::vector<double> per_seed;
+                    ResilRow row;
+                    row.app = spec.name;
+                    row.cores = cores;
                     for (std::uint64_t seed = 1; seed <= 3; ++seed) {
                         RunResult b = seed == 1
                             ? base
                             : runApp(spec, cores, PaperConfig::Baseline,
                                      seed);
-                        RunResult r = runApp(spec, cores, configs[ci],
-                                             seed);
+                        SystemConfig fc =
+                            sys::configFor(configs[ci], cores);
+                        if (report_dir && seed == 1)
+                            fc.obs.statsJsonPath =
+                                std::string(report_dir) + "/" +
+                                spec.name + "_" +
+                                std::to_string(cores) + ".json";
+                        RunResult r = runAppWithConfig(
+                            spec, fc, sys::flavorFor(configs[ci]), seed,
+                            sys::paperConfigName(configs[ci]));
                         if (!r.finished)
                             fatal("%s on %s (seed %llu) did not finish",
                                   spec.name.c_str(),
@@ -82,7 +115,13 @@ main()
                         per_seed.push_back(
                             static_cast<double>(b.makespan) /
                             static_cast<double>(r.makespan));
+                        row.timeouts += r.timeouts;
+                        row.retries += r.retries;
+                        row.aborted += r.abortedOps;
+                        row.sheds += r.offlineSheds;
+                        row.snoops += r.crossedSnoops;
                     }
+                    resil_rows.push_back(row);
                     sp[ci] = bench::geoMean(per_seed);
                 } else {
                     RunResult r = runApp(spec, cores, configs[ci]);
@@ -115,6 +154,21 @@ main()
                     "GeoMean", core_counts[ni], "-", g[0], g[1], g[2],
                     100.0 * g[2] / g[1]);
     }
+
+    std::printf("\nFault-campaign resilience counters (summed over the "
+                "3 fault seeds):\n");
+    std::printf("%-14s %-6s %9s %9s %9s %9s %9s\n", "App", "Cores",
+                "Timeouts", "Retries", "Aborted", "Sheds", "XSnoops");
+    for (const auto &row : resil_rows)
+        std::printf("%-14s %-6u %9llu %9llu %9llu %9llu %9llu\n",
+                    row.app.c_str(), row.cores,
+                    static_cast<unsigned long long>(row.timeouts),
+                    static_cast<unsigned long long>(row.retries),
+                    static_cast<unsigned long long>(row.aborted),
+                    static_cast<unsigned long long>(row.sheds),
+                    static_cast<unsigned long long>(row.snoops));
+    if (report_dir)
+        std::printf("(JSON run reports written to %s)\n", report_dir);
 
     std::printf("\nExpectation: the faulted config pays for retries, "
                 "timeouts and the software\nfallback after tile 0 goes "

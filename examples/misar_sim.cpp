@@ -21,6 +21,7 @@
 #include <iostream>
 #include <string>
 
+#include "obs/run_report.hh"
 #include "sim/logging.hh"
 #include "sync/sync_lib.hh"
 #include "system/presets.hh"
@@ -49,7 +50,20 @@ usage()
         "  --no-omu        disable the OMU (entries never freed)\n"
         "  --seed N        workload seed (default 1)\n"
         "  --stats         dump the full statistics registry\n"
-        "  --trace FILE    write a Chrome trace-event JSON timeline\n");
+        "observability:\n"
+        "  --trace-out FILE   write a multi-component Chrome trace\n"
+        "                     (cores + MSA slices + NoC, sync-op flow\n"
+        "                     events; open in ui.perfetto.dev).\n"
+        "                     --trace is accepted as an alias\n"
+        "  --stats-json FILE  write a machine-readable JSON run report\n"
+        "                     (config, seed, outcome, full stats,\n"
+        "                     resilience summary, sync-var profile)\n"
+        "  --profile-sync     per-sync-variable contention profiler;\n"
+        "                     prints the top-N table and feeds the\n"
+        "                     run report's syncVars section\n"
+        "  --top N            sync variables in the report (default 16)\n"
+        "  --sample-interval K  snapshot key stats every K ticks\n"
+        "  --sample-out FILE  write the sampled time series as CSV\n");
 }
 
 } // namespace
@@ -60,8 +74,10 @@ main(int argc, char **argv)
     std::string app_name, config = "msa-omu";
     unsigned cores = 16, entries = 2, smt = 1;
     bool hwsync = true, omu = true, dump_stats = false;
-    std::uint64_t seed = 1;
-    std::string trace_path;
+    bool profile_sync = false;
+    unsigned top_n = 16;
+    std::uint64_t seed = 1, sample_interval = 0;
+    std::string trace_path, stats_json_path, sample_csv_path;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -92,8 +108,18 @@ main(int argc, char **argv)
             seed = static_cast<std::uint64_t>(std::atoll(next()));
         } else if (a == "--stats") {
             dump_stats = true;
-        } else if (a == "--trace") {
+        } else if (a == "--trace" || a == "--trace-out") {
             trace_path = next();
+        } else if (a == "--stats-json") {
+            stats_json_path = next();
+        } else if (a == "--profile-sync") {
+            profile_sync = true;
+        } else if (a == "--top") {
+            top_n = static_cast<unsigned>(std::atoi(next()));
+        } else if (a == "--sample-interval") {
+            sample_interval = static_cast<std::uint64_t>(std::atoll(next()));
+        } else if (a == "--sample-out") {
+            sample_csv_path = next();
         } else if (a == "--help" || a == "-h") {
             usage();
             return 0;
@@ -154,9 +180,19 @@ main(int argc, char **argv)
         fatal("--no-omu is incompatible with msa-omu-faults (the "
               "offline slice sheds waiters to software)");
 
+    // Observability is configured before the system is built so the
+    // constructor can wire tracer/profiler/sampler into every layer.
+    if (!sample_csv_path.empty() && sample_interval == 0)
+        sample_interval = 10000; // --sample-out implies a default rate
+    cfg.obs.traceEnabled = !trace_path.empty();
+    cfg.obs.traceOutPath = trace_path;
+    cfg.obs.profileSync = profile_sync || !stats_json_path.empty();
+    cfg.obs.profileTopN = top_n;
+    cfg.obs.sampleInterval = sample_interval;
+    cfg.obs.sampleCsvPath = sample_csv_path;
+    cfg.obs.statsJsonPath = stats_json_path;
+
     sys::System s(cfg);
-    if (!trace_path.empty())
-        s.enableTracing();
     const unsigned threads = cfg.numThreads();
     sync::SyncLib lib(flavor, threads);
     AppLayout layout;
@@ -164,7 +200,49 @@ main(int argc, char **argv)
         s.start(t, appThread(s.api(t), spec, layout, &lib, threads,
                              seed));
 
-    switch (s.runDetailed(5000000000ULL)) {
+    const sys::RunOutcome outcome = s.runDetailed(5000000000ULL);
+
+    // Write the requested observability artifacts before any fatal()
+    // below, so a deadlocked or runaway run still leaves a trace and
+    // a report whose "outcome" field says what happened.
+    if (s.sampler())
+        s.sampler()->sampleNow();
+    if (!trace_path.empty()) {
+        std::ofstream tf(trace_path);
+        if (!tf)
+            fatal("cannot open trace file %s", trace_path.c_str());
+        s.writeTrace(tf);
+    }
+    if (!sample_csv_path.empty() && s.sampler()) {
+        std::ofstream cf(sample_csv_path);
+        if (!cf)
+            fatal("cannot open sample file %s", sample_csv_path.c_str());
+        s.sampler()->writeCsv(cf);
+    }
+    if (!stats_json_path.empty()) {
+        std::ofstream jf(stats_json_path);
+        if (!jf)
+            fatal("cannot open stats file %s", stats_json_path.c_str());
+        obs::RunMeta meta;
+        meta.app = spec.name;
+        meta.preset = config;
+        meta.accel = cfg.accelName();
+        meta.flavor = sync::SyncLib::flavorName(flavor);
+        meta.cores = cfg.numCores;
+        meta.smtWays = cfg.smtWays;
+        meta.msaEntries = cfg.msa.msaEntries;
+        meta.omuCounters = cfg.msa.omuCounters;
+        meta.omuEnabled = cfg.msa.omuEnabled;
+        meta.hwSyncBitOpt = cfg.msa.hwSyncBitOpt;
+        meta.seed = seed;
+        meta.outcome = sys::runOutcomeName(outcome);
+        meta.makespan = s.makespan();
+        meta.hwCoverage = s.hwCoverage();
+        obs::writeRunReport(jf, meta, s.stats(), s.syncProfiler(),
+                            top_n, s.sampler());
+    }
+
+    switch (outcome) {
       case sys::RunOutcome::Finished:
         break;
       case sys::RunOutcome::Deadlock:
@@ -206,12 +284,15 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(
                     s.stats().counter("noc.packetsSent").value()),
                 s.stats().average("noc.packetLatency").mean());
-    if (!trace_path.empty()) {
-        std::ofstream tf(trace_path);
-        if (!tf)
-            fatal("cannot open trace file %s", trace_path.c_str());
-        s.writeTrace(tf);
+    if (!trace_path.empty())
         std::printf("trace          : %s\n", trace_path.c_str());
+    if (!stats_json_path.empty())
+        std::printf("stats json     : %s\n", stats_json_path.c_str());
+    if (!sample_csv_path.empty())
+        std::printf("sample csv     : %s\n", sample_csv_path.c_str());
+    if (profile_sync && s.syncProfiler()) {
+        std::printf("\n");
+        s.syncProfiler()->writeReport(std::cout, top_n);
     }
     if (dump_stats) {
         std::printf("\n--- full statistics ---\n");

@@ -265,6 +265,8 @@ L1Cache::handleMessage(const std::shared_ptr<MemMsg> &msg)
                   (unsigned long long)block);
         deferredMsgs[block] = msg;
         stats.counter(statPrefix + "deferredSnoops").inc();
+        if (tracer)
+            tracer->instant(_track, eq.now(), "SNOOP_DEFER", block);
         return;
     }
     if (msg->op == MemOp::FwdGetS || msg->op == MemOp::Inv ||
@@ -274,6 +276,8 @@ L1Cache::handleMessage(const std::shared_ptr<MemMsg> &msg)
                 continue;
             // Snoop crossed our in-flight fill (see Mshr::PostFill).
             stats.counter(statPrefix + "crossedSnoops").inc();
+            if (tracer)
+                tracer->instant(_track, eq.now(), "SNOOP_X", block);
             if (msg->op == MemOp::FwdGetS) {
                 if (slot.postFill == Mshr::PostFill::None)
                     slot.postFill = Mshr::PostFill::ToShared;

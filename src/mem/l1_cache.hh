@@ -21,6 +21,7 @@
 
 #include "mem/functional_mem.hh"
 #include "mem/msg.hh"
+#include "obs/tracer.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -106,6 +107,19 @@ class L1Cache
 
     CoreId core() const { return _core; }
 
+    /**
+     * Attach the observability tracer: snoop anomalies — coherence
+     * requests crossing an in-flight fill ("SNOOP_X") or stalled by
+     * a silently-held lock ("SNOOP_DEFER") — become instant events
+     * on @p track (this core's trace row).
+     */
+    void
+    attachTracer(obs::Tracer *t, obs::TrackId track)
+    {
+        tracer = t;
+        _track = track;
+    }
+
   private:
     struct Line
     {
@@ -175,6 +189,8 @@ class L1Cache
     std::vector<Mshr> mshrs;
     std::uint64_t lruClock = 0;
     HoldQuery holdQuery;
+    obs::Tracer *tracer = nullptr;
+    obs::TrackId _track = 0;
     /** At most one deferred coherence message per block (the
      *  blocking directory serializes per-block transactions). */
     std::map<Addr, std::shared_ptr<MemMsg>> deferredMsgs;

@@ -33,6 +33,20 @@ MsaClientHub::homeOf(Addr a) const
 }
 
 void
+MsaClientHub::attachObservers(obs::Tracer *t, obs::SyncProfiler *p)
+{
+    tracer = t;
+    profiler = p;
+    if (tracer) {
+        coreTrack.reserve(cores.size());
+        for (std::size_t c = 0; c < cores.size(); ++c)
+            coreTrack.push_back(
+                tracer->addTrack(obs::pidCores, static_cast<unsigned>(c),
+                                 "core " + std::to_string(c)));
+    }
+}
+
+void
 MsaClientHub::countOp(const cpu::Op &op, bool hw)
 {
     if (op.instr == cpu::SyncInstr::Finish)
@@ -92,6 +106,7 @@ MsaClientHub::sendRequest(CoreId core, const cpu::Op &op)
     // lets us discard stale responses. opSeq is never 0 here (it is
     // pre-incremented before the first send).
     m->txn = cores[core].opSeq;
+    m->flowId = cores[core].flowId;
     if (op.instr == cpu::SyncInstr::CondWait) {
         PerCore &pc = cores[core];
         if (pc.silentHeld.count(op.addr2))
@@ -141,6 +156,11 @@ MsaClientHub::execute(CoreId core, const cpu::Op &op, Cb cb)
         ms.send(std::move(m));
         stats.counter("sync.silentLocks").inc();
         countOp(op, true);
+        if (profiler)
+            profiler->onSilentAcquire(core, op.addr, eq.now());
+        if (tracer)
+            tracer->instant(coreTrack[core], eq.now(), "LOCK_SILENT",
+                            op.addr);
         cb(cpu::SyncResult::Success);
         return;
     }
@@ -157,6 +177,8 @@ MsaClientHub::execute(CoreId core, const cpu::Op &op, Cb cb)
         m->noReply = true;
         ms.send(std::move(m));
         countOp(op, true);
+        if (profiler)
+            profiler->onHwRelease(core, op.addr, eq.now());
         cb(cpu::SyncResult::Success);
         return;
     }
@@ -174,6 +196,8 @@ MsaClientHub::execute(CoreId core, const cpu::Op &op, Cb cb)
         m->noReply = true;
         ms.send(std::move(m));
         countOp(op, true);
+        if (profiler)
+            profiler->onHwRelease(core, op.addr, eq.now());
         cb(cpu::SyncResult::Success);
         return;
     }
@@ -190,6 +214,11 @@ MsaClientHub::execute(CoreId core, const cpu::Op &op, Cb cb)
         m->requester = core;
         ms.send(std::move(m));
         countOp(op, true);
+        if (profiler)
+            profiler->onHwRelease(core, op.addr, eq.now());
+        if (tracer)
+            tracer->instant(coreTrack[core], eq.now(), "UNLOCK_SILENT",
+                            op.addr);
         cb(cpu::SyncResult::Success);
         return;
     }
@@ -201,6 +230,11 @@ MsaClientHub::execute(CoreId core, const cpu::Op &op, Cb cb)
     ++pc.opSeq;
     pc.retries = 0;
     pc.issuedAt = eq.now();
+    pc.flowId = tracer ? tracer->newFlowId() : 0;
+    pc.respFlowId = 0;
+    if (tracer)
+        tracer->flow(coreTrack[core], obs::FlowPhase::Start, pc.flowId,
+                     eq.now(), op.addr);
     sendRequest(core, op);
     armTimeout(core);
 }
@@ -277,6 +311,20 @@ MsaClientHub::complete(CoreId core, cpu::SyncResult result, bool no_silent)
     if (!pc.active)
         return; // stale response (op already completed)
     pc.active = false;
+    if (profiler)
+        profiler->onComplete(core, pc.op, result, pc.issuedAt, eq.now());
+    if (tracer) {
+        // End the flow with the id the completing response carried
+        // when it has one: a held grant arrives on the *releaser's*
+        // flow, which stitches the lock handoff chain end-to-end.
+        const std::uint64_t fid = pc.respFlowId ? pc.respFlowId
+                                                : pc.flowId;
+        if (fid)
+            tracer->flow(coreTrack[core], obs::FlowPhase::End, fid,
+                         eq.now(), pc.op.addr);
+    }
+    pc.flowId = 0;
+    pc.respFlowId = 0;
     // BUSY is a hardware-performed outcome (TRYLOCK observed a held
     // lock at the MSA); only FAIL/ABORT mean the software path ran.
     countOp(pc.op, result == cpu::SyncResult::Success ||
@@ -357,6 +405,11 @@ MsaClientHub::handleMessage(CoreId core, const std::shared_ptr<MsaMsg> &msg)
         // non-zero under fault injection.
         stats.counter("resil.staleResponses").inc();
         return;
+    }
+    if (isReplyOp(msg->op) && msg->op != MsaOp::UnlockDone &&
+        msg->op != MsaOp::SuspendAck) {
+        // Remember which flow delivered the (potential) completion.
+        pc.respFlowId = msg->flowId;
     }
     switch (msg->op) {
       case MsaOp::UnlockDone:

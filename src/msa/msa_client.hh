@@ -20,6 +20,8 @@
 #include "cpu/core.hh"
 #include "mem/mem_system.hh"
 #include "msa/msa_msg.hh"
+#include "obs/sync_profiler.hh"
+#include "obs/tracer.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -85,6 +87,14 @@ class MsaClientHub : public cpu::SyncUnit
      */
     static bool boundedRetry(cpu::SyncInstr k);
 
+    /**
+     * Attach the observability layer (either pointer may be null).
+     * With a tracer, every issued sync op starts a flow on its core's
+     * trace row and requests are stamped with the flow id; with a
+     * profiler, per-variable contention statistics are collected.
+     */
+    void attachObservers(obs::Tracer *tracer, obs::SyncProfiler *profiler);
+
   private:
     struct PerCore
     {
@@ -104,6 +114,11 @@ class MsaClientHub : public cpu::SyncUnit
         unsigned retries = 0;
         /** Tick the current op was issued (watchdog reporting). */
         Tick issuedAt = 0;
+        /** Trace flow id of the outstanding op (0 = untraced). */
+        std::uint64_t flowId = 0;
+        /** Flow id carried by the message completing the op (held
+         *  grants arrive on the releaser's flow — handoff chains). */
+        std::uint64_t respFlowId = 0;
 
         /** Locks held via a silent acquire, not yet unlocked. */
         std::set<Addr> silentHeld;
@@ -152,6 +167,11 @@ class MsaClientHub : public cpu::SyncUnit
     mem::MemSystem &ms;
     StatRegistry &stats;
     std::vector<PerCore> cores;
+
+    obs::Tracer *tracer = nullptr;
+    obs::SyncProfiler *profiler = nullptr;
+    /** One pid-0 tracer row per hardware thread (flow endpoints). */
+    std::vector<obs::TrackId> coreTrack;
 };
 
 } // namespace msa

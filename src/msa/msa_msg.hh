@@ -94,6 +94,43 @@ isReplyOp(MsaOp op)
     }
 }
 
+/** Short opcode mnemonic (trace/debug labels). */
+inline const char *
+msaOpName(MsaOp op)
+{
+    switch (op) {
+      case MsaOp::Lock: return "LOCK";
+      case MsaOp::TryLock: return "TRYLOCK";
+      case MsaOp::Unlock: return "UNLOCK";
+      case MsaOp::RdLock: return "RDLOCK";
+      case MsaOp::WrLock: return "WRLOCK";
+      case MsaOp::RwUnlock: return "RWUNLOCK";
+      case MsaOp::Barrier: return "BARRIER";
+      case MsaOp::CondWait: return "COND_WAIT";
+      case MsaOp::CondSignal: return "COND_SIGNAL";
+      case MsaOp::CondBcast: return "COND_BCAST";
+      case MsaOp::Finish: return "FINISH";
+      case MsaOp::Suspend: return "SUSPEND";
+      case MsaOp::LockSilent: return "LOCK_SILENT";
+      case MsaOp::UnlockSilent: return "UNLOCK_SILENT";
+      case MsaOp::FailNotice: return "FAIL_NOTICE";
+      case MsaOp::RespSuccess: return "RESP_SUCCESS";
+      case MsaOp::RespFail: return "RESP_FAIL";
+      case MsaOp::RespAbort: return "RESP_ABORT";
+      case MsaOp::RespBusy: return "RESP_BUSY";
+      case MsaOp::SuspendAck: return "SUSPEND_ACK";
+      case MsaOp::UnlockDone: return "UNLOCK_DONE";
+      case MsaOp::UnlockPin: return "UNLOCK_PIN";
+      case MsaOp::UnlockOnBehalf: return "UNLOCK_ON_BEHALF";
+      case MsaOp::LockOnBehalf: return "LOCK_ON_BEHALF";
+      case MsaOp::LockUnpin: return "LOCK_UNPIN";
+      case MsaOp::Unpin: return "UNPIN";
+      case MsaOp::UnlockPinAck: return "UNLOCK_PIN_ACK";
+      case MsaOp::UnlockPinNack: return "UNLOCK_PIN_NACK";
+    }
+    return "?";
+}
+
 /** One MSA protocol message (always control-sized). */
 class MsaMsg : public noc::Packet
 {
@@ -144,6 +181,13 @@ class MsaMsg : public noc::Packet
      * stays untracked.
      */
     std::uint64_t txn = 0;
+    /**
+     * Observability flow id stitching one sync operation end-to-end
+     * across the trace (core issue -> slice decision -> completion).
+     * 0 = untraced; only stamped when the tracer is enabled, so it
+     * never influences protocol behaviour.
+     */
+    std::uint64_t flowId = 0;
 };
 
 } // namespace msa

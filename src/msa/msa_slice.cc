@@ -18,6 +18,24 @@ MsaSlice::MsaSlice(EventQueue &eq, const SystemConfig &cfg, CoreId tile,
 }
 
 void
+MsaSlice::attachObservers(obs::Tracer *t, obs::SyncProfiler *p)
+{
+    tracer = t;
+    profiler = p;
+    if (tracer)
+        track = tracer->addTrack(obs::pidMsa, tile,
+                                 "slice " + std::to_string(tile));
+}
+
+void
+MsaSlice::traceInstant(const char *name, Addr a, std::uint64_t value,
+                       bool has_value)
+{
+    if (tracer)
+        tracer->instant(track, eq.now(), name, a, value, has_value);
+}
+
+void
 MsaSlice::forEachEntry(const std::function<void(const MsaEntry &)> &fn) const
 {
     for (const auto &e : entries)
@@ -70,15 +88,19 @@ MsaSlice::typeSupported(SyncType t) const
 void
 MsaSlice::omuInc(Addr a, std::uint32_t n)
 {
-    if (cfg.msa.omuEnabled)
-        _omu.increment(a, n);
+    if (!cfg.msa.omuEnabled)
+        return;
+    _omu.increment(a, n);
+    traceInstant("OMU_INC", a, _omu.count(a), true);
 }
 
 void
 MsaSlice::omuDec(Addr a, std::uint32_t n)
 {
-    if (cfg.msa.omuEnabled)
-        _omu.decrement(a, n);
+    if (!cfg.msa.omuEnabled)
+        return;
+    _omu.decrement(a, n);
+    traceInstant("OMU_DEC", a, _omu.count(a), true);
 }
 
 bool
@@ -91,6 +113,7 @@ void
 MsaSlice::retireEntry(MsaEntry &e)
 {
     if (cfg.msa.omuEnabled) {
+        traceInstant("EVICT", e.addr);
         e.reset();
         stats.counter(statPrefix + "evictions").inc();
         return;
@@ -107,6 +130,7 @@ MsaSlice::makeClientResp(CoreId core, MsaOp op, Addr addr)
 {
     auto m = std::make_shared<MsaMsg>(tile, cfg.tileOf(core), op, addr);
     m->requester = core;
+    m->flowId = curFlowId;
     if (op == MsaOp::RespSuccess || op == MsaOp::RespFail ||
         op == MsaOp::RespAbort || op == MsaOp::RespBusy) {
         // Which transaction does this answer? The one being
@@ -191,6 +215,7 @@ MsaSlice::process(const std::shared_ptr<MsaMsg> &msg)
             r->txn = ct.done;
             r->handoff = ct.doneHandoff;
             r->noSilent = true;
+            r->flowId = msg->flowId;
             send(std::move(r));
             return;
         }
@@ -212,6 +237,17 @@ MsaSlice::dispatch(const std::shared_ptr<MsaMsg> &msg)
                          msg->requester != invalidCore;
     if (tracked)
         txns[msg->requester].cur = msg->txn;
+    curFlowId = msg->flowId;
+    if (tracer) {
+        // A 1-tick slice on this row per dispatched request; the flow
+        // step at the same tick binds inside it, linking the issuing
+        // core's flow through this slice to the eventual response.
+        tracer->complete(track, eq.now(), eq.now() + 1,
+                         msaOpName(msg->op), msg->addr);
+        if (curFlowId)
+            tracer->flow(track, obs::FlowPhase::Step, curFlowId, eq.now(),
+                         msg->addr);
+    }
     switch (msg->op) {
       case MsaOp::Lock:
         doLock(msg);
@@ -286,6 +322,7 @@ MsaSlice::dispatch(const std::shared_ptr<MsaMsg> &msg)
     }
     if (tracked)
         txns[msg->requester].cur = 0;
+    curFlowId = 0;
 }
 
 MsaEntry *
@@ -296,6 +333,7 @@ MsaSlice::allocate(Addr addr)
         // existing FAIL path (omuInc + RespFail) routes the address
         // to software.
         stats.counter(statPrefix + "offlineDenied").inc();
+        traceInstant("OFFLINE_DENY", addr);
         return nullptr;
     }
     for (auto &e : entries) {
@@ -304,6 +342,7 @@ MsaSlice::allocate(Addr addr)
             e.valid = true;
             e.addr = addr;
             stats.counter(statPrefix + "allocations").inc();
+            traceInstant("ALLOC", addr);
             return &e;
         }
     }
@@ -315,8 +354,10 @@ MsaSlice::allocate(Addr addr)
         e.valid = true;
         e.addr = addr;
         stats.counter(statPrefix + "allocations").inc();
+        traceInstant("ALLOC", addr);
         return &e;
     }
+    traceInstant("OVERFLOW", addr);
     return nullptr;
 }
 
@@ -351,6 +392,8 @@ MsaSlice::grantLock(MsaEntry &e, CoreId core)
     e.owner = core;
     const Addr addr = e.addr;
     stats.counter(statPrefix + "lockGrants").inc();
+    if (profiler)
+        profiler->onGrant(addr, core);
 
     // The HWSync privilege (paper §5) only pays off when the grantee
     // is likely the next acquirer, so do not push the block when
@@ -372,8 +415,16 @@ MsaSlice::grantLock(MsaEntry &e, CoreId core)
     const bool need_revoke =
         e.pushedTo != invalidCore && e.pushedTo != core;
 
-    auto respond_grant = [this, core, addr](bool no_silent) {
+    // The push/revoke paths respond from an asynchronous coherence
+    // callback, outside the dispatch window of the request that
+    // triggered this grant: carry its flow id across the gap so the
+    // response still closes (or hands off) the right flow.
+    auto respond_grant = [this, core, addr, fid = curFlowId](
+                             bool no_silent) {
+        const std::uint64_t saved = curFlowId;
+        curFlowId = fid;
         respondFinal(core, MsaOp::RespSuccess, addr, false, no_silent);
+        curFlowId = saved;
     };
 
     // The block lives in the thread's tile-level L1; pushedTo tracks
@@ -588,8 +639,10 @@ MsaSlice::doUnlock(const std::shared_ptr<MsaMsg> &msg)
                 ++aborted;
             }
         }
-        if (aborted)
+        if (aborted) {
             omuInc(addr, aborted);
+            traceInstant("ABORT", addr, aborted, true);
+        }
         stats.counter(statPrefix + "lockAborts").inc(aborted);
         e->reset();
         return;
@@ -815,11 +868,16 @@ MsaSlice::doBarrier(const std::shared_ptr<MsaMsg> &msg)
     if (e->hwQueue.test(core))
         panic("MSA %u: duplicate BARRIER arrival of core %u", tile, core);
     e->hwQueue.set(core);
+    if (profiler)
+        profiler->onBarrierArrive(addr, eq.now());
     if (e->hwQueue.count() >= e->goal) {
         for (unsigned c = 0; c < cfg.numThreads(); ++c)
             if (e->hwQueue.test(c))
                 respond(c, MsaOp::RespSuccess, addr);
         stats.counter(statPrefix + "barrierReleases").inc();
+        traceInstant("BARRIER_RELEASE", addr, e->goal, true);
+        if (profiler)
+            profiler->onBarrierRelease(addr, eq.now());
         retireEntry(*e);
     }
 }
@@ -1184,6 +1242,7 @@ MsaSlice::doSuspend(const std::shared_ptr<MsaMsg> &msg)
             }
             omuInc(addr, n);
             stats.counter(statPrefix + "barrierAborts").inc();
+            traceInstant("ABORT", addr, n, true);
             e->reset();
         }
         break;
@@ -1222,6 +1281,7 @@ MsaSlice::abortWaiters(MsaEntry &e, const char *stat_name)
     if (n) {
         omuInc(e.addr, n);
         stats.counter(statPrefix + stat_name).inc(n);
+        traceInstant("ABORT", e.addr, n, true);
     }
     return n;
 }
@@ -1270,6 +1330,7 @@ MsaSlice::goOffline()
         return;
     offline = true;
     stats.counter(statPrefix + "offlineEvents").inc();
+    traceInstant("OFFLINE", 0);
     if (cfg.msa.omuEnabled)
         shedEntries();
 }

@@ -40,6 +40,8 @@
 #include "mem/home_slice.hh"
 #include "msa/msa_msg.hh"
 #include "msa/omu.hh"
+#include "obs/sync_profiler.hh"
+#include "obs/tracer.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -138,6 +140,15 @@ class MsaSlice
 
     Omu &omu() { return _omu; }
 
+    /**
+     * Attach the observability layer (either pointer may be null).
+     * With a tracer the slice gets its own trace row (pid 1) showing
+     * dispatched requests, overflow/shed/abort instants, and flow
+     * steps linking requests to their responses; with a profiler,
+     * grant handoffs and barrier episodes are recorded.
+     */
+    void attachObservers(obs::Tracer *tracer, obs::SyncProfiler *profiler);
+
   private:
     /**
      * Per-client transaction state: retransmission dedup plus a
@@ -223,6 +234,10 @@ class MsaSlice
     /** Fire-and-forget Unpin to @p lock's home slice. */
     void sendUnpin(Addr lock);
 
+    /** Tracer instant on this slice's row (no-op when untraced). */
+    void traceInstant(const char *name, Addr a, std::uint64_t value = 0,
+                      bool has_value = false);
+
     /** Queue @p msg until a busy entry settles. */
     void defer(const std::shared_ptr<MsaMsg> &msg);
 
@@ -261,6 +276,18 @@ class MsaSlice
     std::vector<ClientTxn> txns;
     /** Offline (decommissioned) — see goOffline(). */
     bool offline = false;
+
+    obs::Tracer *tracer = nullptr;
+    obs::SyncProfiler *profiler = nullptr;
+    /** This slice's trace row (pid 1), valid when tracer != null. */
+    obs::TrackId track = 0;
+    /**
+     * Flow id of the request currently being dispatched (0 outside a
+     * dispatch window). Stamped onto every client-bound response so
+     * the requester's trace row can close the flow; grantLock's
+     * asynchronous push/revoke callbacks capture and restore it.
+     */
+    std::uint64_t curFlowId = 0;
 };
 
 } // namespace msa

@@ -41,6 +41,9 @@ class Mesh
     /** Manhattan hop distance between two tiles. */
     unsigned hopDistance(CoreId a, CoreId b) const;
 
+    /** Tile @p t's network interface (observability wiring). */
+    NetworkInterface &ni(CoreId t) { return *nis[t]; }
+
   private:
     unsigned _dim;
     std::vector<std::unique_ptr<Router>> routers;

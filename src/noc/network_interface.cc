@@ -103,6 +103,9 @@ NetworkInterface::eject(Flit flit)
     stats.counter("noc.packetsRecv").inc();
     stats.average("noc.packetLatency")
         .sample(static_cast<double>(eq.now() - flit.pkt->injectTick));
+    if (tracer)
+        tracer->complete(track, flit.pkt->injectTick, eq.now(),
+                         flit.pkt->vnet == 0 ? "pkt.req" : "pkt.resp");
     if (!sink)
         panic("NI %u has no sink installed", _tile);
     sink(std::move(flit.pkt));

@@ -14,6 +14,7 @@
 
 #include "noc/packet.hh"
 #include "noc/router.hh"
+#include "obs/tracer.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -44,6 +45,18 @@ class NetworkInterface
     void setSink(Sink sink) { this->sink = std::move(sink); }
 
     CoreId tile() const { return _tile; }
+
+    /**
+     * Attach the tracer (null = untraced). Every packet ejected at
+     * this NI becomes a complete event on @p track spanning its
+     * injection-to-delivery interval.
+     */
+    void
+    attachTracer(obs::Tracer *t, obs::TrackId track)
+    {
+        tracer = t;
+        this->track = track;
+    }
 
   private:
     /** Router freed an injection-buffer slot on @p vnet. */
@@ -81,6 +94,9 @@ class NetworkInterface
     unsigned rrVnet = 0;
     bool tickPending = false;
     std::uint64_t nextSeq;
+
+    obs::Tracer *tracer = nullptr;
+    obs::TrackId track = 0;
 };
 
 } // namespace noc

@@ -1,0 +1,154 @@
+#include "obs/run_report.hh"
+
+#include <iomanip>
+#include <vector>
+
+#include "obs/sampler.hh"
+#include "obs/sync_profiler.hh"
+#include "sim/trace.hh"
+
+namespace misar {
+namespace obs {
+
+namespace {
+
+void
+writeStr(std::ostream &os, const char *key, const std::string &v)
+{
+    os << "\"" << key << "\":\"" << jsonEscape(v) << "\"";
+}
+
+/**
+ * JSON numbers must be finite; averages over zero samples yield NaN
+ * in some stat implementations, so clamp anything non-finite to 0.
+ */
+double
+finite(double v)
+{
+    return v == v ? v : 0.0;
+}
+
+} // namespace
+
+void
+writeRunReport(std::ostream &os, const RunMeta &meta,
+               const StatRegistry &stats, const SyncProfiler *prof,
+               std::size_t top_n, const StatSampler *sampler)
+{
+    os << "{\"schemaVersion\":" << runReportSchemaVersion;
+
+    // -- metadata ----------------------------------------------------
+    os << ",\"meta\":{";
+    writeStr(os, "app", meta.app);
+    os << ",";
+    writeStr(os, "preset", meta.preset);
+    os << ",";
+    writeStr(os, "accel", meta.accel);
+    os << ",";
+    writeStr(os, "flavor", meta.flavor);
+    os << ",\"cores\":" << meta.cores << ",\"smtWays\":" << meta.smtWays
+       << ",\"msaEntries\":" << meta.msaEntries
+       << ",\"omuCounters\":" << meta.omuCounters << ",\"omuEnabled\":"
+       << (meta.omuEnabled ? "true" : "false") << ",\"hwSyncBitOpt\":"
+       << (meta.hwSyncBitOpt ? "true" : "false")
+       << ",\"seed\":" << meta.seed << ",";
+    writeStr(os, "outcome", meta.outcome);
+    os << ",\"makespan\":" << meta.makespan << ",\"hwCoverage\":"
+       << std::fixed << std::setprecision(6) << finite(meta.hwCoverage)
+       << "}";
+
+    // -- resilience summary (PR 1 counters) --------------------------
+    os << ",\"resilience\":{"
+       << "\"timeouts\":" << stats.counterValue("resil.timeouts")
+       << ",\"retries\":" << stats.counterValue("resil.retries")
+       << ",\"abandonedOps\":" << stats.counterValue("resil.abandonedOps")
+       << ",\"staleResponses\":" << stats.counterValue("resil.staleResponses")
+       << ",\"watchdogStalls\":" << stats.counterValue("resil.watchdogStalls")
+       << ",\"invariantViolations\":"
+       << stats.counterValue("resil.invariantViolations")
+       << ",\"injectedDrops\":" << stats.counterValue("resil.injectedDrops")
+       << ",\"injectedDups\":" << stats.counterValue("resil.injectedDups")
+       << ",\"injectedDelays\":" << stats.counterValue("resil.injectedDelays")
+       << ",\"abortedOps\":" << stats.counterValue("sync.abortedOps")
+       << ",\"offlineEvents\":"
+       << stats.sumCountersSuffix(".msa.offlineEvents")
+       << ",\"offlineSheds\":"
+       << (stats.sumCountersSuffix(".msa.offlineLockAborts") +
+           stats.sumCountersSuffix(".msa.offlineRwAborts") +
+           stats.sumCountersSuffix(".msa.offlineBarrierAborts") +
+           stats.sumCountersSuffix(".msa.offlineCondAborts"))
+       << ",\"offlineDenied\":"
+       << stats.sumCountersSuffix(".msa.offlineDenied")
+       << ",\"crossedSnoops\":"
+       << stats.sumCountersSuffix(".l1.crossedSnoops") << "}";
+
+    // -- full statistics registry ------------------------------------
+    os << ",\"stats\":{\"counters\":{";
+    {
+        bool first = true;
+        stats.forEachCounter(
+            [&](const std::string &name, const StatCounter &c) {
+                if (!first)
+                    os << ",";
+                first = false;
+                os << "\"" << jsonEscape(name) << "\":" << c.value();
+            });
+    }
+    os << "},\"averages\":{";
+    {
+        bool first = true;
+        stats.forEachAverage(
+            [&](const std::string &name, const StatAverage &a) {
+                if (!first)
+                    os << ",";
+                first = false;
+                os << "\"" << jsonEscape(name) << "\":{\"count\":"
+                   << a.count() << ",\"mean\":" << std::fixed
+                   << std::setprecision(3) << finite(a.mean())
+                   << ",\"min\":" << finite(a.count() ? a.min() : 0.0)
+                   << ",\"max\":" << finite(a.max()) << ",\"sum\":"
+                   << finite(a.sum()) << "}";
+            });
+    }
+    os << "},\"histograms\":{";
+    {
+        bool first = true;
+        stats.forEachHistogram(
+            [&](const std::string &name, const StatHistogram &h) {
+                if (!first)
+                    os << ",";
+                first = false;
+                os << "\"" << jsonEscape(name) << "\":{\"total\":"
+                   << h.total() << ",\"buckets\":[";
+                const auto &b = h.data();
+                for (std::size_t i = 0; i < b.size(); ++i)
+                    os << (i ? "," : "") << b[i];
+                os << "]}";
+            });
+    }
+    os << "}}";
+
+    // -- sync-variable contention profile ----------------------------
+    if (prof) {
+        os << ",\"syncVars\":";
+        prof->writeJson(os, top_n);
+    }
+
+    // -- time-series sampler summary ---------------------------------
+    if (sampler) {
+        os << ",\"samples\":{\"interval\":" << sampler->interval()
+           << ",\"rows\":" << sampler->rows().size()
+           << ",\"droppedRows\":" << sampler->droppedRows()
+           << ",\"columns\":[";
+        const auto &labels = sampler->labels();
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+            os << (i ? "," : "") << "\"" << jsonEscape(labels[i]) << "\"";
+        }
+        os << "]}";
+    }
+
+    os << "}\n";
+}
+
+} // namespace obs
+} // namespace misar

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Machine-readable run report.
+ *
+ * One JSON document per simulation run: run metadata (configuration,
+ * seed, termination reason), a resilience summary (PR 1's timeout /
+ * retry / abort / offline-shed counters, so faulted runs diff
+ * cleanly), the full StatRegistry, and the sync-variable contention
+ * profile when the profiler ran. Schema documented in
+ * docs/OBSERVABILITY.md.
+ */
+
+#ifndef MISAR_OBS_RUN_REPORT_HH
+#define MISAR_OBS_RUN_REPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace misar {
+namespace obs {
+
+class SyncProfiler;
+class StatSampler;
+
+/** Report schema version ("schemaVersion" in the JSON). */
+constexpr unsigned runReportSchemaVersion = 1;
+
+/** Run metadata block of the report. */
+struct RunMeta
+{
+    std::string app;    ///< workload name ("" outside app harnesses)
+    std::string preset; ///< harness configuration name (CLI/preset)
+    std::string accel;  ///< SystemConfig::accelName()
+    std::string flavor; ///< sync library flavor name
+    unsigned cores = 0;
+    unsigned smtWays = 1;
+    unsigned msaEntries = 0;
+    unsigned omuCounters = 0;
+    bool omuEnabled = true;
+    bool hwSyncBitOpt = true;
+    std::uint64_t seed = 0;
+    /** runDetailed outcome: Finished | Deadlock | LimitReached. */
+    std::string outcome;
+    Tick makespan = 0;
+    double hwCoverage = 0.0;
+};
+
+/**
+ * Write the JSON run report. @p prof adds the "syncVars" top-N array
+ * (pass the profiler's top-N as @p top_n); null omits the section.
+ * @p sampler embeds the time-series row count + interval (the rows
+ * themselves go to CSV, not the report).
+ */
+void writeRunReport(std::ostream &os, const RunMeta &meta,
+                    const StatRegistry &stats,
+                    const SyncProfiler *prof = nullptr,
+                    std::size_t top_n = 16,
+                    const StatSampler *sampler = nullptr);
+
+} // namespace obs
+} // namespace misar
+
+#endif // MISAR_OBS_RUN_REPORT_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Periodic statistics sampler.
+ *
+ * Snapshots a set of registered probes (arbitrary double-valued
+ * functions, typically cumulative StatRegistry counters) every K
+ * ticks, building a time series that can be dumped as CSV — e.g.
+ * overflow events, NoC utilization, or outstanding retries over time.
+ *
+ * The sampler self-reschedules on the event queue, so it is a
+ * maintenance event source like the watchdog: System::runDetailed
+ * subtracts its pending event from the deadlock check via
+ * pendingMaintenance(). It stops rescheduling once the done function
+ * reports the run is over.
+ */
+
+#ifndef MISAR_OBS_SAMPLER_HH
+#define MISAR_OBS_SAMPLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace misar {
+namespace obs {
+
+/** Snapshots registered probes every @p interval ticks. */
+class StatSampler
+{
+  public:
+    StatSampler(EventQueue &eq, Tick interval);
+
+    /** Register a probe; its label becomes a CSV column. */
+    void addProbe(std::string label, std::function<double()> fn);
+
+    /** Install the "run is over" predicate (stops rescheduling). */
+    void setDoneFn(std::function<bool()> fn) { doneFn = std::move(fn); }
+
+    /** Take the t=0 row and arm the periodic event. */
+    void start();
+
+    /** Take one snapshot immediately (also used at quiesce). */
+    void sampleNow();
+
+    /** Self-rescheduled events currently pending (0 or 1). */
+    std::size_t pendingMaintenance() const { return armed ? 1u : 0u; }
+
+    /** Bound the row count; further samples are dropped and counted. */
+    void setMaxRows(std::size_t n) { maxRows = n; }
+    std::uint64_t droppedRows() const { return _droppedRows; }
+
+    struct Row
+    {
+        Tick tick;
+        std::vector<double> values;
+    };
+
+    const std::vector<Row> &rows() const { return _rows; }
+    const std::vector<std::string> &labels() const { return _labels; }
+
+    /** CSV with a "tick,<label>,..." header row. */
+    void writeCsv(std::ostream &os) const;
+
+    Tick interval() const { return _interval; }
+
+  private:
+    void tick();
+
+    EventQueue &eq;
+    Tick _interval;
+    bool armed = false;
+    std::size_t maxRows = 1u << 20;
+    std::uint64_t _droppedRows = 0;
+    std::vector<std::string> _labels;
+    std::vector<std::function<double()>> probes;
+    std::vector<Row> _rows;
+    std::function<bool()> doneFn;
+};
+
+} // namespace obs
+} // namespace misar
+
+#endif // MISAR_OBS_SAMPLER_HH

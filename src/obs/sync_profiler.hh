@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Per-sync-variable contention profiler.
+ *
+ * Keyed by synchronization address, it aggregates what the MSA client
+ * and slices observe about each variable: how often it was acquired,
+ * whether the hardware or the software-fallback path served it, how
+ * long acquirers waited (histogrammed), how long holders held it, how
+ * long barrier episodes took, and how the lock moved between cores
+ * (handoffs vs same-core re-acquires). The output is the "top-N
+ * hottest sync variables" report the MiSAR/SynCron evaluations argue
+ * from.
+ *
+ * The profiler is passive: it never schedules events, so enabling it
+ * cannot perturb simulated timing.
+ */
+
+#ifndef MISAR_OBS_SYNC_PROFILER_HH
+#define MISAR_OBS_SYNC_PROFILER_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/op.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace misar {
+namespace obs {
+
+/** Aggregated statistics for one synchronization variable. */
+struct SyncVarStats
+{
+    Addr addr = invalidAddr;
+    /** Last instruction kind seen (classifies the variable). */
+    cpu::SyncInstr kind = cpu::SyncInstr::Lock;
+    /** Completed sync operations naming this address. */
+    std::uint64_t ops = 0;
+    /** Acquire-class completions by path. */
+    std::uint64_t hwAcquires = 0;
+    std::uint64_t swAcquires = 0;
+    /** Acquires served by the HWSync-bit silent fast path. */
+    std::uint64_t silentAcquires = 0;
+    /** MSA-initiated aborts observed on this address. */
+    std::uint64_t aborts = 0;
+    /** Hardware grants that moved the lock to a different core. */
+    std::uint64_t handoffs = 0;
+    /** Hardware grants back to the previous owner. */
+    std::uint64_t reacquires = 0;
+    /** Issue-to-completion wait of acquire-class ops (ticks). */
+    StatAverage wait;
+    StatHistogram waitHist{20};
+    /** Acquire-to-release hold time of hardware-held locks. */
+    StatAverage hold;
+    /** First-arrival-to-release latency of barrier episodes. */
+    StatAverage barrierEpisode;
+
+    /** Ranking key: total ticks threads spent waiting here. */
+    double contention() const { return wait.sum(); }
+};
+
+/** Collects SyncVarStats from the MSA client hub and slices. */
+class SyncProfiler
+{
+  public:
+    /** @name Client-hub hooks. @{ */
+    /** A sync instruction completed (any path, any result). */
+    void onComplete(CoreId core, const cpu::Op &op, cpu::SyncResult r,
+                    Tick issued_at, Tick now);
+    /** A LOCK/TRYLOCK was served locally by the silent fast path. */
+    void onSilentAcquire(CoreId core, Addr a, Tick now);
+    /** An UNLOCK of a hardware- or silently-held lock completed. */
+    void onHwRelease(CoreId core, Addr a, Tick now);
+    /** @} */
+
+    /** @name Slice hooks. @{ */
+    /** The slice granted the lock @p a to @p core. */
+    void onGrant(Addr a, CoreId core);
+    /** A barrier arrival/release at the slice. */
+    void onBarrierArrive(Addr a, Tick now);
+    void onBarrierRelease(Addr a, Tick now);
+    /** @} */
+
+    /** Number of distinct variables observed. */
+    std::size_t numVars() const { return vars.size(); }
+
+    /** Stats for @p a, or nullptr if never observed. */
+    const SyncVarStats *var(Addr a) const;
+
+    /** Variables sorted hottest-first (by total wait time). */
+    std::vector<const SyncVarStats *> hottest(std::size_t top_n) const;
+
+    /** Human-readable top-N table. */
+    void writeReport(std::ostream &os, std::size_t top_n) const;
+
+    /** JSON array of the top-N entries (for the run report). */
+    void writeJson(std::ostream &os, std::size_t top_n) const;
+
+  private:
+    SyncVarStats &at(Addr a, cpu::SyncInstr kind);
+
+    std::unordered_map<Addr, SyncVarStats> vars;
+    /** Hardware-held acquire tick per (core, addr). */
+    std::map<std::pair<CoreId, Addr>, Tick> holdStart;
+    /** Open barrier episode start per addr. */
+    std::unordered_map<Addr, Tick> episodeStart;
+    /** Last hardware grantee per addr (handoff-chain tracking). */
+    std::unordered_map<Addr, CoreId> lastGrantee;
+};
+
+} // namespace obs
+} // namespace misar
+
+#endif // MISAR_OBS_SYNC_PROFILER_HH

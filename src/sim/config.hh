@@ -149,6 +149,48 @@ struct ResilConfig
     }
 };
 
+/**
+ * Observability parameters. All defaults are "off": a default
+ * ObsConfig adds no events, allocates no buffers, and leaves every
+ * simulated schedule bit-identical to a build without the subsystem.
+ * Stat counters are always live (they never affect timing).
+ */
+struct ObsConfig
+{
+    /**
+     * Enable the multi-component tracer: per-core op timelines, MSA
+     * slice activity, NoC packet rows, and cross-component sync-op
+     * flow events, exported as Chrome trace-event JSON.
+     */
+    bool traceEnabled = false;
+    /** Record NoC packet events (can dominate trace size). */
+    bool traceNoc = true;
+    /** Per-track event cap; excess events are counted as dropped. */
+    std::size_t traceMaxEvents = 1u << 20;
+    /** Enable the per-sync-variable contention profiler. */
+    bool profileSync = false;
+    /** Entries shown in the "hottest sync variables" report. */
+    unsigned profileTopN = 16;
+    /** Ticks between stat snapshots (0 = sampler off). */
+    Tick sampleInterval = 0;
+
+    /**
+     * Output paths consumed by the workload runner after a run
+     * (empty = do not write). The System itself never touches the
+     * filesystem.
+     */
+    std::string traceOutPath;
+    std::string statsJsonPath;
+    std::string sampleCsvPath;
+
+    /** True when any observability instrument is armed. */
+    bool
+    anyEnabled() const
+    {
+        return traceEnabled || profileSync || sampleInterval > 0;
+    }
+};
+
 /** Core timing parameters. */
 struct CoreConfig
 {
@@ -183,6 +225,7 @@ struct SystemConfig
     MsaConfig msa;
     CoreConfig core;
     ResilConfig resil;
+    ObsConfig obs;
 
     /** Mesh edge length (sqrt of numCores). */
     unsigned meshDim() const;

@@ -1,5 +1,6 @@
 #include "sim/stats.hh"
 
+#include <algorithm>
 #include <iomanip>
 
 namespace misar {
@@ -17,6 +18,13 @@ StatHistogram::sample(std::uint64_t v)
 }
 
 std::uint64_t
+StatRegistry::counterValue(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second.value();
+}
+
+std::uint64_t
 StatRegistry::sumCounters(const std::string &prefix) const
 {
     std::uint64_t sum = 0;
@@ -24,6 +32,19 @@ StatRegistry::sumCounters(const std::string &prefix) const
         if (it->first.compare(0, prefix.size(), prefix) != 0)
             break;
         sum += it->second.value();
+    }
+    return sum;
+}
+
+std::uint64_t
+StatRegistry::sumCountersSuffix(const std::string &suffix) const
+{
+    std::uint64_t sum = 0;
+    for (const auto &[name, c] : counters) {
+        if (name.size() >= suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0)
+            sum += c.value();
     }
     return sum;
 }
@@ -43,6 +64,33 @@ StatRegistry::pooledMean(const std::string &prefix) const
 }
 
 void
+StatRegistry::forEachCounter(
+    const std::function<void(const std::string &, const StatCounter &)> &fn)
+    const
+{
+    for (const auto &[name, c] : counters)
+        fn(name, c);
+}
+
+void
+StatRegistry::forEachAverage(
+    const std::function<void(const std::string &, const StatAverage &)> &fn)
+    const
+{
+    for (const auto &[name, a] : averages)
+        fn(name, a);
+}
+
+void
+StatRegistry::forEachHistogram(
+    const std::function<void(const std::string &, const StatHistogram &)>
+        &fn) const
+{
+    for (const auto &[name, h] : histograms)
+        fn(name, h);
+}
+
+void
 StatRegistry::dump(std::ostream &os) const
 {
     for (const auto &[name, c] : counters)
@@ -51,6 +99,13 @@ StatRegistry::dump(std::ostream &os) const
         os << name << " mean=" << std::fixed << std::setprecision(2)
            << a.mean() << " count=" << a.count() << " min=" << a.min()
            << " max=" << a.max() << "\n";
+    }
+    for (const auto &[name, h] : histograms) {
+        os << name << " total=" << h.total() << " buckets=[";
+        const auto &b = h.data();
+        for (std::size_t i = 0; i < b.size(); ++i)
+            os << (i ? "," : "") << b[i];
+        os << "]\n";
     }
 }
 
@@ -61,6 +116,8 @@ StatRegistry::reset()
         c.reset();
     for (auto &[name, a] : averages)
         a.reset();
+    for (auto &[name, h] : histograms)
+        h.reset();
 }
 
 } // namespace misar

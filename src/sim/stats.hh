@@ -10,6 +10,7 @@
 #define MISAR_SIM_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
@@ -81,6 +82,20 @@ class StatHistogram
     const std::vector<std::uint64_t> &data() const { return buckets; }
     std::uint64_t total() const { return _total; }
 
+    /** Smallest value that lands in bucket @p b (0, 2, 4, 8, ...). */
+    static std::uint64_t
+    bucketLow(unsigned b)
+    {
+        return b == 0 ? 0 : (std::uint64_t{1} << b);
+    }
+
+    void
+    reset()
+    {
+        std::fill(buckets.begin(), buckets.end(), 0);
+        _total = 0;
+    }
+
   private:
     std::vector<std::uint64_t> buckets;
     std::uint64_t _total = 0;
@@ -97,12 +112,37 @@ class StatRegistry
   public:
     StatCounter &counter(const std::string &name) { return counters[name]; }
     StatAverage &average(const std::string &name) { return averages[name]; }
+    StatHistogram &histogram(const std::string &name)
+    {
+        return histograms[name];
+    }
+
+    /** Value of counter @p name, or 0 if it was never touched. */
+    std::uint64_t counterValue(const std::string &name) const;
 
     /** Sum of all counters whose name matches "prefix*". */
     std::uint64_t sumCounters(const std::string &prefix) const;
 
+    /**
+     * Sum of all counters whose name ends in @p suffix (e.g.
+     * ".msa.allocations" pools one stat across every tile).
+     */
+    std::uint64_t sumCountersSuffix(const std::string &suffix) const;
+
     /** Mean over all averages whose name matches "prefix*" (by sample). */
     double pooledMean(const std::string &prefix) const;
+
+    /** @name Read-only visitors (sorted by name), for exporters. @{ */
+    void forEachCounter(
+        const std::function<void(const std::string &,
+                                 const StatCounter &)> &fn) const;
+    void forEachAverage(
+        const std::function<void(const std::string &,
+                                 const StatAverage &)> &fn) const;
+    void forEachHistogram(
+        const std::function<void(const std::string &,
+                                 const StatHistogram &)> &fn) const;
+    /** @} */
 
     /** Dump everything, sorted by name. */
     void dump(std::ostream &os) const;
@@ -112,6 +152,7 @@ class StatRegistry
   private:
     std::map<std::string, StatCounter> counters;
     std::map<std::string, StatAverage> averages;
+    std::map<std::string, StatHistogram> histograms;
 };
 
 } // namespace misar

@@ -2,23 +2,81 @@
 
 namespace misar {
 
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                static const char *hex = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xf];
+                out += hex[c & 0xf];
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
 void
 writeChromeTrace(std::ostream &os,
                  const std::vector<const TraceBuffer *> &cores)
 {
     os << "{\"traceEvents\":[";
     bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",";
+        first = false;
+    };
+    // Metadata first: label the process and each core's row so the
+    // viewers show "core N" instead of a bare thread id.
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+          "\"args\":{\"name\":\"cores\"}}";
+    for (std::size_t tid = 0; tid < cores.size(); ++tid) {
+        if (!cores[tid])
+            continue;
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\"core "
+           << tid << "\"}}";
+    }
     for (std::size_t tid = 0; tid < cores.size(); ++tid) {
         if (!cores[tid])
             continue;
         for (const TraceEvent &e : cores[tid]->data()) {
-            if (!first)
-                os << ",";
-            first = false;
+            sep();
             os << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << tid
                << ",\"ts\":" << e.start
                << ",\"dur\":" << (e.end - e.start) << ",\"name\":\""
-               << e.name << "\"";
+               << jsonEscape(e.name ? e.name : "") << "\"";
             if (e.addr) {
                 os << ",\"args\":{\"addr\":\"0x" << std::hex << e.addr
                    << std::dec << "\"}";

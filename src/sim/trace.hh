@@ -7,11 +7,15 @@
  * timeline can be exported in Chrome trace-event JSON ("catapult"
  * format) and opened in chrome://tracing or https://ui.perfetto.dev
  * to see exactly where threads wait.
+ *
+ * Multi-component tracing (MSA slices, NoC, cross-component sync
+ * flows) lives in obs/tracer.hh and shares this buffer type.
  */
 
 #ifndef MISAR_SIM_TRACE_HH
 #define MISAR_SIM_TRACE_HH
 
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -31,30 +35,58 @@ struct TraceEvent
     Addr addr;
 };
 
-/** Per-core timeline container. */
+/**
+ * Per-core timeline container.
+ *
+ * Growth is bounded: once @ref setCap 's limit is reached, further
+ * events are counted in @ref dropped instead of stored, so leaving
+ * tracing on for a long fuzz run cannot exhaust memory.
+ */
 class TraceBuffer
 {
   public:
+    /** Default per-buffer event cap (see setCap). */
+    static constexpr std::size_t defaultCap = 1u << 20;
+
     void
     record(Tick start, Tick end, const char *name, Addr addr = 0)
     {
-        if (_enabled)
-            events.push_back(TraceEvent{start, end, name, addr});
+        if (!_enabled)
+            return;
+        if (events.size() >= _cap) {
+            ++_dropped;
+            return;
+        }
+        events.push_back(TraceEvent{start, end, name, addr});
     }
 
     void setEnabled(bool on) { _enabled = on; }
     bool enabled() const { return _enabled; }
+
+    /** Bound the buffer to @p cap events (0 means "drop everything"). */
+    void setCap(std::size_t cap) { _cap = cap; }
+    std::size_t cap() const { return _cap; }
+
+    /** Events discarded because the cap was hit. */
+    std::uint64_t dropped() const { return _dropped; }
+
     const std::vector<TraceEvent> &data() const { return events; }
 
   private:
     bool _enabled = false;
+    std::size_t _cap = defaultCap;
+    std::uint64_t _dropped = 0;
     std::vector<TraceEvent> events;
 };
+
+/** Escape @p s for embedding inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
 
 /**
  * Write Chrome trace-event JSON for a set of per-core timelines.
  * Ticks are reported as microseconds so the viewers render nicely
- * (1 cycle == 1 "us" in the viewer).
+ * (1 cycle == 1 "us" in the viewer). Emits thread-name metadata so
+ * each row is labeled, and escapes all labels.
  */
 void writeChromeTrace(std::ostream &os,
                       const std::vector<const TraceBuffer *> &cores);

@@ -92,6 +92,74 @@ System::System(const SystemConfig &cfg_in) : cfg(cfg_in)
             *this, cfg.resil.invariantInterval, _stats);
         checker->start();
     }
+
+    applyObservability();
+}
+
+void
+System::applyObservability()
+{
+    const ObsConfig &o = cfg.obs;
+    if (!o.anyEnabled())
+        return;
+
+    if (o.traceEnabled) {
+        _tracer = std::make_unique<obs::Tracer>(_stats, o.traceMaxEvents);
+        enableTracing();
+        for (auto &c : cores)
+            c->trace().setCap(o.traceMaxEvents);
+        if (o.traceNoc) {
+            for (CoreId t = 0; t < cfg.numCores; ++t) {
+                obs::TrackId tk = _tracer->addTrack(
+                    obs::pidNoc, t, "ni " + std::to_string(t));
+                ms->mesh().ni(t).attachTracer(_tracer.get(), tk);
+            }
+        }
+        // L1 snoop anomalies land on the row of the tile's first
+        // hardware thread (the L1 is shared by its SMT siblings).
+        for (CoreId t = 0; t < cfg.numCores; ++t) {
+            const unsigned tid = t * cfg.smtWays;
+            obs::TrackId tk = _tracer->addTrack(
+                obs::pidCores, tid, "core " + std::to_string(tid));
+            ms->l1(t).attachTracer(_tracer.get(), tk);
+        }
+    }
+    if (o.profileSync)
+        profiler = std::make_unique<obs::SyncProfiler>();
+
+    if (_tracer || profiler) {
+        if (hub)
+            hub->attachObservers(_tracer.get(), profiler.get());
+        for (auto &s : slices)
+            s->attachObservers(_tracer.get(), profiler.get());
+    }
+
+    if (o.sampleInterval > 0) {
+        _sampler = std::make_unique<obs::StatSampler>(eq, o.sampleInterval);
+        auto cnt = [this](const char *name) {
+            return [this, name] {
+                return static_cast<double>(_stats.counterValue(name));
+            };
+        };
+        auto pooled = [this](const char *suffix) {
+            return [this, suffix] {
+                return static_cast<double>(
+                    _stats.sumCountersSuffix(suffix));
+            };
+        };
+        _sampler->addProbe("syncHwOps", cnt("sync.hwOps"));
+        _sampler->addProbe("syncSwOps", cnt("sync.swOps"));
+        _sampler->addProbe("silentLocks", cnt("sync.silentLocks"));
+        _sampler->addProbe("abortedOps", cnt("sync.abortedOps"));
+        _sampler->addProbe("nocPacketsSent", cnt("noc.packetsSent"));
+        _sampler->addProbe("msaAllocations", pooled(".msa.allocations"));
+        _sampler->addProbe("msaEvictions", pooled(".msa.evictions"));
+        _sampler->addProbe("crossedSnoops", pooled(".l1.crossedSnoops"));
+        _sampler->addProbe("resilTimeouts", cnt("resil.timeouts"));
+        _sampler->addProbe("resilRetries", cnt("resil.retries"));
+        _sampler->setDoneFn([this] { return allFinished(); });
+        _sampler->start();
+    }
 }
 
 bool
@@ -126,11 +194,12 @@ System::runDetailed(Tick limit)
             }
             return RunOutcome::Finished;
         }
-        // Maintenance self-rescheduling events (watchdog/checker)
-        // must not mask a dead system.
+        // Maintenance self-rescheduling events (watchdog/checker/
+        // sampler) must not mask a dead system.
         std::size_t maint =
             (wdog ? wdog->pendingMaintenance() : 0u) +
-            (checker ? checker->pendingMaintenance() : 0u);
+            (checker ? checker->pendingMaintenance() : 0u) +
+            (_sampler ? _sampler->pendingMaintenance() : 0u);
         if (eq.pending() <= maint) {
             warn("event queue drained with threads still blocked "
                  "(deadlock) at tick %llu",
@@ -165,7 +234,10 @@ System::writeTrace(std::ostream &os) const
     std::vector<const TraceBuffer *> bufs;
     for (auto &c : cores)
         bufs.push_back(&c->trace());
-    writeChromeTrace(os, bufs);
+    if (_tracer)
+        _tracer->write(os, bufs);
+    else
+        writeChromeTrace(os, bufs);
 }
 
 std::string

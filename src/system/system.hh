@@ -18,6 +18,9 @@
 #include "msa/msa_client.hh"
 #include "msa/msa_slice.hh"
 #include "msa/null_sync.hh"
+#include "obs/sampler.hh"
+#include "obs/sync_profiler.hh"
+#include "obs/tracer.hh"
 #include "resil/fault_injector.hh"
 #include "resil/invariants.hh"
 #include "resil/watchdog.hh"
@@ -35,6 +38,21 @@ enum class RunOutcome
     Deadlock,     ///< event queue drained with threads still blocked
     LimitReached, ///< tick budget exhausted (livelock or just slow)
 };
+
+/** Stable string form of @p o (run reports, logs). */
+inline const char *
+runOutcomeName(RunOutcome o)
+{
+    switch (o) {
+      case RunOutcome::Finished:
+        return "finished";
+      case RunOutcome::Deadlock:
+        return "deadlock";
+      case RunOutcome::LimitReached:
+        return "limit-reached";
+    }
+    return "?";
+}
 
 /**
  * A complete simulated chip. Construct, start one thread body per
@@ -108,10 +126,24 @@ class System
     /** Enable per-core operation tracing (see sim/trace.hh). */
     void enableTracing();
 
-    /** Write all core timelines as Chrome trace-event JSON. */
+    /**
+     * Write the trace as Chrome trace-event JSON. With the obs layer
+     * enabled (cfg.obs.traceEnabled) this is the full multi-component
+     * trace (cores + MSA slices + NoC, with sync flows); otherwise it
+     * is the legacy per-core-only timeline.
+     */
     void writeTrace(std::ostream &os) const;
 
+    /** @name Observability components (null when not configured). @{ */
+    obs::Tracer *tracer() { return _tracer.get(); }
+    const obs::SyncProfiler *syncProfiler() const { return profiler.get(); }
+    obs::StatSampler *sampler() { return _sampler.get(); }
+    const obs::StatSampler *sampler() const { return _sampler.get(); }
+    /** @} */
+
   private:
+    /** Construct + wire cfg.obs-enabled components (ctor tail). */
+    void applyObservability();
     SystemConfig cfg;
     EventQueue eq;
     StatRegistry _stats;
@@ -123,6 +155,9 @@ class System
     std::unique_ptr<resil::FaultInjector> injector;
     std::unique_ptr<resil::Watchdog> wdog;
     std::unique_ptr<resil::InvariantChecker> checker;
+    std::unique_ptr<obs::Tracer> _tracer;
+    std::unique_ptr<obs::SyncProfiler> profiler;
+    std::unique_ptr<obs::StatSampler> _sampler;
 };
 
 } // namespace sys

@@ -1,5 +1,8 @@
 #include "workload/runner.hh"
 
+#include <fstream>
+
+#include "obs/run_report.hh"
 #include "sim/logging.hh"
 #include "system/system.hh"
 #include "workload/app_catalog.hh"
@@ -7,9 +10,76 @@
 namespace misar {
 namespace workload {
 
+namespace {
+
+/** Sum of the per-slice offline-shed abort counters. */
+std::uint64_t
+offlineShedCount(const StatRegistry &st)
+{
+    return st.sumCountersSuffix(".msa.offlineLockAborts") +
+           st.sumCountersSuffix(".msa.offlineRwAborts") +
+           st.sumCountersSuffix(".msa.offlineBarrierAborts") +
+           st.sumCountersSuffix(".msa.offlineCondAborts");
+}
+
+/** Write any cfg.obs-requested output files for a finished run. */
+void
+writeObsOutputs(sys::System &s, const AppSpec &spec,
+                const std::string &preset, sync::SyncLib::Flavor flavor,
+                std::uint64_t seed, const RunResult &r)
+{
+    const ObsConfig &o = s.config().obs;
+    if (s.sampler())
+        s.sampler()->sampleNow(); // close the time series at quiesce
+
+    if (!o.traceOutPath.empty()) {
+        std::ofstream f(o.traceOutPath);
+        if (!f) {
+            warn("cannot open trace file %s", o.traceOutPath.c_str());
+        } else {
+            s.writeTrace(f);
+        }
+    }
+    if (!o.sampleCsvPath.empty() && s.sampler()) {
+        std::ofstream f(o.sampleCsvPath);
+        if (!f) {
+            warn("cannot open sample file %s", o.sampleCsvPath.c_str());
+        } else {
+            s.sampler()->writeCsv(f);
+        }
+    }
+    if (!o.statsJsonPath.empty()) {
+        std::ofstream f(o.statsJsonPath);
+        if (!f) {
+            warn("cannot open stats file %s", o.statsJsonPath.c_str());
+            return;
+        }
+        obs::RunMeta meta;
+        meta.app = spec.name;
+        meta.preset = preset;
+        meta.accel = s.config().accelName();
+        meta.flavor = sync::SyncLib::flavorName(flavor);
+        meta.cores = s.config().numCores;
+        meta.smtWays = s.config().smtWays;
+        meta.msaEntries = s.config().msa.msaEntries;
+        meta.omuCounters = s.config().msa.omuCounters;
+        meta.omuEnabled = s.config().msa.omuEnabled;
+        meta.hwSyncBitOpt = s.config().msa.hwSyncBitOpt;
+        meta.seed = seed;
+        meta.outcome = sys::runOutcomeName(r.outcome);
+        meta.makespan = r.makespan;
+        meta.hwCoverage = r.hwCoverage;
+        obs::writeRunReport(f, meta, s.stats(), s.syncProfiler(),
+                            o.profileTopN, s.sampler());
+    }
+}
+
+} // namespace
+
 RunResult
 runAppWithConfig(const AppSpec &spec, const SystemConfig &cfg,
-                 sync::SyncLib::Flavor flavor, std::uint64_t seed)
+                 sync::SyncLib::Flavor flavor, std::uint64_t seed,
+                 const std::string &preset)
 {
     sys::System s(cfg);
     sync::SyncLib lib(flavor, cfg.numCores);
@@ -33,6 +103,13 @@ runAppWithConfig(const AppSpec &spec, const SystemConfig &cfg,
     r.hwOps = s.stats().counter("sync.hwOps").value();
     r.swOps = s.stats().counter("sync.swOps").value();
     r.silentLocks = s.stats().counter("sync.silentLocks").value();
+    r.timeouts = s.stats().counterValue("resil.timeouts");
+    r.retries = s.stats().counterValue("resil.retries");
+    r.abortedOps = s.stats().counterValue("sync.abortedOps");
+    r.offlineSheds = offlineShedCount(s.stats());
+    r.crossedSnoops = s.stats().sumCountersSuffix(".l1.crossedSnoops");
+
+    writeObsOutputs(s, spec, preset, flavor, seed, r);
     return r;
 }
 
@@ -41,7 +118,8 @@ runApp(const AppSpec &spec, unsigned cores, sys::PaperConfig pc,
        std::uint64_t seed)
 {
     return runAppWithConfig(spec, sys::configFor(pc, cores),
-                            sys::flavorFor(pc), seed);
+                            sys::flavorFor(pc), seed,
+                            sys::paperConfigName(pc));
 }
 
 } // namespace workload

@@ -27,16 +27,32 @@ struct RunResult
     bool finished = false;
     /** Why the run stopped (deadlock vs tick-budget exhaustion). */
     sys::RunOutcome outcome = sys::RunOutcome::LimitReached;
+
+    /** @name Resilience summary (non-zero only on faulted runs). @{ */
+    std::uint64_t timeouts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t abortedOps = 0;
+    /** Waiters shed to software by an offline (decommissioned) slice. */
+    std::uint64_t offlineSheds = 0;
+    /** L1 snoops that crossed a silently-held lock block. */
+    std::uint64_t crossedSnoops = 0;
+    /** @} */
 };
 
 /** Run @p spec on @p cores cores under configuration @p pc. */
 RunResult runApp(const AppSpec &spec, unsigned cores, sys::PaperConfig pc,
                  std::uint64_t seed = 1);
 
-/** Same, but with an explicit SystemConfig (for ablations). */
+/**
+ * Same, but with an explicit SystemConfig (for ablations). When
+ * cfg.obs names output files (traceOutPath / statsJsonPath /
+ * sampleCsvPath) they are written after the run; @p preset labels
+ * the run report's metadata block.
+ */
 RunResult runAppWithConfig(const AppSpec &spec, const SystemConfig &cfg,
                            sync::SyncLib::Flavor flavor,
-                           std::uint64_t seed = 1);
+                           std::uint64_t seed = 1,
+                           const std::string &preset = "");
 
 } // namespace workload
 } // namespace misar
