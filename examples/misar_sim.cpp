@@ -239,7 +239,7 @@ main(int argc, char **argv)
         meta.makespan = s.makespan();
         meta.hwCoverage = s.hwCoverage();
         obs::writeRunReport(jf, meta, s.stats(), s.syncProfiler(),
-                            top_n, s.sampler());
+                            top_n, s.sampler(), &s.eventQueue());
     }
 
     switch (outcome) {

@@ -137,14 +137,21 @@ Core::issue(const Op &op, OpAwaiter *aw, std::coroutine_handle<> h)
         // is the next to commit (paper §3): charge the pipeline-drain
         // cost up front.
         syncOutstanding = true;
-        eq.schedule(cfg.syncFenceLatency, [this, t0, op, aw, h] {
-            syncUnit->execute(_id, op,
-                              [this, t0, op, aw, h](SyncResult r) {
-                syncOutstanding = false;
-                if (progressCell)
-                    ++*progressCell;
-                _trace.record(t0, eq.now(), syncInstrName(op.instr),
-                              op.addr);
+        // The awaiter owns the Op and outlives the resumption, so the
+        // callbacks reach the core and the op through @p aw instead of
+        // capturing them — keeping both lambdas inside the event
+        // queue's inline callback buffer.
+        eq.schedule(cfg.syncFenceLatency, [t0, aw, h] {
+            Core &c = aw->core;
+            c.syncUnit->execute(c._id, aw->op,
+                                [t0, aw, h](SyncResult r) {
+                Core &core = aw->core;
+                core.syncOutstanding = false;
+                if (core.progressCell)
+                    ++*core.progressCell;
+                core._trace.record(t0, core.eq.now(),
+                                   syncInstrName(aw->op.instr),
+                                   aw->op.addr);
                 aw->result = static_cast<std::uint64_t>(r);
                 h.resume();
             });

@@ -69,11 +69,9 @@ L1Cache::victimIn(unsigned set)
 void
 L1Cache::flushDeferred(Addr block)
 {
-    auto it = deferredMsgs.find(blockAlign(block));
-    if (it == deferredMsgs.end())
+    std::shared_ptr<MemMsg> msg = deferredMsgs.take(blockAlign(block));
+    if (!msg)
         return;
-    std::shared_ptr<MemMsg> msg = std::move(it->second);
-    deferredMsgs.erase(it);
     handleMessage(msg);
 }
 
@@ -260,7 +258,7 @@ L1Cache::handleMessage(const std::shared_ptr<MemMsg> &msg)
         holdQuery && holdQuery(block) && findLine(block)) {
         // The block carries a silently-held lock: stall the snoop
         // until the lock is released (see header).
-        if (deferredMsgs.count(block))
+        if (deferredMsgs.contains(block))
             panic("L1 %u: second deferred snoop for block %llx", _core,
                   (unsigned long long)block);
         deferredMsgs[block] = msg;

@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -24,6 +23,7 @@
 #include "obs/tracer.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/flat_map.hh"
 #include "sim/stats.hh"
 
 namespace misar {
@@ -193,7 +193,7 @@ class L1Cache
     obs::TrackId _track = 0;
     /** At most one deferred coherence message per block (the
      *  blocking directory serializes per-block transactions). */
-    std::map<Addr, std::shared_ptr<MemMsg>> deferredMsgs;
+    FlatMap<Addr, std::shared_ptr<MemMsg>> deferredMsgs;
 };
 
 } // namespace mem

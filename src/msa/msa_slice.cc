@@ -55,19 +55,21 @@ MsaSlice::validEntries() const
 const MsaEntry *
 MsaSlice::findEntry(Addr addr) const
 {
-    for (const auto &e : entries)
-        if (e.valid && e.addr == addr)
-            return &e;
-    return nullptr;
+    const std::uint32_t *slot = entryIndex.find(addr);
+    if (!slot)
+        return nullptr;
+    const MsaEntry &e = entries[*slot];
+    if (!e.valid || e.addr != addr)
+        panic("MSA %u: entry index out of sync for %llx", tile,
+              static_cast<unsigned long long>(addr));
+    return &e;
 }
 
 MsaEntry *
 MsaSlice::find(Addr addr)
 {
-    for (auto &e : entries)
-        if (e.valid && e.addr == addr)
-            return &e;
-    return nullptr;
+    return const_cast<MsaEntry *>(
+        static_cast<const MsaSlice *>(this)->findEntry(addr));
 }
 
 bool
@@ -110,11 +112,18 @@ MsaSlice::omuActive(Addr a) const
 }
 
 void
+MsaSlice::freeEntry(MsaEntry &e)
+{
+    entryIndex.erase(e.addr);
+    e.reset();
+}
+
+void
 MsaSlice::retireEntry(MsaEntry &e)
 {
     if (cfg.msa.omuEnabled) {
         traceInstant("EVICT", e.addr);
-        e.reset();
+        freeEntry(e);
         stats.counter(statPrefix + "evictions").inc();
         return;
     }
@@ -336,11 +345,13 @@ MsaSlice::allocate(Addr addr)
         traceInstant("OFFLINE_DENY", addr);
         return nullptr;
     }
-    for (auto &e : entries) {
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        MsaEntry &e = entries[i];
         if (!e.valid) {
             e.reset();
             e.valid = true;
             e.addr = addr;
+            entryIndex.insert(addr, static_cast<std::uint32_t>(i));
             stats.counter(statPrefix + "allocations").inc();
             traceInstant("ALLOC", addr);
             return &e;
@@ -353,6 +364,8 @@ MsaSlice::allocate(Addr addr)
         MsaEntry &e = entries.back();
         e.valid = true;
         e.addr = addr;
+        entryIndex.insert(addr,
+                          static_cast<std::uint32_t>(entries.size() - 1));
         stats.counter(statPrefix + "allocations").inc();
         traceInstant("ALLOC", addr);
         return &e;
@@ -644,7 +657,7 @@ MsaSlice::doUnlock(const std::shared_ptr<MsaMsg> &msg)
             traceInstant("ABORT", addr, aborted, true);
         }
         stats.counter(statPrefix + "lockAborts").inc(aborted);
-        e->reset();
+        freeEntry(*e);
         return;
     }
     // Pinned lock (freeing it would strand its condition variables)
@@ -1023,14 +1036,14 @@ MsaSlice::doUnlockPinResp(const std::shared_ptr<MsaMsg> &msg, bool ok)
             respond(waiter, MsaOp::RespAbort, cond);
             omuInc(cond);
             sendUnpin(e->lockAddr);
-            e->reset();
+            freeEntry(*e);
             drainDeferred();
             return;
         }
         e->hwQueue.set(waiter);
     } else {
         if (cfg.msa.omuEnabled) {
-            e->reset();
+            freeEntry(*e);
         } else {
             // Without the OMU the entry cannot be freed safely; park
             // it as a tombstone so the address stays software-handled.
@@ -1243,7 +1256,7 @@ MsaSlice::doSuspend(const std::shared_ptr<MsaMsg> &msg)
             omuInc(addr, n);
             stats.counter(statPrefix + "barrierAborts").inc();
             traceInstant("ABORT", addr, n, true);
-            e->reset();
+            freeEntry(*e);
         }
         break;
 
@@ -1257,7 +1270,7 @@ MsaSlice::doSuspend(const std::shared_ptr<MsaMsg> &msg)
             if (!e->hwQueue.any()) {
                 // Last waiter left without re-acquiring: unpin.
                 sendUnpin(e->lockAddr);
-                e->reset();
+                freeEntry(*e);
             }
         }
         break;
@@ -1304,14 +1317,14 @@ MsaSlice::shedEntries()
         switch (e.type) {
           case SyncType::Barrier:
             abortWaiters(e, "offlineBarrierAborts");
-            e.reset();
+            freeEntry(e);
             break;
           case SyncType::Cond:
             // Aborted waiters re-run the wait in software; the cond
             // entry's pin on its lock entry is no longer needed.
             abortWaiters(e, "offlineCondAborts");
             sendUnpin(e.lockAddr);
-            e.reset();
+            freeEntry(e);
             break;
           default:
             // Locks and RW locks shed at their next full release

@@ -44,6 +44,7 @@
 #include "obs/tracer.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/flat_map.hh"
 #include "sim/stats.hh"
 
 namespace misar {
@@ -197,6 +198,13 @@ class MsaSlice
     /** Allocate an entry for @p addr; nullptr if none is free. */
     MsaEntry *allocate(Addr addr);
 
+    /**
+     * Free a valid entry: drop it from the address index, then
+     * reset. Every site that invalidates an entry must go through
+     * here (or retireEntry) so the index stays authoritative.
+     */
+    void freeEntry(MsaEntry &e);
+
     /** A lock's HWQueue emptied: free the entry unless pinned. */
     void release(MsaEntry &e);
 
@@ -267,6 +275,13 @@ class MsaSlice
     std::string statPrefix;
 
     std::vector<MsaEntry> entries;
+    /**
+     * Flat index: sync address -> slot in `entries`, maintained by
+     * allocate()/freeEntry(). Lookups on the request dispatch path
+     * are O(1) instead of a linear entry scan, which matters for the
+     * unbounded MSA-inf configuration.
+     */
+    FlatMap<Addr, std::uint32_t> entryIndex;
     bool infinite;
     Omu _omu;
     /** Next-bit-to-check fairness register (one per slice). */

@@ -9,7 +9,6 @@
 
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 
 #include "noc/packet.hh"
@@ -17,6 +16,7 @@
 #include "obs/tracer.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/flat_map.hh"
 #include "sim/stats.hh"
 
 namespace misar {
@@ -89,7 +89,7 @@ class NetworkInterface
     /** Credits towards the local router input, per vnet. */
     std::array<unsigned, numVnets> credits;
     /** Reassembly: flits received per in-flight packet seq. */
-    std::map<std::uint64_t, unsigned> reassembly;
+    FlatMap<std::uint64_t, unsigned> reassembly;
 
     unsigned rrVnet = 0;
     bool tickPending = false;

@@ -14,6 +14,7 @@ Router::Router(EventQueue &eq, const NocConfig &cfg, unsigned id, unsigned x,
         for (unsigned v = 0; v < numVnets; ++v) {
             outOwner[o][v] = -1;
             credits[o][v] = cfg.bufferDepth;
+            inBuf[o][v].init(cfg.bufferDepth);
         }
     }
 }
@@ -47,7 +48,7 @@ Router::route(CoreId dst) const
 void
 Router::acceptFlit(Port in, unsigned vnet, Flit flit)
 {
-    if (inBuf[in][vnet].size() >= cfg.bufferDepth)
+    if (inBuf[in][vnet].full())
         panic("router %u input %u vnet %u buffer overflow", _id, in, vnet);
     inBuf[in][vnet].push_back(std::move(flit));
     scheduleTick();

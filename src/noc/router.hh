@@ -12,7 +12,6 @@
 #define MISAR_NOC_ROUTER_HH
 
 #include <array>
-#include <deque>
 #include <functional>
 #include <vector>
 
@@ -22,6 +21,45 @@
 
 namespace misar {
 namespace noc {
+
+/**
+ * Fixed-capacity FIFO of flits with recycled slots. Input buffers
+ * are credit-bounded to the router's bufferDepth, so the ring never
+ * grows and the hot enqueue/dequeue path never allocates (popped
+ * slots release their packet shared_ptr but keep the storage).
+ */
+class FlitRing
+{
+  public:
+    /** Size the ring once at construction (cfg.bufferDepth). */
+    void init(unsigned capacity) { slots.resize(capacity); }
+
+    bool empty() const { return count == 0; }
+    unsigned size() const { return static_cast<unsigned>(count); }
+    bool full() const { return count == slots.size(); }
+
+    Flit &front() { return slots[head]; }
+
+    void
+    push_back(Flit f)
+    {
+        slots[(head + count) % slots.size()] = std::move(f);
+        ++count;
+    }
+
+    void
+    pop_front()
+    {
+        slots[head] = Flit{}; // drop the packet reference, keep the slot
+        head = (head + 1) % slots.size();
+        --count;
+    }
+
+  private:
+    std::vector<Flit> slots;
+    std::size_t head = 0;
+    std::size_t count = 0;
+};
 
 /** Router port indices. */
 enum Port : unsigned
@@ -102,7 +140,7 @@ class Router
     unsigned x, y, dim;
 
     /** inBuf[port][vnet] */
-    std::array<std::array<std::deque<Flit>, numVnets>, numPorts> inBuf;
+    std::array<std::array<FlitRing, numVnets>, numPorts> inBuf;
     /** Input (port) currently owning each (output, vnet); -1 = free. */
     std::array<std::array<int, numVnets>, numPorts> outOwner;
     /** Credits available towards downstream (output, vnet). */

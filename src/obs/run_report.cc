@@ -5,6 +5,7 @@
 
 #include "obs/sampler.hh"
 #include "obs/sync_profiler.hh"
+#include "sim/event_queue.hh"
 #include "sim/trace.hh"
 
 namespace misar {
@@ -33,7 +34,8 @@ finite(double v)
 void
 writeRunReport(std::ostream &os, const RunMeta &meta,
                const StatRegistry &stats, const SyncProfiler *prof,
-               std::size_t top_n, const StatSampler *sampler)
+               std::size_t top_n, const StatSampler *sampler,
+               const EventQueue *eq)
 {
     os << "{\"schemaVersion\":" << runReportSchemaVersion;
 
@@ -132,6 +134,17 @@ writeRunReport(std::ostream &os, const RunMeta &meta,
     if (prof) {
         os << ",\"syncVars\":";
         prof->writeJson(os, top_n);
+    }
+
+    // -- event-kernel host-side counters ------------------------------
+    if (eq) {
+        const auto &ps = eq->poolStats();
+        os << ",\"eventQueue\":{\"executedEvents\":" << eq->executedEvents()
+           << ",\"scheduledEvents\":" << ps.scheduled
+           << ",\"recordCapacity\":" << ps.recordCapacity
+           << ",\"chunkAllocs\":" << ps.chunkAllocs
+           << ",\"heapCallbacks\":" << ps.heapCallbacks
+           << ",\"maxPending\":" << ps.maxPending << "}";
     }
 
     // -- time-series sampler summary ---------------------------------

@@ -21,6 +21,9 @@
 #include "sim/types.hh"
 
 namespace misar {
+
+class EventQueue;
+
 namespace obs {
 
 class SyncProfiler;
@@ -53,13 +56,17 @@ struct RunMeta
  * Write the JSON run report. @p prof adds the "syncVars" top-N array
  * (pass the profiler's top-N as @p top_n); null omits the section.
  * @p sampler embeds the time-series row count + interval (the rows
- * themselves go to CSV, not the report).
+ * themselves go to CSV, not the report). @p eq adds an "eventQueue"
+ * block with the kernel's host-side allocation counters (event-pool
+ * stats live here and not in the StatRegistry so the registry stays
+ * comparable across kernel implementations).
  */
 void writeRunReport(std::ostream &os, const RunMeta &meta,
                     const StatRegistry &stats,
                     const SyncProfiler *prof = nullptr,
                     std::size_t top_n = 16,
-                    const StatSampler *sampler = nullptr);
+                    const StatSampler *sampler = nullptr,
+                    const EventQueue *eq = nullptr);
 
 } // namespace obs
 } // namespace misar

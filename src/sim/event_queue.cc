@@ -1,32 +1,163 @@
 #include "sim/event_queue.hh"
 
-#include "sim/logging.hh"
+#include <algorithm>
 
 namespace misar {
 
-void
-EventQueue::scheduleAt(Tick when, Callback cb)
+EventQueue::EventQueue() = default;
+
+EventQueue::~EventQueue()
 {
-    if (when < _now)
-        panic("event scheduled in the past (%llu < %llu)",
-              static_cast<unsigned long long>(when),
-              static_cast<unsigned long long>(_now));
-    events.push(Event{when, nextSeq++, std::move(cb)});
+    // Destroy (without running) every callable still pending, ring
+    // and overflow alike; the chunks vector frees the records.
+    for (Bucket &b : buckets) {
+        for (EventRecord *r = b.head; r;) {
+            EventRecord *next = r->next;
+            r->op(r, false);
+            r = next;
+        }
+    }
+    for (EventRecord *r : overflow)
+        r->op(r, false);
+}
+
+EventQueue::EventRecord *
+EventQueue::allocRecord()
+{
+    if (!freeHead)
+        growPool();
+    EventRecord *r = freeHead;
+    freeHead = r->next;
+    return r;
+}
+
+void
+EventQueue::growPool()
+{
+    auto chunk = std::make_unique<EventRecord[]>(chunkSize);
+    for (std::size_t i = chunkSize; i-- > 0;) {
+        chunk[i].next = freeHead;
+        freeHead = &chunk[i];
+    }
+    chunks.push_back(std::move(chunk));
+    ++pstats.chunkAllocs;
+    pstats.recordCapacity += chunkSize;
+}
+
+void
+EventQueue::appendBucket(EventRecord *r)
+{
+    Bucket &b = buckets[static_cast<std::size_t>(r->when) & bucketMask];
+    r->next = nullptr;
+    if (b.tail) {
+        b.tail->next = r;
+    } else {
+        b.head = r;
+        const std::size_t idx =
+            static_cast<std::size_t>(r->when) & bucketMask;
+        occ[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+    }
+    b.tail = r;
+    ++ringCount;
+}
+
+void
+EventQueue::insert(EventRecord *r)
+{
+    if (r->when - _now < window) {
+        appendBucket(r);
+    } else {
+        overflow.push_back(r);
+        std::push_heap(overflow.begin(), overflow.end(), later);
+    }
+    ++numPending;
+    ++pstats.scheduled;
+    if (numPending > pstats.maxPending)
+        pstats.maxPending = numPending;
+}
+
+void
+EventQueue::promote()
+{
+    // maxTick-adjacent clocks cannot overflow the boundary in any
+    // real run, but saturate anyway so the comparison stays sound.
+    const Tick boundary = (_now > maxTick - window) ? maxTick
+                                                    : _now + window;
+    while (!overflow.empty() && overflow.front()->when < boundary) {
+        std::pop_heap(overflow.begin(), overflow.end(), later);
+        EventRecord *r = overflow.back();
+        overflow.pop_back();
+        // Heap pops ascend in (when, seq), and everything already in
+        // the target bucket was inserted while this event was still
+        // beyond the boundary (hence with a smaller seq), so a plain
+        // append preserves sequence order.
+        appendBucket(r);
+    }
+}
+
+Tick
+EventQueue::nextRingTick() const
+{
+    const std::size_t s = static_cast<std::size_t>(_now) & bucketMask;
+    std::size_t w = s >> 6;
+    const unsigned b = static_cast<unsigned>(s & 63);
+    // Circular scan starting at bucket s: high bits of word w first,
+    // then the following words, then the low bits of word w.
+    std::uint64_t word = occ[w] & (~std::uint64_t{0} << b);
+    for (std::size_t n = 0; n < numWords; ++n) {
+        if (word) {
+            const std::size_t idx =
+                (w << 6) | static_cast<std::size_t>(std::countr_zero(word));
+            return _now + ((idx - s) & bucketMask);
+        }
+        w = (w + 1) & (numWords - 1);
+        word = occ[w];
+    }
+    if (b) {
+        word = occ[s >> 6] & (~std::uint64_t{0} >> (64 - b));
+        if (word) {
+            const std::size_t idx =
+                ((s >> 6) << 6) |
+                static_cast<std::size_t>(std::countr_zero(word));
+            return _now + ((idx - s) & bucketMask);
+        }
+    }
+    panic("event ring count %zu but no occupied bucket", ringCount);
+}
+
+void
+EventQueue::runBucket(Tick t)
+{
+    Bucket &b = buckets[static_cast<std::size_t>(t) & bucketMask];
+    // Callbacks may append same-tick events to this bucket while it
+    // drains; re-reading head picks them up in sequence order.
+    while (EventRecord *r = b.head) {
+        b.head = r->next;
+        if (!b.head) {
+            b.tail = nullptr;
+            const std::size_t idx =
+                static_cast<std::size_t>(t) & bucketMask;
+            occ[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+        }
+        --ringCount;
+        --numPending;
+        ++executed;
+        r->op(r, true);
+        freeRecord(r);
+    }
 }
 
 EventQueue::DrainResult
 EventQueue::drain(Tick limit)
 {
     const Tick deadline = (limit == maxTick) ? maxTick : _now + limit;
-    while (!events.empty()) {
-        const Event &top = events.top();
-        if (top.when > deadline)
+    while (numPending) {
+        const Tick t = ringCount ? nextRingTick() : overflow.front()->when;
+        if (t > deadline)
             return DrainResult::LimitHit;
-        _now = top.when;
-        Callback cb = std::move(const_cast<Event &>(top).cb);
-        events.pop();
-        ++executed;
-        cb();
+        _now = t;
+        promote();
+        runBucket(t);
     }
     return DrainResult::Drained;
 }
@@ -34,16 +165,18 @@ EventQueue::drain(Tick limit)
 void
 EventQueue::runUntil(Tick until)
 {
-    while (!events.empty() && events.top().when <= until) {
-        const Event &top = events.top();
-        _now = top.when;
-        Callback cb = std::move(const_cast<Event &>(top).cb);
-        events.pop();
-        ++executed;
-        cb();
+    while (numPending) {
+        const Tick t = ringCount ? nextRingTick() : overflow.front()->when;
+        if (t > until)
+            break;
+        _now = t;
+        promote();
+        runBucket(t);
     }
-    if (_now < until)
+    if (_now < until) {
         _now = until;
+        promote();
+    }
 }
 
 } // namespace misar

@@ -5,16 +5,38 @@
  * A single global-ordered queue of (tick, sequence) keyed callbacks.
  * Events scheduled for the same tick execute in scheduling order,
  * which keeps the whole simulation deterministic.
+ *
+ * Implementation: a two-level calendar queue tuned for the host-side
+ * hot path. Near-future events (within `window` ticks of now) live in
+ * a ring of per-tick FIFO buckets indexed by tick modulo the window;
+ * an occupancy bitmap makes "next non-empty bucket" a few word scans.
+ * Far-future events (watchdog sweeps, invariant checks, samplers)
+ * wait in a min-heap and are promoted into the ring as the clock
+ * advances. Event records come from a free-list pool and store their
+ * callback inline in a small buffer, so the steady-state event loop
+ * performs no heap allocation at all (see poolStats()).
+ *
+ * Determinism contract: execution order is exactly ascending
+ * (tick, insertion sequence) — bit-identical to draining a single
+ * binary heap keyed the same way. The promotion boundary only ever
+ * moves when now() advances, and promotion drains the far heap in
+ * (tick, seq) order before any newer same-tick insertion can enter a
+ * bucket, so bucket FIFO order always equals sequence order.
  */
 
 #ifndef MISAR_SIM_EVENT_QUEUE_HH
 #define MISAR_SIM_EVENT_QUEUE_HH
 
+#include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
 #include <vector>
 
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace misar {
@@ -29,6 +51,7 @@ namespace misar {
 class EventQueue
 {
   public:
+    /** Legacy callback alias; schedule() takes any callable. */
     using Callback = std::function<void()>;
 
     /** Why drain() returned. */
@@ -38,31 +61,72 @@ class EventQueue
         LimitHit, ///< tick limit reached with events still pending
     };
 
-    EventQueue() = default;
+    /** Allocation counters of the event machinery (run reports). */
+    struct PoolStats
+    {
+        /** Event records carved out of pool chunks so far. */
+        std::uint64_t recordCapacity = 0;
+        /** Pool chunk heap allocations (stable once warmed up). */
+        std::uint64_t chunkAllocs = 0;
+        /** Callbacks too large for the inline buffer (heap boxed). */
+        std::uint64_t heapCallbacks = 0;
+        /** Total events ever scheduled. */
+        std::uint64_t scheduled = 0;
+        /** High-water mark of simultaneously pending events. */
+        std::uint64_t maxPending = 0;
+    };
+
+    EventQueue();
+    ~EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
     /** Current simulated time. */
     Tick now() const { return _now; }
 
-    /** Schedule @p cb to run @p delay ticks from now. */
+    /** Schedule @p f to run @p delay ticks from now. */
+    template <typename F>
     void
-    schedule(Tick delay, Callback cb)
+    schedule(Tick delay, F &&f)
     {
-        scheduleAt(_now + delay, std::move(cb));
+        scheduleAt(_now + delay, std::forward<F>(f));
     }
 
     /**
-     * Schedule @p cb at absolute tick @p when.
-     * @pre when >= now()
+     * Schedule @p f at absolute tick @p when.
+     * @pre when >= now() — enforced with a panic.
      */
-    void scheduleAt(Tick when, Callback cb);
+    template <typename F>
+    void
+    scheduleAt(Tick when, F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if (when < _now)
+            panic("event scheduled in the past (%llu < %llu)",
+                  static_cast<unsigned long long>(when),
+                  static_cast<unsigned long long>(_now));
+        EventRecord *r = allocRecord();
+        r->when = when;
+        r->seq = nextSeq++;
+        if constexpr (sizeof(Fn) <= inlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(r->storage))
+                Fn(std::forward<F>(f));
+            r->op = &opInline<Fn>;
+        } else {
+            ::new (static_cast<void *>(r->storage))
+                (Fn *)(new Fn(std::forward<F>(f)));
+            r->op = &opBoxed<Fn>;
+            ++pstats.heapCallbacks;
+        }
+        insert(r);
+    }
 
     /** True when no events remain. */
-    bool empty() const { return events.empty(); }
+    bool empty() const { return numPending == 0; }
 
     /** Number of pending events. */
-    std::size_t pending() const { return events.size(); }
+    std::size_t pending() const { return numPending; }
 
     /**
      * Run until the queue drains or @p limit ticks elapse. Returns
@@ -84,26 +148,107 @@ class EventQueue
     /** Total number of events executed so far. */
     std::uint64_t executedEvents() const { return executed; }
 
+    /** Allocation counters (zero steady-state allocation evidence). */
+    const PoolStats &poolStats() const { return pstats; }
+
   private:
-    struct Event
+    /** log2 of the near-future window (ring size in ticks). */
+    static constexpr unsigned bucketBits = 12;
+    /** Near-future window: one bucket per tick in [now, now+window). */
+    static constexpr Tick window = Tick{1} << bucketBits;
+    static constexpr std::size_t numBuckets = std::size_t{1} << bucketBits;
+    static constexpr std::size_t bucketMask = numBuckets - 1;
+    static constexpr std::size_t numWords = numBuckets / 64;
+    /** Inline callback buffer: sized for the fattest hot-path lambda
+     *  (L1 atomic: this + addr + op + 2 operands + block + bound
+     *  std::function callback) with headroom. */
+    static constexpr std::size_t inlineBytes = 96;
+    /** Event records per pool chunk. */
+    static constexpr std::size_t chunkSize = 512;
+
+    struct EventRecord
     {
         Tick when;
         std::uint64_t seq;
-        Callback cb;
+        EventRecord *next;
+        /** Run (and destroy) or just destroy the stored callable. */
+        void (*op)(EventRecord *, bool run);
+        alignas(std::max_align_t) unsigned char storage[inlineBytes];
     };
 
-    struct Later
+    struct Bucket
     {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
+        EventRecord *head = nullptr;
+        EventRecord *tail = nullptr;
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> events;
+    template <typename Fn>
+    static void
+    opInline(EventRecord *r, bool run)
+    {
+        Fn *f = std::launder(reinterpret_cast<Fn *>(r->storage));
+        if (run)
+            (*f)();
+        f->~Fn();
+    }
+
+    template <typename Fn>
+    static void
+    opBoxed(EventRecord *r, bool run)
+    {
+        Fn **p = std::launder(reinterpret_cast<Fn **>(r->storage));
+        if (run)
+            (**p)();
+        delete *p;
+    }
+
+    /** Min-heap order for the far-future overflow heap. */
+    static bool
+    later(const EventRecord *a, const EventRecord *b)
+    {
+        if (a->when != b->when)
+            return a->when > b->when;
+        return a->seq > b->seq;
+    }
+
+    EventRecord *allocRecord();
+    void growPool();
+
+    void
+    freeRecord(EventRecord *r)
+    {
+        r->next = freeHead;
+        freeHead = r;
+    }
+
+    /** File @p r into its ring bucket or the overflow heap. */
+    void insert(EventRecord *r);
+
+    /** Append to the FIFO bucket for r->when (must be in-window). */
+    void appendBucket(EventRecord *r);
+
+    /** Promote far-future events now inside [now, now+window). */
+    void promote();
+
+    /** Earliest ring tick; ring must be non-empty. */
+    Tick nextRingTick() const;
+
+    /** Execute every event at tick @p t (bucket emptied). */
+    void runBucket(Tick t);
+
+    std::vector<Bucket> buckets{numBuckets};
+    /** One occupancy bit per bucket. */
+    std::vector<std::uint64_t> occ = std::vector<std::uint64_t>(numWords, 0);
+    /** Far-future events as a (when, seq) min-heap. */
+    std::vector<EventRecord *> overflow;
+    std::size_t ringCount = 0;
+    std::size_t numPending = 0;
+
+    /** Free-list over pool chunk records. */
+    EventRecord *freeHead = nullptr;
+    std::vector<std::unique_ptr<EventRecord[]>> chunks;
+    PoolStats pstats;
+
     Tick _now = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t executed = 0;

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Open-addressed flat hash map for hot simulation paths.
+ *
+ * A minimal replacement for the std::map instances that sat on the
+ * simulator's innermost loops (L1 deferred-snoop table, NI packet
+ * reassembly, MSA entry index). Power-of-two capacity, linear
+ * probing, and deletion by backward shifting (no tombstones), so
+ * lookups stay a handful of contiguous probes even after heavy
+ * insert/erase churn. Keys are 64-bit integers; values are movable.
+ *
+ * Not a general-purpose container: no iterators (the hot paths only
+ * ever probe by key), no allocator hooks, and growth doubles in
+ * place. Iteration order would be hash order anyway, which no
+ * deterministic simulation code should depend on.
+ */
+
+#ifndef MISAR_SIM_FLAT_MAP_HH
+#define MISAR_SIM_FLAT_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace misar {
+
+/** Open-addressed hash map with 64-bit integer keys. */
+template <typename K, typename V>
+class FlatMap
+{
+    static_assert(sizeof(K) <= 8, "FlatMap keys must be integral, <=64bit");
+
+  public:
+    explicit FlatMap(std::size_t initial_capacity = 16)
+    {
+        std::size_t cap = 8;
+        while (cap < initial_capacity)
+            cap <<= 1;
+        slots.resize(cap);
+    }
+
+    std::size_t size() const { return used; }
+    bool empty() const { return used == 0; }
+
+    /** True when @p key is present. */
+    bool contains(const K &key) const { return findSlot(key) != npos; }
+
+    /** Pointer to the mapped value, or nullptr when absent. */
+    V *
+    find(const K &key)
+    {
+        std::size_t i = findSlot(key);
+        return i == npos ? nullptr : &slots[i].value;
+    }
+
+    const V *
+    find(const K &key) const
+    {
+        std::size_t i = findSlot(key);
+        return i == npos ? nullptr : &slots[i].value;
+    }
+
+    /**
+     * Reference to the value for @p key, default-constructing it on
+     * first use (std::map::operator[] semantics).
+     */
+    V &
+    operator[](const K &key)
+    {
+        std::size_t i = findSlot(key);
+        if (i != npos)
+            return slots[i].value;
+        maybeGrow();
+        i = insertionSlot(key);
+        slots[i].occupied = true;
+        slots[i].key = key;
+        slots[i].value = V{};
+        ++used;
+        return slots[i].value;
+    }
+
+    /** Insert or overwrite. */
+    void
+    insert(const K &key, V value)
+    {
+        (*this)[key] = std::move(value);
+    }
+
+    /**
+     * Remove @p key and return its value (default-constructed V when
+     * the key was absent). Erasing the only deferred message / last
+     * reassembly row is the common case, so take-and-erase is fused.
+     */
+    V
+    take(const K &key)
+    {
+        std::size_t i = findSlot(key);
+        if (i == npos)
+            return V{};
+        V out = std::move(slots[i].value);
+        eraseSlot(i);
+        return out;
+    }
+
+    /** Remove @p key; true if it was present. */
+    bool
+    erase(const K &key)
+    {
+        std::size_t i = findSlot(key);
+        if (i == npos)
+            return false;
+        eraseSlot(i);
+        return true;
+    }
+
+    void
+    clear()
+    {
+        for (Slot &s : slots) {
+            s.occupied = false;
+            s.value = V{};
+        }
+        used = 0;
+    }
+
+  private:
+    struct Slot
+    {
+        K key{};
+        V value{};
+        bool occupied = false;
+    };
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    std::size_t mask() const { return slots.size() - 1; }
+
+    /** splitmix64 finalizer: block addresses share low zero bits. */
+    static std::size_t
+    hash(K key)
+    {
+        std::uint64_t x = static_cast<std::uint64_t>(key);
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ULL;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebULL;
+        x ^= x >> 31;
+        return static_cast<std::size_t>(x);
+    }
+
+    std::size_t
+    findSlot(const K &key) const
+    {
+        std::size_t i = hash(key) & mask();
+        while (slots[i].occupied) {
+            if (slots[i].key == key)
+                return i;
+            i = (i + 1) & mask();
+        }
+        return npos;
+    }
+
+    /** First free slot of @p key's probe chain (key must be absent). */
+    std::size_t
+    insertionSlot(const K &key) const
+    {
+        std::size_t i = hash(key) & mask();
+        while (slots[i].occupied)
+            i = (i + 1) & mask();
+        return i;
+    }
+
+    void
+    maybeGrow()
+    {
+        if ((used + 1) * 4 < slots.size() * 3) // load factor 0.75
+            return;
+        std::vector<Slot> old = std::move(slots);
+        slots.clear();
+        slots.resize(old.size() * 2);
+        for (Slot &s : old) {
+            if (!s.occupied)
+                continue;
+            std::size_t i = insertionSlot(s.key);
+            slots[i].occupied = true;
+            slots[i].key = s.key;
+            slots[i].value = std::move(s.value);
+        }
+    }
+
+    /**
+     * Backward-shift deletion (Knuth 6.4 R): walk the probe chain
+     * after the hole and move back any entry whose home slot means it
+     * is only reachable through the hole.
+     */
+    void
+    eraseSlot(std::size_t i)
+    {
+        slots[i].occupied = false;
+        slots[i].value = V{};
+        std::size_t j = i;
+        for (;;) {
+            j = (j + 1) & mask();
+            if (!slots[j].occupied)
+                break;
+            const std::size_t home = hash(slots[j].key) & mask();
+            // Move j back to i unless home lies cyclically in (i, j].
+            const bool home_between = (j >= i) ? (home > i && home <= j)
+                                               : (home > i || home <= j);
+            if (home_between)
+                continue;
+            slots[i].occupied = true;
+            slots[i].key = slots[j].key;
+            slots[i].value = std::move(slots[j].value);
+            slots[j].occupied = false;
+            slots[j].value = V{};
+            i = j;
+        }
+        --used;
+    }
+
+    std::vector<Slot> slots;
+    std::size_t used = 0;
+};
+
+} // namespace misar
+
+#endif // MISAR_SIM_FLAT_MAP_HH

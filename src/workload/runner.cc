@@ -70,7 +70,7 @@ writeObsOutputs(sys::System &s, const AppSpec &spec,
         meta.makespan = r.makespan;
         meta.hwCoverage = r.hwCoverage;
         obs::writeRunReport(f, meta, s.stats(), s.syncProfiler(),
-                            o.profileTopN, s.sampler());
+                            o.profileTopN, s.sampler(), &s.eventQueue());
     }
 }
 
