@@ -5,19 +5,43 @@
  * MCS-Tour, MSA/OMU-1, MSA/OMU-2, MSA-inf, and Ideal. Individual
  * rows for the paper's headline applications plus the GeoMean over
  * all 26 Splash-2 + PARSEC workloads.
+ *
+ * The sweep is described by bench/campaigns/fig6.json (fig6_quick
+ * .json with --quick) and executed through the campaign engine's
+ * in-process path — the same spec run under `misar_campaign --spec
+ * bench/campaigns/fig6.json --workers N` produces the same numbers
+ * in parallel, with resume support.
  */
 
 #include <cstdio>
-#include <map>
+#include <cstdlib>
+#include <vector>
 
 #include "bench/bench_util.hh"
+#include "orch/aggregate.hh"
+#include "orch/campaign_spec.hh"
+#include "orch/engine.hh"
 #include "sim/logging.hh"
 #include "workload/app_catalog.hh"
-#include "workload/runner.hh"
 
 using namespace misar;
 using namespace misar::workload;
-using sys::PaperConfig;
+using namespace misar::orch;
+
+namespace {
+
+/** The report columns: every non-baseline preset, in spec order. */
+std::vector<const PresetSpec *>
+columnPresets(const CampaignSpec &spec)
+{
+    std::vector<const PresetSpec *> cols;
+    for (const PresetSpec &p : spec.presets)
+        if (p.name != spec.baseline)
+            cols.push_back(&p);
+    return cols;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -27,19 +51,30 @@ main(int argc, char **argv)
     bench::banner("Figure 6",
                   "Application speedup vs pthread baseline");
 
-    const PaperConfig configs[] = {
-        PaperConfig::Msa0,    PaperConfig::McsTour, PaperConfig::MsaOmu1,
-        PaperConfig::MsaOmu2, PaperConfig::MsaInf,  PaperConfig::Ideal,
-    };
-    const unsigned core_counts[] = {16, 64};
+    const char *dir = std::getenv("MISAR_CAMPAIGN_SPEC_DIR");
+    std::string spec_path =
+        std::string(dir ? dir : MISAR_CAMPAIGN_SPEC_DIR) +
+        (quick ? "/fig6_quick.json" : "/fig6.json");
+    CampaignSpec spec;
+    std::string err;
+    if (!CampaignSpec::parseFile(spec_path, spec, err))
+        fatal("%s: %s", spec_path.c_str(), err.c_str());
+    err = spec.validate();
+    if (!err.empty())
+        fatal("%s: %s", spec_path.c_str(), err.c_str());
+
+    const std::vector<JobRecord> records = runCampaignInProcess(spec);
+    const CampaignReport report(spec, records);
+    const std::vector<const PresetSpec *> cols = columnPresets(spec);
 
     std::printf("%-14s %-6s %9s", "App", "Cores", "BaseCyc");
-    for (PaperConfig pc : configs)
-        std::printf(" %10s", sys::paperConfigName(pc));
+    for (const PresetSpec *p : cols)
+        std::printf(" %10s", p->name.c_str());
     std::printf("\n");
 
-    // speedups[config][cores] across all apps, for the GeoMean.
-    std::vector<double> speedups[6][2];
+    // speedups[column][cores] across all apps, for the GeoMean.
+    std::vector<std::vector<std::vector<double>>> speedups(
+        cols.size(), std::vector<std::vector<double>>(spec.cores.size()));
 
     const auto &headline = headlineApps();
     auto is_headline = [&](const std::string &n) {
@@ -49,35 +84,47 @@ main(int argc, char **argv)
         return false;
     };
 
-    for (const AppSpec &spec : appCatalog()) {
-        if (quick && !is_headline(spec.name))
+    // Catalog order (the spec's app list is a subset of it), so the
+    // quick and full tables list rows identically to the pre-engine
+    // bench.
+    for (const AppSpec &aspec : appCatalog()) {
+        bool in_spec = false;
+        for (const std::string &a : spec.apps)
+            in_spec |= a == aspec.name;
+        if (!in_spec)
             continue;
-        for (unsigned ni = 0; ni < 2; ++ni) {
-            unsigned cores = core_counts[ni];
-            RunResult base = runApp(spec, cores, PaperConfig::Baseline);
-            if (!base.finished)
+        for (std::size_t ni = 0; ni < spec.cores.size(); ++ni) {
+            const unsigned cores = spec.cores[ni];
+            const Cell *base = report.cell(spec.baseline, aspec.name,
+                                           cores);
+            if (!base || base->recs.empty() ||
+                base->recs[0]->outcome != JobOutcome::Finished)
                 fatal("baseline run of %s did not finish",
-                      spec.name.c_str());
-            bool print = is_headline(spec.name);
+                      aspec.name.c_str());
+            const bool print = is_headline(aspec.name);
             if (print)
-                std::printf("%-14s %-6u %9llu", spec.name.c_str(), cores,
-                            static_cast<unsigned long long>(base.makespan));
-            for (unsigned ci = 0; ci < 6; ++ci) {
-                RunResult r = runApp(spec, cores, configs[ci]);
-                double sp = static_cast<double>(base.makespan) /
-                            static_cast<double>(r.makespan);
-                speedups[ci][ni].push_back(sp);
+                std::printf("%-14s %-6u %9llu", aspec.name.c_str(),
+                            cores,
+                            static_cast<unsigned long long>(
+                                base->recs[0]->makespan));
+            for (std::size_t ci = 0; ci < cols.size(); ++ci) {
+                std::vector<double> sp = report.speedups(
+                    cols[ci]->name, aspec.name, cores);
+                if (sp.empty())
+                    fatal("%s on %s did not finish", aspec.name.c_str(),
+                          cols[ci]->name.c_str());
+                speedups[ci][ni].push_back(sp[0]);
                 if (print)
-                    std::printf(" %10.2f", sp);
+                    std::printf(" %10.2f", sp[0]);
             }
             if (print)
                 std::printf("\n");
         }
     }
 
-    for (unsigned ni = 0; ni < 2; ++ni) {
-        std::printf("%-14s %-6u %9s", "GeoMean", core_counts[ni], "-");
-        for (unsigned ci = 0; ci < 6; ++ci)
+    for (std::size_t ni = 0; ni < spec.cores.size(); ++ni) {
+        std::printf("%-14s %-6u %9s", "GeoMean", spec.cores[ni], "-");
+        for (std::size_t ci = 0; ci < cols.size(); ++ci)
             std::printf(" %10.2f", bench::geoMean(speedups[ci][ni]));
         std::printf("\n");
     }

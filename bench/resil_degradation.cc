@@ -9,6 +9,13 @@
  * as MSA-0 (degraded, never worse than having no accelerator state
  * to lose).
  *
+ * The sweep is described by bench/campaigns/resil.json and executed
+ * through the campaign engine's in-process path (the same spec runs
+ * in parallel under misar_campaign). The faulted runs are stochastic,
+ * so the spec gives the faulted preset — and the baseline it is
+ * ratioed against — three seeds each; the aggregator matches each
+ * faulted run to the baseline run with the same seed.
+ *
  * The faulted runs also feed the observability layer: their
  * resilience counters (timeouts, retries, aborted ops, offline
  * sheds, crossed snoops) are tabulated per app, and with
@@ -22,13 +29,15 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "orch/aggregate.hh"
+#include "orch/campaign_spec.hh"
+#include "orch/engine.hh"
 #include "sim/logging.hh"
 #include "workload/app_catalog.hh"
-#include "workload/runner.hh"
 
 using namespace misar;
 using namespace misar::workload;
-using sys::PaperConfig;
+using namespace misar::orch;
 
 int
 main()
@@ -37,12 +46,36 @@ main()
     bench::banner("Resilience degradation",
                   "MSA/OMU-2 speedup retained under the fault campaign");
 
-    const PaperConfig configs[] = {
-        PaperConfig::Msa0,
-        PaperConfig::MsaOmu2,
-        PaperConfig::MsaOmu2Faults,
-    };
-    const unsigned core_counts[] = {16, 64};
+    const char *dir = std::getenv("MISAR_CAMPAIGN_SPEC_DIR");
+    const std::string spec_path =
+        std::string(dir ? dir : MISAR_CAMPAIGN_SPEC_DIR) + "/resil.json";
+    CampaignSpec spec;
+    std::string err;
+    if (!CampaignSpec::parseFile(spec_path, spec, err))
+        fatal("%s: %s", spec_path.c_str(), err.c_str());
+    err = spec.validate();
+    if (!err.empty())
+        fatal("%s: %s", spec_path.c_str(), err.c_str());
+
+    const char *faulted = "MSA/OMU-2+faults";
+    const char *columns[3] = {"MSA-0", "MSA/OMU-2", faulted};
+
+    // With MISAR_RESIL_REPORT=DIR each faulted run leaves its JSON
+    // run report in DIR (exercises the obs::writeRunReport path).
+    const char *report_dir = std::getenv("MISAR_RESIL_REPORT");
+    InProcessHooks hooks;
+    if (report_dir)
+        hooks.tweak = [&](const JobSpec &j, SystemConfig &cfg) {
+            if (j.preset.config == "msa-omu-faults" && j.seed == 1)
+                cfg.obs.statsJsonPath = std::string(report_dir) + "/" +
+                                        j.app + "_" +
+                                        std::to_string(j.cores) +
+                                        ".json";
+        };
+
+    const std::vector<JobRecord> records =
+        runCampaignInProcess(spec, hooks);
+    const CampaignReport report(spec, records);
 
     std::printf("%-14s %-6s %9s %10s %10s %10s %9s\n", "App", "Cores",
                 "BaseCyc", "MSA-0", "MSA/OMU-2", "+faults", "Retained");
@@ -52,7 +85,7 @@ main()
     bool all_retained = true;
 
     // Per-app resilience totals accumulated over the faulted runs,
-    // straight from RunResult's observability fields.
+    // straight from the job records' observability fields.
     struct ResilRow
     {
         std::string app;
@@ -62,79 +95,56 @@ main()
     };
     std::vector<ResilRow> resil_rows;
 
-    // With MISAR_RESIL_REPORT=DIR each faulted run leaves its JSON
-    // run report in DIR (exercises the obs::writeRunReport path).
-    const char *report_dir = std::getenv("MISAR_RESIL_REPORT");
-
     const auto &headline = headlineApps();
-    for (const AppSpec &spec : appCatalog()) {
+    for (const AppSpec &aspec : appCatalog()) {
         bool is_headline = false;
         for (const auto &h : headline)
-            is_headline |= (h == spec.name);
+            is_headline |= (h == aspec.name);
         if (!is_headline)
             continue;
-        for (unsigned ni = 0; ni < 2; ++ni) {
-            const unsigned cores = core_counts[ni];
-            RunResult base = runApp(spec, cores, PaperConfig::Baseline);
-            if (!base.finished)
+        for (std::size_t ni = 0; ni < spec.cores.size(); ++ni) {
+            const unsigned cores = spec.cores[ni];
+            const Cell *base = report.cell(spec.baseline, aspec.name,
+                                           cores);
+            if (!base || base->recs.empty() ||
+                base->recs[0]->outcome != JobOutcome::Finished)
                 fatal("baseline run of %s did not finish",
-                      spec.name.c_str());
-            std::printf("%-14s %-6u %9llu", spec.name.c_str(), cores,
-                        static_cast<unsigned long long>(base.makespan));
+                      aspec.name.c_str());
+            std::printf("%-14s %-6u %9llu", aspec.name.c_str(), cores,
+                        static_cast<unsigned long long>(
+                            base->recs[0]->makespan));
             double sp[3] = {0, 0, 0};
             for (unsigned ci = 0; ci < 3; ++ci) {
-                if (configs[ci] == PaperConfig::MsaOmu2Faults) {
-                    // The faulted runs are stochastic: average over
-                    // several fault seeds, each against the matching
-                    // baseline run, so one unlucky drop on a critical
-                    // handoff doesn't decide the row.
-                    std::vector<double> per_seed;
-                    ResilRow row;
-                    row.app = spec.name;
-                    row.cores = cores;
-                    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-                        RunResult b = seed == 1
-                            ? base
-                            : runApp(spec, cores, PaperConfig::Baseline,
-                                     seed);
-                        SystemConfig fc =
-                            sys::configFor(configs[ci], cores);
-                        if (report_dir && seed == 1)
-                            fc.obs.statsJsonPath =
-                                std::string(report_dir) + "/" +
-                                spec.name + "_" +
-                                std::to_string(cores) + ".json";
-                        RunResult r = runAppWithConfig(
-                            spec, fc, sys::flavorFor(configs[ci]), seed,
-                            sys::paperConfigName(configs[ci]));
-                        if (!r.finished)
+                const Cell *cell = report.cell(columns[ci], aspec.name,
+                                               cores);
+                if (cell)
+                    for (const JobRecord *r : cell->recs)
+                        if (r->outcome != JobOutcome::Finished)
                             fatal("%s on %s (seed %llu) did not finish",
-                                  spec.name.c_str(),
-                                  sys::paperConfigName(configs[ci]),
-                                  static_cast<unsigned long long>(seed));
-                        per_seed.push_back(
-                            static_cast<double>(b.makespan) /
-                            static_cast<double>(r.makespan));
-                        row.timeouts += r.timeouts;
-                        row.retries += r.retries;
-                        row.aborted += r.abortedOps;
-                        row.sheds += r.offlineSheds;
-                        row.snoops += r.crossedSnoops;
-                    }
-                    resil_rows.push_back(row);
-                    sp[ci] = bench::geoMean(per_seed);
-                } else {
-                    RunResult r = runApp(spec, cores, configs[ci]);
-                    if (!r.finished)
-                        fatal("%s on %s did not finish",
-                              spec.name.c_str(),
-                              sys::paperConfigName(configs[ci]));
-                    sp[ci] = static_cast<double>(base.makespan) /
-                             static_cast<double>(r.makespan);
-                }
+                                  aspec.name.c_str(), columns[ci],
+                                  static_cast<unsigned long long>(
+                                      r->job.seed));
+                const std::vector<double> per_seed = report.speedups(
+                    columns[ci], aspec.name, cores);
+                if (per_seed.empty())
+                    fatal("%s on %s did not finish", aspec.name.c_str(),
+                          columns[ci]);
+                sp[ci] = bench::geoMean(per_seed);
                 speedups[ci][ni].push_back(sp[ci]);
                 std::printf(" %10.2f", sp[ci]);
             }
+            const Cell *fcell = report.cell(faulted, aspec.name, cores);
+            ResilRow row;
+            row.app = aspec.name;
+            row.cores = cores;
+            for (const JobRecord *r : fcell->recs) {
+                row.timeouts += r->timeouts;
+                row.retries += r->retries;
+                row.aborted += r->abortedOps;
+                row.sheds += r->offlineSheds;
+                row.snoops += r->crossedSnoops;
+            }
+            resil_rows.push_back(row);
             // Fraction of the clean MSA/OMU-2 speedup the faulted
             // configuration keeps.
             std::printf(" %8.0f%%", 100.0 * sp[2] / sp[1]);
@@ -146,12 +156,12 @@ main()
         }
     }
 
-    for (unsigned ni = 0; ni < 2; ++ni) {
+    for (std::size_t ni = 0; ni < spec.cores.size(); ++ni) {
         double g[3];
         for (unsigned ci = 0; ci < 3; ++ci)
             g[ci] = bench::geoMean(speedups[ci][ni]);
         std::printf("%-14s %-6u %9s %10.2f %10.2f %10.2f %8.0f%%\n",
-                    "GeoMean", core_counts[ni], "-", g[0], g[1], g[2],
+                    "GeoMean", spec.cores[ni], "-", g[0], g[1], g[2],
                     100.0 * g[2] / g[1]);
     }
 

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * misar_campaign: parallel, fault-tolerant experiment orchestration.
+ *
+ * Expands a JSON campaign spec (presets x apps x cores x seeds x
+ * reps) into a job list, runs each job as an isolated misar_sim
+ * process under a worker pool with wall-clock timeouts and bounded
+ * retries, journals every terminal job to an append-only manifest
+ * (so --resume completes an interrupted campaign), and aggregates
+ * the per-job run reports into one campaign report:
+ *
+ *   <out-dir>/report.json   machine-readable cells + failures
+ *   <out-dir>/report.csv    one row per (cell, metric)
+ *   <out-dir>/report.txt    human-readable table
+ *   <out-dir>/spec.json     the spec as executed (provenance)
+ *   <out-dir>/manifest.jsonl  the journal (timing, attempts)
+ *   <out-dir>/jobs/         per-job run reports + logs
+ *
+ * The three report files depend only on the spec and the simulation
+ * results — never on worker count, retries, or resume boundaries —
+ * so a campaign resumed after a kill reproduces the uninterrupted
+ * report byte for byte.
+ *
+ * Exit codes: 0 all jobs finished; 2 campaign complete but some
+ * jobs failed (deadlock/tick-limit/crash/...); 75 campaign
+ * incomplete (--stop-after or setup abort) — rerun with --resume.
+ */
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "orch/aggregate.hh"
+#include "orch/campaign_spec.hh"
+#include "orch/engine.hh"
+#include "orch/exit_codes.hh"
+#include "sim/logging.hh"
+
+using namespace misar;
+using namespace misar::orch;
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "usage: misar_campaign --spec FILE [options]\n"
+        "options:\n"
+        "  --out-dir DIR    output directory (default campaign-out)\n"
+        "  --workers N      parallel jobs (default: hw concurrency)\n"
+        "  --resume         skip jobs already in DIR's manifest\n"
+        "  --sim PATH       misar_sim binary (default: next to this\n"
+        "                   binary, else $PATH)\n"
+        "  --dry-run        print the expanded job list and exit\n"
+        "  --bench-out FILE write host-side throughput metrics JSON\n"
+        "  --quiet          suppress per-job progress lines\n"
+        "failure injection (CI/testing):\n"
+        "  --chaos-kill-job N  SIGKILL job N's first attempt\n"
+        "  --stop-after N      stop dispatching after N completions\n"
+        "exit codes: 0 ok, 2 jobs failed, 75 incomplete (resume)\n");
+}
+
+/** Locate misar_sim next to our own binary; fall back to $PATH. */
+std::string
+findSim()
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        std::string self(buf);
+        std::size_t slash = self.rfind('/');
+        if (slash != std::string::npos) {
+            std::string cand = self.substr(0, slash + 1) + "misar_sim";
+            if (::access(cand.c_str(), X_OK) == 0)
+                return cand;
+        }
+    }
+    return "misar_sim";
+}
+
+bool
+writeFile(const std::string &path, const std::string &body)
+{
+    std::ofstream f(path);
+    if (!f) {
+        warn("cannot open %s", path.c_str());
+        return false;
+    }
+    f << body;
+    return f.good();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string spec_path;
+    EngineOptions opts;
+    bool dry_run = false;
+    std::string bench_out;
+    opts.simPath.clear();
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", a.c_str());
+            return argv[++i];
+        };
+        if (a == "--spec") {
+            spec_path = next();
+        } else if (a == "--out-dir") {
+            opts.outDir = next();
+        } else if (a == "--workers") {
+            opts.workers = static_cast<unsigned>(std::atoi(next()));
+        } else if (a == "--resume") {
+            opts.resume = true;
+        } else if (a == "--sim") {
+            opts.simPath = next();
+        } else if (a == "--dry-run") {
+            dry_run = true;
+        } else if (a == "--bench-out") {
+            bench_out = next();
+        } else if (a == "--quiet") {
+            opts.verbose = false;
+        } else if (a == "--chaos-kill-job") {
+            opts.chaosKillJob = std::atoi(next());
+        } else if (a == "--stop-after") {
+            opts.stopAfter = std::atoi(next());
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown option %s", a.c_str());
+        }
+    }
+    if (spec_path.empty()) {
+        usage();
+        return exitFatal;
+    }
+    if (opts.simPath.empty())
+        opts.simPath = findSim();
+
+    std::ifstream sf(spec_path);
+    if (!sf)
+        fatal("cannot open spec %s", spec_path.c_str());
+    std::stringstream ss;
+    ss << sf.rdbuf();
+    const std::string spec_text = ss.str();
+
+    CampaignSpec spec;
+    std::string err;
+    if (!CampaignSpec::parse(spec_text, spec, err))
+        fatal("%s: %s", spec_path.c_str(), err.c_str());
+    err = spec.validate();
+    if (!err.empty())
+        fatal("%s: %s", spec_path.c_str(), err.c_str());
+
+    const std::vector<JobSpec> jobs = spec.expand();
+    if (dry_run) {
+        std::printf("campaign %s: %zu jobs\n", spec.name.c_str(),
+                    jobs.size());
+        for (const JobSpec &j : jobs)
+            std::printf("%6u  %s\n", j.id, j.key().c_str());
+        return 0;
+    }
+
+    inform("campaign %s: %zu jobs, sim %s", spec.name.c_str(),
+           jobs.size(), opts.simPath.c_str());
+
+    std::vector<JobRecord> records;
+    CampaignRunStats stats;
+    if (!runCampaign(spec, opts, records, stats, err))
+        fatal("%s", err.c_str());
+
+    // Provenance: the spec as executed lives beside its results.
+    writeFile(opts.outDir + "/spec.json", spec_text);
+
+    CampaignReport report(spec, records);
+    {
+        std::ofstream f(opts.outDir + "/report.json");
+        report.writeJson(f);
+    }
+    {
+        std::ofstream f(opts.outDir + "/report.csv");
+        report.writeCsv(f);
+    }
+    {
+        std::ofstream f(opts.outDir + "/report.txt");
+        report.writeTable(f);
+        std::ostringstream table;
+        report.writeTable(table);
+        std::fputs(table.str().c_str(), stdout);
+    }
+
+    if (!bench_out.empty()) {
+        char buf[512];
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"schemaVersion\":1,\"campaign\":\"%s\","
+            "\"workers\":%u,\"jobsTotal\":%u,\"jobsRun\":%u,"
+            "\"jobsSkipped\":%u,\"attempts\":%u,"
+            "\"wallSec\":%.3f,\"busySec\":%.3f,"
+            "\"jobsPerSec\":%.3f,\"workerUtilization\":%.3f}\n",
+            spec.name.c_str(), stats.workers, stats.jobsTotal,
+            stats.jobsRun, stats.jobsSkipped, stats.attempts,
+            stats.wallSec, stats.busySec,
+            stats.wallSec > 0.0 ? stats.jobsRun / stats.wallSec : 0.0,
+            stats.workerUtilization());
+        writeFile(bench_out, buf);
+    }
+
+    const unsigned finished = report.outcomeCount(JobOutcome::Finished);
+    const unsigned missing = report.outcomeCount(JobOutcome::Missing);
+    inform("campaign %s: %u/%zu finished, %u failed, %u not run "
+           "(%.1fs wall, %u workers, %.0f%% utilization)",
+           spec.name.c_str(), finished, jobs.size(),
+           static_cast<unsigned>(jobs.size()) - finished - missing,
+           missing, stats.wallSec, stats.workers,
+           100.0 * stats.workerUtilization());
+    inform("report: %s/report.{json,csv,txt}", opts.outDir.c_str());
+
+    if (!stats.complete) {
+        warn("campaign incomplete; rerun with --resume to finish");
+        return exitCampaignIncomplete;
+    }
+    if (finished != jobs.size())
+        return exitCampaignJobsFailed;
+    return 0;
+}

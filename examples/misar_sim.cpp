@@ -5,13 +5,17 @@
  * Runs any catalog application (or lists them) on a chosen core
  * count and accelerator configuration, and prints a run report.
  *
- *   misar_sim --list
+ *   misar_sim --list-apps | --list-presets
  *   misar_sim --app streamcluster --cores 64 --config msa-omu \
  *             --entries 2 [--no-hwsync] [--no-omu] [--seed N] [--stats]
  *
  * Configs: baseline | msa0 | mcs-tour | spinlock | msa-omu | msa-inf |
  *          ideal | msa-omu-faults (the resilience campaign preset:
  *          message drops/dups/delays plus tile 0 decommissioned)
+ *
+ * Exit codes (consumed by the campaign engine, see
+ * orch/exit_codes.hh): 0 finished, 40 deadlock, 41 tick-limit,
+ * 1 fatal error.
  */
 
 #include <cstdio>
@@ -19,9 +23,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "obs/run_report.hh"
+#include "orch/exit_codes.hh"
 #include "sim/logging.hh"
 #include "sync/sync_lib.hh"
 #include "system/presets.hh"
@@ -39,7 +45,7 @@ usage()
 {
     std::printf(
         "usage: misar_sim --app NAME [options]\n"
-        "       misar_sim --list\n"
+        "       misar_sim --list-apps | --list-presets\n"
         "options:\n"
         "  --cores N       core count, perfect square (default 16)\n"
         "  --config C      baseline|msa0|mcs-tour|spinlock|msa-omu|\n"
@@ -49,7 +55,9 @@ usage()
         "  --no-hwsync     disable the HWSync-bit optimization\n"
         "  --no-omu        disable the OMU (entries never freed)\n"
         "  --seed N        workload seed (default 1)\n"
+        "  --tick-limit N  simulated-tick budget (default 5e9)\n"
         "  --stats         dump the full statistics registry\n"
+        "exit codes: 0 finished, 40 deadlock, 41 tick-limit, 1 error\n"
         "observability:\n"
         "  --trace-out FILE   write a multi-component Chrome trace\n"
         "                     (cores + MSA slices + NoC, sync-op flow\n"
@@ -77,6 +85,7 @@ main(int argc, char **argv)
     bool profile_sync = false;
     unsigned top_n = 16;
     std::uint64_t seed = 1, sample_interval = 0;
+    std::uint64_t tick_limit = 5000000000ULL;
     std::string trace_path, stats_json_path, sample_csv_path;
 
     for (int i = 1; i < argc; ++i) {
@@ -86,9 +95,13 @@ main(int argc, char **argv)
                 fatal("missing value for %s", a.c_str());
             return argv[++i];
         };
-        if (a == "--list") {
+        if (a == "--list" || a == "--list-apps") {
             for (const AppSpec &s : appCatalog())
                 std::printf("%s\n", s.name.c_str());
+            return 0;
+        } else if (a == "--list-presets") {
+            for (const std::string &p : sys::cliPresetNames())
+                std::printf("%s\n", p.c_str());
             return 0;
         } else if (a == "--app") {
             app_name = next();
@@ -106,6 +119,8 @@ main(int argc, char **argv)
             omu = false;
         } else if (a == "--seed") {
             seed = static_cast<std::uint64_t>(std::atoll(next()));
+        } else if (a == "--tick-limit") {
+            tick_limit = static_cast<std::uint64_t>(std::atoll(next()));
         } else if (a == "--stats") {
             dump_stats = true;
         } else if (a == "--trace" || a == "--trace-out") {
@@ -133,50 +148,17 @@ main(int argc, char **argv)
         return 1;
     }
 
-    AccelMode mode = AccelMode::MsaOmu;
-    sync::SyncLib::Flavor flavor = sync::SyncLib::Flavor::Hw;
-    bool faults = false;
-    if (config == "msa-omu-faults") {
-        faults = true;
-    } else if (config == "baseline") {
-        mode = AccelMode::None;
-        flavor = sync::SyncLib::Flavor::PthreadSw;
-    } else if (config == "msa0") {
-        mode = AccelMode::None;
-        flavor = sync::SyncLib::Flavor::Hw;
-    } else if (config == "mcs-tour") {
-        mode = AccelMode::None;
-        flavor = sync::SyncLib::Flavor::McsTourSw;
-    } else if (config == "spinlock") {
-        mode = AccelMode::None;
-        flavor = sync::SyncLib::Flavor::SpinSw;
-    } else if (config == "msa-omu") {
-        mode = AccelMode::MsaOmu;
-        flavor = sync::SyncLib::Flavor::Hw;
-    } else if (config == "msa-inf") {
-        mode = AccelMode::MsaInfinite;
-        flavor = sync::SyncLib::Flavor::Hw;
-    } else if (config == "ideal") {
-        mode = AccelMode::Ideal;
-        flavor = sync::SyncLib::Flavor::Hw;
-    } else {
-        fatal("unknown config '%s'", config.c_str());
-    }
-
     const AppSpec &spec = appByName(app_name);
     SystemConfig cfg;
-    if (faults) {
-        cfg = sys::configFor(sys::PaperConfig::MsaOmu2Faults, cores);
-        cfg.msa.msaEntries = entries;
-    } else {
-        cfg = makeConfig(cores, mode, entries);
-    }
+    sync::SyncLib::Flavor flavor;
+    if (!sys::cliPresetFor(config, cores, entries, cfg, flavor))
+        fatal("unknown config '%s'", config.c_str());
     cfg.smtWays = smt;
     cfg.validate();
     cfg.msa.hwSyncBitOpt = hwsync;
     cfg.msa.omuEnabled = omu;
     cfg.seed = seed;
-    if (faults && !omu)
+    if (config == "msa-omu-faults" && !omu)
         fatal("--no-omu is incompatible with msa-omu-faults (the "
               "offline slice sheds waiters to software)");
 
@@ -200,7 +182,28 @@ main(int argc, char **argv)
         s.start(t, appThread(s.api(t), spec, layout, &lib, threads,
                              seed));
 
-    const sys::RunOutcome outcome = s.runDetailed(5000000000ULL);
+    obs::RunMeta meta;
+    meta.app = spec.name;
+    meta.preset = config;
+    meta.accel = cfg.accelName();
+    meta.flavor = sync::SyncLib::flavorName(flavor);
+    meta.cores = cfg.numCores;
+    meta.smtWays = cfg.smtWays;
+    meta.msaEntries = cfg.msa.msaEntries;
+    meta.omuCounters = cfg.msa.omuCounters;
+    meta.omuEnabled = cfg.msa.omuEnabled;
+    meta.hwSyncBitOpt = cfg.msa.hwSyncBitOpt;
+    meta.seed = seed;
+
+    // If the run dies in panic()/fatal(), still flush a durable
+    // report whose outcome says so: an orchestrated job must always
+    // leave an ingestible artifact behind.
+    std::unique_ptr<obs::CrashReportGuard> guard;
+    if (!stats_json_path.empty())
+        guard = std::make_unique<obs::CrashReportGuard>(
+            stats_json_path, s, meta, top_n);
+
+    const sys::RunOutcome outcome = s.runDetailed(tick_limit);
 
     // Write the requested observability artifacts before any fatal()
     // below, so a deadlocked or runaway run still leaves a trace and
@@ -220,35 +223,28 @@ main(int argc, char **argv)
         s.sampler()->writeCsv(cf);
     }
     if (!stats_json_path.empty()) {
-        std::ofstream jf(stats_json_path);
-        if (!jf)
-            fatal("cannot open stats file %s", stats_json_path.c_str());
-        obs::RunMeta meta;
-        meta.app = spec.name;
-        meta.preset = config;
-        meta.accel = cfg.accelName();
-        meta.flavor = sync::SyncLib::flavorName(flavor);
-        meta.cores = cfg.numCores;
-        meta.smtWays = cfg.smtWays;
-        meta.msaEntries = cfg.msa.msaEntries;
-        meta.omuCounters = cfg.msa.omuCounters;
-        meta.omuEnabled = cfg.msa.omuEnabled;
-        meta.hwSyncBitOpt = cfg.msa.hwSyncBitOpt;
-        meta.seed = seed;
         meta.outcome = sys::runOutcomeName(outcome);
         meta.makespan = s.makespan();
         meta.hwCoverage = s.hwCoverage();
-        obs::writeRunReport(jf, meta, s.stats(), s.syncProfiler(),
-                            top_n, s.sampler(), &s.eventQueue());
+        // Durable (fsync'd): an orchestrator may SIGKILL this process
+        // the instant it exits, and the report must survive that.
+        if (!obs::writeRunReportDurable(stats_json_path, meta, s.stats(),
+                                        s.syncProfiler(), top_n,
+                                        s.sampler(), &s.eventQueue()))
+            fatal("cannot write stats file %s", stats_json_path.c_str());
     }
+    if (guard)
+        guard->disarm();
 
     switch (outcome) {
       case sys::RunOutcome::Finished:
         break;
       case sys::RunOutcome::Deadlock:
-        fatal("simulation deadlocked (see stall report above)");
+        warn("simulation deadlocked (see stall report above)");
+        return misar::orch::exitDeadlock;
       case sys::RunOutcome::LimitReached:
-        fatal("simulation hit the tick budget (livelock or runaway)");
+        warn("simulation hit the tick budget (livelock or runaway)");
+        return misar::orch::exitTickLimit;
     }
 
     std::printf("app            : %s\n", spec.name.c_str());

@@ -1,12 +1,20 @@
 #include "obs/run_report.hh"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <iomanip>
+#include <sstream>
 #include <vector>
 
 #include "obs/sampler.hh"
 #include "obs/sync_profiler.hh"
 #include "sim/event_queue.hh"
+#include "sim/logging.hh"
 #include "sim/trace.hh"
+#include "system/system.hh"
 
 namespace misar {
 namespace obs {
@@ -161,6 +169,67 @@ writeRunReport(std::ostream &os, const RunMeta &meta,
     }
 
     os << "}\n";
+}
+
+bool
+writeRunReportDurable(const std::string &path, const RunMeta &meta,
+                      const StatRegistry &stats, const SyncProfiler *prof,
+                      std::size_t top_n, const StatSampler *sampler,
+                      const EventQueue *eq)
+{
+    std::ostringstream os;
+    writeRunReport(os, meta, stats, prof, top_n, sampler, eq);
+    const std::string body = os.str();
+
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        warn("cannot open stats file %s: %s", path.c_str(),
+             std::strerror(errno));
+        return false;
+    }
+    std::size_t off = 0;
+    while (off < body.size()) {
+        ssize_t n = ::write(fd, body.data() + off, body.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("write to %s failed: %s", path.c_str(),
+                 std::strerror(errno));
+            ::close(fd);
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    bool synced = ::fsync(fd) == 0;
+    ::close(fd);
+    if (!synced)
+        warn("fsync of %s failed", path.c_str());
+    return synced;
+}
+
+CrashReportGuard::CrashReportGuard(std::string path, sys::System &system,
+                                   RunMeta meta, std::size_t top_n)
+{
+    setTerminationHook([path = std::move(path), &system,
+                        meta = std::move(meta),
+                        top_n](const char *kind) mutable {
+        meta.outcome = kind;
+        meta.makespan = system.makespan();
+        meta.hwCoverage = system.hwCoverage();
+        writeRunReportDurable(path, meta, system.stats(),
+                              system.syncProfiler(), top_n,
+                              system.sampler(), &system.eventQueue());
+    });
+    armed = true;
+}
+
+void
+CrashReportGuard::disarm()
+{
+    if (armed) {
+        clearTerminationHook();
+        armed = false;
+    }
 }
 
 } // namespace obs

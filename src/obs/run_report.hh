@@ -24,6 +24,10 @@ namespace misar {
 
 class EventQueue;
 
+namespace sys {
+class System;
+} // namespace sys
+
 namespace obs {
 
 class SyncProfiler;
@@ -67,6 +71,47 @@ void writeRunReport(std::ostream &os, const RunMeta &meta,
                     std::size_t top_n = 16,
                     const StatSampler *sampler = nullptr,
                     const EventQueue *eq = nullptr);
+
+/**
+ * Write the report to @p path durably: the bytes are fully written
+ * and fsync'd before returning, so the file survives an immediately
+ * following abort()/_exit(). Campaign workers rely on this — a job
+ * that panics right after (or during, via CrashReportGuard) still
+ * leaves an ingestible report. Returns false (with a warning) on
+ * I/O errors.
+ */
+bool writeRunReportDurable(const std::string &path, const RunMeta &meta,
+                           const StatRegistry &stats,
+                           const SyncProfiler *prof = nullptr,
+                           std::size_t top_n = 16,
+                           const StatSampler *sampler = nullptr,
+                           const EventQueue *eq = nullptr);
+
+/**
+ * Arms the logging termination hook so that, if panic()/fatal()
+ * fires while a run is in flight, the JSON run report is still
+ * written (durably) with "outcome" set to "panic" or "fatal" and
+ * the makespan observed at the moment of death. Construct after the
+ * System (with the pre-run metadata) and disarm() once the normal
+ * report has been written. Only one guard can be armed at a time —
+ * the hook is process-global, like the termination it intercepts.
+ */
+class CrashReportGuard
+{
+  public:
+    CrashReportGuard(std::string path, sys::System &system, RunMeta meta,
+                     std::size_t top_n);
+    ~CrashReportGuard() { disarm(); }
+
+    CrashReportGuard(const CrashReportGuard &) = delete;
+    CrashReportGuard &operator=(const CrashReportGuard &) = delete;
+
+    /** Normal completion: the real report was written; stand down. */
+    void disarm();
+
+  private:
+    bool armed = false;
+};
 
 } // namespace obs
 } // namespace misar

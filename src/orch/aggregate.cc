@@ -1,0 +1,317 @@
+#include "orch/aggregate.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "sim/trace.hh" // jsonEscape
+
+namespace misar {
+namespace orch {
+
+namespace {
+
+std::string
+cellKey(const std::string &preset, const std::string &app, unsigned cores)
+{
+    return preset + "|" + app + "|" + std::to_string(cores);
+}
+
+/** Fixed-width decimal formatting (deterministic report bytes). */
+std::string
+fmt(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+void
+writeAggJson(std::ostream &os, const char *name, const Agg &a,
+             int decimals)
+{
+    os << "\"" << name << "\":{\"n\":" << a.n << ",\"mean\":"
+       << fmt(a.mean(), decimals) << ",\"min\":" << fmt(a.mn, decimals)
+       << ",\"max\":" << fmt(a.mx, decimals) << "}";
+}
+
+/** The fixed outcome emission order (determinism). */
+constexpr JobOutcome outcomeOrder[] = {
+    JobOutcome::Finished, JobOutcome::Deadlock, JobOutcome::TickLimit,
+    JobOutcome::Error,    JobOutcome::Crash,    JobOutcome::Timeout,
+    JobOutcome::SpawnError, JobOutcome::Missing,
+};
+
+} // namespace
+
+CampaignReport::CampaignReport(const CampaignSpec &spec,
+                               const std::vector<JobRecord> &records)
+    : spec(spec), records(records)
+{
+    // Cells in grid order (preset x app x cores).
+    for (const PresetSpec &p : spec.presets) {
+        for (const std::string &a : spec.apps) {
+            for (unsigned c : spec.cores) {
+                Cell cell;
+                cell.preset = p.name;
+                cell.app = a;
+                cell.cores = c;
+                index[cellKey(p.name, a, c)] = _cells.size();
+                _cells.push_back(std::move(cell));
+            }
+        }
+    }
+
+    for (const JobRecord &r : records) {
+        auto it = index.find(
+            cellKey(r.job.preset.name, r.job.app, r.job.cores));
+        if (it == index.end())
+            continue; // not part of this spec's grid
+        Cell &cell = _cells[it->second];
+        ++cell.jobs;
+        ++cell.outcomes[jobOutcomeName(r.outcome)];
+        cell.recs.push_back(&r);
+        if (r.outcome != JobOutcome::Finished)
+            continue;
+        cell.makespan.add(static_cast<double>(r.makespan));
+        cell.hwCoverage.add(r.hwCoverage);
+        for (const std::string &s : spec.stats) {
+            auto cv = r.counters.find(s);
+            cell.counters[s].add(
+                cv == r.counters.end()
+                    ? 0.0
+                    : static_cast<double>(cv->second));
+        }
+    }
+
+    // Speedups need every cell populated first.
+    if (!spec.baseline.empty()) {
+        for (Cell &cell : _cells) {
+            if (cell.preset == spec.baseline)
+                continue;
+            for (const JobRecord *r : cell.recs) {
+                if (r->outcome != JobOutcome::Finished || !r->makespan)
+                    continue;
+                const JobRecord *b =
+                    match(spec.baseline, cell.app, cell.cores,
+                          r->job.seed, r->job.rep);
+                if (b && b->outcome == JobOutcome::Finished &&
+                    b->makespan)
+                    cell.speedup.add(static_cast<double>(b->makespan) /
+                                     static_cast<double>(r->makespan));
+            }
+        }
+    }
+}
+
+const Cell *
+CampaignReport::cell(const std::string &preset, const std::string &app,
+                     unsigned cores) const
+{
+    auto it = index.find(cellKey(preset, app, cores));
+    return it == index.end() ? nullptr : &_cells[it->second];
+}
+
+const JobRecord *
+CampaignReport::match(const std::string &preset, const std::string &app,
+                      unsigned cores, std::uint64_t seed,
+                      unsigned rep) const
+{
+    const Cell *c = cell(preset, app, cores);
+    if (!c)
+        return nullptr;
+    for (const JobRecord *r : c->recs)
+        if (r->job.seed == seed && r->job.rep == rep)
+            return r;
+    return nullptr;
+}
+
+std::vector<double>
+CampaignReport::speedups(const std::string &preset, const std::string &app,
+                         unsigned cores) const
+{
+    std::vector<double> out;
+    if (spec.baseline.empty())
+        return out;
+    const Cell *c = cell(preset, app, cores);
+    if (!c)
+        return out;
+    for (const JobRecord *r : c->recs) {
+        if (r->outcome != JobOutcome::Finished || !r->makespan)
+            continue;
+        const JobRecord *b =
+            match(spec.baseline, app, cores, r->job.seed, r->job.rep);
+        if (b && b->outcome == JobOutcome::Finished && b->makespan)
+            out.push_back(static_cast<double>(b->makespan) /
+                          static_cast<double>(r->makespan));
+    }
+    return out;
+}
+
+unsigned
+CampaignReport::outcomeCount(JobOutcome o) const
+{
+    unsigned n = 0;
+    for (const JobRecord &r : records)
+        n += r.outcome == o;
+    return n;
+}
+
+std::vector<const JobRecord *>
+CampaignReport::failures() const
+{
+    std::vector<const JobRecord *> out;
+    for (const JobRecord &r : records)
+        if (r.outcome != JobOutcome::Finished)
+            out.push_back(&r);
+    return out;
+}
+
+void
+CampaignReport::writeJson(std::ostream &os) const
+{
+    os << "{\"schemaVersion\":1,\"campaign\":\"" << jsonEscape(spec.name)
+       << "\",\"jobs\":" << records.size();
+
+    os << ",\"outcomes\":{";
+    for (std::size_t i = 0; i < std::size(outcomeOrder); ++i)
+        os << (i ? "," : "") << "\"" << jobOutcomeName(outcomeOrder[i])
+           << "\":" << outcomeCount(outcomeOrder[i]);
+    os << "}";
+
+    os << ",\"cells\":[";
+    bool firstCell = true;
+    for (const Cell &c : _cells) {
+        os << (firstCell ? "" : ",");
+        firstCell = false;
+        os << "{\"preset\":\"" << jsonEscape(c.preset) << "\",\"app\":\""
+           << jsonEscape(c.app) << "\",\"cores\":" << c.cores
+           << ",\"jobs\":" << c.jobs << ",\"outcomes\":{";
+        bool first = true;
+        for (JobOutcome o : outcomeOrder) {
+            auto it = c.outcomes.find(jobOutcomeName(o));
+            if (it == c.outcomes.end())
+                continue;
+            os << (first ? "" : ",") << "\"" << it->first
+               << "\":" << it->second;
+            first = false;
+        }
+        os << "},";
+        writeAggJson(os, "makespan", c.makespan, 3);
+        os << ",";
+        writeAggJson(os, "hwCoverage", c.hwCoverage, 6);
+        if (!spec.baseline.empty() && c.preset != spec.baseline) {
+            os << ",";
+            writeAggJson(os, "speedup", c.speedup, 6);
+        }
+        if (!spec.stats.empty()) {
+            os << ",\"stats\":{";
+            bool fs = true;
+            for (const std::string &s : spec.stats) {
+                auto it = c.counters.find(s);
+                static const Agg empty;
+                os << (fs ? "" : ",") << "\"" << jsonEscape(s) << "\":{";
+                const Agg &a =
+                    it == c.counters.end() ? empty : it->second;
+                os << "\"n\":" << a.n << ",\"mean\":" << fmt(a.mean(), 3)
+                   << ",\"min\":" << fmt(a.mn, 3)
+                   << ",\"max\":" << fmt(a.mx, 3) << "}";
+                fs = false;
+            }
+            os << "}";
+        }
+        os << "}";
+    }
+    os << "]";
+
+    os << ",\"failures\":[";
+    bool firstFail = true;
+    for (const JobRecord *r : failures()) {
+        os << (firstFail ? "" : ",");
+        firstFail = false;
+        os << "{\"job\":" << r->job.id << ",\"key\":\""
+           << jsonEscape(r->job.key()) << "\",\"outcome\":\""
+           << jobOutcomeName(r->outcome) << "\",\"log\":\""
+           << jsonEscape(r->note) << "\"}";
+    }
+    os << "]}\n";
+}
+
+void
+CampaignReport::writeCsv(std::ostream &os) const
+{
+    os << "preset,app,cores,jobs";
+    for (JobOutcome o : outcomeOrder)
+        os << "," << jobOutcomeName(o);
+    os << ",makespan_mean,makespan_min,makespan_max,hwCoverage_mean";
+    if (!spec.baseline.empty())
+        os << ",speedup_mean,speedup_min,speedup_max";
+    for (const std::string &s : spec.stats)
+        os << "," << s << "_mean," << s << "_min," << s << "_max";
+    os << "\n";
+
+    for (const Cell &c : _cells) {
+        os << c.preset << "," << c.app << "," << c.cores << ","
+           << c.jobs;
+        for (JobOutcome o : outcomeOrder) {
+            auto it = c.outcomes.find(jobOutcomeName(o));
+            os << "," << (it == c.outcomes.end() ? 0u : it->second);
+        }
+        os << "," << fmt(c.makespan.mean(), 3) << ","
+           << fmt(c.makespan.mn, 3) << "," << fmt(c.makespan.mx, 3)
+           << "," << fmt(c.hwCoverage.mean(), 6);
+        if (!spec.baseline.empty()) {
+            os << "," << fmt(c.speedup.mean(), 6) << ","
+               << fmt(c.speedup.mn, 6) << "," << fmt(c.speedup.mx, 6);
+        }
+        for (const std::string &s : spec.stats) {
+            auto it = c.counters.find(s);
+            static const Agg empty;
+            const Agg &a = it == c.counters.end() ? empty : it->second;
+            os << "," << fmt(a.mean(), 3) << "," << fmt(a.mn, 3) << ","
+               << fmt(a.mx, 3);
+        }
+        os << "\n";
+    }
+}
+
+void
+CampaignReport::writeTable(std::ostream &os) const
+{
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%-20s %-14s %5s %4s %12s %8s %9s\n", "Preset", "App",
+                  "Cores", "ok", "Makespan", "HwCov", "Speedup");
+    os << line;
+    for (const Cell &c : _cells) {
+        auto fin = c.outcomes.find("finished");
+        unsigned ok = fin == c.outcomes.end() ? 0 : fin->second;
+        std::string sp = "-";
+        if (!spec.baseline.empty() && c.preset != spec.baseline &&
+            c.speedup.n)
+            sp = fmt(c.speedup.mean(), 2);
+        std::snprintf(line, sizeof(line),
+                      "%-20s %-14s %5u %2u/%-2u %12.0f %7.1f%% %9s\n",
+                      c.preset.c_str(), c.app.c_str(), c.cores, ok,
+                      c.jobs, c.makespan.mean(),
+                      100.0 * c.hwCoverage.mean(), sp.c_str());
+        os << line;
+    }
+
+    auto fails = failures();
+    if (!fails.empty()) {
+        os << "\nfailed jobs:\n";
+        for (const JobRecord *r : fails) {
+            os << "  #" << r->job.id << " " << r->job.key() << " -> "
+               << jobOutcomeName(r->outcome) << "\n";
+            if (!r->note.empty()) {
+                std::istringstream is(r->note);
+                std::string l;
+                while (std::getline(is, l))
+                    os << "    | " << l << "\n";
+            }
+        }
+    }
+}
+
+} // namespace orch
+} // namespace misar

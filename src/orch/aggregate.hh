@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Campaign aggregation: fold per-job records into per-cell
+ * statistics and emit the campaign report (JSON + CSV + text table).
+ *
+ * A cell is one (preset, app, cores) point of the grid; its jobs
+ * differ only in seed/repetition. Per cell the aggregator reports
+ * outcome counts and mean/min/max over the finished jobs for
+ * makespan, hardware coverage, every spec-selected counter, and —
+ * when the spec names a baseline preset — the speedup against the
+ * baseline job with the same (app, cores, seed, rep).
+ *
+ * Report output is deliberately deterministic: cells are emitted in
+ * grid order, jobs in id order, and numbers with fixed formatting,
+ * so two campaigns over the same spec and seeds produce
+ * byte-identical reports regardless of worker count, retries, or
+ * resume boundaries. Wall-clock and scheduling data stay out of
+ * this report (they live in the manifest and the --bench-out file).
+ */
+
+#ifndef MISAR_ORCH_AGGREGATE_HH
+#define MISAR_ORCH_AGGREGATE_HH
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "orch/job.hh"
+
+namespace misar {
+namespace orch {
+
+/** Mean/min/max accumulator. */
+struct Agg
+{
+    unsigned n = 0;
+    double sum = 0.0, mn = 0.0, mx = 0.0;
+
+    void
+    add(double v)
+    {
+        mn = n ? std::min(mn, v) : v;
+        mx = n ? std::max(mx, v) : v;
+        sum += v;
+        ++n;
+    }
+
+    double mean() const { return n ? sum / n : 0.0; }
+};
+
+/** One (preset, app, cores) cell's aggregated results. */
+struct Cell
+{
+    std::string preset;
+    std::string app;
+    unsigned cores = 0;
+    unsigned jobs = 0; ///< grid jobs in this cell (incl. failed)
+    std::map<std::string, unsigned> outcomes;
+    Agg makespan, hwCoverage, speedup;
+    std::map<std::string, Agg> counters;
+    /** This cell's records in (seed, rep) grid order. */
+    std::vector<const JobRecord *> recs;
+};
+
+class CampaignReport
+{
+  public:
+    /** @p records must be the full grid in job-id order. */
+    CampaignReport(const CampaignSpec &spec,
+                   const std::vector<JobRecord> &records);
+
+    const std::vector<Cell> &cells() const { return _cells; }
+
+    /** Cell lookup; nullptr when absent from the grid. */
+    const Cell *cell(const std::string &preset, const std::string &app,
+                     unsigned cores) const;
+
+    /**
+     * Per-(seed, rep) speedups of @p preset against the spec's
+     * baseline for one (app, cores); empty when no baseline is
+     * configured or runs are missing. Order follows the preset's
+     * seed list.
+     */
+    std::vector<double> speedups(const std::string &preset,
+                                 const std::string &app,
+                                 unsigned cores) const;
+
+    /** Campaign-wide outcome count for @p outcome. */
+    unsigned outcomeCount(JobOutcome o) const;
+
+    /** Jobs that ended in any state other than Finished. */
+    std::vector<const JobRecord *> failures() const;
+
+    void writeJson(std::ostream &os) const;
+    void writeCsv(std::ostream &os) const;
+    void writeTable(std::ostream &os) const;
+
+  private:
+    const JobRecord *match(const std::string &preset,
+                           const std::string &app, unsigned cores,
+                           std::uint64_t seed, unsigned rep) const;
+
+    const CampaignSpec &spec;
+    const std::vector<JobRecord> &records;
+    std::vector<Cell> _cells;
+    std::map<std::string, std::size_t> index; ///< cell key -> _cells
+};
+
+} // namespace orch
+} // namespace misar
+
+#endif // MISAR_ORCH_AGGREGATE_HH

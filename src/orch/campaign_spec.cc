@@ -1,0 +1,251 @@
+#include "orch/campaign_spec.hh"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "orch/json.hh"
+#include "system/presets.hh"
+#include "workload/app_catalog.hh"
+
+namespace misar {
+namespace orch {
+
+std::string
+JobSpec::key() const
+{
+    std::ostringstream os;
+    os << preset.name << "|" << app << "|c" << cores << "|s" << seed
+       << "|r" << rep;
+    return os.str();
+}
+
+namespace {
+
+bool
+parsePreset(const Json &j, PresetSpec &p, std::string &err)
+{
+    if (j.isStr()) {
+        p.name = p.config = j.str;
+        return true;
+    }
+    if (!j.isObj()) {
+        err = "presets entries must be strings or objects";
+        return false;
+    }
+    p.config = j.at("config").stringOr(j.at("name").stringOr(""));
+    p.name = j.at("name").stringOr(p.config);
+    if (p.config.empty()) {
+        err = "preset object needs a \"config\" (or \"name\") member";
+        return false;
+    }
+    p.entries = static_cast<unsigned>(j.at("entries").uintOr(p.entries));
+    p.hwsync = j.at("hwsync").boolOr(p.hwsync);
+    p.omu = j.at("omu").boolOr(p.omu);
+    p.smt = static_cast<unsigned>(j.at("smt").uintOr(p.smt));
+    if (j.has("seeds")) {
+        const Json &s = j.at("seeds");
+        if (!s.isArr()) {
+            err = "preset \"seeds\" must be an array";
+            return false;
+        }
+        for (const Json &e : s.arr)
+            p.seeds.push_back(e.uintOr(1));
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+CampaignSpec::parse(const std::string &text, CampaignSpec &out,
+                    std::string &err)
+{
+    Json root = parseJson(text, &err);
+    if (root.isNull() && !err.empty())
+        return false;
+    if (!root.isObj()) {
+        err = "campaign spec must be a JSON object";
+        return false;
+    }
+
+    CampaignSpec s;
+    s.name = root.at("name").stringOr(s.name);
+
+    if (!root.at("presets").isArr() || root.at("presets").arr.empty()) {
+        err = "spec needs a non-empty \"presets\" array";
+        return false;
+    }
+    for (const Json &j : root.at("presets").arr) {
+        PresetSpec p;
+        if (!parsePreset(j, p, err))
+            return false;
+        s.presets.push_back(std::move(p));
+    }
+
+    const Json &apps = root.at("apps");
+    if (apps.isStr()) {
+        s.apps = {apps.str}; // "all" / "headline" shorthands
+    } else if (apps.isArr() && !apps.arr.empty()) {
+        for (const Json &j : apps.arr)
+            s.apps.push_back(j.stringOr(""));
+    } else {
+        err = "spec needs an \"apps\" array (or \"all\"/\"headline\")";
+        return false;
+    }
+
+    if (root.has("cores")) {
+        if (!root.at("cores").isArr()) {
+            err = "\"cores\" must be an array of core counts";
+            return false;
+        }
+        s.cores.clear();
+        for (const Json &j : root.at("cores").arr)
+            s.cores.push_back(static_cast<unsigned>(j.uintOr(0)));
+    }
+    if (root.has("seeds")) {
+        if (!root.at("seeds").isArr()) {
+            err = "\"seeds\" must be an array";
+            return false;
+        }
+        s.seeds.clear();
+        for (const Json &j : root.at("seeds").arr)
+            s.seeds.push_back(j.uintOr(1));
+    }
+    s.reps = static_cast<unsigned>(root.at("reps").uintOr(s.reps));
+    s.tickLimit = root.at("tickLimit").uintOr(s.tickLimit);
+    s.timeoutSec = root.at("timeoutSec").numberOr(s.timeoutSec);
+    s.maxRetries =
+        static_cast<unsigned>(root.at("maxRetries").uintOr(s.maxRetries));
+    s.baseline = root.at("baseline").stringOr(s.baseline);
+    if (root.has("stats")) {
+        if (!root.at("stats").isArr()) {
+            err = "\"stats\" must be an array of counter names";
+            return false;
+        }
+        for (const Json &j : root.at("stats").arr)
+            s.stats.push_back(j.stringOr(""));
+    }
+
+    out = std::move(s);
+    return true;
+}
+
+bool
+CampaignSpec::parseFile(const std::string &path, CampaignSpec &out,
+                        std::string &err)
+{
+    std::ifstream f(path);
+    if (!f) {
+        err = "cannot open " + path;
+        return false;
+    }
+    std::stringstream ss;
+    ss << f.rdbuf();
+    return parse(ss.str(), out, err);
+}
+
+std::string
+CampaignSpec::validate()
+{
+    // Expand the app shorthands first so expand() sees real names.
+    if (apps.size() == 1 && (apps[0] == "all" || apps[0] == "headline")) {
+        std::vector<std::string> expanded;
+        if (apps[0] == "headline") {
+            expanded = workload::headlineApps();
+        } else {
+            for (const workload::AppSpec &a : workload::appCatalog())
+                expanded.push_back(a.name);
+        }
+        apps = std::move(expanded);
+    }
+    for (const std::string &a : apps)
+        if (!workload::findApp(a))
+            return "unknown app '" + a + "'";
+
+    if (presets.empty())
+        return "no presets";
+    SystemConfig cfg;
+    sync::SyncLib::Flavor fl;
+    for (const PresetSpec &p : presets) {
+        if (!sys::cliPresetFor(p.config, 16, p.entries, cfg, fl))
+            return "unknown preset config '" + p.config + "'";
+        if (p.name.empty())
+            return "preset with empty name";
+    }
+    for (std::size_t i = 0; i < presets.size(); ++i)
+        for (std::size_t j = i + 1; j < presets.size(); ++j)
+            if (presets[i].name == presets[j].name)
+                return "duplicate preset name '" + presets[i].name + "'";
+
+    if (cores.empty())
+        return "no core counts";
+    for (unsigned c : cores) {
+        unsigned dim = static_cast<unsigned>(std::lround(std::sqrt(c)));
+        if (c == 0 || dim * dim != c)
+            return "core count " + std::to_string(c) +
+                   " is not a perfect square";
+    }
+    if (seeds.empty())
+        return "no seeds";
+    if (reps == 0)
+        return "reps must be >= 1";
+
+    if (!baseline.empty()) {
+        bool found = false;
+        for (const PresetSpec &p : presets)
+            found |= p.name == baseline;
+        if (!found)
+            return "baseline '" + baseline + "' is not a preset name";
+    }
+    return "";
+}
+
+std::vector<JobSpec>
+CampaignSpec::expand() const
+{
+    std::vector<JobSpec> jobs;
+    unsigned id = 0;
+    for (const PresetSpec &p : presets) {
+        const std::vector<std::uint64_t> &ss =
+            p.seeds.empty() ? seeds : p.seeds;
+        for (const std::string &a : apps) {
+            for (unsigned c : cores) {
+                for (std::uint64_t seed : ss) {
+                    for (unsigned r = 0; r < reps; ++r) {
+                        JobSpec j;
+                        j.id = id++;
+                        j.preset = p;
+                        j.app = a;
+                        j.cores = c;
+                        j.seed = seed;
+                        j.rep = r;
+                        jobs.push_back(std::move(j));
+                    }
+                }
+            }
+        }
+    }
+    return jobs;
+}
+
+std::uint64_t
+CampaignSpec::gridHash() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL; // FNV-1a offset basis
+    auto mix = [&h](const std::string &s) {
+        for (unsigned char c : s) {
+            h ^= c;
+            h *= 0x100000001b3ULL;
+        }
+        h ^= ';';
+        h *= 0x100000001b3ULL;
+    };
+    for (const JobSpec &j : expand())
+        mix(j.key());
+    mix(std::to_string(tickLimit));
+    return h;
+}
+
+} // namespace orch
+} // namespace misar

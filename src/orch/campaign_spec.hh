@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Campaign specification: the declarative description of one
+ * experiment sweep.
+ *
+ * A spec is a cartesian grid — presets x apps x core counts x seeds
+ * x repetitions — plus per-job execution policy (tick limit,
+ * wall-clock timeout, retry budget) and aggregation directives
+ * (baseline preset for speedups, extra stat counters to collect per
+ * cell). Specs are written as JSON (schema in EXPERIMENTS.md,
+ * examples under bench/campaigns/) and expand into a deterministic,
+ * stably-numbered job list: job ids depend only on the spec, never
+ * on execution order, so a resumed campaign and a fresh one agree on
+ * what job 17 is.
+ */
+
+#ifndef MISAR_ORCH_CAMPAIGN_SPEC_HH
+#define MISAR_ORCH_CAMPAIGN_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace misar {
+namespace orch {
+
+/** One column of the sweep: a simulator configuration to run. */
+struct PresetSpec
+{
+    /** Cell label in reports; defaults to the config name. */
+    std::string name;
+    /** misar_sim --config value (see sys::cliPresetNames()). */
+    std::string config;
+    unsigned entries = 2; ///< MSA entries per tile
+    bool hwsync = true;   ///< HWSync-bit optimization
+    bool omu = true;      ///< overflow management unit
+    unsigned smt = 1;     ///< hardware threads per core
+    /** Seed override for this preset (empty = the spec's seeds). */
+    std::vector<std::uint64_t> seeds;
+};
+
+/** One fully-resolved job of the expanded grid. */
+struct JobSpec
+{
+    unsigned id = 0; ///< position in the expansion (stable)
+    PresetSpec preset;
+    std::string app;
+    unsigned cores = 16;
+    std::uint64_t seed = 1;
+    unsigned rep = 0;
+
+    /** Stable identity string (manifest cross-checking). */
+    std::string key() const;
+};
+
+/** A parsed campaign specification. */
+struct CampaignSpec
+{
+    std::string name = "campaign";
+    std::vector<PresetSpec> presets;
+    /** Workload names; "all" / "headline" expand the catalog. */
+    std::vector<std::string> apps;
+    std::vector<unsigned> cores = {16};
+    std::vector<std::uint64_t> seeds = {1};
+    unsigned reps = 1;
+
+    /** Per-job simulated-tick budget (runDetailed limit). */
+    std::uint64_t tickLimit = 2000000000ULL;
+    /** Per-job wall-clock timeout in seconds (0 = none). */
+    double timeoutSec = 300.0;
+    /** Retries after a crash/timeout before a job is abandoned. */
+    unsigned maxRetries = 2;
+
+    /** Preset name speedups are computed against ("" = none). */
+    std::string baseline;
+    /** Extra StatRegistry counters aggregated per cell. */
+    std::vector<std::string> stats;
+
+    /**
+     * Parse the JSON text of a spec file. Returns false and sets
+     * @p err on malformed JSON or structurally invalid fields;
+     * semantic checks (names exist, cores square) live in
+     * validate().
+     */
+    static bool parse(const std::string &text, CampaignSpec &out,
+                      std::string &err);
+
+    /** parse() applied to a file's contents. */
+    static bool parseFile(const std::string &path, CampaignSpec &out,
+                          std::string &err);
+
+    /**
+     * Semantic validation: expands "all"/"headline" app shorthands
+     * against the catalog and checks every preset config, app name,
+     * core count and the baseline reference. Returns "" when valid,
+     * else a one-line error.
+     */
+    std::string validate();
+
+    /** Expand the grid in deterministic order, ids 0..N-1. */
+    std::vector<JobSpec> expand() const;
+
+    /**
+     * FNV-1a hash over the expanded job identities and the tick
+     * limit. Stored in the manifest header so --resume refuses to
+     * mix jobs from a different grid.
+     */
+    std::uint64_t gridHash() const;
+};
+
+} // namespace orch
+} // namespace misar
+
+#endif // MISAR_ORCH_CAMPAIGN_SPEC_HH

@@ -1,0 +1,403 @@
+#include "orch/engine.hh"
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "orch/exit_codes.hh"
+#include "orch/json.hh"
+#include "orch/manifest.hh"
+#include "orch/process_pool.hh"
+#include "sim/logging.hh"
+#include "system/presets.hh"
+#include "workload/app_catalog.hh"
+#include "workload/runner.hh"
+
+namespace misar {
+namespace orch {
+
+namespace {
+
+double
+nowSec()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+bool
+ensureDir(const std::string &path)
+{
+    if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST)
+        return true;
+    warn("cannot create directory %s: %s", path.c_str(),
+         std::strerror(errno));
+    return false;
+}
+
+/** Last lines of a (log) file, capped; failure context for reports. */
+std::string
+readTail(const std::string &path, std::size_t maxLines = 12,
+         std::size_t maxBytes = 2000)
+{
+    std::ifstream f(path);
+    if (!f)
+        return "";
+    std::deque<std::string> tail;
+    std::string line;
+    while (std::getline(f, line)) {
+        tail.push_back(line);
+        if (tail.size() > maxLines)
+            tail.pop_front();
+    }
+    std::string out;
+    for (const std::string &l : tail) {
+        out += l;
+        out += '\n';
+    }
+    if (out.size() > maxBytes)
+        out.erase(0, out.size() - maxBytes);
+    return out;
+}
+
+std::string
+jobLogRelPath(unsigned jobId)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "jobs/job_%06u.log", jobId);
+    return buf;
+}
+
+std::vector<std::string>
+jobArgv(const CampaignSpec &spec, const JobSpec &j,
+        const EngineOptions &opts, const std::string &reportPath)
+{
+    std::vector<std::string> argv = {
+        opts.simPath,
+        "--app", j.app,
+        "--config", j.preset.config,
+        "--cores", std::to_string(j.cores),
+        "--entries", std::to_string(j.preset.entries),
+        "--seed", std::to_string(j.seed),
+        "--tick-limit", std::to_string(spec.tickLimit),
+        "--stats-json", reportPath,
+    };
+    if (j.preset.smt != 1) {
+        argv.push_back("--smt");
+        argv.push_back(std::to_string(j.preset.smt));
+    }
+    if (!j.preset.hwsync)
+        argv.push_back("--no-hwsync");
+    if (!j.preset.omu)
+        argv.push_back("--no-omu");
+    return argv;
+}
+
+JobOutcome
+classify(const PoolOutcome &o)
+{
+    if (o.timedOut)
+        return JobOutcome::Timeout;
+    if (!o.spawned || (o.exited && o.exitCode == 127))
+        return JobOutcome::SpawnError;
+    if (!o.exited)
+        return JobOutcome::Crash;
+    switch (o.exitCode) {
+      case exitFinished:
+        return JobOutcome::Finished;
+      case exitDeadlock:
+        return JobOutcome::Deadlock;
+      case exitTickLimit:
+        return JobOutcome::TickLimit;
+      case exitFatal:
+        return JobOutcome::Error;
+      default:
+        return JobOutcome::Crash;
+    }
+}
+
+std::uint64_t
+counterOf(const Json &counters, const std::string &name)
+{
+    return counters.at(name).uintOr(0);
+}
+
+/**
+ * Fill a record from the job's JSON run report. The manifest's
+ * outcome stays authoritative (the report of a crashed job says
+ * "panic", of a timed-out job whatever its last flush said); the
+ * report supplies the simulation-side numbers.
+ */
+void
+ingestReport(JobRecord &r, const CampaignSpec &spec,
+             const std::string &reportPath)
+{
+    std::string err;
+    Json doc = parseJsonFile(reportPath, &err);
+    if (!doc.isObj()) {
+        if (r.outcome == JobOutcome::Finished)
+            warn("job %u: unreadable run report %s (%s)", r.job.id,
+                 reportPath.c_str(), err.c_str());
+        return;
+    }
+    const Json &meta = doc.at("meta");
+    r.makespan = meta.at("makespan").uintOr(0);
+    r.hwCoverage = meta.at("hwCoverage").numberOr(0.0);
+    const Json &counters = doc.at("stats").at("counters");
+    r.hwOps = counterOf(counters, "sync.hwOps");
+    r.swOps = counterOf(counters, "sync.swOps");
+    r.silentLocks = counterOf(counters, "sync.silentLocks");
+    for (const std::string &s : spec.stats)
+        r.counters[s] = counterOf(counters, s);
+    const Json &resil = doc.at("resilience");
+    r.timeouts = resil.at("timeouts").uintOr(0);
+    r.retries = resil.at("retries").uintOr(0);
+    r.abortedOps = resil.at("abortedOps").uintOr(0);
+    r.offlineSheds = resil.at("offlineSheds").uintOr(0);
+    r.crossedSnoops = resil.at("crossedSnoops").uintOr(0);
+}
+
+} // namespace
+
+std::string
+jobReportRelPath(unsigned jobId)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "jobs/job_%06u.json", jobId);
+    return buf;
+}
+
+bool
+runCampaign(const CampaignSpec &spec, const EngineOptions &opts,
+            std::vector<JobRecord> &out, CampaignRunStats &stats,
+            std::string &err)
+{
+    const std::vector<JobSpec> jobs = spec.expand();
+    const std::uint64_t hash = spec.gridHash();
+
+    if (!ensureDir(opts.outDir) || !ensureDir(opts.outDir + "/jobs")) {
+        err = "cannot create campaign directory " + opts.outDir;
+        return false;
+    }
+    const std::string manifestPath = opts.outDir + "/manifest.jsonl";
+
+    // Journaled terminal states from a previous (interrupted) run.
+    std::map<unsigned, ManifestEntry> done;
+    bool fresh = true;
+    if (opts.resume) {
+        struct stat st;
+        if (::stat(manifestPath.c_str(), &st) == 0) {
+            std::vector<ManifestEntry> entries;
+            if (!Manifest::load(manifestPath, spec.name, hash, entries,
+                                err))
+                return false;
+            for (ManifestEntry &e : entries) {
+                if (e.job >= jobs.size() ||
+                    jobs[e.job].key() != e.key) {
+                    err = "manifest entry for job " +
+                          std::to_string(e.job) +
+                          " does not match the spec's grid";
+                    return false;
+                }
+                done[e.job] = std::move(e);
+            }
+            fresh = false;
+        }
+    }
+
+    Manifest manifest;
+    if (!manifest.open(manifestPath, spec.name, jobs.size(), hash,
+                       fresh)) {
+        err = "cannot open manifest " + manifestPath;
+        return false;
+    }
+
+    unsigned workers = opts.workers
+                           ? opts.workers
+                           : std::max(1u,
+                                      std::thread::hardware_concurrency());
+    ProcessPool pool(workers);
+
+    stats = CampaignRunStats{};
+    stats.workers = workers;
+    stats.jobsTotal = static_cast<unsigned>(jobs.size());
+    stats.jobsSkipped = static_cast<unsigned>(done.size());
+
+    std::map<unsigned, unsigned> attempts;  // job id -> spawns
+    std::map<unsigned, double> jobWallSec;  // summed over attempts
+    bool stopped = false;
+    unsigned completedNow = 0;
+
+    auto makeTask = [&](const JobSpec &j) {
+        PoolTask t;
+        t.id = j.id;
+        t.argv = jobArgv(spec, j, opts,
+                         opts.outDir + "/" + jobReportRelPath(j.id));
+        t.logPath = opts.outDir + "/" + jobLogRelPath(j.id);
+        t.timeoutSec = spec.timeoutSec;
+        return t;
+    };
+
+    const double t0 = nowSec();
+    for (const JobSpec &j : jobs) {
+        if (done.count(j.id))
+            continue;
+        // A fresh attempt must not inherit artifacts of a previous
+        // (crashed or stale) attempt.
+        ::unlink((opts.outDir + "/" + jobReportRelPath(j.id)).c_str());
+        ::unlink((opts.outDir + "/" + jobLogRelPath(j.id)).c_str());
+        pool.push(makeTask(j));
+    }
+
+    auto onSpawn = [&](const PoolTask &t, pid_t pid) {
+        ++attempts[t.id];
+        ++stats.attempts;
+        if (static_cast<int>(t.id) == opts.chaosKillJob &&
+            attempts[t.id] == 1) {
+            warn("chaos: killing job %u's first attempt (pid %d)", t.id,
+                 static_cast<int>(pid));
+            ::kill(pid, SIGKILL);
+        }
+    };
+
+    auto onDone = [&](const PoolTask &t, const PoolOutcome &o) {
+        const JobSpec &j = jobs[t.id];
+        JobOutcome oc = classify(o);
+        jobWallSec[t.id] += o.wallSec;
+
+        if (jobOutcomeRetryable(oc) && attempts[t.id] <= spec.maxRetries &&
+            !stopped) {
+            if (opts.verbose)
+                inform("job %u (%s) %s; retrying (%u/%u)", t.id,
+                       j.key().c_str(), jobOutcomeName(oc),
+                       attempts[t.id], spec.maxRetries);
+            ::unlink(
+                (opts.outDir + "/" + jobReportRelPath(t.id)).c_str());
+            pool.push(makeTask(j));
+            return;
+        }
+
+        ManifestEntry e;
+        e.job = t.id;
+        e.key = j.key();
+        e.outcome = jobOutcomeName(oc);
+        e.exitCode = o.exited ? o.exitCode : -1;
+        e.termSignal = o.exited ? 0 : o.termSignal;
+        e.attempts = attempts[t.id];
+        e.wallSec = jobWallSec[t.id];
+        e.report = jobReportRelPath(t.id);
+        manifest.append(e);
+        done[t.id] = e;
+        ++completedNow;
+        ++stats.jobsRun;
+        if (opts.verbose)
+            inform("job %u/%zu %s -> %s (%.2fs)", t.id, jobs.size(),
+                   j.key().c_str(), jobOutcomeName(oc), o.wallSec);
+
+        if (opts.stopAfter >= 0 &&
+            completedNow >= static_cast<unsigned>(opts.stopAfter) &&
+            !stopped) {
+            warn("stop-after %d reached; not dispatching further jobs",
+                 opts.stopAfter);
+            stopped = true;
+            pool.cancelQueued();
+        }
+    };
+
+    pool.run(onDone, onSpawn);
+    manifest.close();
+
+    stats.wallSec = nowSec() - t0;
+    stats.busySec = pool.busySec();
+    stats.complete = done.size() == jobs.size();
+
+    // Aggregation input: every journaled job re-read from its report
+    // in id order, so report bytes depend only on the grid and the
+    // simulations — not on scheduling, retries, or resume boundaries.
+    out.clear();
+    out.reserve(jobs.size());
+    for (const JobSpec &j : jobs) {
+        JobRecord r;
+        r.job = j;
+        auto it = done.find(j.id);
+        if (it != done.end()) {
+            r.outcome = jobOutcomeFromName(it->second.outcome);
+            ingestReport(r, spec, opts.outDir + "/" + it->second.report);
+            if (r.outcome != JobOutcome::Finished)
+                r.note =
+                    readTail(opts.outDir + "/" + jobLogRelPath(j.id));
+        }
+        out.push_back(std::move(r));
+    }
+    return true;
+}
+
+std::vector<JobRecord>
+runCampaignInProcess(const CampaignSpec &spec, const InProcessHooks &hooks)
+{
+    std::vector<JobRecord> out;
+    for (const JobSpec &j : spec.expand()) {
+        SystemConfig cfg;
+        sync::SyncLib::Flavor flavor;
+        if (!sys::cliPresetFor(j.preset.config, j.cores, j.preset.entries,
+                               cfg, flavor))
+            fatal("unknown preset config '%s' (validate the spec "
+                  "before running it)",
+                  j.preset.config.c_str());
+        cfg.smtWays = j.preset.smt;
+        cfg.msa.hwSyncBitOpt = j.preset.hwsync;
+        cfg.msa.omuEnabled = j.preset.omu;
+        cfg.seed = j.seed;
+        if (hooks.tweak)
+            hooks.tweak(j, cfg);
+        cfg.validate();
+
+        workload::RunOptions ro;
+        ro.tickLimit = spec.tickLimit;
+        ro.captureCounters = &spec.stats;
+        workload::RunResult rr = workload::runAppWithConfig(
+            workload::appByName(j.app), cfg, flavor, j.seed,
+            j.preset.name, ro);
+
+        JobRecord r;
+        r.job = j;
+        switch (rr.outcome) {
+          case sys::RunOutcome::Finished:
+            r.outcome = JobOutcome::Finished;
+            break;
+          case sys::RunOutcome::Deadlock:
+            r.outcome = JobOutcome::Deadlock;
+            break;
+          case sys::RunOutcome::LimitReached:
+            r.outcome = JobOutcome::TickLimit;
+            break;
+        }
+        r.makespan = rr.makespan;
+        r.hwCoverage = rr.hwCoverage;
+        r.hwOps = rr.hwOps;
+        r.swOps = rr.swOps;
+        r.silentLocks = rr.silentLocks;
+        r.timeouts = rr.timeouts;
+        r.retries = rr.retries;
+        r.abortedOps = rr.abortedOps;
+        r.offlineSheds = rr.offlineSheds;
+        r.crossedSnoops = rr.crossedSnoops;
+        r.counters = rr.captured;
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+} // namespace orch
+} // namespace misar

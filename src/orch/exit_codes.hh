@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Process exit codes shared between misar_sim and the campaign
+ * engine. The simulator encodes its run outcome in the exit status
+ * so an orchestrator can classify jobs without parsing output:
+ *
+ *   0   finished             every thread completed
+ *   1   fatal()              user/configuration error (never retried)
+ *   40  deadlock             event queue drained with blocked threads
+ *   41  tick-limit           tick budget exhausted (livelock/runaway)
+ *   SIGABRT                  panic() — an internal invariant tripped
+ *
+ * Anything else (signals, exec failure) is classified as a crash by
+ * the engine and is eligible for retry.
+ */
+
+#ifndef MISAR_ORCH_EXIT_CODES_HH
+#define MISAR_ORCH_EXIT_CODES_HH
+
+namespace misar {
+namespace orch {
+
+constexpr int exitFinished = 0;
+/** fatal(): bad flags/config; deterministic, the engine never retries. */
+constexpr int exitFatal = 1;
+constexpr int exitDeadlock = 40;
+constexpr int exitTickLimit = 41;
+
+/** misar_campaign: campaign ran but some jobs failed permanently. */
+constexpr int exitCampaignJobsFailed = 2;
+/** misar_campaign: stopped before every job completed (resumable). */
+constexpr int exitCampaignIncomplete = 75;
+
+} // namespace orch
+} // namespace misar
+
+#endif // MISAR_ORCH_EXIT_CODES_HH

@@ -1,0 +1,43 @@
+#include "orch/job.hh"
+
+namespace misar {
+namespace orch {
+
+const char *
+jobOutcomeName(JobOutcome o)
+{
+    switch (o) {
+      case JobOutcome::Finished:
+        return "finished";
+      case JobOutcome::Deadlock:
+        return "deadlock";
+      case JobOutcome::TickLimit:
+        return "tick-limit";
+      case JobOutcome::Error:
+        return "error";
+      case JobOutcome::Crash:
+        return "crash";
+      case JobOutcome::Timeout:
+        return "timeout";
+      case JobOutcome::SpawnError:
+        return "spawn-error";
+      case JobOutcome::Missing:
+        return "missing";
+    }
+    return "?";
+}
+
+JobOutcome
+jobOutcomeFromName(const std::string &name)
+{
+    for (JobOutcome o :
+         {JobOutcome::Finished, JobOutcome::Deadlock, JobOutcome::TickLimit,
+          JobOutcome::Error, JobOutcome::Crash, JobOutcome::Timeout,
+          JobOutcome::SpawnError})
+        if (name == jobOutcomeName(o))
+            return o;
+    return JobOutcome::Missing;
+}
+
+} // namespace orch
+} // namespace misar

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Terminal job states and the per-job data record the aggregator
+ * consumes. A JobRecord is produced either by parsing a subprocess
+ * job's JSON run report (misar_campaign) or directly from a
+ * RunResult (in-process engine used by tests and the fig6/resil
+ * benches) — both paths yield identical values for identical seeds,
+ * which is what makes parallel campaigns bit-reproducible against
+ * the serial harnesses.
+ */
+
+#ifndef MISAR_ORCH_JOB_HH
+#define MISAR_ORCH_JOB_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "orch/campaign_spec.hh"
+#include "sim/types.hh"
+
+namespace misar {
+namespace orch {
+
+/** How a job ended (superset of sys::RunOutcome: adds host failures). */
+enum class JobOutcome
+{
+    Finished,   ///< simulator exit 0
+    Deadlock,   ///< simulator reported a sync deadlock (exit 40)
+    TickLimit,  ///< simulated-tick budget exhausted (exit 41)
+    Error,      ///< fatal(): bad config/flags (exit 1, never retried)
+    Crash,      ///< killed by a signal / abnormal exit (retried)
+    Timeout,    ///< wall-clock deadline hit, SIGKILLed (retried)
+    SpawnError, ///< binary missing / exec failed (exit 127)
+    Missing,    ///< never ran (campaign stopped before this job)
+};
+
+const char *jobOutcomeName(JobOutcome o);
+
+/** Parse a jobOutcomeName() string; Missing for anything unknown. */
+JobOutcome jobOutcomeFromName(const std::string &name);
+
+/** True for outcomes another attempt could plausibly change. */
+inline bool
+jobOutcomeRetryable(JobOutcome o)
+{
+    return o == JobOutcome::Crash || o == JobOutcome::Timeout;
+}
+
+/** One job's aggregation-ready results. */
+struct JobRecord
+{
+    JobSpec job;
+    JobOutcome outcome = JobOutcome::Missing;
+
+    Tick makespan = 0;
+    double hwCoverage = 0.0;
+    std::uint64_t hwOps = 0;
+    std::uint64_t swOps = 0;
+    std::uint64_t silentLocks = 0;
+
+    /** @name Resilience summary (run report "resilience" block). @{ */
+    std::uint64_t timeouts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t abortedOps = 0;
+    std::uint64_t offlineSheds = 0;
+    std::uint64_t crossedSnoops = 0;
+    /** @} */
+
+    /** Spec-selected StatRegistry counters. */
+    std::map<std::string, std::uint64_t> counters;
+
+    /** Failure context (log tail) for non-Finished outcomes. */
+    std::string note;
+};
+
+} // namespace orch
+} // namespace misar
+
+#endif // MISAR_ORCH_JOB_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Append-only campaign journal (JSONL).
+ *
+ * The first line is a header binding the file to one campaign grid
+ * (name, job count, grid hash); every later line records one job
+ * that reached a terminal state. Lines are appended and fsync'd
+ * one at a time, so a campaign killed at any instant leaves a valid
+ * prefix: --resume replays the journal, skips the jobs it lists,
+ * and runs only the remainder. A torn final line (kill mid-write)
+ * is tolerated and ignored.
+ */
+
+#ifndef MISAR_ORCH_MANIFEST_HH
+#define MISAR_ORCH_MANIFEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace misar {
+namespace orch {
+
+/** One journaled terminal job state. */
+struct ManifestEntry
+{
+    unsigned job = 0;    ///< JobSpec::id
+    std::string key;     ///< JobSpec::key(), cross-checked on resume
+    std::string outcome; ///< jobOutcomeName() string
+    int exitCode = -1;   ///< simulator exit code (-1: signaled)
+    int termSignal = 0;  ///< terminating signal (0: exited)
+    unsigned attempts = 1;
+    double wallSec = 0.0; ///< summed over attempts
+    std::string report;   ///< run-report path relative to out-dir
+};
+
+class Manifest
+{
+  public:
+    static constexpr int version = 1;
+
+    /**
+     * Open for appending. When @p fresh, the file is truncated and
+     * a new header written; otherwise the file must already carry a
+     * matching header (call load() first). Returns false on I/O
+     * error.
+     */
+    bool open(const std::string &path, const std::string &campaign,
+              std::size_t jobs, std::uint64_t gridHash, bool fresh);
+
+    /** Append one terminal entry and fsync the journal. */
+    bool append(const ManifestEntry &e);
+
+    void close();
+    ~Manifest() { close(); }
+
+    /**
+     * Read a journal. Header mismatches (wrong campaign/grid hash)
+     * fail with @p err; a torn or corrupt trailing line is skipped
+     * with a warning. @p out is the list of journaled jobs in file
+     * order. Returns false when the file exists but cannot serve as
+     * a resume base; a missing file is reported via @p err too.
+     */
+    static bool load(const std::string &path, const std::string &campaign,
+                     std::uint64_t gridHash,
+                     std::vector<ManifestEntry> &out, std::string &err);
+
+  private:
+    int fd = -1;
+};
+
+} // namespace orch
+} // namespace misar
+
+#endif // MISAR_ORCH_MANIFEST_HH

@@ -6,13 +6,46 @@
 namespace misar {
 
 namespace {
+
 bool verboseEnabled = true;
+std::function<void(const char *)> terminationHook;
+
+/**
+ * Move the hook out before invoking it so a hook that panics or
+ * fatals cannot recurse into itself. Termination must proceed no
+ * matter what the hook does, so swallow anything it throws.
+ */
+void
+runTerminationHook(const char *kind)
+{
+    if (!terminationHook)
+        return;
+    auto hook = std::move(terminationHook);
+    terminationHook = nullptr;
+    try {
+        hook(kind);
+    } catch (...) {
+    }
+}
+
 } // namespace
 
 void
 setVerbose(bool verbose)
 {
     verboseEnabled = verbose;
+}
+
+void
+setTerminationHook(std::function<void(const char *)> hook)
+{
+    terminationHook = std::move(hook);
+}
+
+void
+clearTerminationHook()
+{
+    terminationHook = nullptr;
 }
 
 void
@@ -24,6 +57,7 @@ panic(const char *fmt, ...)
     std::vfprintf(stderr, fmt, ap);
     va_end(ap);
     std::fputc('\n', stderr);
+    runTerminationHook("panic");
     std::abort();
 }
 
@@ -36,6 +70,7 @@ fatal(const char *fmt, ...)
     std::vfprintf(stderr, fmt, ap);
     va_end(ap);
     std::fputc('\n', stderr);
+    runTerminationHook("fatal");
     std::exit(1);
 }
 

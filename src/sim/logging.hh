@@ -11,6 +11,7 @@
 #define MISAR_SIM_LOGGING_HH
 
 #include <cstdarg>
+#include <functional>
 #include <string>
 
 namespace misar {
@@ -31,6 +32,19 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Enable/disable inform() output (benches silence it). */
 void setVerbose(bool verbose);
+
+/**
+ * Last-gasp hook run once, after the message is printed but before
+ * panic()/fatal() terminate the process; @p kind is "panic" or
+ * "fatal". Used to flush the JSON run report so a crashed job still
+ * leaves an ingestible artifact for the campaign aggregator. The
+ * hook is cleared before it runs (a hook that itself panics cannot
+ * recurse) and must not assume it can prevent termination.
+ */
+void setTerminationHook(std::function<void(const char *kind)> hook);
+
+/** Remove the termination hook (normal-completion path). */
+void clearTerminationHook();
 
 } // namespace misar
 

@@ -64,6 +64,52 @@ flavorFor(PaperConfig pc)
     }
 }
 
+const std::vector<std::string> &
+cliPresetNames()
+{
+    static const std::vector<std::string> names = {
+        "baseline", "msa0",    "mcs-tour", "spinlock",
+        "msa-omu",  "msa-inf", "ideal",    "msa-omu-faults",
+    };
+    return names;
+}
+
+bool
+cliPresetFor(const std::string &name, unsigned cores, unsigned entries,
+             SystemConfig &cfg, sync::SyncLib::Flavor &flavor)
+{
+    AccelMode mode;
+    sync::SyncLib::Flavor fl = sync::SyncLib::Flavor::Hw;
+    if (name == "msa-omu-faults") {
+        cfg = configFor(PaperConfig::MsaOmu2Faults, cores);
+        cfg.msa.msaEntries = entries;
+        flavor = sync::SyncLib::Flavor::Hw;
+        return true;
+    } else if (name == "baseline") {
+        mode = AccelMode::None;
+        fl = sync::SyncLib::Flavor::PthreadSw;
+    } else if (name == "msa0") {
+        mode = AccelMode::None;
+    } else if (name == "mcs-tour") {
+        mode = AccelMode::None;
+        fl = sync::SyncLib::Flavor::McsTourSw;
+    } else if (name == "spinlock") {
+        mode = AccelMode::None;
+        fl = sync::SyncLib::Flavor::SpinSw;
+    } else if (name == "msa-omu") {
+        mode = AccelMode::MsaOmu;
+    } else if (name == "msa-inf") {
+        mode = AccelMode::MsaInfinite;
+    } else if (name == "ideal") {
+        mode = AccelMode::Ideal;
+    } else {
+        return false;
+    }
+    cfg = makeConfig(cores, mode, entries);
+    flavor = fl;
+    return true;
+}
+
 const char *
 paperConfigName(PaperConfig pc)
 {

@@ -7,6 +7,9 @@
 #ifndef MISAR_SYSTEM_PRESETS_HH
 #define MISAR_SYSTEM_PRESETS_HH
 
+#include <string>
+#include <vector>
+
 #include "sim/config.hh"
 #include "sync/sync_lib.hh"
 
@@ -45,6 +48,26 @@ sync::SyncLib::Flavor flavorFor(PaperConfig pc);
 
 /** Display name matching the paper's figures. */
 const char *paperConfigName(PaperConfig pc);
+
+/**
+ * CLI preset names accepted by misar_sim --config and by campaign
+ * specs: baseline, msa0, mcs-tour, spinlock, msa-omu, msa-inf,
+ * ideal, msa-omu-faults. One name per line from
+ * `misar_sim --list-presets`.
+ */
+const std::vector<std::string> &cliPresetNames();
+
+/**
+ * Resolve CLI preset @p name into a system configuration and sync
+ * library flavor. @p entries sets msa.msaEntries (meaningful for the
+ * MSA presets; ignored where the preset fixes it). Returns false on
+ * an unknown name, leaving the outputs untouched. The returned
+ * config is not yet validate()d — callers apply their own overrides
+ * (seed, SMT, hwsync/omu toggles) first.
+ */
+bool cliPresetFor(const std::string &name, unsigned cores,
+                  unsigned entries, SystemConfig &cfg,
+                  sync::SyncLib::Flavor &flavor);
 
 } // namespace sys
 } // namespace misar

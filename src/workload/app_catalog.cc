@@ -289,12 +289,20 @@ appCatalog()
     return catalog;
 }
 
-const AppSpec &
-appByName(const std::string &name)
+const AppSpec *
+findApp(const std::string &name)
 {
     for (const AppSpec &s : appCatalog())
         if (s.name == name)
-            return s;
+            return &s;
+    return nullptr;
+}
+
+const AppSpec &
+appByName(const std::string &name)
+{
+    if (const AppSpec *s = findApp(name))
+        return *s;
     fatal("unknown application '%s'", name.c_str());
 }
 

@@ -20,6 +20,9 @@ const std::vector<AppSpec> &appCatalog();
 /** Lookup by name; fatal() if unknown. */
 const AppSpec &appByName(const std::string &name);
 
+/** Lookup by name; nullptr if unknown (spec validation). */
+const AppSpec *findApp(const std::string &name);
+
 /** The applications individually plotted in Figure 6 (>=4% ideal
  *  benefit): radiosity, raytrace, water-sp, ocean, ocean-nc,
  *  cholesky, fluidanimate, streamcluster. */

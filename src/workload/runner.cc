@@ -1,6 +1,7 @@
 #include "workload/runner.hh"
 
 #include <fstream>
+#include <memory>
 
 #include "obs/run_report.hh"
 #include "sim/logging.hh"
@@ -11,6 +12,27 @@ namespace misar {
 namespace workload {
 
 namespace {
+
+/** Pre-run metadata for the report (normal and crash paths). */
+obs::RunMeta
+buildMeta(const AppSpec &spec, const SystemConfig &cfg,
+          const std::string &preset, sync::SyncLib::Flavor flavor,
+          std::uint64_t seed)
+{
+    obs::RunMeta meta;
+    meta.app = spec.name;
+    meta.preset = preset;
+    meta.accel = cfg.accelName();
+    meta.flavor = sync::SyncLib::flavorName(flavor);
+    meta.cores = cfg.numCores;
+    meta.smtWays = cfg.smtWays;
+    meta.msaEntries = cfg.msa.msaEntries;
+    meta.omuCounters = cfg.msa.omuCounters;
+    meta.omuEnabled = cfg.msa.omuEnabled;
+    meta.hwSyncBitOpt = cfg.msa.hwSyncBitOpt;
+    meta.seed = seed;
+    return meta;
+}
 
 /** Sum of the per-slice offline-shed abort counters. */
 std::uint64_t
@@ -49,28 +71,17 @@ writeObsOutputs(sys::System &s, const AppSpec &spec,
         }
     }
     if (!o.statsJsonPath.empty()) {
-        std::ofstream f(o.statsJsonPath);
-        if (!f) {
-            warn("cannot open stats file %s", o.statsJsonPath.c_str());
-            return;
-        }
-        obs::RunMeta meta;
-        meta.app = spec.name;
-        meta.preset = preset;
-        meta.accel = s.config().accelName();
-        meta.flavor = sync::SyncLib::flavorName(flavor);
-        meta.cores = s.config().numCores;
-        meta.smtWays = s.config().smtWays;
-        meta.msaEntries = s.config().msa.msaEntries;
-        meta.omuCounters = s.config().msa.omuCounters;
-        meta.omuEnabled = s.config().msa.omuEnabled;
-        meta.hwSyncBitOpt = s.config().msa.hwSyncBitOpt;
-        meta.seed = seed;
+        obs::RunMeta meta = buildMeta(spec, s.config(), preset, flavor,
+                                      seed);
         meta.outcome = sys::runOutcomeName(r.outcome);
         meta.makespan = r.makespan;
         meta.hwCoverage = r.hwCoverage;
-        obs::writeRunReport(f, meta, s.stats(), s.syncProfiler(),
-                            o.profileTopN, s.sampler(), &s.eventQueue());
+        // Durable (fsync'd) so a panic in a later run of the same
+        // process — or the orchestrator killing us right after the
+        // run — cannot lose the completed job's report.
+        obs::writeRunReportDurable(o.statsJsonPath, meta, s.stats(),
+                                   s.syncProfiler(), o.profileTopN,
+                                   s.sampler(), &s.eventQueue());
     }
 }
 
@@ -79,7 +90,7 @@ writeObsOutputs(sys::System &s, const AppSpec &spec,
 RunResult
 runAppWithConfig(const AppSpec &spec, const SystemConfig &cfg,
                  sync::SyncLib::Flavor flavor, std::uint64_t seed,
-                 const std::string &preset)
+                 const std::string &preset, const RunOptions &opts)
 {
     sys::System s(cfg);
     sync::SyncLib lib(flavor, cfg.numCores);
@@ -89,8 +100,18 @@ runAppWithConfig(const AppSpec &spec, const SystemConfig &cfg,
         s.start(c, appThread(s.api(c), spec, layout, &lib, cfg.numCores,
                              seed));
 
+    // If the run dies in panic()/fatal() mid-flight, still flush a
+    // report whose outcome says so (campaign jobs must always leave
+    // an ingestible artifact).
+    std::unique_ptr<obs::CrashReportGuard> guard;
+    if (!cfg.obs.statsJsonPath.empty())
+        guard = std::make_unique<obs::CrashReportGuard>(
+            cfg.obs.statsJsonPath, s,
+            buildMeta(spec, cfg, preset, flavor, seed),
+            cfg.obs.profileTopN);
+
     RunResult r;
-    r.outcome = s.runDetailed(2000000000ULL);
+    r.outcome = s.runDetailed(opts.tickLimit);
     r.finished = r.outcome == sys::RunOutcome::Finished;
     if (r.outcome == sys::RunOutcome::Deadlock)
         warn("app %s DEADLOCKED on %s (see stall report above)",
@@ -108,9 +129,23 @@ runAppWithConfig(const AppSpec &spec, const SystemConfig &cfg,
     r.abortedOps = s.stats().counterValue("sync.abortedOps");
     r.offlineSheds = offlineShedCount(s.stats());
     r.crossedSnoops = s.stats().sumCountersSuffix(".l1.crossedSnoops");
+    if (opts.captureCounters)
+        for (const std::string &name : *opts.captureCounters)
+            r.captured[name] = s.stats().counterValue(name);
 
     writeObsOutputs(s, spec, preset, flavor, seed, r);
+    if (guard)
+        guard->disarm();
     return r;
+}
+
+RunResult
+runAppWithConfig(const AppSpec &spec, const SystemConfig &cfg,
+                 sync::SyncLib::Flavor flavor, std::uint64_t seed,
+                 const std::string &preset)
+{
+    return runAppWithConfig(spec, cfg, flavor, seed, preset,
+                            RunOptions{});
 }
 
 RunResult

@@ -7,7 +7,9 @@
 #ifndef MISAR_WORKLOAD_RUNNER_HH
 #define MISAR_WORKLOAD_RUNNER_HH
 
+#include <map>
 #include <string>
+#include <vector>
 
 #include "system/presets.hh"
 #include "system/system.hh"
@@ -37,6 +39,18 @@ struct RunResult
     /** L1 snoops that crossed a silently-held lock block. */
     std::uint64_t crossedSnoops = 0;
     /** @} */
+
+    /** Counters requested via RunOptions::captureCounters. */
+    std::map<std::string, std::uint64_t> captured;
+};
+
+/** Per-run execution knobs (campaign engine / ablation harnesses). */
+struct RunOptions
+{
+    /** Simulated-tick budget handed to System::runDetailed. */
+    Tick tickLimit = 2000000000ULL;
+    /** StatRegistry counters copied into RunResult::captured. */
+    const std::vector<std::string> *captureCounters = nullptr;
 };
 
 /** Run @p spec on @p cores cores under configuration @p pc. */
@@ -53,6 +67,12 @@ RunResult runAppWithConfig(const AppSpec &spec, const SystemConfig &cfg,
                            sync::SyncLib::Flavor flavor,
                            std::uint64_t seed = 1,
                            const std::string &preset = "");
+
+/** Same, with explicit execution options. */
+RunResult runAppWithConfig(const AppSpec &spec, const SystemConfig &cfg,
+                           sync::SyncLib::Flavor flavor,
+                           std::uint64_t seed, const std::string &preset,
+                           const RunOptions &opts);
 
 } // namespace workload
 } // namespace misar
