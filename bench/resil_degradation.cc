@@ -21,6 +21,15 @@
  * sheds, crossed snoops) are tabulated per app, and with
  * MISAR_RESIL_REPORT=DIR set in the environment each faulted run
  * writes its machine-readable JSON run report into DIR.
+ *
+ * A second section measures mesh degradation: each headline app runs
+ * on a healthy mesh, with the NI reliable-delivery layer armed but
+ * no faults (its fault-free cost), with one link killed mid-run
+ * (rerouted, must still finish), and with one router killed mid-run.
+ * The router row is reported honestly: killing a router strands its
+ * tile's threads and home-directory data, so those runs end in a
+ * partition outcome rather than "finished" — the gate is that the
+ * outcome is detected and attributed, not hidden.
  */
 
 #include <cstdio>
@@ -34,10 +43,115 @@
 #include "orch/engine.hh"
 #include "sim/logging.hh"
 #include "workload/app_catalog.hh"
+#include "workload/runner.hh"
 
 using namespace misar;
 using namespace misar::workload;
 using namespace misar::orch;
+
+namespace {
+
+/** Degraded-mesh variants of the clean MSA/OMU-2 configuration. */
+enum class MeshVariant
+{
+    Clean,     ///< healthy mesh, reliable delivery off
+    Reliable,  ///< healthy mesh, NI end-to-end layer armed
+    OneLink,   ///< link 0-1 killed mid-run (reroute + retransmit)
+    OneRouter, ///< router 5 killed mid-run (tile stranded)
+};
+
+SystemConfig
+meshVariantConfig(MeshVariant v, unsigned cores)
+{
+    SystemConfig cfg = makeConfig(cores, AccelMode::MsaOmu, 2);
+    if (v != MeshVariant::Clean)
+        cfg.noc.reliable = true;
+    if (v == MeshVariant::OneLink)
+        cfg.resil.linkKills.push_back({0, 1, 30000});
+    if (v == MeshVariant::OneRouter)
+        cfg.resil.routerKills.push_back({5, 30000});
+    cfg.validate();
+    return cfg;
+}
+
+/**
+ * Degraded-mesh section. Returns false when a gating row misbehaves:
+ * clean/reliable/1-link must finish, the reliable layer's fault-free
+ * makespan overhead must stay within 2% in geomean (individual apps
+ * are chaotic — a shifted ack can swing a lock race either way — so
+ * per-app the bound is 5%), and the 1-router run must be
+ * *classified* (finished or a detected partition, never a silent
+ * tick-limit runaway with no shed).
+ */
+bool
+degradedMeshSection(unsigned cores)
+{
+    std::printf("\nDegraded-mesh rows (MSA/OMU-2, %u cores; makespans "
+                "in cycles):\n", cores);
+    std::printf("%-14s %9s %9s %7s %9s %8s %9s %8s\n", "App", "Clean",
+                "Reliable", "RelOvh", "1-Link", "Retx", "Detours",
+                "1-Router");
+    bool ok = true;
+    std::vector<double> ovh_ratios;
+    for (const std::string &app : headlineApps()) {
+        const AppSpec &spec = appByName(app);
+        RunOptions opts;
+        opts.tickLimit = 100000000ULL;
+
+        RunResult rr[3];
+        const MeshVariant vs[3] = {MeshVariant::Clean,
+                                   MeshVariant::Reliable,
+                                   MeshVariant::OneLink};
+        for (int i = 0; i < 3; ++i) {
+            rr[i] = runAppWithConfig(spec, meshVariantConfig(vs[i], cores),
+                                     sync::SyncLib::Flavor::Hw, 1, app,
+                                     opts);
+            if (!rr[i].finished)
+                ok = false;
+        }
+        const double ratio =
+            rr[0].makespan ? static_cast<double>(rr[1].makespan) /
+                                 static_cast<double>(rr[0].makespan)
+                           : 1.0;
+        const double ovh = 100.0 * (ratio - 1.0);
+        ovh_ratios.push_back(ratio);
+        if (ovh > 5.0)
+            ok = false; // per-app outlier: a real regression
+
+        // The stranded-tile row: honest outcome, never a fatal.
+        RunResult rt = runAppWithConfig(
+            spec, meshVariantConfig(MeshVariant::OneRouter, cores),
+            sync::SyncLib::Flavor::Hw, 1, app, opts);
+        const char *router_outcome =
+            rt.finished ? "finished"
+                        : (rt.partitionSheds ? "partition" : "UNSHED");
+        if (!rt.finished && !rt.partitionSheds)
+            ok = false;
+
+        std::printf("%-14s %9llu %9llu %6.2f%% %9llu %8llu %9llu %8s\n",
+                    app.c_str(),
+                    static_cast<unsigned long long>(rr[0].makespan),
+                    static_cast<unsigned long long>(rr[1].makespan), ovh,
+                    static_cast<unsigned long long>(rr[2].makespan),
+                    static_cast<unsigned long long>(rr[2].nocRetransmits),
+                    static_cast<unsigned long long>(rr[2].detourHops),
+                    router_outcome);
+    }
+    const double geo_ovh = 100.0 * (bench::geoMean(ovh_ratios) - 1.0);
+    std::printf("%-14s %9s %9s %6.2f%%\n", "GeoMean", "-", "-", geo_ovh);
+    if (geo_ovh > 2.0)
+        ok = false; // aggregate fault-free cost of the e2e layer
+    std::printf("(Reliable = healthy mesh with the NI end-to-end layer "
+                "on; RelOvh is its\nfault-free makespan cost — gated at "
+                "2%% in geomean, 5%% per app. 1-Link\nkills link 0-1 at "
+                "tick 30000 and must still finish. 1-Router kills "
+                "router 5:\nits tile is stranded, so \"partition\" — "
+                "detected, slice shed, attributed —\nis the expected "
+                "outcome.)\n");
+    return ok;
+}
+
+} // namespace
 
 int
 main()
@@ -188,5 +302,13 @@ main()
                     ? "RESULT: faulted speedup >= MSA-0 on every row.\n"
                     : "RESULT: REGRESSION - a faulted row fell below "
                       "MSA-0.\n");
-    return all_retained ? 0 : 1;
+
+    const bool mesh_ok = degradedMeshSection(16);
+    std::printf(mesh_ok
+                    ? "RESULT: degraded-mesh rows within bounds "
+                      "(reliable overhead <= 2%%, 1-link finishes, "
+                      "1-router classified).\n"
+                    : "RESULT: REGRESSION - a degraded-mesh row "
+                      "misbehaved.\n");
+    return all_retained && mesh_ok ? 0 : 1;
 }

@@ -11,7 +11,9 @@
  *
  * Configs: baseline | msa0 | mcs-tour | spinlock | msa-omu | msa-inf |
  *          ideal | msa-omu-faults (the resilience campaign preset:
- *          message drops/dups/delays plus tile 0 decommissioned)
+ *          message drops/dups/delays plus tile 0 decommissioned) |
+ *          msa-omu2-nocfaults (NoC fault campaign: flit corruption,
+ *          one link killed mid-run, reliable delivery + rerouting)
  *
  * Exit codes (consumed by the campaign engine, see
  * orch/exit_codes.hh): 0 finished, 40 deadlock, 41 tick-limit,
@@ -49,7 +51,8 @@ usage()
         "options:\n"
         "  --cores N       core count, perfect square (default 16)\n"
         "  --config C      baseline|msa0|mcs-tour|spinlock|msa-omu|\n"
-        "                  msa-inf|ideal|msa-omu-faults (default msa-omu)\n"
+        "                  msa-inf|ideal|msa-omu-faults|\n"
+        "                  msa-omu2-nocfaults (default msa-omu)\n"
         "  --entries N     MSA entries per tile (default 2)\n"
         "  --smt N         hardware threads per core (default 1)\n"
         "  --no-hwsync     disable the HWSync-bit optimization\n"
@@ -57,6 +60,14 @@ usage()
         "  --seed N        workload seed (default 1)\n"
         "  --tick-limit N  simulated-tick budget (default 5e9)\n"
         "  --stats         dump the full statistics registry\n"
+        "  --kill-link SRC:DST@TICK\n"
+        "                  kill the mesh link between adjacent routers\n"
+        "                  SRC and DST at TICK (repeatable; implies\n"
+        "                  NI end-to-end reliable delivery)\n"
+        "  --kill-router R@TICK\n"
+        "                  kill router R (its whole tile drops off the\n"
+        "                  mesh) at TICK (repeatable; implies reliable\n"
+        "                  delivery)\n"
         "exit codes: 0 finished, 40 deadlock, 41 tick-limit, 1 error\n"
         "observability:\n"
         "  --trace-out FILE   write a multi-component Chrome trace\n"
@@ -87,6 +98,8 @@ main(int argc, char **argv)
     std::uint64_t seed = 1, sample_interval = 0;
     std::uint64_t tick_limit = 5000000000ULL;
     std::string trace_path, stats_json_path, sample_csv_path;
+    std::vector<LinkKill> link_kills;
+    std::vector<RouterKill> router_kills;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -121,6 +134,20 @@ main(int argc, char **argv)
             seed = static_cast<std::uint64_t>(std::atoll(next()));
         } else if (a == "--tick-limit") {
             tick_limit = static_cast<std::uint64_t>(std::atoll(next()));
+        } else if (a == "--kill-link") {
+            const char *v = next();
+            unsigned src, dst;
+            unsigned long long at;
+            if (std::sscanf(v, "%u:%u@%llu", &src, &dst, &at) != 3)
+                fatal("--kill-link expects SRC:DST@TICK, got '%s'", v);
+            link_kills.push_back({src, dst, static_cast<Tick>(at)});
+        } else if (a == "--kill-router") {
+            const char *v = next();
+            unsigned r;
+            unsigned long long at;
+            if (std::sscanf(v, "%u@%llu", &r, &at) != 2)
+                fatal("--kill-router expects R@TICK, got '%s'", v);
+            router_kills.push_back({r, static_cast<Tick>(at)});
         } else if (a == "--stats") {
             dump_stats = true;
         } else if (a == "--trace" || a == "--trace-out") {
@@ -161,6 +188,16 @@ main(int argc, char **argv)
     if (config == "msa-omu-faults" && !omu)
         fatal("--no-omu is incompatible with msa-omu-faults (the "
               "offline slice sheds waiters to software)");
+    if (!link_kills.empty() || !router_kills.empty()) {
+        // CLI kills stack on top of whatever the preset armed.
+        // Losing unprotected coherence or memory traffic wedges the
+        // chip, so the kills imply end-to-end reliable delivery.
+        for (const LinkKill &lk : link_kills)
+            cfg.resil.linkKills.push_back(lk);
+        for (const RouterKill &rk : router_kills)
+            cfg.resil.routerKills.push_back(rk);
+        cfg.noc.reliable = true;
+    }
 
     // Observability is configured before the system is built so the
     // constructor can wire tracer/profiler/sampler into every layer.
@@ -276,6 +313,20 @@ main(int argc, char **argv)
                         s.stats().counter("resil.retries").value()),
                     static_cast<unsigned long long>(
                         s.stats().counter("resil.abandonedOps").value()));
+    if (cfg.resil.nocFaultsEnabled())
+        std::printf("noc resilience : %llu retransmits / %llu dedups / "
+                    "%llu detour hops / %llu dead links / "
+                    "%llu dead routers\n",
+                    static_cast<unsigned long long>(
+                        s.stats().counter("noc.rel.retransmits").value()),
+                    static_cast<unsigned long long>(
+                        s.stats().counter("noc.rel.dedups").value()),
+                    static_cast<unsigned long long>(
+                        s.stats().counter("noc.detourHops").value()),
+                    static_cast<unsigned long long>(
+                        s.stats().counter("noc.deadLinks").value()),
+                    static_cast<unsigned long long>(
+                        s.stats().counter("noc.deadRouters").value()));
     std::printf("noc packets    : %llu (avg latency %.1f cycles)\n",
                 static_cast<unsigned long long>(
                     s.stats().counter("noc.packetsSent").value()),

@@ -9,7 +9,8 @@ namespace msa {
 
 MsaClientHub::MsaClientHub(EventQueue &eq, const SystemConfig &cfg,
                            mem::MemSystem &ms, StatRegistry &stats)
-    : eq(eq), cfg(cfg), ms(ms), stats(stats), cores(cfg.numThreads())
+    : eq(eq), cfg(cfg), ms(ms), stats(stats), cores(cfg.numThreads()),
+      homeUnreachable(cfg.numCores, false)
 {
     // Let every L1 ask "is this block a silently-held lock?" so it
     // can pin the line and defer snoops while the lock is held. The
@@ -30,6 +31,15 @@ CoreId
 MsaClientHub::homeOf(Addr a) const
 {
     return mem::homeTile(blockAlign(a), cfg.numCores);
+}
+
+void
+MsaClientHub::markHomeUnreachable(CoreId home)
+{
+    if (home >= homeUnreachable.size() || homeUnreachable[home])
+        return;
+    homeUnreachable[home] = true;
+    anyUnreachable = true;
 }
 
 void
@@ -220,6 +230,16 @@ MsaClientHub::execute(CoreId core, const cpu::Op &op, Cb cb)
             tracer->instant(coreTrack[core], eq.now(), "UNLOCK_SILENT",
                             op.addr);
         cb(cpu::SyncResult::Success);
+        return;
+    }
+
+    if (anyUnreachable && homeUnreachable[homeOf(op.addr)]) {
+        // The home tile is partitioned off: the request could only
+        // time out and abandon. Fail fast so Algorithms 1-3 route
+        // the op straight to software.
+        stats.counter("resil.unreachableFastFails").inc();
+        countOp(op, false);
+        cb(cpu::SyncResult::Fail);
         return;
     }
 

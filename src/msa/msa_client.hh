@@ -80,6 +80,15 @@ class MsaClientHub : public cpu::SyncUnit
     bool holdsHw(CoreId core, Addr a) const;
 
     /**
+     * Mark @p home's tile as permanently unreachable (mesh
+     * partition): new ops homed there fast-fail to the software path
+     * instead of burning the whole timeout/retry ladder. The home's
+     * slice has been taken offline by the same partition event, so
+     * routing its ops to software is exactly the offline contract.
+     */
+    void markHomeUnreachable(CoreId home);
+
+    /**
      * Ops whose retries are bounded: their FAIL contract is safe to
      * apply locally after giving up (the home reconciles accounting
      * via FailNotice). Blocking acquires retry indefinitely — see
@@ -167,6 +176,10 @@ class MsaClientHub : public cpu::SyncUnit
     mem::MemSystem &ms;
     StatRegistry &stats;
     std::vector<PerCore> cores;
+
+    /** Homes cut off by a mesh partition (fast-fail new ops). */
+    std::vector<bool> homeUnreachable;
+    bool anyUnreachable = false;
 
     obs::Tracer *tracer = nullptr;
     obs::SyncProfiler *profiler = nullptr;

@@ -1,6 +1,7 @@
 #include "noc/mesh.hh"
 
 #include <cstdlib>
+#include <ostream>
 
 #include "sim/logging.hh"
 
@@ -9,7 +10,7 @@ namespace noc {
 
 Mesh::Mesh(EventQueue &eq, const NocConfig &cfg, unsigned dim,
            StatRegistry &stats)
-    : _dim(dim)
+    : eq(eq), stats(stats), _dim(dim)
 {
     routers.reserve(dim * dim);
     nis.reserve(dim * dim);
@@ -68,6 +69,143 @@ Mesh::hopDistance(CoreId a, CoreId b) const
     int ax = static_cast<int>(a % _dim), ay = static_cast<int>(a / _dim);
     int bx = static_cast<int>(b % _dim), by = static_cast<int>(b / _dim);
     return static_cast<unsigned>(std::abs(ax - bx) + std::abs(ay - by));
+}
+
+void
+Mesh::armFaults()
+{
+    for (auto &r : routers)
+        r->armFaults(&stats);
+    for (auto &n : nis)
+        n->armFaults();
+}
+
+void
+Mesh::setCorruptFn(const std::function<bool()> &fn)
+{
+    for (auto &r : routers)
+        r->setCorruptFn(fn);
+}
+
+Port
+Mesh::portToward(unsigned a, unsigned b) const
+{
+    const int dx = static_cast<int>(b % _dim) - static_cast<int>(a % _dim);
+    const int dy = static_cast<int>(b / _dim) - static_cast<int>(a / _dim);
+    if (dx == 1 && dy == 0)
+        return portEast;
+    if (dx == -1 && dy == 0)
+        return portWest;
+    if (dx == 0 && dy == 1)
+        return portSouth;
+    if (dx == 0 && dy == -1)
+        return portNorth;
+    panic("routers %u and %u are not mesh neighbours", a, b);
+}
+
+void
+Mesh::markLinkDead(unsigned a, unsigned b)
+{
+    if (a >= numTiles() || b >= numTiles())
+        panic("link kill %u-%u out of range", a, b);
+    routers[a]->killOutputLink(portToward(a, b));
+    routers[b]->killOutputLink(portToward(b, a));
+    stats.counter("noc.deadLinks").inc();
+}
+
+void
+Mesh::markRouterDead(unsigned r)
+{
+    if (r >= numTiles())
+        panic("router kill %u out of range", r);
+    routers[r]->kill();
+    nis[r]->kill();
+    for (unsigned p = 1; p < numPorts; ++p) {
+        const unsigned x = r % _dim, y = r / _dim;
+        int n = -1;
+        switch (static_cast<Port>(p)) {
+          case portNorth:
+            n = y > 0 ? static_cast<int>(r - _dim) : -1;
+            break;
+          case portSouth:
+            n = y + 1 < _dim ? static_cast<int>(r + _dim) : -1;
+            break;
+          case portEast:
+            n = x + 1 < _dim ? static_cast<int>(r + 1) : -1;
+            break;
+          case portWest:
+            n = x > 0 ? static_cast<int>(r - 1) : -1;
+            break;
+          default:
+            break;
+        }
+        if (n >= 0)
+            routers[n]->killOutputLink(
+                portToward(static_cast<unsigned>(n), r));
+    }
+    stats.counter("noc.deadRouters").inc();
+}
+
+Topology
+Mesh::liveTopology() const
+{
+    Topology t(_dim);
+    for (unsigned r = 0; r < numTiles(); ++r) {
+        t.deadRouter[r] = routers[r]->dead();
+        for (unsigned p = 1; p < numPorts; ++p)
+            t.deadOut[r][p] = routers[r]->outputDead(static_cast<Port>(p));
+    }
+    return t;
+}
+
+void
+Mesh::installTables(RouteTables t)
+{
+    tables = std::move(t);
+    stats.counter("noc.reconfigs").inc();
+    for (unsigned r = 0; r < numTiles(); ++r) {
+        if (routers[r]->dead())
+            continue;
+        routers[r]->setRouteTable(tables.routerSlab(r), numTiles());
+    }
+    // With the new tables in place, terminate wormholes severed by
+    // the dead hardware (in-flight stragglers have landed by now:
+    // nocDetectDelay far exceeds one hop's latency).
+    for (unsigned r = 0; r < numTiles(); ++r) {
+        if (!routers[r]->dead())
+            routers[r]->flushSeveredOwnership();
+    }
+}
+
+void
+Mesh::buildReport(std::ostream &os) const
+{
+    os << "  NoC in-flight census:\n";
+    const Tick now = eq.now();
+    for (unsigned r = 0; r < numTiles(); ++r) {
+        if (routers[r]->dead()) {
+            os << "    router " << r << " DEAD\n";
+            continue;
+        }
+        routers[r]->forEachBufferedFlit(
+            [&](Port in, unsigned vnet, const Flit &f) {
+                os << "    router " << r << " in " << in << " vnet "
+                   << vnet;
+                if (f.pkt) {
+                    os << " pkt " << f.pkt->src() << "->"
+                       << f.pkt->dst() << " age "
+                       << (now - f.pkt->injectTick);
+                } else {
+                    os << " poison-tail";
+                }
+                os << (f.head ? " head" : (f.tail ? " tail" : " body"))
+                   << "\n";
+            });
+    }
+    for (unsigned t = 0; t < numTiles(); ++t) {
+        if (!nis[t]->dead())
+            nis[t]->reportInFlight(os);
+    }
 }
 
 } // namespace noc

@@ -2,6 +2,14 @@
  * @file
  * Per-tile network interface: packet segmentation/injection on one
  * side, flit reassembly/ejection on the other.
+ *
+ * When NocConfig::reliable is set the NI also runs an end-to-end
+ * reliable-delivery layer (TCP-like, but per (peer, vnet) stream):
+ * sequenced packets are buffered until a cumulative ack arrives on
+ * the control vnet, retransmitted on timeout with exponential
+ * backoff, and delivered in order exactly once at the receiver. The
+ * layer is invisible to everything above the NI — MSA, directory and
+ * L1 traffic is protected with zero protocol changes.
  */
 
 #ifndef MISAR_NOC_NETWORK_INTERFACE_HH
@@ -9,6 +17,8 @@
 
 #include <deque>
 #include <functional>
+#include <iosfwd>
+#include <map>
 #include <memory>
 
 #include "noc/packet.hh"
@@ -58,12 +68,94 @@ class NetworkInterface
         this->track = track;
     }
 
+    /** @name Fault support. @{ */
+
+    /** Enable fault tolerances: partial-reassembly discard instead
+     *  of panic, and detour-hop accounting on delivery. */
+    void armFaults() { faultsArmed = true; }
+
+    /** The tile dropped off the mesh (its router was killed): all
+     *  queued and future traffic is discarded. */
+    void kill();
+
+    bool dead() const { return isDead; }
+
+    /** Unacked sequenced packets held for retransmission. */
+    unsigned
+    pendingRetx() const
+    {
+        return static_cast<unsigned>(pending.size());
+    }
+
+    /** One line per in-flight packet (stall-report census). */
+    void reportInFlight(std::ostream &os) const;
+
+    /** @} */
+
   private:
+    /** Retransmission state of one unacked sequenced packet. */
+    struct PendingTx
+    {
+        std::shared_ptr<Packet> pkt;
+        Tick deadline = 0;
+        unsigned tries = 0;
+    };
+
+    /** Receive state of one (source, vnet) sequenced stream. */
+    struct RxStream
+    {
+        std::uint64_t delivered = 0; ///< highest in-order seq sunk
+        /** A coalesced cumulative ack is already scheduled. */
+        bool ackPending = false;
+        /** Out-of-order arrivals parked until the gap fills. */
+        std::map<std::uint64_t, std::shared_ptr<Packet>> reorder;
+    };
+
+    /** Key of one (peer, vnet) stream. */
+    static std::uint32_t
+    streamKey(CoreId peer, unsigned vnet)
+    {
+        return (static_cast<std::uint32_t>(peer) << 2) | vnet;
+    }
+
+    /** Ordered key of one pending packet: (peer, vnet, seq). */
+    static std::uint64_t
+    pendingKey(CoreId peer, unsigned vnet, std::uint64_t seq)
+    {
+        return (static_cast<std::uint64_t>(peer) << 44) |
+               (static_cast<std::uint64_t>(vnet) << 40) | seq;
+    }
+
     /** Router freed an injection-buffer slot on @p vnet. */
     void creditReturn(unsigned vnet);
 
     /** Router ejected @p flit towards us. */
     void eject(Flit flit);
+
+    /** Hand a reassembled packet up: ack handling, dedup/reorder,
+     *  then the tile sink. */
+    void deliver(std::shared_ptr<Packet> pkt);
+
+    /** In-order at-most-once delivery of a sequenced packet. */
+    void deliverSequenced(std::shared_ptr<Packet> pkt);
+
+    /** Cumulative ack from @p ack's source: release pending. */
+    void handleAck(const AckPacket &ack);
+
+    /** Send a cumulative ack for stream (peer, vnet) up to cum. */
+    void sendAck(CoreId peer, unsigned vnet, std::uint64_t cum);
+
+    /** Coalesce: schedule one cumulative ack cfg.ackDelay out. */
+    void scheduleAck(CoreId peer, unsigned vnet);
+
+    /** Queue a (re)transmission as a fresh wire packet. */
+    void enqueue(std::shared_ptr<Packet> pkt);
+
+    /** Arm (or pull in) the retransmission timer. */
+    void armRetxTimer(Tick deadline);
+    void retxFire();
+    /** Scan pending for expired entries; resend or abandon. */
+    void retxCheck();
 
     /** Try to inject one flit this cycle. */
     void tick();
@@ -94,6 +186,21 @@ class NetworkInterface
     unsigned rrVnet = 0;
     bool tickPending = false;
     std::uint64_t nextSeq;
+
+    /** @name Reliable-delivery state (empty unless cfg.reliable). @{ */
+    /** Next relSeq per outgoing (peer, vnet) stream. */
+    FlatMap<std::uint32_t, std::uint64_t> txSeq;
+    /** Unacked sequenced packets, ordered by (peer, vnet, seq) so
+     *  the timeout scan and cumulative-ack release are ranges. */
+    std::map<std::uint64_t, PendingTx> pending;
+    /** Receive streams, keyed by (source, vnet). */
+    std::map<std::uint32_t, RxStream> rx;
+    bool retxArmed = false;
+    Tick retxArmedAt = 0;
+    /** @} */
+
+    bool faultsArmed = false;
+    bool isDead = false;
 
     obs::Tracer *tracer = nullptr;
     obs::TrackId track = 0;

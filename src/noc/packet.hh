@@ -36,11 +36,23 @@ class Packet
     Tick injectTick = 0;
 
     /**
-     * Virtual network: 0 for requests, 1 for replies/data. Keeping
-     * the two classes on separate virtual channels removes
-     * request-reply protocol deadlock.
+     * Virtual network: 0 for requests, 1 for replies/data, 2 for
+     * NoC-internal control (end-to-end acks). Keeping request and
+     * reply classes on separate virtual channels removes
+     * request-reply protocol deadlock; control traffic is always
+     * consumed on arrival by the network interface itself.
      */
     unsigned vnet = 0;
+
+    /**
+     * End-to-end sequence number assigned by the source NI's
+     * reliable-delivery layer (0 = unsequenced). Scoped per
+     * (source, destination, vnet) stream.
+     */
+    std::uint64_t relSeq = 0;
+
+    /** Router hops actually traversed (detour accounting). */
+    unsigned hops = 0;
 
   private:
     CoreId _src;
@@ -50,6 +62,32 @@ class Packet
 
 /** Size of a control (header-only) message in bytes. */
 constexpr unsigned ctrlBytes = 8;
+
+/** The NoC-internal control virtual network (end-to-end acks). */
+constexpr unsigned vnetCtrl = 2;
+
+/**
+ * End-to-end cumulative acknowledgement, sent NI-to-NI on the
+ * control vnet by the reliable-delivery layer. Acknowledges every
+ * sequenced packet of one (src=dst-of-ack, vnet) stream up to and
+ * including @p cumSeq. Acks are themselves unsequenced and never
+ * acknowledged; a lost ack is repaired by the next one (or by the
+ * dedup re-ack a retransmission provokes).
+ */
+class AckPacket : public Packet
+{
+  public:
+    AckPacket(CoreId src, CoreId dst, unsigned vnet_acked,
+              std::uint64_t cum_seq)
+        : Packet(src, dst, ctrlBytes), vnetAcked(vnet_acked),
+          cumSeq(cum_seq)
+    {
+        vnet = vnetCtrl;
+    }
+
+    unsigned vnetAcked;
+    std::uint64_t cumSeq;
+};
 
 /** Size of a data message (header + one cache block) in bytes. */
 constexpr unsigned dataBytes = 8 + blockBytes;
@@ -63,6 +101,14 @@ struct Flit
     std::shared_ptr<Packet> pkt; ///< set on every flit for dst lookup
     bool head = false;
     bool tail = false;
+    /**
+     * Synthesized tail injected by a router to terminate a wormhole
+     * whose real tail was lost on dead hardware. Poison flits carry
+     * no packet, consume no upstream credit at their injection
+     * router, and make the destination NI discard the partial
+     * reassembly.
+     */
+    bool poison = false;
     std::uint64_t packetSeq = 0; ///< global packet sequence number
 };
 

@@ -1,6 +1,7 @@
 #include "noc/router.hh"
 
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 
 namespace misar {
 namespace noc {
@@ -48,8 +49,18 @@ Router::route(CoreId dst) const
 void
 Router::acceptFlit(Port in, unsigned vnet, Flit flit)
 {
+    if (isDead) {
+        // Flits in flight towards a just-killed router are lost; the
+        // sender's NI recovers them end-to-end. No credit is returned:
+        // the upstream output link is dead too.
+        if (stats)
+            stats->counter("noc.flitsDropped").inc();
+        return;
+    }
     if (inBuf[in][vnet].full())
         panic("router %u input %u vnet %u buffer overflow", _id, in, vnet);
+    if (faultsArmed && flit.head)
+        ++flit.pkt->hops; // detour accounting (vs. Manhattan distance)
     inBuf[in][vnet].push_back(std::move(flit));
     scheduleTick();
 }
@@ -76,18 +87,185 @@ Router::hasWork() const
 void
 Router::scheduleTick()
 {
-    if (tickPending)
+    if (tickPending || isDead)
         return;
     tickPending = true;
     eq.schedule(1, [this] { tick(); });
 }
 
 void
+Router::creditUpstream(Port in, unsigned vnet)
+{
+    if (in == portLocal) {
+        if (localCreditFn) {
+            auto fn = localCreditFn;
+            eq.schedule(1, [fn, vnet] { fn(vnet); });
+        }
+    } else if (upstream[in].router) {
+        Router *up = upstream[in].router;
+        Port up_out = upstream[in].out;
+        eq.schedule(1, [up, up_out, vnet] {
+            up->returnCredit(up_out, vnet);
+        });
+    }
+}
+
+bool
+Router::ownedByAny(Port in, unsigned vnet) const
+{
+    for (unsigned o = 0; o < numPorts; ++o)
+        if (outOwner[o][vnet] == static_cast<int>(in))
+            return true;
+    return false;
+}
+
+void
+Router::dropFront(Port in, unsigned vnet)
+{
+    Flit &f = inBuf[in][vnet].front();
+    if (f.head && !f.tail)
+        dropUntilTail[in][vnet] = true;
+    if (f.tail)
+        dropUntilTail[in][vnet] = false;
+    const bool poison = f.poison;
+    inBuf[in][vnet].pop_front();
+    // Poison tails were injected locally and never consumed an
+    // upstream credit, so none is returned for them.
+    if (!poison)
+        creditUpstream(in, vnet);
+    if (stats)
+        stats->counter("noc.flitsDropped").inc();
+}
+
+bool
+Router::faultDrops(bool served_input[numPorts])
+{
+    bool any = false;
+    for (unsigned in = 0; in < numPorts; ++in) {
+        if (served_input[in])
+            continue;
+        for (unsigned v = 0; v < numVnets; ++v) {
+            auto &buf = inBuf[in][v];
+            if (buf.empty())
+                continue;
+            const Flit &f = buf.front();
+            bool drop = false;
+            if (!f.head) {
+                // Remainder of a worm whose head was dropped here, or
+                // an orphan whose ownership was flushed (its worm was
+                // severed by dead hardware).
+                drop = dropUntilTail[in][v] ||
+                       !ownedByAny(static_cast<Port>(in), v);
+            } else {
+                // A fresh head ends any partial-drop window (possible
+                // only across a fault; live links never lose flits).
+                dropUntilTail[in][v] = false;
+                const Port out =
+                    routeFor(static_cast<Port>(in), f.pkt->dst());
+                if (out >= numPorts) {
+                    // No legal route (destination partitioned off or
+                    // tables mid-reconfiguration): drop the packet,
+                    // the source NI retransmits or abandons.
+                    drop = true;
+                    stats->counter("noc.pktsUnroutable").inc();
+                }
+            }
+            if (drop) {
+                dropFront(static_cast<Port>(in), v);
+                served_input[in] = true;
+                any = true;
+                break;
+            }
+        }
+    }
+    return any;
+}
+
+void
+Router::kill()
+{
+    isDead = true;
+    for (unsigned p = 0; p < numPorts; ++p) {
+        for (unsigned v = 0; v < numVnets; ++v) {
+            inBuf[p][v].clear();
+            outOwner[p][v] = -1;
+            dropUntilTail[p][v] = false;
+            dropOwned[p][v] = false;
+        }
+    }
+}
+
+void
+Router::flushSeveredOwnership()
+{
+    if (isDead)
+        return;
+    bool retry = false;
+    for (unsigned out = 0; out < numPorts; ++out) {
+        for (unsigned v = 0; v < numVnets; ++v) {
+            const int own = outOwner[out][v];
+            // Local injections die only with the whole router.
+            if (own <= static_cast<int>(portLocal))
+                continue;
+            const Upstream &up = upstream[own];
+            if (!up.router ||
+                !(up.router->isDead || up.router->linkDead[up.out]))
+                continue; // owner input still live: worm will finish
+            auto &buf = inBuf[own][v];
+            bool has_tail = false;
+            for (unsigned i = 0; i < buf.size(); ++i) {
+                if (buf.at(i).tail) {
+                    has_tail = true;
+                    break;
+                }
+            }
+            if (has_tail)
+                continue; // the real tail made it across in time
+            if (buf.full()) {
+                // Transiently full; the chain below drains into an
+                // NI, so space frees within a few cycles.
+                retry = true;
+                continue;
+            }
+            // The worm's tail is lost on the dead hardware: inject a
+            // poison tail behind any surviving flits. It flows the
+            // owned channel, releasing ownership hop by hop, and the
+            // destination NI discards the partial reassembly.
+            Flit poison;
+            poison.tail = true;
+            poison.poison = true;
+            poison.packetSeq = ownerSeq[out][v];
+            buf.push_back(std::move(poison));
+            if (stats)
+                stats->counter("noc.poisonTails").inc();
+            scheduleTick();
+        }
+    }
+    if (retry)
+        eq.schedule(4, [this] { flushSeveredOwnership(); });
+}
+
+void
+Router::forEachBufferedFlit(
+    const std::function<void(Port, unsigned, const Flit &)> &fn) const
+{
+    for (unsigned p = 0; p < numPorts; ++p)
+        for (unsigned v = 0; v < numVnets; ++v)
+            for (unsigned i = 0; i < inBuf[p][v].size(); ++i)
+                fn(static_cast<Port>(p), v, inBuf[p][v].at(i));
+}
+
+void
 Router::tick()
 {
     tickPending = false;
+    if (isDead)
+        return;
     bool progress = false;
     bool served_input[numPorts] = {};
+
+    if (faultsArmed)
+        progress |= faultDrops(served_input);
 
     for (unsigned out = 0; out < numPorts; ++out) {
         const unsigned slots = numVnets * numPorts;
@@ -101,12 +279,16 @@ Router::tick()
             if (buf.empty())
                 continue;
             Flit &front = buf.front();
-            if (route(front.pkt->dst()) != static_cast<Port>(out))
-                continue;
 
-            // Wormhole allocation: head flits need a free channel,
-            // body/tail flits may only follow their own head.
+            // Wormhole allocation: head flits need a free channel on
+            // their routed output; body/tail flits may only follow
+            // their own head (which fixed the route, so no per-flit
+            // route check is needed — or possible: poison tails carry
+            // no packet).
             if (front.head) {
+                if (routeFor(static_cast<Port>(in), front.pkt->dst())
+                        != static_cast<Port>(out))
+                    continue;
                 if (outOwner[out][vnet] != -1)
                     continue;
             } else {
@@ -115,7 +297,20 @@ Router::tick()
             }
 
             const bool is_local = (out == portLocal);
-            if (!is_local && credits[out][vnet] == 0)
+
+            // Flits headed for dead hardware, or following a head the
+            // corruption roll discarded, are dropped at grant time:
+            // they consume no downstream credit but free their buffer
+            // slot and release the wormhole channel normally.
+            bool discard = false;
+            if (faultsArmed && !is_local) {
+                if (linkDead[out])
+                    discard = true;
+                else if (!front.head && dropOwned[out][vnet])
+                    discard = true;
+            }
+
+            if (!discard && !is_local && credits[out][vnet] == 0)
                 continue;
 
             // Grant: forward this flit.
@@ -125,26 +320,38 @@ Router::tick()
             progress = true;
             rrPtr[out] = (idx + 1) % slots;
 
-            if (flit.head && !flit.tail)
-                outOwner[out][vnet] = static_cast<int>(in);
-            if (flit.tail)
-                outOwner[out][vnet] = -1;
-
-            // Return the freed buffer slot upstream (one cycle).
-            if (in == portLocal) {
-                if (localCreditFn) {
-                    auto fn = localCreditFn;
-                    eq.schedule(1, [fn, vnet] { fn(vnet); });
-                }
-            } else if (upstream[in].router) {
-                Router *up = upstream[in].router;
-                Port up_out = upstream[in].out;
-                eq.schedule(1, [up, up_out, vnet] {
-                    up->returnCredit(up_out, vnet);
-                });
+            // Transient link fault: rolled once per packet per link
+            // traversal, on the head; the downstream CRC discards
+            // the whole packet, modelled as a sender-side discard.
+            bool corrupted = false;
+            if (!discard && faultsArmed && !is_local && flit.head &&
+                corruptFn && corruptFn()) {
+                corrupted = true;
+                discard = true;
+                stats->counter("noc.pktsCorrupted").inc();
             }
 
-            if (is_local) {
+            if (flit.head && !flit.tail) {
+                outOwner[out][vnet] = static_cast<int>(in);
+                if (faultsArmed) {
+                    ownerSeq[out][vnet] = flit.packetSeq;
+                    dropOwned[out][vnet] = corrupted;
+                }
+            }
+            if (flit.tail) {
+                outOwner[out][vnet] = -1;
+                if (faultsArmed)
+                    dropOwned[out][vnet] = false;
+            }
+
+            // Return the freed buffer slot upstream (one cycle);
+            // locally-injected poison tails never consumed one.
+            if (!flit.poison)
+                creditUpstream(static_cast<Port>(in), vnet);
+
+            if (discard) {
+                stats->counter("noc.flitsDropped").inc();
+            } else if (is_local) {
                 ejectFn(std::move(flit));
             } else {
                 --credits[out][vnet];

@@ -4,8 +4,17 @@
  *
  * Five ports (Local, N, E, S, W), XY dimension-order routing,
  * credit-based flow control, and per-port virtual channels used as
- * virtual networks (request vs. reply) to avoid protocol deadlock.
- * Routers are event-driven: they tick only while flits are buffered.
+ * virtual networks (request vs. reply vs. control) to avoid protocol
+ * deadlock. Routers are event-driven: they tick only while flits are
+ * buffered.
+ *
+ * Fault support (all of it gated behind armFaults(), so fault-free
+ * runs execute the original hot path): output links and whole routers
+ * can be marked dead, a per-(router, input-port, destination) routing
+ * table can replace XY after reconfiguration, and flits that cannot
+ * make progress (dead output, no legal route, orphaned wormhole body)
+ * are dropped with credit bookkeeping intact — recovery is end-to-end
+ * in the network interfaces.
  */
 
 #ifndef MISAR_NOC_ROUTER_HH
@@ -20,6 +29,9 @@
 #include "sim/event_queue.hh"
 
 namespace misar {
+
+class StatRegistry;
+
 namespace noc {
 
 /**
@@ -39,6 +51,14 @@ class FlitRing
     bool full() const { return count == slots.size(); }
 
     Flit &front() { return slots[head]; }
+    const Flit &front() const { return slots[head]; }
+
+    /** Random read access (0 = front); for reporting only. */
+    const Flit &
+    at(unsigned i) const
+    {
+        return slots[(head + i) % slots.size()];
+    }
 
     void
     push_back(Flit f)
@@ -53,6 +73,13 @@ class FlitRing
         slots[head] = Flit{}; // drop the packet reference, keep the slot
         head = (head + 1) % slots.size();
         --count;
+    }
+
+    void
+    clear()
+    {
+        while (count)
+            pop_front();
     }
 
   private:
@@ -72,8 +99,11 @@ enum Port : unsigned
     numPorts = 5,
 };
 
-/** Number of virtual networks (0 = requests, 1 = replies/data). */
-constexpr unsigned numVnets = 2;
+/**
+ * Number of virtual networks (0 = requests, 1 = replies/data,
+ * 2 = NoC-internal control; see Packet::vnet).
+ */
+constexpr unsigned numVnets = 3;
 
 /**
  * One mesh router.
@@ -121,9 +151,93 @@ class Router
 
     unsigned id() const { return _id; }
 
+    /** Mesh edge length (for Manhattan-distance accounting). */
+    unsigned meshDim() const { return dim; }
+
+    /** @name Fault support (Mesh-level API). @{ */
+
+    /** Enable the fault-handling paths (stats must be set first). */
+    void armFaults(StatRegistry *s) { stats = s; faultsArmed = true; }
+
+    /**
+     * Replace XY routing with a reconfigured table. @p slab is this
+     * router's [inPort][dst] slab inside a RouteTables whose storage
+     * outlives the router's use of it; nullptr reverts to XY.
+     */
+    void
+    setRouteTable(const std::uint8_t *slab, unsigned num_tiles)
+    {
+        table = slab;
+        tableTiles = num_tiles;
+    }
+
+    /** Mark the outgoing link via @p p dead (flits to it drop). */
+    void killOutputLink(Port p) { linkDead[p] = true; }
+
+    /** Kill the whole router: buffers are discarded, future flits
+     *  are dropped on arrival, tick() becomes a no-op. */
+    void kill();
+
+    bool dead() const { return isDead; }
+    bool outputDead(Port p) const { return linkDead[p]; }
+
+    /**
+     * Reconfiguration fence: release wormhole output ownership held
+     * by inputs with empty buffers (their remaining flits were lost
+     * on dead hardware and will never arrive). Stragglers that do
+     * arrive later are dropped as orphans.
+     */
+    void flushSeveredOwnership();
+
+    /**
+     * Install the transient-corruption hook, rolled once per head
+     * flit per link traversal; true = discard the whole packet (the
+     * downstream CRC check fails).
+     */
+    void setCorruptFn(std::function<bool()> fn) { corruptFn = std::move(fn); }
+
+    /** Visit every buffered flit (stall-report census). */
+    void forEachBufferedFlit(
+        const std::function<void(Port in, unsigned vnet,
+                                 const Flit &)> &fn) const;
+
+    /** @} */
+
   private:
     /** XY route: output port towards @p dst. */
     Port route(CoreId dst) const;
+
+    /**
+     * Routing decision for a head flit that arrived on @p in: table
+     * lookup when a reconfigured table is installed, XY otherwise.
+     * Returns numPorts when the table has no legal route.
+     */
+    Port
+    routeFor(Port in, CoreId dst) const
+    {
+        if (!table)
+            return route(dst);
+        const std::uint8_t e = table[in * tableTiles + dst];
+        return e >= numPorts ? numPorts : static_cast<Port>(e);
+    }
+
+    /**
+     * Fault pre-pass: drop front flits that can never be forwarded
+     * (dead output, unroutable destination, severed wormhole body).
+     * Returns true when anything was dropped; dropped inputs count
+     * as served for this cycle.
+     */
+    bool faultDrops(bool served_input[numPorts]);
+
+    /** Drop the front flit of (in, vnet): credit bookkeeping as if
+     *  forwarded, dropUntilTail tracking, flit-drop stat. */
+    void dropFront(Port in, unsigned vnet);
+
+    /** Return one buffer credit upstream for input @p in. */
+    void creditUpstream(Port in, unsigned vnet);
+
+    /** True when some output's wormhole channel is owned by @p in. */
+    bool ownedByAny(Port in, unsigned vnet) const;
 
     /** Run one cycle of switch allocation and traversal. */
     void tick();
@@ -166,6 +280,25 @@ class Router
     std::function<void(Flit)> ejectFn;
     std::function<void(unsigned)> localCreditFn;
     bool tickPending = false;
+
+    /** @name Fault state (inert until armFaults()). @{ */
+    bool faultsArmed = false;
+    bool isDead = false;
+    StatRegistry *stats = nullptr;
+    const std::uint8_t *table = nullptr; ///< [inPort][dst] slab or null
+    unsigned tableTiles = 0;
+    /** Outgoing link via port p is dead. */
+    std::array<bool, numPorts> linkDead{};
+    /** Head of the packet on (in, vnet) was dropped: drop the rest. */
+    std::array<std::array<bool, numVnets>, numPorts> dropUntilTail{};
+    /** Owner (out, vnet) decided to discard its packet (corruption):
+     *  drop granted flits instead of forwarding, until the tail. */
+    std::array<std::array<bool, numVnets>, numPorts> dropOwned{};
+    /** packetSeq of the worm owning (out, vnet) — lets a poison tail
+     *  name the worm it terminates. Tracked only while armed. */
+    std::array<std::array<std::uint64_t, numVnets>, numPorts> ownerSeq{};
+    std::function<bool()> corruptFn;
+    /** @} */
 };
 
 } // namespace noc

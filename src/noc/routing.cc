@@ -1,0 +1,242 @@
+#include "noc/routing.hh"
+
+#include <deque>
+
+namespace misar {
+namespace noc {
+
+int
+Topology::neighbor(unsigned r, Port p) const
+{
+    const unsigned x = r % dim, y = r / dim;
+    switch (p) {
+      case portNorth:
+        return y > 0 ? static_cast<int>(r - dim) : -1;
+      case portSouth:
+        return y + 1 < dim ? static_cast<int>(r + dim) : -1;
+      case portEast:
+        return x + 1 < dim ? static_cast<int>(r + 1) : -1;
+      case portWest:
+        return x > 0 ? static_cast<int>(r - 1) : -1;
+      default:
+        return -1;
+    }
+}
+
+bool
+Topology::linkUsable(unsigned r, Port p) const
+{
+    const int n = neighbor(r, p);
+    if (n < 0 || deadRouter[r] || deadRouter[n])
+        return false;
+    return !deadOut[r][p];
+}
+
+Port
+oppositePort(Port out)
+{
+    switch (out) {
+      case portNorth:
+        return portSouth;
+      case portSouth:
+        return portNorth;
+      case portEast:
+        return portWest;
+      case portWest:
+        return portEast;
+      default:
+        return portLocal;
+    }
+}
+
+std::vector<int>
+components(const Topology &topo)
+{
+    const unsigned n = topo.numTiles();
+    std::vector<int> comp(n, -1);
+    for (unsigned s = 0; s < n; ++s) {
+        if (topo.deadRouter[s] || comp[s] != -1)
+            continue;
+        // BFS from s; s is the lowest unvisited id, hence the
+        // component's lowest member, hence its id.
+        std::deque<unsigned> q{s};
+        comp[s] = static_cast<int>(s);
+        while (!q.empty()) {
+            unsigned r = q.front();
+            q.pop_front();
+            for (unsigned p = 1; p < numPorts; ++p) {
+                if (!topo.linkUsable(r, static_cast<Port>(p)))
+                    continue;
+                int m = topo.neighbor(r, static_cast<Port>(p));
+                if (comp[m] == -1) {
+                    comp[m] = static_cast<int>(s);
+                    q.push_back(static_cast<unsigned>(m));
+                }
+            }
+        }
+    }
+    return comp;
+}
+
+namespace {
+
+/** Up-down legality phases: before vs. after the first down hop. */
+enum Phase : unsigned
+{
+    phaseUp = 0,   ///< only up hops taken so far (may still go up)
+    phaseDown = 1, ///< a down hop was taken (down hops only from here)
+    numPhases = 2,
+};
+
+constexpr unsigned distInf = 0xffffffffu;
+
+} // namespace
+
+RouteTables
+computeUpDownTables(const Topology &topo)
+{
+    const unsigned n = topo.numTiles();
+    RouteTables t;
+    t.dim = topo.dim;
+    t.flat.assign(static_cast<std::size_t>(n) * numPorts * n,
+                  routeInvalid);
+
+    // Spanning-tree levels: BFS from each component's root (its
+    // lowest member id). Links are then statically oriented: u -> v
+    // is an "up" hop when v is closer to the root, with the id as
+    // the tie-break on equal levels (the classic up-down total
+    // order, which leaves no cycle of down hops).
+    const std::vector<int> comp = components(topo);
+    std::vector<unsigned> level(n, distInf);
+    for (unsigned s = 0; s < n; ++s) {
+        if (topo.deadRouter[s] || comp[s] != static_cast<int>(s))
+            continue; // not a component root
+        level[s] = 0;
+        std::deque<unsigned> q{s};
+        while (!q.empty()) {
+            unsigned r = q.front();
+            q.pop_front();
+            for (unsigned p = 1; p < numPorts; ++p) {
+                if (!topo.linkUsable(r, static_cast<Port>(p)))
+                    continue;
+                unsigned m = static_cast<unsigned>(
+                    topo.neighbor(r, static_cast<Port>(p)));
+                if (level[m] == distInf) {
+                    level[m] = level[r] + 1;
+                    q.push_back(m);
+                }
+            }
+        }
+    }
+
+    auto up_hop = [&](unsigned r, unsigned m) {
+        return level[m] < level[r] ||
+               (level[m] == level[r] && m < r);
+    };
+
+    // Per destination: backward BFS over (router, phase) states.
+    // Forward moves: up hop keeps phaseUp (and needs phaseUp); down
+    // hop is legal from either phase and lands in phaseDown.
+    std::vector<unsigned> dist(n * numPhases);
+    std::deque<unsigned> q;
+    for (unsigned dst = 0; dst < n; ++dst) {
+        if (topo.deadRouter[dst])
+            continue;
+        dist.assign(n * numPhases, distInf);
+        q.clear();
+        dist[dst * numPhases + phaseUp] = 0;
+        dist[dst * numPhases + phaseDown] = 0;
+        q.push_back(dst * numPhases + phaseUp);
+        q.push_back(dst * numPhases + phaseDown);
+        while (!q.empty()) {
+            const unsigned state = q.front();
+            q.pop_front();
+            const unsigned m = state / numPhases;
+            const Phase ph = static_cast<Phase>(state % numPhases);
+            const unsigned d = dist[state];
+            // Predecessors r with a legal forward move r -> m that
+            // lands in phase ph.
+            for (unsigned p = 1; p < numPorts; ++p) {
+                // Port p at m leads to r; the forward move used the
+                // opposite port at r.
+                if (!topo.linkUsable(m, static_cast<Port>(p)))
+                    continue;
+                const unsigned r = static_cast<unsigned>(
+                    topo.neighbor(m, static_cast<Port>(p)));
+                const bool fwd_up = up_hop(r, m);
+                if (fwd_up && ph != phaseUp)
+                    continue; // up hops only ever land in phaseUp
+                if (!fwd_up && ph != phaseDown)
+                    continue; // down hops always land in phaseDown
+                // Legal source phases for this move.
+                const unsigned src_phases[2] = {phaseUp, phaseDown};
+                for (unsigned sp : src_phases) {
+                    if (fwd_up && sp != phaseUp)
+                        continue; // can't go up after a down hop
+                    unsigned &ds = dist[r * numPhases + sp];
+                    if (ds == distInf) {
+                        ds = d + 1;
+                        q.push_back(r * numPhases + sp);
+                    }
+                }
+            }
+        }
+
+        // Derive table entries for this destination.
+        for (unsigned r = 0; r < n; ++r) {
+            if (topo.deadRouter[r])
+                continue;
+            for (unsigned in = 0; in < numPorts; ++in) {
+                std::uint8_t &entry =
+                    t.flat[r * t.slabSize() + in * n + dst];
+                if (r == dst) {
+                    entry = portLocal;
+                    continue;
+                }
+                // Phase on arrival via `in`: local injection and up
+                // arrivals may still go up; a down arrival may not.
+                // Flits can arrive on a dead input link (they were
+                // in flight when it died), so the input link's
+                // liveness is deliberately not checked here.
+                Phase ph = phaseUp;
+                if (in != portLocal) {
+                    const int from =
+                        topo.neighbor(r, static_cast<Port>(in));
+                    if (from < 0)
+                        continue; // off-edge input: no such flit
+                    if (!up_hop(static_cast<unsigned>(from), r))
+                        ph = phaseDown;
+                }
+                unsigned best = distInf;
+                std::uint8_t best_out = routeInvalid;
+                // 180-degree turns are allowed on purpose: after an
+                // epoch change a packet can find itself past its
+                // only legal branch, and going back is both legal
+                // (up then down) and loop-free (dist decreases).
+                for (unsigned out = 1; out < numPorts; ++out) {
+                    if (!topo.linkUsable(r, static_cast<Port>(out)))
+                        continue;
+                    const unsigned m = static_cast<unsigned>(
+                        topo.neighbor(r, static_cast<Port>(out)));
+                    const bool mv_up = up_hop(r, m);
+                    if (mv_up && ph != phaseUp)
+                        continue;
+                    const unsigned next =
+                        dist[m * numPhases +
+                             (mv_up ? phaseUp : phaseDown)];
+                    if (next == distInf)
+                        continue;
+                    if (next + 1 < best) {
+                        best = next + 1;
+                        best_out = static_cast<std::uint8_t>(out);
+                    }
+                }
+                entry = best_out;
+            }
+        }
+    }
+    return t;
+}
+
+} // namespace noc
+} // namespace misar

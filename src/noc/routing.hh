@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fault-aware routing-table computation for the 2D mesh.
+ *
+ * Healthy meshes route XY. Once a link or router dies, the
+ * reconfiguration logic (resil::NocFaultInjector) computes a full set
+ * of per-router tables over the *live* topology using up-down
+ * routing: a BFS spanning tree is rooted at the lowest-id live router
+ * of each connected component, every live link is statically oriented
+ * "up" (towards the root) or "down", and a legal path takes zero or
+ * more up hops followed by zero or more down hops. The no-down-to-up
+ * rule makes any cyclic channel dependency impossible, so the tables
+ * are deadlock-free on *any* connected topology — unlike turn models
+ * such as odd-even, which cannot route around edge-column link
+ * faults (e.g. a dead vertical link in column 0 leaves its endpoints
+ * OE-unroutable although physically connected).
+ *
+ * Tables are indexed by (router, input port, destination): the input
+ * port tells the router whether the previous hop was a down hop,
+ * which is all the state the up-down legality rule needs, so
+ * packets need no extra header bits.
+ */
+
+#ifndef MISAR_NOC_ROUTING_HH
+#define MISAR_NOC_ROUTING_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "noc/router.hh"
+
+namespace misar {
+namespace noc {
+
+/** Table entry meaning "no legal route" (packet is dropped and
+ *  recovered end-to-end, or the destination is partitioned off). */
+constexpr std::uint8_t routeInvalid = 0xff;
+
+/** Live-topology description the table computation works from. */
+struct Topology
+{
+    explicit Topology(unsigned dim_)
+        : dim(dim_), deadOut(dim_ * dim_), deadRouter(dim_ * dim_, false)
+    {}
+
+    unsigned dim;
+    /** deadOut[r][p]: the outgoing link of router r via port p is
+     *  dead (ports without a neighbour are simply off-edge). */
+    std::vector<std::array<bool, numPorts>> deadOut;
+    std::vector<bool> deadRouter;
+
+    unsigned numTiles() const { return dim * dim; }
+
+    /** Neighbour of @p r via @p p, or -1 off the mesh edge. */
+    int neighbor(unsigned r, Port p) const;
+
+    /** True when r -> neighbor(r, p) is traversable (both routers
+     *  alive, link not dead). */
+    bool linkUsable(unsigned r, Port p) const;
+};
+
+/** Input port a flit sent out of @p out arrives on downstream. */
+Port oppositePort(Port out);
+
+/**
+ * One flat routing table set: entry (router, in-port, dst) -> output
+ * port (or routeInvalid). Slabs are laid out per router so a router
+ * can hold a raw pointer into the stable flat storage.
+ */
+struct RouteTables
+{
+    unsigned dim = 0;
+    std::vector<std::uint8_t> flat; ///< [router][inPort][dst]
+
+    unsigned numTiles() const { return dim * dim; }
+
+    std::size_t
+    slabSize() const
+    {
+        return static_cast<std::size_t>(numPorts) * numTiles();
+    }
+
+    const std::uint8_t *
+    routerSlab(unsigned r) const
+    {
+        return flat.data() + r * slabSize();
+    }
+
+    std::uint8_t
+    lookup(unsigned r, unsigned in, unsigned dst) const
+    {
+        return flat[r * slabSize() + in * numTiles() + dst];
+    }
+};
+
+/** Compute up-down tables for @p topo (see file comment). */
+RouteTables computeUpDownTables(const Topology &topo);
+
+/**
+ * Connected-component id per router over the live topology: the
+ * lowest router id in the component; -1 for dead routers.
+ */
+std::vector<int> components(const Topology &topo);
+
+} // namespace noc
+} // namespace misar
+
+#endif // MISAR_NOC_ROUTING_HH

@@ -90,7 +90,16 @@ writeRunReport(std::ostream &os, const RunMeta &meta,
        << ",\"offlineDenied\":"
        << stats.sumCountersSuffix(".msa.offlineDenied")
        << ",\"crossedSnoops\":"
-       << stats.sumCountersSuffix(".l1.crossedSnoops") << "}";
+       << stats.sumCountersSuffix(".l1.crossedSnoops")
+       << ",\"nocRetransmits\":" << stats.counterValue("noc.rel.retransmits")
+       << ",\"nocDedups\":" << stats.counterValue("noc.rel.dedups")
+       << ",\"nocAbandoned\":" << stats.counterValue("noc.rel.abandoned")
+       << ",\"flitsCorrupted\":" << stats.counterValue("noc.pktsCorrupted")
+       << ",\"detourHops\":" << stats.counterValue("noc.detourHops")
+       << ",\"deadLinks\":" << stats.counterValue("noc.deadLinks")
+       << ",\"deadRouters\":" << stats.counterValue("noc.deadRouters")
+       << ",\"partitionSheds\":" << stats.counterValue("resil.partitionSheds")
+       << "}";
 
     // -- full statistics registry ------------------------------------
     os << ",\"stats\":{\"counters\":{";

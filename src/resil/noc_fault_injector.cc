@@ -1,0 +1,83 @@
+#include "resil/noc_fault_injector.hh"
+
+#include <algorithm>
+
+#include "noc/routing.hh"
+#include "sim/logging.hh"
+
+namespace misar {
+namespace resil {
+
+NocFaultInjector::NocFaultInjector(EventQueue &eq, const ResilConfig &cfg,
+                                   noc::Mesh &mesh, StatRegistry &stats)
+    : eq(eq), cfg(cfg), mesh(mesh), stats(stats),
+      // A private stream decorrelated from the MSA message injector,
+      // which seeds its RNG with faultSeed directly.
+      rng(cfg.faultSeed ^ 0x9e3779b97f4a7c15ULL),
+      stranded(mesh.numTiles(), false)
+{}
+
+void
+NocFaultInjector::start()
+{
+    mesh.armFaults();
+
+    if (cfg.flitCorruptProb > 0.0) {
+        const double p = cfg.flitCorruptProb;
+        mesh.setCorruptFn([this, p] { return rng.uniform() < p; });
+    }
+
+    const Tick now = eq.now();
+    auto delay_until = [now](Tick at) { return at > now ? at - now : 0; };
+
+    for (const LinkKill &lk : cfg.linkKills) {
+        eq.schedule(delay_until(lk.atTick), [this, lk] {
+            warn("NoC fault: link %u-%u dead at tick %llu", lk.a, lk.b,
+                 static_cast<unsigned long long>(eq.now()));
+            mesh.markLinkDead(lk.a, lk.b);
+            eq.schedule(cfg.nocDetectDelay, [this] { reconfigure(); });
+        });
+    }
+    for (const RouterKill &rk : cfg.routerKills) {
+        eq.schedule(delay_until(rk.atTick), [this, rk] {
+            warn("NoC fault: router %u dead at tick %llu", rk.router,
+                 static_cast<unsigned long long>(eq.now()));
+            mesh.markRouterDead(rk.router);
+            eq.schedule(cfg.nocDetectDelay, [this] { reconfigure(); });
+        });
+    }
+}
+
+void
+NocFaultInjector::reconfigure()
+{
+    const noc::Topology topo = mesh.liveTopology();
+    mesh.installTables(noc::computeUpDownTables(topo));
+
+    // The main component is the largest (lowest component id on a
+    // tie, since components are identified by their lowest member).
+    const std::vector<int> comp = noc::components(topo);
+    std::vector<unsigned> count(mesh.numTiles(), 0);
+    for (int c : comp) {
+        if (c >= 0)
+            ++count[static_cast<unsigned>(c)];
+    }
+    const unsigned main_comp = static_cast<unsigned>(
+        std::max_element(count.begin(), count.end()) - count.begin());
+
+    for (unsigned t = 0; t < mesh.numTiles(); ++t) {
+        const bool cut =
+            comp[t] != static_cast<int>(main_comp);
+        if (!cut || stranded[t])
+            continue;
+        stranded[t] = true;
+        stats.counter("resil.strandedTiles").inc();
+        warn("NoC fault: tile %u unreachable from the main partition",
+             t);
+        if (partitionFn)
+            partitionFn(t);
+    }
+}
+
+} // namespace resil
+} // namespace misar

@@ -31,6 +31,21 @@ Watchdog::check()
     if (allDone && allDone())
         return;
     if (progress == lastSeen && !firedStall) {
+        // No thread progressed — but traffic still moving through a
+        // degraded mesh (detours, retransmissions) means the system
+        // is slow, not dead. Grace the window; the fault recovery
+        // paths are all bounded, so a truly dead system quiets down
+        // and the next window fires.
+        if (auxProgress) {
+            const std::uint64_t aux = auxProgress();
+            if (aux != lastAux) {
+                lastAux = aux;
+                stats.counter("resil.watchdogNocGrace").inc();
+                scheduled = true;
+                eq.schedule(interval, [this] { check(); });
+                return;
+            }
+        }
         firedStall = true;
         stats.counter("resil.watchdogStalls").inc();
         onStall(report ? report() : std::string("(no report available)"));
@@ -39,6 +54,8 @@ Watchdog::check()
         return;
     }
     lastSeen = progress;
+    if (auxProgress)
+        lastAux = auxProgress();
     scheduled = true;
     eq.schedule(interval, [this] { check(); });
 }

@@ -34,12 +34,20 @@ class Watchdog
     using StallFn = std::function<void(const std::string &)>;
     /** True once every thread has finished (stops the watchdog). */
     using DoneFn = std::function<bool()>;
+    /**
+     * Secondary progress signal (monotone counter). A window with no
+     * thread progress but aux movement — NoC packets delivered,
+     * retransmissions in flight — is granted grace instead of being
+     * reported: detoured or retransmitted traffic is slow, not dead.
+     */
+    using AuxProgressFn = std::function<std::uint64_t()>;
 
     Watchdog(EventQueue &eq, Tick interval, StatRegistry &stats);
 
     void setReportFn(ReportFn f) { report = std::move(f); }
     void setStallHandler(StallFn f) { onStall = std::move(f); }
     void setDoneFn(DoneFn f) { allDone = std::move(f); }
+    void setAuxProgressFn(AuxProgressFn f) { auxProgress = std::move(f); }
 
     /** Arm the first window. */
     void start();
@@ -63,9 +71,11 @@ class Watchdog
     ReportFn report;
     StallFn onStall;
     DoneFn allDone;
+    AuxProgressFn auxProgress;
 
     std::uint64_t progress = 0;
     std::uint64_t lastSeen = 0;
+    std::uint64_t lastAux = 0;
     bool scheduled = false;
     bool firedStall = false;
 };

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -48,6 +49,30 @@ struct NocConfig
     unsigned bufferDepth = 8;
     /** Flit payload width in bytes. */
     unsigned flitBytes = 16;
+    /**
+     * End-to-end reliable delivery in the network interfaces:
+     * per-(destination, vnet) sequence numbers, cumulative acks on
+     * the control vnet, timeout-driven retransmission, and in-order
+     * at-most-once delivery at the receiver. Off by default: the
+     * fault-free presets pay nothing. See docs/PROTOCOL.md "NoC
+     * failure semantics".
+     */
+    bool reliable = false;
+    /** Base retransmission timeout (doubles per retry, capped). */
+    Tick retransmitTimeout = 600;
+    /** Upper bound on the backed-off retransmission timeout. */
+    Tick retransmitCap = 1u << 15;
+    /** Resends before a pending packet is abandoned (the layers
+     *  above — MSA retry/abandon, watchdog — take over). */
+    unsigned retransmitLimit = 32;
+    /**
+     * Ack coalescing window: in-order deliveries schedule one
+     * cumulative ack this many ticks out instead of acking every
+     * packet, halving control traffic under bursts. Must stay well
+     * under retransmitTimeout. Dups and gaps still ack immediately
+     * (the sender is actively retransmitting there).
+     */
+    Tick ackDelay = 16;
 };
 
 /** Cache hierarchy parameters. */
@@ -96,6 +121,23 @@ struct MsaConfig
     Tick msaLatency = 1;
 };
 
+/** One scheduled NoC link kill: the bidirectional link between two
+ *  adjacent routers goes dead at a tick. */
+struct LinkKill
+{
+    unsigned a = 0;
+    unsigned b = 0;
+    Tick atTick = 0;
+};
+
+/** One scheduled NoC router kill: the router (and with it the whole
+ *  tile's network attachment) goes dead at a tick. */
+struct RouterKill
+{
+    unsigned router = 0;
+    Tick atTick = 0;
+};
+
 /**
  * Resilience / fault-injection parameters. All defaults are "off":
  * a default ResilConfig adds no events, no messages and no stat
@@ -141,11 +183,41 @@ struct ResilConfig
     /** Ticks between periodic invariant sweeps. */
     Tick invariantInterval = 50000;
 
+    /** @name NoC fault campaign (see docs/PROTOCOL.md). @{ */
+    /** Links to kill (bidirectional, between adjacent routers). */
+    std::vector<LinkKill> linkKills;
+    /** Routers to kill (drops the whole tile off the mesh). */
+    std::vector<RouterKill> routerKills;
+    /**
+     * Probability a packet is corrupted on a link traversal and
+     * discarded whole by the receiver's CRC check (transient fault;
+     * recovered transparently by the NI reliable-delivery layer).
+     * Rolled once per packet per link, on the head flit.
+     */
+    double flitCorruptProb = 0.0;
+    /**
+     * Ticks between a topology fault and the reconfiguration
+     * broadcast taking effect mesh-wide (models fault detection plus
+     * the lightweight status-network broadcast). Packets caught on
+     * the dead hardware in this window are lost and recovered
+     * end-to-end.
+     */
+    Tick nocDetectDelay = 64;
+    /** @} */
+
     /** True when any message fault or the offline event is armed. */
     bool
     messageFaultsEnabled() const
     {
         return dropProb > 0.0 || dupProb > 0.0 || delayProb > 0.0;
+    }
+
+    /** True when any NoC topology or transport fault is armed. */
+    bool
+    nocFaultsEnabled() const
+    {
+        return !linkKills.empty() || !routerKills.empty() ||
+               flitCorruptProb > 0.0;
     }
 };
 

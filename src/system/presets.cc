@@ -45,6 +45,27 @@ configFor(PaperConfig pc, unsigned cores)
         cfg.validate();
         return cfg;
       }
+      case PaperConfig::MsaOmu2NocFaults: {
+        SystemConfig cfg;
+        cfg.numCores = cores;
+        cfg.msa.mode = AccelMode::MsaOmu;
+        cfg.msa.msaEntries = 2;
+        // Transport faults instead of PR 1's message faults: the NI
+        // reliable-delivery layer absorbs transient corruption, and
+        // the routers reroute around the dead link; the MSA-level
+        // timeout ladder stays armed as the backstop for anything
+        // the transport abandons.
+        cfg.noc.reliable = true;
+        cfg.resil.flitCorruptProb = 3e-4;
+        cfg.resil.linkKills.push_back({0, 1, 30000});
+        cfg.resil.timeoutTicks = 1000;
+        cfg.resil.maxRetries = 8;
+        cfg.resil.watchdogInterval = 2000000;
+        cfg.resil.invariantChecks = true;
+        cfg.resil.invariantInterval = 100000;
+        cfg.validate();
+        return cfg;
+      }
     }
     return makeConfig(cores, AccelMode::None);
 }
@@ -70,6 +91,7 @@ cliPresetNames()
     static const std::vector<std::string> names = {
         "baseline", "msa0",    "mcs-tour", "spinlock",
         "msa-omu",  "msa-inf", "ideal",    "msa-omu-faults",
+        "msa-omu2-nocfaults",
     };
     return names;
 }
@@ -82,6 +104,11 @@ cliPresetFor(const std::string &name, unsigned cores, unsigned entries,
     sync::SyncLib::Flavor fl = sync::SyncLib::Flavor::Hw;
     if (name == "msa-omu-faults") {
         cfg = configFor(PaperConfig::MsaOmu2Faults, cores);
+        cfg.msa.msaEntries = entries;
+        flavor = sync::SyncLib::Flavor::Hw;
+        return true;
+    } else if (name == "msa-omu2-nocfaults") {
+        cfg = configFor(PaperConfig::MsaOmu2NocFaults, cores);
         cfg.msa.msaEntries = entries;
         flavor = sync::SyncLib::Flavor::Hw;
         return true;
@@ -134,6 +161,8 @@ paperConfigName(PaperConfig pc)
         return "Spinlock";
       case PaperConfig::MsaOmu2Faults:
         return "MSA/OMU-2+faults";
+      case PaperConfig::MsaOmu2NocFaults:
+        return "MSA/OMU-2+nocfaults";
     }
     return "?";
 }

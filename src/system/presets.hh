@@ -32,6 +32,11 @@ enum class PaperConfig
      *  drops/dups/delays plus tile 0's slice decommissioned mid-run,
      *  with the watchdog and invariant checker armed. */
     MsaOmu2Faults,
+    /** MSA/OMU-2 under the NoC fault campaign: end-to-end reliable
+     *  delivery on, transient packet corruption throughout, and one
+     *  mesh link killed mid-run (rerouted via up-down tables),
+     *  with the watchdog and invariant checker armed. */
+    MsaOmu2NocFaults,
 };
 
 /** All configurations shown in Figure 6, in plot order. */
@@ -52,7 +57,7 @@ const char *paperConfigName(PaperConfig pc);
 /**
  * CLI preset names accepted by misar_sim --config and by campaign
  * specs: baseline, msa0, mcs-tour, spinlock, msa-omu, msa-inf,
- * ideal, msa-omu-faults. One name per line from
+ * ideal, msa-omu-faults, msa-omu2-nocfaults. One name per line from
  * `misar_sim --list-presets`.
  */
 const std::vector<std::string> &cliPresetNames();

@@ -12,6 +12,13 @@ namespace sys {
 System::System(const SystemConfig &cfg_in) : cfg(cfg_in)
 {
     cfg.validate();
+    if (cfg.resil.nocFaultsEnabled() && !cfg.noc.reliable) {
+        // Without end-to-end retransmission a lost coherence or
+        // memory message wedges the chip; faults imply reliability.
+        warn("NoC faults configured without noc.reliable; "
+             "enabling reliable delivery");
+        cfg.noc.reliable = true;
+    }
     ms = std::make_unique<mem::MemSystem>(eq, cfg, _stats);
 
     const bool has_msa = cfg.msa.mode == AccelMode::MsaOmu ||
@@ -85,6 +92,49 @@ System::System(const SystemConfig &cfg_in) : cfg(cfg_in)
         wdog->setReportFn([this] { return buildStallReport(); });
         wdog->setDoneFn([this] { return allFinished(); });
         wdog->start();
+    }
+
+    if (cfg.resil.nocFaultsEnabled()) {
+        nocInjector = std::make_unique<resil::NocFaultInjector>(
+            eq, cfg.resil, ms->mesh(), _stats);
+        nocInjector->setPartitionFn([this, has_msa](unsigned tile) {
+            _stats.counter("resil.partitionSheds").inc();
+            if (has_msa && tile < slices.size() &&
+                !slices[tile]->isOffline()) {
+                // Reuse the offline-shed path: entries migrate to
+                // software and new requests are refused. Messages
+                // the shed sends towards the lost partition are
+                // dropped at the dead hardware; their recipients
+                // are unreachable anyway.
+                slices[tile]->goOffline();
+            }
+            if (hub)
+                hub->markHomeUnreachable(tile);
+        });
+        nocInjector->start();
+
+        if (wdog) {
+            // A partitioned mesh stalls threads without being a
+            // protocol deadlock: report, attribute, and keep going
+            // so in-process campaigns and benches can classify the
+            // outcome instead of dying on fatal().
+            wdog->setStallHandler([this](const std::string &rep) {
+                warn("%s", rep.c_str());
+                warn("liveness watchdog: stall under NoC faults "
+                     "(%llu stranded tiles); continuing to drain",
+                     static_cast<unsigned long long>(
+                         _stats.counterValue("resil.strandedTiles")));
+                _stats.counter("resil.watchdogNocStalls").inc();
+            });
+            // Packets delivered, dropped, or retransmitted through a
+            // degraded mesh are progress: merely-detoured traffic
+            // must not be classified as deadlock.
+            wdog->setAuxProgressFn([this] {
+                return _stats.counterValue("noc.packetsRecv") +
+                       _stats.counterValue("noc.flitsDropped") +
+                       _stats.counterValue("noc.rel.retransmits");
+            });
+        }
     }
 
     if (cfg.resil.invariantChecks && has_msa) {
@@ -333,6 +383,25 @@ System::buildStallReport() const
             if (it == edges.end())
                 break;
             cur = it->second;
+        }
+    }
+
+    // NoC in-flight census + partition attribution: a wedged mesh is
+    // debuggable (what is stuck where), and stalls on tiles cut off
+    // by dead links/routers are labelled as partition, not deadlock.
+    if (cfg.resil.nocFaultsEnabled()) {
+        ms->mesh().buildReport(os);
+        const noc::Topology topo = ms->mesh().liveTopology();
+        const std::vector<int> comp = noc::components(topo);
+        bool split = false;
+        for (unsigned t = 1; t < comp.size() && !split; ++t)
+            split = comp[t] != comp[0];
+        if (split) {
+            os << "  PARTITION: mesh is split; stalls on tiles";
+            for (unsigned t = 0; t < comp.size(); ++t)
+                if (comp[t] != comp[0])
+                    os << " " << t;
+            os << " are attributed to unreachability, not deadlock\n";
         }
     }
     return os.str();

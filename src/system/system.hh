@@ -23,6 +23,7 @@
 #include "obs/tracer.hh"
 #include "resil/fault_injector.hh"
 #include "resil/invariants.hh"
+#include "resil/noc_fault_injector.hh"
 #include "resil/watchdog.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
@@ -114,6 +115,9 @@ class System
     /** Liveness watchdog, or nullptr when not configured. */
     resil::Watchdog *watchdog() { return wdog.get(); }
 
+    /** NoC fault injector, or nullptr when no NoC faults are armed. */
+    resil::NocFaultInjector *nocFaultInjector() { return nocInjector.get(); }
+
     /** Invariant checker, or nullptr when not configured. */
     resil::InvariantChecker *invariantChecker() { return checker.get(); }
 
@@ -153,6 +157,7 @@ class System
     std::unique_ptr<cpu::SyncUnit> syncUnit;
     msa::MsaClientHub *hub = nullptr; // owned via syncUnit when MSA
     std::unique_ptr<resil::FaultInjector> injector;
+    std::unique_ptr<resil::NocFaultInjector> nocInjector;
     std::unique_ptr<resil::Watchdog> wdog;
     std::unique_ptr<resil::InvariantChecker> checker;
     std::unique_ptr<obs::Tracer> _tracer;

@@ -129,6 +129,11 @@ runAppWithConfig(const AppSpec &spec, const SystemConfig &cfg,
     r.abortedOps = s.stats().counterValue("sync.abortedOps");
     r.offlineSheds = offlineShedCount(s.stats());
     r.crossedSnoops = s.stats().sumCountersSuffix(".l1.crossedSnoops");
+    r.nocRetransmits = s.stats().counterValue("noc.rel.retransmits");
+    r.nocDedups = s.stats().counterValue("noc.rel.dedups");
+    r.detourHops = s.stats().counterValue("noc.detourHops");
+    r.deadLinks = s.stats().counterValue("noc.deadLinks");
+    r.partitionSheds = s.stats().counterValue("resil.partitionSheds");
     if (opts.captureCounters)
         for (const std::string &name : *opts.captureCounters)
             r.captured[name] = s.stats().counterValue(name);

@@ -38,6 +38,16 @@ struct RunResult
     std::uint64_t offlineSheds = 0;
     /** L1 snoops that crossed a silently-held lock block. */
     std::uint64_t crossedSnoops = 0;
+    /** NI end-to-end retransmissions (lost/corrupted packets). */
+    std::uint64_t nocRetransmits = 0;
+    /** Duplicate packets absorbed by the NI receive sequencer. */
+    std::uint64_t nocDedups = 0;
+    /** Extra hops taken by packets routed around dead links. */
+    std::uint64_t detourHops = 0;
+    /** Mesh links killed by the NoC fault injector. */
+    std::uint64_t deadLinks = 0;
+    /** MSA slices shed because their tile became unreachable. */
+    std::uint64_t partitionSheds = 0;
     /** @} */
 
     /** Counters requested via RunOptions::captureCounters. */

@@ -90,6 +90,15 @@ TEST(Determinism, MsaOmu2FaultsTwoRunsBitIdentical)
     expectIdenticalRuns(sys::PaperConfig::MsaOmu2Faults, 16, "radiosity");
 }
 
+TEST(Determinism, MsaOmu2NocFaultsTwoRunsBitIdentical)
+{
+    // NoC faults exercise corruption rolls, retransmission timers,
+    // and the mid-run routing reconfiguration — all of which must
+    // replay bit-identically under the same seed.
+    expectIdenticalRuns(sys::PaperConfig::MsaOmu2NocFaults, 16,
+                        "radiosity");
+}
+
 TEST(Determinism, DifferentSeedsActuallyDiffer)
 {
     // Sanity check that the fingerprint is sensitive at all: a
