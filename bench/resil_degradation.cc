@@ -30,6 +30,13 @@
  * tile's threads and home-directory data, so those runs end in a
  * partition outcome rather than "finished" — the gate is that the
  * outcome is detected and attributed, not hidden.
+ *
+ * A third section measures dead-participant degradation: each app
+ * runs clean, with one core killed early (barrier reconfiguration),
+ * with one core killed in steady state (lease-expiry lock
+ * revocation), and with tile 0's MSA slice failed over to its buddy.
+ * Every row must finish — losing a participant costs cycles, never
+ * the run.
  */
 
 #include <cstdio>
@@ -148,6 +155,115 @@ degradedMeshSection(unsigned cores)
                 "router 5:\nits tile is stranded, so \"partition\" — "
                 "detected, slice shed, attributed —\nis the expected "
                 "outcome.)\n");
+    return ok;
+}
+
+/** Dead-participant variants of the clean MSA/OMU-2 configuration. */
+enum class CoreVariant
+{
+    Clean,           ///< every participant lives
+    OneCore,         ///< core 5 killed early (tick 5000), likely
+                     ///< computing: barrier reconfiguration path
+    CoreHoldingLock, ///< core 5 killed in steady state (tick 25000),
+                     ///< often mid-lock/mid-barrier: lease revocation
+    SliceFailover,   ///< tile 0's slice re-homes to tile 1 mid-run
+};
+
+SystemConfig
+coreVariantConfig(CoreVariant v, unsigned cores)
+{
+    SystemConfig cfg = makeConfig(cores, AccelMode::MsaOmu, 2);
+    if (v == CoreVariant::OneCore || v == CoreVariant::CoreHoldingLock) {
+        cfg.resil.coreKills.push_back(
+            {5, v == CoreVariant::OneCore ? Tick(5000) : Tick(25000)});
+        cfg.resil.leaseTicks = 4000;
+        cfg.resil.leaseProbeTimeout = 1500;
+        cfg.resil.coreDetectDelay = 6000;
+        cfg.resil.timeoutTicks = 1000;
+        cfg.resil.maxRetries = 8;
+    }
+    if (v == CoreVariant::SliceFailover) {
+        cfg.resil.offlineTile = 0;
+        cfg.resil.offlineAtTick = 30000;
+        cfg.resil.failoverBuddy = 1;
+    }
+    cfg.validate();
+    return cfg;
+}
+
+/**
+ * Dead-participant section. Gating rules: every row must FINISH —
+ * a corpse must cost latency, never the run. Both kill rows must
+ * show barrier reconfiguration work (the declaration always strikes
+ * the corpse from every slice's membership), and the failover row
+ * must actually fail over (one handoff applied at the buddy).
+ * Revocations are reported, not gated per app: whether the victim
+ * holds a hardware lock at the kill tick is workload-dependent.
+ */
+bool
+deadCoreSection(unsigned cores)
+{
+    std::printf("\nDead-participant rows (MSA/OMU-2, %u cores; "
+                "makespans in cycles):\n", cores);
+    std::printf("%-14s %9s %9s %10s %6s %7s %9s %8s\n", "App", "Clean",
+                "1-Core", "Core+Lock", "Revoc", "Reconf", "Failover",
+                "Rehomed");
+    bool ok = true;
+    bool any_revocation = false;
+    const std::vector<std::string> capture = {
+        "tile0.msa.failovers", "tile1.msa.handoffsApplied"};
+    for (const std::string &app : headlineApps()) {
+        const AppSpec &spec = appByName(app);
+        RunOptions opts;
+        opts.tickLimit = 100000000ULL;
+        opts.captureCounters = &capture;
+
+        RunResult rr[4];
+        const CoreVariant vs[4] = {CoreVariant::Clean,
+                                   CoreVariant::OneCore,
+                                   CoreVariant::CoreHoldingLock,
+                                   CoreVariant::SliceFailover};
+        for (int i = 0; i < 4; ++i) {
+            rr[i] = runAppWithConfig(spec,
+                                     coreVariantConfig(vs[i], cores),
+                                     sync::SyncLib::Flavor::Hw, 1, app,
+                                     opts);
+            if (!rr[i].finished)
+                ok = false;
+        }
+        // Both kill rows: exactly one corpse, struck from membership.
+        for (int i = 1; i <= 2; ++i)
+            if (rr[i].coreKills != 1 || rr[i].barrierReconfigs == 0)
+                ok = false;
+        any_revocation |= rr[2].lockRevocations > 0;
+        // The failover row: the slice moved, nothing was shed.
+        if (rr[3].captured.at("tile0.msa.failovers") != 1 ||
+            rr[3].captured.at("tile1.msa.handoffsApplied") != 1)
+            ok = false;
+
+        std::printf("%-14s %9llu %9llu %10llu %6llu %7llu %9llu "
+                    "%8llu\n",
+                    app.c_str(),
+                    static_cast<unsigned long long>(rr[0].makespan),
+                    static_cast<unsigned long long>(rr[1].makespan),
+                    static_cast<unsigned long long>(rr[2].makespan),
+                    static_cast<unsigned long long>(
+                        rr[2].lockRevocations),
+                    static_cast<unsigned long long>(
+                        rr[2].barrierReconfigs),
+                    static_cast<unsigned long long>(rr[3].makespan),
+                    static_cast<unsigned long long>(rr[3].rehomedVars));
+    }
+    // Steady-state kills must orphan a hardware lock somewhere in the
+    // suite — otherwise the revocation column proves nothing.
+    if (!any_revocation)
+        ok = false;
+    std::printf("(1-Core kills core 5 at tick 5000, Core+Lock at "
+                "25000 — both must finish\nwith the corpse struck "
+                "from barrier membership; Revoc counts lease-expiry\n"
+                "lock revocations in the Core+Lock run. Failover "
+                "re-homes tile 0's slice\nstate to tile 1 at 30000; "
+                "Rehomed counts transferred live entries.)\n");
     return ok;
 }
 
@@ -310,5 +426,12 @@ main()
                       "1-router classified).\n"
                     : "RESULT: REGRESSION - a degraded-mesh row "
                       "misbehaved.\n");
-    return all_retained && mesh_ok ? 0 : 1;
+    const bool core_ok = deadCoreSection(16);
+    std::printf(core_ok
+                    ? "RESULT: dead-participant rows all finish "
+                      "(reconfigs on every kill, revocations "
+                      "somewhere, failovers applied).\n"
+                    : "RESULT: REGRESSION - a dead-participant row "
+                      "misbehaved.\n");
+    return all_retained && mesh_ok && core_ok ? 0 : 1;
 }

@@ -13,13 +13,17 @@
  *          ideal | msa-omu-faults (the resilience campaign preset:
  *          message drops/dups/delays plus tile 0 decommissioned) |
  *          msa-omu2-nocfaults (NoC fault campaign: flit corruption,
- *          one link killed mid-run, reliable delivery + rerouting)
+ *          one link killed mid-run, reliable delivery + rerouting) |
+ *          msa-omu2-corefaults (participant fault campaign: one core
+ *          halted dead mid-run, lease-based lock recovery, barrier
+ *          membership reconfiguration)
  *
  * Exit codes (consumed by the campaign engine, see
  * orch/exit_codes.hh): 0 finished, 40 deadlock, 41 tick-limit,
  * 1 fatal error.
  */
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,7 +56,8 @@ usage()
         "  --cores N       core count, perfect square (default 16)\n"
         "  --config C      baseline|msa0|mcs-tour|spinlock|msa-omu|\n"
         "                  msa-inf|ideal|msa-omu-faults|\n"
-        "                  msa-omu2-nocfaults (default msa-omu)\n"
+        "                  msa-omu2-nocfaults|msa-omu2-corefaults\n"
+        "                  (default msa-omu)\n"
         "  --entries N     MSA entries per tile (default 2)\n"
         "  --smt N         hardware threads per core (default 1)\n"
         "  --no-hwsync     disable the HWSync-bit optimization\n"
@@ -68,6 +73,11 @@ usage()
         "                  kill router R (its whole tile drops off the\n"
         "                  mesh) at TICK (repeatable; implies reliable\n"
         "                  delivery)\n"
+        "  --kill-core C@TICK\n"
+        "                  halt core C dead at TICK, wherever it is —\n"
+        "                  possibly holding a lock or mid-barrier\n"
+        "                  (repeatable; arms lease-based lock recovery\n"
+        "                  if the preset has not already)\n"
         "exit codes: 0 finished, 40 deadlock, 41 tick-limit, 1 error\n"
         "observability:\n"
         "  --trace-out FILE   write a multi-component Chrome trace\n"
@@ -85,6 +95,38 @@ usage()
         "  --sample-out FILE  write the sampled time series as CSV\n");
 }
 
+/**
+ * Strict "A:B@C"-style kill-spec parser: @p n plain decimal fields
+ * separated by exactly the characters of @p seps, nothing else.
+ * sscanf alone is too lax here — it accepts trailing garbage
+ * ("1:2@3junk") and negated values ("-1" wraps to a huge unsigned).
+ */
+bool
+parseKillFields(const char *v, const char *seps, std::uint64_t *out,
+                unsigned n)
+{
+    const char *p = v;
+    for (unsigned f = 0; f < n; ++f) {
+        if (f > 0) {
+            if (*p != seps[f - 1])
+                return false;
+            ++p;
+        }
+        if (!std::isdigit(static_cast<unsigned char>(*p)))
+            return false;
+        std::uint64_t val = 0;
+        while (std::isdigit(static_cast<unsigned char>(*p))) {
+            const unsigned d = static_cast<unsigned>(*p - '0');
+            if (val > (UINT64_MAX - d) / 10)
+                return false; // overflow
+            val = val * 10 + d;
+            ++p;
+        }
+        out[f] = val;
+    }
+    return *p == '\0';
+}
+
 } // namespace
 
 int
@@ -100,6 +142,7 @@ main(int argc, char **argv)
     std::string trace_path, stats_json_path, sample_csv_path;
     std::vector<LinkKill> link_kills;
     std::vector<RouterKill> router_kills;
+    std::vector<CoreKill> core_kills;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -136,18 +179,29 @@ main(int argc, char **argv)
             tick_limit = static_cast<std::uint64_t>(std::atoll(next()));
         } else if (a == "--kill-link") {
             const char *v = next();
-            unsigned src, dst;
-            unsigned long long at;
-            if (std::sscanf(v, "%u:%u@%llu", &src, &dst, &at) != 3)
-                fatal("--kill-link expects SRC:DST@TICK, got '%s'", v);
-            link_kills.push_back({src, dst, static_cast<Tick>(at)});
+            std::uint64_t f[3];
+            if (!parseKillFields(v, ":@", f, 3))
+                fatal("--kill-link expects SRC:DST@TICK (plain decimal "
+                      "fields), got '%s'", v);
+            link_kills.push_back({static_cast<unsigned>(f[0]),
+                                  static_cast<unsigned>(f[1]),
+                                  static_cast<Tick>(f[2])});
         } else if (a == "--kill-router") {
             const char *v = next();
-            unsigned r;
-            unsigned long long at;
-            if (std::sscanf(v, "%u@%llu", &r, &at) != 2)
-                fatal("--kill-router expects R@TICK, got '%s'", v);
-            router_kills.push_back({r, static_cast<Tick>(at)});
+            std::uint64_t f[2];
+            if (!parseKillFields(v, "@", f, 2))
+                fatal("--kill-router expects R@TICK (plain decimal "
+                      "fields), got '%s'", v);
+            router_kills.push_back({static_cast<unsigned>(f[0]),
+                                    static_cast<Tick>(f[1])});
+        } else if (a == "--kill-core") {
+            const char *v = next();
+            std::uint64_t f[2];
+            if (!parseKillFields(v, "@", f, 2))
+                fatal("--kill-core expects C@TICK (plain decimal "
+                      "fields), got '%s'", v);
+            core_kills.push_back({static_cast<unsigned>(f[0]),
+                                  static_cast<Tick>(f[1])});
         } else if (a == "--stats") {
             dump_stats = true;
         } else if (a == "--trace" || a == "--trace-out") {
@@ -188,6 +242,21 @@ main(int argc, char **argv)
     if (config == "msa-omu-faults" && !omu)
         fatal("--no-omu is incompatible with msa-omu-faults (the "
               "offline slice sheds waiters to software)");
+    // Validate kill targets against the actual topology up front:
+    // a typo'd tile id should die here with a usable message, not
+    // deep inside system construction.
+    for (const LinkKill &lk : link_kills)
+        if (lk.a >= cores || lk.b >= cores)
+            fatal("--kill-link %u:%u out of range for %u tiles",
+                  lk.a, lk.b, cores);
+    for (const RouterKill &rk : router_kills)
+        if (rk.router >= cores)
+            fatal("--kill-router %u out of range for %u tiles",
+                  rk.router, cores);
+    for (const CoreKill &ck : core_kills)
+        if (ck.core >= cores)
+            fatal("--kill-core %u out of range for %u cores",
+                  ck.core, cores);
     if (!link_kills.empty() || !router_kills.empty()) {
         // CLI kills stack on top of whatever the preset armed.
         // Losing unprotected coherence or memory traffic wedges the
@@ -197,6 +266,21 @@ main(int argc, char **argv)
         for (const RouterKill &rk : router_kills)
             cfg.resil.routerKills.push_back(rk);
         cfg.noc.reliable = true;
+    }
+    if (!core_kills.empty()) {
+        for (const CoreKill &ck : core_kills)
+            cfg.resil.coreKills.push_back(ck);
+        // A corpse's hardware locks are recovered by lease expiry;
+        // without leases they would be orphaned forever, so CLI core
+        // kills arm the corefaults preset's lease parameters unless
+        // the preset already chose its own.
+        if (cfg.resil.leaseTicks == 0 &&
+            cfg.msa.mode != AccelMode::None) {
+            cfg.resil.leaseTicks = 4000;
+            cfg.resil.leaseProbeTimeout = 1500;
+        }
+        if (cfg.resil.timeoutTicks == 0)
+            cfg.resil.timeoutTicks = 1000;
     }
 
     // Observability is configured before the system is built so the
@@ -214,6 +298,9 @@ main(int argc, char **argv)
     sys::System s(cfg);
     const unsigned threads = cfg.numThreads();
     sync::SyncLib lib(flavor, threads);
+    if (cfg.resil.coreFaultsEnabled())
+        lib.setDeadQuery(
+            [&s](CoreId c) { return s.isDeclaredDead(c); });
     AppLayout layout;
     for (CoreId t = 0; t < threads; ++t)
         s.start(t, appThread(s.api(t), spec, layout, &lib, threads,
@@ -327,6 +414,20 @@ main(int argc, char **argv)
                         s.stats().counter("noc.deadLinks").value()),
                     static_cast<unsigned long long>(
                         s.stats().counter("noc.deadRouters").value()));
+    if (cfg.resil.coreFaultsEnabled())
+        std::printf("core faults    : %llu kills / %llu revocations / "
+                    "%llu reconfigs / %llu fenced releases\n",
+                    static_cast<unsigned long long>(
+                        s.stats().counterValue("resil.coreKills")),
+                    static_cast<unsigned long long>(
+                        s.stats().sumCountersSuffix(
+                            ".msa.lockRevocations")),
+                    static_cast<unsigned long long>(
+                        s.stats().sumCountersSuffix(
+                            ".msa.barrierReconfigs")),
+                    static_cast<unsigned long long>(
+                        s.stats().sumCountersSuffix(
+                            ".msa.fencedReleases")));
     std::printf("noc packets    : %llu (avg latency %.1f cycles)\n",
                 static_cast<unsigned long long>(
                     s.stats().counter("noc.packetsSent").value()),

@@ -65,7 +65,10 @@ Core::start(ThreadTask b)
     body.handle.promise().core = this;
     _started = true;
     _finished = false;
-    eq.schedule(0, [this] { body.handle.resume(); });
+    eq.schedule(0, [this] {
+        if (!_killed)
+            body.handle.resume();
+    });
 }
 
 void
@@ -76,6 +79,16 @@ Core::threadFinished()
     if (progressCell)
         ++*progressCell;
     stats.counter(statPrefix + "threadsFinished").inc();
+}
+
+void
+Core::kill()
+{
+    if (_killed || finished())
+        return;
+    _killed = true;
+    _finishTick = eq.now();
+    stats.counter(statPrefix + "killed").inc();
 }
 
 void
@@ -93,6 +106,8 @@ Core::issue(const Op &op, OpAwaiter *aw, std::coroutine_handle<> h)
       case OpType::Compute:
         stats.counter(statPrefix + "computeCycles").inc(op.cycles);
         eq.schedule(op.cycles, [this, t0, h] {
+            if (_killed)
+                return; // the corpse never resumes
             _trace.record(t0, eq.now(), "compute");
             h.resume();
         });
@@ -102,6 +117,8 @@ Core::issue(const Op &op, OpAwaiter *aw, std::coroutine_handle<> h)
         stats.counter(statPrefix + "loads").inc();
         _l1.read(op.addr, [this, t0, a = op.addr, aw,
                            h](std::uint64_t v) {
+            if (_killed)
+                return;
             _trace.record(t0, eq.now(), "read", a);
             aw->result = v;
             h.resume();
@@ -112,6 +129,8 @@ Core::issue(const Op &op, OpAwaiter *aw, std::coroutine_handle<> h)
         stats.counter(statPrefix + "stores").inc();
         _l1.write(op.addr, op.value, [this, t0, a = op.addr, aw,
                                       h](std::uint64_t old) {
+            if (_killed)
+                return;
             _trace.record(t0, eq.now(), "write", a);
             aw->result = old;
             h.resume();
@@ -122,6 +141,8 @@ Core::issue(const Op &op, OpAwaiter *aw, std::coroutine_handle<> h)
         stats.counter(statPrefix + "atomics").inc();
         _l1.atomic(op.addr, op.aop, op.value, op.value2,
                    [this, t0, a = op.addr, aw, h](std::uint64_t old) {
+            if (_killed)
+                return;
             _trace.record(t0, eq.now(), "atomic", a);
             aw->result = old;
             h.resume();
@@ -143,9 +164,13 @@ Core::issue(const Op &op, OpAwaiter *aw, std::coroutine_handle<> h)
         // queue's inline callback buffer.
         eq.schedule(cfg.syncFenceLatency, [t0, aw, h] {
             Core &c = aw->core;
+            if (c._killed)
+                return; // died in the fence: the op is never issued
             c.syncUnit->execute(c._id, aw->op,
                                 [t0, aw, h](SyncResult r) {
                 Core &core = aw->core;
+                if (core._killed)
+                    return; // a reply addressed to a corpse
                 core.syncOutstanding = false;
                 if (core.progressCell)
                     ++*core.progressCell;

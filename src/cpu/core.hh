@@ -127,8 +127,21 @@ class Core
     /** Begin executing @p body at the current tick. */
     void start(ThreadTask body);
 
+    /**
+     * Halt the core dead, mid-whatever it was doing (fault
+     * injection). The thread body is never resumed again: callbacks
+     * for its in-flight operation fire into a corpse and are
+     * discarded. The dead thread counts as finished so a recovered
+     * run can still quiesce, and its own finish/progress signals stop
+     * (a corpse must not feed the watchdog).
+     */
+    void kill();
+
+    /** True when the core was halted by fault injection. */
+    bool killed() const { return _killed; }
+
     /** True once the thread body has returned (or none started). */
-    bool finished() const { return !_started || _finished; }
+    bool finished() const { return !_started || _finished || _killed; }
 
     /** Tick at which the thread body returned. */
     Tick finishTick() const { return _finishTick; }
@@ -168,6 +181,7 @@ class Core
     ThreadTask body;
     bool _started = false;
     bool _finished = false;
+    bool _killed = false;
     Tick _finishTick = 0;
     bool syncOutstanding = false;
     std::uint64_t *progressCell = nullptr;

@@ -117,6 +117,14 @@ MsaClientHub::sendRequest(CoreId core, const cpu::Op &op)
     // pre-incremented before the first send).
     m->txn = cores[core].opSeq;
     m->flowId = cores[core].flowId;
+    if (mop == MsaOp::Unlock || mop == MsaOp::RwUnlock) {
+        // Echo the grant's wire epoch so a release overtaken by a
+        // lease revocation is fenced at the home (missing entry =>
+        // epoch 0 => never fenced: the lock was not granted to us).
+        auto it = cores[core].heldEpoch.find(op.addr);
+        if (it != cores[core].heldEpoch.end())
+            m->epoch = it->second;
+    }
     if (op.instr == cpu::SyncInstr::CondWait) {
         PerCore &pc = cores[core];
         if (pc.silentHeld.count(op.addr2))
@@ -185,6 +193,11 @@ MsaClientHub::execute(CoreId core, const cpu::Op &op, Cb cb)
                                           MsaOp::RwUnlock, op.addr);
         m->requester = core;
         m->noReply = true;
+        if (auto it = pc.heldEpoch.find(op.addr);
+            it != pc.heldEpoch.end()) {
+            m->epoch = it->second;
+            pc.heldEpoch.erase(it);
+        }
         ms.send(std::move(m));
         countOp(op, true);
         if (profiler)
@@ -204,6 +217,11 @@ MsaClientHub::execute(CoreId core, const cpu::Op &op, Cb cb)
                                           MsaOp::Unlock, op.addr);
         m->requester = core;
         m->noReply = true;
+        if (auto it = pc.heldEpoch.find(op.addr);
+            it != pc.heldEpoch.end()) {
+            m->epoch = it->second;
+            pc.heldEpoch.erase(it);
+        }
         ms.send(std::move(m));
         countOp(op, true);
         if (profiler)
@@ -349,6 +367,9 @@ MsaClientHub::complete(CoreId core, cpu::SyncResult result, bool no_silent)
     // lock at the MSA); only FAIL/ABORT mean the software path ran.
     countOp(pc.op, result == cpu::SyncResult::Success ||
                        result == cpu::SyncResult::Busy);
+    if (pc.op.instr == cpu::SyncInstr::Unlock ||
+        pc.op.instr == cpu::SyncInstr::RwUnlock)
+        pc.heldEpoch.erase(pc.op.addr); // the grant's epoch is spent
     if (result == cpu::SyncResult::Success) {
         // Track hardware-held locks (their unlocks complete locally).
         if (pc.op.instr == cpu::SyncInstr::Lock ||
@@ -419,6 +440,23 @@ void
 MsaClientHub::handleMessage(CoreId core, const std::shared_ptr<MsaMsg> &msg)
 {
     PerCore &pc = cores[core];
+    if (pc.dead) {
+        // A corpse answers nothing — not even a lease probe. The
+        // silence is what lets the home's lease expire and revoke.
+        stats.counter("resil.deadClientDrops").inc();
+        return;
+    }
+    if (msg->op == MsaOp::LeaseProbe) {
+        // Liveness heartbeat answered by the hub hardware on the
+        // core's behalf: a live owner renews even while its thread
+        // is blocked or descheduled.
+        stats.counter("resil.leaseRenewals").inc();
+        auto r = std::make_shared<MsaMsg>(cfg.tileOf(core), msg->src(),
+                                          MsaOp::LeaseRenew, msg->addr);
+        r->requester = core;
+        ms.send(std::move(r));
+        return;
+    }
     if (msg->txn != 0 && (!pc.active || msg->txn != pc.opSeq)) {
         // Response for a transaction we already resolved (e.g. a
         // delayed duplicate racing a cache re-response). Only ever
@@ -442,8 +480,14 @@ MsaClientHub::handleMessage(CoreId core, const std::shared_ptr<MsaMsg> &msg)
             pc.silentAddrOfBlock.erase(blockAlign(msg->addr));
             ms.l1(cfg.tileOf(core)).clearHwSync(msg->addr);
         }
-        if (msg->op == MsaOp::RespSuccess)
+        if (msg->op == MsaOp::RespSuccess) {
+            if (msg->epoch != 0) {
+                // Grant epoch: echoed on the matching release so the
+                // home can fence it if a revocation intervenes.
+                pc.heldEpoch[msg->addr] = msg->epoch;
+            }
             complete(core, cpu::SyncResult::Success, msg->noSilent);
+        }
         break;
       case MsaOp::RespFail:
         complete(core, cpu::SyncResult::Fail);
@@ -509,6 +553,34 @@ MsaClientHub::holdsHw(CoreId core, Addr a) const
 {
     const PerCore &pc = cores[core];
     return pc.hwHeld.count(a) != 0 || pc.silentHeld.count(a) != 0;
+}
+
+void
+MsaClientHub::killCore(CoreId core)
+{
+    PerCore &pc = cores[core];
+    if (pc.dead)
+        return;
+    pc.dead = true;
+    stats.counter("resil.clientKills").inc();
+    // The outstanding op's callback targets a corpse: drop it. Stale
+    // timeouts see active == false and die quietly.
+    pc.active = false;
+    pc.cb = nullptr;
+    pc.interrupted = false;
+    pc.resendPending = false;
+    // Release silent holds at the L1: a silently-held lock block
+    // defers snoops until release, and the corpse never releases.
+    // Flushing re-enables invalidations, so the pending grant or
+    // software atomic serializes after the abandoned hold — silent
+    // locks recover through coherence alone, no lease involved.
+    for (Addr a : pc.silentHeld)
+        ms.l1(cfg.tileOf(core)).flushDeferred(a);
+    pc.silentHeld.clear();
+    pc.silentAddrOfBlock.clear();
+    // pc.hwHeld is kept: it mirrors grants the slices still record
+    // for the corpse, which the invariant checker cross-checks until
+    // the lease machinery revokes them.
 }
 
 } // namespace msa

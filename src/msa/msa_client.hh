@@ -40,6 +40,7 @@ isClientBound(MsaOp op)
       case MsaOp::RespBusy:
       case MsaOp::SuspendAck:
       case MsaOp::UnlockDone:
+      case MsaOp::LeaseProbe:
         return true;
       default:
         return false;
@@ -78,6 +79,20 @@ class MsaClientHub : public cpu::SyncUnit
 
     /** True while @p core holds @p a in hardware (grant or silent). */
     bool holdsHw(CoreId core, Addr a) const;
+
+    /**
+     * Core fault injection: @p core died. Drop its outstanding op
+     * (the completion callback targets a corpse), stop answering
+     * lease probes for it, and release its silent holds at the L1 so
+     * deferred snoops proceed — a silently-held lock is recovered by
+     * coherence alone, no lease needed. Its hardware-granted holds
+     * stay recorded: they mirror what the slices still believe until
+     * the lease machinery revokes those grants.
+     */
+    void killCore(CoreId core);
+
+    /** True when @p core was killed by fault injection. */
+    bool isDead(CoreId core) const { return cores[core].dead; }
 
     /**
      * Mark @p home's tile as permanently unreachable (mesh
@@ -151,6 +166,15 @@ class MsaClientHub : public cpu::SyncUnit
          * stop using the silent fast path.
          */
         std::set<Addr> condAssociated;
+
+        /** Killed by core fault injection (see killCore()). */
+        bool dead = false;
+        /**
+         * Wire epoch each hardware grant arrived with, echoed on the
+         * matching Unlock/RwUnlock so the home can fence releases
+         * from before a revocation (see MsaMsg::epoch).
+         */
+        std::map<Addr, std::uint32_t> heldEpoch;
     };
 
     /** Send @p op's request message to its home MSA slice. */

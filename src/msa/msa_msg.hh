@@ -7,7 +7,14 @@
 #ifndef MISAR_MSA_MSA_MSG_HH
 #define MISAR_MSA_MSA_MSG_HH
 
+#include <bitset>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "cpu/op.hh"
+#include "mem/home_slice.hh"
 #include "noc/packet.hh"
 #include "sim/types.hh"
 
@@ -42,6 +49,13 @@ enum class MsaOp : std::uint8_t
      * of that transaction. Never fault-injected.
      */
     FailNotice,
+    /**
+     * Lease renewal from a holder's client hub (fire-and-forget,
+     * answers a LeaseProbe). Sent by the hub hardware, so a live
+     * holder renews even while its thread is blocked or descheduled;
+     * only a dead core stays silent. Never fault-injected (txn 0).
+     */
+    LeaseRenew,
 
     // home MSA -> client (vnet 1)
     RespSuccess,
@@ -57,6 +71,12 @@ enum class MsaOp : std::uint8_t
      * privilege cleanup but never completes an instruction.
      */
     UnlockDone,
+    /**
+     * Lease-expiry liveness probe for the recorded owner of a lock
+     * entry. The owner's client hub answers with LeaseRenew if the
+     * core is alive; no answer within leaseProbeTimeout convicts it.
+     */
+    LeaseProbe,
 
     // cond-var home -> lock home (vnet 0)
     /** UNLOCK&PIN: unlock on behalf of requester, pin lock entry. */
@@ -73,6 +93,15 @@ enum class MsaOp : std::uint8_t
     // lock home -> cond-var home (vnet 1)
     UnlockPinAck,
     UnlockPinNack,
+
+    // dying slice -> buddy slice (vnet 0)
+    /**
+     * Slice-failover state transfer: the whole decommissioned
+     * slice's live state (entries, OMU counters, per-client dedup
+     * state, variable epochs) re-homes to the buddy in one modeled
+     * transfer burst. Never fault-injected (txn 0).
+     */
+    SliceHandoff,
 };
 
 /** True for messages travelling on the reply virtual network. */
@@ -86,6 +115,7 @@ isReplyOp(MsaOp op)
       case MsaOp::RespBusy:
       case MsaOp::SuspendAck:
       case MsaOp::UnlockDone:
+      case MsaOp::LeaseProbe:
       case MsaOp::UnlockPinAck:
       case MsaOp::UnlockPinNack:
         return true;
@@ -114,12 +144,14 @@ msaOpName(MsaOp op)
       case MsaOp::LockSilent: return "LOCK_SILENT";
       case MsaOp::UnlockSilent: return "UNLOCK_SILENT";
       case MsaOp::FailNotice: return "FAIL_NOTICE";
+      case MsaOp::LeaseRenew: return "LEASE_RENEW";
       case MsaOp::RespSuccess: return "RESP_SUCCESS";
       case MsaOp::RespFail: return "RESP_FAIL";
       case MsaOp::RespAbort: return "RESP_ABORT";
       case MsaOp::RespBusy: return "RESP_BUSY";
       case MsaOp::SuspendAck: return "SUSPEND_ACK";
       case MsaOp::UnlockDone: return "UNLOCK_DONE";
+      case MsaOp::LeaseProbe: return "LEASE_PROBE";
       case MsaOp::UnlockPin: return "UNLOCK_PIN";
       case MsaOp::UnlockOnBehalf: return "UNLOCK_ON_BEHALF";
       case MsaOp::LockOnBehalf: return "LOCK_ON_BEHALF";
@@ -127,9 +159,51 @@ msaOpName(MsaOp op)
       case MsaOp::Unpin: return "UNPIN";
       case MsaOp::UnlockPinAck: return "UNLOCK_PIN_ACK";
       case MsaOp::UnlockPinNack: return "UNLOCK_PIN_NACK";
+      case MsaOp::SliceHandoff: return "SLICE_HANDOFF";
     }
     return "?";
 }
+
+/**
+ * Snapshot of a dying slice's live state, carried by a SliceHandoff
+ * message to the buddy slice. One modeled transfer burst re-homes the
+ * variables instead of shedding them (PR 1's decommission fallback).
+ */
+struct SliceHandoffState
+{
+    /** One MSA entry, flattened for transfer. */
+    struct Entry
+    {
+        std::uint8_t type = 0;   //!< msa::EntryType as raw value
+        Addr addr = invalidAddr;
+        CoreId owner = invalidCore;
+        CoreId pushedTo = invalidCore;
+        std::uint32_t pinCount = 0;
+        std::uint32_t goal = 0;
+        Addr lockAddr = invalidAddr;
+        bool busy = false;
+        std::bitset<mem::maxCores> hwQueue;
+        std::bitset<mem::maxCores> readersHeld;
+        std::bitset<mem::maxCores> waitIsWriter;
+    };
+
+    /** Per-client at-most-once transaction state. */
+    struct Txn
+    {
+        CoreId core = invalidCore;
+        std::uint64_t seen = 0;
+        std::uint64_t done = 0;
+        std::uint8_t doneOp = 0;  //!< MsaOp of the cached response
+        bool doneHandoff = false;
+    };
+
+    std::vector<Entry> entries;
+    std::vector<Txn> txns;
+    /** Per-slot OMU counter values (same hash across slices). */
+    std::vector<std::uint32_t> omuCounts;
+    /** Per-variable revocation epochs. */
+    std::vector<std::pair<Addr, std::uint32_t>> epochs;
+};
 
 /** One MSA protocol message (always control-sized). */
 class MsaMsg : public noc::Packet
@@ -188,6 +262,17 @@ class MsaMsg : public noc::Packet
      * never influences protocol behaviour.
      */
     std::uint64_t flowId = 0;
+    /**
+     * Wire epoch for lease-based revocation fencing. Grants carry
+     * varEpoch + 1 for the granted variable; the client echoes the
+     * recorded value on Unlock/RwUnlock. 0 means "no epoch info"
+     * (pre-lease traffic, migrated unlocks) and is never fenced; a
+     * nonzero value smaller than the variable's current wire epoch
+     * identifies a stale release from a revoked (dead) owner.
+     */
+    std::uint32_t epoch = 0;
+    /** SliceHandoff payload (shared so MsaMsg stays copyable). */
+    std::shared_ptr<SliceHandoffState> handoffState;
 };
 
 } // namespace msa

@@ -1,5 +1,7 @@
 #include "msa/msa_slice.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace misar {
@@ -210,6 +212,20 @@ void
 MsaSlice::process(const std::shared_ptr<MsaMsg> &msg)
 {
     stats.counter(statPrefix + "requests").inc();
+    if (buddy != invalidCore) {
+        // Failed over: this slice is only a forwarding shell. Every
+        // message — requests, retransmissions, even in-flight acks —
+        // goes to the buddy, which holds the merged dedup state.
+        forwardToBuddy(msg);
+        return;
+    }
+    if (awaitingHandoff && msg->op != MsaOp::SliceHandoff) {
+        // Buddy side of a failover: hold all traffic until the
+        // handed-off state is merged, then re-enter it through this
+        // same gate in arrival order.
+        awaitingQueue.push_back(msg);
+        return;
+    }
     if (msg->txn != 0 && msg->op != MsaOp::FailNotice) {
         // Transaction-tracked client request: deduplicate against
         // retransmissions (at-most-once execution).
@@ -325,6 +341,12 @@ MsaSlice::dispatch(const std::shared_ptr<MsaMsg> &msg)
       case MsaOp::FailNotice:
         doFailNotice(msg);
         break;
+      case MsaOp::LeaseRenew:
+        doLeaseRenew(msg);
+        break;
+      case MsaOp::SliceHandoff:
+        doHandoff(msg);
+        break;
       default:
         panic("MSA %u: unexpected message op %d", tile,
               static_cast<int>(msg->op));
@@ -436,9 +458,24 @@ MsaSlice::grantLock(MsaEntry &e, CoreId core)
                              bool no_silent) {
         const std::uint64_t saved = curFlowId;
         curFlowId = fid;
-        respondFinal(core, MsaOp::RespSuccess, addr, false, no_silent);
+        auto m = makeClientResp(core, MsaOp::RespSuccess, addr);
+        m->noSilent = no_silent;
+        m->epoch = wireEpoch(addr);
+        send(std::move(m));
         curFlowId = saved;
     };
+
+    // Arm the lease on the fresh grant: if the owner dies without
+    // releasing, the missed renewals let this slice revoke the
+    // orphaned lock instead of deadlocking its waiters.
+    if (leasesEnabled())
+        scheduleLease(e);
+
+    // A variable re-homed here by a slice failover keeps its cache
+    // home on the original (still-alive) tile: push/revoke through
+    // the directory that actually owns the block.
+    mem::HomeSlice &dir =
+        homeLookup ? homeLookup(blockAlign(addr)) : home;
 
     // The block lives in the thread's tile-level L1; pushedTo tracks
     // the thread (its tile's cache holds the privilege copy).
@@ -446,13 +483,13 @@ MsaSlice::grantLock(MsaEntry &e, CoreId core)
         // Ship the block in E state with the HWSync bit set along
         // with the SUCCESS response (paper §5).
         e.pushedTo = core;
-        home.grantExclusive(blockAlign(addr), cfg.tileOf(core), true,
-                            [respond_grant] { respond_grant(false); });
+        dir.grantExclusive(blockAlign(addr), cfg.tileOf(core), true,
+                           [respond_grant] { respond_grant(false); });
     } else if (need_revoke) {
         // Strip the stale copy; push without the bit.
         e.pushedTo = invalidCore;
-        home.grantExclusive(blockAlign(addr), cfg.tileOf(core), false,
-                            [respond_grant] { respond_grant(true); });
+        dir.grantExclusive(blockAlign(addr), cfg.tileOf(core), false,
+                           [respond_grant] { respond_grant(true); });
     } else {
         respond_grant(true);
     }
@@ -593,6 +630,20 @@ MsaSlice::doUnlock(const std::shared_ptr<MsaMsg> &msg)
         return;
     }
 
+    if (msg->epoch != 0 && msg->epoch < wireEpoch(addr)) {
+        // Stale release from a revoked grant generation: the lease
+        // machinery already reassigned (or freed) this lock after
+        // declaring its owner dead. Fence the release — acting on it
+        // would unlock the *new* owner's critical section. handoff
+        // revokes any silent-privilege record at the (dead) client.
+        stats.counter(statPrefix + "fencedReleases").inc();
+        traceInstant("FENCED_RELEASE", addr, msg->epoch, true);
+        respondFinal(core,
+                     msg->noReply ? MsaOp::UnlockDone : MsaOp::RespSuccess,
+                     addr, /*handoff=*/true);
+        return;
+    }
+
     MsaEntry *e = find(addr);
     if (!e) {
         if (msg->noReply)
@@ -690,7 +741,7 @@ MsaSlice::rwDrain(MsaEntry &e)
         e.hwQueue.reset(next);
         e.waitIsWriter.reset(next);
         e.owner = next;
-        respond(next, MsaOp::RespSuccess, e.addr);
+        respondRwGrant(next, e.addr);
         return;
     }
     // Reader at the head: batch-grant every queued reader.
@@ -698,9 +749,17 @@ MsaSlice::rwDrain(MsaEntry &e)
         if (e.hwQueue.test(c) && !e.waitIsWriter.test(c)) {
             e.hwQueue.reset(c);
             e.readersHeld.set(c);
-            respond(c, MsaOp::RespSuccess, e.addr);
+            respondRwGrant(c, e.addr);
         }
     }
+}
+
+void
+MsaSlice::respondRwGrant(CoreId core, Addr addr)
+{
+    auto m = makeClientResp(core, MsaOp::RespSuccess, addr);
+    m->epoch = wireEpoch(addr);
+    send(std::move(m));
 }
 
 void
@@ -752,7 +811,7 @@ MsaSlice::doRwLock(const std::shared_ptr<MsaMsg> &msg, bool writer)
         if (e->owner == invalidCore && !e->readersHeld.any() &&
             !e->hwQueue.any()) {
             e->owner = core;
-            respond(core, MsaOp::RespSuccess, addr);
+            respondRwGrant(core, addr);
             return;
         }
     } else {
@@ -761,7 +820,7 @@ MsaSlice::doRwLock(const std::shared_ptr<MsaMsg> &msg, bool writer)
         const bool writer_waiting = (e->hwQueue & e->waitIsWriter).any();
         if (e->owner == invalidCore && !writer_waiting) {
             e->readersHeld.set(core);
-            respond(core, MsaOp::RespSuccess, addr);
+            respondRwGrant(core, addr);
             return;
         }
     }
@@ -782,6 +841,14 @@ MsaSlice::doRwUnlock(const std::shared_ptr<MsaMsg> &msg)
     if (!typeSupported(SyncType::Lock)) {
         omuDec(addr);
         respond(core, MsaOp::RespFail, addr);
+        return;
+    }
+    if (msg->epoch != 0 && msg->epoch < wireEpoch(addr)) {
+        // Stale release from before a dead-writer revocation.
+        stats.counter(statPrefix + "fencedReleases").inc();
+        traceInstant("FENCED_RELEASE", addr, msg->epoch, true);
+        if (!msg->noReply)
+            respond(core, MsaOp::RespSuccess, addr);
         return;
     }
     MsaEntry *e = find(addr);
@@ -806,13 +873,23 @@ MsaSlice::doRwUnlock(const std::shared_ptr<MsaMsg> &msg)
         panic("MSA %u: RW_UNLOCK on non-RW addr %llx", tile,
               static_cast<unsigned long long>(addr));
 
-    if (e->owner == core)
+    if (e->owner == core) {
         e->owner = invalidCore;
-    else if (e->readersHeld.test(core))
+    } else if (e->readersHeld.test(core)) {
         e->readersHeld.reset(core);
-    else
+    } else if (cfg.resil.coreFaultsEnabled() && msg->epoch != 0) {
+        // A declared-dead reader was already dropped from readersHeld
+        // (reader removal does not bump the epoch, so the top-of-
+        // function fence cannot catch this): tolerate the stale
+        // release instead of panicking.
+        stats.counter(statPrefix + "fencedReleases").inc();
+        if (!msg->noReply)
+            respond(core, MsaOp::RespSuccess, addr);
+        return;
+    } else {
         panic("MSA %u: RW_UNLOCK by non-holder core %u on %llx", tile,
               core, static_cast<unsigned long long>(addr));
+    }
 
     if (!msg->noReply)
         respond(core, MsaOp::RespSuccess, addr);
@@ -883,16 +960,37 @@ MsaSlice::doBarrier(const std::shared_ptr<MsaMsg> &msg)
     e->hwQueue.set(core);
     if (profiler)
         profiler->onBarrierArrive(addr, eq.now());
-    if (e->hwQueue.count() >= e->goal) {
-        for (unsigned c = 0; c < cfg.numThreads(); ++c)
-            if (e->hwQueue.test(c))
-                respond(c, MsaOp::RespSuccess, addr);
-        stats.counter(statPrefix + "barrierReleases").inc();
-        traceInstant("BARRIER_RELEASE", addr, e->goal, true);
-        if (profiler)
-            profiler->onBarrierRelease(addr, eq.now());
-        retireEntry(*e);
-    }
+    if (barrierQuorumMet(*e))
+        releaseBarrier(*e);
+}
+
+bool
+MsaSlice::barrierQuorumMet(const MsaEntry &e) const
+{
+    std::uint32_t arrived = static_cast<std::uint32_t>(e.hwQueue.count());
+    // Membership reconfiguration (full-participation barriers only —
+    // the per-entry goal carries no membership set, so a subset
+    // barrier cannot know whether a dead core belongs to it): dead
+    // members that have not arrived never will; count them toward
+    // the quorum so the live waiters are released.
+    if (cfg.resil.coreFaultsEnabled() && deadThreads.any() &&
+        e.goal == cfg.numThreads())
+        arrived +=
+            static_cast<std::uint32_t>((deadThreads & ~e.hwQueue).count());
+    return arrived >= e.goal;
+}
+
+void
+MsaSlice::releaseBarrier(MsaEntry &e)
+{
+    for (unsigned c = 0; c < cfg.numThreads(); ++c)
+        if (e.hwQueue.test(c))
+            respond(c, MsaOp::RespSuccess, e.addr);
+    stats.counter(statPrefix + "barrierReleases").inc();
+    traceInstant("BARRIER_RELEASE", e.addr, e.goal, true);
+    if (profiler)
+        profiler->onBarrierRelease(e.addr, eq.now());
+    retireEntry(e);
 }
 
 void
@@ -982,7 +1080,12 @@ MsaSlice::doUnlockPin(const std::shared_ptr<MsaMsg> &msg)
     const Addr lock = msg->addr;
     const Addr cond = msg->addr2;
     const CoreId waiter = msg->requester;
-    const CoreId cond_home = msg->src();
+    // Recompute the cond var's home from its address rather than
+    // trusting msg->src(): a request forwarded by a failed-over slice
+    // carries the forwarder as source, and the reply must reach the
+    // cond home (whose own forwarding shell re-routes it if that
+    // slice failed over too).
+    const CoreId cond_home = mem::homeTile(blockAlign(cond), cfg.numCores);
 
     auto nack = [&] {
         auto r = std::make_shared<MsaMsg>(tile, cond_home,
@@ -1346,6 +1449,445 @@ MsaSlice::goOffline()
     traceInstant("OFFLINE", 0);
     if (cfg.msa.omuEnabled)
         shedEntries();
+}
+
+// ---------------------------------------------------------------------
+// Lease-based lock recovery (docs/PROTOCOL.md "Participant failure
+// semantics").
+
+bool
+MsaSlice::leasesEnabled() const
+{
+    return cfg.resil.leaseTicks > 0;
+}
+
+std::uint32_t
+MsaSlice::epochOf(Addr addr) const
+{
+    auto it = varEpoch.find(addr);
+    return it == varEpoch.end() ? 0 : it->second;
+}
+
+std::uint32_t
+MsaSlice::wireEpoch(Addr addr) const
+{
+    // Offset by one so 0 stays the "no epoch info" wire sentinel
+    // (migrated unlocks and pre-lease traffic must never be fenced).
+    return epochOf(addr) + 1;
+}
+
+void
+MsaSlice::bumpEpoch(Addr addr)
+{
+    ++varEpoch[addr];
+}
+
+void
+MsaSlice::scheduleLease(MsaEntry &e)
+{
+    // A slice-global stamp, not a per-entry generation: a stale
+    // lease event can never mistake a re-used entry (or a re-grant
+    // of the same address) for the grant it was armed against.
+    e.leaseStamp = ++leaseSeq;
+    eq.schedule(cfg.resil.leaseTicks,
+                [this, addr = e.addr, stamp = e.leaseStamp] {
+                    onLeaseCheck(addr, stamp);
+                });
+}
+
+void
+MsaSlice::onLeaseCheck(Addr addr, std::uint64_t stamp)
+{
+    if (buddy != invalidCore)
+        return; // failed over: the buddy re-armed its own leases
+    MsaEntry *e = find(addr);
+    if (!e || e->type != SyncType::Lock || e->leaseStamp != stamp ||
+        e->owner == invalidCore)
+        return; // released, revoked, or re-granted since armed
+    // Probe the recorded owner's client hub. The hub answers for the
+    // core (renewal is hardware heartbeat, not thread progress), so
+    // only a genuinely dead core stays silent.
+    stats.counter(statPrefix + "leaseProbes").inc();
+    auto p = std::make_shared<MsaMsg>(tile, cfg.tileOf(e->owner),
+                                      MsaOp::LeaseProbe, addr);
+    p->requester = e->owner;
+    send(std::move(p));
+    eq.schedule(cfg.resil.leaseProbeTimeout,
+                [this, addr, stamp] { onLeaseVerdict(addr, stamp); });
+}
+
+void
+MsaSlice::onLeaseVerdict(Addr addr, std::uint64_t stamp)
+{
+    if (buddy != invalidCore)
+        return;
+    MsaEntry *e = find(addr);
+    if (!e || e->type != SyncType::Lock || e->leaseStamp != stamp ||
+        e->owner == invalidCore)
+        return; // renewed (re-stamped), released, or re-granted
+    if (e->busy) {
+        // Mid-reserve: revoking under a multi-step operation would
+        // corrupt it. Re-check once the entry settles.
+        eq.schedule(cfg.resil.leaseProbeTimeout,
+                    [this, addr, stamp] { onLeaseVerdict(addr, stamp); });
+        return;
+    }
+    warn("MSA %u: lease expired on %llx (owner core %u unresponsive), "
+         "revoking",
+         tile, static_cast<unsigned long long>(addr), e->owner);
+    revokeOwner(*e);
+}
+
+void
+MsaSlice::doLeaseRenew(const std::shared_ptr<MsaMsg> &msg)
+{
+    MsaEntry *e = find(msg->addr);
+    if (!e || e->type != SyncType::Lock || e->owner != msg->requester)
+        return; // released or revoked while the renewal was in flight
+    stats.counter(statPrefix + "leaseRenewals").inc();
+    scheduleLease(*e); // re-stamp: the pending verdict dies with it
+}
+
+void
+MsaSlice::revokeOwner(MsaEntry &e)
+{
+    const Addr addr = e.addr;
+    // Fence the dead owner's release generation *before* the next
+    // grant: any UNLOCK it still has in flight carries the old wire
+    // epoch and bounces off doUnlock's fence instead of releasing
+    // the new owner's critical section.
+    bumpEpoch(addr);
+    stats.counter(statPrefix + "lockRevocations").inc();
+    traceInstant("LEASE_REVOKE", addr, e.owner, true);
+    e.hwQueue.reset(e.owner);
+    e.owner = invalidCore;
+    // e.pushedTo may still name the corpse; the next grant strips
+    // that stale privilege copy through the need_revoke path.
+    if (e.hwQueue.any()) {
+        CoreId next = pickNext(e);
+        grantLock(e, next);
+    } else {
+        release(e);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dead-participant reconfiguration (failure-detector declarations).
+
+void
+MsaSlice::coreDeclaredDead(CoreId core)
+{
+    if (deadThreads.test(core))
+        return;
+    deadThreads.set(core);
+    // One reconfiguration event per slice per declaration: barrier
+    // membership masks now exclude the corpse for good.
+    stats.counter(statPrefix + "barrierReconfigs").inc();
+    traceInstant("DEAD_DECLARED", 0, core, true);
+    if (buddy != invalidCore)
+        return; // no local entries; the buddy reconfigures its copies
+    reconfigureEntriesFor(core);
+}
+
+void
+MsaSlice::reconfigureEntriesFor(CoreId core)
+{
+    // Reconfiguration can free entries (and, for MSA-inf, grow the
+    // vector through a re-grant): walk by address, not by reference.
+    std::vector<Addr> addrs;
+    for (const auto &e : entries)
+        if (e.valid && !e.tombstone)
+            addrs.push_back(e.addr);
+
+    for (Addr a : addrs) {
+        MsaEntry *e = find(a);
+        if (!e)
+            continue;
+        switch (e->type) {
+          case SyncType::Lock:
+            if (e->busy)
+                break; // settles soon; the armed lease catches it
+            if (e->owner == core) {
+                revokeOwner(*e);
+                break;
+            }
+            if (e->hwQueue.test(core)) {
+                // A dead waiter never takes a grant: drop it now.
+                e->hwQueue.reset(core);
+                stats.counter(statPrefix + "deadWaiterDrops").inc();
+                if (!e->hwQueue.any() && e->owner == invalidCore)
+                    release(*e);
+            }
+            break;
+
+          case SyncType::RwLock: {
+            bool changed = false;
+            if (e->owner == core) {
+                // Dead writer: exclusive revocation, epoch-fenced
+                // (no live holder exists, so the bump fences only
+                // the corpse's stale release).
+                bumpEpoch(a);
+                e->owner = invalidCore;
+                stats.counter(statPrefix + "lockRevocations").inc();
+                traceInstant("LEASE_REVOKE", a, core, true);
+                changed = true;
+            }
+            if (e->readersHeld.test(core)) {
+                // Dead reader: drop the hold but do NOT bump the
+                // epoch — live concurrent readers' releases carry
+                // the same grant epoch and must not be fenced.
+                e->readersHeld.reset(core);
+                stats.counter(statPrefix + "lockRevocations").inc();
+                changed = true;
+            }
+            if (e->hwQueue.test(core)) {
+                e->hwQueue.reset(core);
+                e->waitIsWriter.reset(core);
+                stats.counter(statPrefix + "deadWaiterDrops").inc();
+                changed = true;
+            }
+            if (changed) {
+                rwDrain(*e);
+                if (e->owner == invalidCore && !e->readersHeld.any() &&
+                    !e->hwQueue.any())
+                    retireEntry(*e);
+            }
+            break;
+          }
+
+          case SyncType::Barrier:
+            // The dead member's arrival will never come; if the live
+            // arrivals plus dead members now meet the goal, release.
+            if (barrierQuorumMet(*e))
+                releaseBarrier(*e);
+            break;
+
+          case SyncType::Cond:
+            if (e->busy)
+                break;
+            if (e->hwQueue.test(core)) {
+                e->hwQueue.reset(core);
+                stats.counter(statPrefix + "deadWaiterDrops").inc();
+                if (!e->hwQueue.any()) {
+                    sendUnpin(e->lockAddr);
+                    freeEntry(*e);
+                }
+            }
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Slice failover (decommission with state re-homing).
+
+void
+MsaSlice::failoverTo(CoreId b)
+{
+    if (offline || buddy != invalidCore)
+        return;
+    offline = true;
+    buddy = b;
+    stats.counter(statPrefix + "offlineEvents").inc();
+    stats.counter(statPrefix + "failovers").inc();
+    traceInstant("FAILOVER", 0, b, true);
+
+    // Deferred originals are forwarded below as first deliveries, but
+    // their txns were already marked seen here — and that mark rides
+    // the handoff. Rewind to the completed watermark (the SUSPEND
+    // dequeue trick) so the forwarded copies pass the buddy's gate.
+    for (const auto &m : deferred)
+        if (m->txn != 0 && m->requester != invalidCore)
+            txns[m->requester].seen = txns[m->requester].done;
+
+    auto st = std::make_shared<SliceHandoffState>();
+    std::uint32_t moved = 0;
+    for (auto &e : entries) {
+        if (!e.valid || e.tombstone)
+            continue;
+        SliceHandoffState::Entry se;
+        se.type = static_cast<std::uint8_t>(e.type);
+        se.addr = e.addr;
+        se.owner = e.owner;
+        se.pushedTo = e.pushedTo;
+        se.pinCount = e.pinCount;
+        se.goal = e.goal;
+        se.lockAddr = e.lockAddr;
+        se.busy = e.busy;
+        se.hwQueue = e.hwQueue;
+        se.readersHeld = e.readersHeld;
+        se.waitIsWriter = e.waitIsWriter;
+        st->entries.push_back(se);
+        ++moved;
+        freeEntry(e);
+    }
+    for (unsigned c = 0; c < cfg.numThreads(); ++c) {
+        const ClientTxn &ct = txns[c];
+        if (ct.seen == 0 && ct.done == 0)
+            continue;
+        SliceHandoffState::Txn t;
+        t.core = c;
+        t.seen = ct.seen;
+        t.done = ct.done;
+        t.doneOp = static_cast<std::uint8_t>(ct.doneOp);
+        t.doneHandoff = ct.doneHandoff;
+        st->txns.push_back(t);
+    }
+    if (cfg.msa.omuEnabled) {
+        // Both OMUs hash identically, so software-episode counts
+        // transfer slot-for-slot — each exactly once (zeroed here,
+        // added there).
+        st->omuCounts.resize(_omu.numCounters());
+        for (unsigned i = 0; i < _omu.numCounters(); ++i) {
+            st->omuCounts[i] = _omu.countAt(i);
+            _omu.clearAt(i);
+        }
+    }
+    for (const auto &[a, ep] : varEpoch)
+        st->epochs.emplace_back(a, ep);
+
+    stats.counter(statPrefix + "rehomedVars").inc(moved);
+    auto m = std::make_shared<MsaMsg>(tile, b, MsaOp::SliceHandoff, 0);
+    m->handoffState = std::move(st);
+    send(std::move(m));
+
+    // Forward the deferred originals behind the handoff message.
+    std::deque<std::shared_ptr<MsaMsg>> fwd;
+    fwd.swap(deferred);
+    for (auto &d : fwd)
+        forwardToBuddy(d);
+}
+
+void
+MsaSlice::expectHandoff(CoreId from)
+{
+    (void)from;
+    awaitingHandoff = true;
+    traceInstant("AWAIT_HANDOFF", 0);
+}
+
+void
+MsaSlice::forwardToBuddy(const std::shared_ptr<MsaMsg> &msg)
+{
+    stats.counter(statPrefix + "forwardedToBuddy").inc();
+    // Re-address to the buddy; src becomes this tile (the NoC's
+    // reliable-delivery streams are per source NI). Replies that
+    // depended on msg->src() recompute their destination from the
+    // synchronization address instead (see doUnlockPin).
+    auto f = std::make_shared<MsaMsg>(tile, buddy, msg->op, msg->addr);
+    f->addr2 = msg->addr2;
+    f->goal = msg->goal;
+    f->requester = msg->requester;
+    f->suspendKind = msg->suspendKind;
+    f->lockHeldSilently = msg->lockHeldSilently;
+    f->noSilent = msg->noSilent;
+    f->handoff = msg->handoff;
+    f->noReply = msg->noReply;
+    f->txn = msg->txn;
+    f->flowId = msg->flowId;
+    f->epoch = msg->epoch;
+    f->handoffState = msg->handoffState;
+    send(std::move(f));
+}
+
+MsaEntry *
+MsaSlice::adoptEntry(Addr addr)
+{
+    if (find(addr))
+        panic("MSA %u: handoff entry %llx collides with a live entry",
+              tile, static_cast<unsigned long long>(addr));
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (!entries[i].valid) {
+            entries[i].reset();
+            entries[i].valid = true;
+            entries[i].addr = addr;
+            entryIndex.insert(addr, static_cast<std::uint32_t>(i));
+            return &entries[i];
+        }
+    }
+    // Hosting two tiles' worth of variables after a failover may
+    // exceed msaEntries; grow rather than drop live waiter state.
+    // This is transient post-fault generosity, not steady-state
+    // capacity: new allocations still respect the configured bound
+    // via allocate().
+    entries.emplace_back();
+    MsaEntry &e = entries.back();
+    e.valid = true;
+    e.addr = addr;
+    entryIndex.insert(addr, static_cast<std::uint32_t>(entries.size() - 1));
+    return &e;
+}
+
+void
+MsaSlice::doHandoff(const std::shared_ptr<MsaMsg> &msg)
+{
+    if (!msg->handoffState)
+        panic("MSA %u: SliceHandoff without state payload", tile);
+    const SliceHandoffState &st = *msg->handoffState;
+    stats.counter(statPrefix + "handoffsApplied").inc();
+    traceInstant("HANDOFF_APPLY", 0,
+                 static_cast<std::uint64_t>(st.entries.size()), true);
+
+    // Per-client dedup state: adopt the newer completion, keep the
+    // higher seen watermark, so retransmissions of requests the
+    // dying slice answered are re-answered, not re-executed.
+    for (const auto &t : st.txns) {
+        ClientTxn &ct = txns[t.core];
+        if (t.done > ct.done) {
+            ct.done = t.done;
+            ct.doneOp = static_cast<MsaOp>(t.doneOp);
+            ct.doneHandoff = t.doneHandoff;
+        }
+        if (t.seen > ct.seen)
+            ct.seen = t.seen;
+    }
+    // Variable epochs only grow: max-merge.
+    for (const auto &[a, ep] : st.epochs) {
+        auto &mine = varEpoch[a];
+        if (ep > mine)
+            mine = ep;
+    }
+    if (cfg.msa.omuEnabled) {
+        const unsigned n = std::min<unsigned>(
+            static_cast<unsigned>(st.omuCounts.size()),
+            _omu.numCounters());
+        for (unsigned i = 0; i < n; ++i)
+            if (st.omuCounts[i])
+                _omu.addAt(i, st.omuCounts[i]);
+    }
+    for (const auto &se : st.entries) {
+        MsaEntry *e = adoptEntry(se.addr);
+        e->type = static_cast<SyncType>(se.type);
+        e->owner = se.owner;
+        e->pushedTo = se.pushedTo;
+        e->pinCount = se.pinCount;
+        e->goal = se.goal;
+        e->lockAddr = se.lockAddr;
+        e->busy = se.busy;
+        e->hwQueue = se.hwQueue;
+        e->readersHeld = se.readersHeld;
+        e->waitIsWriter = se.waitIsWriter;
+        // Owned locks get fresh leases here: the old slice's pending
+        // lease events die with its buddy-forwarding shell.
+        if (e->type == SyncType::Lock && e->owner != invalidCore &&
+            leasesEnabled())
+            scheduleLease(*e);
+    }
+
+    awaitingHandoff = false;
+    // Declarations that raced the handoff: reconfigure the adopted
+    // entries around every already-declared corpse (idempotent for
+    // entries the dying slice reconfigured before snapshotting).
+    for (unsigned c = 0; c < cfg.numThreads(); ++c)
+        if (deadThreads.test(c))
+            reconfigureEntriesFor(c);
+
+    // Release the held-back traffic through the full dedup gate, in
+    // arrival order.
+    std::deque<std::shared_ptr<MsaMsg>> q;
+    q.swap(awaitingQueue);
+    for (auto &m : q)
+        process(m);
 }
 
 void

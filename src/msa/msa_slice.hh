@@ -34,6 +34,7 @@
 #include <bitset>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -95,6 +96,14 @@ struct MsaEntry
     // Condition-variable state (AuxInfo)
     Addr lockAddr = invalidAddr;
 
+    /**
+     * Lease generation stamp of the current grant (0 = no lease
+     * armed). A monotonically increasing slice-global sequence, not a
+     * per-entry counter, so a stale lease-check event can never
+     * confuse a re-used entry for the grant it was armed against.
+     */
+    std::uint64_t leaseStamp = 0;
+
     void
     reset()
     {
@@ -138,6 +147,43 @@ class MsaSlice
     void goOffline();
 
     bool isOffline() const { return offline; }
+
+    /**
+     * Decommission with failover instead of shedding: snapshot every
+     * live entry, OMU slot, dedup record and variable epoch into one
+     * SliceHandoff message for @p buddy, then go offline forwarding
+     * all subsequent traffic there. Deferred requests are forwarded
+     * with their dedup marks rewound so the buddy accepts them.
+     */
+    void failoverTo(CoreId buddy);
+
+    /**
+     * Buddy side of a failover: queue every incoming message until
+     * the SliceHandoff from @p from arrives and its state is merged,
+     * preserving arrival order across the handoff.
+     */
+    void expectHandoff(CoreId from);
+
+    /**
+     * The failure detector declared @p core dead: revoke its lock
+     * ownership (epoch-fenced), drop it from every wait queue and
+     * barrier membership, and release barriers it can no longer
+     * reach. See docs/PROTOCOL.md "Participant failure semantics".
+     */
+    void coreDeclaredDead(CoreId core);
+
+    /** Current revocation epoch of @p addr (tests/invariants). */
+    std::uint32_t epochOf(Addr addr) const;
+
+    /**
+     * Home-slice lookup by address, for pushes/revokes of variables
+     * re-homed here by failover (their cache home stays remote).
+     * Defaults to this tile's own home slice when unset.
+     */
+    void setHomeLookup(std::function<mem::HomeSlice &(Addr)> fn)
+    {
+        homeLookup = std::move(fn);
+    }
 
     Omu &omu() { return _omu; }
 
@@ -192,6 +238,46 @@ class MsaSlice
     void doUnpin(const std::shared_ptr<MsaMsg> &msg);
     void doUnlockPinResp(const std::shared_ptr<MsaMsg> &msg, bool ok);
     void doFailNotice(const std::shared_ptr<MsaMsg> &msg);
+    void doLeaseRenew(const std::shared_ptr<MsaMsg> &msg);
+    void doHandoff(const std::shared_ptr<MsaMsg> &msg);
+
+    /** @name Lease-based lock recovery (resil.leaseTicks > 0). @{ */
+    bool leasesEnabled() const;
+    /** Arm/re-arm the lease on a freshly (re-)granted lock entry. */
+    void scheduleLease(MsaEntry &e);
+    /** Lease expiry: probe the recorded owner's client hub. */
+    void onLeaseCheck(Addr addr, std::uint64_t stamp);
+    /** Probe verdict: no renewal arrived — revoke the orphan. */
+    void onLeaseVerdict(Addr addr, std::uint64_t stamp);
+    /**
+     * Revoke @p e's dead owner: bump the variable epoch (fencing any
+     * stale release still in flight), clear ownership, and hand the
+     * lock to the next waiter (or free the entry).
+     */
+    void revokeOwner(MsaEntry &e);
+    /** @} */
+
+    /** Wire epoch of @p addr (what grants/fences compare against). */
+    std::uint32_t wireEpoch(Addr addr) const;
+    /** Bump @p addr's epoch after an exclusive-owner revocation. */
+    void bumpEpoch(Addr addr);
+
+    /** Barrier @p e reached its (possibly reconfigured) quorum. */
+    void releaseBarrier(MsaEntry &e);
+    /** Live arrivals + dead members reach the goal? */
+    bool barrierQuorumMet(const MsaEntry &e) const;
+
+    /** Drop dead @p core from every entry's queues/membership. */
+    void reconfigureEntriesFor(CoreId core);
+
+    /** RW grant response carrying the wire epoch. */
+    void respondRwGrant(CoreId core, Addr addr);
+
+    /** Post-failover: forward @p msg to the buddy slice verbatim. */
+    void forwardToBuddy(const std::shared_ptr<MsaMsg> &msg);
+
+    /** Adopt a re-homed entry from a handoff (may grow capacity). */
+    MsaEntry *adoptEntry(Addr addr);
 
     MsaEntry *find(Addr addr);
 
@@ -291,6 +377,26 @@ class MsaSlice
     std::vector<ClientTxn> txns;
     /** Offline (decommissioned) — see goOffline(). */
     bool offline = false;
+
+    /**
+     * Per-variable revocation epoch (ordered map: the failover
+     * snapshot enumerates it deterministically). Grants carry
+     * epoch + 1 on the wire; see MsaMsg::epoch.
+     */
+    std::map<Addr, std::uint32_t> varEpoch;
+    /** Slice-global lease generation sequence (see leaseStamp). */
+    std::uint64_t leaseSeq = 0;
+    /** Cores declared dead by the failure detector. */
+    std::bitset<mem::maxCores> deadThreads;
+    /** Failed over: all traffic forwards to this slice (invalidCore
+     *  when not failed over). */
+    CoreId buddy = invalidCore;
+    /** Buddy side: a SliceHandoff is expected but not yet applied. */
+    bool awaitingHandoff = false;
+    /** Messages held back while awaiting the handoff. */
+    std::deque<std::shared_ptr<MsaMsg>> awaitingQueue;
+    /** Home-slice lookup for re-homed variables (see setHomeLookup). */
+    std::function<mem::HomeSlice &(Addr)> homeLookup;
 
     obs::Tracer *tracer = nullptr;
     obs::SyncProfiler *profiler = nullptr;

@@ -65,6 +65,24 @@ class Omu
     /** Raw counter value by index (invariant checker / tests). */
     std::uint32_t countAt(unsigned i) const { return counters[i]; }
 
+    /**
+     * Slice failover: merge @p n software episodes into slot @p i of
+     * the buddy's OMU (slot-level, since both slices hash addresses
+     * identically). Saturates stickily like increment().
+     */
+    void
+    addAt(unsigned i, std::uint32_t n)
+    {
+        std::uint32_t &c = counters[i];
+        if (c >= saturatedValue - n)
+            c = saturatedValue;
+        else
+            c += n;
+    }
+
+    /** Slice failover: zero slot @p i after its transfer. */
+    void clearAt(unsigned i) { counters[i] = 0; }
+
   private:
     unsigned
     index(Addr a) const

@@ -99,6 +99,24 @@ writeRunReport(std::ostream &os, const RunMeta &meta,
        << ",\"deadLinks\":" << stats.counterValue("noc.deadLinks")
        << ",\"deadRouters\":" << stats.counterValue("noc.deadRouters")
        << ",\"partitionSheds\":" << stats.counterValue("resil.partitionSheds")
+       << ",\"coreKills\":" << stats.counterValue("resil.coreKills")
+       << ",\"deadDeclarations\":"
+       << stats.counterValue("resil.deadDeclarations")
+       << ",\"lockRevocations\":"
+       << stats.sumCountersSuffix(".msa.lockRevocations")
+       << ",\"barrierReconfigs\":"
+       << stats.sumCountersSuffix(".msa.barrierReconfigs")
+       << ",\"fencedReleases\":"
+       << stats.sumCountersSuffix(".msa.fencedReleases")
+       << ",\"leaseProbes\":"
+       << stats.sumCountersSuffix(".msa.leaseProbes")
+       << ",\"leaseRenewals\":"
+       << stats.sumCountersSuffix(".msa.leaseRenewals")
+       << ",\"deadWaiterDrops\":"
+       << stats.sumCountersSuffix(".msa.deadWaiterDrops")
+       << ",\"failovers\":" << stats.sumCountersSuffix(".msa.failovers")
+       << ",\"rehomedVars\":"
+       << stats.sumCountersSuffix(".msa.rehomedVars")
        << "}";
 
     // -- full statistics registry ------------------------------------

@@ -1,0 +1,40 @@
+#include "resil/core_fault_injector.hh"
+
+#include "sim/logging.hh"
+
+namespace misar {
+namespace resil {
+
+CoreFaultInjector::CoreFaultInjector(EventQueue &eq,
+                                     const ResilConfig &cfg,
+                                     StatRegistry &stats)
+    : eq(eq), cfg(cfg), stats(stats)
+{}
+
+void
+CoreFaultInjector::start()
+{
+    const Tick now = eq.now();
+    auto delay_until = [now](Tick at) { return at > now ? at - now : 0; };
+
+    for (const CoreKill &ck : cfg.coreKills) {
+        eq.schedule(delay_until(ck.atTick), [this, ck] {
+            warn("core fault: core %u halted at tick %llu", ck.core,
+                 static_cast<unsigned long long>(eq.now()));
+            stats.counter("resil.coreKills").inc();
+            if (killFn)
+                killFn(ck.core);
+            eq.schedule(cfg.coreDetectDelay, [this, ck] {
+                warn("core fault: core %u declared dead at tick %llu",
+                     ck.core,
+                     static_cast<unsigned long long>(eq.now()));
+                stats.counter("resil.deadDeclarations").inc();
+                if (declareFn)
+                    declareFn(ck.core);
+            });
+        });
+    }
+}
+
+} // namespace resil
+} // namespace misar

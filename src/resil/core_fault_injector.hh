@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Seeded core (participant) fault injector.
+ *
+ * Scheduled from ResilConfig's coreKills, it halts each victim core
+ * dead at its configured tick — mid-critical-section, mid-barrier,
+ * wherever the thread happens to be. The kill itself is silent: the
+ * corpse stops executing, answers no probe, and never reaches its
+ * join. coreDetectDelay ticks later the injector models the failure
+ * detector's verdict and invokes the declaration callback, which the
+ * system fans out to every MSA slice (lock revocation under epoch
+ * fencing, barrier membership reconfiguration) and to the software
+ * sync library's dead-participant registry.
+ *
+ * Recovery of the corpse's *held* locks does not wait for the
+ * declaration: the MSA lease machinery (resil.leaseTicks) notices the
+ * missed renewal on its own. The declaration handles what leases
+ * cannot see — barrier arrivals that will never come.
+ */
+
+#ifndef MISAR_RESIL_CORE_FAULT_INJECTOR_HH
+#define MISAR_RESIL_CORE_FAULT_INJECTOR_HH
+
+#include <functional>
+
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace misar {
+namespace resil {
+
+/** Halts cores on schedule and drives the dead-core declarations. */
+class CoreFaultInjector
+{
+  public:
+    /** Called at the kill tick: halt the core and its client hub
+     *  state immediately (the silent part of the failure). */
+    using KillFn = std::function<void(unsigned core)>;
+    /** Called coreDetectDelay later: the failure detector declares
+     *  the core dead; sync state reconfigures around the corpse. */
+    using DeclareFn = std::function<void(unsigned core)>;
+
+    CoreFaultInjector(EventQueue &eq, const ResilConfig &cfg,
+                      StatRegistry &stats);
+
+    void setKillFn(KillFn fn) { killFn = std::move(fn); }
+    void setDeclareFn(DeclareFn fn) { declareFn = std::move(fn); }
+
+    /** Schedule the configured kills and their declarations. */
+    void start();
+
+  private:
+    EventQueue &eq;
+    const ResilConfig cfg;
+    StatRegistry &stats;
+    KillFn killFn;
+    DeclareFn declareFn;
+};
+
+} // namespace resil
+} // namespace misar
+
+#endif // MISAR_RESIL_CORE_FAULT_INJECTOR_HH

@@ -196,11 +196,19 @@ InvariantChecker::cross(std::vector<std::string> &out) const
     if (!hasMsa(cfg) || !hub)
         return;
 
+    // A killed core is excused from liveness cross-checks: its client
+    // state was dropped by design, and the window between the kill
+    // and the lease/declaration recovery legitimately shows slices
+    // believing in a corpse. (Its *held* grants stay mirrored in
+    // hwHeld, so holder checks still pass until revocation.)
+    auto dead = [&](CoreId c) {
+        return cfg.resil.coreFaultsEnabled() && hub->isDead(c);
+    };
     auto holder_live = [&](CoreId c, Addr a) {
-        return hub->snapshot(c).active || hub->holdsHw(c, a);
+        return dead(c) || hub->snapshot(c).active || hub->holdsHw(c, a);
     };
     auto waiter_live = [&](CoreId c) {
-        return hub->snapshot(c).active;
+        return dead(c) || hub->snapshot(c).active;
     };
 
     for (CoreId t = 0; t < cfg.numCores; ++t) {
@@ -251,6 +259,11 @@ InvariantChecker::quiesce(std::vector<std::string> &out) const
     }
 
     if (hasMsa(cfg)) {
+        const msa::MsaClientHub *hub = sys.clientHub();
+        auto dead = [&](CoreId c) {
+            return cfg.resil.coreFaultsEnabled() && hub &&
+                   hub->isDead(c);
+        };
         for (CoreId t = 0; t < cfg.numCores; ++t) {
             msa::MsaSlice &slice = sys.msaSlice(t);
             std::string where = "slice " + std::to_string(t) + ": ";
@@ -261,18 +274,33 @@ InvariantChecker::quiesce(std::vector<std::string> &out) const
                 if (e.busy)
                     out.push_back(id + "busy entry at quiesce");
                 // Held locks may outlive the threads (a workload may
-                // legitimately end while holding), but nobody can be
-                // left waiting.
-                unsigned waiters =
-                    static_cast<unsigned>(e.hwQueue.count()) -
-                    (e.type == msa::SyncType::Lock &&
-                     e.owner != invalidCore && e.hwQueue.test(e.owner)
-                         ? 1u : 0u);
+                // legitimately end while holding), but nobody *live*
+                // can be left waiting. A dead core parked in a queue
+                // (killed mid-wait on an entry that stayed busy
+                // through its declaration) strands only itself.
+                unsigned waiters = 0;
+                for (CoreId c = 0; c < cfg.numThreads(); ++c)
+                    if (e.hwQueue.test(c) && c != e.owner && !dead(c))
+                        ++waiters;
                 if (waiters)
                     out.push_back(id + std::to_string(waiters) +
                                   " stranded waiter(s) at quiesce");
+                // Lock recovery contract: once the failure detector
+                // has spoken, no grant may stay with the corpse past
+                // quiesce — the lease/declaration path must have
+                // revoked it and fenced its stale release.
+                if ((e.type == msa::SyncType::Lock ||
+                     e.type == msa::SyncType::RwLock) &&
+                    e.owner != invalidCore && !e.busy &&
+                    sys.isDeclaredDead(e.owner))
+                    out.push_back(id + "owned by declared-dead "
+                                  "thread " + std::to_string(e.owner) +
+                                  " at quiesce (revocation missed)");
             });
-            if (cfg.msa.omuEnabled) {
+            if (cfg.msa.omuEnabled && !cfg.resil.coreFaultsEnabled()) {
+                // Skipped under core faults: a thread killed inside a
+                // software episode never decrements its OMU slot, so
+                // residue there is a fault consequence, not a leak.
                 msa::Omu &omu = slice.omu();
                 for (unsigned i = 0; i < omu.numCounters(); ++i) {
                     std::uint32_t c = omu.countAt(i);

@@ -52,6 +52,27 @@ SystemConfig::validate() const
     if (resil.offlineTile >= 0 && !msa.omuEnabled)
         fatal("offlineTile requires the OMU: graceful shedding moves "
               "waiters to software, which needs activity accounting");
+    for (const LinkKill &lk : resil.linkKills)
+        if (lk.a >= numCores || lk.b >= numCores)
+            fatal("linkKill %u-%u out of range for %u tiles", lk.a, lk.b,
+                  numCores);
+    for (const RouterKill &rk : resil.routerKills)
+        if (rk.router >= numCores)
+            fatal("routerKill %u out of range for %u tiles", rk.router,
+                  numCores);
+    for (const CoreKill &ck : resil.coreKills)
+        if (ck.core >= numCores)
+            fatal("coreKill %u out of range for %u cores", ck.core,
+                  numCores);
+    if (resil.coreFaultsEnabled() && resil.leaseTicks == 0 &&
+        msa.mode != AccelMode::None)
+        fatal("coreKills under an MSA mode require leaseTicks > 0, or "
+              "a lock held by the corpse is orphaned forever");
+    if (resil.failoverBuddy >= static_cast<int>(numCores))
+        fatal("failoverBuddy (%d) out of range for %u cores",
+              resil.failoverBuddy, numCores);
+    if (resil.failoverBuddy >= 0 && resil.failoverBuddy == resil.offlineTile)
+        fatal("failoverBuddy must differ from the tile going offline");
 }
 
 std::string

@@ -138,6 +138,14 @@ struct RouterKill
     Tick atTick = 0;
 };
 
+/** One scheduled core kill: the core halts at a tick, mid-whatever
+ *  it was doing — possibly inside a critical section or a barrier. */
+struct CoreKill
+{
+    unsigned core = 0;
+    Tick atTick = 0;
+};
+
 /**
  * Resilience / fault-injection parameters. All defaults are "off":
  * a default ResilConfig adds no events, no messages and no stat
@@ -205,6 +213,40 @@ struct ResilConfig
     Tick nocDetectDelay = 64;
     /** @} */
 
+    /** @name Participant (core) fault campaign. @{ */
+    /** Cores to halt mid-run (the thread stops dead, replies to
+     *  nothing, and never reaches its join/finish). */
+    std::vector<CoreKill> coreKills;
+    /**
+     * Lease duration for MSA hardware lock grants, in ticks
+     * (0 = leases disabled, grants are forever). While armed, a
+     * slice probes a holder whose lease expired; a live holder's
+     * hardware renews instantly, a dead one is revoked: the variable
+     * epoch is bumped (fencing any stale release still in flight)
+     * and the next waiter is granted. Off by default so fault-free
+     * runs schedule no lease events at all.
+     */
+    Tick leaseTicks = 0;
+    /** Ticks the slice waits for a lease-probe answer before it
+     *  declares the holder dead and revokes. */
+    Tick leaseProbeTimeout = 2000;
+    /**
+     * Ticks between a core kill and the watchdog-style declaration
+     * that propagates to every MSA slice (barrier membership drops
+     * the corpse, its locks are revoked, sw-fallback barriers stop
+     * waiting for it). Models detection latency.
+     */
+    Tick coreDetectDelay = 5000;
+    /**
+     * Re-home a decommissioned slice's live variables to this tile's
+     * slice instead of shedding them to software (-1 = shed, the
+     * PR 1 behaviour). The dying slice serializes each entry into a
+     * state-handoff message; clients chase forwarded traffic under
+     * epoch fencing.
+     */
+    int failoverBuddy = -1;
+    /** @} */
+
     /** True when any message fault or the offline event is armed. */
     bool
     messageFaultsEnabled() const
@@ -218,6 +260,13 @@ struct ResilConfig
     {
         return !linkKills.empty() || !routerKills.empty() ||
                flitCorruptProb > 0.0;
+    }
+
+    /** True when any participant kill is scheduled. */
+    bool
+    coreFaultsEnabled() const
+    {
+        return !coreKills.empty();
     }
 };
 

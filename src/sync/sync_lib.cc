@@ -32,6 +32,18 @@ SyncLib::flavorName(Flavor f)
     return "?";
 }
 
+unsigned
+SyncLib::deadBelow(std::uint32_t goal) const
+{
+    if (!isDeadFn)
+        return 0;
+    unsigned n = 0;
+    for (CoreId c = 0; c < goal; ++c)
+        if (isDeadFn(c))
+            ++n;
+    return n;
+}
+
 Addr
 SyncLib::aux(Addr obj, unsigned bytes)
 {
@@ -464,13 +476,20 @@ SyncLib::disseminationBarrier(ThreadApi t, Addr b, std::uint32_t goal)
     co_await t.write(my_episode, episode);
     for (unsigned k = 0; k < rounds; ++k) {
         const unsigned peer = (id + (1u << k)) % goal;
+        // The round-k notification we *receive* comes from the core
+        // (id - 2^k) mod goal; if it died, its episode stamp will
+        // never advance — waive the wait (approximate, like the
+        // centralized barrier: information from behind the corpse is
+        // lost for this episode).
+        const unsigned in_peer = (id + goal - (1u << k) % goal) % goal;
         const Addr out =
             base + ((k + 1) * goal + peer) * blockBytes;
         const Addr in = base + ((k + 1) * goal + id) * blockBytes;
         co_await t.write(out, episode);
         co_await spinUntil(t, in,
-                           [episode](std::uint64_t v) {
-                               return v >= episode;
+                           [this, episode, in_peer](std::uint64_t v) {
+                               return v >= episode ||
+                                      deadParticipant(in_peer);
                            },
                            8);
     }
@@ -486,15 +505,39 @@ SyncLib::centralBarrier(ThreadApi t, Addr b, std::uint32_t goal)
     co_await t.compute(10); // library-call overhead
     std::uint64_t v = co_await t.fetchAdd(b, 1);
     std::uint64_t gen = v >> 32;
-    std::uint32_t cnt = static_cast<std::uint32_t>(v);
-    if (cnt == goal - 1) {
-        // Last arrival: advance the generation, reset the count.
+    std::uint32_t cnt = static_cast<std::uint32_t>(v) + 1;
+    if (cnt + deadBelow(goal) >= goal) {
+        // Quorum (all live participants): advance the generation,
+        // reset the count. Without dead participants this is exactly
+        // the classic last-arrival (cnt == goal) release.
         co_await t.write(b, (gen + 1) << 32);
         co_return;
     }
-    // Futex-style wait models the sleep/wake round-trip cost.
-    co_await futexWait(
-        t, b, [gen](std::uint64_t w) { return (w >> 32) != gen; });
+    if (!isDeadFn) {
+        // Futex-style wait models the sleep/wake round-trip cost.
+        co_await futexWait(
+            t, b, [gen](std::uint64_t w) { return (w >> 32) != gen; });
+        co_return;
+    }
+    // Dead-aware wait: also wake when deaths declared *after* our
+    // arrival bring the quorum within reach — the release write the
+    // last arrival would have done must then come from a waiter. CAS
+    // (not a blind store) so a racing release or a new arrival for
+    // the next episode is never clobbered.
+    for (;;) {
+        std::uint64_t w = co_await futexWait(
+            t, b, [this, gen, goal](std::uint64_t w) {
+                return (w >> 32) != gen ||
+                       static_cast<std::uint32_t>(w) + deadBelow(goal) >=
+                           goal;
+            });
+        if ((w >> 32) != gen)
+            co_return; // released normally
+        std::uint64_t old = co_await t.compareSwap(b, w, (gen + 1) << 32);
+        if (old == w || (old >> 32) != gen)
+            co_return; // we released, or a racing waiter did
+        // Lost the race to a concurrent arrival; re-evaluate.
+    }
 }
 
 // --- Tournament barrier (MCS-style) ------------------------------------------
@@ -519,7 +562,9 @@ SyncLib::tournamentBarrier(ThreadApi t, Addr b, std::uint32_t goal)
         return base + (rounds * goal + who) * blockBytes;
     };
 
-    // Arrival tournament: losers notify winners and drop out.
+    // Arrival tournament: losers notify winners and drop out. A
+    // declared-dead loser's arrival is waived (it will never signal);
+    // a flag it set *before* dying is consumed normally.
     unsigned lost_round = rounds + 1;
     for (unsigned k = 1; k <= rounds; ++k) {
         const unsigned step = 1u << k;
@@ -531,18 +576,34 @@ SyncLib::tournamentBarrier(ThreadApi t, Addr b, std::uint32_t goal)
         }
         if (i % step == 0 && i + half < goal) {
             // Winner: wait for the partner, then reset the flag.
-            co_await spinUntil(t, arrive_flag(k, i),
-                               [](std::uint64_t v) { return v != 0; }, 8);
-            co_await t.write(arrive_flag(k, i), 0);
+            const unsigned peer = i + half;
+            std::uint64_t v = co_await spinUntil(
+                t, arrive_flag(k, i),
+                [this, peer](std::uint64_t v) {
+                    return v != 0 || deadParticipant(peer);
+                },
+                8);
+            if (v != 0)
+                co_await t.write(arrive_flag(k, i), 0);
         }
         // else: bye — advance without a partner.
     }
 
-    // Wakeup tree: the champion starts the release wave.
+    // Wakeup tree: the champion starts the release wave. A loser
+    // whose round-winner died self-wakes (nobody will signal it) and
+    // then runs its own wake wave below, so the release still
+    // propagates through the corpse's subtree.
     if (i != 0) {
-        co_await spinUntil(t, wake_flag(i),
-                           [](std::uint64_t v) { return v != 0; }, 8);
-        co_await t.write(wake_flag(i), 0);
+        const unsigned waker =
+            lost_round <= rounds ? i - (1u << (lost_round - 1)) : 0;
+        std::uint64_t v = co_await spinUntil(
+            t, wake_flag(i),
+            [this, waker](std::uint64_t v) {
+                return v != 0 || deadParticipant(waker);
+            },
+            8);
+        if (v != 0)
+            co_await t.write(wake_flag(i), 0);
     }
     for (unsigned k = lost_round - 1; k >= 1; --k) {
         const unsigned half = 1u << (k - 1);

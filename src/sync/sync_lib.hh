@@ -30,6 +30,7 @@
 #define MISAR_SYNC_SYNC_LIB_HH
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "cpu/subtask.hh"
@@ -96,6 +97,23 @@ class SyncLib
 
     static const char *flavorName(Flavor f);
 
+    /**
+     * Dead-participant query for the core fault campaign: true once
+     * the failure detector has declared @p core dead. When set, the
+     * software barriers stop waiting for corpses — the centralized
+     * barrier counts declared-dead participants toward its quorum
+     * (approximate: it cannot tell whether a corpse arrived before
+     * dying, so a core that dies *after* arriving can cause one
+     * early release; the hardware path tracks arrival masks and is
+     * exact), and the tournament/dissemination barriers skip a dead
+     * peer's flags. Unset (the default), every path is bit-identical
+     * to a build without the feature. Software *locks* stay
+     * unrecoverable: a corpse holding a plain-memory mutex wedges
+     * its waiters (see docs/PROTOCOL.md).
+     */
+    using DeadQuery = std::function<bool(CoreId)>;
+    void setDeadQuery(DeadQuery q) { isDeadFn = std::move(q); }
+
   private:
     /** @name Software mutexes @{ */
     SubTask<> pthreadLock(ThreadApi t, Addr m);
@@ -142,11 +160,22 @@ class SyncLib
 
     RwHold &rwHold(CoreId core, Addr l);
 
+    /** True if @p core is declared dead (false with no query set). */
+    bool
+    deadParticipant(CoreId core) const
+    {
+        return isDeadFn && isDeadFn(core);
+    }
+
+    /** Declared-dead participants with id below @p goal. */
+    unsigned deadBelow(std::uint32_t goal) const;
+
     Flavor _flavor;
     unsigned numCores;
     SyncHeap heap;
     std::unordered_map<Addr, Addr> auxOf;
     std::unordered_map<std::uint64_t, RwHold> rwHolds;
+    DeadQuery isDeadFn;
 };
 
 } // namespace sync

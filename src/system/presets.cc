@@ -66,6 +66,31 @@ configFor(PaperConfig pc, unsigned cores)
         cfg.validate();
         return cfg;
       }
+      case PaperConfig::MsaOmu2CoreFaults: {
+        SystemConfig cfg;
+        cfg.numCores = cores;
+        cfg.msa.mode = AccelMode::MsaOmu;
+        cfg.msa.msaEntries = 2;
+        // One participant halts dead mid-run. The kill tick lands the
+        // victim inside the benchmarks' steady state, where it is
+        // likely to hold a hardware lock or sit inside a barrier.
+        // Lease expiry recovers what it held; the declaration (kill +
+        // detect delay) recovers what it would never deliver (barrier
+        // arrivals, queued waits). The client timeout ladder stays
+        // armed so the corpse's peers keep retrying past transient
+        // confusion instead of wedging on one lost grant.
+        cfg.resil.coreKills.push_back({5, 25000});
+        cfg.resil.leaseTicks = 4000;
+        cfg.resil.leaseProbeTimeout = 1500;
+        cfg.resil.coreDetectDelay = 6000;
+        cfg.resil.timeoutTicks = 1000;
+        cfg.resil.maxRetries = 8;
+        cfg.resil.watchdogInterval = 2000000;
+        cfg.resil.invariantChecks = true;
+        cfg.resil.invariantInterval = 100000;
+        cfg.validate();
+        return cfg;
+      }
     }
     return makeConfig(cores, AccelMode::None);
 }
@@ -91,7 +116,7 @@ cliPresetNames()
     static const std::vector<std::string> names = {
         "baseline", "msa0",    "mcs-tour", "spinlock",
         "msa-omu",  "msa-inf", "ideal",    "msa-omu-faults",
-        "msa-omu2-nocfaults",
+        "msa-omu2-nocfaults", "msa-omu2-corefaults",
     };
     return names;
 }
@@ -109,6 +134,11 @@ cliPresetFor(const std::string &name, unsigned cores, unsigned entries,
         return true;
     } else if (name == "msa-omu2-nocfaults") {
         cfg = configFor(PaperConfig::MsaOmu2NocFaults, cores);
+        cfg.msa.msaEntries = entries;
+        flavor = sync::SyncLib::Flavor::Hw;
+        return true;
+    } else if (name == "msa-omu2-corefaults") {
+        cfg = configFor(PaperConfig::MsaOmu2CoreFaults, cores);
         cfg.msa.msaEntries = entries;
         flavor = sync::SyncLib::Flavor::Hw;
         return true;
@@ -163,6 +193,8 @@ paperConfigName(PaperConfig pc)
         return "MSA/OMU-2+faults";
       case PaperConfig::MsaOmu2NocFaults:
         return "MSA/OMU-2+nocfaults";
+      case PaperConfig::MsaOmu2CoreFaults:
+        return "MSA/OMU-2+corefaults";
     }
     return "?";
 }

@@ -37,6 +37,12 @@ enum class PaperConfig
      *  mesh link killed mid-run (rerouted via up-down tables),
      *  with the watchdog and invariant checker armed. */
     MsaOmu2NocFaults,
+    /** MSA/OMU-2 under the participant fault campaign: one core
+     *  halted dead mid-run (wherever it happens to be — possibly
+     *  holding a hardware lock inside a barrier), lease-based lock
+     *  recovery armed, dead-core declaration reconfiguring barrier
+     *  membership, with the watchdog and invariant checker armed. */
+    MsaOmu2CoreFaults,
 };
 
 /** All configurations shown in Figure 6, in plot order. */
@@ -57,7 +63,8 @@ const char *paperConfigName(PaperConfig pc);
 /**
  * CLI preset names accepted by misar_sim --config and by campaign
  * specs: baseline, msa0, mcs-tour, spinlock, msa-omu, msa-inf,
- * ideal, msa-omu-faults, msa-omu2-nocfaults. One name per line from
+ * ideal, msa-omu-faults, msa-omu2-nocfaults, msa-omu2-corefaults.
+ * One name per line from
  * `misar_sim --list-presets`.
  */
 const std::vector<std::string> &cliPresetNames();

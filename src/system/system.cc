@@ -36,6 +36,14 @@ System::System(const SystemConfig &cfg_in) : cfg(cfg_in)
         for (CoreId t = 0; t < cfg.numCores; ++t) {
             slices.push_back(std::make_unique<msa::MsaSlice>(
                 eq, cfg, t, ms->home(t), send_fn, _stats));
+            // Push/revoke traffic must follow an address's *home*
+            // directory, not the slice's own tile: after a slice
+            // failover the buddy serves variables whose cached copies
+            // are still tracked by the original (alive) home tile.
+            slices.back()->setHomeLookup(
+                [this](Addr block) -> mem::HomeSlice & {
+                    return ms->homeOf(block);
+                });
         }
         ms->setOtherSink([this](CoreId tile,
                                 std::shared_ptr<noc::Packet> pkt) {
@@ -80,8 +88,44 @@ System::System(const SystemConfig &cfg_in) : cfg(cfg_in)
 
     if (cfg.resil.offlineTile >= 0 && has_msa) {
         CoreId t = static_cast<CoreId>(cfg.resil.offlineTile);
-        eq.scheduleAt(cfg.resil.offlineAtTick,
-                      [this, t] { slices[t]->goOffline(); });
+        if (cfg.resil.failoverBuddy >= 0) {
+            // Slice failover: instead of shedding its live variables
+            // to software, the dying slice serializes them into a
+            // state-handoff message for the buddy, then forwards all
+            // later traffic there. The buddy queues anything that
+            // overtakes the handoff (vnet reordering) until the state
+            // arrives.
+            CoreId b = static_cast<CoreId>(cfg.resil.failoverBuddy);
+            eq.scheduleAt(cfg.resil.offlineAtTick, [this, t, b] {
+                slices[b]->expectHandoff(t);
+                slices[t]->failoverTo(b);
+            });
+        } else {
+            eq.scheduleAt(cfg.resil.offlineAtTick,
+                          [this, t] { slices[t]->goOffline(); });
+        }
+    }
+
+    if (cfg.resil.coreFaultsEnabled()) {
+        declaredDead.assign(cfg.numThreads(), false);
+        coreInjector = std::make_unique<resil::CoreFaultInjector>(
+            eq, cfg.resil, _stats);
+        coreInjector->setKillFn([this](unsigned c) {
+            if (c < cores.size())
+                cores[c]->kill();
+            if (hub)
+                hub->killCore(c);
+        });
+        coreInjector->setDeclareFn([this](unsigned c) {
+            if (c < declaredDead.size())
+                declaredDead[c] = true;
+            // Every slice learns of the death: barrier membership
+            // drops the corpse, its held locks are revoked under
+            // epoch fencing, queued waits are discarded.
+            for (auto &s : slices)
+                s->coreDeclaredDead(c);
+        });
+        coreInjector->start();
     }
 
     if (cfg.resil.watchdogInterval > 0) {
@@ -135,6 +179,24 @@ System::System(const SystemConfig &cfg_in) : cfg(cfg_in)
                        _stats.counterValue("noc.rel.retransmits");
             });
         }
+    }
+
+    if (wdog && cfg.resil.coreFaultsEnabled() &&
+        !cfg.resil.nocFaultsEnabled()) {
+        // Peers of a corpse stall until the lease machinery and the
+        // dead declaration reconfigure around it — and a victim that
+        // died holding a *software* lock wedges its waiters forever.
+        // Either way the run should be classified (finished /
+        // deadlock / limit), not aborted by fatal(): report,
+        // attribute, keep draining.
+        wdog->setStallHandler([this](const std::string &rep) {
+            warn("%s", rep.c_str());
+            warn("liveness watchdog: stall under core faults "
+                 "(%llu kill(s)); continuing to drain",
+                 static_cast<unsigned long long>(
+                     _stats.counterValue("resil.coreKills")));
+            _stats.counter("resil.watchdogCoreStalls").inc();
+        });
     }
 
     if (cfg.resil.invariantChecks && has_msa) {
@@ -383,6 +445,57 @@ System::buildStallReport() const
             if (it == edges.end())
                 break;
             cur = it->second;
+        }
+    }
+
+    // Core-fault attribution: stalls caused by a dead participant
+    // are transient (until leases and the declaration reconfigure
+    // around the corpse) or — for a corpse that died holding a
+    // *software* lock — unrecoverable; either way the report should
+    // say "fault consequence", not "protocol deadlock".
+    if (cfg.resil.coreFaultsEnabled()) {
+        os << "  dead:";
+        bool any_dead = false;
+        for (CoreId c = 0; c < cfg.numThreads(); ++c) {
+            if (c < cores.size() && cores[c]->killed()) {
+                os << " thread " << static_cast<unsigned>(c)
+                   << (isDeclaredDead(c) ? " (declared)"
+                                         : " (undetected)");
+                any_dead = true;
+            }
+        }
+        os << (any_dead ? "\n" : " none\n");
+        for (const auto &b : blocked) {
+            CoreId home = mem::homeTile(blockAlign(b.addr),
+                                        cfg.numCores);
+            if (home >= slices.size())
+                continue;
+            const msa::MsaEntry *e = slices[home]->findEntry(b.addr);
+            if (e && e->owner != invalidCore &&
+                e->owner < cores.size() && cores[e->owner]->killed())
+                os << "  DEAD_HOLDER: thread "
+                   << static_cast<unsigned>(b.core)
+                   << " waits on lock 0x" << std::hex << b.addr
+                   << std::dec << " held by dead thread "
+                   << static_cast<unsigned>(e->owner) << "\n";
+        }
+        for (CoreId t = 0; t < slices.size(); ++t) {
+            slices[t]->forEachEntry([&](const msa::MsaEntry &e) {
+                if (e.type != msa::SyncType::Barrier ||
+                    !e.hwQueue.any())
+                    return;
+                unsigned dead_missing = 0;
+                for (CoreId c = 0; c < cfg.numThreads(); ++c)
+                    if (!e.hwQueue.test(c) && c < cores.size() &&
+                        cores[c]->killed())
+                        ++dead_missing;
+                if (dead_missing &&
+                    e.hwQueue.count() + dead_missing >= e.goal)
+                    os << "  DEAD_PARTICIPANT: barrier 0x" << std::hex
+                       << e.addr << std::dec << " on slice "
+                       << static_cast<unsigned>(t) << " short only of "
+                       << dead_missing << " dead arrival(s)\n";
+            });
         }
     }
 

@@ -21,6 +21,7 @@
 #include "obs/sampler.hh"
 #include "obs/sync_profiler.hh"
 #include "obs/tracer.hh"
+#include "resil/core_fault_injector.hh"
 #include "resil/fault_injector.hh"
 #include "resil/invariants.hh"
 #include "resil/noc_fault_injector.hh"
@@ -118,6 +119,21 @@ class System
     /** NoC fault injector, or nullptr when no NoC faults are armed. */
     resil::NocFaultInjector *nocFaultInjector() { return nocInjector.get(); }
 
+    /** Core fault injector, or nullptr when no kills are armed. */
+    resil::CoreFaultInjector *coreFaultInjector() { return coreInjector.get(); }
+
+    /**
+     * True once the failure detector has declared @p thread dead
+     * (kill tick + coreDetectDelay elapsed). The software sync
+     * library's dead-participant query and the stall-report
+     * attribution both key off this.
+     */
+    bool
+    isDeclaredDead(CoreId thread) const
+    {
+        return thread < declaredDead.size() && declaredDead[thread];
+    }
+
     /** Invariant checker, or nullptr when not configured. */
     resil::InvariantChecker *invariantChecker() { return checker.get(); }
 
@@ -158,6 +174,9 @@ class System
     msa::MsaClientHub *hub = nullptr; // owned via syncUnit when MSA
     std::unique_ptr<resil::FaultInjector> injector;
     std::unique_ptr<resil::NocFaultInjector> nocInjector;
+    std::unique_ptr<resil::CoreFaultInjector> coreInjector;
+    /** Threads declared dead by the failure detector (by thread id). */
+    std::vector<bool> declaredDead;
     std::unique_ptr<resil::Watchdog> wdog;
     std::unique_ptr<resil::InvariantChecker> checker;
     std::unique_ptr<obs::Tracer> _tracer;

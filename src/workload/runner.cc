@@ -94,6 +94,9 @@ runAppWithConfig(const AppSpec &spec, const SystemConfig &cfg,
 {
     sys::System s(cfg);
     sync::SyncLib lib(flavor, cfg.numCores);
+    if (cfg.resil.coreFaultsEnabled())
+        lib.setDeadQuery(
+            [&s](CoreId c) { return s.isDeclaredDead(c); });
     AppLayout layout;
 
     for (CoreId c = 0; c < cfg.numCores; ++c)
@@ -134,6 +137,14 @@ runAppWithConfig(const AppSpec &spec, const SystemConfig &cfg,
     r.detourHops = s.stats().counterValue("noc.detourHops");
     r.deadLinks = s.stats().counterValue("noc.deadLinks");
     r.partitionSheds = s.stats().counterValue("resil.partitionSheds");
+    r.coreKills = s.stats().counterValue("resil.coreKills");
+    r.lockRevocations =
+        s.stats().sumCountersSuffix(".msa.lockRevocations");
+    r.barrierReconfigs =
+        s.stats().sumCountersSuffix(".msa.barrierReconfigs");
+    r.fencedReleases =
+        s.stats().sumCountersSuffix(".msa.fencedReleases");
+    r.rehomedVars = s.stats().sumCountersSuffix(".msa.rehomedVars");
     if (opts.captureCounters)
         for (const std::string &name : *opts.captureCounters)
             r.captured[name] = s.stats().counterValue(name);

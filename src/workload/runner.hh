@@ -48,6 +48,18 @@ struct RunResult
     std::uint64_t deadLinks = 0;
     /** MSA slices shed because their tile became unreachable. */
     std::uint64_t partitionSheds = 0;
+    /** Cores halted dead by the participant fault injector. */
+    std::uint64_t coreKills = 0;
+    /** Hardware grants revoked from dead holders (lease expiry or
+     *  dead-core declaration). */
+    std::uint64_t lockRevocations = 0;
+    /** Per-slice barrier membership reconfigurations after a dead
+     *  declaration. */
+    std::uint64_t barrierReconfigs = 0;
+    /** Stale releases fenced by the variable-epoch check. */
+    std::uint64_t fencedReleases = 0;
+    /** Variables re-homed to a buddy slice by the failover handoff. */
+    std::uint64_t rehomedVars = 0;
     /** @} */
 
     /** Counters requested via RunOptions::captureCounters. */

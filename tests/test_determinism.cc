@@ -46,6 +46,9 @@ runOnce(sys::PaperConfig pc, unsigned cores, const char *app,
     cfg.obs.profileSync = true;
     sys::System s(cfg);
     sync::SyncLib lib(sys::flavorFor(pc), cores);
+    if (cfg.resil.coreFaultsEnabled())
+        lib.setDeadQuery(
+            [&s](CoreId c) { return s.isDeclaredDead(c); });
     workload::AppLayout layout;
     const workload::AppSpec &spec = workload::appByName(app);
     for (CoreId t = 0; t < cores; ++t)
@@ -96,6 +99,15 @@ TEST(Determinism, MsaOmu2NocFaultsTwoRunsBitIdentical)
     // and the mid-run routing reconfiguration — all of which must
     // replay bit-identically under the same seed.
     expectIdenticalRuns(sys::PaperConfig::MsaOmu2NocFaults, 16,
+                        "radiosity");
+}
+
+TEST(Determinism, MsaOmu2CoreFaultsTwoRunsBitIdentical)
+{
+    // A dead participant exercises lease probes, lock revocation,
+    // epoch fencing, and barrier reconfiguration; the whole recovery
+    // cascade must land on the same ticks in both runs.
+    expectIdenticalRuns(sys::PaperConfig::MsaOmu2CoreFaults, 16,
                         "radiosity");
 }
 

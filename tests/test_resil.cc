@@ -327,6 +327,89 @@ TEST(Resil, OfflineCondVarsFallBackToSoftware)
         << "first violation: " << violations.front();
 }
 
+TEST(Resil, FailoverTransfersOmuCountsExactlyOnce)
+{
+    // OMU saturation x slice failover: a software episode's overflow
+    // count lives at its home slice; when that slice fails over, the
+    // count must reach the buddy exactly once. A lost count would let
+    // the buddy grant a conflicting hardware episode while software
+    // holders still exist; a doubled one would leave a phantom
+    // episode pinned at quiesce.
+    SystemConfig cfg = makeConfig(16, AccelMode::MsaOmu, 1);
+    cfg.msa.hwSyncBitOpt = false; // keep the HW entry resident
+    const Addr hw_lock = 0x1000;  // fills tile 0's single entry
+    const Addr sw1 = 0x1400;      // -> software, OMU-counted
+    const Addr sw2 = 0x1800;      // -> software, OMU-counted
+    for (Addr l : {hw_lock, sw1, sw2})
+        ASSERT_EQ(mem::homeTile(blockAlign(l), 16), 0u);
+    cfg.resil.offlineTile = 0;
+    cfg.resil.offlineAtTick = 30000;
+    cfg.resil.failoverBuddy = 1;
+    cfg.resil.invariantChecks = true;
+    cfg.resil.invariantInterval = 10000;
+    cfg.validate();
+    sys::System s(cfg);
+    std::vector<std::string> violations;
+    armCollector(s, violations);
+    SyncLib lib(SyncLib::Flavor::Hw, 16);
+
+    // All three holds span the failover tick, so the counts are
+    // frozen across both sampling points below.
+    auto hw_holder = [](ThreadApi t, SyncLib *lib,
+                        Addr l) -> ThreadTask {
+        co_await lib->mutexLock(t, l);
+        co_await t.compute(60000);
+        co_await lib->mutexUnlock(t, l);
+    };
+    auto sw_holder = [](ThreadApi t, SyncLib *lib,
+                        Addr l) -> ThreadTask {
+        co_await t.compute(2000); // let hw_lock claim the one entry
+        co_await lib->mutexLock(t, l);
+        co_await t.compute(60000);
+        co_await lib->mutexUnlock(t, l);
+    };
+    s.start(0, hw_holder(s.api(0), &lib, hw_lock));
+    s.start(1, sw_holder(s.api(1), &lib, sw1));
+    s.start(2, sw_holder(s.api(2), &lib, sw2));
+
+    std::uint32_t before1 = 0, before2 = 0;
+    std::uint32_t buddy_before1 = 0, buddy_before2 = 0;
+    s.eventQueue().scheduleAt(29999, [&] {
+        before1 = s.msaSlice(0).omu().count(sw1);
+        before2 = s.msaSlice(0).omu().count(sw2);
+        buddy_before1 = s.msaSlice(1).omu().count(sw1);
+        buddy_before2 = s.msaSlice(1).omu().count(sw2);
+    });
+    std::uint32_t after1 = 0, after2 = 0;
+    std::uint32_t buddy_after1 = 0, buddy_after2 = 0;
+    std::uint64_t handoffs = 0;
+    s.eventQueue().scheduleAt(40000, [&] {
+        after1 = s.msaSlice(0).omu().count(sw1);
+        after2 = s.msaSlice(0).omu().count(sw2);
+        buddy_after1 = s.msaSlice(1).omu().count(sw1);
+        buddy_after2 = s.msaSlice(1).omu().count(sw2);
+        handoffs =
+            s.stats().counterValue("tile1.msa.handoffsApplied");
+    });
+
+    ASSERT_TRUE(s.run(500000000ULL));
+    EXPECT_GE(before1, 1u) << "sw1 never overflowed to software";
+    EXPECT_GE(before2, 1u) << "sw2 never overflowed to software";
+    EXPECT_EQ(handoffs, 1u) << "handoff not applied before sampling";
+    // Cleared at the source, landed at the buddy, exactly once.
+    EXPECT_EQ(after1, 0u);
+    EXPECT_EQ(after2, 0u);
+    EXPECT_EQ(buddy_after1, buddy_before1 + before1);
+    EXPECT_EQ(buddy_after2, buddy_before2 + before2);
+    // The migrated software releases then drain the buddy to zero.
+    for (CoreId t = 0; t < 16; ++t)
+        for (Addr l : {hw_lock, sw1, sw2})
+            EXPECT_EQ(s.msaSlice(t).omu().count(l), 0u)
+                << "leaked or doubled count on tile " << t;
+    EXPECT_TRUE(violations.empty())
+        << "first violation: " << violations.front();
+}
+
 TEST(Resil, WatchdogReportsAbbaDeadlock)
 {
     SystemConfig cfg = makeConfig(4, AccelMode::MsaOmu, 2);
