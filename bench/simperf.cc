@@ -19,6 +19,12 @@
  *                              section of FILE; exit 1 if any preset
  *                              regressed more than --tolerance
  *   simperf --tolerance X      allowed fractional regression (0.15)
+ *   simperf --obs-overhead     fault-free observability overhead
+ *                              gate: msa16 with the stat sampler +
+ *                              resource monitor armed vs plain, best
+ *                              wall time of the reps on each side;
+ *                              exit 1 when the overhead exceeds
+ *                              --tolerance (default 3% in this mode)
  *
  * The checked-in BENCH_simperf.json holds "full" and "smoke"
  * sections measured on the reference machine plus a "before" section
@@ -149,6 +155,70 @@ writeJson(std::ostream &os, const char *mode, unsigned scale, unsigned reps,
 }
 
 /**
+ * Best (smallest) wall time over @p reps timed runs of the msa16
+ * preset, with or without the sampler + resource monitor armed.
+ * Best-of damps host noise far better than the mean, which matters
+ * when gating a few-percent overhead budget.
+ */
+double
+bestWallSec(const Preset &p, const AppSpec &spec, unsigned reps, bool obs)
+{
+    double best = 0.0;
+    for (unsigned r = 0; r < reps; ++r) {
+        SystemConfig cfg = sys::configFor(p.pc, p.cores);
+        if (obs) {
+            cfg.obs.sampleInterval = 10000;
+            cfg.obs.heatmapEnabled = true;
+        }
+        sys::System s(cfg);
+        sync::SyncLib lib(sys::flavorFor(p.pc), p.cores);
+        AppLayout layout;
+        for (CoreId c = 0; c < p.cores; ++c)
+            s.start(c, appThread(s.api(c), spec, layout, &lib, p.cores, 1));
+        auto t0 = std::chrono::steady_clock::now();
+        auto out = s.runDetailed(tickLimit);
+        auto t1 = std::chrono::steady_clock::now();
+        if (out != sys::RunOutcome::Finished)
+            fatal("simperf: obs-overhead rep %u did not finish", r);
+        double w = std::chrono::duration<double>(t1 - t0).count();
+        if (r == 0 || w < best)
+            best = w;
+    }
+    return best;
+}
+
+/**
+ * The fault-free observability overhead gate. Returns the process
+ * exit code: 0 within budget, 1 over budget.
+ */
+int
+runObsOverhead(bool smoke, double tolerance)
+{
+    const Preset &p = presets[0]; // msa16
+    const unsigned scale = smoke ? 2 : 8;
+    const unsigned reps = smoke ? 3 : 5;
+    AppSpec spec = appByName("radiosity");
+    spec.iters *= scale;
+
+    bestWallSec(p, spec, 1, false); // warm-up, untimed semantics
+
+    const double plain = bestWallSec(p, spec, reps, false);
+    const double obs = bestWallSec(p, spec, reps, true);
+    const double overhead = plain > 0.0 ? obs / plain - 1.0 : 0.0;
+    const bool ok = overhead <= tolerance;
+    std::printf("obs-overhead %-8s plain=%.3fs obs=%.3fs overhead=%+.2f%% "
+                "budget=%.0f%%  %s\n",
+                p.name, plain, obs, overhead * 100.0, tolerance * 100.0,
+                ok ? "ok" : "OVER BUDGET");
+    if (!ok)
+        std::fprintf(stderr,
+                     "simperf: sampler+heatmap overhead %.2f%% exceeds "
+                     "%.0f%% budget\n",
+                     overhead * 100.0, tolerance * 100.0);
+    return ok ? 0 : 1;
+}
+
+/**
  * Minimal lookup into a prior simperf JSON: the ticksPerSec of
  * @p preset inside the @p mode section. Relies on the schema placing
  * each mode's presets after its `"<mode>":` key and the "before"
@@ -179,26 +249,33 @@ main(int argc, char **argv)
 {
     setVerbose(false);
     bool smoke = false;
+    bool obs_overhead = false;
     std::string out_path = "BENCH_simperf.json";
     std::string check_path;
     double tolerance = 0.15;
+    bool tolerance_set = false;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "--smoke") {
             smoke = true;
+        } else if (a == "--obs-overhead") {
+            obs_overhead = true;
         } else if (a == "--out" && i + 1 < argc) {
             out_path = argv[++i];
         } else if (a == "--check" && i + 1 < argc) {
             check_path = argv[++i];
         } else if (a == "--tolerance" && i + 1 < argc) {
             tolerance = std::atof(argv[++i]);
+            tolerance_set = true;
         } else {
             std::fprintf(stderr,
-                         "usage: simperf [--smoke] [--out FILE] "
-                         "[--check FILE] [--tolerance X]\n");
+                         "usage: simperf [--smoke] [--obs-overhead] "
+                         "[--out FILE] [--check FILE] [--tolerance X]\n");
             return 2;
         }
     }
+    if (obs_overhead)
+        return runObsOverhead(smoke, tolerance_set ? tolerance : 0.03);
     const char *mode = smoke ? "smoke" : "full";
     const unsigned scale = smoke ? 2 : 20;
     const unsigned reps = smoke ? 1 : 3;

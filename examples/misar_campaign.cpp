@@ -61,6 +61,11 @@ usage()
         "  --dry-run        print the expanded job list and exit\n"
         "  --bench-out FILE write host-side throughput metrics JSON\n"
         "  --quiet          suppress per-job progress lines\n"
+        "  --progress       live one-line stderr ticker (done/running/\n"
+        "                   failed, EWMA job rate, ETA); the same data\n"
+        "                   is always in <out-dir>/status.json, which\n"
+        "                   is atomically rewritten as jobs spawn and\n"
+        "                   finish (watch with: watch cat status.json)\n"
         "failure injection (CI/testing):\n"
         "  --chaos-kill-job N  SIGKILL job N's first attempt\n"
         "  --stop-after N      stop dispatching after N completions\n"
@@ -132,6 +137,9 @@ main(int argc, char **argv)
             bench_out = next();
         } else if (a == "--quiet") {
             opts.verbose = false;
+        } else if (a == "--progress") {
+            opts.progress = true;
+            opts.verbose = false; // ticker and per-job lines clash
         } else if (a == "--chaos-kill-job") {
             opts.chaosKillJob = std::atoi(next());
         } else if (a == "--stop-after") {

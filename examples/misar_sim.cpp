@@ -92,7 +92,12 @@ usage()
         "                     run report's syncVars section\n"
         "  --top N            sync variables in the report (default 16)\n"
         "  --sample-interval K  snapshot key stats every K ticks\n"
-        "  --sample-out FILE  write the sampled time series as CSV\n");
+        "  --sample-out FILE  write the sampled time series as CSV\n"
+        "  --heatmap-out FILE write per-resource utilization timelines\n"
+        "                     (MSA occupancy/free entries, OMU counters\n"
+        "                     + episodes, NoC link flits, NI queues) as\n"
+        "                     heatmap.json; samples on the\n"
+        "                     --sample-interval cadence (default 10000)\n");
 }
 
 /**
@@ -127,6 +132,20 @@ parseKillFields(const char *v, const char *seps, std::uint64_t *out,
     return *p == '\0';
 }
 
+/**
+ * Strict positive-decimal option value. atoi-style parsing silently
+ * turns "10x" into 10 and "-5" into a huge unsigned; numeric
+ * observability knobs fail loudly instead, like the kill specs.
+ */
+std::uint64_t
+parsePositiveArg(const char *opt, const char *v)
+{
+    std::uint64_t val = 0;
+    if (!parseKillFields(v, "", &val, 1) || val == 0)
+        fatal("%s expects a positive decimal number, got '%s'", opt, v);
+    return val;
+}
+
 } // namespace
 
 int
@@ -140,6 +159,7 @@ main(int argc, char **argv)
     std::uint64_t seed = 1, sample_interval = 0;
     std::uint64_t tick_limit = 5000000000ULL;
     std::string trace_path, stats_json_path, sample_csv_path;
+    std::string heatmap_path;
     std::vector<LinkKill> link_kills;
     std::vector<RouterKill> router_kills;
     std::vector<CoreKill> core_kills;
@@ -211,11 +231,13 @@ main(int argc, char **argv)
         } else if (a == "--profile-sync") {
             profile_sync = true;
         } else if (a == "--top") {
-            top_n = static_cast<unsigned>(std::atoi(next()));
+            top_n = static_cast<unsigned>(parsePositiveArg("--top", next()));
         } else if (a == "--sample-interval") {
-            sample_interval = static_cast<std::uint64_t>(std::atoll(next()));
+            sample_interval = parsePositiveArg("--sample-interval", next());
         } else if (a == "--sample-out") {
             sample_csv_path = next();
+        } else if (a == "--heatmap-out") {
+            heatmap_path = next();
         } else if (a == "--help" || a == "-h") {
             usage();
             return 0;
@@ -285,8 +307,9 @@ main(int argc, char **argv)
 
     // Observability is configured before the system is built so the
     // constructor can wire tracer/profiler/sampler into every layer.
-    if (!sample_csv_path.empty() && sample_interval == 0)
-        sample_interval = 10000; // --sample-out implies a default rate
+    if ((!sample_csv_path.empty() || !heatmap_path.empty()) &&
+        sample_interval == 0)
+        sample_interval = 10000; // sampled outputs imply a default rate
     cfg.obs.traceEnabled = !trace_path.empty();
     cfg.obs.traceOutPath = trace_path;
     cfg.obs.profileSync = profile_sync || !stats_json_path.empty();
@@ -294,6 +317,8 @@ main(int argc, char **argv)
     cfg.obs.sampleInterval = sample_interval;
     cfg.obs.sampleCsvPath = sample_csv_path;
     cfg.obs.statsJsonPath = stats_json_path;
+    cfg.obs.heatmapEnabled = !heatmap_path.empty();
+    cfg.obs.heatmapJsonPath = heatmap_path;
 
     sys::System s(cfg);
     const unsigned threads = cfg.numThreads();
@@ -334,6 +359,14 @@ main(int argc, char **argv)
     // a report whose "outcome" field says what happened.
     if (s.sampler())
         s.sampler()->sampleNow();
+    if (s.monitor())
+        s.monitor()->finalize(s.eventQueue().now());
+    if (!heatmap_path.empty() && s.monitor()) {
+        std::ofstream hf(heatmap_path);
+        if (!hf)
+            fatal("cannot open heatmap file %s", heatmap_path.c_str());
+        s.monitor()->writeJson(hf);
+    }
     if (!trace_path.empty()) {
         std::ofstream tf(trace_path);
         if (!tf)
@@ -354,7 +387,8 @@ main(int argc, char **argv)
         // the instant it exits, and the report must survive that.
         if (!obs::writeRunReportDurable(stats_json_path, meta, s.stats(),
                                         s.syncProfiler(), top_n,
-                                        s.sampler(), &s.eventQueue()))
+                                        s.sampler(), &s.eventQueue(),
+                                        s.monitor()))
             fatal("cannot write stats file %s", stats_json_path.c_str());
     }
     if (guard)
@@ -438,6 +472,8 @@ main(int argc, char **argv)
         std::printf("stats json     : %s\n", stats_json_path.c_str());
     if (!sample_csv_path.empty())
         std::printf("sample csv     : %s\n", sample_csv_path.c_str());
+    if (!heatmap_path.empty())
+        std::printf("heatmap json   : %s\n", heatmap_path.c_str());
     if (profile_sync && s.syncProfiler()) {
         std::printf("\n");
         s.syncProfiler()->writeReport(std::cout, top_n);

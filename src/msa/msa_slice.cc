@@ -30,6 +30,12 @@ MsaSlice::attachObservers(obs::Tracer *t, obs::SyncProfiler *p)
 }
 
 void
+MsaSlice::attachMonitor(obs::ResourceMonitor *m)
+{
+    monitor = m;
+}
+
+void
 MsaSlice::traceInstant(const char *name, Addr a, std::uint64_t value,
                        bool has_value)
 {
@@ -52,6 +58,12 @@ MsaSlice::validEntries() const
     for (const auto &e : entries)
         n += e.valid;
     return n;
+}
+
+unsigned
+MsaSlice::freeEntries() const
+{
+    return static_cast<unsigned>(entries.size()) - validEntries();
 }
 
 const MsaEntry *
@@ -96,6 +108,9 @@ MsaSlice::omuInc(Addr a, std::uint32_t n)
         return;
     _omu.increment(a, n);
     traceInstant("OMU_INC", a, _omu.count(a), true);
+    if (monitor)
+        monitor->omuUpdate(tile, _omu.activeCounters(), _omu.count(a),
+                           eq.now());
 }
 
 void
@@ -105,6 +120,9 @@ MsaSlice::omuDec(Addr a, std::uint32_t n)
         return;
     _omu.decrement(a, n);
     traceInstant("OMU_DEC", a, _omu.count(a), true);
+    if (monitor)
+        monitor->omuUpdate(tile, _omu.activeCounters(), _omu.count(a),
+                           eq.now());
 }
 
 bool
@@ -393,6 +411,8 @@ MsaSlice::allocate(Addr addr)
         return &e;
     }
     traceInstant("OVERFLOW", addr);
+    if (monitor)
+        monitor->onOverflow(tile, eq.now());
     return nullptr;
 }
 

@@ -41,6 +41,7 @@
 #include "mem/home_slice.hh"
 #include "msa/msa_msg.hh"
 #include "msa/omu.hh"
+#include "obs/heatmap.hh"
 #include "obs/sync_profiler.hh"
 #include "obs/tracer.hh"
 #include "sim/config.hh"
@@ -126,6 +127,9 @@ class MsaSlice
     /** Tests/debug: number of valid entries. */
     unsigned validEntries() const;
 
+    /** Allocatable entry slots currently free (heatmap gauge). */
+    unsigned freeEntries() const;
+
     /** Tests/debug: entry for @p addr, or nullptr. */
     const MsaEntry *findEntry(Addr addr) const;
 
@@ -195,6 +199,14 @@ class MsaSlice
      * grant handoffs and barrier episodes are recorded.
      */
     void attachObservers(obs::Tracer *tracer, obs::SyncProfiler *profiler);
+
+    /**
+     * Attach the resource-pressure monitor (may be null). Feeds it
+     * OMU activity transitions (episode spans + high-water marks) and
+     * entry-overflow events; gauges (occupancy, free depth, counter
+     * values) are sampled from the outside via the accessors.
+     */
+    void attachMonitor(obs::ResourceMonitor *monitor);
 
   private:
     /**
@@ -400,6 +412,7 @@ class MsaSlice
 
     obs::Tracer *tracer = nullptr;
     obs::SyncProfiler *profiler = nullptr;
+    obs::ResourceMonitor *monitor = nullptr;
     /** This slice's trace row (pid 1), valid when tracer != null. */
     obs::TrackId track = 0;
     /**

@@ -65,6 +65,16 @@ class Omu
     /** Raw counter value by index (invariant checker / tests). */
     std::uint32_t countAt(unsigned i) const { return counters[i]; }
 
+    /** Number of non-zero counters (resource-monitor episodes). */
+    unsigned
+    activeCounters() const
+    {
+        unsigned n = 0;
+        for (std::uint32_t c : counters)
+            n += c > 0;
+        return n;
+    }
+
     /**
      * Slice failover: merge @p n software episodes into slot @p i of
      * the buddy's OMU (slot-level, since both slices hash addresses

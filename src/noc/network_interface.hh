@@ -92,6 +92,16 @@ class NetworkInterface
 
     /** @} */
 
+    /** Packets queued for injection across all vnets (heatmap gauge). */
+    unsigned
+    injectQueueDepth() const
+    {
+        unsigned n = 0;
+        for (const auto &q : outQ)
+            n += static_cast<unsigned>(q.size());
+        return n;
+    }
+
   private:
     /** Retransmission state of one unacked sequenced packet. */
     struct PendingTx

@@ -355,6 +355,7 @@ Router::tick()
                 ejectFn(std::move(flit));
             } else {
                 --credits[out][vnet];
+                ++fwdFlits[out];
                 Router *next = links[out].next;
                 Port next_in = links[out].nextIn;
                 if (!next)

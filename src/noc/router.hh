@@ -203,6 +203,15 @@ class Router
 
     /** @} */
 
+    /**
+     * Cumulative flits forwarded out of @p p to the neighbouring
+     * router (locally-ejected flits excluded). A plain member counter
+     * — not a StatRegistry stat — so per-link heat is observable
+     * without changing registry dumps; the resource monitor samples
+     * it into the heatmap timeline.
+     */
+    std::uint64_t forwardedFlits(Port p) const { return fwdFlits[p]; }
+
   private:
     /** XY route: output port towards @p dst. */
     Port route(CoreId dst) const;
@@ -280,6 +289,9 @@ class Router
     std::function<void(Flit)> ejectFn;
     std::function<void(unsigned)> localCreditFn;
     bool tickPending = false;
+
+    /** Flits forwarded per output port (see forwardedFlits()). */
+    std::array<std::uint64_t, numPorts> fwdFlits{};
 
     /** @name Fault state (inert until armFaults()). @{ */
     bool faultsArmed = false;

@@ -1,0 +1,220 @@
+#include "obs/heatmap.hh"
+
+#include "obs/tracer.hh"
+#include "util/json.hh"
+
+namespace misar {
+namespace obs {
+
+void
+ResourceMonitor::addGauge(std::string name, std::string kind, unsigned pid,
+                          unsigned tid, std::function<double()> fn)
+{
+    Gauge g;
+    g.name = std::move(name);
+    g.kind = std::move(kind);
+    g.pid = pid;
+    g.tid = tid;
+    g.fn = std::move(fn);
+    if (tracer)
+        g.track = static_cast<int>(tracer->addTrack(g.pid, g.tid, g.name));
+    gauges.push_back(std::move(g));
+}
+
+void
+ResourceMonitor::attachTracer(Tracer *t)
+{
+    tracer = t;
+    if (!tracer)
+        return;
+    for (Gauge &g : gauges)
+        if (g.track < 0)
+            g.track = static_cast<int>(
+                tracer->addTrack(g.pid, g.tid, g.name));
+}
+
+void
+ResourceMonitor::sample(Tick now)
+{
+    if (ticks.size() >= maxRows) {
+        ++_droppedRows;
+        return;
+    }
+    ticks.push_back(now);
+    for (Gauge &g : gauges) {
+        double v = g.fn();
+        g.values.push_back(v);
+        if (tracer && g.track >= 0)
+            tracer->counter(static_cast<TrackId>(g.track), now,
+                            g.name.c_str(),
+                            v < 0 ? 0 : static_cast<std::uint64_t>(v));
+    }
+}
+
+ResourceMonitor::TileState &
+ResourceMonitor::tileState(unsigned tile)
+{
+    if (tile >= tiles.size())
+        tiles.resize(tile + 1);
+    return tiles[tile];
+}
+
+void
+ResourceMonitor::onOverflow(unsigned tile, Tick now)
+{
+    (void)tile;
+    (void)now;
+    ++_overflowEvents;
+}
+
+void
+ResourceMonitor::omuUpdate(unsigned tile, unsigned active_counters,
+                           std::uint32_t count, Tick now)
+{
+    TileState &t = tileState(tile);
+    if (count > t.highWater)
+        t.highWater = count;
+    if (t.active == 0 && active_counters > 0) {
+        t.openEpisode = static_cast<std::int64_t>(episodes.size());
+        episodes.push_back(Episode{tile, now, now, false});
+    } else if (t.active > 0 && active_counters == 0 &&
+               t.openEpisode >= 0) {
+        Episode &e = episodes[static_cast<std::size_t>(t.openEpisode)];
+        e.end = now;
+        e.closed = true;
+        t.openEpisode = -1;
+    }
+    t.active = active_counters;
+}
+
+void
+ResourceMonitor::finalize(Tick now)
+{
+    if (finalized)
+        return;
+    finalized = true;
+    for (TileState &t : tiles) {
+        if (t.openEpisode < 0)
+            continue;
+        Episode &e = episodes[static_cast<std::size_t>(t.openEpisode)];
+        e.end = now;
+        t.openEpisode = -1;
+    }
+}
+
+std::uint64_t
+ResourceMonitor::omuHighWater() const
+{
+    std::uint64_t hwm = 0;
+    for (const TileState &t : tiles)
+        if (t.highWater > hwm)
+            hwm = t.highWater;
+    return hwm;
+}
+
+const std::vector<double> &
+ResourceMonitor::gaugeValues(std::size_t g) const
+{
+    return gauges.at(g).values;
+}
+
+const std::string &
+ResourceMonitor::gaugeName(std::size_t g) const
+{
+    return gauges.at(g).name;
+}
+
+const std::string &
+ResourceMonitor::gaugeKind(std::size_t g) const
+{
+    return gauges.at(g).kind;
+}
+
+double
+ResourceMonitor::maxOfKind(const std::string &kind) const
+{
+    double mx = 0.0;
+    for (const Gauge &g : gauges) {
+        if (g.kind != kind)
+            continue;
+        for (double v : g.values)
+            if (v > mx)
+                mx = v;
+    }
+    return mx;
+}
+
+std::uint64_t
+ResourceMonitor::omuEpisodeTicks() const
+{
+    std::uint64_t total = 0;
+    for (const Episode &e : episodes)
+        total += e.end - e.begin;
+    return total;
+}
+
+void
+ResourceMonitor::writeJson(std::ostream &os) const
+{
+    util::JsonWriter w(os);
+    w.beginObject();
+    w.kv("schemaVersion", std::uint64_t(1));
+    w.kv("interval", _interval);
+    w.kv("droppedRows", _droppedRows);
+    w.key("ticks").beginArray();
+    for (Tick t : ticks)
+        w.value(t);
+    w.endArray();
+    w.key("resources").beginArray();
+    for (const Gauge &g : gauges) {
+        w.newline().beginObject();
+        w.kv("name", g.name);
+        w.kv("kind", g.kind);
+        w.key("values").beginArray();
+        for (double v : g.values)
+            w.value(v, 3);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.key("omuEpisodes").beginArray();
+    for (const Episode &e : episodes) {
+        w.beginObject();
+        w.kv("tile", e.tile);
+        w.kv("begin", e.begin);
+        w.kv("end", e.end);
+        w.kv("closed", e.closed);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("omuHighWater").beginArray();
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
+        w.beginObject();
+        w.kv("tile", std::uint64_t(t));
+        w.kv("max", std::uint64_t(tiles[t].highWater));
+        w.endObject();
+    }
+    w.endArray();
+    w.kv("overflowEvents", _overflowEvents);
+    w.endObject();
+    w.newline();
+}
+
+void
+ResourceMonitor::writeSummaryJson(util::JsonWriter &w) const
+{
+    w.beginObject();
+    w.kv("interval", _interval);
+    w.kv("resources", std::uint64_t(gauges.size()));
+    w.kv("samples", std::uint64_t(ticks.size()));
+    w.kv("overflowEvents", _overflowEvents);
+    w.kv("omuEpisodes", std::uint64_t(episodes.size()));
+    w.kv("omuEpisodeTicks", omuEpisodeTicks());
+    w.kv("omuHighWater", omuHighWater());
+    w.kv("maxSliceOccupancy", maxOfKind("msaOccupancy"), 3);
+    w.kv("maxNiQueueDepth", maxOfKind("niQueue"), 3);
+    w.endObject();
+}
+
+} // namespace obs
+} // namespace misar

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Resource-pressure monitor: per-resource utilization timelines.
+ *
+ * MiSAR's sizing argument (2 MSA entries + a handful of OMU counters
+ * per tile suffice) is only credible if we can see where and when
+ * pressure lands. The monitor records, per registered resource gauge
+ * (MSA slice entry occupancy and free-list depth, OMU counter values,
+ * NoC per-link forwarded-flit counts, NI injection-queue depths), one
+ * value per sampler row — it is driven as a StatSampler observer, so
+ * its timeline is tick-aligned with the CSV sampler and inherits the
+ * maintenance-aware scheduling (no events of its own, no timing
+ * perturbation). On top of the sampled matrix it keeps event-driven
+ * state fed by null-gated hooks in the MSA slices: OMU activity
+ * episodes (spans during which a tile has at least one live overflow
+ * counter), per-tile OMU high-water marks, and entry-overflow event
+ * counts.
+ *
+ * Output: heatmap.json (resource x time-bucket matrix plus episode
+ * spans; schema in docs/OBSERVABILITY.md), Chrome-trace counter
+ * events when a tracer is attached, and a compact summary block
+ * embedded in the v2 run report for campaign-level aggregation.
+ */
+
+#ifndef MISAR_OBS_HEATMAP_HH
+#define MISAR_OBS_HEATMAP_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace misar {
+namespace util {
+class JsonWriter;
+} // namespace util
+
+namespace obs {
+
+class Tracer;
+
+/** Collects resource utilization timelines and pressure episodes. */
+class ResourceMonitor
+{
+  public:
+    /** @p interval is the sampler's tick interval (metadata only). */
+    explicit ResourceMonitor(Tick interval) : _interval(interval) {}
+
+    /**
+     * Register a gauge. @p kind groups resources in the heatmap
+     * ("msaOccupancy", "msaFree", "omu", "nocLink", "niQueue");
+     * @p pid / @p tid place the Chrome-trace counter row.
+     */
+    void addGauge(std::string name, std::string kind, unsigned pid,
+                  unsigned tid, std::function<double()> fn);
+
+    /** Emit counter events into @p t at every sample (may be null). */
+    void attachTracer(Tracer *t);
+
+    /** Take one sample row (wired as a StatSampler observer). */
+    void sample(Tick now);
+
+    /** @name Event-driven hooks (callers gate on a null monitor). @{ */
+    /** An MSA entry allocation overflowed at @p tile. */
+    void onOverflow(unsigned tile, Tick now);
+    /**
+     * A tile's OMU state changed: @p active_counters live counters
+     * after the update, @p count the touched counter's new value.
+     * Zero->nonzero opens an activity episode; nonzero->zero closes
+     * it.
+     */
+    void omuUpdate(unsigned tile, unsigned active_counters,
+                   std::uint32_t count, Tick now);
+    /** @} */
+
+    /** Close still-open episodes at end of run (idempotent). */
+    void finalize(Tick now);
+
+    /** One OMU activity span on one tile. */
+    struct Episode
+    {
+        unsigned tile;
+        Tick begin;
+        Tick end;
+        bool closed;
+    };
+
+    const std::vector<Episode> &omuEpisodes() const { return episodes; }
+    std::uint64_t overflowEvents() const { return _overflowEvents; }
+    std::uint64_t omuHighWater() const; ///< max over all tiles
+    std::size_t numGauges() const { return gauges.size(); }
+    std::size_t numSamples() const { return ticks.size(); }
+    const std::vector<Tick> &sampleTicks() const { return ticks; }
+
+    /** Sampled values of gauge @p g (one per sampleTicks() entry). */
+    const std::vector<double> &gaugeValues(std::size_t g) const;
+    const std::string &gaugeName(std::size_t g) const;
+    const std::string &gaugeKind(std::size_t g) const;
+
+    /** Max sampled value across gauges of @p kind (0 when none). */
+    double maxOfKind(const std::string &kind) const;
+
+    /** Total ticks covered by OMU episodes (finalize() first). */
+    std::uint64_t omuEpisodeTicks() const;
+
+    /** Bound the sample count; further rows are dropped and counted. */
+    void setMaxRows(std::size_t n) { maxRows = n; }
+    std::uint64_t droppedRows() const { return _droppedRows; }
+
+    /** The full heatmap.json document. */
+    void writeJson(std::ostream &os) const;
+
+    /** The "heatmap" summary object of the v2 run report. */
+    void writeSummaryJson(util::JsonWriter &w) const;
+
+  private:
+    struct Gauge
+    {
+        std::string name;
+        std::string kind;
+        unsigned pid;
+        unsigned tid;
+        std::function<double()> fn;
+        std::vector<double> values;
+        int track = -1; ///< tracer counter track, -1 = unattached
+    };
+
+    struct TileState
+    {
+        unsigned active = 0; ///< live OMU counters after last update
+        std::uint32_t highWater = 0;
+        std::int64_t openEpisode = -1; ///< index into episodes
+    };
+
+    TileState &tileState(unsigned tile);
+
+    Tick _interval;
+    // deque: gauge names must stay address-stable (the tracer keeps
+    // const char* into them) while registration grows the set.
+    std::deque<Gauge> gauges;
+    std::vector<Tick> ticks;
+    std::vector<TileState> tiles;
+    std::vector<Episode> episodes;
+    std::uint64_t _overflowEvents = 0;
+    std::size_t maxRows = 1u << 20;
+    std::uint64_t _droppedRows = 0;
+    Tracer *tracer = nullptr;
+    bool finalized = false;
+};
+
+} // namespace obs
+} // namespace misar
+
+#endif // MISAR_OBS_HEATMAP_HH

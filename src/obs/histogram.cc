@@ -1,0 +1,172 @@
+#include "obs/histogram.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "util/json.hh"
+
+namespace misar {
+namespace obs {
+
+unsigned
+LogHistogram::bucketIndex(std::uint64_t v)
+{
+    if (v < exactLimit)
+        return static_cast<unsigned>(v);
+    // s scales v down to a 7-bit mantissa m in [64,128); the index
+    // 64*s + m continues the exact range seamlessly (v=128 -> 128).
+    unsigned s = static_cast<unsigned>(std::bit_width(v)) - 7;
+    std::uint64_t m = v >> s;
+    return static_cast<unsigned>(64 * s + m);
+}
+
+std::uint64_t
+LogHistogram::bucketLow(unsigned idx)
+{
+    if (idx < exactLimit)
+        return idx;
+    unsigned s = idx / 64 - 1;
+    std::uint64_t m = idx - 64ULL * s;
+    return m << s;
+}
+
+std::uint64_t
+LogHistogram::bucketValue(unsigned idx)
+{
+    if (idx < exactLimit)
+        return idx;
+    unsigned s = idx / 64 - 1;
+    // Midpoint of a width-2^s bucket: at most half a bucket from any
+    // member, i.e. 2^(s-1) / (64*2^s) = 1/128 relative error.
+    return bucketLow(idx) + (1ULL << (s - 1));
+}
+
+void
+LogHistogram::record(std::uint64_t v, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    unsigned idx = bucketIndex(v);
+    if (idx >= counts.size())
+        counts.resize(idx + 1, 0);
+    counts[idx] += n;
+    total += n;
+    accum += v * n;
+    if (v < lo)
+        lo = v;
+    if (v > hi)
+        hi = v;
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    if (other.total == 0)
+        return;
+    if (other.counts.size() > counts.size())
+        counts.resize(other.counts.size(), 0);
+    for (std::size_t i = 0; i < other.counts.size(); ++i)
+        counts[i] += other.counts[i];
+    total += other.total;
+    accum += other.accum;
+    if (other.lo < lo)
+        lo = other.lo;
+    if (other.hi > hi)
+        hi = other.hi;
+}
+
+std::uint64_t
+LogHistogram::percentile(double q) const
+{
+    if (total == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(std::ceil(q * double(total)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > total)
+        rank = total;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        seen += counts[i];
+        if (seen >= rank)
+            return bucketValue(static_cast<unsigned>(i));
+    }
+    return hi; // unreachable when counters are consistent
+}
+
+void
+LogHistogram::writeJson(util::JsonWriter &w) const
+{
+    w.beginObject();
+    w.kv("count", total);
+    w.kv("sum", accum);
+    w.kv("min", min());
+    w.kv("max", hi);
+    w.key("buckets").beginArray();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (!counts[i])
+            continue;
+        w.beginArray();
+        w.value(std::uint64_t(i));
+        w.value(counts[i]);
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+bool
+LogHistogram::fromJson(const util::Json &j, LogHistogram &out)
+{
+    if (!j.isObj() || !j.at("buckets").isArr())
+        return false;
+    LogHistogram h;
+    std::uint64_t from_buckets = 0;
+    for (const util::Json &b : j.at("buckets").arr) {
+        if (!b.isArr() || b.arr.size() != 2)
+            return false;
+        std::uint64_t idx = b.arr[0].uintOr(~0ULL);
+        std::uint64_t cnt = b.arr[1].uintOr(0);
+        if (idx > 64ULL * 64)
+            return false; // beyond any encodable bucket
+        if (cnt == 0)
+            continue;
+        if (idx >= h.counts.size())
+            h.counts.resize(idx + 1, 0);
+        h.counts[idx] += cnt;
+        from_buckets += cnt;
+    }
+    h.total = j.at("count").uintOr(from_buckets);
+    if (h.total != from_buckets)
+        return false;
+    h.accum = j.at("sum").uintOr(0);
+    h.hi = j.at("max").uintOr(0);
+    h.lo = h.total ? j.at("min").uintOr(0) : ~0ULL;
+    out = std::move(h);
+    return true;
+}
+
+bool
+LogHistogram::operator==(const LogHistogram &o) const
+{
+    if (total != o.total || accum != o.accum || hi != o.hi ||
+        min() != o.min())
+        return false;
+    std::size_t n = counts.size() > o.counts.size() ? counts.size()
+                                                    : o.counts.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t a = i < counts.size() ? counts[i] : 0;
+        std::uint64_t b = i < o.counts.size() ? o.counts[i] : 0;
+        if (a != b)
+            return false;
+    }
+    return true;
+}
+
+} // namespace obs
+} // namespace misar

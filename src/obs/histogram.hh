@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Log-bucketed latency histogram (HDR-histogram style).
+ *
+ * The repo needs percentile-grade latency evidence — sync-op wait
+ * distributions per variable, per run, and merged across campaign
+ * repetitions — with a hard accuracy bound and deterministic byte
+ * encoding. LogHistogram records 64-bit tick values exactly below
+ * 128 and with 64 sub-buckets per power of two above, which bounds
+ * the relative quantization error of any reconstructed value by
+ * 1/128 (~0.78%, under the 1% budget): a value v >= 128 lands in a
+ * bucket of width 2^s whose lower bound is at least 64*2^s, and we
+ * report the bucket midpoint.
+ *
+ * Histograms merge by bucket-wise addition, so the merge of per-rep
+ * histograms is bit-identical to the histogram of the concatenated
+ * sample stream — the property campaign aggregation relies on.
+ * Buckets are stored densely up to the largest observed index
+ * (30 KB worst case for full 64-bit range, ~1 KB for realistic wait
+ * times) and encoded sparsely in JSON as [[index,count],...].
+ */
+
+#ifndef MISAR_OBS_HISTOGRAM_HH
+#define MISAR_OBS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace misar {
+namespace util {
+struct Json;
+class JsonWriter;
+} // namespace util
+
+namespace obs {
+
+class LogHistogram
+{
+  public:
+    /** Sub-buckets per power-of-two range (64 -> error <= 1/128). */
+    static constexpr unsigned subBuckets = 64;
+    /** Values below this are bucketed exactly (index == value). */
+    static constexpr std::uint64_t exactLimit = 128;
+
+    /** Bucket index for @p v (stable across runs and platforms). */
+    static unsigned bucketIndex(std::uint64_t v);
+
+    /** Midpoint of bucket @p idx: the value reported for it. */
+    static std::uint64_t bucketValue(unsigned idx);
+
+    /** Inclusive lower bound of bucket @p idx. */
+    static std::uint64_t bucketLow(unsigned idx);
+
+    void record(std::uint64_t v) { record(v, 1); }
+    void record(std::uint64_t v, std::uint64_t n);
+
+    /** Bucket-wise addition; count/sum/min/max merge too. */
+    void merge(const LogHistogram &other);
+
+    std::uint64_t count() const { return total; }
+    std::uint64_t sum() const { return accum; }
+    std::uint64_t min() const { return total ? lo : 0; }
+    std::uint64_t max() const { return hi; }
+    double mean() const { return total ? double(accum) / double(total) : 0.0; }
+    bool empty() const { return total == 0; }
+
+    /**
+     * Value at quantile @p q in [0,1]: the midpoint of the bucket
+     * holding the ceil(q*count)-th smallest sample (exact for values
+     * below exactLimit). 0 on an empty histogram.
+     */
+    std::uint64_t percentile(double q) const;
+
+    std::uint64_t p50() const { return percentile(0.50); }
+    std::uint64_t p90() const { return percentile(0.90); }
+    std::uint64_t p99() const { return percentile(0.99); }
+    std::uint64_t p999() const { return percentile(0.999); }
+
+    /** Raw bucket counts (dense, trailing zeros trimmed at resize). */
+    const std::vector<std::uint64_t> &bucketCounts() const { return counts; }
+
+    /**
+     * Emit {"count":..,"sum":..,"min":..,"max":..,
+     * "buckets":[[idx,count],...]} as the next value of @p w.
+     */
+    void writeJson(util::JsonWriter &w) const;
+
+    /** Rebuild from a writeJson() document. False on malformed input. */
+    static bool fromJson(const util::Json &j, LogHistogram &out);
+
+    bool operator==(const LogHistogram &o) const;
+
+  private:
+    std::vector<std::uint64_t> counts;
+    std::uint64_t total = 0;
+    std::uint64_t accum = 0;
+    std::uint64_t lo = ~0ULL;
+    std::uint64_t hi = 0;
+};
+
+} // namespace obs
+} // namespace misar
+
+#endif // MISAR_OBS_HISTOGRAM_HH

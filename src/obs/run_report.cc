@@ -5,207 +5,179 @@
 
 #include <cerrno>
 #include <cstring>
-#include <iomanip>
 #include <sstream>
-#include <vector>
 
+#include "obs/heatmap.hh"
 #include "obs/sampler.hh"
 #include "obs/sync_profiler.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
-#include "sim/trace.hh"
 #include "system/system.hh"
+#include "util/json.hh"
 
 namespace misar {
 namespace obs {
-
-namespace {
-
-void
-writeStr(std::ostream &os, const char *key, const std::string &v)
-{
-    os << "\"" << key << "\":\"" << jsonEscape(v) << "\"";
-}
-
-/**
- * JSON numbers must be finite; averages over zero samples yield NaN
- * in some stat implementations, so clamp anything non-finite to 0.
- */
-double
-finite(double v)
-{
-    return v == v ? v : 0.0;
-}
-
-} // namespace
 
 void
 writeRunReport(std::ostream &os, const RunMeta &meta,
                const StatRegistry &stats, const SyncProfiler *prof,
                std::size_t top_n, const StatSampler *sampler,
-               const EventQueue *eq)
+               const EventQueue *eq, const ResourceMonitor *monitor)
 {
-    os << "{\"schemaVersion\":" << runReportSchemaVersion;
+    util::JsonWriter w(os);
+    w.beginObject();
+    w.kv("schemaVersion", runReportSchemaVersion);
 
     // -- metadata ----------------------------------------------------
-    os << ",\"meta\":{";
-    writeStr(os, "app", meta.app);
-    os << ",";
-    writeStr(os, "preset", meta.preset);
-    os << ",";
-    writeStr(os, "accel", meta.accel);
-    os << ",";
-    writeStr(os, "flavor", meta.flavor);
-    os << ",\"cores\":" << meta.cores << ",\"smtWays\":" << meta.smtWays
-       << ",\"msaEntries\":" << meta.msaEntries
-       << ",\"omuCounters\":" << meta.omuCounters << ",\"omuEnabled\":"
-       << (meta.omuEnabled ? "true" : "false") << ",\"hwSyncBitOpt\":"
-       << (meta.hwSyncBitOpt ? "true" : "false")
-       << ",\"seed\":" << meta.seed << ",";
-    writeStr(os, "outcome", meta.outcome);
-    os << ",\"makespan\":" << meta.makespan << ",\"hwCoverage\":"
-       << std::fixed << std::setprecision(6) << finite(meta.hwCoverage)
-       << "}";
+    w.key("meta").beginObject();
+    w.kv("app", meta.app);
+    w.kv("preset", meta.preset);
+    w.kv("accel", meta.accel);
+    w.kv("flavor", meta.flavor);
+    w.kv("cores", meta.cores);
+    w.kv("smtWays", meta.smtWays);
+    w.kv("msaEntries", meta.msaEntries);
+    w.kv("omuCounters", meta.omuCounters);
+    w.kv("omuEnabled", meta.omuEnabled);
+    w.kv("hwSyncBitOpt", meta.hwSyncBitOpt);
+    w.kv("seed", meta.seed);
+    w.kv("outcome", meta.outcome);
+    w.kv("makespan", meta.makespan);
+    w.kv("hwCoverage", meta.hwCoverage, 6);
+    w.endObject();
 
     // -- resilience summary (PR 1 counters) --------------------------
-    os << ",\"resilience\":{"
-       << "\"timeouts\":" << stats.counterValue("resil.timeouts")
-       << ",\"retries\":" << stats.counterValue("resil.retries")
-       << ",\"abandonedOps\":" << stats.counterValue("resil.abandonedOps")
-       << ",\"staleResponses\":" << stats.counterValue("resil.staleResponses")
-       << ",\"watchdogStalls\":" << stats.counterValue("resil.watchdogStalls")
-       << ",\"invariantViolations\":"
-       << stats.counterValue("resil.invariantViolations")
-       << ",\"injectedDrops\":" << stats.counterValue("resil.injectedDrops")
-       << ",\"injectedDups\":" << stats.counterValue("resil.injectedDups")
-       << ",\"injectedDelays\":" << stats.counterValue("resil.injectedDelays")
-       << ",\"abortedOps\":" << stats.counterValue("sync.abortedOps")
-       << ",\"offlineEvents\":"
-       << stats.sumCountersSuffix(".msa.offlineEvents")
-       << ",\"offlineSheds\":"
-       << (stats.sumCountersSuffix(".msa.offlineLockAborts") +
-           stats.sumCountersSuffix(".msa.offlineRwAborts") +
-           stats.sumCountersSuffix(".msa.offlineBarrierAborts") +
-           stats.sumCountersSuffix(".msa.offlineCondAborts"))
-       << ",\"offlineDenied\":"
-       << stats.sumCountersSuffix(".msa.offlineDenied")
-       << ",\"crossedSnoops\":"
-       << stats.sumCountersSuffix(".l1.crossedSnoops")
-       << ",\"nocRetransmits\":" << stats.counterValue("noc.rel.retransmits")
-       << ",\"nocDedups\":" << stats.counterValue("noc.rel.dedups")
-       << ",\"nocAbandoned\":" << stats.counterValue("noc.rel.abandoned")
-       << ",\"flitsCorrupted\":" << stats.counterValue("noc.pktsCorrupted")
-       << ",\"detourHops\":" << stats.counterValue("noc.detourHops")
-       << ",\"deadLinks\":" << stats.counterValue("noc.deadLinks")
-       << ",\"deadRouters\":" << stats.counterValue("noc.deadRouters")
-       << ",\"partitionSheds\":" << stats.counterValue("resil.partitionSheds")
-       << ",\"coreKills\":" << stats.counterValue("resil.coreKills")
-       << ",\"deadDeclarations\":"
-       << stats.counterValue("resil.deadDeclarations")
-       << ",\"lockRevocations\":"
-       << stats.sumCountersSuffix(".msa.lockRevocations")
-       << ",\"barrierReconfigs\":"
-       << stats.sumCountersSuffix(".msa.barrierReconfigs")
-       << ",\"fencedReleases\":"
-       << stats.sumCountersSuffix(".msa.fencedReleases")
-       << ",\"leaseProbes\":"
-       << stats.sumCountersSuffix(".msa.leaseProbes")
-       << ",\"leaseRenewals\":"
-       << stats.sumCountersSuffix(".msa.leaseRenewals")
-       << ",\"deadWaiterDrops\":"
-       << stats.sumCountersSuffix(".msa.deadWaiterDrops")
-       << ",\"failovers\":" << stats.sumCountersSuffix(".msa.failovers")
-       << ",\"rehomedVars\":"
-       << stats.sumCountersSuffix(".msa.rehomedVars")
-       << "}";
+    w.key("resilience").beginObject();
+    w.kv("timeouts", stats.counterValue("resil.timeouts"));
+    w.kv("retries", stats.counterValue("resil.retries"));
+    w.kv("abandonedOps", stats.counterValue("resil.abandonedOps"));
+    w.kv("staleResponses", stats.counterValue("resil.staleResponses"));
+    w.kv("watchdogStalls", stats.counterValue("resil.watchdogStalls"));
+    w.kv("invariantViolations",
+         stats.counterValue("resil.invariantViolations"));
+    w.kv("injectedDrops", stats.counterValue("resil.injectedDrops"));
+    w.kv("injectedDups", stats.counterValue("resil.injectedDups"));
+    w.kv("injectedDelays", stats.counterValue("resil.injectedDelays"));
+    w.kv("abortedOps", stats.counterValue("sync.abortedOps"));
+    w.kv("offlineEvents", stats.sumCountersSuffix(".msa.offlineEvents"));
+    w.kv("offlineSheds",
+         stats.sumCountersSuffix(".msa.offlineLockAborts") +
+             stats.sumCountersSuffix(".msa.offlineRwAborts") +
+             stats.sumCountersSuffix(".msa.offlineBarrierAborts") +
+             stats.sumCountersSuffix(".msa.offlineCondAborts"));
+    w.kv("offlineDenied", stats.sumCountersSuffix(".msa.offlineDenied"));
+    w.kv("crossedSnoops", stats.sumCountersSuffix(".l1.crossedSnoops"));
+    w.kv("nocRetransmits", stats.counterValue("noc.rel.retransmits"));
+    w.kv("nocDedups", stats.counterValue("noc.rel.dedups"));
+    w.kv("nocAbandoned", stats.counterValue("noc.rel.abandoned"));
+    w.kv("flitsCorrupted", stats.counterValue("noc.pktsCorrupted"));
+    w.kv("detourHops", stats.counterValue("noc.detourHops"));
+    w.kv("deadLinks", stats.counterValue("noc.deadLinks"));
+    w.kv("deadRouters", stats.counterValue("noc.deadRouters"));
+    w.kv("partitionSheds", stats.counterValue("resil.partitionSheds"));
+    w.kv("coreKills", stats.counterValue("resil.coreKills"));
+    w.kv("deadDeclarations", stats.counterValue("resil.deadDeclarations"));
+    w.kv("lockRevocations", stats.sumCountersSuffix(".msa.lockRevocations"));
+    w.kv("barrierReconfigs",
+         stats.sumCountersSuffix(".msa.barrierReconfigs"));
+    w.kv("fencedReleases", stats.sumCountersSuffix(".msa.fencedReleases"));
+    w.kv("leaseProbes", stats.sumCountersSuffix(".msa.leaseProbes"));
+    w.kv("leaseRenewals", stats.sumCountersSuffix(".msa.leaseRenewals"));
+    w.kv("deadWaiterDrops", stats.sumCountersSuffix(".msa.deadWaiterDrops"));
+    w.kv("failovers", stats.sumCountersSuffix(".msa.failovers"));
+    w.kv("rehomedVars", stats.sumCountersSuffix(".msa.rehomedVars"));
+    w.endObject();
 
     // -- full statistics registry ------------------------------------
-    os << ",\"stats\":{\"counters\":{";
-    {
-        bool first = true;
-        stats.forEachCounter(
-            [&](const std::string &name, const StatCounter &c) {
-                if (!first)
-                    os << ",";
-                first = false;
-                os << "\"" << jsonEscape(name) << "\":" << c.value();
-            });
-    }
-    os << "},\"averages\":{";
-    {
-        bool first = true;
-        stats.forEachAverage(
-            [&](const std::string &name, const StatAverage &a) {
-                if (!first)
-                    os << ",";
-                first = false;
-                os << "\"" << jsonEscape(name) << "\":{\"count\":"
-                   << a.count() << ",\"mean\":" << std::fixed
-                   << std::setprecision(3) << finite(a.mean())
-                   << ",\"min\":" << finite(a.count() ? a.min() : 0.0)
-                   << ",\"max\":" << finite(a.max()) << ",\"sum\":"
-                   << finite(a.sum()) << "}";
-            });
-    }
-    os << "},\"histograms\":{";
-    {
-        bool first = true;
-        stats.forEachHistogram(
-            [&](const std::string &name, const StatHistogram &h) {
-                if (!first)
-                    os << ",";
-                first = false;
-                os << "\"" << jsonEscape(name) << "\":{\"total\":"
-                   << h.total() << ",\"buckets\":[";
-                const auto &b = h.data();
-                for (std::size_t i = 0; i < b.size(); ++i)
-                    os << (i ? "," : "") << b[i];
-                os << "]}";
-            });
-    }
-    os << "}}";
+    w.key("stats").beginObject();
+    w.key("counters").beginObject();
+    stats.forEachCounter([&](const std::string &name, const StatCounter &c) {
+        w.kv(name, c.value());
+    });
+    w.endObject();
+    w.key("averages").beginObject();
+    stats.forEachAverage([&](const std::string &name, const StatAverage &a) {
+        w.key(name).beginObject();
+        w.kv("count", a.count());
+        w.kv("mean", a.mean(), 3);
+        w.kv("min", a.count() ? a.min() : 0.0, 3);
+        w.kv("max", a.max(), 3);
+        w.kv("sum", a.sum(), 3);
+        w.endObject();
+    });
+    w.endObject();
+    w.key("histograms").beginObject();
+    stats.forEachHistogram(
+        [&](const std::string &name, const StatHistogram &h) {
+            w.key(name).beginObject();
+            w.kv("total", h.total());
+            w.key("buckets").beginArray();
+            for (std::uint64_t b : h.data())
+                w.value(b);
+            w.endArray();
+            w.endObject();
+        });
+    w.endObject();
+    w.endObject();
 
     // -- sync-variable contention profile ----------------------------
     if (prof) {
-        os << ",\"syncVars\":";
-        prof->writeJson(os, top_n);
+        std::ostringstream vars;
+        prof->writeJson(vars, top_n);
+        w.key("syncVars").rawValue(vars.str());
+
+        // Run-level wait distribution: merged across reps by campaign
+        // aggregation, so it lives outside the top-N-truncated array.
+        w.key("latency").beginObject();
+        w.key("syncWait");
+        prof->overallWait().writeJson(w);
+        w.endObject();
     }
 
     // -- event-kernel host-side counters ------------------------------
     if (eq) {
         const auto &ps = eq->poolStats();
-        os << ",\"eventQueue\":{\"executedEvents\":" << eq->executedEvents()
-           << ",\"scheduledEvents\":" << ps.scheduled
-           << ",\"recordCapacity\":" << ps.recordCapacity
-           << ",\"chunkAllocs\":" << ps.chunkAllocs
-           << ",\"heapCallbacks\":" << ps.heapCallbacks
-           << ",\"maxPending\":" << ps.maxPending << "}";
+        w.key("eventQueue").beginObject();
+        w.kv("executedEvents", eq->executedEvents());
+        w.kv("scheduledEvents", ps.scheduled);
+        w.kv("recordCapacity", ps.recordCapacity);
+        w.kv("chunkAllocs", ps.chunkAllocs);
+        w.kv("heapCallbacks", ps.heapCallbacks);
+        w.kv("maxPending", ps.maxPending);
+        w.endObject();
     }
 
     // -- time-series sampler summary ---------------------------------
     if (sampler) {
-        os << ",\"samples\":{\"interval\":" << sampler->interval()
-           << ",\"rows\":" << sampler->rows().size()
-           << ",\"droppedRows\":" << sampler->droppedRows()
-           << ",\"columns\":[";
-        const auto &labels = sampler->labels();
-        for (std::size_t i = 0; i < labels.size(); ++i) {
-            os << (i ? "," : "") << "\"" << jsonEscape(labels[i]) << "\"";
-        }
-        os << "]}";
+        w.key("samples").beginObject();
+        w.kv("interval", sampler->interval());
+        w.kv("rows", std::uint64_t(sampler->rows().size()));
+        w.kv("droppedRows", sampler->droppedRows());
+        w.key("columns").beginArray();
+        for (const std::string &label : sampler->labels())
+            w.value(label);
+        w.endArray();
+        w.endObject();
     }
 
-    os << "}\n";
+    // -- resource-pressure summary -----------------------------------
+    if (monitor) {
+        w.key("heatmap");
+        monitor->writeSummaryJson(w);
+    }
+
+    w.endObject();
+    os << "\n";
 }
 
 bool
 writeRunReportDurable(const std::string &path, const RunMeta &meta,
                       const StatRegistry &stats, const SyncProfiler *prof,
                       std::size_t top_n, const StatSampler *sampler,
-                      const EventQueue *eq)
+                      const EventQueue *eq, const ResourceMonitor *monitor)
 {
     std::ostringstream os;
-    writeRunReport(os, meta, stats, prof, top_n, sampler, eq);
+    writeRunReport(os, meta, stats, prof, top_n, sampler, eq, monitor);
     const std::string body = os.str();
 
     int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
@@ -243,9 +215,12 @@ CrashReportGuard::CrashReportGuard(std::string path, sys::System &system,
         meta.outcome = kind;
         meta.makespan = system.makespan();
         meta.hwCoverage = system.hwCoverage();
+        if (system.monitor())
+            system.monitor()->finalize(system.eventQueue().now());
         writeRunReportDurable(path, meta, system.stats(),
                               system.syncProfiler(), top_n,
-                              system.sampler(), &system.eventQueue());
+                              system.sampler(), &system.eventQueue(),
+                              system.monitor());
     });
     armed = true;
 }

@@ -32,9 +32,18 @@ namespace obs {
 
 class SyncProfiler;
 class StatSampler;
+class ResourceMonitor;
 
-/** Report schema version ("schemaVersion" in the JSON). */
-constexpr unsigned runReportSchemaVersion = 1;
+/**
+ * Report schema version ("schemaVersion" in the JSON).
+ *
+ * v2 (this version) is a strict superset of v1: every v1 field is
+ * still present with the same type and meaning. New in v2: the
+ * "latency" block (log-bucketed run-level sync-wait histogram, see
+ * obs/histogram.hh) whenever the profiler ran, and the "heatmap"
+ * resource-pressure summary when the monitor ran.
+ */
+constexpr unsigned runReportSchemaVersion = 2;
 
 /** Run metadata block of the report. */
 struct RunMeta
@@ -63,14 +72,17 @@ struct RunMeta
  * themselves go to CSV, not the report). @p eq adds an "eventQueue"
  * block with the kernel's host-side allocation counters (event-pool
  * stats live here and not in the StatRegistry so the registry stays
- * comparable across kernel implementations).
+ * comparable across kernel implementations). @p monitor embeds the
+ * "heatmap" resource-pressure summary (the full matrix goes to
+ * heatmap.json, not the report).
  */
 void writeRunReport(std::ostream &os, const RunMeta &meta,
                     const StatRegistry &stats,
                     const SyncProfiler *prof = nullptr,
                     std::size_t top_n = 16,
                     const StatSampler *sampler = nullptr,
-                    const EventQueue *eq = nullptr);
+                    const EventQueue *eq = nullptr,
+                    const ResourceMonitor *monitor = nullptr);
 
 /**
  * Write the report to @p path durably: the bytes are fully written
@@ -85,7 +97,8 @@ bool writeRunReportDurable(const std::string &path, const RunMeta &meta,
                            const SyncProfiler *prof = nullptr,
                            std::size_t top_n = 16,
                            const StatSampler *sampler = nullptr,
-                           const EventQueue *eq = nullptr);
+                           const EventQueue *eq = nullptr,
+                           const ResourceMonitor *monitor = nullptr);
 
 /**
  * Arms the logging termination hook so that, if panic()/fatal()

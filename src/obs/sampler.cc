@@ -21,6 +21,12 @@ StatSampler::addProbe(std::string label, std::function<double()> fn)
 }
 
 void
+StatSampler::addObserver(std::function<void(Tick)> fn)
+{
+    observers.push_back(std::move(fn));
+}
+
+void
 StatSampler::sampleNow()
 {
     if (_rows.size() >= maxRows) {
@@ -33,6 +39,8 @@ StatSampler::sampleNow()
     for (const auto &p : probes)
         r.values.push_back(p());
     _rows.push_back(std::move(r));
+    for (const auto &o : observers)
+        o(eq.now());
 }
 
 void

@@ -38,6 +38,15 @@ class StatSampler
     /** Register a probe; its label becomes a CSV column. */
     void addProbe(std::string label, std::function<double()> fn);
 
+    /**
+     * Register a side observer fired after every row is taken (same
+     * maintenance-aware schedule, same quiesce sample, skipped when a
+     * row is dropped by the cap) — how the resource monitor stays
+     * tick-aligned with the sampler without scheduling its own
+     * events.
+     */
+    void addObserver(std::function<void(Tick)> fn);
+
     /** Install the "run is over" predicate (stops rescheduling). */
     void setDoneFn(std::function<bool()> fn) { doneFn = std::move(fn); }
 
@@ -78,6 +87,7 @@ class StatSampler
     std::uint64_t _droppedRows = 0;
     std::vector<std::string> _labels;
     std::vector<std::function<double()>> probes;
+    std::vector<std::function<void(Tick)>> observers;
     std::vector<Row> _rows;
     std::function<bool()> doneFn;
 };

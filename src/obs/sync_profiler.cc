@@ -1,10 +1,12 @@
 #include "obs/sync_profiler.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <iomanip>
 #include <sstream>
 
 #include "sim/trace.hh"
+#include "util/json.hh"
 
 namespace misar {
 namespace obs {
@@ -60,7 +62,8 @@ SyncProfiler::onComplete(CoreId core, const cpu::Op &op, cpu::SyncResult r,
     if (waited) {
         const Tick w = now - issued_at;
         v.wait.sample(static_cast<double>(w));
-        v.waitHist.sample(w);
+        v.waitHist.record(w);
+        allWait.record(w);
     }
     if (isAcquire(op.instr)) {
         // Success/Busy were performed by hardware; Fail routes the op
@@ -91,7 +94,8 @@ SyncProfiler::onSilentAcquire(CoreId core, Addr a, Tick now)
     ++v.hwAcquires;
     ++v.silentAcquires;
     v.wait.sample(0.0);
-    v.waitHist.sample(0);
+    v.waitHist.record(0);
+    allWait.record(0);
     holdStart[{core, a}] = now;
 }
 
@@ -195,35 +199,44 @@ SyncProfiler::writeReport(std::ostream &os, std::size_t top_n) const
 void
 SyncProfiler::writeJson(std::ostream &os, std::size_t top_n) const
 {
-    os << "[";
-    bool first = true;
+    util::JsonWriter w(os);
+    w.beginArray();
     for (const SyncVarStats *v : hottest(top_n)) {
-        if (!first)
-            os << ",";
-        first = false;
-        os << "{\"addr\":\"0x" << std::hex << v->addr << std::dec
-           << "\",\"kind\":\"" << jsonEscape(cpu::syncInstrName(v->kind))
-           << "\",\"ops\":" << v->ops
-           << ",\"hwAcquires\":" << v->hwAcquires
-           << ",\"swAcquires\":" << v->swAcquires
-           << ",\"silentAcquires\":" << v->silentAcquires
-           << ",\"aborts\":" << v->aborts
-           << ",\"handoffs\":" << v->handoffs
-           << ",\"reacquires\":" << v->reacquires << ",\"wait\":{\"sum\":"
-           << std::fixed << std::setprecision(1) << v->wait.sum()
-           << ",\"mean\":" << v->wait.mean() << ",\"max\":"
-           << v->wait.max() << ",\"count\":" << v->wait.count()
-           << ",\"hist\":[";
-        const auto &b = v->waitHist.data();
-        for (std::size_t i = 0; i < b.size(); ++i)
-            os << (i ? "," : "") << b[i];
-        os << "]},\"hold\":{\"mean\":" << v->hold.mean()
-           << ",\"count\":" << v->hold.count()
-           << "},\"barrierEpisode\":{\"mean\":" << v->barrierEpisode.mean()
-           << ",\"max\":" << v->barrierEpisode.max()
-           << ",\"count\":" << v->barrierEpisode.count() << "}}";
+        char addr[32];
+        std::snprintf(addr, sizeof(addr), "0x%llx",
+                      (unsigned long long)v->addr);
+        w.beginObject();
+        w.kv("addr", addr);
+        w.kv("kind", cpu::syncInstrName(v->kind));
+        w.kv("ops", v->ops);
+        w.kv("hwAcquires", v->hwAcquires);
+        w.kv("swAcquires", v->swAcquires);
+        w.kv("silentAcquires", v->silentAcquires);
+        w.kv("aborts", v->aborts);
+        w.kv("handoffs", v->handoffs);
+        w.kv("reacquires", v->reacquires);
+        w.key("wait").beginObject();
+        w.kv("sum", v->wait.sum(), 1);
+        w.kv("mean", v->wait.mean(), 1);
+        w.kv("max", v->wait.max(), 1);
+        w.kv("count", std::uint64_t(v->wait.count()));
+        w.kv("p50", v->waitHist.p50());
+        w.kv("p99", v->waitHist.p99());
+        w.key("hist");
+        v->waitHist.writeJson(w);
+        w.endObject();
+        w.key("hold").beginObject();
+        w.kv("mean", v->hold.mean(), 1);
+        w.kv("count", std::uint64_t(v->hold.count()));
+        w.endObject();
+        w.key("barrierEpisode").beginObject();
+        w.kv("mean", v->barrierEpisode.mean(), 1);
+        w.kv("max", v->barrierEpisode.max(), 1);
+        w.kv("count", std::uint64_t(v->barrierEpisode.count()));
+        w.endObject();
+        w.endObject();
     }
-    os << "]";
+    w.endArray();
 }
 
 } // namespace obs

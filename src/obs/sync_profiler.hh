@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "cpu/op.hh"
+#include "obs/histogram.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -52,7 +53,8 @@ struct SyncVarStats
     std::uint64_t reacquires = 0;
     /** Issue-to-completion wait of acquire-class ops (ticks). */
     StatAverage wait;
-    StatHistogram waitHist{20};
+    /** The same waits, log-bucketed for percentile readout. */
+    LogHistogram waitHist;
     /** Acquire-to-release hold time of hardware-held locks. */
     StatAverage hold;
     /** First-arrival-to-release latency of barrier episodes. */
@@ -87,6 +89,13 @@ class SyncProfiler
     /** Number of distinct variables observed. */
     std::size_t numVars() const { return vars.size(); }
 
+    /**
+     * Wait-time distribution over every variable combined: the
+     * run-level sync latency histogram (run report "latency" block,
+     * merged across reps by campaign aggregation).
+     */
+    const LogHistogram &overallWait() const { return allWait; }
+
     /** Stats for @p a, or nullptr if never observed. */
     const SyncVarStats *var(Addr a) const;
 
@@ -103,6 +112,7 @@ class SyncProfiler
     SyncVarStats &at(Addr a, cpu::SyncInstr kind);
 
     std::unordered_map<Addr, SyncVarStats> vars;
+    LogHistogram allWait;
     /** Hardware-held acquire tick per (core, addr). */
     std::map<std::pair<CoreId, Addr>, Tick> holdStart;
     /** Open barrier episode start per addr. */

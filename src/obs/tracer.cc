@@ -54,6 +54,12 @@ Tracer::flow(TrackId t, FlowPhase ph, std::uint64_t id, Tick ts, Addr addr)
     push(t, Ev{ts, 0, "sync", addr, id, k, false});
 }
 
+void
+Tracer::counter(TrackId t, Tick ts, const char *name, std::uint64_t value)
+{
+    push(t, Ev{ts, 0, name, 0, value, Ev::Counter, true});
+}
+
 std::uint64_t
 Tracer::dropped() const
 {
@@ -79,6 +85,9 @@ Tracer::writeEvent(std::ostream &os, const Track &tr, const Ev &e) const
         break;
       case Ev::FlowEnd:
         ph = "f";
+        break;
+      case Ev::Counter:
+        ph = "C";
         break;
     }
     os << "{\"ph\":\"" << ph << "\",\"pid\":" << tr.pid

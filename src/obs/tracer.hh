@@ -75,6 +75,14 @@ class Tracer
     void flow(TrackId t, FlowPhase ph, std::uint64_t id, Tick ts,
               Addr addr = 0);
 
+    /**
+     * A counter sample (Chrome "C" event): the viewer renders one
+     * stacked area chart per (pid, name). @p name must outlive the
+     * tracer (the resource monitor owns its gauge names).
+     */
+    void counter(TrackId t, Tick ts, const char *name,
+                 std::uint64_t value);
+
     /** Allocate a fresh, never-zero flow id. */
     std::uint64_t newFlowId() { return ++lastFlowId; }
 
@@ -103,6 +111,7 @@ class Tracer
             FlowStart,
             FlowStep,
             FlowEnd,
+            Counter,
         } kind;
         bool hasValue;
     };

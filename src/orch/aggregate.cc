@@ -1,5 +1,6 @@
 #include "orch/aggregate.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -25,13 +26,42 @@ fmt(double v, int decimals)
     return buf;
 }
 
+/** Two-sided 95% Student-t critical value for @p df degrees of
+ *  freedom (the normal 1.96 beyond the tabulated range). */
+double
+tCrit95(unsigned df)
+{
+    static const double table[] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+        2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    if (df == 0)
+        return 0.0;
+    if (df <= std::size(table))
+        return table[df - 1];
+    return 1.96;
+}
+
 void
-writeAggJson(std::ostream &os, const char *name, const Agg &a,
+writeAggJson(std::ostream &os, const std::string &name, const Agg &a,
              int decimals)
 {
     os << "\"" << name << "\":{\"n\":" << a.n << ",\"mean\":"
-       << fmt(a.mean(), decimals) << ",\"min\":" << fmt(a.mn, decimals)
+       << fmt(a.mean(), decimals) << ",\"ci95\":"
+       << fmt(a.ci95(), decimals) << ",\"min\":" << fmt(a.mn, decimals)
        << ",\"max\":" << fmt(a.mx, decimals) << "}";
+}
+
+/** Percentile summary of a merged sync-wait histogram. */
+void
+writeHistJson(std::ostream &os, const obs::LogHistogram &h)
+{
+    os << "{\"count\":" << h.count() << ",\"mean\":" << fmt(h.mean(), 3)
+       << ",\"p50\":" << h.p50() << ",\"p90\":" << h.p90()
+       << ",\"p99\":" << h.p99() << ",\"p999\":" << h.p999()
+       << ",\"max\":" << h.max() << "}";
 }
 
 /** The fixed outcome emission order (determinism). */
@@ -42,6 +72,19 @@ constexpr JobOutcome outcomeOrder[] = {
 };
 
 } // namespace
+
+double
+Agg::ci95() const
+{
+    if (n < 2)
+        return 0.0;
+    const double m = mean();
+    double var = 0.0;
+    for (double v : values)
+        var += (v - m) * (v - m);
+    var /= n - 1;
+    return tCrit95(n - 1) * std::sqrt(var / n);
+}
 
 CampaignReport::CampaignReport(const CampaignSpec &spec,
                                const std::vector<JobRecord> &records)
@@ -74,6 +117,17 @@ CampaignReport::CampaignReport(const CampaignSpec &spec,
             continue;
         cell.makespan.add(static_cast<double>(r.makespan));
         cell.hwCoverage.add(r.hwCoverage);
+        cell.syncWait.merge(r.syncWait);
+        if (r.hasPressure) {
+            cell.overflowEvents.add(
+                static_cast<double>(r.overflowEvents));
+            cell.omuEpisodes.add(static_cast<double>(r.omuEpisodes));
+            cell.omuEpisodeTicks.add(
+                static_cast<double>(r.omuEpisodeTicks));
+            cell.omuHighWater.add(static_cast<double>(r.omuHighWater));
+            cell.maxSliceOccupancy.add(r.maxSliceOccupancy);
+            cell.maxNiQueueDepth.add(r.maxNiQueueDepth);
+        }
         for (const std::string &s : spec.stats) {
             auto cv = r.counters.find(s);
             cell.counters[s].add(
@@ -169,7 +223,7 @@ CampaignReport::failures() const
 void
 CampaignReport::writeJson(std::ostream &os) const
 {
-    os << "{\"schemaVersion\":1,\"campaign\":\"" << jsonEscape(spec.name)
+    os << "{\"schemaVersion\":2,\"campaign\":\"" << jsonEscape(spec.name)
        << "\",\"jobs\":" << records.size();
 
     os << ",\"outcomes\":{";
@@ -209,14 +263,31 @@ CampaignReport::writeJson(std::ostream &os) const
             for (const std::string &s : spec.stats) {
                 auto it = c.counters.find(s);
                 static const Agg empty;
-                os << (fs ? "" : ",") << "\"" << jsonEscape(s) << "\":{";
-                const Agg &a =
-                    it == c.counters.end() ? empty : it->second;
-                os << "\"n\":" << a.n << ",\"mean\":" << fmt(a.mean(), 3)
-                   << ",\"min\":" << fmt(a.mn, 3)
-                   << ",\"max\":" << fmt(a.mx, 3) << "}";
+                os << (fs ? "" : ",");
+                writeAggJson(os, jsonEscape(s),
+                             it == c.counters.end() ? empty : it->second,
+                             3);
                 fs = false;
             }
+            os << "}";
+        }
+        if (!c.syncWait.empty()) {
+            os << ",\"syncWait\":";
+            writeHistJson(os, c.syncWait);
+        }
+        if (c.overflowEvents.n) {
+            os << ",\"pressure\":{\"jobs\":" << c.overflowEvents.n << ",";
+            writeAggJson(os, "overflowEvents", c.overflowEvents, 3);
+            os << ",";
+            writeAggJson(os, "omuEpisodes", c.omuEpisodes, 3);
+            os << ",";
+            writeAggJson(os, "omuEpisodeTicks", c.omuEpisodeTicks, 3);
+            os << ",";
+            writeAggJson(os, "omuHighWater", c.omuHighWater, 3);
+            os << ",";
+            writeAggJson(os, "maxSliceOccupancy", c.maxSliceOccupancy, 3);
+            os << ",";
+            writeAggJson(os, "maxNiQueueDepth", c.maxNiQueueDepth, 3);
             os << "}";
         }
         os << "}";
@@ -242,11 +313,18 @@ CampaignReport::writeCsv(std::ostream &os) const
     os << "preset,app,cores,jobs";
     for (JobOutcome o : outcomeOrder)
         os << "," << jobOutcomeName(o);
-    os << ",makespan_mean,makespan_min,makespan_max,hwCoverage_mean";
+    os << ",makespan_mean,makespan_ci95,makespan_min,makespan_max"
+          ",hwCoverage_mean,hwCoverage_ci95";
     if (!spec.baseline.empty())
-        os << ",speedup_mean,speedup_min,speedup_max";
+        os << ",speedup_mean,speedup_ci95,speedup_min,speedup_max";
     for (const std::string &s : spec.stats)
-        os << "," << s << "_mean," << s << "_min," << s << "_max";
+        os << "," << s << "_mean," << s << "_ci95," << s << "_min,"
+           << s << "_max";
+    os << ",syncWait_count,syncWait_mean,syncWait_p50,syncWait_p90"
+          ",syncWait_p99,syncWait_p999,syncWait_max";
+    os << ",pressure_jobs,overflowEvents_mean,omuEpisodes_mean"
+          ",omuEpisodeTicks_mean,omuHighWater_max"
+          ",maxSliceOccupancy_max,maxNiQueueDepth_max";
     os << "\n";
 
     for (const Cell &c : _cells) {
@@ -257,19 +335,33 @@ CampaignReport::writeCsv(std::ostream &os) const
             os << "," << (it == c.outcomes.end() ? 0u : it->second);
         }
         os << "," << fmt(c.makespan.mean(), 3) << ","
-           << fmt(c.makespan.mn, 3) << "," << fmt(c.makespan.mx, 3)
-           << "," << fmt(c.hwCoverage.mean(), 6);
+           << fmt(c.makespan.ci95(), 3) << "," << fmt(c.makespan.mn, 3)
+           << "," << fmt(c.makespan.mx, 3) << ","
+           << fmt(c.hwCoverage.mean(), 6) << ","
+           << fmt(c.hwCoverage.ci95(), 6);
         if (!spec.baseline.empty()) {
             os << "," << fmt(c.speedup.mean(), 6) << ","
+               << fmt(c.speedup.ci95(), 6) << ","
                << fmt(c.speedup.mn, 6) << "," << fmt(c.speedup.mx, 6);
         }
         for (const std::string &s : spec.stats) {
             auto it = c.counters.find(s);
             static const Agg empty;
             const Agg &a = it == c.counters.end() ? empty : it->second;
-            os << "," << fmt(a.mean(), 3) << "," << fmt(a.mn, 3) << ","
-               << fmt(a.mx, 3);
+            os << "," << fmt(a.mean(), 3) << "," << fmt(a.ci95(), 3)
+               << "," << fmt(a.mn, 3) << "," << fmt(a.mx, 3);
         }
+        os << "," << c.syncWait.count() << ","
+           << fmt(c.syncWait.mean(), 3) << "," << c.syncWait.p50()
+           << "," << c.syncWait.p90() << "," << c.syncWait.p99() << ","
+           << c.syncWait.p999() << "," << c.syncWait.max();
+        os << "," << c.overflowEvents.n << ","
+           << fmt(c.overflowEvents.mean(), 3) << ","
+           << fmt(c.omuEpisodes.mean(), 3) << ","
+           << fmt(c.omuEpisodeTicks.mean(), 3) << ","
+           << fmt(c.omuHighWater.mx, 3) << ","
+           << fmt(c.maxSliceOccupancy.mx, 3) << ","
+           << fmt(c.maxNiQueueDepth.mx, 3);
         os << "\n";
     }
 }
@@ -279,8 +371,9 @@ CampaignReport::writeTable(std::ostream &os) const
 {
     char line[256];
     std::snprintf(line, sizeof(line),
-                  "%-20s %-14s %5s %4s %12s %8s %9s\n", "Preset", "App",
-                  "Cores", "ok", "Makespan", "HwCov", "Speedup");
+                  "%-20s %-14s %5s %4s %12s %11s %8s %9s %9s\n",
+                  "Preset", "App", "Cores", "ok", "Makespan", "+-95%",
+                  "HwCov", "Speedup", "p99Wait");
     os << line;
     for (const Cell &c : _cells) {
         auto fin = c.outcomes.find("finished");
@@ -289,11 +382,16 @@ CampaignReport::writeTable(std::ostream &os) const
         if (!spec.baseline.empty() && c.preset != spec.baseline &&
             c.speedup.n)
             sp = fmt(c.speedup.mean(), 2);
+        std::string wait = "-";
+        if (!c.syncWait.empty())
+            wait = std::to_string(c.syncWait.p99());
         std::snprintf(line, sizeof(line),
-                      "%-20s %-14s %5u %2u/%-2u %12.0f %7.1f%% %9s\n",
+                      "%-20s %-14s %5u %2u/%-2u %12.0f %11.0f %7.1f%% "
+                      "%9s %9s\n",
                       c.preset.c_str(), c.app.c_str(), c.cores, ok,
-                      c.jobs, c.makespan.mean(),
-                      100.0 * c.hwCoverage.mean(), sp.c_str());
+                      c.jobs, c.makespan.mean(), c.makespan.ci95(),
+                      100.0 * c.hwCoverage.mean(), sp.c_str(),
+                      wait.c_str());
         os << line;
     }
 

@@ -32,11 +32,13 @@
 namespace misar {
 namespace orch {
 
-/** Mean/min/max accumulator. */
+/** Mean/min/max/CI accumulator. */
 struct Agg
 {
     unsigned n = 0;
     double sum = 0.0, mn = 0.0, mx = 0.0;
+    /** Per-sample values in accumulation (job-id) order, for ci95(). */
+    std::vector<double> values;
 
     void
     add(double v)
@@ -45,9 +47,17 @@ struct Agg
         mx = n ? std::max(mx, v) : v;
         sum += v;
         ++n;
+        values.push_back(v);
     }
 
     double mean() const { return n ? sum / n : 0.0; }
+
+    /**
+     * Half-width of the 95% confidence interval of the mean:
+     * t_{0.975,n-1} * s / sqrt(n) with the Student-t critical value
+     * (1.96 beyond 30 degrees of freedom). 0 when n < 2.
+     */
+    double ci95() const;
 };
 
 /** One (preset, app, cores) cell's aggregated results. */
@@ -60,6 +70,21 @@ struct Cell
     std::map<std::string, unsigned> outcomes;
     Agg makespan, hwCoverage, speedup;
     std::map<std::string, Agg> counters;
+
+    /**
+     * Per-rep sync-wait histograms merged bucket-wise: identical to
+     * the histogram of the concatenated sample stream, so cell
+     * percentiles are exact over all reps, not averages of per-rep
+     * percentiles.
+     */
+    obs::LogHistogram syncWait;
+
+    /** @name Pressure aggregates over jobs that carried a heatmap
+     *  summary (n == 0 when none did). @{ */
+    Agg overflowEvents, omuEpisodes, omuEpisodeTicks, omuHighWater;
+    Agg maxSliceOccupancy, maxNiQueueDepth;
+    /** @} */
+
     /** This cell's records in (seed, rep) grid order. */
     std::vector<const JobRecord *> recs;
 };

@@ -126,6 +126,15 @@ CampaignSpec::parse(const std::string &text, CampaignSpec &out,
         for (const Json &j : root.at("stats").arr)
             s.stats.push_back(j.stringOr(""));
     }
+    if (root.has("obs")) {
+        const Json &o = root.at("obs");
+        if (!o.isObj()) {
+            err = "\"obs\" must be an object";
+            return false;
+        }
+        s.obs.sampleInterval = o.at("sampleInterval").uintOr(0);
+        s.obs.heatmap = o.at("heatmap").boolOr(false);
+    }
 
     out = std::move(s);
     return true;
@@ -198,6 +207,11 @@ CampaignSpec::validate()
         if (!found)
             return "baseline '" + baseline + "' is not a preset name";
     }
+
+    // Heatmap timelines are driven by the stat sampler; give it a
+    // sensible cadence when the spec asks for heatmaps but no rate.
+    if (obs.heatmap && obs.sampleInterval == 0)
+        obs.sampleInterval = 10000;
     return "";
 }
 

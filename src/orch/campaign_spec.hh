@@ -77,6 +77,22 @@ struct CampaignSpec
     std::vector<std::string> stats;
 
     /**
+     * Per-job observability directives (spec "obs" object). These
+     * add output artifacts without changing simulated behaviour, so
+     * they are deliberately NOT part of gridHash(): a resumed
+     * campaign may turn heatmaps on or off without invalidating the
+     * manifest.
+     */
+    struct ObsSpec
+    {
+        /** Stat-sampler tick interval for each job (0 = off). */
+        std::uint64_t sampleInterval = 0;
+        /** Write per-job heatmap.json resource-pressure matrices. */
+        bool heatmap = false;
+    };
+    ObsSpec obs;
+
+    /**
      * Parse the JSON text of a spec file. Returns false and sets
      * @p err on malformed JSON or structurally invalid fields;
      * semantic checks (names exist, cores square) live in

@@ -1,9 +1,11 @@
 #include "orch/engine.hh"
 
+#include <fcntl.h>
 #include <signal.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -79,6 +81,118 @@ jobLogRelPath(unsigned jobId)
     return buf;
 }
 
+std::string
+jobHeatmapRelPath(unsigned jobId)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "jobs/job_%06u.heatmap.json", jobId);
+    return buf;
+}
+
+/**
+ * Live campaign progress: <outDir>/status.json, rewritten atomically
+ * (tmp + fsync + rename) on every spawn and completion so a poller
+ * never reads a torn document. Status carries wall-clock data — an
+ * EWMA job-completion rate and an ETA — which is exactly why it is a
+ * separate file: the final report.* files are byte-compared across
+ * worker counts and resume boundaries and must stay time-free.
+ */
+class StatusWriter
+{
+  public:
+    StatusWriter(std::string path, std::string campaign,
+                 unsigned jobs_total, unsigned jobs_skipped)
+        : path(std::move(path)), campaign(std::move(campaign)),
+          total(jobs_total), skipped(jobs_skipped), t0(nowSec())
+    {
+    }
+
+    /** A job reached a terminal state: fold into the EWMA rate. */
+    void
+    onJobDone()
+    {
+        const double now = nowSec();
+        const double dt =
+            std::max(now - (doneSeen ? lastDone : t0), 1e-9);
+        ewmaInterval =
+            doneSeen ? 0.3 * dt + 0.7 * ewmaInterval : dt;
+        ++doneSeen;
+        lastDone = now;
+    }
+
+    double
+    jobsPerSec() const
+    {
+        return ewmaInterval > 0.0 ? 1.0 / ewmaInterval : 0.0;
+    }
+
+    double
+    etaSec(unsigned done) const
+    {
+        const unsigned remaining = total > done ? total - done : 0;
+        return jobsPerSec() > 0.0 ? remaining * ewmaInterval : 0.0;
+    }
+
+    void
+    write(unsigned done, unsigned running, unsigned failed,
+          unsigned retries, unsigned attempts, bool complete)
+    {
+        std::ostringstream os;
+        JsonWriter w(os);
+        w.beginObject();
+        w.kv("schemaVersion", 1);
+        w.kv("campaign", campaign);
+        w.kv("jobsTotal", total);
+        w.kv("jobsDone", done);
+        w.kv("jobsRunning", running);
+        w.kv("jobsFailed", failed);
+        w.kv("jobsSkipped", skipped);
+        w.kv("retries", retries);
+        w.kv("attempts", attempts);
+        w.kv("elapsedSec", nowSec() - t0, 3);
+        w.kv("jobsPerSec", jobsPerSec(), 4);
+        w.kv("etaSec", etaSec(done), 1);
+        w.kv("complete", complete);
+        w.endObject();
+        os << "\n";
+        writeAtomic(os.str());
+    }
+
+  private:
+    void
+    writeAtomic(const std::string &body)
+    {
+        const std::string tmp = path + ".tmp";
+        int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd < 0)
+            return; // status is best-effort; never fail the campaign
+        std::size_t off = 0;
+        while (off < body.size()) {
+            ssize_t n = ::write(fd, body.data() + off, body.size() - off);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                ::close(fd);
+                ::unlink(tmp.c_str());
+                return;
+            }
+            off += static_cast<std::size_t>(n);
+        }
+        ::fsync(fd);
+        ::close(fd);
+        ::rename(tmp.c_str(), path.c_str());
+    }
+
+    std::string path;
+    std::string campaign;
+    unsigned total;
+    unsigned skipped;
+    double t0;
+    double lastDone = 0.0;
+    double ewmaInterval = 0.0;
+    unsigned doneSeen = 0;
+};
+
 std::vector<std::string>
 jobArgv(const CampaignSpec &spec, const JobSpec &j,
         const EngineOptions &opts, const std::string &reportPath)
@@ -101,6 +215,14 @@ jobArgv(const CampaignSpec &spec, const JobSpec &j,
         argv.push_back("--no-hwsync");
     if (!j.preset.omu)
         argv.push_back("--no-omu");
+    if (spec.obs.sampleInterval) {
+        argv.push_back("--sample-interval");
+        argv.push_back(std::to_string(spec.obs.sampleInterval));
+    }
+    if (spec.obs.heatmap) {
+        argv.push_back("--heatmap-out");
+        argv.push_back(opts.outDir + "/" + jobHeatmapRelPath(j.id));
+    }
     return argv;
 }
 
@@ -166,6 +288,20 @@ ingestReport(JobRecord &r, const CampaignSpec &spec,
     r.abortedOps = resil.at("abortedOps").uintOr(0);
     r.offlineSheds = resil.at("offlineSheds").uintOr(0);
     r.crossedSnoops = resil.at("crossedSnoops").uintOr(0);
+    // Schema v2 blocks; absent in v1 reports (fields stay zeroed).
+    if (doc.has("latency"))
+        obs::LogHistogram::fromJson(doc.at("latency").at("syncWait"),
+                                    r.syncWait);
+    if (doc.has("heatmap")) {
+        const Json &h = doc.at("heatmap");
+        r.hasPressure = true;
+        r.overflowEvents = h.at("overflowEvents").uintOr(0);
+        r.omuEpisodes = h.at("omuEpisodes").uintOr(0);
+        r.omuEpisodeTicks = h.at("omuEpisodeTicks").uintOr(0);
+        r.omuHighWater = h.at("omuHighWater").uintOr(0);
+        r.maxSliceOccupancy = h.at("maxSliceOccupancy").numberOr(0.0);
+        r.maxNiQueueDepth = h.at("maxNiQueueDepth").numberOr(0.0);
+    }
 }
 
 } // namespace
@@ -238,6 +374,14 @@ runCampaign(const CampaignSpec &spec, const EngineOptions &opts,
     std::map<unsigned, double> jobWallSec;  // summed over attempts
     bool stopped = false;
     unsigned completedNow = 0;
+    unsigned runningNow = 0;
+    unsigned retriesNow = 0;
+    unsigned failedNow = 0;
+    for (const auto &d : done)
+        failedNow += d.second.outcome != "finished";
+    StatusWriter status(opts.outDir + "/status.json", spec.name,
+                        static_cast<unsigned>(jobs.size()),
+                        static_cast<unsigned>(done.size()));
 
     auto makeTask = [&](const JobSpec &j) {
         PoolTask t;
@@ -257,24 +401,32 @@ runCampaign(const CampaignSpec &spec, const EngineOptions &opts,
         // (crashed or stale) attempt.
         ::unlink((opts.outDir + "/" + jobReportRelPath(j.id)).c_str());
         ::unlink((opts.outDir + "/" + jobLogRelPath(j.id)).c_str());
+        ::unlink((opts.outDir + "/" + jobHeatmapRelPath(j.id)).c_str());
         pool.push(makeTask(j));
     }
+    status.write(static_cast<unsigned>(done.size()), 0, failedNow,
+                 retriesNow, stats.attempts, done.size() == jobs.size());
 
     auto onSpawn = [&](const PoolTask &t, pid_t pid) {
         ++attempts[t.id];
         ++stats.attempts;
+        ++runningNow;
         if (static_cast<int>(t.id) == opts.chaosKillJob &&
             attempts[t.id] == 1) {
             warn("chaos: killing job %u's first attempt (pid %d)", t.id,
                  static_cast<int>(pid));
             ::kill(pid, SIGKILL);
         }
+        status.write(static_cast<unsigned>(done.size()), runningNow,
+                     failedNow, retriesNow, stats.attempts, false);
     };
 
     auto onDone = [&](const PoolTask &t, const PoolOutcome &o) {
         const JobSpec &j = jobs[t.id];
         JobOutcome oc = classify(o);
         jobWallSec[t.id] += o.wallSec;
+        if (runningNow)
+            --runningNow;
 
         if (jobOutcomeRetryable(oc) && attempts[t.id] <= spec.maxRetries &&
             !stopped) {
@@ -284,6 +436,11 @@ runCampaign(const CampaignSpec &spec, const EngineOptions &opts,
                        attempts[t.id], spec.maxRetries);
             ::unlink(
                 (opts.outDir + "/" + jobReportRelPath(t.id)).c_str());
+            ::unlink(
+                (opts.outDir + "/" + jobHeatmapRelPath(t.id)).c_str());
+            ++retriesNow;
+            status.write(static_cast<unsigned>(done.size()), runningNow,
+                         failedNow, retriesNow, stats.attempts, false);
             pool.push(makeTask(j));
             return;
         }
@@ -301,6 +458,19 @@ runCampaign(const CampaignSpec &spec, const EngineOptions &opts,
         done[t.id] = e;
         ++completedNow;
         ++stats.jobsRun;
+        status.onJobDone();
+        failedNow += oc != JobOutcome::Finished;
+        status.write(static_cast<unsigned>(done.size()), runningNow,
+                     failedNow, retriesNow, stats.attempts,
+                     done.size() == jobs.size());
+        if (opts.progress)
+            std::fprintf(stderr,
+                         "\r[%zu/%zu] running=%u failed=%u retries=%u "
+                         "%.2f jobs/s eta %.0fs   ",
+                         done.size(), jobs.size(), runningNow, failedNow,
+                         retriesNow, status.jobsPerSec(),
+                         status.etaSec(
+                             static_cast<unsigned>(done.size())));
         if (opts.verbose)
             inform("job %u/%zu %s -> %s (%.2fs)", t.id, jobs.size(),
                    j.key().c_str(), jobOutcomeName(oc), o.wallSec);
@@ -317,10 +487,14 @@ runCampaign(const CampaignSpec &spec, const EngineOptions &opts,
 
     pool.run(onDone, onSpawn);
     manifest.close();
+    if (opts.progress)
+        std::fprintf(stderr, "\n");
 
     stats.wallSec = nowSec() - t0;
     stats.busySec = pool.busySec();
     stats.complete = done.size() == jobs.size();
+    status.write(static_cast<unsigned>(done.size()), 0, failedNow,
+                 retriesNow, stats.attempts, stats.complete);
 
     // Aggregation input: every journaled job re-read from its report
     // in id order, so report bytes depend only on the grid and the
@@ -359,6 +533,14 @@ runCampaignInProcess(const CampaignSpec &spec, const InProcessHooks &hooks)
         cfg.msa.hwSyncBitOpt = j.preset.hwsync;
         cfg.msa.omuEnabled = j.preset.omu;
         cfg.seed = j.seed;
+        // Subprocess jobs always run the profiler (--stats-json
+        // implies it in misar_sim), so the in-process path must too —
+        // otherwise the two executors' records, and therefore the
+        // byte-compared campaign reports, would diverge on syncWait.
+        cfg.obs.profileSync = true;
+        if (spec.obs.sampleInterval)
+            cfg.obs.sampleInterval = spec.obs.sampleInterval;
+        cfg.obs.heatmapEnabled = cfg.obs.heatmapEnabled || spec.obs.heatmap;
         if (hooks.tweak)
             hooks.tweak(j, cfg);
         cfg.validate();
@@ -394,6 +576,14 @@ runCampaignInProcess(const CampaignSpec &spec, const InProcessHooks &hooks)
         r.offlineSheds = rr.offlineSheds;
         r.crossedSnoops = rr.crossedSnoops;
         r.counters = rr.captured;
+        r.syncWait = rr.syncWait;
+        r.hasPressure = rr.hasPressure;
+        r.overflowEvents = rr.overflowEvents;
+        r.omuEpisodes = rr.omuEpisodes;
+        r.omuEpisodeTicks = rr.omuEpisodeTicks;
+        r.omuHighWater = rr.omuHighWater;
+        r.maxSliceOccupancy = rr.maxSliceOccupancy;
+        r.maxNiQueueDepth = rr.maxNiQueueDepth;
         out.push_back(std::move(r));
     }
     return out;

@@ -45,6 +45,12 @@ struct EngineOptions
     std::string simPath = "misar_sim";
     /** Print per-job progress lines. */
     bool verbose = true;
+    /**
+     * Live single-line stderr ticker (done/running/failed counts,
+     * EWMA job rate, ETA). The same numbers are always written to
+     * <outDir>/status.json regardless of this flag.
+     */
+    bool progress = false;
 
     /** @name Failure-injection hooks (CI / tests). @{ */
     /** SIGKILL this job id's first attempt right after spawn. */

@@ -16,6 +16,7 @@
 #include <map>
 #include <string>
 
+#include "obs/histogram.hh"
 #include "orch/campaign_spec.hh"
 #include "sim/types.hh"
 
@@ -69,6 +70,24 @@ struct JobRecord
 
     /** Spec-selected StatRegistry counters. */
     std::map<std::string, std::uint64_t> counters;
+
+    /**
+     * Run-level sync-wait distribution (run report "latency" block).
+     * Mergeable across reps; empty when the job's report predates
+     * schema v2 or the profiler did not run.
+     */
+    obs::LogHistogram syncWait;
+
+    /** @name Resource-pressure summary (report "heatmap" block). @{ */
+    /** True when the job's report carried a heatmap summary. */
+    bool hasPressure = false;
+    std::uint64_t overflowEvents = 0;
+    std::uint64_t omuEpisodes = 0;
+    std::uint64_t omuEpisodeTicks = 0;
+    std::uint64_t omuHighWater = 0;
+    double maxSliceOccupancy = 0.0;
+    double maxNiQueueDepth = 0.0;
+    /** @} */
 
     /** Failure context (log tail) for non-Finished outcomes. */
     std::string note;

@@ -1,82 +1,24 @@
 /**
  * @file
- * Minimal JSON document model and recursive-descent parser.
- *
- * The campaign engine both reads JSON (campaign specs, per-job run
- * reports, manifest lines) and writes it (campaign reports); writing
- * is done with hand-formatted streams (as in obs/run_report) for
- * deterministic byte output, so only parsing lives here. The parser
- * accepts exactly the JSON we emit plus ordinary hand-written specs:
- * objects, arrays, strings with the standard escapes, finite
- * numbers, booleans and null.
+ * Compatibility alias: the JSON document model and parser moved to
+ * util/json.hh so the observability emitters and the campaign engine
+ * share one implementation (and one escaping policy). Orchestration
+ * code keeps using orch::Json / orch::parseJson through these
+ * aliases.
  */
 
 #ifndef MISAR_ORCH_JSON_HH
 #define MISAR_ORCH_JSON_HH
 
-#include <cstdint>
-#include <map>
-#include <string>
-#include <vector>
+#include "util/json.hh"
 
 namespace misar {
 namespace orch {
 
-/** One parsed JSON value (a tagged union over the JSON kinds). */
-struct Json
-{
-    enum Kind { Null, Bool, Num, Str, Arr, Obj };
-
-    Kind kind = Null;
-    bool boolean = false;
-    double num = 0.0;
-    std::string str;
-    std::vector<Json> arr;
-    std::map<std::string, Json> obj;
-
-    bool isNull() const { return kind == Null; }
-    bool isObj() const { return kind == Obj; }
-    bool isArr() const { return kind == Arr; }
-    bool isStr() const { return kind == Str; }
-    bool isNum() const { return kind == Num; }
-
-    /** Object member lookup; a shared Null value when absent. */
-    const Json &at(const std::string &key) const;
-
-    /** Member present (objects only)? */
-    bool has(const std::string &key) const;
-
-    /** This value as a number, or @p def when not a number. */
-    double numberOr(double def) const { return isNum() ? num : def; }
-
-    /** This value as a non-negative integer, or @p def. */
-    std::uint64_t
-    uintOr(std::uint64_t def) const
-    {
-        if (!isNum() || num < 0)
-            return def;
-        return static_cast<std::uint64_t>(num);
-    }
-
-    /** This value as a string, or @p def when not a string. */
-    std::string
-    stringOr(const std::string &def) const
-    {
-        return isStr() ? str : def;
-    }
-
-    /** This value as a bool, or @p def when not a bool. */
-    bool boolOr(bool def) const { return kind == Bool ? boolean : def; }
-};
-
-/**
- * Parse @p text. On failure returns a Null value and, when @p err is
- * non-null, stores a one-line message with the byte offset.
- */
-Json parseJson(const std::string &text, std::string *err = nullptr);
-
-/** parseJson over a file's entire contents ("" read errors too). */
-Json parseJsonFile(const std::string &path, std::string *err = nullptr);
+using Json = util::Json;
+using util::parseJson;
+using util::parseJsonFile;
+using JsonWriter = util::JsonWriter;
 
 } // namespace orch
 } // namespace misar

@@ -294,6 +294,13 @@ struct ObsConfig
     unsigned profileTopN = 16;
     /** Ticks between stat snapshots (0 = sampler off). */
     Tick sampleInterval = 0;
+    /**
+     * Enable the resource-pressure monitor (occupancy/queue-depth
+     * timelines, OMU episodes, heatmap.json). Timelines are sampled
+     * on the stat sampler's schedule, so a zero sampleInterval leaves
+     * only the event-driven episode tracking.
+     */
+    bool heatmapEnabled = false;
 
     /**
      * Output paths consumed by the workload runner after a run
@@ -303,12 +310,14 @@ struct ObsConfig
     std::string traceOutPath;
     std::string statsJsonPath;
     std::string sampleCsvPath;
+    std::string heatmapJsonPath;
 
     /** True when any observability instrument is armed. */
     bool
     anyEnabled() const
     {
-        return traceEnabled || profileSync || sampleInterval > 0;
+        return traceEnabled || profileSync || sampleInterval > 0 ||
+               heatmapEnabled;
     }
 };
 

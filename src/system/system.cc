@@ -246,6 +246,54 @@ System::applyObservability()
             s->attachObservers(_tracer.get(), profiler.get());
     }
 
+    if (o.heatmapEnabled) {
+        _monitor = std::make_unique<obs::ResourceMonitor>(o.sampleInterval);
+        _monitor->attachTracer(_tracer.get()); // null when tracing is off
+        for (std::size_t t = 0; t < slices.size(); ++t) {
+            msa::MsaSlice *s = slices[t].get();
+            s->attachMonitor(_monitor.get());
+            const std::string n = "slice" + std::to_string(t);
+            const unsigned tid = static_cast<unsigned>(t);
+            _monitor->addGauge(n + ".occupancy", "msaOccupancy",
+                               obs::pidMsa, tid, [s] {
+                                   return double(s->validEntries());
+                               });
+            _monitor->addGauge(n + ".free", "msaFree", obs::pidMsa, tid,
+                               [s] { return double(s->freeEntries()); });
+            for (unsigned i = 0; i < s->omu().numCounters(); ++i)
+                _monitor->addGauge(n + ".omu" + std::to_string(i), "omu",
+                                   obs::pidMsa, tid, [s, i] {
+                                       return double(s->omu().countAt(i));
+                                   });
+        }
+        static const struct
+        {
+            noc::Port port;
+            const char *name;
+        } outs[] = {
+            {noc::portNorth, "north"},
+            {noc::portEast, "east"},
+            {noc::portSouth, "south"},
+            {noc::portWest, "west"},
+        };
+        for (CoreId t = 0; t < cfg.numCores; ++t) {
+            noc::NetworkInterface &ni = ms->mesh().ni(t);
+            _monitor->addGauge("ni" + std::to_string(t) + ".queue",
+                               "niQueue", obs::pidNoc, t, [&ni] {
+                                   return double(ni.injectQueueDepth());
+                               });
+            noc::Router &r = ms->mesh().router(t);
+            for (const auto &o2 : outs) {
+                const noc::Port p = o2.port;
+                _monitor->addGauge("router" + std::to_string(t) + "." +
+                                       o2.name,
+                                   "nocLink", obs::pidNoc, t, [&r, p] {
+                                       return double(r.forwardedFlits(p));
+                                   });
+            }
+        }
+    }
+
     if (o.sampleInterval > 0) {
         _sampler = std::make_unique<obs::StatSampler>(eq, o.sampleInterval);
         auto cnt = [this](const char *name) {
@@ -270,6 +318,9 @@ System::applyObservability()
         _sampler->addProbe("resilTimeouts", cnt("resil.timeouts"));
         _sampler->addProbe("resilRetries", cnt("resil.retries"));
         _sampler->setDoneFn([this] { return allFinished(); });
+        if (_monitor)
+            _sampler->addObserver(
+                [m = _monitor.get()](Tick now) { m->sample(now); });
         _sampler->start();
     }
 }

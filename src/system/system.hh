@@ -18,6 +18,7 @@
 #include "msa/msa_client.hh"
 #include "msa/msa_slice.hh"
 #include "msa/null_sync.hh"
+#include "obs/heatmap.hh"
 #include "obs/sampler.hh"
 #include "obs/sync_profiler.hh"
 #include "obs/tracer.hh"
@@ -159,6 +160,8 @@ class System
     const obs::SyncProfiler *syncProfiler() const { return profiler.get(); }
     obs::StatSampler *sampler() { return _sampler.get(); }
     const obs::StatSampler *sampler() const { return _sampler.get(); }
+    obs::ResourceMonitor *monitor() { return _monitor.get(); }
+    const obs::ResourceMonitor *monitor() const { return _monitor.get(); }
     /** @} */
 
   private:
@@ -182,6 +185,7 @@ class System
     std::unique_ptr<obs::Tracer> _tracer;
     std::unique_ptr<obs::SyncProfiler> profiler;
     std::unique_ptr<obs::StatSampler> _sampler;
+    std::unique_ptr<obs::ResourceMonitor> _monitor;
 };
 
 } // namespace sys

@@ -1,12 +1,15 @@
-#include "orch/json.hh"
+#include "util/json.hh"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "sim/trace.hh" // jsonEscape
+
 namespace misar {
-namespace orch {
+namespace util {
 
 const Json &
 Json::at(const std::string &key) const
@@ -312,5 +315,141 @@ parseJsonFile(const std::string &path, std::string *err)
     return parseJson(os.str(), err);
 }
 
-} // namespace orch
+// ---------------------------------------------------------- JsonWriter
+
+void
+JsonWriter::prefix()
+{
+    if (afterKey) {
+        afterKey = false;
+        return;
+    }
+    if (!hasPrior.empty()) {
+        if (hasPrior.back())
+            os << ',';
+        hasPrior.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    prefix();
+    os << '{';
+    hasPrior.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    hasPrior.pop_back();
+    os << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    prefix();
+    os << '[';
+    hasPrior.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    hasPrior.pop_back();
+    os << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    if (!hasPrior.empty()) {
+        if (hasPrior.back())
+            os << ',';
+        hasPrior.back() = true;
+    }
+    os << '"' << jsonEscape(k) << "\":";
+    afterKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    prefix();
+    os << '"' << jsonEscape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v ? v : ""));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    prefix();
+    os << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    prefix();
+    os << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    prefix();
+    os << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v, int decimals)
+{
+    prefix();
+    if (!(v == v) || v > 1e300 || v < -1e300)
+        v = 0.0; // NaN/inf have no JSON spelling
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    os << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    prefix();
+    os << "null";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::rawValue(const std::string &json)
+{
+    prefix();
+    os << json;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::newline()
+{
+    os << '\n';
+    return *this;
+}
+
+} // namespace util
 } // namespace misar

@@ -53,6 +53,8 @@ writeObsOutputs(sys::System &s, const AppSpec &spec,
     const ObsConfig &o = s.config().obs;
     if (s.sampler())
         s.sampler()->sampleNow(); // close the time series at quiesce
+    if (s.monitor())
+        s.monitor()->finalize(s.eventQueue().now());
 
     if (!o.traceOutPath.empty()) {
         std::ofstream f(o.traceOutPath);
@@ -70,6 +72,14 @@ writeObsOutputs(sys::System &s, const AppSpec &spec,
             s.sampler()->writeCsv(f);
         }
     }
+    if (!o.heatmapJsonPath.empty() && s.monitor()) {
+        std::ofstream f(o.heatmapJsonPath);
+        if (!f) {
+            warn("cannot open heatmap file %s", o.heatmapJsonPath.c_str());
+        } else {
+            s.monitor()->writeJson(f);
+        }
+    }
     if (!o.statsJsonPath.empty()) {
         obs::RunMeta meta = buildMeta(spec, s.config(), preset, flavor,
                                       seed);
@@ -81,7 +91,8 @@ writeObsOutputs(sys::System &s, const AppSpec &spec,
         // run — cannot lose the completed job's report.
         obs::writeRunReportDurable(o.statsJsonPath, meta, s.stats(),
                                    s.syncProfiler(), o.profileTopN,
-                                   s.sampler(), &s.eventQueue());
+                                   s.sampler(), &s.eventQueue(),
+                                   s.monitor());
     }
 }
 
@@ -148,8 +159,20 @@ runAppWithConfig(const AppSpec &spec, const SystemConfig &cfg,
     if (opts.captureCounters)
         for (const std::string &name : *opts.captureCounters)
             r.captured[name] = s.stats().counterValue(name);
+    if (s.syncProfiler())
+        r.syncWait = s.syncProfiler()->overallWait();
 
     writeObsOutputs(s, spec, preset, flavor, seed, r);
+    if (const obs::ResourceMonitor *m = s.monitor()) {
+        // After writeObsOutputs: finalize() has closed open episodes.
+        r.hasPressure = true;
+        r.overflowEvents = m->overflowEvents();
+        r.omuEpisodes = m->omuEpisodes().size();
+        r.omuEpisodeTicks = m->omuEpisodeTicks();
+        r.omuHighWater = m->omuHighWater();
+        r.maxSliceOccupancy = m->maxOfKind("msaOccupancy");
+        r.maxNiQueueDepth = m->maxOfKind("niQueue");
+    }
     if (guard)
         guard->disarm();
     return r;

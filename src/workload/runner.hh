@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hh"
 #include "system/presets.hh"
 #include "system/system.hh"
 #include "workload/synthetic_app.hh"
@@ -64,6 +65,22 @@ struct RunResult
 
     /** Counters requested via RunOptions::captureCounters. */
     std::map<std::string, std::uint64_t> captured;
+
+    /**
+     * Run-level sync-wait distribution (every acquire-class op, all
+     * variables). Empty unless cfg.obs.profileSync was enabled.
+     */
+    obs::LogHistogram syncWait;
+
+    /** @name Resource-pressure summary (cfg.obs.heatmapEnabled). @{ */
+    bool hasPressure = false;
+    std::uint64_t overflowEvents = 0;
+    std::uint64_t omuEpisodes = 0;
+    std::uint64_t omuEpisodeTicks = 0;
+    std::uint64_t omuHighWater = 0;
+    double maxSliceOccupancy = 0.0;
+    double maxNiQueueDepth = 0.0;
+    /** @} */
 };
 
 /** Per-run execution knobs (campaign engine / ablation harnesses). */
