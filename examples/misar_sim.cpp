@@ -60,6 +60,11 @@ usage()
         "                  (default msa-omu)\n"
         "  --entries N     MSA entries per tile (default 2)\n"
         "  --smt N         hardware threads per core (default 1)\n"
+        "  --threads N     host worker threads for the simulation\n"
+        "                  kernel (default 1 = serial; N > 1 runs the\n"
+        "                  conservative PDES scheme — any N yields the\n"
+        "                  same trajectory and statistics, and N = 1 is\n"
+        "                  bit-identical to the serial kernel)\n"
         "  --no-hwsync     disable the HWSync-bit optimization\n"
         "  --no-omu        disable the OMU (entries never freed)\n"
         "  --seed N        workload seed (default 1)\n"
@@ -152,7 +157,7 @@ int
 main(int argc, char **argv)
 {
     std::string app_name, config = "msa-omu";
-    unsigned cores = 16, entries = 2, smt = 1;
+    unsigned cores = 16, entries = 2, smt = 1, sim_threads = 1;
     bool hwsync = true, omu = true, dump_stats = false;
     bool profile_sync = false;
     unsigned top_n = 16;
@@ -189,6 +194,9 @@ main(int argc, char **argv)
             entries = static_cast<unsigned>(std::atoi(next()));
         } else if (a == "--smt") {
             smt = static_cast<unsigned>(std::atoi(next()));
+        } else if (a == "--threads") {
+            sim_threads = static_cast<unsigned>(
+                parsePositiveArg("--threads", next()));
         } else if (a == "--no-hwsync") {
             hwsync = false;
         } else if (a == "--no-omu") {
@@ -256,7 +264,9 @@ main(int argc, char **argv)
     sync::SyncLib::Flavor flavor;
     if (!sys::cliPresetFor(config, cores, entries, cfg, flavor))
         fatal("unknown config '%s'", config.c_str());
+    cores = cfg.numCores; // scale presets (msa256/msa1024) pin this
     cfg.smtWays = smt;
+    cfg.simThreads = sim_threads;
     cfg.validate();
     cfg.msa.hwSyncBitOpt = hwsync;
     cfg.msa.omuEnabled = omu;
@@ -312,7 +322,12 @@ main(int argc, char **argv)
         sample_interval = 10000; // sampled outputs imply a default rate
     cfg.obs.traceEnabled = !trace_path.empty();
     cfg.obs.traceOutPath = trace_path;
-    cfg.obs.profileSync = profile_sync || !stats_json_path.empty();
+    // --stats-json implies the profiler so the report carries the
+    // syncVars section — but the profiler is serial-only, so threaded
+    // runs only get it on explicit request (and then fail validation
+    // with the real reason instead of silently dropping it).
+    cfg.obs.profileSync =
+        profile_sync || (!stats_json_path.empty() && sim_threads == 1);
     cfg.obs.profileTopN = top_n;
     cfg.obs.sampleInterval = sample_interval;
     cfg.obs.sampleCsvPath = sample_csv_path;

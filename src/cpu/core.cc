@@ -65,7 +65,7 @@ Core::start(ThreadTask b)
     body.handle.promise().core = this;
     _started = true;
     _finished = false;
-    eq.schedule(0, [this] {
+    eq.scheduleL(_lane, 0, [this] {
         if (!_killed)
             body.handle.resume();
     });
@@ -105,7 +105,7 @@ Core::issue(const Op &op, OpAwaiter *aw, std::coroutine_handle<> h)
     switch (op.type) {
       case OpType::Compute:
         stats.counter(statPrefix + "computeCycles").inc(op.cycles);
-        eq.schedule(op.cycles, [this, t0, h] {
+        eq.scheduleL(_lane, op.cycles, [this, t0, h] {
             if (_killed)
                 return; // the corpse never resumes
             _trace.record(t0, eq.now(), "compute");
@@ -162,7 +162,7 @@ Core::issue(const Op &op, OpAwaiter *aw, std::coroutine_handle<> h)
         // callbacks reach the core and the op through @p aw instead of
         // capturing them — keeping both lambdas inside the event
         // queue's inline callback buffer.
-        eq.schedule(cfg.syncFenceLatency, [t0, aw, h] {
+        eq.scheduleL(_lane, cfg.syncFenceLatency, [t0, aw, h] {
             Core &c = aw->core;
             if (c._killed)
                 return; // died in the fence: the op is never issued

@@ -117,6 +117,15 @@ class Core
     void setSyncUnit(SyncUnit *unit) { syncUnit = unit; }
 
     /**
+     * Pin this core's events to its tile's lane. start() and
+     * interrupt-driven resumes are invoked from the global lane, so
+     * the pin (not lane inheritance) is what keeps core events on the
+     * tile lane.
+     */
+    void setLane(LaneId l) { _lane = l; }
+    LaneId lane() const { return _lane; }
+
+    /**
      * Attach a shared forward-progress counter (not owned; may be
      * null). The core bumps it whenever a sync instruction retires or
      * the thread finishes; the liveness watchdog samples it to detect
@@ -172,6 +181,7 @@ class Core
     EventQueue &eq;
     const CoreConfig &cfg;
     CoreId _id;
+    LaneId _lane = 0;
     mem::L1Cache &_l1;
     StatRegistry &stats;
     std::string statPrefix;

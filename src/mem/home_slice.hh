@@ -31,8 +31,14 @@
 namespace misar {
 namespace mem {
 
-/** Upper bound on cores supported by the directory sharer vector. */
-constexpr unsigned maxCores = 256;
+/**
+ * Upper bound on hardware threads supported by the directory sharer
+ * vector and the MSA wait-queue bitsets. Sized for the msa1024
+ * scale-study mesh; loops over these bitsets iterate the configured
+ * core count, not the capacity, so small meshes only pay the larger
+ * per-entry footprint.
+ */
+constexpr unsigned maxCores = 1024;
 
 /**
  * Directory + LLC slice for the blocks homed at one tile.

@@ -8,9 +8,10 @@ namespace misar {
 namespace msa {
 
 MsaClientHub::MsaClientHub(EventQueue &eq, const SystemConfig &cfg,
-                           mem::MemSystem &ms, StatRegistry &stats)
-    : eq(eq), cfg(cfg), ms(ms), stats(stats), cores(cfg.numThreads()),
-      homeUnreachable(cfg.numCores, false)
+                           mem::MemSystem &ms, StatRegistry &stats,
+                           const TileRuntime *rt)
+    : eq(eq), cfg(cfg), ms(ms), stats(stats), rt(rt),
+      cores(cfg.numThreads()), homeUnreachable(cfg.numCores, false)
 {
     // Let every L1 ask "is this block a silently-held lock?" so it
     // can pin the line and defer snoops while the lock is held. The
@@ -57,13 +58,14 @@ MsaClientHub::attachObservers(obs::Tracer *t, obs::SyncProfiler *p)
 }
 
 void
-MsaClientHub::countOp(const cpu::Op &op, bool hw)
+MsaClientHub::countOp(CoreId core, const cpu::Op &op, bool hw)
 {
     if (op.instr == cpu::SyncInstr::Finish)
         return; // bookkeeping, not a synchronization operation
-    stats.counter(hw ? "sync.hwOps" : "sync.swOps").inc();
+    StatRegistry &st = statsOf(core);
+    st.counter(hw ? "sync.hwOps" : "sync.swOps").inc();
     std::string name = cpu::syncInstrName(op.instr);
-    stats.counter("sync." + name + (hw ? ".hw" : ".sw")).inc();
+    st.counter("sync." + name + (hw ? ".hw" : ".sw")).inc();
 }
 
 void
@@ -172,8 +174,8 @@ MsaClientHub::execute(CoreId core, const cpu::Op &op, Cb cb)
                                           MsaOp::LockSilent, op.addr);
         m->requester = core;
         ms.send(std::move(m));
-        stats.counter("sync.silentLocks").inc();
-        countOp(op, true);
+        statsOf(core).counter("sync.silentLocks").inc();
+        countOp(core, op, true);
         if (profiler)
             profiler->onSilentAcquire(core, op.addr, eq.now());
         if (tracer)
@@ -199,7 +201,8 @@ MsaClientHub::execute(CoreId core, const cpu::Op &op, Cb cb)
             pc.heldEpoch.erase(it);
         }
         ms.send(std::move(m));
-        countOp(op, true);
+        pc.releaseSent[op.addr] = eqOf(core).now();
+        countOp(core, op, true);
         if (profiler)
             profiler->onHwRelease(core, op.addr, eq.now());
         cb(cpu::SyncResult::Success);
@@ -223,7 +226,8 @@ MsaClientHub::execute(CoreId core, const cpu::Op &op, Cb cb)
             pc.heldEpoch.erase(it);
         }
         ms.send(std::move(m));
-        countOp(op, true);
+        pc.releaseSent[op.addr] = eqOf(core).now();
+        countOp(core, op, true);
         if (profiler)
             profiler->onHwRelease(core, op.addr, eq.now());
         cb(cpu::SyncResult::Success);
@@ -241,7 +245,8 @@ MsaClientHub::execute(CoreId core, const cpu::Op &op, Cb cb)
                                           MsaOp::UnlockSilent, op.addr);
         m->requester = core;
         ms.send(std::move(m));
-        countOp(op, true);
+        pc.releaseSent[op.addr] = eqOf(core).now();
+        countOp(core, op, true);
         if (profiler)
             profiler->onHwRelease(core, op.addr, eq.now());
         if (tracer)
@@ -255,8 +260,8 @@ MsaClientHub::execute(CoreId core, const cpu::Op &op, Cb cb)
         // The home tile is partitioned off: the request could only
         // time out and abandon. Fail fast so Algorithms 1-3 route
         // the op straight to software.
-        stats.counter("resil.unreachableFastFails").inc();
-        countOp(op, false);
+        statsOf(core).counter("resil.unreachableFastFails").inc();
+        countOp(core, op, false);
         cb(cpu::SyncResult::Fail);
         return;
     }
@@ -267,7 +272,7 @@ MsaClientHub::execute(CoreId core, const cpu::Op &op, Cb cb)
     pc.interrupted = false;
     ++pc.opSeq;
     pc.retries = 0;
-    pc.issuedAt = eq.now();
+    pc.issuedAt = eqOf(core).now();
     pc.flowId = tracer ? tracer->newFlowId() : 0;
     pc.respFlowId = 0;
     if (tracer)
@@ -307,7 +312,8 @@ MsaClientHub::armTimeout(CoreId core)
     Tick d = base << shift;
     if ((d >> shift) != base || d > cfg.resil.timeoutCap)
         d = cfg.resil.timeoutCap;
-    eq.schedule(d, [this, core, seq = pc.opSeq] { onTimeout(core, seq); });
+    eqOf(core).scheduleL(laneOf(core), d,
+                         [this, core, seq = pc.opSeq] { onTimeout(core, seq); });
 }
 
 void
@@ -316,7 +322,7 @@ MsaClientHub::onTimeout(CoreId core, std::uint64_t seq)
     PerCore &pc = cores[core];
     if (!pc.active || pc.opSeq != seq)
         return; // the op completed; this deadline is stale
-    stats.counter("resil.timeouts").inc();
+    statsOf(core).counter("resil.timeouts").inc();
     if (boundedRetry(pc.op.instr) && pc.retries >= cfg.resil.maxRetries) {
         // Give up: ask the home to reconcile OMU accounting for
         // whatever it saw of this transaction, and resolve FAIL so
@@ -328,12 +334,12 @@ MsaClientHub::onTimeout(CoreId core, std::uint64_t seq)
         m->txn = seq;
         m->suspendKind = pc.op.instr;
         ms.send(std::move(m));
-        stats.counter("resil.abandonedOps").inc();
+        statsOf(core).counter("resil.abandonedOps").inc();
         complete(core, cpu::SyncResult::Fail);
         return;
     }
     ++pc.retries;
-    stats.counter("resil.retries").inc();
+    statsOf(core).counter("resil.retries").inc();
     // While suspended (interrupted/resendPending) the op is
     // deliberately not enqueued at the home; keep the deadline chain
     // alive but do not retransmit until the thread resumes.
@@ -365,7 +371,7 @@ MsaClientHub::complete(CoreId core, cpu::SyncResult result, bool no_silent)
     pc.respFlowId = 0;
     // BUSY is a hardware-performed outcome (TRYLOCK observed a held
     // lock at the MSA); only FAIL/ABORT mean the software path ran.
-    countOp(pc.op, result == cpu::SyncResult::Success ||
+    countOp(core, pc.op, result == cpu::SyncResult::Success ||
                        result == cpu::SyncResult::Busy);
     if (pc.op.instr == cpu::SyncInstr::Unlock ||
         pc.op.instr == cpu::SyncInstr::RwUnlock)
@@ -398,17 +404,17 @@ MsaClientHub::complete(CoreId core, cpu::SyncResult result, bool no_silent)
         // Degraded-mode observability: an ABORT sends the op to the
         // software path with re-acquire semantics (migrated unlocks,
         // suspend-forced demotions, offline-slice shedding).
-        stats.counter("sync.abortedOps").inc();
+        statsOf(core).counter("sync.abortedOps").inc();
         if (pc.op.instr == cpu::SyncInstr::Barrier)
-            stats.counter("sync.barrierDemotions").inc();
+            statsOf(core).counter("sync.barrierDemotions").inc();
     }
     Cb cb = std::move(pc.cb);
     if (pc.interrupted) {
         // The thread was descheduled; it observes the result only
         // after it is scheduled back in.
         pc.interrupted = false;
-        eq.schedule(cfg.core.suspendResumeDelay,
-                    [cb = std::move(cb), result] { cb(result); });
+        eqOf(core).scheduleL(laneOf(core), cfg.core.suspendResumeDelay,
+                             [cb = std::move(cb), result] { cb(result); });
     } else {
         cb(result);
     }
@@ -427,7 +433,7 @@ MsaClientHub::interrupt(CoreId core)
         return; // non-blocking instructions need no SUSPEND
     }
     pc.interrupted = true;
-    stats.counter("sync.suspends").inc();
+    statsOf(core).counter("sync.suspends").inc();
     auto m = std::make_shared<MsaMsg>(cfg.tileOf(core),
                                       homeOf(pc.op.addr), MsaOp::Suspend,
                                       pc.op.addr);
@@ -443,14 +449,14 @@ MsaClientHub::handleMessage(CoreId core, const std::shared_ptr<MsaMsg> &msg)
     if (pc.dead) {
         // A corpse answers nothing — not even a lease probe. The
         // silence is what lets the home's lease expire and revoke.
-        stats.counter("resil.deadClientDrops").inc();
+        statsOf(core).counter("resil.deadClientDrops").inc();
         return;
     }
     if (msg->op == MsaOp::LeaseProbe) {
         // Liveness heartbeat answered by the hub hardware on the
         // core's behalf: a live owner renews even while its thread
         // is blocked or descheduled.
-        stats.counter("resil.leaseRenewals").inc();
+        statsOf(core).counter("resil.leaseRenewals").inc();
         auto r = std::make_shared<MsaMsg>(cfg.tileOf(core), msg->src(),
                                           MsaOp::LeaseRenew, msg->addr);
         r->requester = core;
@@ -461,7 +467,7 @@ MsaClientHub::handleMessage(CoreId core, const std::shared_ptr<MsaMsg> &msg)
         // Response for a transaction we already resolved (e.g. a
         // delayed duplicate racing a cache re-response). Only ever
         // non-zero under fault injection.
-        stats.counter("resil.staleResponses").inc();
+        statsOf(core).counter("resil.staleResponses").inc();
         return;
     }
     if (isReplyOp(msg->op) && msg->op != MsaOp::UnlockDone &&
@@ -510,8 +516,8 @@ MsaClientHub::handleMessage(CoreId core, const std::shared_ptr<MsaMsg> &msg)
              pc.op.instr == cpu::SyncInstr::WrLock)) {
             pc.interrupted = false;
             pc.resendPending = true;
-            eq.schedule(cfg.core.suspendResumeDelay,
-                        [this, core, seq = pc.opSeq] {
+            eqOf(core).scheduleL(laneOf(core), cfg.core.suspendResumeDelay,
+                                 [this, core, seq = pc.opSeq] {
                 PerCore &p = cores[core];
                 p.resendPending = false;
                 // Only re-send if the suspended LOCK is still the
@@ -553,6 +559,14 @@ MsaClientHub::holdsHw(CoreId core, Addr a) const
 {
     const PerCore &pc = cores[core];
     return pc.hwHeld.count(a) != 0 || pc.silentHeld.count(a) != 0;
+}
+
+Tick
+MsaClientHub::releaseSentAt(CoreId core, Addr a) const
+{
+    const auto &rs = cores[core].releaseSent;
+    auto it = rs.find(a);
+    return it == rs.end() ? 0 : it->second;
 }
 
 void

@@ -25,6 +25,7 @@
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+#include "sim/tile_runtime.hh"
 
 namespace misar {
 namespace msa {
@@ -51,8 +52,15 @@ isClientBound(MsaOp op)
 class MsaClientHub : public cpu::SyncUnit
 {
   public:
+    /**
+     * @p rt (optional, must outlive the hub) routes each client
+     * core's timers, lane, and stat counts to its tile — required
+     * whenever per-tile lanes are on, so that a core's timeout and
+     * resume events replay identically under any partitioning.
+     */
     MsaClientHub(EventQueue &eq, const SystemConfig &cfg,
-                 mem::MemSystem &ms, StatRegistry &stats);
+                 mem::MemSystem &ms, StatRegistry &stats,
+                 const TileRuntime *rt = nullptr);
 
     void execute(CoreId core, const cpu::Op &op, Cb cb) override;
     void interrupt(CoreId core) override;
@@ -79,6 +87,15 @@ class MsaClientHub : public cpu::SyncUnit
 
     /** True while @p core holds @p a in hardware (grant or silent). */
     bool holdsHw(CoreId core, Addr a) const;
+
+    /**
+     * Tick @p core last sent a (fire-and-forget) hardware release for
+     * @p a, or 0 if never. A released lock stays attributed to the
+     * old owner at the home until the Unlock message lands; the
+     * invariant checker uses this to excuse that bounded in-flight
+     * window instead of flagging a live protocol state.
+     */
+    Tick releaseSentAt(CoreId core, Addr a) const;
 
     /**
      * Core fault injection: @p core died. Drop its outstanding op
@@ -175,6 +192,9 @@ class MsaClientHub : public cpu::SyncUnit
          * from before a revocation (see MsaMsg::epoch).
          */
         std::map<Addr, std::uint32_t> heldEpoch;
+        /** Send tick of the latest fire-and-forget release per lock
+         *  (Unlock/RwUnlock/UnlockSilent) — see releaseSentAt(). */
+        std::map<Addr, Tick> releaseSent;
     };
 
     /** Send @p op's request message to its home MSA slice. */
@@ -191,14 +211,35 @@ class MsaClientHub : public cpu::SyncUnit
                   bool no_silent = false);
 
     /** Count one finished operation for coverage statistics. */
-    void countOp(const cpu::Op &op, bool hw);
+    void countOp(CoreId core, const cpu::Op &op, bool hw);
 
     CoreId homeOf(Addr a) const;
+
+    /** @name Per-client routing (identity when rt is null). @{ */
+    EventQueue &
+    eqOf(CoreId core)
+    {
+        return rt ? rt->eqFor(cfg.tileOf(core), eq) : eq;
+    }
+
+    StatRegistry &
+    statsOf(CoreId core)
+    {
+        return rt ? rt->statsFor(cfg.tileOf(core), stats) : stats;
+    }
+
+    LaneId
+    laneOf(CoreId core) const
+    {
+        return rt ? rt->laneOf(cfg.tileOf(core)) : 0;
+    }
+    /** @} */
 
     EventQueue &eq;
     const SystemConfig &cfg;
     mem::MemSystem &ms;
     StatRegistry &stats;
+    const TileRuntime *rt;
     std::vector<PerCore> cores;
 
     /** Homes cut off by a mesh partition (fast-fail new ops). */

@@ -214,7 +214,7 @@ MsaSlice::drainDeferred()
     for (auto &m : drained) {
         // Re-enter below the dedup gate: a deferred original must
         // not be mistaken for a retransmission of itself.
-        eq.schedule(cfg.msa.msaLatency,
+        eq.scheduleL(_lane, cfg.msa.msaLatency,
                     [this, m = std::move(m)] { dispatch(m); });
     }
 }
@@ -222,7 +222,7 @@ MsaSlice::drainDeferred()
 void
 MsaSlice::handleMessage(std::shared_ptr<MsaMsg> msg)
 {
-    eq.schedule(cfg.msa.msaLatency,
+    eq.scheduleL(_lane, cfg.msa.msaLatency,
                 [this, m = std::move(msg)] { process(m); });
 }
 
@@ -1509,7 +1509,7 @@ MsaSlice::scheduleLease(MsaEntry &e)
     // lease event can never mistake a re-used entry (or a re-grant
     // of the same address) for the grant it was armed against.
     e.leaseStamp = ++leaseSeq;
-    eq.schedule(cfg.resil.leaseTicks,
+    eq.scheduleL(_lane, cfg.resil.leaseTicks,
                 [this, addr = e.addr, stamp = e.leaseStamp] {
                     onLeaseCheck(addr, stamp);
                 });
@@ -1532,7 +1532,7 @@ MsaSlice::onLeaseCheck(Addr addr, std::uint64_t stamp)
                                       MsaOp::LeaseProbe, addr);
     p->requester = e->owner;
     send(std::move(p));
-    eq.schedule(cfg.resil.leaseProbeTimeout,
+    eq.scheduleL(_lane, cfg.resil.leaseProbeTimeout,
                 [this, addr, stamp] { onLeaseVerdict(addr, stamp); });
 }
 
@@ -1548,7 +1548,7 @@ MsaSlice::onLeaseVerdict(Addr addr, std::uint64_t stamp)
     if (e->busy) {
         // Mid-reserve: revoking under a multi-step operation would
         // corrupt it. Re-check once the entry settles.
-        eq.schedule(cfg.resil.leaseProbeTimeout,
+        eq.scheduleL(_lane, cfg.resil.leaseProbeTimeout,
                     [this, addr, stamp] { onLeaseVerdict(addr, stamp); });
         return;
     }

@@ -124,6 +124,13 @@ class MsaSlice
     /** Incoming MSA message from the NoC. */
     void handleMessage(std::shared_ptr<MsaMsg> msg);
 
+    /**
+     * Pin this slice's events to its tile's lane. Offline shedding
+     * and dead-core sweeps are driven from the global lane, so the
+     * pin (not lane inheritance) keeps slice events on the tile lane.
+     */
+    void setLane(LaneId l) { _lane = l; }
+
     /** Tests/debug: number of valid entries. */
     unsigned validEntries() const;
 
@@ -367,6 +374,7 @@ class MsaSlice
     EventQueue &eq;
     const SystemConfig &cfg;
     CoreId tile;
+    LaneId _lane = 0;
     mem::HomeSlice &home;
     SendFn send;
     StatRegistry &stats;

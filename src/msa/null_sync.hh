@@ -13,6 +13,7 @@
 
 #include "cpu/core.hh"
 #include "sim/stats.hh"
+#include "sim/tile_runtime.hh"
 
 namespace misar {
 namespace msa {
@@ -21,18 +22,29 @@ namespace msa {
 class NullSyncUnit : public cpu::SyncUnit
 {
   public:
-    explicit NullSyncUnit(StatRegistry &stats) : stats(stats) {}
+    /** @p rt (optional) routes counts to the calling tile's shard;
+     *  @p smtWays maps hardware thread ids onto tiles. */
+    explicit NullSyncUnit(StatRegistry &stats,
+                          const TileRuntime *rt = nullptr,
+                          unsigned smtWays = 1)
+        : stats(stats), rt(rt), smtWays(smtWays ? smtWays : 1)
+    {}
 
     void
-    execute(CoreId, const cpu::Op &op, Cb cb) override
+    execute(CoreId core, const cpu::Op &op, Cb cb) override
     {
-        if (op.instr != cpu::SyncInstr::Finish)
-            stats.counter("sync.swOps").inc();
+        if (op.instr != cpu::SyncInstr::Finish) {
+            StatRegistry &st =
+                rt ? rt->statsFor(core / smtWays, stats) : stats;
+            st.counter("sync.swOps").inc();
+        }
         cb(cpu::SyncResult::Fail);
     }
 
   private:
     StatRegistry &stats;
+    const TileRuntime *rt;
+    const unsigned smtWays;
 };
 
 } // namespace msa

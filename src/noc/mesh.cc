@@ -9,16 +9,19 @@ namespace misar {
 namespace noc {
 
 Mesh::Mesh(EventQueue &eq, const NocConfig &cfg, unsigned dim,
-           StatRegistry &stats)
+           StatRegistry &stats, const TileRuntime &rt)
     : eq(eq), stats(stats), _dim(dim)
 {
     routers.reserve(dim * dim);
     nis.reserve(dim * dim);
+    tileStats.reserve(dim * dim);
     for (unsigned y = 0; y < dim; ++y) {
         for (unsigned x = 0; x < dim; ++x) {
             unsigned id = y * dim + x;
-            routers.push_back(
-                std::make_unique<Router>(eq, cfg, id, x, y, dim));
+            tileStats.push_back(&rt.statsFor(id, stats));
+            routers.push_back(std::make_unique<Router>(
+                rt.eqFor(id, eq), cfg, id, x, y, dim));
+            routers.back()->setLane(rt.laneOf(id));
         }
     }
     for (unsigned y = 0; y < dim; ++y) {
@@ -40,7 +43,8 @@ Mesh::Mesh(EventQueue &eq, const NocConfig &cfg, unsigned dim,
     }
     for (unsigned t = 0; t < dim * dim; ++t) {
         nis.push_back(std::make_unique<NetworkInterface>(
-            eq, cfg, *routers[t], t, stats));
+            rt.eqFor(t, eq), cfg, *routers[t], t, *tileStats[t]));
+        nis.back()->setLane(rt.laneOf(t));
     }
 }
 
@@ -74,17 +78,19 @@ Mesh::hopDistance(CoreId a, CoreId b) const
 void
 Mesh::armFaults()
 {
-    for (auto &r : routers)
-        r->armFaults(&stats);
+    for (unsigned r = 0; r < routers.size(); ++r)
+        routers[r]->armFaults(tileStats[r]);
     for (auto &n : nis)
         n->armFaults();
 }
 
 void
-Mesh::setCorruptFn(const std::function<bool()> &fn)
+Mesh::setCorruptFn(const std::function<bool(unsigned)> &fn)
 {
-    for (auto &r : routers)
-        r->setCorruptFn(fn);
+    for (auto &r : routers) {
+        const unsigned id = r->id();
+        r->setCorruptFn([fn, id] { return fn(id); });
+    }
 }
 
 Port

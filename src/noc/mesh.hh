@@ -17,6 +17,7 @@
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+#include "sim/tile_runtime.hh"
 
 namespace misar {
 namespace noc {
@@ -30,7 +31,7 @@ class Mesh
 {
   public:
     Mesh(EventQueue &eq, const NocConfig &cfg, unsigned dim,
-         StatRegistry &stats);
+         StatRegistry &stats, const TileRuntime &rt = {});
 
     /** Inject @p pkt at its source tile. */
     void send(std::shared_ptr<Packet> pkt);
@@ -52,8 +53,12 @@ class Mesh
     /** Enable the fault-handling paths in every router and NI. */
     void armFaults();
 
-    /** Install the transient-corruption roll in every router. */
-    void setCorruptFn(const std::function<bool()> &fn);
+    /**
+     * Install the transient-corruption roll in every router. The
+     * hook receives the rolling router's id so the injector can keep
+     * one RNG stream per router (partition-order independent).
+     */
+    void setCorruptFn(const std::function<bool(unsigned router)> &fn);
 
     /** Kill the bidirectional link between adjacent routers a, b. */
     void markLinkDead(unsigned a, unsigned b);
@@ -86,6 +91,8 @@ class Mesh
     EventQueue &eq;
     StatRegistry &stats;
     unsigned _dim;
+    /** Per-tile stat shard (== &stats when not partitioned). */
+    std::vector<StatRegistry *> tileStats;
     std::vector<std::unique_ptr<Router>> routers;
     std::vector<std::unique_ptr<NetworkInterface>> nis;
     /** Master storage for installed route tables; routers hold raw

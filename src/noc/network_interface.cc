@@ -35,7 +35,7 @@ NetworkInterface::send(std::shared_ptr<Packet> pkt)
         // Local loopback: bypass the mesh with a short fixed latency.
         Sink &s = sink;
         stats.counter("noc.localLoopbacks").inc();
-        eq.schedule(cfg.routerLatency, [&s, pkt] { s(pkt); });
+        eq.scheduleL(_lane, cfg.routerLatency, [&s, pkt] { s(pkt); });
         return;
     }
 
@@ -88,7 +88,7 @@ NetworkInterface::scheduleTick()
     if (!work)
         return;
     tickPending = true;
-    eq.schedule(1, [this] { tick(); });
+    eq.scheduleL(_lane, 1, [this] { tick(); });
 }
 
 void
@@ -254,7 +254,7 @@ NetworkInterface::scheduleAck(CoreId peer, unsigned vnet)
     if (s.ackPending)
         return; // the scheduled ack is cumulative; it covers us
     s.ackPending = true;
-    eq.schedule(cfg.ackDelay, [this, peer, vnet] {
+    eq.scheduleL(_lane, cfg.ackDelay, [this, peer, vnet] {
         if (isDead)
             return;
         RxStream &cur = rx[streamKey(peer, vnet)];
@@ -270,7 +270,7 @@ NetworkInterface::armRetxTimer(Tick deadline)
         return;
     retxArmed = true;
     retxArmedAt = deadline;
-    eq.schedule(deadline - eq.now(), [this] { retxFire(); });
+    eq.scheduleL(_lane, deadline - eq.now(), [this] { retxFire(); });
 }
 
 void

@@ -56,6 +56,10 @@ class NetworkInterface
 
     CoreId tile() const { return _tile; }
 
+    /** Pin this NI's events to its tile's lane (see Router::setLane). */
+    void setLane(LaneId l) { _lane = l; }
+    LaneId lane() const { return _lane; }
+
     /**
      * Attach the tracer (null = untraced). Every packet ejected at
      * this NI becomes a complete event on @p track spanning its
@@ -176,6 +180,7 @@ class NetworkInterface
     const NocConfig &cfg;
     Router &router;
     CoreId _tile;
+    LaneId _lane = 0;
     StatRegistry &stats;
     Sink sink;
 

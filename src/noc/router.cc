@@ -90,21 +90,22 @@ Router::scheduleTick()
     if (tickPending || isDead)
         return;
     tickPending = true;
-    eq.schedule(1, [this] { tick(); });
+    eq.scheduleL(_lane, 1, [this] { tick(); });
 }
 
 void
 Router::creditUpstream(Port in, unsigned vnet)
 {
     if (in == portLocal) {
+        // The NI lives on this tile's lane.
         if (localCreditFn) {
             auto fn = localCreditFn;
-            eq.schedule(1, [fn, vnet] { fn(vnet); });
+            eq.scheduleL(_lane, 1, [fn, vnet] { fn(vnet); });
         }
     } else if (upstream[in].router) {
         Router *up = upstream[in].router;
         Port up_out = upstream[in].out;
-        eq.schedule(1, [up, up_out, vnet] {
+        eq.scheduleCross(up->lane(), 1, [up, up_out, vnet] {
             up->returnCredit(up_out, vnet);
         });
     }
@@ -242,7 +243,7 @@ Router::flushSeveredOwnership()
         }
     }
     if (retry)
-        eq.schedule(4, [this] { flushSeveredOwnership(); });
+        eq.scheduleL(_lane, 4, [this] { flushSeveredOwnership(); });
 }
 
 void
@@ -362,10 +363,12 @@ Router::tick()
                     panic("router %u: flit routed off mesh edge", _id);
                 Tick lat = cfg.routerLatency + cfg.linkLatency;
                 // Move the flit into the lambda; shared_ptr keeps the
-                // packet alive across hops.
-                eq.schedule(lat,
-                            [next, next_in, vnet, f = std::move(flit)]()
-                                mutable {
+                // packet alive across hops. The hop targets the
+                // neighbour's lane: a partition boundary routes via
+                // the cross hook with lat >= 1 tick of lookahead.
+                eq.scheduleCross(next->lane(), lat,
+                                 [next, next_in, vnet, f = std::move(flit)]()
+                                     mutable {
                     next->acceptFlit(next_in, vnet, std::move(f));
                 });
             }

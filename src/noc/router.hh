@@ -154,6 +154,16 @@ class Router
     /** Mesh edge length (for Manhattan-distance accounting). */
     unsigned meshDim() const { return dim; }
 
+    /**
+     * Pin this router's events to a lane. Self-schedules (ticks,
+     * severed-ownership retries) stay on the lane even when invoked
+     * from the global lane (reconfiguration, fault injection); flit
+     * and credit handoffs target the neighbour's lane so partition
+     * boundaries route through the cross hook.
+     */
+    void setLane(LaneId l) { _lane = l; }
+    LaneId lane() const { return _lane; }
+
     /** @name Fault support (Mesh-level API). @{ */
 
     /** Enable the fault-handling paths (stats must be set first). */
@@ -261,6 +271,7 @@ class Router
     const NocConfig &cfg;
     unsigned _id;
     unsigned x, y, dim;
+    LaneId _lane = 0;
 
     /** inBuf[port][vnet] */
     std::array<std::array<FlitRing, numVnets>, numPorts> inBuf;

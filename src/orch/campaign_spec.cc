@@ -43,6 +43,7 @@ parsePreset(const Json &j, PresetSpec &p, std::string &err)
     p.hwsync = j.at("hwsync").boolOr(p.hwsync);
     p.omu = j.at("omu").boolOr(p.omu);
     p.smt = static_cast<unsigned>(j.at("smt").uintOr(p.smt));
+    p.threads = static_cast<unsigned>(j.at("threads").uintOr(p.threads));
     if (j.has("seeds")) {
         const Json &s = j.at("seeds");
         if (!s.isArr()) {

@@ -35,6 +35,10 @@ struct PresetSpec
     bool hwsync = true;   ///< HWSync-bit optimization
     bool omu = true;      ///< overflow management unit
     unsigned smt = 1;     ///< hardware threads per core
+    /** Host worker threads for the simulation kernel (misar_sim
+     *  --threads). Any value produces identical statistics; > 1
+     *  trades determinism-preserving PDES overhead for wall clock. */
+    unsigned threads = 1;
     /** Seed override for this preset (empty = the spec's seeds). */
     std::vector<std::uint64_t> seeds;
 };

@@ -211,6 +211,10 @@ jobArgv(const CampaignSpec &spec, const JobSpec &j,
         argv.push_back("--smt");
         argv.push_back(std::to_string(j.preset.smt));
     }
+    if (j.preset.threads != 1) {
+        argv.push_back("--threads");
+        argv.push_back(std::to_string(j.preset.threads));
+    }
     if (!j.preset.hwsync)
         argv.push_back("--no-hwsync");
     if (!j.preset.omu)
@@ -530,14 +534,17 @@ runCampaignInProcess(const CampaignSpec &spec, const InProcessHooks &hooks)
                   "before running it)",
                   j.preset.config.c_str());
         cfg.smtWays = j.preset.smt;
+        cfg.simThreads = j.preset.threads;
         cfg.msa.hwSyncBitOpt = j.preset.hwsync;
         cfg.msa.omuEnabled = j.preset.omu;
         cfg.seed = j.seed;
-        // Subprocess jobs always run the profiler (--stats-json
+        // Subprocess jobs run the profiler when serial (--stats-json
         // implies it in misar_sim), so the in-process path must too —
         // otherwise the two executors' records, and therefore the
         // byte-compared campaign reports, would diverge on syncWait.
-        cfg.obs.profileSync = true;
+        // The profiler is serial-only; threaded jobs omit it on both
+        // executors the same way.
+        cfg.obs.profileSync = j.preset.threads == 1;
         if (spec.obs.sampleInterval)
             cfg.obs.sampleInterval = spec.obs.sampleInterval;
         cfg.obs.heatmapEnabled = cfg.obs.heatmapEnabled || spec.obs.heatmap;

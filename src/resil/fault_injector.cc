@@ -27,33 +27,42 @@ faultable(const std::shared_ptr<noc::Packet> &pkt)
 } // namespace
 
 FaultInjector::FaultInjector(EventQueue &eq, const ResilConfig &cfg,
-                             StatRegistry &stats, ForwardFn forward)
-    : eq(eq), cfg(cfg), stats(stats), forward(std::move(forward)),
-      rng(cfg.faultSeed)
-{}
+                             unsigned numTiles, StatRegistry &stats,
+                             ForwardFn forward, const TileRuntime *rt)
+    : eq(eq), cfg(cfg), stats(stats), forward(std::move(forward)), rt(rt)
+{
+    rngs.reserve(numTiles);
+    for (unsigned t = 0; t < numTiles; ++t)
+        rngs.emplace_back(cfg.faultSeed ^
+                          (0xda942042e4dd58b5ULL * (t + 1)));
+}
 
 bool
 FaultInjector::intercept(const std::shared_ptr<noc::Packet> &pkt)
 {
-    if (eq.now() < cfg.faultsFromTick || !faultable(pkt))
+    const CoreId src = pkt->src();
+    EventQueue &q = rt ? rt->eqFor(src, eq) : eq;
+    if (q.now() < cfg.faultsFromTick || !faultable(pkt))
         return false;
-    const double roll = rng.uniform();
+    StatRegistry &st = rt ? rt->statsFor(src, stats) : stats;
+    const double roll = rngs[src].uniform();
     if (roll < cfg.dropProb) {
-        stats.counter("resil.injectedDrops").inc();
+        st.counter("resil.injectedDrops").inc();
         return true;
     }
     if (roll < cfg.dropProb + cfg.dupProb) {
-        stats.counter("resil.injectedDups").inc();
+        st.counter("resil.injectedDups").inc();
         forward(pkt);
         auto copy = std::make_shared<msa::MsaMsg>(
             *std::static_pointer_cast<msa::MsaMsg>(pkt));
-        eq.schedule(cfg.delayTicks,
-                    [f = forward, copy] { f(copy); });
+        // Re-injection happens at the source tile, on its lane.
+        q.schedule(cfg.delayTicks,
+                   [f = forward, copy] { f(copy); });
         return true;
     }
     if (roll < cfg.dropProb + cfg.dupProb + cfg.delayProb) {
-        stats.counter("resil.injectedDelays").inc();
-        eq.schedule(cfg.delayTicks, [f = forward, pkt] { f(pkt); });
+        st.counter("resil.injectedDelays").inc();
+        q.schedule(cfg.delayTicks, [f = forward, pkt] { f(pkt); });
         return true;
     }
     return false;

@@ -12,8 +12,11 @@
  * plumbing are delivered faithfully (faulting those would require a
  * much heavier recovery protocol than the paper's hardware carries).
  *
- * The injector owns a private RNG stream, so a given (seed, fault
- * config, workload) triple replays with identical cycle counts.
+ * The injector owns one private RNG stream per source tile, so a
+ * given (seed, fault config, workload) triple replays with identical
+ * cycle counts — and so each stream's rolls depend only on that
+ * tile's own send order, which the event-queue lane contract fixes
+ * independently of how tiles are partitioned onto host threads.
  */
 
 #ifndef MISAR_RESIL_FAULT_INJECTOR_HH
@@ -21,12 +24,14 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "noc/packet.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
+#include "sim/tile_runtime.hh"
 
 namespace misar {
 namespace resil {
@@ -37,12 +42,19 @@ class FaultInjector
   public:
     using ForwardFn = std::function<void(std::shared_ptr<noc::Packet>)>;
 
+    /**
+     * @p rt (when non-null) routes each intercepted packet's RNG
+     * roll, stat counts, and re-injection schedule to its source
+     * tile's shard and queue; it must outlive the injector.
+     */
     FaultInjector(EventQueue &eq, const ResilConfig &cfg,
-                  StatRegistry &stats, ForwardFn forward);
+                  unsigned numTiles, StatRegistry &stats,
+                  ForwardFn forward, const TileRuntime *rt = nullptr);
 
     /**
      * Interceptor entry point: returns true when the packet was
      * consumed (dropped, or re-scheduled for later delivery).
+     * Executes on the sending tile's lane.
      */
     bool intercept(const std::shared_ptr<noc::Packet> &pkt);
 
@@ -51,7 +63,9 @@ class FaultInjector
     const ResilConfig cfg;
     StatRegistry &stats;
     ForwardFn forward;
-    Rng rng;
+    const TileRuntime *rt;
+    /** One stream per source tile (see file comment). */
+    std::vector<Rng> rngs;
 };
 
 } // namespace resil

@@ -204,8 +204,20 @@ InvariantChecker::cross(std::vector<std::string> &out) const
     auto dead = [&](CoreId c) {
         return cfg.resil.coreFaultsEnabled() && hub->isDead(c);
     };
+    // A hardware-held UNLOCK completes client-side immediately (the
+    // hold is dropped, a fire-and-forget release message is still in
+    // flight), so the home keeps recording the old owner for a few
+    // NoC transit ticks. Excuse that window, bounded so a genuinely
+    // lost release still trips the check.
+    constexpr Tick releaseGrace = 20000;
+    const Tick now = sys.eventQueue().now();
+    auto release_in_flight = [&](CoreId c, Addr a) {
+        const Tick sent = hub->releaseSentAt(c, a);
+        return sent != 0 && now - sent < releaseGrace;
+    };
     auto holder_live = [&](CoreId c, Addr a) {
-        return dead(c) || hub->snapshot(c).active || hub->holdsHw(c, a);
+        return dead(c) || hub->snapshot(c).active ||
+               hub->holdsHw(c, a) || release_in_flight(c, a);
     };
     auto waiter_live = [&](CoreId c) {
         return dead(c) || hub->snapshot(c).active;

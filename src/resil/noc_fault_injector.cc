@@ -11,11 +11,16 @@ namespace resil {
 NocFaultInjector::NocFaultInjector(EventQueue &eq, const ResilConfig &cfg,
                                    noc::Mesh &mesh, StatRegistry &stats)
     : eq(eq), cfg(cfg), mesh(mesh), stats(stats),
-      // A private stream decorrelated from the MSA message injector,
-      // which seeds its RNG with faultSeed directly.
-      rng(cfg.faultSeed ^ 0x9e3779b97f4a7c15ULL),
       stranded(mesh.numTiles(), false)
-{}
+{
+    // Private streams decorrelated from the MSA message injector
+    // (which seeds its RNG with faultSeed directly), one per router.
+    routerRngs.reserve(mesh.numTiles());
+    for (unsigned r = 0; r < mesh.numTiles(); ++r)
+        routerRngs.emplace_back(cfg.faultSeed ^ 0x9e3779b97f4a7c15ULL ^
+                                (static_cast<std::uint64_t>(r + 1) <<
+                                 32));
+}
 
 void
 NocFaultInjector::start()
@@ -24,7 +29,9 @@ NocFaultInjector::start()
 
     if (cfg.flitCorruptProb > 0.0) {
         const double p = cfg.flitCorruptProb;
-        mesh.setCorruptFn([this, p] { return rng.uniform() < p; });
+        mesh.setCorruptFn([this, p](unsigned router) {
+            return routerRngs[router].uniform() < p;
+        });
     }
 
     const Tick now = eq.now();

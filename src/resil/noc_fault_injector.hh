@@ -56,7 +56,15 @@ class NocFaultInjector
     const ResilConfig cfg;
     noc::Mesh &mesh;
     StatRegistry &stats;
-    Rng rng;
+    /**
+     * One corruption stream per router. A single shared stream would
+     * interleave rolls from every tile, making each roll's value
+     * depend on the global packet order — which the parallel kernel
+     * does not preserve across partitions. Per-router streams depend
+     * only on that router's own traversal count, which the lane
+     * contract does fix.
+     */
+    std::vector<Rng> routerRngs;
     PartitionFn partitionFn;
     /** Tiles already reported as stranded (report each once). */
     std::vector<bool> stranded;

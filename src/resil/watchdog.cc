@@ -5,8 +5,10 @@
 namespace misar {
 namespace resil {
 
-Watchdog::Watchdog(EventQueue &eq, Tick interval, StatRegistry &stats)
-    : eq(eq), interval(interval), stats(stats)
+Watchdog::Watchdog(EventQueue &eq, Tick interval, StatRegistry &stats,
+                   unsigned numCores)
+    : eq(eq), interval(interval), stats(stats),
+      cells(numCores ? numCores : 1)
 {
     onStall = [](const std::string &rep) {
         warn("%s", rep.c_str());
@@ -30,6 +32,7 @@ Watchdog::check()
     scheduled = false;
     if (allDone && allDone())
         return;
+    const std::uint64_t progress = progressSum();
     if (progress == lastSeen && !firedStall) {
         // No thread progressed — but traffic still moving through a
         // degraded mesh (detours, retransmissions) means the system

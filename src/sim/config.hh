@@ -343,6 +343,17 @@ struct SystemConfig
 {
     unsigned numCores = 16;   ///< must be a perfect square (mesh)
     /**
+     * Host worker threads for the simulation kernel. 1 = the serial
+     * calendar-queue kernel; N > 1 partitions the mesh into N
+     * contiguous tile groups, each with its own event queue, run
+     * under the conservative PDES scheme (sim/parallel.hh). Any N
+     * produces the same trajectory and statistics as N = 1; N > 1
+     * requires a per-tile-lane mode (not Ideal) and no slice
+     * failover (failoverBuddy routes requests across tiles with no
+     * NoC latency, which breaks the lookahead contract).
+     */
+    unsigned simThreads = 1;
+    /**
      * Hardware threads per core (paper §3: "to support hardware
      * multithreading, the HWQueue would be augmented to have 1-bit
      * per hardware thread"). SMT threads share their tile's L1 and
@@ -365,6 +376,20 @@ struct SystemConfig
 
     /** Tile (core) a hardware thread lives on. */
     CoreId tileOf(CoreId thread) const { return thread / smtWays; }
+
+    /**
+     * Whether components get per-tile event-queue lanes. The Ideal
+     * oracle performs same-tick cross-core wakeups through a global
+     * table, so it keeps everything on lane 0 (and cannot run
+     * threaded); every real mode isolates tiles behind NoC latency.
+     */
+    bool tileLanes() const { return msa.mode != AccelMode::Ideal; }
+
+    /** Event-queue lane of tile @p tile (0 when lanes are off). */
+    LaneId laneOf(CoreId tile) const { return tileLanes() ? 1 + tile : 0; }
+
+    /** Total lanes: the global lane plus one per tile. */
+    LaneId laneCount() const { return tileLanes() ? numCores + 1 : 1; }
 
     /** Validate invariants; fatal() on user error. */
     void validate() const;

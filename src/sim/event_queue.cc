@@ -8,8 +8,9 @@ EventQueue::EventQueue() = default;
 
 EventQueue::~EventQueue()
 {
-    // Destroy (without running) every callable still pending, ring
-    // and overflow alike; the chunks vector frees the records.
+    // Destroy (without running) every callable still pending — ring,
+    // lane chains, and overflow alike; the chunks vector frees the
+    // records.
     for (Bucket &b : buckets) {
         for (EventRecord *r = b.head; r;) {
             EventRecord *next = r->next;
@@ -17,8 +18,25 @@ EventQueue::~EventQueue()
             r = next;
         }
     }
+    for (Lane &l : lanes) {
+        for (EventRecord *r = l.head; r;) {
+            EventRecord *next = r->next;
+            r->op(r, false);
+            r = next;
+        }
+    }
     for (EventRecord *r : overflow)
         r->op(r, false);
+}
+
+void
+EventQueue::setNumLanes(LaneId n)
+{
+    if (n <= numLanes)
+        return;
+    numLanes = n;
+    lanes.resize(n);
+    laneOcc.assign((static_cast<std::size_t>(n) + 63) / 64, 0);
 }
 
 EventQueue::EventRecord *
@@ -62,9 +80,36 @@ EventQueue::appendBucket(EventRecord *r)
 }
 
 void
+EventQueue::appendLane(EventRecord *r)
+{
+    // Same-tick insert while this tick drains. The executing lane can
+    // feed itself (FIFO append, picked up by the drain loop) or any
+    // later lane; a lane that already ran is gone for this tick.
+    if (r->lane < curLane)
+        panic("same-tick event into lane %u from lane %u (already ran)",
+              r->lane, curLane);
+    Lane &l = lanes[r->lane];
+    r->next = nullptr;
+    if (l.tail) {
+        // Appends mid-drain carry key (now, curLane), which is >= the
+        // chain tail's key by construction; keep the check anyway so
+        // a contract violation surfaces as a sort, not misordering.
+        if (senderBefore(r, l.tail))
+            l.dirty = true;
+        l.tail->next = r;
+    } else {
+        l.head = r;
+        laneOcc[r->lane >> 6] |= std::uint64_t{1} << (r->lane & 63);
+    }
+    l.tail = r;
+}
+
+void
 EventQueue::insert(EventRecord *r)
 {
-    if (r->when - _now < window) {
+    if (draining && r->when == _now) {
+        appendLane(r);
+    } else if (r->when - _now < window) {
         appendBucket(r);
     } else {
         overflow.push_back(r);
@@ -74,6 +119,31 @@ EventQueue::insert(EventRecord *r)
     ++pstats.scheduled;
     if (numPending > pstats.maxPending)
         pstats.maxPending = numPending;
+}
+
+void
+EventQueue::insertForeign(LaneId lane, Tick when, Tick sendTick,
+                          LaneId senderLane, Callback fn)
+{
+    // when == _now is legal: the engine drains mailboxes after
+    // aligning the clock to the window tick but before running it,
+    // so a delivery dated exactly this tick still executes in order.
+    if (when < _now)
+        panic("foreign event at tick %llu but now is %llu "
+              "(cross-partition events need >= 1 tick of lookahead)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(_now));
+    if (lane >= numLanes)
+        panic("foreign event on lane %u but only %u lanes configured",
+              lane, numLanes);
+    EventRecord *r = allocRecord();
+    r->when = when;
+    r->sendTick = sendTick;
+    r->seq = nextSeq++;
+    r->lane = lane;
+    r->senderLane = senderLane;
+    storeCallable(r, std::move(fn));
+    insert(r);
 }
 
 void
@@ -87,10 +157,10 @@ EventQueue::promote()
         std::pop_heap(overflow.begin(), overflow.end(), later);
         EventRecord *r = overflow.back();
         overflow.pop_back();
-        // Heap pops ascend in (when, seq), and everything already in
-        // the target bucket was inserted while this event was still
-        // beyond the boundary (hence with a smaller seq), so a plain
-        // append preserves sequence order.
+        // Heap pops ascend in (when, seq); per-sender FIFO holds
+        // because one sender's records carry ascending seqs. Any
+        // cross-sender misordering against records already in the
+        // bucket is repaired by the scatter-time sort check.
         appendBucket(r);
     }
 }
@@ -126,25 +196,85 @@ EventQueue::nextRingTick() const
 }
 
 void
-EventQueue::runBucket(Tick t)
+EventQueue::sortLane(LaneId l)
 {
-    Bucket &b = buckets[static_cast<std::size_t>(t) & bucketMask];
-    // Callbacks may append same-tick events to this bucket while it
-    // drains; re-reading head picks them up in sequence order.
-    while (EventRecord *r = b.head) {
-        b.head = r->next;
-        if (!b.head) {
-            b.tail = nullptr;
-            const std::size_t idx =
-                static_cast<std::size_t>(t) & bucketMask;
-            occ[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
-        }
-        --ringCount;
-        --numPending;
-        ++executed;
-        r->op(r, true);
-        freeRecord(r);
+    Lane &lane = lanes[l];
+    sortScratch.clear();
+    for (EventRecord *r = lane.head; r; r = r->next)
+        sortScratch.push_back(r);
+    std::stable_sort(sortScratch.begin(), sortScratch.end(),
+                     [](const EventRecord *a, const EventRecord *b) {
+                         return senderBefore(a, b);
+                     });
+    EventRecord *head = nullptr, *tail = nullptr;
+    for (EventRecord *r : sortScratch) {
+        r->next = nullptr;
+        (tail ? tail->next : head) = r;
+        tail = r;
     }
+    lane.head = head;
+    lane.tail = tail;
+    lane.dirty = false;
+    ++pstats.laneSorts;
+}
+
+void
+EventQueue::runTick(Tick t)
+{
+    if (t != _now)
+        panic("runTick(%llu) but now is %llu",
+              static_cast<unsigned long long>(t),
+              static_cast<unsigned long long>(_now));
+    const std::size_t idx = static_cast<std::size_t>(t) & bucketMask;
+    Bucket &b = buckets[idx];
+
+    // Scatter the tick's FIFO bucket into per-lane chains, watching
+    // for out-of-key-order appends (only cross-partition mailbox
+    // deliveries can produce them; serial runs scatter pre-sorted).
+    for (EventRecord *r = b.head; r;) {
+        EventRecord *next = r->next;
+        Lane &l = lanes[r->lane];
+        r->next = nullptr;
+        if (l.tail) {
+            if (senderBefore(r, l.tail))
+                l.dirty = true;
+            l.tail->next = r;
+        } else {
+            l.head = r;
+            laneOcc[r->lane >> 6] |= std::uint64_t{1} << (r->lane & 63);
+        }
+        l.tail = r;
+        --ringCount;
+        r = next;
+    }
+    if (b.head) {
+        b.head = b.tail = nullptr;
+        occ[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+    }
+
+    // Execute lanes in ascending order. Callbacks may append
+    // same-tick events to the current or any later lane; the
+    // occupancy rescan picks up lanes that only just became occupied.
+    draining = true;
+    for (LaneId l = nextOccupiedLane(0); l < numLanes;
+         l = nextOccupiedLane(l)) {
+        Lane &lane = lanes[l];
+        if (lane.dirty)
+            sortLane(l);
+        curLane = l;
+        while (EventRecord *r = lane.head) {
+            lane.head = r->next;
+            if (!lane.head)
+                lane.tail = nullptr;
+            --numPending;
+            ++executed;
+            r->op(r, true);
+            freeRecord(r);
+        }
+        laneOcc[l >> 6] &= ~(std::uint64_t{1} << (l & 63));
+    }
+    draining = false;
+    curLane = 0;
 }
 
 EventQueue::DrainResult
@@ -157,7 +287,7 @@ EventQueue::drain(Tick limit)
             return DrainResult::LimitHit;
         _now = t;
         promote();
-        runBucket(t);
+        runTick(t);
     }
     return DrainResult::Drained;
 }
@@ -171,7 +301,7 @@ EventQueue::runUntil(Tick until)
             break;
         _now = t;
         promote();
-        runBucket(t);
+        runTick(t);
     }
     if (_now < until) {
         _now = until;

@@ -2,9 +2,17 @@
  * @file
  * Discrete-event simulation kernel.
  *
- * A single global-ordered queue of (tick, sequence) keyed callbacks.
- * Events scheduled for the same tick execute in scheduling order,
- * which keeps the whole simulation deterministic.
+ * A calendar queue of lane-ordered callbacks. Every event belongs to
+ * a *lane*: lane 0 is the global lane (watchdog, samplers, fault
+ * injectors, run-control lambdas) and lane 1+t is tile t (its core,
+ * L1, router, NI, and MSA slice). Within one tick, lanes execute in
+ * ascending order; within one (tick, lane) cell, events execute in
+ * ascending (sendTick, senderLane) order, FIFO per sender. This
+ * contract is what makes parallel tile-partitioned execution
+ * (sim/parallel.hh) produce the same trajectory as serial execution:
+ * the key is a property of the *sender*, not of host-side insertion
+ * order, so it is invariant under any partitioning of lanes onto
+ * threads.
  *
  * Implementation: a two-level calendar queue tuned for the host-side
  * hot path. Near-future events (within `window` ticks of now) live in
@@ -12,16 +20,21 @@
  * an occupancy bitmap makes "next non-empty bucket" a few word scans.
  * Far-future events (watchdog sweeps, invariant checks, samplers)
  * wait in a min-heap and are promoted into the ring as the clock
- * advances. Event records come from a free-list pool and store their
- * callback inline in a small buffer, so the steady-state event loop
- * performs no heap allocation at all (see poolStats()).
+ * advances. At each occupied tick the bucket is scattered into
+ * per-lane chains (lane occupancy is itself a bitmap); a chain is
+ * stable-sorted by (sendTick, senderLane) only when the scatter finds
+ * it out of order, which never happens in serial runs — serial
+ * execution appends in exactly that order — and only happens in
+ * threaded runs for cells that received cross-partition mailbox
+ * deliveries. Event records come from a free-list pool and store
+ * their callback inline in a small buffer, so the steady-state event
+ * loop performs no heap allocation at all (see poolStats()).
  *
  * Determinism contract: execution order is exactly ascending
- * (tick, insertion sequence) — bit-identical to draining a single
- * binary heap keyed the same way. The promotion boundary only ever
- * moves when now() advances, and promotion drains the far heap in
- * (tick, seq) order before any newer same-tick insertion can enter a
- * bucket, so bucket FIFO order always equals sequence order.
+ * (tick, lane, sendTick, senderLane, per-sender FIFO). A single-lane
+ * queue (the default: numLanes == 1) degenerates to plain
+ * (tick, insertion sequence) order, bit-identical to the pre-lane
+ * kernel.
  */
 
 #ifndef MISAR_SIM_EVENT_QUEUE_HH
@@ -44,9 +57,10 @@ namespace misar {
 /**
  * The simulation event queue and clock.
  *
- * All simulated components share one EventQueue. Components schedule
- * callbacks at absolute or relative ticks; run() drains the queue in
- * (tick, insertion-order) order.
+ * All simulated components of one partition share one EventQueue
+ * (serial runs have a single partition spanning every lane).
+ * Components schedule callbacks at absolute or relative ticks;
+ * run() drains the queue in (tick, lane, sender-order) order.
  */
 class EventQueue
 {
@@ -74,7 +88,20 @@ class EventQueue
         std::uint64_t scheduled = 0;
         /** High-water mark of simultaneously pending events. */
         std::uint64_t maxPending = 0;
+        /** Lane chains re-sorted at drain (cross-partition merges). */
+        std::uint64_t laneSorts = 0;
     };
+
+    /**
+     * Hook routing cross-partition events to their owning queue
+     * (sim/parallel.cc installs one per worker). Receives the
+     * destination lane, absolute tick, and the sender's identity so
+     * the receiving queue can file the event under the same
+     * deterministic key it would have had if inserted inline.
+     */
+    using CrossHook = void (*)(void *ctx, LaneId dstLane, Tick when,
+                               Tick sendTick, LaneId senderLane,
+                               Callback fn);
 
     EventQueue();
     ~EventQueue();
@@ -84,43 +111,101 @@ class EventQueue
     /** Current simulated time. */
     Tick now() const { return _now; }
 
-    /** Schedule @p f to run @p delay ticks from now. */
+    /**
+     * Declare the lane id space [0, n). Grows only; lane arrays are
+     * reused across ticks. Single-lane queues (never calling this)
+     * behave exactly like the pre-lane kernel.
+     */
+    void setNumLanes(LaneId n);
+
+    /** Number of configured lanes. */
+    LaneId laneCount() const { return numLanes; }
+
+    /** Lane of the event currently executing (0 outside a drain). */
+    LaneId currentLane() const { return curLane; }
+
+    /** Schedule @p f on the *current* lane @p delay ticks from now. */
     template <typename F>
     void
     schedule(Tick delay, F &&f)
     {
-        scheduleAt(_now + delay, std::forward<F>(f));
+        scheduleAtL(curLane, _now + delay, std::forward<F>(f));
     }
 
-    /**
-     * Schedule @p f at absolute tick @p when.
-     * @pre when >= now() — enforced with a panic.
-     */
+    /** Schedule @p f on the current lane at absolute tick @p when. */
     template <typename F>
     void
     scheduleAt(Tick when, F &&f)
     {
-        using Fn = std::decay_t<F>;
-        if (when < _now)
-            panic("event scheduled in the past (%llu < %llu)",
-                  static_cast<unsigned long long>(when),
-                  static_cast<unsigned long long>(_now));
-        EventRecord *r = allocRecord();
-        r->when = when;
-        r->seq = nextSeq++;
-        if constexpr (sizeof(Fn) <= inlineBytes &&
-                      alignof(Fn) <= alignof(std::max_align_t)) {
-            ::new (static_cast<void *>(r->storage))
-                Fn(std::forward<F>(f));
-            r->op = &opInline<Fn>;
-        } else {
-            ::new (static_cast<void *>(r->storage))
-                (Fn *)(new Fn(std::forward<F>(f)));
-            r->op = &opBoxed<Fn>;
-            ++pstats.heapCallbacks;
-        }
+        scheduleAtL(curLane, when, std::forward<F>(f));
+    }
+
+    /** Schedule @p f on lane @p lane, @p delay ticks from now. */
+    template <typename F>
+    void
+    scheduleL(LaneId lane, Tick delay, F &&f)
+    {
+        scheduleAtL(lane, _now + delay, std::forward<F>(f));
+    }
+
+    /**
+     * Schedule @p f on lane @p lane at absolute tick @p when.
+     * @pre when >= now() — enforced with a panic.
+     * @pre when > now() or lane >= currentLane() — an event cannot be
+     *      scheduled into a same-tick lane that already ran.
+     */
+    template <typename F>
+    void
+    scheduleAtL(LaneId lane, Tick when, F &&f)
+    {
+        EventRecord *r = prepareRecord(lane, when);
+        storeCallable(r, std::forward<F>(f));
         insert(r);
     }
+
+    /**
+     * Schedule onto a lane that may be owned by another partition's
+     * queue. Serial runs (no hook installed) and in-partition lanes
+     * insert inline; foreign lanes are handed to the cross hook,
+     * which mails them to the owning queue. Cross-partition events
+     * must carry at least one tick of latency (the PDES lookahead
+     * window) — a zero-delay foreign send panics.
+     */
+    template <typename F>
+    void
+    scheduleCross(LaneId dstLane, Tick delay, F &&f)
+    {
+        if (!crossHook || (dstLane >= ownLaneBegin && dstLane < ownLaneEnd)) {
+            scheduleAtL(dstLane, _now + delay, std::forward<F>(f));
+            return;
+        }
+        if (delay == 0)
+            panic("zero-delay cross-partition event to lane %u", dstLane);
+        crossHook(crossCtx, dstLane, _now + delay, _now, curLane,
+                  Callback(std::forward<F>(f)));
+    }
+
+    /**
+     * Install the cross-partition routing hook. Lanes in
+     * [ownBegin, ownEnd) are owned by this queue and keep inserting
+     * inline; everything else is routed through @p hook.
+     */
+    void
+    setCrossHook(void *ctx, CrossHook hook, LaneId ownBegin, LaneId ownEnd)
+    {
+        crossCtx = ctx;
+        crossHook = hook;
+        ownLaneBegin = ownBegin;
+        ownLaneEnd = ownEnd;
+    }
+
+    /**
+     * Insert an event delivered from another partition's mailbox,
+     * preserving the sender's deterministic ordering key. Only the
+     * parallel kernel calls this, between tick barriers.
+     */
+    void insertForeign(LaneId lane, Tick when, Tick sendTick,
+                       LaneId senderLane, Callback fn);
 
     /** True when no events remain. */
     bool empty() const { return numPending == 0; }
@@ -144,6 +229,36 @@ class EventQueue
 
     /** Run until now() would exceed @p until (events at @p until run). */
     void runUntil(Tick until);
+
+    /** Earliest pending tick, or maxTick when empty. */
+    Tick
+    nextEventTick() const
+    {
+        if (!numPending)
+            return maxTick;
+        return ringCount ? nextRingTick() : overflow.front()->when;
+    }
+
+    /**
+     * Advance the clock to @p t without executing anything (the
+     * parallel kernel aligns partition clocks at each barrier).
+     * @pre no pending event earlier than @p t.
+     */
+    void
+    advanceTo(Tick t)
+    {
+        if (t <= _now)
+            return;
+        if (numPending && nextEventTick() < t)
+            panic("advanceTo(%llu) would skip a pending event at %llu",
+                  static_cast<unsigned long long>(t),
+                  static_cast<unsigned long long>(nextEventTick()));
+        _now = t;
+        promote();
+    }
+
+    /** Execute every event at tick @p t. @pre t == now(). */
+    void runTick(Tick t);
 
     /** Total number of events executed so far. */
     std::uint64_t executedEvents() const { return executed; }
@@ -169,7 +284,10 @@ class EventQueue
     struct EventRecord
     {
         Tick when;
+        Tick sendTick;
         std::uint64_t seq;
+        LaneId lane;
+        LaneId senderLane;
         EventRecord *next;
         /** Run (and destroy) or just destroy the stored callable. */
         void (*op)(EventRecord *, bool run);
@@ -180,6 +298,15 @@ class EventQueue
     {
         EventRecord *head = nullptr;
         EventRecord *tail = nullptr;
+    };
+
+    /** Per-lane FIFO chain, rebuilt from the tick bucket each drain. */
+    struct Lane
+    {
+        EventRecord *head = nullptr;
+        EventRecord *tail = nullptr;
+        /** Scatter saw an out-of-key-order append (needs a sort). */
+        bool dirty = false;
     };
 
     template <typename Fn>
@@ -211,6 +338,54 @@ class EventQueue
         return a->seq > b->seq;
     }
 
+    /** Sender key: drains execute each (tick, lane) cell in this
+     *  order, FIFO per equal key (stable sort). */
+    static bool
+    senderBefore(const EventRecord *a, const EventRecord *b)
+    {
+        if (a->sendTick != b->sendTick)
+            return a->sendTick < b->sendTick;
+        return a->senderLane < b->senderLane;
+    }
+
+    /** Allocate and key a record (shared by every schedule path). */
+    EventRecord *
+    prepareRecord(LaneId lane, Tick when)
+    {
+        if (when < _now)
+            panic("event scheduled in the past (%llu < %llu)",
+                  static_cast<unsigned long long>(when),
+                  static_cast<unsigned long long>(_now));
+        if (lane >= numLanes)
+            panic("event on lane %u but only %u lanes configured",
+                  lane, numLanes);
+        EventRecord *r = allocRecord();
+        r->when = when;
+        r->sendTick = _now;
+        r->seq = nextSeq++;
+        r->lane = lane;
+        r->senderLane = curLane;
+        return r;
+    }
+
+    template <typename F>
+    void
+    storeCallable(EventRecord *r, F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= inlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(r->storage))
+                Fn(std::forward<F>(f));
+            r->op = &opInline<Fn>;
+        } else {
+            ::new (static_cast<void *>(r->storage))
+                (Fn *)(new Fn(std::forward<F>(f)));
+            r->op = &opBoxed<Fn>;
+            ++pstats.heapCallbacks;
+        }
+    }
+
     EventRecord *allocRecord();
     void growPool();
 
@@ -221,11 +396,17 @@ class EventQueue
         freeHead = r;
     }
 
-    /** File @p r into its ring bucket or the overflow heap. */
+    /** File @p r into its ring bucket, lane chain, or overflow heap. */
     void insert(EventRecord *r);
 
     /** Append to the FIFO bucket for r->when (must be in-window). */
     void appendBucket(EventRecord *r);
+
+    /** Append @p r to its lane chain (same-tick insert mid-drain). */
+    void appendLane(EventRecord *r);
+
+    /** Stable-sort lane @p l by sender key (cross-partition merge). */
+    void sortLane(LaneId l);
 
     /** Promote far-future events now inside [now, now+window). */
     void promote();
@@ -233,8 +414,25 @@ class EventQueue
     /** Earliest ring tick; ring must be non-empty. */
     Tick nextRingTick() const;
 
-    /** Execute every event at tick @p t (bucket emptied). */
-    void runBucket(Tick t);
+    /** Lowest occupied lane >= @p from, or numLanes when none. */
+    LaneId
+    nextOccupiedLane(LaneId from) const
+    {
+        std::size_t w = from >> 6;
+        const std::size_t words = laneOcc.size();
+        if (w >= words)
+            return numLanes;
+        std::uint64_t word = laneOcc[w] & (~std::uint64_t{0} << (from & 63));
+        while (true) {
+            if (word)
+                return static_cast<LaneId>(
+                    (w << 6) | static_cast<std::size_t>(
+                                   std::countr_zero(word)));
+            if (++w >= words)
+                return numLanes;
+            word = laneOcc[w];
+        }
+    }
 
     std::vector<Bucket> buckets{numBuckets};
     /** One occupancy bit per bucket. */
@@ -244,6 +442,22 @@ class EventQueue
     std::size_t ringCount = 0;
     std::size_t numPending = 0;
 
+    /** Per-lane drain chains + occupancy bitmap (reused each tick). */
+    LaneId numLanes = 1;
+    std::vector<Lane> lanes = std::vector<Lane>(1);
+    std::vector<std::uint64_t> laneOcc = std::vector<std::uint64_t>(1, 0);
+    /** Scratch buffer for sortLane. */
+    std::vector<EventRecord *> sortScratch;
+
+    /** True while runTick executes (same-tick inserts go to chains). */
+    bool draining = false;
+
+    /** Cross-partition routing (null in serial runs). */
+    void *crossCtx = nullptr;
+    CrossHook crossHook = nullptr;
+    LaneId ownLaneBegin = 0;
+    LaneId ownLaneEnd = 0;
+
     /** Free-list over pool chunk records. */
     EventRecord *freeHead = nullptr;
     std::vector<std::unique_ptr<EventRecord[]>> chunks;
@@ -252,6 +466,7 @@ class EventQueue
     Tick _now = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t executed = 0;
+    LaneId curLane = 0;
 };
 
 } // namespace misar

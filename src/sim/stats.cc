@@ -17,6 +17,16 @@ StatHistogram::sample(std::uint64_t v)
     ++_total;
 }
 
+void
+StatHistogram::merge(const StatHistogram &o)
+{
+    if (o.buckets.size() > buckets.size())
+        buckets.resize(o.buckets.size(), 0);
+    for (std::size_t i = 0; i < o.buckets.size(); ++i)
+        buckets[i] += o.buckets[i];
+    _total += o._total;
+}
+
 std::uint64_t
 StatRegistry::counterValue(const std::string &name) const
 {
@@ -107,6 +117,17 @@ StatRegistry::dump(std::ostream &os) const
             os << (i ? "," : "") << b[i];
         os << "]\n";
     }
+}
+
+void
+StatRegistry::mergeFrom(const StatRegistry &o)
+{
+    for (const auto &[name, c] : o.counters)
+        counters[name].inc(c.value());
+    for (const auto &[name, a] : o.averages)
+        averages[name].merge(a);
+    for (const auto &[name, h] : o.histograms)
+        histograms[name].merge(h);
 }
 
 void

@@ -52,6 +52,25 @@ class StatAverage
     double min() const { return _count ? _min : 0.0; }
     double max() const { return _count ? _max : 0.0; }
 
+    /** Fold another average's samples in (exact for sum/count/min/max). */
+    void
+    merge(const StatAverage &o)
+    {
+        if (!o._count)
+            return;
+        if (!_count) {
+            _min = o._min;
+            _max = o._max;
+        } else {
+            if (o._min < _min)
+                _min = o._min;
+            if (o._max > _max)
+                _max = o._max;
+        }
+        _sum += o._sum;
+        _count += o._count;
+    }
+
     void
     reset()
     {
@@ -81,6 +100,9 @@ class StatHistogram
 
     const std::vector<std::uint64_t> &data() const { return buckets; }
     std::uint64_t total() const { return _total; }
+
+    /** Bucket-wise accumulate (grows to the wider bucket count). */
+    void merge(const StatHistogram &o);
 
     /** Smallest value that lands in bucket @p b (0, 2, 4, 8, ...). */
     static std::uint64_t
@@ -146,6 +168,14 @@ class StatRegistry
 
     /** Dump everything, sorted by name. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Accumulate every stat from @p o into this registry (counters
+     * add, averages fold sample moments, histograms add bucket-wise).
+     * Used to collapse per-tile shards into the global registry after
+     * a threaded run; the result is independent of merge order.
+     */
+    void mergeFrom(const StatRegistry &o);
 
     void reset();
 

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-tile runtime routing for the parallel (PDES) kernel.
+ *
+ * Under `--threads N` the mesh is split into N contiguous tile
+ * groups, each owning a private EventQueue (with one lane per tile
+ * plus the shared global lane 0) and a private StatRegistry shard per
+ * tile. Components constructed for tile t must schedule on t's queue,
+ * pin their self-schedules to t's lane, and count into t's shard.
+ *
+ * TileRuntime is the plumbing handle for that: System fills it in and
+ * passes it down through MemSystem / Mesh construction. A
+ * default-constructed (empty) runtime routes every tile to the single
+ * shared queue / registry on lane 0, which is exactly the legacy
+ * serial behavior — tests that build a Mesh or MemSystem directly
+ * keep working unchanged.
+ */
+
+#ifndef MISAR_SIM_TILE_RUNTIME_HH
+#define MISAR_SIM_TILE_RUNTIME_HH
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace misar {
+
+/** Routes a tile id to its event queue, stat shard, and lane. */
+struct TileRuntime
+{
+    /** Queue per tile (partition queues repeat). Empty = shared. */
+    std::vector<EventQueue *> queues;
+    /** Stat shard per tile. Empty = shared global registry. */
+    std::vector<StatRegistry *> shards;
+    /** True when events carry per-tile lanes (lane 1+t = tile t). */
+    bool tileLanes = false;
+
+    bool empty() const { return queues.empty() && shards.empty(); }
+
+    /** Lane events of tile @p t run on (0 when lanes are off). */
+    LaneId
+    laneOf(CoreId t) const
+    {
+        return tileLanes ? 1 + t : 0;
+    }
+
+    /** Queue tile @p t schedules on; @p shared when not partitioned. */
+    EventQueue &
+    eqFor(CoreId t, EventQueue &shared) const
+    {
+        return queues.empty() ? shared : *queues[t];
+    }
+
+    /** Registry tile @p t counts into; @p shared when not sharded. */
+    StatRegistry &
+    statsFor(CoreId t, StatRegistry &shared) const
+    {
+        return shards.empty() ? shared : *shards[t];
+    }
+};
+
+} // namespace misar
+
+#endif // MISAR_SIM_TILE_RUNTIME_HH

@@ -19,6 +19,13 @@ using Addr = std::uint64_t;
 /** Core / tile identifier. Tiles and cores are 1:1 in this model. */
 using CoreId = std::uint32_t;
 
+/**
+ * Event-queue lane identifier. Lane 0 is the global lane (watchdog,
+ * samplers, fault injectors, run-control); lane 1+t is tile t. See
+ * sim/event_queue.hh for the ordering contract.
+ */
+using LaneId = std::uint32_t;
+
 /** Sentinel for "no core". */
 constexpr CoreId invalidCore = static_cast<CoreId>(-1);
 

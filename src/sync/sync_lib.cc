@@ -11,7 +11,7 @@ using cpu::SyncResult;
 using cpu::toSyncResult;
 
 SyncLib::SyncLib(Flavor flavor, unsigned num_cores)
-    : _flavor(flavor), numCores(num_cores)
+    : _flavor(flavor), numCores(num_cores), rwHoldsByCore(num_cores)
 {}
 
 const char *
@@ -47,12 +47,17 @@ SyncLib::deadBelow(std::uint32_t goal) const
 Addr
 SyncLib::aux(Addr obj, unsigned bytes)
 {
-    auto it = auxOf.find(obj);
-    if (it != auxOf.end())
-        return it->second;
-    Addr a = heap.alloc(bytes);
-    auxOf.emplace(obj, a);
-    return a;
+    // Pure function of the object: no allocator state, so the region
+    // address (and thus its home tile and cache behavior) is the same
+    // no matter which thread interleaving discovers the object first.
+    if (bytes > auxSlabBytes)
+        panic("sync aux region for %llx needs %u bytes > %llu slab",
+              (unsigned long long)obj, bytes,
+              (unsigned long long)auxSlabBytes);
+    if (obj >> (62 - auxSlabShift))
+        panic("sync object address %llx too large for aux addressing",
+              (unsigned long long)obj);
+    return auxSpaceTag | (obj << auxSlabShift);
 }
 
 Addr
@@ -137,7 +142,10 @@ SyncLib::barrierWait(ThreadApi t, Addr b, std::uint32_t goal)
 SyncLib::RwHold &
 SyncLib::rwHold(CoreId core, Addr l)
 {
-    return rwHolds[(static_cast<std::uint64_t>(l) << 8) | core];
+    // Per-core maps: cores on different simulation partitions touch
+    // only their own map, and core ids of any width fit (the old
+    // (l << 8 | core) key silently aliased cores 256 apart).
+    return rwHoldsByCore[core][l];
 }
 
 SubTask<>

@@ -22,8 +22,9 @@
  *   this measures pure fallback overhead.
  *
  * Auxiliary state for software algorithms (MCS queue nodes,
- * tournament flags, condvar tickets) is allocated per object from a
- * private heap on first use, each field in its own cache block.
+ * tournament flags, condvar tickets) lives at an address that is a
+ * pure function of the object (see the aux-addressing notes below),
+ * each field in its own cache block.
  */
 
 #ifndef MISAR_SYNC_SYNC_LIB_HH
@@ -32,6 +33,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "cpu/subtask.hh"
 #include "cpu/thread_api.hh"
@@ -42,24 +44,30 @@ namespace sync {
 using cpu::SubTask;
 using cpu::ThreadApi;
 
-/** Simple bump allocator for block-aligned simulated memory. */
-class SyncHeap
-{
-  public:
-    explicit SyncHeap(Addr base = 0x40000000ULL) : next(base) {}
-
-    Addr
-    alloc(unsigned bytes)
-    {
-        Addr r = next;
-        next = (next + bytes + blockBytes - 1) &
-               ~static_cast<Addr>(blockBytes - 1);
-        return r;
-    }
-
-  private:
-    Addr next;
-};
+/**
+ * @name Auxiliary-region addressing
+ *
+ * Software algorithms need per-object scratch memory (MCS queue
+ * nodes, tournament flags, condvar tickets). The region address must
+ * be a pure function of the object — a first-use bump allocator
+ * would hand out addresses in discovery order, which differs between
+ * thread interleavings and would shift home tiles and cache behavior
+ * between `--threads` counts (besides racing on the map itself).
+ *
+ * Layout: bit 62 tags the aux space (workloads never allocate
+ * there); each object owns a 2^auxSlabShift-byte slab at
+ * tag | (obj << auxSlabShift). Slabs of distinct objects are
+ * disjoint by construction; the slab is sized for the largest user
+ * (tournament barrier: (rounds + 1) * goal blocks) at the 1024-core
+ * x SMT ceiling, and aux() panics on anything bigger. Memory is
+ * sparse (FunctionalMem maps touched words only), so the wide
+ * spacing costs nothing.
+ * @{
+ */
+constexpr unsigned auxSlabShift = 23;
+constexpr Addr auxSlabBytes = Addr{1} << auxSlabShift;
+constexpr Addr auxSpaceTag = Addr{1} << 62;
+/** @} */
 
 /** Synchronization runtime facade. */
 class SyncLib
@@ -149,7 +157,7 @@ class SyncLib
     SubTask<> swUnlock(ThreadApi t, Addr m);
     SubTask<> swBarrier(ThreadApi t, Addr b, std::uint32_t goal);
 
-    /** Per-object auxiliary memory region (created on first use). */
+    /** Per-object auxiliary memory region (pure address function). */
     Addr aux(Addr obj, unsigned bytes);
 
     /** MCS queue node of @p core for lock @p m. */
@@ -172,9 +180,9 @@ class SyncLib
 
     Flavor _flavor;
     unsigned numCores;
-    SyncHeap heap;
-    std::unordered_map<Addr, Addr> auxOf;
-    std::unordered_map<std::uint64_t, RwHold> rwHolds;
+    /** Indexed [core][lock]: with parallel simulation each core's
+     *  map is touched only from its own partition. */
+    std::vector<std::unordered_map<Addr, RwHold>> rwHoldsByCore;
     DeadQuery isDeadFn;
 };
 

@@ -117,6 +117,7 @@ cliPresetNames()
         "baseline", "msa0",    "mcs-tour", "spinlock",
         "msa-omu",  "msa-inf", "ideal",    "msa-omu-faults",
         "msa-omu2-nocfaults", "msa-omu2-corefaults",
+        "msa256",   "msa1024",
     };
     return names;
 }
@@ -140,6 +141,23 @@ cliPresetFor(const std::string &name, unsigned cores, unsigned entries,
     } else if (name == "msa-omu2-corefaults") {
         cfg = configFor(PaperConfig::MsaOmu2CoreFaults, cores);
         cfg.msa.msaEntries = entries;
+        flavor = sync::SyncLib::Flavor::Hw;
+        return true;
+    } else if (name == "msa256" || name == "msa1024") {
+        // Scale-study meshes (roadmap item 1; paper §6 projects past
+        // its 64-core evaluation). The preset pins the core count —
+        // the --cores flag is ignored. Per-slice sizing follows the
+        // paper: MSA entries and OMU counters are per tile and do NOT
+        // grow with the mesh; what grows is the NoC, so the input
+        // buffers deepen (absorbing the longer-haul congestion of a
+        // 16x16 / 32x32 mesh) and the end-to-end retransmission
+        // timeout is provisioned off the worst-case round trip
+        // (~4 * meshDim * (router + link) cycles plus queueing),
+        // mirroring how the fault presets provision theirs.
+        const bool big = name == "msa1024";
+        cfg = makeConfig(big ? 1024 : 256, AccelMode::MsaOmu, entries);
+        cfg.noc.bufferDepth = big ? 32 : 16;
+        cfg.noc.retransmitTimeout = big ? 2400 : 1200;
         flavor = sync::SyncLib::Flavor::Hw;
         return true;
     } else if (name == "baseline") {

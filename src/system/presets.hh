@@ -63,9 +63,9 @@ const char *paperConfigName(PaperConfig pc);
 /**
  * CLI preset names accepted by misar_sim --config and by campaign
  * specs: baseline, msa0, mcs-tour, spinlock, msa-omu, msa-inf,
- * ideal, msa-omu-faults, msa-omu2-nocfaults, msa-omu2-corefaults.
- * One name per line from
- * `misar_sim --list-presets`.
+ * ideal, msa-omu-faults, msa-omu2-nocfaults, msa-omu2-corefaults,
+ * msa256, msa1024 (the scale-study meshes; these pin the core
+ * count). One name per line from `misar_sim --list-presets`.
  */
 const std::vector<std::string> &cliPresetNames();
 

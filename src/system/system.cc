@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 
 namespace misar {
 namespace sys {
@@ -19,14 +20,42 @@ System::System(const SystemConfig &cfg_in) : cfg(cfg_in)
              "enabling reliable delivery");
         cfg.noc.reliable = true;
     }
-    ms = std::make_unique<mem::MemSystem>(eq, cfg, _stats);
+
+    // --- event lanes + PDES partitioning ---------------------------
+    // Lanes are on whenever the mode supports them (everything but
+    // Ideal), including --threads 1: the lane-ordered trajectory is
+    // what makes a threaded run stats-identical to a serial one.
+    eq.setNumLanes(cfg.laneCount());
+    rt.tileLanes = cfg.tileLanes();
+    if (cfg.simThreads > 1) {
+        const unsigned P = cfg.simThreads;
+        laneToPart.assign(cfg.laneCount(), P); // lane 0 -> global
+        for (unsigned p = 0; p < P; ++p) {
+            partQueues.push_back(std::make_unique<EventQueue>());
+            partQueues.back()->setNumLanes(cfg.laneCount());
+        }
+        rt.queues.resize(cfg.numCores);
+        rt.shards.resize(cfg.numCores);
+        for (CoreId t = 0; t < cfg.numCores; ++t) {
+            const unsigned p = static_cast<unsigned>(
+                (static_cast<std::uint64_t>(t) * P) / cfg.numCores);
+            rt.queues[t] = partQueues[p].get();
+            laneToPart[cfg.laneOf(t)] = p;
+            statShards.push_back(std::make_unique<StatRegistry>());
+            rt.shards[t] = statShards.back().get();
+        }
+    }
+
+    ms = std::make_unique<mem::MemSystem>(eq, cfg, _stats, rt);
+    if (cfg.simThreads > 1)
+        ms->fmem().enableLocking();
 
     const bool has_msa = cfg.msa.mode == AccelMode::MsaOmu ||
                          cfg.msa.mode == AccelMode::MsaInfinite;
 
     if (has_msa) {
         auto hub_owner =
-            std::make_unique<msa::MsaClientHub>(eq, cfg, *ms, _stats);
+            std::make_unique<msa::MsaClientHub>(eq, cfg, *ms, _stats, &rt);
         hub = hub_owner.get();
         syncUnit = std::move(hub_owner);
 
@@ -35,7 +64,9 @@ System::System(const SystemConfig &cfg_in) : cfg(cfg_in)
         };
         for (CoreId t = 0; t < cfg.numCores; ++t) {
             slices.push_back(std::make_unique<msa::MsaSlice>(
-                eq, cfg, t, ms->home(t), send_fn, _stats));
+                rt.eqFor(t, eq), cfg, t, ms->home(t), send_fn,
+                rt.statsFor(t, _stats)));
+            slices.back()->setLane(rt.laneOf(t));
             // Push/revoke traffic must follow an address's *home*
             // directory, not the slice's own tile: after a slice
             // failover the buddy serves variables whose cached copies
@@ -63,12 +94,16 @@ System::System(const SystemConfig &cfg_in) : cfg(cfg_in)
     } else if (cfg.msa.mode == AccelMode::Ideal) {
         syncUnit = std::make_unique<msa::IdealSyncUnit>(_stats);
     } else {
-        syncUnit = std::make_unique<msa::NullSyncUnit>(_stats);
+        syncUnit = std::make_unique<msa::NullSyncUnit>(_stats, &rt,
+                                                       cfg.smtWays);
     }
 
     for (CoreId t = 0; t < cfg.numThreads(); ++t) {
+        const CoreId tile = cfg.tileOf(t);
         cores.push_back(std::make_unique<cpu::Core>(
-            eq, cfg.core, t, ms->l1(cfg.tileOf(t)), _stats));
+            rt.eqFor(tile, eq), cfg.core, t, ms->l1(tile),
+            rt.statsFor(tile, _stats)));
+        cores.back()->setLane(rt.laneOf(tile));
         cores.back()->setSyncUnit(syncUnit.get());
     }
 
@@ -76,10 +111,11 @@ System::System(const SystemConfig &cfg_in) : cfg(cfg_in)
 
     if (cfg.resil.messageFaultsEnabled() && has_msa) {
         injector = std::make_unique<resil::FaultInjector>(
-            eq, cfg.resil, _stats,
+            eq, cfg.resil, cfg.numCores, _stats,
             [this](std::shared_ptr<noc::Packet> p) {
                 ms->sendDirect(std::move(p));
-            });
+            },
+            &rt);
         ms->setSendInterceptor([this](
                 const std::shared_ptr<noc::Packet> &p) {
             return injector->intercept(p);
@@ -130,9 +166,9 @@ System::System(const SystemConfig &cfg_in) : cfg(cfg_in)
 
     if (cfg.resil.watchdogInterval > 0) {
         wdog = std::make_unique<resil::Watchdog>(
-            eq, cfg.resil.watchdogInterval, _stats);
-        for (auto &c : cores)
-            c->setProgressCell(wdog->progressCell());
+            eq, cfg.resil.watchdogInterval, _stats, cfg.numThreads());
+        for (CoreId c = 0; c < cores.size(); ++c)
+            cores[c]->setProgressCell(wdog->progressCell(c));
         wdog->setReportFn([this] { return buildStallReport(); });
         wdog->setDoneFn([this] { return allFinished(); });
         wdog->start();
@@ -174,9 +210,9 @@ System::System(const SystemConfig &cfg_in) : cfg(cfg_in)
             // degraded mesh are progress: merely-detoured traffic
             // must not be classified as deadlock.
             wdog->setAuxProgressFn([this] {
-                return _stats.counterValue("noc.packetsRecv") +
-                       _stats.counterValue("noc.flitsDropped") +
-                       _stats.counterValue("noc.rel.retransmits");
+                return liveCounterSum("noc.packetsRecv") +
+                       liveCounterSum("noc.flitsDropped") +
+                       liveCounterSum("noc.rel.retransmits");
             });
         }
     }
@@ -298,13 +334,12 @@ System::applyObservability()
         _sampler = std::make_unique<obs::StatSampler>(eq, o.sampleInterval);
         auto cnt = [this](const char *name) {
             return [this, name] {
-                return static_cast<double>(_stats.counterValue(name));
+                return static_cast<double>(liveCounterSum(name));
             };
         };
         auto pooled = [this](const char *suffix) {
             return [this, suffix] {
-                return static_cast<double>(
-                    _stats.sumCountersSuffix(suffix));
+                return static_cast<double>(liveSuffixSum(suffix));
             };
         };
         _sampler->addProbe("syncHwOps", cnt("sync.hwOps"));
@@ -336,6 +371,87 @@ System::allFinished() const
 
 RunOutcome
 System::runDetailed(Tick limit)
+{
+    const RunOutcome o = cfg.simThreads > 1 ? runParallel(limit)
+                                            : runSerial(limit);
+    mergeShards();
+    return o;
+}
+
+void
+System::mergeShards()
+{
+    // Order-independent fold (counters add, averages fold moments,
+    // histograms add bucket-wise), so totals match a serial run no
+    // matter how tiles were partitioned. Shards reset afterwards:
+    // a later runDetailed() merge must not double-count.
+    for (auto &s : statShards) {
+        _stats.mergeFrom(*s);
+        s->reset();
+    }
+}
+
+std::uint64_t
+System::liveCounterSum(const std::string &name) const
+{
+    std::uint64_t v = _stats.counterValue(name);
+    for (const auto &s : statShards)
+        v += s->counterValue(name);
+    return v;
+}
+
+std::uint64_t
+System::liveSuffixSum(const std::string &suffix) const
+{
+    std::uint64_t v = _stats.sumCountersSuffix(suffix);
+    for (const auto &s : statShards)
+        v += s->sumCountersSuffix(suffix);
+    return v;
+}
+
+RunOutcome
+System::runParallel(Tick limit)
+{
+    std::vector<EventQueue *> pq;
+    for (auto &q : partQueues)
+        pq.push_back(q.get());
+    ParallelEngine engine(eq, std::move(pq), laneToPart);
+
+    // Mirror runSerial exactly: same chunking, same stop checks at
+    // the same boundaries — that equivalence is what the determinism
+    // suite pins (threads N stats-identical to threads 1).
+    const Tick chunk = 10000;
+    const Tick start = eq.now();
+    const Tick deadline = (limit == maxTick) ? maxTick : start + limit;
+    for (;;) {
+        Tick until = (deadline - eq.now() < chunk) ? deadline
+                                                   : eq.now() + chunk;
+        engine.runUntil(until);
+        if (allFinished()) {
+            if (checker) {
+                engine.drainAll();
+                checker->atQuiesce();
+            }
+            return RunOutcome::Finished;
+        }
+        std::size_t maint =
+            (wdog ? wdog->pendingMaintenance() : 0u) +
+            (checker ? checker->pendingMaintenance() : 0u) +
+            (_sampler ? _sampler->pendingMaintenance() : 0u);
+        if (engine.pending() <= maint) {
+            warn("event queue drained with threads still blocked "
+                 "(deadlock) at tick %llu",
+                 static_cast<unsigned long long>(eq.now()));
+            warn("%s", buildStallReport().c_str());
+            return RunOutcome::Deadlock;
+        }
+        if (eq.now() >= deadline)
+            return RunOutcome::LimitReached;
+    }
+}
+
+RunOutcome
+System::runSerial(Tick limit)
 {
     // Run in slices so we can stop as soon as all threads are done
     // (background NoC/coherence events may still be queued).
@@ -574,8 +690,8 @@ System::buildStallReport() const
 double
 System::hwCoverage() const
 {
-    double hw = static_cast<double>(_stats.sumCounters("sync.hwOps"));
-    double sw = static_cast<double>(_stats.sumCounters("sync.swOps"));
+    double hw = static_cast<double>(liveCounterSum("sync.hwOps"));
+    double sw = static_cast<double>(liveCounterSum("sync.swOps"));
     return (hw + sw) > 0 ? hw / (hw + sw) : 0.0;
 }
 

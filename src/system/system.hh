@@ -30,6 +30,7 @@
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+#include "sim/tile_runtime.hh"
 
 namespace misar {
 namespace sys {
@@ -144,6 +145,18 @@ class System
     /** Fraction of sync operations handled in hardware [0, 1]. */
     double hwCoverage() const;
 
+    /**
+     * @name Mid-run stat reads. Under `--threads N` per-tile counts
+     * live in shards until the run ends; these sum the global
+     * registry plus every live shard. Master-lane only (samplers,
+     * watchdog aux progress) — the workers are parked whenever
+     * lane-0 code runs.
+     * @{
+     */
+    std::uint64_t liveCounterSum(const std::string &name) const;
+    std::uint64_t liveSuffixSum(const std::string &suffix) const;
+    /** @} */
+
     /** Enable per-core operation tracing (see sim/trace.hh). */
     void enableTracing();
 
@@ -167,9 +180,27 @@ class System
   private:
     /** Construct + wire cfg.obs-enabled components (ctor tail). */
     void applyObservability();
+
+    /** Serial run loop (the pre-PDES kernel; `--threads 1`). */
+    RunOutcome runSerial(Tick limit);
+
+    /** PDES run loop: partitions the mesh over cfg.simThreads. */
+    RunOutcome runParallel(Tick limit);
+
+    /** Fold per-tile stat shards into _stats (end of a run). */
+    void mergeShards();
+
     SystemConfig cfg;
     EventQueue eq;
     StatRegistry _stats;
+    /** One queue per `--threads` partition (empty when serial). */
+    std::vector<std::unique_ptr<EventQueue>> partQueues;
+    /** One stat shard per tile (empty unless threads > 1). */
+    std::vector<std::unique_ptr<StatRegistry>> statShards;
+    /** Partition index per lane (lane 0 -> simThreads = global). */
+    std::vector<unsigned> laneToPart;
+    /** Tile -> queue/shard/lane routing handed to every component. */
+    TileRuntime rt;
     std::unique_ptr<mem::MemSystem> ms;
     std::vector<std::unique_ptr<cpu::Core>> cores;
     std::vector<std::unique_ptr<msa::MsaSlice>> slices;

@@ -36,14 +36,21 @@ struct RunSnapshot
     std::uint64_t executed = 0;
 };
 
-/** One full run of @p app on preset @p pc; returns its fingerprint. */
+/**
+ * One full run of @p app on preset @p pc; returns its fingerprint.
+ * @p threads is the simulation kernel's host thread count; @p profile
+ * arms the sync profiler (serial-only — the threaded kernel rejects
+ * it, and cross-thread-count comparisons must configure both sides
+ * identically).
+ */
 RunSnapshot
 runOnce(sys::PaperConfig pc, unsigned cores, const char *app,
-        std::uint64_t seed)
+        std::uint64_t seed, unsigned threads = 1, bool profile = true)
 {
     SystemConfig cfg = sys::configFor(pc, cores);
     cfg.seed = seed;
-    cfg.obs.profileSync = true;
+    cfg.simThreads = threads;
+    cfg.obs.profileSync = profile;
     sys::System s(cfg);
     sync::SyncLib lib(sys::flavorFor(pc), cores);
     if (cfg.resil.coreFaultsEnabled())
@@ -109,6 +116,101 @@ TEST(Determinism, MsaOmu2CoreFaultsTwoRunsBitIdentical)
     // cascade must land on the same ticks in both runs.
     expectIdenticalRuns(sys::PaperConfig::MsaOmu2CoreFaults, 16,
                         "radiosity");
+}
+
+/**
+ * `--threads 1` runs the serial kernel itself — same code path, no
+ * engine — so its stats dump is bit-identical to a run that never
+ * mentioned threads. This pins the CLI contract on the existing
+ * preset x app matrix.
+ */
+void
+expectThreadsOneIsSerial(sys::PaperConfig pc, unsigned cores,
+                         const char *app)
+{
+    RunSnapshot serial = runOnce(pc, cores, app, 7);
+    RunSnapshot t1 = runOnce(pc, cores, app, 7, /*threads=*/1);
+    EXPECT_EQ(serial.makespan, t1.makespan);
+    EXPECT_EQ(serial.executed, t1.executed);
+    EXPECT_EQ(serial.statsDump, t1.statsDump);
+    EXPECT_EQ(serial.profJson, t1.profJson);
+}
+
+TEST(Determinism, ThreadsOneBitIdenticalToSerialKernel)
+{
+    expectThreadsOneIsSerial(sys::PaperConfig::MsaOmu2, 16, "radiosity");
+    expectThreadsOneIsSerial(sys::PaperConfig::MsaOmu2Faults, 16,
+                             "radiosity");
+    expectThreadsOneIsSerial(sys::PaperConfig::MsaOmu2NocFaults, 16,
+                             "radiosity");
+    expectThreadsOneIsSerial(sys::PaperConfig::MsaOmu2CoreFaults, 16,
+                             "radiosity");
+}
+
+/**
+ * The PDES contract: for any N, the threaded kernel executes the
+ * same trajectory, so the merged statistics registry and the final
+ * clock must match `--threads 1` exactly. (The profiler stays off on
+ * both sides: it is serial-only.)
+ */
+void
+expectStatsIdenticalAcrossThreads(sys::PaperConfig pc, unsigned cores,
+                                  const char *app)
+{
+    RunSnapshot t1 = runOnce(pc, cores, app, 7, 1, /*profile=*/false);
+    EXPECT_FALSE(t1.statsDump.empty());
+    for (unsigned n : {2u, 4u}) {
+        RunSnapshot tn = runOnce(pc, cores, app, 7, n, false);
+        EXPECT_EQ(t1.makespan, tn.makespan) << "threads=" << n;
+        EXPECT_EQ(t1.statsDump, tn.statsDump) << "threads=" << n;
+    }
+}
+
+TEST(Determinism, Msa16StatsIdenticalAcrossThreadCounts)
+{
+    expectStatsIdenticalAcrossThreads(sys::PaperConfig::MsaOmu2, 16,
+                                      "radiosity");
+}
+
+TEST(Determinism, Msa64StatsIdenticalAcrossThreadCounts)
+{
+    expectStatsIdenticalAcrossThreads(sys::PaperConfig::MsaOmu2, 64,
+                                      "radiosity");
+}
+
+TEST(Determinism, FaultedStatsIdenticalAcrossThreadCounts)
+{
+    // Message faults + a mid-run slice decommission: the injector
+    // runs on the master lane and reaches into tiles; retry/timeout
+    // schedules are the easiest to perturb, so this is the sharpest
+    // cross-thread-count probe.
+    expectStatsIdenticalAcrossThreads(sys::PaperConfig::MsaOmu2Faults,
+                                      16, "radiosity");
+}
+
+TEST(Determinism, McsTourStatsIdenticalAcrossThreadCounts)
+{
+    // Regression test for the sync-library aux allocator hazard: the
+    // MCS/tournament software algorithms lean on per-object auxiliary
+    // memory, whose addresses are now a pure function of the object
+    // (a first-use bump allocator raced across partitions and handed
+    // out interleaving-dependent addresses). The CI TSan job runs
+    // this under -fsanitize=thread.
+    expectStatsIdenticalAcrossThreads(sys::PaperConfig::McsTour, 16,
+                                      "radiosity");
+}
+
+TEST(Determinism, ThreadedRunsAreRunToRunDeterministic)
+{
+    // Fixed N must also be repeatable against itself (mailbox drain
+    // order, not host scheduling, decides the merge).
+    RunSnapshot a = runOnce(sys::PaperConfig::MsaOmu2, 16, "radiosity",
+                            7, 4, false);
+    RunSnapshot b = runOnce(sys::PaperConfig::MsaOmu2, 16, "radiosity",
+                            7, 4, false);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.statsDump, b.statsDump);
+    EXPECT_FALSE(a.statsDump.empty());
 }
 
 TEST(Determinism, DifferentSeedsActuallyDiffer)
