@@ -24,6 +24,7 @@
  */
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +36,7 @@
 #include "obs/run_report.hh"
 #include "orch/exit_codes.hh"
 #include "sim/logging.hh"
+#include "srv/server_app.hh"
 #include "sync/sync_lib.hh"
 #include "system/presets.hh"
 #include "system/system.hh"
@@ -83,6 +85,13 @@ usage()
         "                  possibly holding a lock or mid-barrier\n"
         "                  (repeatable; arms lease-based lock recovery\n"
         "                  if the preset has not already)\n"
+        "server workloads (server-* / taskqueue apps only):\n"
+        "  --arrival-rate R   offered load in requests per kilotick\n"
+        "                     (positive, open-loop server apps only)\n"
+        "  --service-dist D   request service-time distribution:\n"
+        "                     fixed | exp | pareto\n"
+        "  --queue-cap N      dispatch-queue capacity (admission\n"
+        "                     control bound; overflow is shed)\n"
         "exit codes: 0 finished, 40 deadlock, 41 tick-limit, 1 error\n"
         "observability:\n"
         "  --trace-out FILE   write a multi-component Chrome trace\n"
@@ -151,6 +160,17 @@ parsePositiveArg(const char *opt, const char *v)
     return val;
 }
 
+/** Strict positive-real option value (arrival rates). */
+double
+parsePositiveRealArg(const char *opt, const char *v)
+{
+    char *end = nullptr;
+    const double val = std::strtod(v, &end);
+    if (end == v || *end != '\0' || !std::isfinite(val) || val <= 0)
+        fatal("%s expects a positive number, got '%s'", opt, v);
+    return val;
+}
+
 } // namespace
 
 int
@@ -165,6 +185,9 @@ main(int argc, char **argv)
     std::uint64_t tick_limit = 5000000000ULL;
     std::string trace_path, stats_json_path, sample_csv_path;
     std::string heatmap_path;
+    double arrival_rate = 0; // 0 = app default
+    std::string service_dist;
+    std::uint64_t queue_cap = 0; // 0 = app default
     std::vector<LinkKill> link_kills;
     std::vector<RouterKill> router_kills;
     std::vector<CoreKill> core_kills;
@@ -178,6 +201,8 @@ main(int argc, char **argv)
         };
         if (a == "--list" || a == "--list-apps") {
             for (const AppSpec &s : appCatalog())
+                std::printf("%s\n", s.name.c_str());
+            for (const AppSpec &s : serverCatalog())
                 std::printf("%s\n", s.name.c_str());
             return 0;
         } else if (a == "--list-presets") {
@@ -242,6 +267,12 @@ main(int argc, char **argv)
             top_n = static_cast<unsigned>(parsePositiveArg("--top", next()));
         } else if (a == "--sample-interval") {
             sample_interval = parsePositiveArg("--sample-interval", next());
+        } else if (a == "--arrival-rate") {
+            arrival_rate = parsePositiveRealArg("--arrival-rate", next());
+        } else if (a == "--service-dist") {
+            service_dist = next();
+        } else if (a == "--queue-cap") {
+            queue_cap = parsePositiveArg("--queue-cap", next());
         } else if (a == "--sample-out") {
             sample_csv_path = next();
         } else if (a == "--heatmap-out") {
@@ -259,7 +290,25 @@ main(int argc, char **argv)
         return 1;
     }
 
-    const AppSpec &spec = appByName(app_name);
+    AppSpec spec = appByName(app_name); // copy: server knobs may edit
+    const bool server_knobs =
+        arrival_rate > 0 || !service_dist.empty() || queue_cap > 0;
+    if (server_knobs && !spec.server.enabled)
+        fatal("--arrival-rate/--service-dist/--queue-cap only apply to "
+              "server workloads, and '%s' is not one", app_name.c_str());
+    if (arrival_rate > 0 &&
+        spec.server.mode == srv::ArrivalMode::Closed)
+        fatal("--arrival-rate does not apply to the closed-loop "
+              "'%s' app", app_name.c_str());
+    if (arrival_rate > 0)
+        spec.server.arrivalRate = arrival_rate;
+    if (!service_dist.empty() &&
+        !srv::parseServiceDist(service_dist, spec.server.serviceDist))
+        fatal("unknown --service-dist '%s' (expected one of: %s)",
+              service_dist.c_str(), srv::serviceDistNames().c_str());
+    if (queue_cap > 0)
+        spec.server.queueCap = queue_cap;
+
     SystemConfig cfg;
     sync::SyncLib::Flavor flavor;
     if (!sys::cliPresetFor(config, cores, entries, cfg, flavor))
@@ -342,9 +391,15 @@ main(int argc, char **argv)
         lib.setDeadQuery(
             [&s](CoreId c) { return s.isDeclaredDead(c); });
     AppLayout layout;
+    std::unique_ptr<srv::ServerHarness> harness;
+    if (spec.server.enabled)
+        harness = std::make_unique<srv::ServerHarness>(spec.server,
+                                                       threads, seed);
     for (CoreId t = 0; t < threads; ++t)
-        s.start(t, appThread(s.api(t), spec, layout, &lib, threads,
-                             seed));
+        s.start(t, harness
+                       ? harness->thread(s.api(t), &lib)
+                       : appThread(s.api(t), spec, layout, &lib,
+                                   threads, seed));
 
     obs::RunMeta meta;
     meta.app = spec.name;
@@ -368,6 +423,10 @@ main(int argc, char **argv)
             stats_json_path, s, meta, top_n);
 
     const sys::RunOutcome outcome = s.runDetailed(tick_limit);
+
+    srv::ServerStats server_stats;
+    if (harness)
+        server_stats = harness->finalize(s.makespan());
 
     // Write the requested observability artifacts before any fatal()
     // below, so a deadlocked or runaway run still leaves a trace and
@@ -403,7 +462,9 @@ main(int argc, char **argv)
         if (!obs::writeRunReportDurable(stats_json_path, meta, s.stats(),
                                         s.syncProfiler(), top_n,
                                         s.sampler(), &s.eventQueue(),
-                                        s.monitor()))
+                                        s.monitor(),
+                                        harness ? &server_stats
+                                                : nullptr))
             fatal("cannot write stats file %s", stats_json_path.c_str());
     }
     if (guard)
@@ -477,6 +538,28 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         s.stats().sumCountersSuffix(
                             ".msa.fencedReleases")));
+    if (harness) {
+        std::printf("server         : offered %.2f/ktick, achieved "
+                    "%.2f/ktick, knee=%s\n",
+                    server_stats.offeredRate, server_stats.throughput,
+                    server_stats.knee ? "yes" : "no");
+        std::printf("requests       : %llu generated / %llu completed / "
+                    "%llu rejected / %llu stranded / %llu steals\n",
+                    static_cast<unsigned long long>(server_stats.generated),
+                    static_cast<unsigned long long>(server_stats.completed),
+                    static_cast<unsigned long long>(server_stats.rejected),
+                    static_cast<unsigned long long>(server_stats.stranded),
+                    static_cast<unsigned long long>(server_stats.steals));
+        if (!server_stats.latency.empty())
+            std::printf("req latency    : p50 %llu / p99 %llu / "
+                        "p999 %llu cycles\n",
+                        static_cast<unsigned long long>(
+                            server_stats.latency.p50()),
+                        static_cast<unsigned long long>(
+                            server_stats.latency.p99()),
+                        static_cast<unsigned long long>(
+                            server_stats.latency.p999()));
+    }
     std::printf("noc packets    : %llu (avg latency %.1f cycles)\n",
                 static_cast<unsigned long long>(
                     s.stats().counter("noc.packetsSent").value()),

@@ -1,112 +1,61 @@
 /**
  * @file
  * Work-stealing task-queue application (the radiosity/cholesky
- * pattern the paper's introduction motivates): each thread owns a
+ * pattern the paper's introduction motivates): each core owns a
  * lock-protected task deque, pops work locally, and steals from
- * victims when empty. Run on both the pthread baseline and MSA/OMU-2
- * and compare.
+ * victims when empty. Built on the srv/ queue primitives — the same
+ * deques the open-loop server workloads dispatch into — and run on
+ * both the pthread baseline and MSA/OMU-2 for comparison. The same
+ * workload is registered in the app catalog as "taskqueue", so it
+ * also runs under misar_sim / misar_campaign.
  *
- *   ./build/examples/taskqueue_app [cores=16] [tasksPerThread=64]
+ *   ./build/examples/taskqueue_app [cores=16] [tasksPerWorker=64]
  */
 
 #include <cstdio>
 #include <cstdlib>
-#include <vector>
 
-#include "sim/rng.hh"
+#include "srv/server_app.hh"
 #include "sync/sync_lib.hh"
 #include "system/presets.hh"
 #include "system/system.hh"
+#include "workload/app_catalog.hh"
 
 using namespace misar;
-using cpu::SubTask;
-using cpu::ThreadApi;
-using cpu::ThreadTask;
-
-namespace {
-
-// Per-queue layout: lock in its own block; count word next block.
-constexpr Addr queueBase = 0x10000000;
-constexpr Addr queueStride = 4 * blockBytes;
-
-Addr
-queueLock(unsigned q)
-{
-    return queueBase + q * queueStride;
-}
-
-Addr
-queueCount(unsigned q)
-{
-    return queueBase + q * queueStride + blockBytes;
-}
-
-/** Pop one task from queue @p q; returns false if it was empty. */
-SubTask<bool>
-tryPop(ThreadApi t, sync::SyncLib *lib, unsigned q)
-{
-    co_await lib->mutexLock(t, queueLock(q));
-    std::uint64_t n = co_await t.read(queueCount(q));
-    bool ok = n > 0;
-    if (ok)
-        co_await t.write(queueCount(q), n - 1);
-    co_await lib->mutexUnlock(t, queueLock(q));
-    co_return ok;
-}
-
-ThreadTask
-workerThread(ThreadApi t, sync::SyncLib *lib, unsigned num_threads,
-             unsigned *tasks_done)
-{
-    Rng rng(0xabcdef12345ULL + t.id());
-    const unsigned me = t.id();
-    // Seed the local queue.
-    co_await t.write(queueCount(me), 64);
-
-    unsigned idle_probes = 0;
-    while (idle_probes < 2 * num_threads) {
-        // Prefer local work; steal on miss.
-        unsigned victim = me;
-        if (idle_probes > 0)
-            victim = static_cast<unsigned>(rng.range(num_threads));
-        bool got = co_await tryPop(t, lib, victim);
-        if (got) {
-            idle_probes = 0;
-            ++*tasks_done;
-            co_await t.compute(150 + rng.range(200)); // run the task
-        } else {
-            ++idle_probes;
-            co_await t.compute(50);
-        }
-    }
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
     unsigned cores = argc > 1 ? std::atoi(argv[1]) : 16;
+    unsigned tasks = argc > 2 ? std::atoi(argv[2]) : 0;
 
-    std::printf("work-stealing task queues on %u cores\n", cores);
+    workload::AppSpec spec = workload::appByName("taskqueue");
+    if (tasks)
+        spec.server.tasksPerWorker = tasks;
+
+    std::printf("work-stealing task queues on %u cores, %llu tasks/core\n",
+                cores,
+                static_cast<unsigned long long>(spec.server.tasksPerWorker));
     for (sys::PaperConfig pc :
          {sys::PaperConfig::Baseline, sys::PaperConfig::MsaOmu2}) {
         sys::System system(sys::configFor(pc, cores));
         sync::SyncLib lib(sys::flavorFor(pc), cores);
-        unsigned done = 0;
+        srv::ServerHarness harness(spec.server, cores, /*seed=*/1);
         for (CoreId c = 0; c < cores; ++c)
-            system.start(c,
-                         workerThread(system.api(c), &lib, cores, &done));
+            system.start(c, harness.thread(system.api(c), &lib));
         if (!system.run(200000000ULL)) {
             std::fprintf(stderr, "%s: did not finish\n",
                          sys::paperConfigName(pc));
             return 1;
         }
-        std::printf("  %-18s  %8llu cycles, %u tasks, %5.1f%% of sync "
-                    "ops in hardware\n",
+        srv::ServerStats st = harness.finalize(system.makespan());
+        std::printf("  %-18s  %8llu cycles, %llu tasks, %llu steals, "
+                    "%5.1f%% of sync ops in hardware\n",
                     sys::paperConfigName(pc),
                     static_cast<unsigned long long>(system.makespan()),
-                    done, 100.0 * system.hwCoverage());
+                    static_cast<unsigned long long>(st.completed),
+                    static_cast<unsigned long long>(st.steals),
+                    100.0 * system.hwCoverage());
     }
     return 0;
 }

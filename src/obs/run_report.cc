@@ -22,7 +22,8 @@ void
 writeRunReport(std::ostream &os, const RunMeta &meta,
                const StatRegistry &stats, const SyncProfiler *prof,
                std::size_t top_n, const StatSampler *sampler,
-               const EventQueue *eq, const ResourceMonitor *monitor)
+               const EventQueue *eq, const ResourceMonitor *monitor,
+               const srv::ServerStats *server)
 {
     util::JsonWriter w(os);
     w.beginObject();
@@ -166,6 +167,25 @@ writeRunReport(std::ostream &os, const RunMeta &meta,
         monitor->writeSummaryJson(w);
     }
 
+    // -- server-run accounting (schema v3) ----------------------------
+    if (server) {
+        w.key("server").beginObject();
+        w.kv("offeredRate", server->offeredRate, 4);
+        w.kv("generated", server->generated);
+        w.kv("completed", server->completed);
+        w.kv("rejected", server->rejected);
+        w.kv("stranded", server->stranded);
+        w.kv("steals", server->steals);
+        w.kv("throughput", server->throughput, 6);
+        w.kv("p50", server->latency.p50());
+        w.kv("p99", server->latency.p99());
+        w.kv("p999", server->latency.p999());
+        w.kv("knee", server->knee);
+        w.key("latency");
+        server->latency.writeJson(w);
+        w.endObject();
+    }
+
     w.endObject();
     os << "\n";
 }
@@ -174,10 +194,12 @@ bool
 writeRunReportDurable(const std::string &path, const RunMeta &meta,
                       const StatRegistry &stats, const SyncProfiler *prof,
                       std::size_t top_n, const StatSampler *sampler,
-                      const EventQueue *eq, const ResourceMonitor *monitor)
+                      const EventQueue *eq, const ResourceMonitor *monitor,
+                      const srv::ServerStats *server)
 {
     std::ostringstream os;
-    writeRunReport(os, meta, stats, prof, top_n, sampler, eq, monitor);
+    writeRunReport(os, meta, stats, prof, top_n, sampler, eq, monitor,
+                   server);
     const std::string body = os.str();
 
     int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);

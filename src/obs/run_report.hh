@@ -19,6 +19,7 @@
 
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "srv/server_stats.hh"
 
 namespace misar {
 
@@ -37,13 +38,16 @@ class ResourceMonitor;
 /**
  * Report schema version ("schemaVersion" in the JSON).
  *
- * v2 (this version) is a strict superset of v1: every v1 field is
- * still present with the same type and meaning. New in v2: the
- * "latency" block (log-bucketed run-level sync-wait histogram, see
- * obs/histogram.hh) whenever the profiler ran, and the "heatmap"
- * resource-pressure summary when the monitor ran.
+ * v3 (this version) is a strict superset of v2, which was a strict
+ * superset of v1: every earlier field is still present with the same
+ * type and meaning. New in v2: the "latency" block (log-bucketed
+ * run-level sync-wait histogram, see obs/histogram.hh) whenever the
+ * profiler ran, and the "heatmap" resource-pressure summary when the
+ * monitor ran. New in v3: the "server" block (request accounting,
+ * throughput, p50/p99/p999 request latency, and the saturation-knee
+ * flag) when the run was an open- or closed-loop server workload.
  */
-constexpr unsigned runReportSchemaVersion = 2;
+constexpr unsigned runReportSchemaVersion = 3;
 
 /** Run metadata block of the report. */
 struct RunMeta
@@ -74,7 +78,9 @@ struct RunMeta
  * stats live here and not in the StatRegistry so the registry stays
  * comparable across kernel implementations). @p monitor embeds the
  * "heatmap" resource-pressure summary (the full matrix goes to
- * heatmap.json, not the report).
+ * heatmap.json, not the report). @p server adds the "server" block
+ * of an open-/closed-loop server run (request accounting, throughput,
+ * tail latency, saturation-knee flag).
  */
 void writeRunReport(std::ostream &os, const RunMeta &meta,
                     const StatRegistry &stats,
@@ -82,7 +88,8 @@ void writeRunReport(std::ostream &os, const RunMeta &meta,
                     std::size_t top_n = 16,
                     const StatSampler *sampler = nullptr,
                     const EventQueue *eq = nullptr,
-                    const ResourceMonitor *monitor = nullptr);
+                    const ResourceMonitor *monitor = nullptr,
+                    const srv::ServerStats *server = nullptr);
 
 /**
  * Write the report to @p path durably: the bytes are fully written
@@ -98,7 +105,8 @@ bool writeRunReportDurable(const std::string &path, const RunMeta &meta,
                            std::size_t top_n = 16,
                            const StatSampler *sampler = nullptr,
                            const EventQueue *eq = nullptr,
-                           const ResourceMonitor *monitor = nullptr);
+                           const ResourceMonitor *monitor = nullptr,
+                           const srv::ServerStats *server = nullptr);
 
 /**
  * Arms the logging termination hook so that, if panic()/fatal()

@@ -12,9 +12,15 @@ namespace orch {
 namespace {
 
 std::string
-cellKey(const std::string &preset, const std::string &app, unsigned cores)
+cellKey(const std::string &preset, const std::string &app, unsigned cores,
+        double arrivalRate)
 {
-    return preset + "|" + app + "|" + std::to_string(cores);
+    std::string key = preset + "|" + app + "|" + std::to_string(cores);
+    // Appended only for arrival-rate sweeps, mirroring JobSpec::key():
+    // historical campaigns keep their exact cell keys.
+    if (arrivalRate > 0)
+        key += "|a" + formatRate(arrivalRate);
+    return key;
 }
 
 /** Fixed-width decimal formatting (deterministic report bytes). */
@@ -90,23 +96,31 @@ CampaignReport::CampaignReport(const CampaignSpec &spec,
                                const std::vector<JobRecord> &records)
     : spec(spec), records(records)
 {
-    // Cells in grid order (preset x app x cores).
+    // Cells in grid order (preset x app x cores x arrival rate),
+    // matching CampaignSpec::expand()'s axis order.
+    const std::vector<double> rates =
+        spec.server.arrivalRates.empty()
+            ? std::vector<double>{0.0}
+            : spec.server.arrivalRates;
     for (const PresetSpec &p : spec.presets) {
         for (const std::string &a : spec.apps) {
             for (unsigned c : spec.cores) {
-                Cell cell;
-                cell.preset = p.name;
-                cell.app = a;
-                cell.cores = c;
-                index[cellKey(p.name, a, c)] = _cells.size();
-                _cells.push_back(std::move(cell));
+                for (double rate : rates) {
+                    Cell cell;
+                    cell.preset = p.name;
+                    cell.app = a;
+                    cell.cores = c;
+                    cell.arrivalRate = rate;
+                    index[cellKey(p.name, a, c, rate)] = _cells.size();
+                    _cells.push_back(std::move(cell));
+                }
             }
         }
     }
 
     for (const JobRecord &r : records) {
-        auto it = index.find(
-            cellKey(r.job.preset.name, r.job.app, r.job.cores));
+        auto it = index.find(cellKey(r.job.preset.name, r.job.app,
+                                     r.job.cores, r.job.arrivalRate));
         if (it == index.end())
             continue; // not part of this spec's grid
         Cell &cell = _cells[it->second];
@@ -128,6 +142,14 @@ CampaignReport::CampaignReport(const CampaignSpec &spec,
             cell.maxSliceOccupancy.add(r.maxSliceOccupancy);
             cell.maxNiQueueDepth.add(r.maxNiQueueDepth);
         }
+        if (r.hasServer) {
+            ++cell.srvJobs;
+            cell.srvKnee += r.srvKnee;
+            cell.srvThroughput.add(r.srvThroughput);
+            cell.srvRejected.add(static_cast<double>(r.srvRejected));
+            cell.srvStranded.add(static_cast<double>(r.srvStranded));
+            cell.srvLatency.merge(r.srvLatency);
+        }
         for (const std::string &s : spec.stats) {
             auto cv = r.counters.find(s);
             cell.counters[s].add(
@@ -147,7 +169,7 @@ CampaignReport::CampaignReport(const CampaignSpec &spec,
                     continue;
                 const JobRecord *b =
                     match(spec.baseline, cell.app, cell.cores,
-                          r->job.seed, r->job.rep);
+                          cell.arrivalRate, r->job.seed, r->job.rep);
                 if (b && b->outcome == JobOutcome::Finished &&
                     b->makespan)
                     cell.speedup.add(static_cast<double>(b->makespan) /
@@ -159,18 +181,18 @@ CampaignReport::CampaignReport(const CampaignSpec &spec,
 
 const Cell *
 CampaignReport::cell(const std::string &preset, const std::string &app,
-                     unsigned cores) const
+                     unsigned cores, double arrivalRate) const
 {
-    auto it = index.find(cellKey(preset, app, cores));
+    auto it = index.find(cellKey(preset, app, cores, arrivalRate));
     return it == index.end() ? nullptr : &_cells[it->second];
 }
 
 const JobRecord *
 CampaignReport::match(const std::string &preset, const std::string &app,
-                      unsigned cores, std::uint64_t seed,
-                      unsigned rep) const
+                      unsigned cores, double arrivalRate,
+                      std::uint64_t seed, unsigned rep) const
 {
-    const Cell *c = cell(preset, app, cores);
+    const Cell *c = cell(preset, app, cores, arrivalRate);
     if (!c)
         return nullptr;
     for (const JobRecord *r : c->recs)
@@ -181,19 +203,19 @@ CampaignReport::match(const std::string &preset, const std::string &app,
 
 std::vector<double>
 CampaignReport::speedups(const std::string &preset, const std::string &app,
-                         unsigned cores) const
+                         unsigned cores, double arrivalRate) const
 {
     std::vector<double> out;
     if (spec.baseline.empty())
         return out;
-    const Cell *c = cell(preset, app, cores);
+    const Cell *c = cell(preset, app, cores, arrivalRate);
     if (!c)
         return out;
     for (const JobRecord *r : c->recs) {
         if (r->outcome != JobOutcome::Finished || !r->makespan)
             continue;
-        const JobRecord *b =
-            match(spec.baseline, app, cores, r->job.seed, r->job.rep);
+        const JobRecord *b = match(spec.baseline, app, cores,
+                                   arrivalRate, r->job.seed, r->job.rep);
         if (b && b->outcome == JobOutcome::Finished && b->makespan)
             out.push_back(static_cast<double>(b->makespan) /
                           static_cast<double>(r->makespan));
@@ -223,7 +245,7 @@ CampaignReport::failures() const
 void
 CampaignReport::writeJson(std::ostream &os) const
 {
-    os << "{\"schemaVersion\":2,\"campaign\":\"" << jsonEscape(spec.name)
+    os << "{\"schemaVersion\":3,\"campaign\":\"" << jsonEscape(spec.name)
        << "\",\"jobs\":" << records.size();
 
     os << ",\"outcomes\":{";
@@ -238,8 +260,10 @@ CampaignReport::writeJson(std::ostream &os) const
         os << (firstCell ? "" : ",");
         firstCell = false;
         os << "{\"preset\":\"" << jsonEscape(c.preset) << "\",\"app\":\""
-           << jsonEscape(c.app) << "\",\"cores\":" << c.cores
-           << ",\"jobs\":" << c.jobs << ",\"outcomes\":{";
+           << jsonEscape(c.app) << "\",\"cores\":" << c.cores;
+        if (c.arrivalRate > 0)
+            os << ",\"arrivalRate\":" << formatRate(c.arrivalRate);
+        os << ",\"jobs\":" << c.jobs << ",\"outcomes\":{";
         bool first = true;
         for (JobOutcome o : outcomeOrder) {
             auto it = c.outcomes.find(jobOutcomeName(o));
@@ -290,6 +314,17 @@ CampaignReport::writeJson(std::ostream &os) const
             writeAggJson(os, "maxNiQueueDepth", c.maxNiQueueDepth, 3);
             os << "}";
         }
+        if (c.srvJobs) {
+            os << ",\"server\":{\"jobs\":" << c.srvJobs << ",";
+            writeAggJson(os, "throughput", c.srvThroughput, 6);
+            os << ",";
+            writeAggJson(os, "rejected", c.srvRejected, 3);
+            os << ",";
+            writeAggJson(os, "stranded", c.srvStranded, 3);
+            os << ",\"knee\":" << c.srvKnee << ",\"latency\":";
+            writeHistJson(os, c.srvLatency);
+            os << "}";
+        }
         os << "}";
     }
     os << "]";
@@ -310,7 +345,7 @@ CampaignReport::writeJson(std::ostream &os) const
 void
 CampaignReport::writeCsv(std::ostream &os) const
 {
-    os << "preset,app,cores,jobs";
+    os << "preset,app,cores,arrivalRate,jobs";
     for (JobOutcome o : outcomeOrder)
         os << "," << jobOutcomeName(o);
     os << ",makespan_mean,makespan_ci95,makespan_min,makespan_max"
@@ -325,11 +360,14 @@ CampaignReport::writeCsv(std::ostream &os) const
     os << ",pressure_jobs,overflowEvents_mean,omuEpisodes_mean"
           ",omuEpisodeTicks_mean,omuHighWater_max"
           ",maxSliceOccupancy_max,maxNiQueueDepth_max";
+    os << ",server_jobs,throughput_mean,throughput_ci95,rejected_mean"
+          ",stranded_mean,reqLatency_p50,reqLatency_p99"
+          ",reqLatency_p999,knee_jobs";
     os << "\n";
 
     for (const Cell &c : _cells) {
         os << c.preset << "," << c.app << "," << c.cores << ","
-           << c.jobs;
+           << formatRate(c.arrivalRate) << "," << c.jobs;
         for (JobOutcome o : outcomeOrder) {
             auto it = c.outcomes.find(jobOutcomeName(o));
             os << "," << (it == c.outcomes.end() ? 0u : it->second);
@@ -362,6 +400,12 @@ CampaignReport::writeCsv(std::ostream &os) const
            << fmt(c.omuHighWater.mx, 3) << ","
            << fmt(c.maxSliceOccupancy.mx, 3) << ","
            << fmt(c.maxNiQueueDepth.mx, 3);
+        os << "," << c.srvJobs << "," << fmt(c.srvThroughput.mean(), 6)
+           << "," << fmt(c.srvThroughput.ci95(), 6) << ","
+           << fmt(c.srvRejected.mean(), 3) << ","
+           << fmt(c.srvStranded.mean(), 3) << "," << c.srvLatency.p50()
+           << "," << c.srvLatency.p99() << "," << c.srvLatency.p999()
+           << "," << c.srvKnee;
         os << "\n";
     }
 }
@@ -393,6 +437,33 @@ CampaignReport::writeTable(std::ostream &os) const
                       100.0 * c.hwCoverage.mean(), sp.c_str(),
                       wait.c_str());
         os << line;
+    }
+
+    bool anyServer = false;
+    for (const Cell &c : _cells)
+        anyServer |= c.srvJobs != 0;
+    if (anyServer) {
+        std::snprintf(line, sizeof(line),
+                      "\n%-20s %-14s %6s %10s %8s %8s %8s %6s %5s\n",
+                      "Preset", "App", "Rate", "Thruput", "p50", "p99",
+                      "p999", "Rej", "Knee");
+        os << line;
+        for (const Cell &c : _cells) {
+            if (!c.srvJobs)
+                continue;
+            std::snprintf(
+                line, sizeof(line),
+                "%-20s %-14s %6s %10.4f %8llu %8llu %8llu %6.0f %2u/%-2u\n",
+                c.preset.c_str(), c.app.c_str(),
+                c.arrivalRate > 0 ? formatRate(c.arrivalRate).c_str()
+                                  : "-",
+                c.srvThroughput.mean(),
+                static_cast<unsigned long long>(c.srvLatency.p50()),
+                static_cast<unsigned long long>(c.srvLatency.p99()),
+                static_cast<unsigned long long>(c.srvLatency.p999()),
+                c.srvRejected.mean(), c.srvKnee, c.srvJobs);
+            os << line;
+        }
     }
 
     auto fails = failures();

@@ -60,12 +60,18 @@ struct Agg
     double ci95() const;
 };
 
-/** One (preset, app, cores) cell's aggregated results. */
+/**
+ * One (preset, app, cores) cell's aggregated results. Campaigns with
+ * a "server" arrival-rate sweep split cells further by rate, so one
+ * (preset, app, cores) pair then owns one cell per offered load.
+ */
 struct Cell
 {
     std::string preset;
     std::string app;
     unsigned cores = 0;
+    /** Offered load axis value (0 = no arrival-rate sweep). */
+    double arrivalRate = 0.0;
     unsigned jobs = 0; ///< grid jobs in this cell (incl. failed)
     std::map<std::string, unsigned> outcomes;
     Agg makespan, hwCoverage, speedup;
@@ -85,6 +91,16 @@ struct Cell
     Agg maxSliceOccupancy, maxNiQueueDepth;
     /** @} */
 
+    /** @name Server aggregates over finished jobs that carried a
+     *  report "server" block (srvJobs == 0 when none did). @{ */
+    unsigned srvJobs = 0;
+    unsigned srvKnee = 0; ///< jobs past the saturation knee
+    Agg srvThroughput, srvRejected, srvStranded;
+    /** Per-request latencies of every rep merged bucket-wise, so
+     *  cell tail percentiles are exact over all reps. */
+    obs::LogHistogram srvLatency;
+    /** @} */
+
     /** This cell's records in (seed, rep) grid order. */
     std::vector<const JobRecord *> recs;
 };
@@ -98,9 +114,10 @@ class CampaignReport
 
     const std::vector<Cell> &cells() const { return _cells; }
 
-    /** Cell lookup; nullptr when absent from the grid. */
+    /** Cell lookup; nullptr when absent from the grid. Pass the
+     *  offered load to address a cell of an arrival-rate sweep. */
     const Cell *cell(const std::string &preset, const std::string &app,
-                     unsigned cores) const;
+                     unsigned cores, double arrivalRate = 0.0) const;
 
     /**
      * Per-(seed, rep) speedups of @p preset against the spec's
@@ -109,8 +126,8 @@ class CampaignReport
      * seed list.
      */
     std::vector<double> speedups(const std::string &preset,
-                                 const std::string &app,
-                                 unsigned cores) const;
+                                 const std::string &app, unsigned cores,
+                                 double arrivalRate = 0.0) const;
 
     /** Campaign-wide outcome count for @p outcome. */
     unsigned outcomeCount(JobOutcome o) const;
@@ -125,7 +142,8 @@ class CampaignReport
   private:
     const JobRecord *match(const std::string &preset,
                            const std::string &app, unsigned cores,
-                           std::uint64_t seed, unsigned rep) const;
+                           double arrivalRate, std::uint64_t seed,
+                           unsigned rep) const;
 
     const CampaignSpec &spec;
     const std::vector<JobRecord> &records;

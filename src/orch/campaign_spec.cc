@@ -5,11 +5,21 @@
 #include <sstream>
 
 #include "orch/json.hh"
+#include "srv/arrival.hh"
 #include "system/presets.hh"
 #include "workload/app_catalog.hh"
 
 namespace misar {
 namespace orch {
+
+/** Shortest exact decimal for a rate (matches CLI echo: "%g"). */
+std::string
+formatRate(double rate)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", rate);
+    return buf;
+}
 
 std::string
 JobSpec::key() const
@@ -17,6 +27,10 @@ JobSpec::key() const
     std::ostringstream os;
     os << preset.name << "|" << app << "|c" << cores << "|s" << seed
        << "|r" << rep;
+    // Appended only for server sweeps: historical grids (and their
+    // manifest hashes) keep their exact keys.
+    if (arrivalRate > 0)
+        os << "|a" << formatRate(arrivalRate);
     return os.str();
 }
 
@@ -136,6 +150,41 @@ CampaignSpec::parse(const std::string &text, CampaignSpec &out,
         s.obs.sampleInterval = o.at("sampleInterval").uintOr(0);
         s.obs.heatmap = o.at("heatmap").boolOr(false);
     }
+    if (root.has("server")) {
+        const Json &o = root.at("server");
+        if (!o.isObj()) {
+            err = "\"server\" must be an object";
+            return false;
+        }
+        // Unknown keys are rejected loudly: a typo'd "arrivalRate"
+        // would otherwise silently run the whole sweep at defaults.
+        for (const auto &kv : o.obj)
+            if (kv.first != "arrivalRates" && kv.first != "serviceDist" &&
+                kv.first != "queueCap") {
+                err = "unknown \"server\" key '" + kv.first +
+                      "' (expected arrivalRates, serviceDist, queueCap)";
+                return false;
+            }
+        s.server.present = true;
+        if (o.has("arrivalRates")) {
+            if (!o.at("arrivalRates").isArr() ||
+                o.at("arrivalRates").arr.empty()) {
+                err = "\"server.arrivalRates\" must be a non-empty "
+                      "array of rates";
+                return false;
+            }
+            for (const Json &j : o.at("arrivalRates").arr) {
+                if (!j.isNum() || j.num <= 0) {
+                    err = "\"server.arrivalRates\" entries must be "
+                          "positive numbers";
+                    return false;
+                }
+                s.server.arrivalRates.push_back(j.num);
+            }
+        }
+        s.server.serviceDist = o.at("serviceDist").stringOr("");
+        s.server.queueCap = o.at("queueCap").uintOr(0);
+    }
 
     out = std::move(s);
     return true;
@@ -159,10 +208,18 @@ std::string
 CampaignSpec::validate()
 {
     // Expand the app shorthands first so expand() sees real names.
-    if (apps.size() == 1 && (apps[0] == "all" || apps[0] == "headline")) {
+    // "all" deliberately stays the paper's 26 benchmarks — server
+    // workloads have their own "server" shorthand so historical grid
+    // hashes never change.
+    if (apps.size() == 1 &&
+        (apps[0] == "all" || apps[0] == "headline" ||
+         apps[0] == "server")) {
         std::vector<std::string> expanded;
         if (apps[0] == "headline") {
             expanded = workload::headlineApps();
+        } else if (apps[0] == "server") {
+            for (const workload::AppSpec &a : workload::serverCatalog())
+                expanded.push_back(a.name);
         } else {
             for (const workload::AppSpec &a : workload::appCatalog())
                 expanded.push_back(a.name);
@@ -172,6 +229,26 @@ CampaignSpec::validate()
     for (const std::string &a : apps)
         if (!workload::findApp(a))
             return "unknown app '" + a + "'";
+
+    if (server.present) {
+        if (!server.serviceDist.empty()) {
+            srv::ServiceDist d;
+            if (!srv::parseServiceDist(server.serviceDist, d))
+                return "unknown server.serviceDist '" +
+                       server.serviceDist + "' (expected one of: " +
+                       srv::serviceDistNames() + ")";
+        }
+        for (const std::string &a : apps) {
+            const workload::AppSpec *spec = workload::findApp(a);
+            if (!spec->server.enabled)
+                return "\"server\" sweep includes non-server app '" +
+                       a + "'";
+            if (!server.arrivalRates.empty() &&
+                spec->server.mode == srv::ArrivalMode::Closed)
+                return "server.arrivalRates does not apply to "
+                       "closed-loop app '" + a + "'";
+        }
+    }
 
     if (presets.empty())
         return "no presets";
@@ -221,21 +298,29 @@ CampaignSpec::expand() const
 {
     std::vector<JobSpec> jobs;
     unsigned id = 0;
+    // No "server" sweep (or no rates): a single 0 keeps the axis
+    // inert and the job keys in their historical form.
+    const std::vector<double> rates =
+        server.arrivalRates.empty() ? std::vector<double>{0.0}
+                                    : server.arrivalRates;
     for (const PresetSpec &p : presets) {
         const std::vector<std::uint64_t> &ss =
             p.seeds.empty() ? seeds : p.seeds;
         for (const std::string &a : apps) {
             for (unsigned c : cores) {
-                for (std::uint64_t seed : ss) {
-                    for (unsigned r = 0; r < reps; ++r) {
-                        JobSpec j;
-                        j.id = id++;
-                        j.preset = p;
-                        j.app = a;
-                        j.cores = c;
-                        j.seed = seed;
-                        j.rep = r;
-                        jobs.push_back(std::move(j));
+                for (double rate : rates) {
+                    for (std::uint64_t seed : ss) {
+                        for (unsigned r = 0; r < reps; ++r) {
+                            JobSpec j;
+                            j.id = id++;
+                            j.preset = p;
+                            j.app = a;
+                            j.cores = c;
+                            j.seed = seed;
+                            j.rep = r;
+                            j.arrivalRate = rate;
+                            jobs.push_back(std::move(j));
+                        }
                     }
                 }
             }

@@ -43,6 +43,11 @@ struct PresetSpec
     std::vector<std::uint64_t> seeds;
 };
 
+/** Shortest exact decimal rendering of an arrival rate ("%g") —
+ *  shared by job keys, CLI argv, and aggregation cell keys so every
+ *  layer spells the same rate identically. */
+std::string formatRate(double rate);
+
 /** One fully-resolved job of the expanded grid. */
 struct JobSpec
 {
@@ -52,6 +57,13 @@ struct JobSpec
     unsigned cores = 16;
     std::uint64_t seed = 1;
     unsigned rep = 0;
+    /**
+     * Offered load for server workloads, requests per kilotick
+     * (0 = no arrival-rate axis; the app default applies). Only
+     * non-zero when the spec has a "server" sweep, so grids without
+     * one keep their historical keys and gridHash.
+     */
+    double arrivalRate = 0.0;
 
     /** Stable identity string (manifest cross-checking). */
     std::string key() const;
@@ -95,6 +107,25 @@ struct CampaignSpec
         bool heatmap = false;
     };
     ObsSpec obs;
+
+    /**
+     * Server-workload sweep directives (spec "server" object). The
+     * arrival rates become a grid axis between cores and seeds; the
+     * distribution / queue-capacity overrides apply to every job.
+     * Only meaningful when every app is an open-loop server-* app
+     * (validate() enforces this).
+     */
+    struct ServerSweep
+    {
+        bool present = false;
+        /** Offered loads in requests per kilotick (the sweep axis). */
+        std::vector<double> arrivalRates;
+        /** Service-distribution override ("" = app default). */
+        std::string serviceDist;
+        /** Dispatch-queue capacity override (0 = app default). */
+        std::uint64_t queueCap = 0;
+    };
+    ServerSweep server;
 
     /**
      * Parse the JSON text of a spec file. Returns false and sets

@@ -21,6 +21,7 @@
 #include "orch/manifest.hh"
 #include "orch/process_pool.hh"
 #include "sim/logging.hh"
+#include "srv/arrival.hh"
 #include "system/presets.hh"
 #include "workload/app_catalog.hh"
 #include "workload/runner.hh"
@@ -227,6 +228,18 @@ jobArgv(const CampaignSpec &spec, const JobSpec &j,
         argv.push_back("--heatmap-out");
         argv.push_back(opts.outDir + "/" + jobHeatmapRelPath(j.id));
     }
+    if (j.arrivalRate > 0) {
+        argv.push_back("--arrival-rate");
+        argv.push_back(formatRate(j.arrivalRate));
+    }
+    if (!spec.server.serviceDist.empty()) {
+        argv.push_back("--service-dist");
+        argv.push_back(spec.server.serviceDist);
+    }
+    if (spec.server.queueCap) {
+        argv.push_back("--queue-cap");
+        argv.push_back(std::to_string(spec.server.queueCap));
+    }
     return argv;
 }
 
@@ -305,6 +318,19 @@ ingestReport(JobRecord &r, const CampaignSpec &spec,
         r.omuHighWater = h.at("omuHighWater").uintOr(0);
         r.maxSliceOccupancy = h.at("maxSliceOccupancy").numberOr(0.0);
         r.maxNiQueueDepth = h.at("maxNiQueueDepth").numberOr(0.0);
+    }
+    // Schema v3 block; absent in older reports (fields stay zeroed).
+    if (doc.has("server")) {
+        const Json &sv = doc.at("server");
+        r.hasServer = true;
+        r.offeredRate = sv.at("offeredRate").numberOr(0.0);
+        r.srvGenerated = sv.at("generated").uintOr(0);
+        r.srvCompleted = sv.at("completed").uintOr(0);
+        r.srvRejected = sv.at("rejected").uintOr(0);
+        r.srvStranded = sv.at("stranded").uintOr(0);
+        r.srvThroughput = sv.at("throughput").numberOr(0.0);
+        r.srvKnee = sv.at("knee").boolOr(false);
+        obs::LogHistogram::fromJson(sv.at("latency"), r.srvLatency);
     }
 }
 
@@ -555,9 +581,24 @@ runCampaignInProcess(const CampaignSpec &spec, const InProcessHooks &hooks)
         workload::RunOptions ro;
         ro.tickLimit = spec.tickLimit;
         ro.captureCounters = &spec.stats;
+        // Mirror jobArgv's server flags: the sweep's rate axis and
+        // overrides must reach in-process runs identically or the two
+        // executors' reports would diverge.
+        workload::AppSpec app = workload::appByName(j.app);
+        if (j.arrivalRate > 0)
+            app.server.arrivalRate = j.arrivalRate;
+        if (!spec.server.serviceDist.empty()) {
+            srv::ServiceDist d;
+            if (!srv::parseServiceDist(spec.server.serviceDist, d))
+                fatal("unknown server.serviceDist '%s' (validate the "
+                      "spec before running it)",
+                      spec.server.serviceDist.c_str());
+            app.server.serviceDist = d;
+        }
+        if (spec.server.queueCap)
+            app.server.queueCap = spec.server.queueCap;
         workload::RunResult rr = workload::runAppWithConfig(
-            workload::appByName(j.app), cfg, flavor, j.seed,
-            j.preset.name, ro);
+            app, cfg, flavor, j.seed, j.preset.name, ro);
 
         JobRecord r;
         r.job = j;
@@ -591,6 +632,17 @@ runCampaignInProcess(const CampaignSpec &spec, const InProcessHooks &hooks)
         r.omuHighWater = rr.omuHighWater;
         r.maxSliceOccupancy = rr.maxSliceOccupancy;
         r.maxNiQueueDepth = rr.maxNiQueueDepth;
+        if (rr.hasServer) {
+            r.hasServer = true;
+            r.offeredRate = rr.server.offeredRate;
+            r.srvGenerated = rr.server.generated;
+            r.srvCompleted = rr.server.completed;
+            r.srvRejected = rr.server.rejected;
+            r.srvStranded = rr.server.stranded;
+            r.srvThroughput = rr.server.throughput;
+            r.srvKnee = rr.server.knee;
+            r.srvLatency = rr.server.latency;
+        }
         out.push_back(std::move(r));
     }
     return out;

@@ -89,6 +89,20 @@ struct JobRecord
     double maxNiQueueDepth = 0.0;
     /** @} */
 
+    /** @name Server-run accounting (report "server" block). @{ */
+    /** True when the job's report carried a server block. */
+    bool hasServer = false;
+    double offeredRate = 0.0;
+    std::uint64_t srvGenerated = 0;
+    std::uint64_t srvCompleted = 0;
+    std::uint64_t srvRejected = 0;
+    std::uint64_t srvStranded = 0;
+    double srvThroughput = 0.0;
+    bool srvKnee = false;
+    /** Per-request latency; mergeable across reps like syncWait. */
+    obs::LogHistogram srvLatency;
+    /** @} */
+
     /** Failure context (log tail) for non-Finished outcomes. */
     std::string note;
 };

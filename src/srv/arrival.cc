@@ -1,0 +1,136 @@
+#include "srv/arrival.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/rng.hh"
+
+namespace misar {
+namespace srv {
+
+namespace {
+
+/** Exponential draw with the given mean; never returns 0 or inf. */
+double
+expo(Rng &rng, double mean)
+{
+    // uniform() is in [0,1); 1-u is in (0,1], so log() is finite.
+    return -mean * std::log(1.0 - rng.uniform());
+}
+
+Tick
+drawService(Rng &rng, ServiceDist dist, Tick mean)
+{
+    const double m = static_cast<double>(mean);
+    double v = m;
+    switch (dist) {
+    case ServiceDist::Fixed:
+        return mean;
+    case ServiceDist::Exp:
+        v = expo(rng, m);
+        break;
+    case ServiceDist::Pareto: {
+        // alpha = 2, scale xm = mean/2 so E[x] = xm*alpha/(alpha-1)
+        // = mean. Clamp the tail: one astronomically long request
+        // would turn every sweep into a makespan lottery.
+        const double xm = m / 2.0;
+        v = xm / std::sqrt(1.0 - rng.uniform());
+        v = std::min(v, 50.0 * m);
+        break;
+    }
+    }
+    const Tick t = static_cast<Tick>(std::llround(v));
+    return std::max<Tick>(1, t);
+}
+
+} // namespace
+
+bool
+parseServiceDist(const std::string &name, ServiceDist &out)
+{
+    if (name == "fixed")
+        out = ServiceDist::Fixed;
+    else if (name == "exp")
+        out = ServiceDist::Exp;
+    else if (name == "pareto")
+        out = ServiceDist::Pareto;
+    else
+        return false;
+    return true;
+}
+
+const char *
+serviceDistName(ServiceDist d)
+{
+    switch (d) {
+    case ServiceDist::Fixed:
+        return "fixed";
+    case ServiceDist::Exp:
+        return "exp";
+    case ServiceDist::Pareto:
+        return "pareto";
+    }
+    return "?";
+}
+
+std::string
+serviceDistNames()
+{
+    return "fixed, exp, pareto";
+}
+
+RequestSchedule
+makeSchedule(ArrivalMode mode, double rate, ServiceDist dist,
+             Tick service_mean, unsigned requests, Tick burst_dwell,
+             std::uint64_t seed)
+{
+    RequestSchedule s;
+    s.arrival.reserve(requests);
+    s.service.reserve(requests);
+
+    // Two independent streams so changing the arrival mode never
+    // perturbs the service draws (and vice versa).
+    Rng arrivals_rng(seed * 0x9e3779b97f4a7c15ULL + 0x5afe5eedULL);
+    Rng service_rng(seed * 0xbf58476d1ce4e5b9ULL + 0x5e91ceULL);
+
+    for (unsigned i = 0; i < requests; ++i)
+        s.service.push_back(drawService(service_rng, dist, service_mean));
+
+    if (mode == ArrivalMode::Closed) {
+        s.arrival.assign(requests, 0);
+        return s;
+    }
+
+    const double mean_gap = 1000.0 / rate; // rate is per kilotick
+    if (mode == ArrivalMode::Poisson) {
+        double now = 0;
+        for (unsigned i = 0; i < requests; ++i) {
+            now += expo(arrivals_rng, mean_gap);
+            s.arrival.push_back(static_cast<Tick>(std::llround(now)));
+        }
+        return s;
+    }
+
+    // MMPP-2 by thinning: propose at the high rate everywhere, accept
+    // low-phase proposals with probability rate_lo/rate_hi. Phase
+    // boundaries advance on their own exponential clock.
+    const double hi_gap = mean_gap / 1.8;
+    const double accept_lo = 0.2 / 1.8;
+    const double dwell = static_cast<double>(burst_dwell);
+    double now = 0;
+    bool high = true;
+    double phase_end = expo(arrivals_rng, dwell);
+    while (s.arrival.size() < requests) {
+        now += expo(arrivals_rng, hi_gap);
+        while (now >= phase_end) {
+            high = !high;
+            phase_end += expo(arrivals_rng, dwell);
+        }
+        if (high || arrivals_rng.uniform() < accept_lo)
+            s.arrival.push_back(static_cast<Tick>(std::llround(now)));
+    }
+    return s;
+}
+
+} // namespace srv
+} // namespace misar

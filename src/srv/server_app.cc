@@ -1,0 +1,301 @@
+#include "srv/server_app.hh"
+
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace misar {
+namespace srv {
+
+using cpu::SubTask;
+using cpu::ThreadApi;
+using cpu::ThreadTask;
+using sync::SyncLib;
+
+namespace {
+
+/** Base of the server's simulated address range (above app bases). */
+constexpr Addr srvBase = 0x60000000;
+
+/** Requests pulled from a dispatch ring per drainer visit. */
+constexpr unsigned drainBatch = 8;
+
+/** Idle worker back-off between steal sweeps, in cycles. */
+constexpr Tick idleBackoff = 300;
+
+std::string
+corePrefix(CoreId id)
+{
+    return "core" + std::to_string(id) + ".srv.";
+}
+
+} // namespace
+
+unsigned
+ServerHarness::dispatchers(unsigned num_threads)
+{
+    return num_threads >= 8 ? 2 : 1;
+}
+
+ServerHarness::ServerHarness(const ServerSpec &spec, unsigned num_threads,
+                             std::uint64_t seed)
+    : spec_(spec), numThreads(num_threads), numDisp(0), seed(seed)
+{
+    if (!spec_.enabled)
+        fatal("ServerHarness built from a non-server app spec");
+    const bool closed = spec_.mode == ArrivalMode::Closed;
+    if (!closed) {
+        numDisp = dispatchers(num_threads);
+        if (num_threads < 2 * numDisp)
+            fatal("server apps need at least %u threads, have %u",
+                  2 * numDisp, num_threads);
+        if (spec_.arrivalRate <= 0)
+            fatal("server arrival rate must be positive");
+    }
+
+    const unsigned total_requests =
+        closed ? num_threads * spec_.tasksPerWorker : spec_.requests;
+    sched = makeSchedule(spec_.mode, spec_.arrivalRate, spec_.serviceDist,
+                         spec_.serviceMean, total_requests,
+                         spec_.burstDwell, seed);
+
+    stopAddr = srvBase;
+    producersDoneAddr = srvBase + srvBlock;
+
+    Addr next = srvBase + 0x1000;
+    for (unsigned q = 0; q < numDisp; ++q) {
+        queues.push_back({next, spec_.queueCap});
+        next += DispatchQueue::span(spec_.queueCap);
+    }
+    next = srvBase + 0x100000;
+    for (unsigned c = 0; c < num_threads; ++c) {
+        deques.push_back({next, spec_.dequeCap});
+        next += LocalDeque::span(spec_.dequeCap);
+    }
+
+    perCore.resize(num_threads);
+}
+
+ThreadTask
+ServerHarness::thread(ThreadApi t, SyncLib *lib)
+{
+    if (spec_.mode == ArrivalMode::Closed)
+        return closedWorkerThread(t, lib);
+    if (t.id() < numDisp)
+        return dispatcherThread(t, lib);
+    return workerThread(t, lib);
+}
+
+/** Serve request @p id: burn its service cost, record its latency. */
+SubTask<>
+ServerHarness::execRequest(ThreadApi t, std::uint64_t id)
+{
+    co_await t.compute(sched.service[id]);
+    PerCore &pc = perCore[t.id()];
+    pc.completed += 1;
+    t.stats().counter(corePrefix(t.id()) + "completed").inc();
+    if (spec_.mode != ArrivalMode::Closed) {
+        // Latency from the *scheduled* arrival tick: queueing delay a
+        // saturated server inflicts is part of the number (no
+        // coordinated omission).
+        pc.lat.record(t.now() - sched.arrival[id]);
+    }
+}
+
+ThreadTask
+ServerHarness::dispatcherThread(ThreadApi t, SyncLib *lib)
+{
+    const CoreId d = t.id();
+    PerCore &pc = perCore[d];
+    StatRegistry &st = t.stats();
+    const std::string prefix = corePrefix(d);
+
+    for (std::uint64_t id = d; id < sched.arrival.size();
+         id += numDisp) {
+        const Tick due = sched.arrival[id];
+        const Tick now = t.now();
+        if (due > now)
+            co_await t.compute(due - now);
+        pc.generated += 1;
+        st.counter(prefix + "generated").inc();
+        // Round-robin over the rings so each one sees every producer.
+        const DispatchQueue &q = queues[(id / numDisp) % queues.size()];
+        const bool ok = co_await q.tryPush(t, lib, id + 1);
+        if (!ok) {
+            pc.rejected += 1;
+            st.counter(prefix + "rejected").inc();
+        }
+    }
+
+    // Last producer out raises the stop flag and wakes the drainers.
+    const std::uint64_t before =
+        co_await t.fetchAdd(producersDoneAddr, 1);
+    if (before + 1 == numDisp) {
+        co_await t.write(stopAddr, 1);
+        for (const DispatchQueue &q : queues)
+            co_await q.wakeAll(t, lib);
+    }
+}
+
+ThreadTask
+ServerHarness::workerThread(ThreadApi t, SyncLib *lib)
+{
+    const CoreId c = t.id();
+    const bool drainer = c < numDisp + queues.size();
+    const LocalDeque own = deques[c];
+    PerCore &pc = perCore[c];
+    StatRegistry &st = t.stats();
+    const std::string prefix = corePrefix(c);
+    // Steal targets: only drainers ever hold queued work in open-loop
+    // mode, so the sweep stays short and the drainer deques hot.
+    const unsigned victims = queues.size();
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + c * 0xc2b2ae35ULL + 17);
+    std::uint64_t batch[drainBatch];
+
+    for (;;) {
+        // 1. Serve everything in our own deque, oldest first.
+        for (;;) {
+            const std::uint64_t v = co_await own.popFront(t, lib);
+            if (!v)
+                break;
+            co_await execRequest(t, v - 1);
+        }
+
+        // 2. Drainers refill from their dispatch ring (blocking while
+        //    it is empty and producers are still running).
+        if (drainer) {
+            const unsigned n = co_await queues[c - numDisp].popBatch(
+                t, lib, stopAddr, batch, drainBatch);
+            if (n) {
+                for (unsigned i = 0; i < n; ++i) {
+                    const bool ok =
+                        co_await own.pushBack(t, lib, batch[i]);
+                    if (!ok)
+                        co_await execRequest(t, batch[i] - 1);
+                }
+                continue;
+            }
+            // 0 = stop flag up and the ring fully drained.
+        }
+
+        // 3. Steal from a drainer deque, rotating the first victim.
+        bool got = false;
+        const unsigned start = rng.range(victims);
+        for (unsigned k = 0; k < victims; ++k) {
+            const CoreId victim = numDisp + (start + k) % victims;
+            if (victim == c)
+                continue;
+            const std::uint64_t v =
+                co_await deques[victim].stealBack(t, lib);
+            if (v) {
+                pc.steals += 1;
+                st.counter(prefix + "steals").inc();
+                co_await execRequest(t, v - 1);
+                got = true;
+                break;
+            }
+        }
+        if (got)
+            continue;
+
+        // 4. Nothing anywhere: exit once the producers are done,
+        //    otherwise back off and sweep again.
+        const std::uint64_t stop = co_await t.read(stopAddr);
+        if (stop)
+            co_return;
+        co_await t.compute(idleBackoff);
+    }
+}
+
+ThreadTask
+ServerHarness::closedWorkerThread(ThreadApi t, SyncLib *lib)
+{
+    const CoreId c = t.id();
+    const LocalDeque own = deques[c];
+    PerCore &pc = perCore[c];
+    StatRegistry &st = t.stats();
+    const std::string prefix = corePrefix(c);
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + c * 0xc2b2ae35ULL + 17);
+
+    // Task ids this worker is responsible for seeding.
+    const std::uint64_t first =
+        static_cast<std::uint64_t>(c) * spec_.tasksPerWorker;
+    std::uint64_t seeded = 0;
+
+    for (;;) {
+        for (;;) {
+            const std::uint64_t v = co_await own.popFront(t, lib);
+            if (!v)
+                break;
+            co_await execRequest(t, v - 1);
+        }
+
+        // Seed the next wave of our own tasks (bounded by the deque).
+        if (seeded < spec_.tasksPerWorker) {
+            while (seeded < spec_.tasksPerWorker) {
+                const std::uint64_t id = first + seeded;
+                const bool ok = co_await own.pushBack(t, lib, id + 1);
+                if (!ok)
+                    break;
+                ++seeded;
+                pc.generated += 1;
+                st.counter(prefix + "generated").inc();
+            }
+            continue;
+        }
+
+        // All our tasks seeded and our deque is dry: steal anywhere.
+        bool got = false;
+        const unsigned start = rng.range(numThreads);
+        for (unsigned k = 0; k < numThreads; ++k) {
+            const CoreId victim = (start + k) % numThreads;
+            if (victim == c)
+                continue;
+            const std::uint64_t v =
+                co_await deques[victim].stealBack(t, lib);
+            if (v) {
+                pc.steals += 1;
+                st.counter(prefix + "steals").inc();
+                co_await execRequest(t, v - 1);
+                got = true;
+                break;
+            }
+        }
+        if (!got)
+            co_return;
+    }
+}
+
+ServerStats
+ServerHarness::finalize(Tick makespan) const
+{
+    ServerStats s;
+    const bool open = spec_.mode != ArrivalMode::Closed;
+    s.offeredRate = open ? spec_.arrivalRate : 0.0;
+    // Merge in core order so the result is independent of host
+    // scheduling under `--threads N`.
+    for (const PerCore &pc : perCore) {
+        s.generated += pc.generated;
+        s.completed += pc.completed;
+        s.rejected += pc.rejected;
+        s.steals += pc.steals;
+        s.latency.merge(pc.lat);
+    }
+    const std::uint64_t done = s.completed + s.rejected;
+    s.stranded = s.generated > done ? s.generated - done : 0;
+    if (makespan > 0)
+        s.throughput =
+            static_cast<double>(s.completed) * 1000.0 / makespan;
+    // Saturation knee: with bounded queues, sustained overload always
+    // surfaces as shed (or fault-stranded) requests. Throughput-vs-
+    // offered comparisons are noisy at small request counts (the
+    // post-arrival drain tail dilutes the rate), so shed fraction >1%
+    // is the criterion.
+    if (open && s.generated > 0)
+        s.knee = (s.rejected + s.stranded) * 100 > s.generated;
+    return s;
+}
+
+} // namespace srv
+} // namespace misar

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The open-loop task server: request generation, dispatch, work
+ * stealing, and per-request latency accounting.
+ *
+ * Topology on an N-thread system (open-loop modes):
+ *
+ *   cores 0..D-1      dispatchers — sleep until each request's
+ *                     scheduled arrival tick, then push it into one of
+ *                     the D MPSC dispatch rings (full ring = request
+ *                     shed / rejected);
+ *   cores D..D+D-1    drainers — each owns one dispatch ring, pulls
+ *                     batches into its local deque and serves them;
+ *   remaining cores   workers — serve by stealing from drainer deques.
+ *
+ * D is 2 on systems with >= 8 threads, else 1. Closed mode instead
+ * makes every core a worker that seeds its own deque with
+ * `tasksPerWorker` tasks and work-steals until everything is done
+ * (the taskqueue app).
+ *
+ * Determinism: all randomness (arrival gaps, service times, steal
+ * victim rotation) comes from seed-derived Rng streams generated
+ * either before the run or per-core inside the coroutine; cross-core
+ * coordination happens only through simulated memory. Host-side
+ * recording is per-core slots merged in core order at finalize(), so
+ * runs are bit-identical at a fixed seed and stats-identical across
+ * `--threads N`.
+ */
+
+#ifndef MISAR_SRV_SERVER_APP_HH
+#define MISAR_SRV_SERVER_APP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/thread_api.hh"
+#include "srv/arrival.hh"
+#include "srv/server_stats.hh"
+#include "srv/task_queue.hh"
+#include "sync/sync_lib.hh"
+
+namespace misar {
+namespace srv {
+
+/** Parameters of one server workload (part of workload::AppSpec). */
+struct ServerSpec
+{
+    /** Off by default: ordinary closed-loop apps ignore this block. */
+    bool enabled = false;
+
+    ArrivalMode mode = ArrivalMode::Poisson;
+
+    /** Offered load in requests per kilotick (open-loop modes). */
+    double arrivalRate = 2.0;
+
+    ServiceDist serviceDist = ServiceDist::Exp;
+
+    /** Mean request service cost in compute cycles. */
+    Tick serviceMean = 300;
+
+    /** Total requests generated per run (open-loop modes). */
+    unsigned requests = 1500;
+
+    /** Tasks each worker seeds for itself (closed mode). */
+    unsigned tasksPerWorker = 64;
+
+    /** Dispatch-ring capacity: the admission-control bound. */
+    std::uint64_t queueCap = 64;
+
+    /** Local-deque capacity (overflow is served inline). */
+    std::uint64_t dequeCap = 32;
+
+    /** Mean dwell ticks per MMPP phase (burst mode). */
+    Tick burstDwell = 20000;
+};
+
+/**
+ * Shared state of one server run. Construct once, start `thread(t)`
+ * on every core, run the system, then `finalize(makespan)`. The
+ * harness must outlive the run (coroutines keep a pointer to it).
+ */
+class ServerHarness
+{
+  public:
+    ServerHarness(const ServerSpec &spec, unsigned num_threads,
+                  std::uint64_t seed);
+
+    /** Thread body for core `t.id()`; role is derived from the id. */
+    cpu::ThreadTask thread(cpu::ThreadApi t, sync::SyncLib *lib);
+
+    /** Merge per-core slots (in core order) into the run's stats. */
+    ServerStats finalize(Tick makespan) const;
+
+    const ServerSpec &spec() const { return spec_; }
+
+    /** Dispatcher count for an @p num_threads system. */
+    static unsigned dispatchers(unsigned num_threads);
+
+  private:
+    /** Per-core recording slot; core i touches only slot i. */
+    struct PerCore
+    {
+        obs::LogHistogram lat;
+        std::uint64_t generated = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t rejected = 0;
+        std::uint64_t steals = 0;
+    };
+
+    cpu::SubTask<> execRequest(cpu::ThreadApi t, std::uint64_t id);
+    cpu::ThreadTask dispatcherThread(cpu::ThreadApi t,
+                                     sync::SyncLib *lib);
+    cpu::ThreadTask workerThread(cpu::ThreadApi t, sync::SyncLib *lib);
+    cpu::ThreadTask closedWorkerThread(cpu::ThreadApi t,
+                                       sync::SyncLib *lib);
+
+    ServerSpec spec_;
+    unsigned numThreads;
+    unsigned numDisp; ///< dispatchers == dispatch rings (0 if closed)
+    std::uint64_t seed;
+    RequestSchedule sched;
+
+    Addr stopAddr;
+    Addr producersDoneAddr;
+    std::vector<DispatchQueue> queues;
+    std::vector<LocalDeque> deques; ///< indexed by core id
+
+    std::vector<PerCore> perCore;
+};
+
+} // namespace srv
+} // namespace misar
+
+#endif // MISAR_SRV_SERVER_APP_HH

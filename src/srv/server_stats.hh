@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Result block of one server run. Separate from server_app.hh so the
+ * observability layer (run report) can consume it without pulling in
+ * the harness/coroutine machinery.
+ */
+
+#ifndef MISAR_SRV_SERVER_STATS_HH
+#define MISAR_SRV_SERVER_STATS_HH
+
+#include <cstdint>
+
+#include "obs/histogram.hh"
+#include "sim/types.hh"
+
+namespace misar {
+namespace srv {
+
+/**
+ * Aggregated request accounting and latency of one run.
+ *
+ * Invariant: generated == completed + rejected + stranded. `stranded`
+ * is nonzero only when a core died mid-request (fault presets) —
+ * requests are otherwise completed or counted rejected, never lost.
+ */
+struct ServerStats
+{
+    /** Offered load in requests per kilotick (0 for closed loop). */
+    double offeredRate = 0.0;
+    std::uint64_t generated = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0; ///< shed at a full dispatch queue
+    std::uint64_t stranded = 0; ///< lost to a dead core (faults only)
+    std::uint64_t steals = 0;   ///< successful deque steals
+
+    /** Achieved throughput in requests per kilotick of makespan. */
+    double throughput = 0.0;
+
+    /**
+     * Past the saturation knee: more than 1% of generated requests
+     * were shed at a full queue (or stranded by a fault). Bounded
+     * queues turn sustained overload into rejections, so this is the
+     * saturation signal.
+     */
+    bool knee = false;
+
+    /** Per-request latency (ticks from scheduled arrival to done).
+     *  Empty for closed-loop runs, which have no arrival instant. */
+    obs::LogHistogram latency;
+};
+
+} // namespace srv
+} // namespace misar
+
+#endif // MISAR_SRV_SERVER_STATS_HH

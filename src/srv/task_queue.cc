@@ -1,0 +1,113 @@
+#include "srv/task_queue.hh"
+
+namespace misar {
+namespace srv {
+
+using cpu::SubTask;
+using cpu::ThreadApi;
+using sync::SyncLib;
+
+SubTask<bool>
+DispatchQueue::tryPush(ThreadApi t, SyncLib *lib,
+                       std::uint64_t value) const
+{
+    co_await lib->mutexLock(t, lockAddr());
+    const std::uint64_t head = co_await t.read(headAddr());
+    const std::uint64_t tail = co_await t.read(tailAddr());
+    if (tail - head >= cap) {
+        co_await lib->mutexUnlock(t, lockAddr());
+        co_return false;
+    }
+    co_await t.write(slotAddr(tail), value);
+    co_await t.write(tailAddr(), tail + 1);
+    if (tail == head)
+        co_await lib->condSignal(t, notEmptyAddr());
+    co_await lib->mutexUnlock(t, lockAddr());
+    co_return true;
+}
+
+SubTask<unsigned>
+DispatchQueue::popBatch(ThreadApi t, SyncLib *lib, Addr stop_addr,
+                        std::uint64_t *out, unsigned max) const
+{
+    co_await lib->mutexLock(t, lockAddr());
+    std::uint64_t head, tail;
+    for (;;) {
+        head = co_await t.read(headAddr());
+        tail = co_await t.read(tailAddr());
+        if (head != tail)
+            break;
+        const std::uint64_t stop = co_await t.read(stop_addr);
+        if (stop) {
+            co_await lib->mutexUnlock(t, lockAddr());
+            co_return 0;
+        }
+        co_await lib->condWait(t, notEmptyAddr(), lockAddr());
+    }
+    unsigned n = 0;
+    while (n < max && head != tail) {
+        out[n++] = co_await t.read(slotAddr(head));
+        ++head;
+    }
+    co_await t.write(headAddr(), head);
+    co_await lib->mutexUnlock(t, lockAddr());
+    co_return n;
+}
+
+SubTask<>
+DispatchQueue::wakeAll(ThreadApi t, SyncLib *lib) const
+{
+    co_await lib->mutexLock(t, lockAddr());
+    co_await lib->condBroadcast(t, notEmptyAddr());
+    co_await lib->mutexUnlock(t, lockAddr());
+}
+
+SubTask<bool>
+LocalDeque::pushBack(ThreadApi t, SyncLib *lib,
+                     std::uint64_t value) const
+{
+    co_await lib->mutexLock(t, lockAddr());
+    const std::uint64_t top = co_await t.read(topAddr());
+    const std::uint64_t bot = co_await t.read(botAddr());
+    if (bot - top >= cap) {
+        co_await lib->mutexUnlock(t, lockAddr());
+        co_return false;
+    }
+    co_await t.write(slotAddr(bot), value);
+    co_await t.write(botAddr(), bot + 1);
+    co_await lib->mutexUnlock(t, lockAddr());
+    co_return true;
+}
+
+SubTask<std::uint64_t>
+LocalDeque::popFront(ThreadApi t, SyncLib *lib) const
+{
+    co_await lib->mutexLock(t, lockAddr());
+    const std::uint64_t top = co_await t.read(topAddr());
+    const std::uint64_t bot = co_await t.read(botAddr());
+    std::uint64_t v = 0;
+    if (top != bot) {
+        v = co_await t.read(slotAddr(top));
+        co_await t.write(topAddr(), top + 1);
+    }
+    co_await lib->mutexUnlock(t, lockAddr());
+    co_return v;
+}
+
+SubTask<std::uint64_t>
+LocalDeque::stealBack(ThreadApi t, SyncLib *lib) const
+{
+    co_await lib->mutexLock(t, lockAddr());
+    const std::uint64_t top = co_await t.read(topAddr());
+    const std::uint64_t bot = co_await t.read(botAddr());
+    std::uint64_t v = 0;
+    if (top != bot) {
+        v = co_await t.read(slotAddr(bot - 1));
+        co_await t.write(botAddr(), bot - 1);
+    }
+    co_await lib->mutexUnlock(t, lockAddr());
+    co_return v;
+}
+
+} // namespace srv
+} // namespace misar

@@ -280,6 +280,52 @@ buildCatalog()
     return v;
 }
 
+/**
+ * Server workloads: the same srv::ServerHarness under four
+ * synchronization-pressure profiles. Service means are chosen so a
+ * 16-core system saturates inside the bench's arrival-rate sweep.
+ */
+std::vector<AppSpec>
+buildServerCatalog()
+{
+    std::vector<AppSpec> v;
+    {
+        AppSpec s;
+        s.name = "server-poisson";
+        s.server.enabled = true;
+        s.server.mode = srv::ArrivalMode::Poisson;
+        s.server.serviceDist = srv::ServiceDist::Exp;
+        v.push_back(s);
+    }
+    {
+        AppSpec s;
+        s.name = "server-burst";
+        s.server.enabled = true;
+        s.server.mode = srv::ArrivalMode::Burst;
+        s.server.serviceDist = srv::ServiceDist::Exp;
+        v.push_back(s);
+    }
+    {
+        // Heavy-tailed service times: the occasional 50x request
+        // parks on a worker and everything behind it must be stolen.
+        AppSpec s;
+        s.name = "server-heavy";
+        s.server.enabled = true;
+        s.server.mode = srv::ArrivalMode::Poisson;
+        s.server.serviceDist = srv::ServiceDist::Pareto;
+        v.push_back(s);
+    }
+    {
+        AppSpec s;
+        s.name = "taskqueue";
+        s.server.enabled = true;
+        s.server.mode = srv::ArrivalMode::Closed;
+        s.server.serviceDist = srv::ServiceDist::Exp;
+        v.push_back(s);
+    }
+    return v;
+}
+
 } // namespace
 
 const std::vector<AppSpec> &
@@ -289,10 +335,20 @@ appCatalog()
     return catalog;
 }
 
+const std::vector<AppSpec> &
+serverCatalog()
+{
+    static const std::vector<AppSpec> catalog = buildServerCatalog();
+    return catalog;
+}
+
 const AppSpec *
 findApp(const std::string &name)
 {
     for (const AppSpec &s : appCatalog())
+        if (s.name == name)
+            return &s;
+    for (const AppSpec &s : serverCatalog())
         if (s.name == name)
             return &s;
     return nullptr;

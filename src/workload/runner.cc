@@ -48,7 +48,8 @@ offlineShedCount(const StatRegistry &st)
 void
 writeObsOutputs(sys::System &s, const AppSpec &spec,
                 const std::string &preset, sync::SyncLib::Flavor flavor,
-                std::uint64_t seed, const RunResult &r)
+                std::uint64_t seed, const RunResult &r,
+                const srv::ServerStats *server)
 {
     const ObsConfig &o = s.config().obs;
     if (s.sampler())
@@ -92,7 +93,7 @@ writeObsOutputs(sys::System &s, const AppSpec &spec,
         obs::writeRunReportDurable(o.statsJsonPath, meta, s.stats(),
                                    s.syncProfiler(), o.profileTopN,
                                    s.sampler(), &s.eventQueue(),
-                                   s.monitor());
+                                   s.monitor(), server);
     }
 }
 
@@ -110,9 +111,18 @@ runAppWithConfig(const AppSpec &spec, const SystemConfig &cfg,
             [&s](CoreId c) { return s.isDeclaredDead(c); });
     AppLayout layout;
 
+    // Server workloads run through the srv harness (which owns the
+    // request schedule and per-core recording); everything else is a
+    // synthetic-signature appThread.
+    std::unique_ptr<srv::ServerHarness> harness;
+    if (spec.server.enabled)
+        harness = std::make_unique<srv::ServerHarness>(
+            spec.server, cfg.numCores, seed);
     for (CoreId c = 0; c < cfg.numCores; ++c)
-        s.start(c, appThread(s.api(c), spec, layout, &lib, cfg.numCores,
-                             seed));
+        s.start(c, harness
+                       ? harness->thread(s.api(c), &lib)
+                       : appThread(s.api(c), spec, layout, &lib,
+                                   cfg.numCores, seed));
 
     // If the run dies in panic()/fatal() mid-flight, still flush a
     // report whose outcome says so (campaign jobs must always leave
@@ -161,8 +171,13 @@ runAppWithConfig(const AppSpec &spec, const SystemConfig &cfg,
             r.captured[name] = s.stats().counterValue(name);
     if (s.syncProfiler())
         r.syncWait = s.syncProfiler()->overallWait();
+    if (harness) {
+        r.hasServer = true;
+        r.server = harness->finalize(r.makespan);
+    }
 
-    writeObsOutputs(s, spec, preset, flavor, seed, r);
+    writeObsOutputs(s, spec, preset, flavor, seed, r,
+                    r.hasServer ? &r.server : nullptr);
     if (const obs::ResourceMonitor *m = s.monitor()) {
         // After writeObsOutputs: finalize() has closed open episodes.
         r.hasPressure = true;

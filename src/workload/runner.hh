@@ -81,6 +81,11 @@ struct RunResult
     double maxSliceOccupancy = 0.0;
     double maxNiQueueDepth = 0.0;
     /** @} */
+
+    /** @name Server-run accounting (spec.server.enabled only). @{ */
+    bool hasServer = false;
+    srv::ServerStats server;
+    /** @} */
 };
 
 /** Per-run execution knobs (campaign engine / ablation harnesses). */

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cpu/thread_api.hh"
+#include "srv/server_app.hh"
 #include "sync/sync_lib.hh"
 
 namespace misar {
@@ -74,6 +75,14 @@ struct AppSpec
 
     /** Items each producer pushes when pipeline is enabled. */
     unsigned pipelineItems = 30;
+
+    // --- Task server ---
+    /**
+     * When server.enabled, the app is a task server (open- or
+     * closed-loop) and runs through srv::ServerHarness instead of
+     * appThread — harness call sites branch on this.
+     */
+    srv::ServerSpec server;
 };
 
 /** Address-space layout of one application instance. */

@@ -19,6 +19,7 @@
 #include <utility>
 
 #include "obs/sync_profiler.hh"
+#include "srv/server_app.hh"
 #include "sync/sync_lib.hh"
 #include "system/presets.hh"
 #include "system/system.hh"
@@ -58,9 +59,15 @@ runOnce(sys::PaperConfig pc, unsigned cores, const char *app,
             [&s](CoreId c) { return s.isDeclaredDead(c); });
     workload::AppLayout layout;
     const workload::AppSpec &spec = workload::appByName(app);
+    std::unique_ptr<srv::ServerHarness> harness;
+    if (spec.server.enabled)
+        harness = std::make_unique<srv::ServerHarness>(spec.server,
+                                                       cores, seed);
     for (CoreId t = 0; t < cores; ++t)
-        s.start(t, workload::appThread(s.api(t), spec, layout, &lib, cores,
-                                       seed));
+        s.start(t, harness
+                       ? harness->thread(s.api(t), &lib)
+                       : workload::appThread(s.api(t), spec, layout,
+                                             &lib, cores, seed));
     EXPECT_EQ(s.runDetailed(2000000000ULL), sys::RunOutcome::Finished);
 
     RunSnapshot snap;
@@ -116,6 +123,22 @@ TEST(Determinism, MsaOmu2CoreFaultsTwoRunsBitIdentical)
     // cascade must land on the same ticks in both runs.
     expectIdenticalRuns(sys::PaperConfig::MsaOmu2CoreFaults, 16,
                         "radiosity");
+}
+
+TEST(Determinism, ServerPoissonTwoRunsBitIdentical)
+{
+    // The open-loop server: arrival schedule, MPSC dispatch, work
+    // stealing and per-request latency recording must all replay
+    // bit-identically (stats dump includes the core*.srv.* counters).
+    expectIdenticalRuns(sys::PaperConfig::MsaOmu2, 16, "server-poisson");
+}
+
+TEST(Determinism, ServerCoreFaultsTwoRunsBitIdentical)
+{
+    // A dead worker mid-run: the stranded-request accounting and the
+    // recovery cascade must land on the same ticks in both runs.
+    expectIdenticalRuns(sys::PaperConfig::MsaOmu2CoreFaults, 16,
+                        "server-poisson");
 }
 
 /**
@@ -186,6 +209,16 @@ TEST(Determinism, FaultedStatsIdenticalAcrossThreadCounts)
     // cross-thread-count probe.
     expectStatsIdenticalAcrossThreads(sys::PaperConfig::MsaOmu2Faults,
                                       16, "radiosity");
+}
+
+TEST(Determinism, ServerStatsIdenticalAcrossThreadCounts)
+{
+    // Host-side server recording is per-core slots merged in core
+    // order, so the threaded kernel must reproduce the serial stats
+    // dump exactly — any cross-core mutable host state would show
+    // up here as a diverging srv counter.
+    expectStatsIdenticalAcrossThreads(sys::PaperConfig::MsaOmu2, 16,
+                                      "server-poisson");
 }
 
 TEST(Determinism, McsTourStatsIdenticalAcrossThreadCounts)

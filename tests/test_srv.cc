@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Server subsystem tests: arrival-schedule generation, service
+ * distributions, end-to-end request accounting, determinism across
+ * runs and kernel thread counts, fault-run accounting, admission
+ * control, the closed-loop taskqueue port, campaign "server" sweep
+ * validation, and the misar_sim CLI guards for the server flags.
+ */
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "orch/campaign_spec.hh"
+#include "srv/arrival.hh"
+#include "srv/server_app.hh"
+#include "system/presets.hh"
+#include "workload/app_catalog.hh"
+#include "workload/runner.hh"
+
+using namespace misar;
+using srv::ArrivalMode;
+using srv::ServiceDist;
+
+namespace {
+
+/** Full-field equality of two runs' server blocks. */
+void
+expectServerEq(const srv::ServerStats &a, const srv::ServerStats &b)
+{
+    EXPECT_DOUBLE_EQ(a.offeredRate, b.offeredRate);
+    EXPECT_EQ(a.generated, b.generated);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.stranded, b.stranded);
+    EXPECT_EQ(a.steals, b.steals);
+    EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+    EXPECT_EQ(a.knee, b.knee);
+    EXPECT_TRUE(a.latency == b.latency);
+}
+
+} // namespace
+
+// --- Arrival schedules ----------------------------------------------------
+
+TEST(Arrival, ScheduleIsDeterministicAndMonotone)
+{
+    for (ArrivalMode m : {ArrivalMode::Poisson, ArrivalMode::Burst}) {
+        srv::RequestSchedule a = srv::makeSchedule(
+            m, 2.0, ServiceDist::Exp, 300, 500, 20000, 7);
+        srv::RequestSchedule b = srv::makeSchedule(
+            m, 2.0, ServiceDist::Exp, 300, 500, 20000, 7);
+        EXPECT_EQ(a.arrival, b.arrival);
+        EXPECT_EQ(a.service, b.service);
+
+        ASSERT_EQ(a.arrival.size(), 500u);
+        for (std::size_t i = 1; i < a.arrival.size(); ++i)
+            ASSERT_GE(a.arrival[i], a.arrival[i - 1]) << i;
+        for (Tick s : a.service)
+            ASSERT_GE(s, 1u);
+
+        srv::RequestSchedule c = srv::makeSchedule(
+            m, 2.0, ServiceDist::Exp, 300, 500, 20000, 8);
+        EXPECT_NE(a.arrival, c.arrival);
+    }
+
+    // Closed mode has no arrival instants.
+    srv::RequestSchedule cl = srv::makeSchedule(
+        ArrivalMode::Closed, 0.0, ServiceDist::Exp, 300, 64, 20000, 7);
+    for (Tick t : cl.arrival)
+        EXPECT_EQ(t, 0u);
+}
+
+TEST(Arrival, MeanRateRoughlyMatchesOffered)
+{
+    // 2 req/ktick over 2000 requests: last arrival ~1e6 ticks.
+    for (ArrivalMode m : {ArrivalMode::Poisson, ArrivalMode::Burst}) {
+        srv::RequestSchedule s = srv::makeSchedule(
+            m, 2.0, ServiceDist::Fixed, 300, 2000, 20000, 1);
+        const double span = static_cast<double>(s.arrival.back());
+        EXPECT_GT(span, 0.7e6) << static_cast<int>(m);
+        EXPECT_LT(span, 1.4e6) << static_cast<int>(m);
+    }
+}
+
+TEST(Arrival, ParseServiceDistNames)
+{
+    ServiceDist d;
+    EXPECT_TRUE(srv::parseServiceDist("fixed", d));
+    EXPECT_EQ(d, ServiceDist::Fixed);
+    EXPECT_TRUE(srv::parseServiceDist("exp", d));
+    EXPECT_EQ(d, ServiceDist::Exp);
+    EXPECT_TRUE(srv::parseServiceDist("pareto", d));
+    EXPECT_EQ(d, ServiceDist::Pareto);
+    EXPECT_FALSE(srv::parseServiceDist("zipf", d));
+    EXPECT_FALSE(srv::parseServiceDist("", d));
+    // Every advertised name parses back.
+    EXPECT_EQ(srv::serviceDistNames(), "fixed, exp, pareto");
+}
+
+TEST(Arrival, ServiceDistributionShapes)
+{
+    srv::RequestSchedule fx = srv::makeSchedule(
+        ArrivalMode::Poisson, 2.0, ServiceDist::Fixed, 300, 1000,
+        20000, 3);
+    for (Tick s : fx.service)
+        ASSERT_EQ(s, 300u);
+
+    srv::RequestSchedule ex = srv::makeSchedule(
+        ArrivalMode::Poisson, 2.0, ServiceDist::Exp, 300, 4000, 20000,
+        3);
+    double sum = 0;
+    for (Tick s : ex.service)
+        sum += static_cast<double>(s);
+    const double mean = sum / 4000.0;
+    EXPECT_GT(mean, 0.85 * 300);
+    EXPECT_LT(mean, 1.15 * 300);
+
+    // Pareto: xm = mean/2, clamped at 50x the mean.
+    srv::RequestSchedule pa = srv::makeSchedule(
+        ArrivalMode::Poisson, 2.0, ServiceDist::Pareto, 300, 4000,
+        20000, 3);
+    Tick mx = 0;
+    for (Tick s : pa.service) {
+        ASSERT_GE(s, 150u);
+        ASSERT_LE(s, 300u * 50);
+        mx = std::max(mx, s);
+    }
+    EXPECT_GT(mx, 1000u) << "heavy tail never materialized";
+}
+
+// --- End-to-end runs ------------------------------------------------------
+
+TEST(ServerRun, AccountingInvariantHolds)
+{
+    const workload::AppSpec &spec = workload::appByName("server-poisson");
+    workload::RunResult r =
+        workload::runApp(spec, 16, sys::PaperConfig::MsaOmu2, 7);
+    ASSERT_TRUE(r.finished);
+    ASSERT_TRUE(r.hasServer);
+    const srv::ServerStats &s = r.server;
+    EXPECT_EQ(s.generated, spec.server.requests);
+    EXPECT_EQ(s.generated, s.completed + s.rejected + s.stranded);
+    EXPECT_EQ(s.stranded, 0u) << "requests lost without any fault";
+    EXPECT_EQ(s.latency.count(), s.completed);
+    EXPECT_GT(s.throughput, 0.0);
+}
+
+TEST(ServerRun, OverloadShedsAtTheAdmissionBound)
+{
+    workload::AppSpec spec = workload::appByName("server-poisson");
+    spec.server.arrivalRate = 20.0; // far past the knee
+    spec.server.queueCap = 4;
+    spec.server.requests = 600;
+    workload::RunResult r =
+        workload::runApp(spec, 16, sys::PaperConfig::MsaOmu2, 7);
+    ASSERT_TRUE(r.finished);
+    const srv::ServerStats &s = r.server;
+    EXPECT_GT(s.rejected, 0u);
+    EXPECT_TRUE(s.knee);
+    EXPECT_EQ(s.generated, s.completed + s.rejected + s.stranded);
+}
+
+TEST(ServerRun, TwoRunsAtFixedSeedAreBitIdentical)
+{
+    const workload::AppSpec &spec = workload::appByName("server-burst");
+    workload::RunResult a =
+        workload::runApp(spec, 16, sys::PaperConfig::MsaOmu2, 5);
+    workload::RunResult b =
+        workload::runApp(spec, 16, sys::PaperConfig::MsaOmu2, 5);
+    ASSERT_TRUE(a.finished && b.finished);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.hwOps, b.hwOps);
+    EXPECT_EQ(a.swOps, b.swOps);
+    expectServerEq(a.server, b.server);
+}
+
+TEST(ServerRun, StatsIdenticalAcrossKernelThreadCounts)
+{
+    const workload::AppSpec &spec = workload::appByName("server-poisson");
+    sync::SyncLib::Flavor fl = sys::flavorFor(sys::PaperConfig::MsaOmu2);
+    workload::RunResult runs[2];
+    for (unsigned i = 0; i < 2; ++i) {
+        SystemConfig cfg = sys::configFor(sys::PaperConfig::MsaOmu2, 16);
+        cfg.simThreads = i + 1;
+        workload::RunResult r =
+            workload::runAppWithConfig(spec, cfg, fl, 7);
+        ASSERT_TRUE(r.finished) << "threads=" << i + 1;
+        runs[i] = std::move(r);
+    }
+    EXPECT_EQ(runs[0].makespan, runs[1].makespan);
+    EXPECT_EQ(runs[0].hwOps, runs[1].hwOps);
+    EXPECT_EQ(runs[0].swOps, runs[1].swOps);
+    expectServerEq(runs[0].server, runs[1].server);
+}
+
+TEST(ServerRun, CoreFaultsNeverLoseRequests)
+{
+    // A core dies mid-run: its in-flight request may be stranded, but
+    // every generated request is still accounted for — completed,
+    // rejected, or stranded, never silently lost.
+    const workload::AppSpec &spec = workload::appByName("server-poisson");
+    workload::RunResult r = workload::runApp(
+        spec, 16, sys::PaperConfig::MsaOmu2CoreFaults, 7);
+    ASSERT_TRUE(r.finished);
+    EXPECT_GT(r.coreKills, 0u) << "fault preset did not kill a core";
+    const srv::ServerStats &s = r.server;
+    EXPECT_EQ(s.generated, spec.server.requests);
+    EXPECT_EQ(s.generated, s.completed + s.rejected + s.stranded);
+}
+
+TEST(ServerRun, CoreFaultRunsAreDeterministicToo)
+{
+    const workload::AppSpec &spec = workload::appByName("server-poisson");
+    workload::RunResult a = workload::runApp(
+        spec, 16, sys::PaperConfig::MsaOmu2CoreFaults, 9);
+    workload::RunResult b = workload::runApp(
+        spec, 16, sys::PaperConfig::MsaOmu2CoreFaults, 9);
+    ASSERT_TRUE(a.finished && b.finished);
+    EXPECT_EQ(a.makespan, b.makespan);
+    expectServerEq(a.server, b.server);
+}
+
+TEST(ServerRun, ClosedLoopTaskqueueCompletesEverything)
+{
+    const workload::AppSpec &spec = workload::appByName("taskqueue");
+    workload::RunResult r =
+        workload::runApp(spec, 16, sys::PaperConfig::MsaOmu2, 1);
+    ASSERT_TRUE(r.finished);
+    ASSERT_TRUE(r.hasServer);
+    const srv::ServerStats &s = r.server;
+    EXPECT_EQ(s.completed, 16u * spec.server.tasksPerWorker);
+    EXPECT_EQ(s.rejected, 0u);
+    EXPECT_EQ(s.stranded, 0u);
+    EXPECT_TRUE(s.latency.empty()) << "closed loop has no arrivals";
+    EXPECT_FALSE(s.knee);
+}
+
+TEST(ServerRun, ObservabilityIsInert)
+{
+    // Profiling/sampling must not perturb the simulation: identical
+    // makespan and server accounting with obs fully on and fully off.
+    const workload::AppSpec &spec = workload::appByName("server-poisson");
+    sync::SyncLib::Flavor fl = sys::flavorFor(sys::PaperConfig::MsaOmu2);
+    SystemConfig on = sys::configFor(sys::PaperConfig::MsaOmu2, 16);
+    on.obs.profileSync = true;
+    on.obs.sampleInterval = 5000;
+    on.obs.heatmapEnabled = true;
+    SystemConfig off = sys::configFor(sys::PaperConfig::MsaOmu2, 16);
+    workload::RunResult a = workload::runAppWithConfig(spec, on, fl, 3);
+    workload::RunResult b = workload::runAppWithConfig(spec, off, fl, 3);
+    ASSERT_TRUE(a.finished && b.finished);
+    EXPECT_EQ(a.makespan, b.makespan);
+    expectServerEq(a.server, b.server);
+}
+
+// --- Campaign "server" sweep validation -----------------------------------
+
+namespace {
+
+std::string
+specJson(const std::string &apps, const std::string &server)
+{
+    return R"({"name":"t","presets":["msa-omu"],"apps":)" + apps +
+           R"(,"cores":[16],"seeds":[1])" +
+           (server.empty() ? "" : ",\"server\":" + server) + "}";
+}
+
+} // namespace
+
+TEST(ServerSweep, UnknownServerKeyIsRejected)
+{
+    orch::CampaignSpec s;
+    std::string err;
+    EXPECT_FALSE(orch::CampaignSpec::parse(
+        specJson(R"(["server-poisson"])", R"({"arrivalRate":[2]})"), s,
+        err));
+    EXPECT_NE(err.find("unknown \"server\" key 'arrivalRate'"),
+              std::string::npos)
+        << err;
+}
+
+TEST(ServerSweep, NonServerAppInSweepIsRejected)
+{
+    orch::CampaignSpec s;
+    std::string err;
+    ASSERT_TRUE(orch::CampaignSpec::parse(
+        specJson(R"(["fft"])", R"({"arrivalRates":[2]})"), s, err))
+        << err;
+    EXPECT_NE(s.validate().find("non-server app"), std::string::npos);
+}
+
+TEST(ServerSweep, RatesOnClosedLoopAppAreRejected)
+{
+    orch::CampaignSpec s;
+    std::string err;
+    ASSERT_TRUE(orch::CampaignSpec::parse(
+        specJson(R"(["taskqueue"])", R"({"arrivalRates":[2]})"), s,
+        err))
+        << err;
+    EXPECT_NE(s.validate().find("closed-loop"), std::string::npos);
+}
+
+TEST(ServerSweep, BadServiceDistIsRejected)
+{
+    orch::CampaignSpec s;
+    std::string err;
+    ASSERT_TRUE(orch::CampaignSpec::parse(
+        specJson(R"(["server-poisson"])",
+                 R"({"arrivalRates":[2],"serviceDist":"zipf"})"),
+        s, err))
+        << err;
+    EXPECT_NE(s.validate().find("unknown server.serviceDist"),
+              std::string::npos);
+}
+
+TEST(ServerSweep, RateAxisExpandsBetweenCoresAndSeeds)
+{
+    orch::CampaignSpec s;
+    std::string err;
+    ASSERT_TRUE(orch::CampaignSpec::parse(
+        specJson(R"(["server-poisson"])", R"({"arrivalRates":[2,4]})"),
+        s, err))
+        << err;
+    ASSERT_EQ(s.validate(), "");
+    std::vector<orch::JobSpec> jobs = s.expand();
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_EQ(jobs[0].key(), "msa-omu|server-poisson|c16|s1|r0|a2");
+    EXPECT_EQ(jobs[1].key(), "msa-omu|server-poisson|c16|s1|r0|a4");
+    // Without a sweep the historical key shape is untouched.
+    orch::CampaignSpec plain;
+    ASSERT_TRUE(orch::CampaignSpec::parse(
+        specJson(R"(["server-poisson"])", ""), plain, err));
+    ASSERT_EQ(plain.validate(), "");
+    EXPECT_EQ(plain.expand()[0].key(),
+              "msa-omu|server-poisson|c16|s1|r0");
+}
+
+// --- misar_sim CLI guards -------------------------------------------------
+
+namespace {
+
+/** Run the real simulator binary; return its exit code + output. */
+int
+runSim(const std::string &args, std::string &output)
+{
+    const std::string cmd =
+        std::string(MISAR_SIM_PATH) + " " + args + " 2>&1";
+    FILE *p = ::popen(cmd.c_str(), "r");
+    EXPECT_NE(p, nullptr);
+    if (!p)
+        return -1;
+    char buf[512];
+    output.clear();
+    while (std::fgets(buf, sizeof(buf), p))
+        output += buf;
+    int st = ::pclose(p);
+    return WIFEXITED(st) ? WEXITSTATUS(st) : -1;
+}
+
+} // namespace
+
+TEST(ServerCli, BadServerFlagsAreRejected)
+{
+    struct Case
+    {
+        const char *args;
+        const char *needle;
+    };
+    const Case cases[] = {
+        {"--app server-poisson --arrival-rate 0",
+         "--arrival-rate expects a positive number"},
+        {"--app server-poisson --arrival-rate -2",
+         "--arrival-rate expects a positive number"},
+        {"--app server-poisson --arrival-rate junk",
+         "--arrival-rate expects a positive number"},
+        {"--app server-poisson --arrival-rate 2x",
+         "--arrival-rate expects a positive number"},
+        {"--app server-poisson --arrival-rate inf",
+         "--arrival-rate expects a positive number"},
+        {"--app server-poisson --service-dist zipf",
+         "unknown --service-dist 'zipf'"},
+        {"--app fft --arrival-rate 2",
+         "only apply to server workloads"},
+        {"--app fft --queue-cap 8", "only apply to server workloads"},
+        {"--app taskqueue --arrival-rate 2",
+         "does not apply to the closed-loop"},
+    };
+    for (const Case &c : cases) {
+        SCOPED_TRACE(c.args);
+        std::string out;
+        EXPECT_EQ(runSim(c.args, out), 1) << out;
+        EXPECT_NE(out.find(c.needle), std::string::npos) << out;
+    }
+}
+
+TEST(ServerCli, ServerRunPrintsRequestAccounting)
+{
+    std::string out;
+    const int rc = runSim(
+        "--app server-poisson --cores 16 --config msa-omu "
+        "--arrival-rate 4 --service-dist fixed --queue-cap 16",
+        out);
+    EXPECT_EQ(rc, 0) << out;
+    EXPECT_NE(out.find("requests"), std::string::npos) << out;
+    EXPECT_NE(out.find("req latency"), std::string::npos) << out;
+}
