@@ -92,6 +92,20 @@ usage()
         "                     fixed | exp | pareto\n"
         "  --queue-cap N      dispatch-queue capacity (admission\n"
         "                     control bound; overflow is shed)\n"
+        "  --slo N            per-request latency SLO in ticks; arms\n"
+        "                     SLO-aware admission (shed when predicted\n"
+        "                     wait would bust it) and goodput\n"
+        "                     accounting (open-loop server apps only)\n"
+        "  --retry-policy P   what shed requests do next:\n"
+        "                     none | naive | budgeted (default none)\n"
+        "  --retry-budget R   budgeted policy: retry tokens added per\n"
+        "                     success (default 0.1)\n"
+        "  --tenants HI:LO    serve two priority tenants at these\n"
+        "                     rates (requests per kilotick; must sum\n"
+        "                     to --arrival-rate when both are given).\n"
+        "                     'hi' is steady Poisson, 'lo' follows the\n"
+        "                     app's arrival mode; under SLO pressure\n"
+        "                     brownout sheds 'lo' first\n"
         "exit codes: 0 finished, 40 deadlock, 41 tick-limit, 1 error\n"
         "observability:\n"
         "  --trace-out FILE   write a multi-component Chrome trace\n"
@@ -188,6 +202,10 @@ main(int argc, char **argv)
     double arrival_rate = 0; // 0 = app default
     std::string service_dist;
     std::uint64_t queue_cap = 0; // 0 = app default
+    std::uint64_t slo_ticks = 0; // 0 = no SLO
+    std::string retry_policy;
+    double retry_budget = 0; // 0 = spec default
+    std::string tenants;
     std::vector<LinkKill> link_kills;
     std::vector<RouterKill> router_kills;
     std::vector<CoreKill> core_kills;
@@ -273,6 +291,14 @@ main(int argc, char **argv)
             service_dist = next();
         } else if (a == "--queue-cap") {
             queue_cap = parsePositiveArg("--queue-cap", next());
+        } else if (a == "--slo") {
+            slo_ticks = parsePositiveArg("--slo", next());
+        } else if (a == "--retry-policy") {
+            retry_policy = next();
+        } else if (a == "--retry-budget") {
+            retry_budget = parsePositiveRealArg("--retry-budget", next());
+        } else if (a == "--tenants") {
+            tenants = next();
         } else if (a == "--sample-out") {
             sample_csv_path = next();
         } else if (a == "--heatmap-out") {
@@ -291,15 +317,22 @@ main(int argc, char **argv)
     }
 
     AppSpec spec = appByName(app_name); // copy: server knobs may edit
-    const bool server_knobs =
-        arrival_rate > 0 || !service_dist.empty() || queue_cap > 0;
+    const bool overload_knobs = slo_ticks > 0 || !retry_policy.empty() ||
+                                retry_budget > 0 || !tenants.empty();
+    const bool server_knobs = arrival_rate > 0 ||
+                              !service_dist.empty() || queue_cap > 0 ||
+                              overload_knobs;
     if (server_knobs && !spec.server.enabled)
-        fatal("--arrival-rate/--service-dist/--queue-cap only apply to "
+        fatal("--arrival-rate/--service-dist/--queue-cap/--slo/"
+              "--retry-policy/--retry-budget/--tenants only apply to "
               "server workloads, and '%s' is not one", app_name.c_str());
     if (arrival_rate > 0 &&
         spec.server.mode == srv::ArrivalMode::Closed)
         fatal("--arrival-rate does not apply to the closed-loop "
               "'%s' app", app_name.c_str());
+    if (overload_knobs && spec.server.mode == srv::ArrivalMode::Closed)
+        fatal("--slo/--retry-policy/--retry-budget/--tenants do not "
+              "apply to the closed-loop '%s' app", app_name.c_str());
     if (arrival_rate > 0)
         spec.server.arrivalRate = arrival_rate;
     if (!service_dist.empty() &&
@@ -308,6 +341,31 @@ main(int argc, char **argv)
               service_dist.c_str(), srv::serviceDistNames().c_str());
     if (queue_cap > 0)
         spec.server.queueCap = queue_cap;
+    if (slo_ticks > 0)
+        spec.server.sloTicks = slo_ticks;
+    if (!retry_policy.empty() &&
+        !srv::parseRetryPolicy(retry_policy, spec.server.retryPolicy))
+        fatal("unknown --retry-policy '%s' (expected one of: %s)",
+              retry_policy.c_str(), srv::retryPolicyNames().c_str());
+    if (retry_budget > 0) {
+        if (spec.server.retryPolicy != srv::RetryPolicy::Budgeted)
+            fatal("--retry-budget only applies with "
+                  "--retry-policy budgeted");
+        spec.server.retryBudgetRatio = retry_budget;
+    }
+    if (!tenants.empty()) {
+        double hi = 0, lo = 0;
+        if (!srv::parseTenantMix(tenants, hi, lo))
+            fatal("--tenants expects HI:LO (two positive rates in "
+                  "requests per kilotick), got '%s'", tenants.c_str());
+        if (arrival_rate > 0 &&
+            std::fabs(hi + lo - arrival_rate) > 1e-9 * (hi + lo))
+            fatal("--tenants %s sums to %g, not the --arrival-rate %g",
+                  tenants.c_str(), hi + lo, arrival_rate);
+        spec.server.tenantHiRate = hi;
+        spec.server.tenantLoRate = lo;
+        spec.server.arrivalRate = hi + lo;
+    }
 
     SystemConfig cfg;
     sync::SyncLib::Flavor flavor;
@@ -559,6 +617,36 @@ main(int argc, char **argv)
                             server_stats.latency.p99()),
                         static_cast<unsigned long long>(
                             server_stats.latency.p999()));
+        if (server_stats.sloTicks > 0)
+            std::printf("slo            : %llu ticks, met %llu/%llu, "
+                        "goodput %.2f/ktick, sloRejected %llu\n",
+                        static_cast<unsigned long long>(
+                            server_stats.sloTicks),
+                        static_cast<unsigned long long>(
+                            server_stats.sloMet),
+                        static_cast<unsigned long long>(
+                            server_stats.completed),
+                        server_stats.goodput,
+                        static_cast<unsigned long long>(
+                            server_stats.rejectedSlo));
+        if (server_stats.retryPolicy != srv::RetryPolicy::None)
+            std::printf("retries        : policy %s, %llu attempts, "
+                        "%llu budget-denied\n",
+                        srv::retryPolicyName(server_stats.retryPolicy),
+                        static_cast<unsigned long long>(
+                            server_stats.retries),
+                        static_cast<unsigned long long>(
+                            server_stats.retryBudgetDenied));
+        for (const srv::TenantStats &ts : server_stats.tenants)
+            std::printf("tenant %-8s: offered %.2f/ktick, %llu done / "
+                        "%llu shed, goodput %.2f/ktick, p99 %llu\n",
+                        ts.name.c_str(), ts.offeredRate,
+                        static_cast<unsigned long long>(ts.completed),
+                        static_cast<unsigned long long>(
+                            ts.rejected + ts.rejectedSlo),
+                        ts.goodput,
+                        static_cast<unsigned long long>(
+                            ts.latency.empty() ? 0 : ts.latency.p99()));
     }
     std::printf("noc packets    : %llu (avg latency %.1f cycles)\n",
                 static_cast<unsigned long long>(

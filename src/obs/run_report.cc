@@ -167,7 +167,7 @@ writeRunReport(std::ostream &os, const RunMeta &meta,
         monitor->writeSummaryJson(w);
     }
 
-    // -- server-run accounting (schema v3) ----------------------------
+    // -- server-run accounting (schema v3, extended in v4) -------------
     if (server) {
         w.key("server").beginObject();
         w.kv("offeredRate", server->offeredRate, 4);
@@ -181,6 +181,47 @@ writeRunReport(std::ostream &os, const RunMeta &meta,
         w.kv("p99", server->latency.p99());
         w.kv("p999", server->latency.p999());
         w.kv("knee", server->knee);
+        // v4 additions keep the v3 keys above byte-identical: new
+        // scalars are appended, and the slo/retries/tenants blocks
+        // appear only when the corresponding feature was armed.
+        w.kv("rejectedSlo", server->rejectedSlo);
+        w.kv("goodput", server->goodput, 6);
+        if (server->sloTicks > 0) {
+            w.key("slo").beginObject();
+            w.kv("ticks", server->sloTicks);
+            w.kv("met", server->sloMet);
+            w.endObject();
+        }
+        if (server->retryPolicy != srv::RetryPolicy::None) {
+            w.key("retries").beginObject();
+            w.kv("policy", srv::retryPolicyName(server->retryPolicy));
+            w.kv("attempts", server->retries);
+            w.kv("budgetDenied", server->retryBudgetDenied);
+            w.endObject();
+        }
+        if (!server->tenants.empty()) {
+            w.key("tenants").beginArray();
+            for (const srv::TenantStats &ts : server->tenants) {
+                w.beginObject();
+                w.kv("name", ts.name);
+                w.kv("offeredRate", ts.offeredRate, 4);
+                w.kv("generated", ts.generated);
+                w.kv("completed", ts.completed);
+                w.kv("rejected", ts.rejected);
+                w.kv("rejectedSlo", ts.rejectedSlo);
+                w.kv("stranded", ts.stranded);
+                w.kv("sloMet", ts.sloMet);
+                w.kv("throughput", ts.throughput, 6);
+                w.kv("goodput", ts.goodput, 6);
+                w.kv("p50", ts.latency.p50());
+                w.kv("p99", ts.latency.p99());
+                w.kv("p999", ts.latency.p999());
+                w.key("latency");
+                ts.latency.writeJson(w);
+                w.endObject();
+            }
+            w.endArray();
+        }
         w.key("latency");
         server->latency.writeJson(w);
         w.endObject();

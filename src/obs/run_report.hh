@@ -38,16 +38,21 @@ class ResourceMonitor;
 /**
  * Report schema version ("schemaVersion" in the JSON).
  *
- * v3 (this version) is a strict superset of v2, which was a strict
- * superset of v1: every earlier field is still present with the same
- * type and meaning. New in v2: the "latency" block (log-bucketed
- * run-level sync-wait histogram, see obs/histogram.hh) whenever the
- * profiler ran, and the "heatmap" resource-pressure summary when the
- * monitor ran. New in v3: the "server" block (request accounting,
- * throughput, p50/p99/p999 request latency, and the saturation-knee
- * flag) when the run was an open- or closed-loop server workload.
+ * v4 (this version) is a strict superset of v3, which was a strict
+ * superset of v2 and v1: every earlier field is still present with
+ * the same type and meaning. New in v2: the "latency" block
+ * (log-bucketed run-level sync-wait histogram, see obs/histogram.hh)
+ * whenever the profiler ran, and the "heatmap" resource-pressure
+ * summary when the monitor ran. New in v3: the "server" block
+ * (request accounting, throughput, p50/p99/p999 request latency, and
+ * the saturation-knee flag) when the run was an open- or closed-loop
+ * server workload. New in v4, inside "server": "rejectedSlo" and
+ * "goodput" always, plus the "slo" block (ticks, met) when an SLO was
+ * set, the "retries" block (policy, attempts, budgetDenied) when a
+ * retry policy was armed, and the "tenants" array (per-tenant
+ * accounting + latency) for two-tenant runs.
  */
-constexpr unsigned runReportSchemaVersion = 3;
+constexpr unsigned runReportSchemaVersion = 4;
 
 /** Run metadata block of the report. */
 struct RunMeta

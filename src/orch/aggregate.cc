@@ -13,13 +13,18 @@ namespace {
 
 std::string
 cellKey(const std::string &preset, const std::string &app, unsigned cores,
-        double arrivalRate)
+        double arrivalRate, const std::string &retryPolicy,
+        const std::string &tenantMix)
 {
     std::string key = preset + "|" + app + "|" + std::to_string(cores);
-    // Appended only for arrival-rate sweeps, mirroring JobSpec::key():
-    // historical campaigns keep their exact cell keys.
+    // Appended only for the corresponding sweeps, mirroring
+    // JobSpec::key(): historical campaigns keep their exact cell keys.
     if (arrivalRate > 0)
         key += "|a" + formatRate(arrivalRate);
+    if (!retryPolicy.empty())
+        key += "|p" + retryPolicy;
+    if (!tenantMix.empty())
+        key += "|t" + tenantMix;
     return key;
 }
 
@@ -96,23 +101,39 @@ CampaignReport::CampaignReport(const CampaignSpec &spec,
                                const std::vector<JobRecord> &records)
     : spec(spec), records(records)
 {
-    // Cells in grid order (preset x app x cores x arrival rate),
-    // matching CampaignSpec::expand()'s axis order.
+    // Cells in grid order (preset x app x cores x arrival rate x
+    // retry policy x tenant mix), matching CampaignSpec::expand()'s
+    // axis order.
     const std::vector<double> rates =
         spec.server.arrivalRates.empty()
             ? std::vector<double>{0.0}
             : spec.server.arrivalRates;
+    const std::vector<std::string> policies =
+        spec.server.retryPolicies.empty()
+            ? std::vector<std::string>{""}
+            : spec.server.retryPolicies;
+    const std::vector<std::string> mixes =
+        spec.server.tenantMixes.empty()
+            ? std::vector<std::string>{""}
+            : spec.server.tenantMixes;
     for (const PresetSpec &p : spec.presets) {
         for (const std::string &a : spec.apps) {
             for (unsigned c : spec.cores) {
                 for (double rate : rates) {
-                    Cell cell;
-                    cell.preset = p.name;
-                    cell.app = a;
-                    cell.cores = c;
-                    cell.arrivalRate = rate;
-                    index[cellKey(p.name, a, c, rate)] = _cells.size();
-                    _cells.push_back(std::move(cell));
+                    for (const std::string &pol : policies) {
+                        for (const std::string &mix : mixes) {
+                            Cell cell;
+                            cell.preset = p.name;
+                            cell.app = a;
+                            cell.cores = c;
+                            cell.arrivalRate = rate;
+                            cell.retryPolicy = pol;
+                            cell.tenantMix = mix;
+                            index[cellKey(p.name, a, c, rate, pol,
+                                          mix)] = _cells.size();
+                            _cells.push_back(std::move(cell));
+                        }
+                    }
                 }
             }
         }
@@ -120,7 +141,8 @@ CampaignReport::CampaignReport(const CampaignSpec &spec,
 
     for (const JobRecord &r : records) {
         auto it = index.find(cellKey(r.job.preset.name, r.job.app,
-                                     r.job.cores, r.job.arrivalRate));
+                                     r.job.cores, r.job.arrivalRate,
+                                     r.job.retryPolicy, r.job.tenantMix));
         if (it == index.end())
             continue; // not part of this spec's grid
         Cell &cell = _cells[it->second];
@@ -149,6 +171,25 @@ CampaignReport::CampaignReport(const CampaignSpec &spec,
             cell.srvRejected.add(static_cast<double>(r.srvRejected));
             cell.srvStranded.add(static_cast<double>(r.srvStranded));
             cell.srvLatency.merge(r.srvLatency);
+            cell.srvGoodput.add(r.srvGoodput);
+            cell.srvRejectedSlo.add(
+                static_cast<double>(r.srvRejectedSlo));
+            cell.srvRetries.add(static_cast<double>(r.srvRetries));
+            if (!r.srvTenants.empty())
+                ++cell.srvTenantJobs;
+            for (const JobRecord::TenantRecord &t : r.srvTenants) {
+                if (t.name == "hi") {
+                    cell.srvHiGoodput.add(t.goodput);
+                    cell.srvHiRejected.add(
+                        static_cast<double>(t.rejected));
+                    cell.srvHiLatency.merge(t.latency);
+                } else if (t.name == "lo") {
+                    cell.srvLoGoodput.add(t.goodput);
+                    cell.srvLoRejected.add(
+                        static_cast<double>(t.rejected));
+                    cell.srvLoLatency.merge(t.latency);
+                }
+            }
         }
         for (const std::string &s : spec.stats) {
             auto cv = r.counters.find(s);
@@ -169,7 +210,8 @@ CampaignReport::CampaignReport(const CampaignSpec &spec,
                     continue;
                 const JobRecord *b =
                     match(spec.baseline, cell.app, cell.cores,
-                          cell.arrivalRate, r->job.seed, r->job.rep);
+                          cell.arrivalRate, cell.retryPolicy,
+                          cell.tenantMix, r->job.seed, r->job.rep);
                 if (b && b->outcome == JobOutcome::Finished &&
                     b->makespan)
                     cell.speedup.add(static_cast<double>(b->makespan) /
@@ -181,18 +223,24 @@ CampaignReport::CampaignReport(const CampaignSpec &spec,
 
 const Cell *
 CampaignReport::cell(const std::string &preset, const std::string &app,
-                     unsigned cores, double arrivalRate) const
+                     unsigned cores, double arrivalRate,
+                     const std::string &retryPolicy,
+                     const std::string &tenantMix) const
 {
-    auto it = index.find(cellKey(preset, app, cores, arrivalRate));
+    auto it = index.find(
+        cellKey(preset, app, cores, arrivalRate, retryPolicy, tenantMix));
     return it == index.end() ? nullptr : &_cells[it->second];
 }
 
 const JobRecord *
 CampaignReport::match(const std::string &preset, const std::string &app,
                       unsigned cores, double arrivalRate,
-                      std::uint64_t seed, unsigned rep) const
+                      const std::string &retryPolicy,
+                      const std::string &tenantMix, std::uint64_t seed,
+                      unsigned rep) const
 {
-    const Cell *c = cell(preset, app, cores, arrivalRate);
+    const Cell *c =
+        cell(preset, app, cores, arrivalRate, retryPolicy, tenantMix);
     if (!c)
         return nullptr;
     for (const JobRecord *r : c->recs)
@@ -203,19 +251,23 @@ CampaignReport::match(const std::string &preset, const std::string &app,
 
 std::vector<double>
 CampaignReport::speedups(const std::string &preset, const std::string &app,
-                         unsigned cores, double arrivalRate) const
+                         unsigned cores, double arrivalRate,
+                         const std::string &retryPolicy,
+                         const std::string &tenantMix) const
 {
     std::vector<double> out;
     if (spec.baseline.empty())
         return out;
-    const Cell *c = cell(preset, app, cores, arrivalRate);
+    const Cell *c =
+        cell(preset, app, cores, arrivalRate, retryPolicy, tenantMix);
     if (!c)
         return out;
     for (const JobRecord *r : c->recs) {
         if (r->outcome != JobOutcome::Finished || !r->makespan)
             continue;
         const JobRecord *b = match(spec.baseline, app, cores,
-                                   arrivalRate, r->job.seed, r->job.rep);
+                                   arrivalRate, retryPolicy, tenantMix,
+                                   r->job.seed, r->job.rep);
         if (b && b->outcome == JobOutcome::Finished && b->makespan)
             out.push_back(static_cast<double>(b->makespan) /
                           static_cast<double>(r->makespan));
@@ -245,7 +297,7 @@ CampaignReport::failures() const
 void
 CampaignReport::writeJson(std::ostream &os) const
 {
-    os << "{\"schemaVersion\":3,\"campaign\":\"" << jsonEscape(spec.name)
+    os << "{\"schemaVersion\":4,\"campaign\":\"" << jsonEscape(spec.name)
        << "\",\"jobs\":" << records.size();
 
     os << ",\"outcomes\":{";
@@ -263,6 +315,11 @@ CampaignReport::writeJson(std::ostream &os) const
            << jsonEscape(c.app) << "\",\"cores\":" << c.cores;
         if (c.arrivalRate > 0)
             os << ",\"arrivalRate\":" << formatRate(c.arrivalRate);
+        if (!c.retryPolicy.empty())
+            os << ",\"retryPolicy\":\"" << jsonEscape(c.retryPolicy)
+               << "\"";
+        if (!c.tenantMix.empty())
+            os << ",\"tenantMix\":\"" << jsonEscape(c.tenantMix) << "\"";
         os << ",\"jobs\":" << c.jobs << ",\"outcomes\":{";
         bool first = true;
         for (JobOutcome o : outcomeOrder) {
@@ -318,11 +375,33 @@ CampaignReport::writeJson(std::ostream &os) const
             os << ",\"server\":{\"jobs\":" << c.srvJobs << ",";
             writeAggJson(os, "throughput", c.srvThroughput, 6);
             os << ",";
+            writeAggJson(os, "goodput", c.srvGoodput, 6);
+            os << ",";
             writeAggJson(os, "rejected", c.srvRejected, 3);
+            os << ",";
+            writeAggJson(os, "rejectedSlo", c.srvRejectedSlo, 3);
+            os << ",";
+            writeAggJson(os, "retries", c.srvRetries, 3);
             os << ",";
             writeAggJson(os, "stranded", c.srvStranded, 3);
             os << ",\"knee\":" << c.srvKnee << ",\"latency\":";
             writeHistJson(os, c.srvLatency);
+            if (c.srvTenantJobs) {
+                os << ",\"tenants\":{\"jobs\":" << c.srvTenantJobs
+                   << ",\"hi\":{";
+                writeAggJson(os, "goodput", c.srvHiGoodput, 6);
+                os << ",";
+                writeAggJson(os, "rejected", c.srvHiRejected, 3);
+                os << ",\"latency\":";
+                writeHistJson(os, c.srvHiLatency);
+                os << "},\"lo\":{";
+                writeAggJson(os, "goodput", c.srvLoGoodput, 6);
+                os << ",";
+                writeAggJson(os, "rejected", c.srvLoRejected, 3);
+                os << ",\"latency\":";
+                writeHistJson(os, c.srvLoLatency);
+                os << "}}";
+            }
             os << "}";
         }
         os << "}";
@@ -345,7 +424,7 @@ CampaignReport::writeJson(std::ostream &os) const
 void
 CampaignReport::writeCsv(std::ostream &os) const
 {
-    os << "preset,app,cores,arrivalRate,jobs";
+    os << "preset,app,cores,arrivalRate,retryPolicy,tenantMix,jobs";
     for (JobOutcome o : outcomeOrder)
         os << "," << jobOutcomeName(o);
     os << ",makespan_mean,makespan_ci95,makespan_min,makespan_max"
@@ -363,11 +442,15 @@ CampaignReport::writeCsv(std::ostream &os) const
     os << ",server_jobs,throughput_mean,throughput_ci95,rejected_mean"
           ",stranded_mean,reqLatency_p50,reqLatency_p99"
           ",reqLatency_p999,knee_jobs";
+    os << ",goodput_mean,goodput_ci95,rejectedSlo_mean,retries_mean"
+          ",hi_goodput_mean,hi_rejected_mean,hi_p99"
+          ",lo_goodput_mean,lo_rejected_mean,lo_p99";
     os << "\n";
 
     for (const Cell &c : _cells) {
         os << c.preset << "," << c.app << "," << c.cores << ","
-           << formatRate(c.arrivalRate) << "," << c.jobs;
+           << formatRate(c.arrivalRate) << "," << c.retryPolicy << ","
+           << c.tenantMix << "," << c.jobs;
         for (JobOutcome o : outcomeOrder) {
             auto it = c.outcomes.find(jobOutcomeName(o));
             os << "," << (it == c.outcomes.end() ? 0u : it->second);
@@ -406,6 +489,16 @@ CampaignReport::writeCsv(std::ostream &os) const
            << fmt(c.srvStranded.mean(), 3) << "," << c.srvLatency.p50()
            << "," << c.srvLatency.p99() << "," << c.srvLatency.p999()
            << "," << c.srvKnee;
+        os << "," << fmt(c.srvGoodput.mean(), 6) << ","
+           << fmt(c.srvGoodput.ci95(), 6) << ","
+           << fmt(c.srvRejectedSlo.mean(), 3) << ","
+           << fmt(c.srvRetries.mean(), 3) << ","
+           << fmt(c.srvHiGoodput.mean(), 6) << ","
+           << fmt(c.srvHiRejected.mean(), 3) << ","
+           << c.srvHiLatency.p99() << ","
+           << fmt(c.srvLoGoodput.mean(), 6) << ","
+           << fmt(c.srvLoRejected.mean(), 3) << ","
+           << c.srvLoLatency.p99();
         os << "\n";
     }
 }
@@ -444,24 +537,59 @@ CampaignReport::writeTable(std::ostream &os) const
         anyServer |= c.srvJobs != 0;
     if (anyServer) {
         std::snprintf(line, sizeof(line),
-                      "\n%-20s %-14s %6s %10s %8s %8s %8s %6s %5s\n",
-                      "Preset", "App", "Rate", "Thruput", "p50", "p99",
-                      "p999", "Rej", "Knee");
+                      "\n%-20s %-14s %6s %-8s %10s %10s %8s %8s %8s "
+                      "%6s %5s\n",
+                      "Preset", "App", "Rate", "Policy", "Thruput",
+                      "Goodput", "p50", "p99", "p999", "Rej", "Knee");
         os << line;
         for (const Cell &c : _cells) {
             if (!c.srvJobs)
                 continue;
             std::snprintf(
                 line, sizeof(line),
-                "%-20s %-14s %6s %10.4f %8llu %8llu %8llu %6.0f %2u/%-2u\n",
+                "%-20s %-14s %6s %-8s %10.4f %10.4f %8llu %8llu %8llu "
+                "%6.0f %2u/%-2u\n",
                 c.preset.c_str(), c.app.c_str(),
                 c.arrivalRate > 0 ? formatRate(c.arrivalRate).c_str()
                                   : "-",
-                c.srvThroughput.mean(),
+                c.retryPolicy.empty() ? "-" : c.retryPolicy.c_str(),
+                c.srvThroughput.mean(), c.srvGoodput.mean(),
                 static_cast<unsigned long long>(c.srvLatency.p50()),
                 static_cast<unsigned long long>(c.srvLatency.p99()),
                 static_cast<unsigned long long>(c.srvLatency.p999()),
                 c.srvRejected.mean(), c.srvKnee, c.srvJobs);
+            os << line;
+        }
+    }
+
+    bool anyTenants = false;
+    for (const Cell &c : _cells)
+        anyTenants |= c.srvTenantJobs != 0;
+    if (anyTenants) {
+        std::snprintf(line, sizeof(line),
+                      "\n%-20s %-14s %8s %-6s %10s %8s %6s\n", "Preset",
+                      "App", "Mix", "Tenant", "Goodput", "p99", "Rej");
+        os << line;
+        for (const Cell &c : _cells) {
+            if (!c.srvTenantJobs)
+                continue;
+            const char *mix =
+                c.tenantMix.empty() ? "-" : c.tenantMix.c_str();
+            std::snprintf(
+                line, sizeof(line),
+                "%-20s %-14s %8s %-6s %10.4f %8llu %6.0f\n",
+                c.preset.c_str(), c.app.c_str(), mix, "hi",
+                c.srvHiGoodput.mean(),
+                static_cast<unsigned long long>(c.srvHiLatency.p99()),
+                c.srvHiRejected.mean());
+            os << line;
+            std::snprintf(
+                line, sizeof(line),
+                "%-20s %-14s %8s %-6s %10.4f %8llu %6.0f\n",
+                c.preset.c_str(), c.app.c_str(), mix, "lo",
+                c.srvLoGoodput.mean(),
+                static_cast<unsigned long long>(c.srvLoLatency.p99()),
+                c.srvLoRejected.mean());
             os << line;
         }
     }

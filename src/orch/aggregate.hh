@@ -72,6 +72,10 @@ struct Cell
     unsigned cores = 0;
     /** Offered load axis value (0 = no arrival-rate sweep). */
     double arrivalRate = 0.0;
+    /** Retry-policy axis value ("" = no retry-policy sweep). */
+    std::string retryPolicy;
+    /** Tenant-mix axis value ("" = no tenant-mix sweep). */
+    std::string tenantMix;
     unsigned jobs = 0; ///< grid jobs in this cell (incl. failed)
     std::map<std::string, unsigned> outcomes;
     Agg makespan, hwCoverage, speedup;
@@ -99,6 +103,17 @@ struct Cell
     /** Per-request latencies of every rep merged bucket-wise, so
      *  cell tail percentiles are exact over all reps. */
     obs::LogHistogram srvLatency;
+    /** SLO-era aggregates (schema v4 reports; n == 0 on older
+     *  records, where goodput falls back to throughput). */
+    Agg srvGoodput, srvRejectedSlo, srvRetries;
+    /** @} */
+
+    /** @name Per-tenant aggregates over jobs whose report carried a
+     *  "tenants" array (srvTenantJobs == 0 when none did). @{ */
+    unsigned srvTenantJobs = 0;
+    Agg srvHiGoodput, srvLoGoodput;
+    Agg srvHiRejected, srvLoRejected;
+    obs::LogHistogram srvHiLatency, srvLoLatency;
     /** @} */
 
     /** This cell's records in (seed, rep) grid order. */
@@ -115,9 +130,12 @@ class CampaignReport
     const std::vector<Cell> &cells() const { return _cells; }
 
     /** Cell lookup; nullptr when absent from the grid. Pass the
-     *  offered load to address a cell of an arrival-rate sweep. */
+     *  offered load / retry policy / tenant mix to address a cell of
+     *  the corresponding server sweep axis. */
     const Cell *cell(const std::string &preset, const std::string &app,
-                     unsigned cores, double arrivalRate = 0.0) const;
+                     unsigned cores, double arrivalRate = 0.0,
+                     const std::string &retryPolicy = "",
+                     const std::string &tenantMix = "") const;
 
     /**
      * Per-(seed, rep) speedups of @p preset against the spec's
@@ -127,7 +145,9 @@ class CampaignReport
      */
     std::vector<double> speedups(const std::string &preset,
                                  const std::string &app, unsigned cores,
-                                 double arrivalRate = 0.0) const;
+                                 double arrivalRate = 0.0,
+                                 const std::string &retryPolicy = "",
+                                 const std::string &tenantMix = "") const;
 
     /** Campaign-wide outcome count for @p outcome. */
     unsigned outcomeCount(JobOutcome o) const;
@@ -142,8 +162,10 @@ class CampaignReport
   private:
     const JobRecord *match(const std::string &preset,
                            const std::string &app, unsigned cores,
-                           double arrivalRate, std::uint64_t seed,
-                           unsigned rep) const;
+                           double arrivalRate,
+                           const std::string &retryPolicy,
+                           const std::string &tenantMix,
+                           std::uint64_t seed, unsigned rep) const;
 
     const CampaignSpec &spec;
     const std::vector<JobRecord> &records;

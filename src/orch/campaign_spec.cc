@@ -6,6 +6,7 @@
 
 #include "orch/json.hh"
 #include "srv/arrival.hh"
+#include "srv/server_stats.hh"
 #include "system/presets.hh"
 #include "workload/app_catalog.hh"
 
@@ -31,6 +32,10 @@ JobSpec::key() const
     // manifest hashes) keep their exact keys.
     if (arrivalRate > 0)
         os << "|a" << formatRate(arrivalRate);
+    if (!retryPolicy.empty())
+        os << "|p" << retryPolicy;
+    if (!tenantMix.empty())
+        os << "|t" << tenantMix;
     return os.str();
 }
 
@@ -160,9 +165,14 @@ CampaignSpec::parse(const std::string &text, CampaignSpec &out,
         // would otherwise silently run the whole sweep at defaults.
         for (const auto &kv : o.obj)
             if (kv.first != "arrivalRates" && kv.first != "serviceDist" &&
-                kv.first != "queueCap") {
+                kv.first != "queueCap" && kv.first != "slo" &&
+                kv.first != "retryPolicies" &&
+                kv.first != "retryBudget" &&
+                kv.first != "tenantMixes") {
                 err = "unknown \"server\" key '" + kv.first +
-                      "' (expected arrivalRates, serviceDist, queueCap)";
+                      "' (expected arrivalRates, serviceDist, "
+                      "queueCap, slo, retryPolicies, retryBudget, "
+                      "tenantMixes)";
                 return false;
             }
         s.server.present = true;
@@ -184,6 +194,76 @@ CampaignSpec::parse(const std::string &text, CampaignSpec &out,
         }
         s.server.serviceDist = o.at("serviceDist").stringOr("");
         s.server.queueCap = o.at("queueCap").uintOr(0);
+        if (o.has("slo")) {
+            const Json &v = o.at("slo");
+            if (!v.isNum() || v.uintOr(0) == 0) {
+                err = "\"server.slo\" must be a positive tick count";
+                return false;
+            }
+            s.server.slo = v.uintOr(0);
+        }
+        if (o.has("retryPolicies")) {
+            if (!o.at("retryPolicies").isArr() ||
+                o.at("retryPolicies").arr.empty()) {
+                err = "\"server.retryPolicies\" must be a non-empty "
+                      "array of policy names";
+                return false;
+            }
+            for (const Json &j : o.at("retryPolicies").arr) {
+                srv::RetryPolicy p;
+                if (!srv::parseRetryPolicy(j.stringOr(""), p)) {
+                    err = "unknown server.retryPolicies entry '" +
+                          j.stringOr("") + "' (expected one of: " +
+                          srv::retryPolicyNames() + ")";
+                    return false;
+                }
+                s.server.retryPolicies.push_back(j.stringOr(""));
+            }
+        }
+        if (o.has("retryBudget")) {
+            const Json &v = o.at("retryBudget");
+            if (!v.isNum() || v.num <= 0) {
+                err = "\"server.retryBudget\" must be a positive "
+                      "ratio";
+                return false;
+            }
+            s.server.retryBudget = v.num;
+        }
+        if (o.has("tenantMixes")) {
+            if (!o.at("tenantMixes").isArr() ||
+                o.at("tenantMixes").arr.empty()) {
+                err = "\"server.tenantMixes\" must be a non-empty "
+                      "array of \"HI:LO\" rate strings";
+                return false;
+            }
+            for (const Json &j : o.at("tenantMixes").arr) {
+                double hi = 0, lo = 0;
+                if (!srv::parseTenantMix(j.stringOr(""), hi, lo)) {
+                    err = "bad server.tenantMixes entry '" +
+                          j.stringOr("") +
+                          "' (expected \"HI:LO\" positive rates)";
+                    return false;
+                }
+                s.server.tenantMixes.push_back(j.stringOr(""));
+            }
+        }
+        if (!s.server.tenantMixes.empty() &&
+            !s.server.arrivalRates.empty()) {
+            err = "server.tenantMixes and server.arrivalRates are "
+                  "mutually exclusive (each mix fixes its own total "
+                  "rate)";
+            return false;
+        }
+        if (s.server.retryBudget > 0) {
+            bool budgeted = false;
+            for (const std::string &p : s.server.retryPolicies)
+                budgeted |= p == "budgeted";
+            if (!budgeted) {
+                err = "server.retryBudget needs \"budgeted\" in "
+                      "server.retryPolicies";
+                return false;
+            }
+        }
     }
 
     out = std::move(s);
@@ -243,10 +323,15 @@ CampaignSpec::validate()
             if (!spec->server.enabled)
                 return "\"server\" sweep includes non-server app '" +
                        a + "'";
-            if (!server.arrivalRates.empty() &&
+            const bool open_only_axes =
+                !server.arrivalRates.empty() || server.slo > 0 ||
+                !server.retryPolicies.empty() ||
+                !server.tenantMixes.empty();
+            if (open_only_axes &&
                 spec->server.mode == srv::ArrivalMode::Closed)
-                return "server.arrivalRates does not apply to "
-                       "closed-loop app '" + a + "'";
+                return "server arrivalRates/slo/retryPolicies/"
+                       "tenantMixes do not apply to closed-loop app '" +
+                       a + "'";
         }
     }
 
@@ -298,28 +383,40 @@ CampaignSpec::expand() const
 {
     std::vector<JobSpec> jobs;
     unsigned id = 0;
-    // No "server" sweep (or no rates): a single 0 keeps the axis
-    // inert and the job keys in their historical form.
+    // Unused axes collapse to a single inert value, keeping job keys
+    // in their historical form (no "|a"/"|p"/"|t" suffixes).
     const std::vector<double> rates =
         server.arrivalRates.empty() ? std::vector<double>{0.0}
                                     : server.arrivalRates;
+    const std::vector<std::string> policies =
+        server.retryPolicies.empty() ? std::vector<std::string>{""}
+                                     : server.retryPolicies;
+    const std::vector<std::string> mixes =
+        server.tenantMixes.empty() ? std::vector<std::string>{""}
+                                   : server.tenantMixes;
     for (const PresetSpec &p : presets) {
         const std::vector<std::uint64_t> &ss =
             p.seeds.empty() ? seeds : p.seeds;
         for (const std::string &a : apps) {
             for (unsigned c : cores) {
                 for (double rate : rates) {
-                    for (std::uint64_t seed : ss) {
-                        for (unsigned r = 0; r < reps; ++r) {
-                            JobSpec j;
-                            j.id = id++;
-                            j.preset = p;
-                            j.app = a;
-                            j.cores = c;
-                            j.seed = seed;
-                            j.rep = r;
-                            j.arrivalRate = rate;
-                            jobs.push_back(std::move(j));
+                    for (const std::string &policy : policies) {
+                        for (const std::string &mix : mixes) {
+                            for (std::uint64_t seed : ss) {
+                                for (unsigned r = 0; r < reps; ++r) {
+                                    JobSpec j;
+                                    j.id = id++;
+                                    j.preset = p;
+                                    j.app = a;
+                                    j.cores = c;
+                                    j.seed = seed;
+                                    j.rep = r;
+                                    j.arrivalRate = rate;
+                                    j.retryPolicy = policy;
+                                    j.tenantMix = mix;
+                                    jobs.push_back(std::move(j));
+                                }
+                            }
                         }
                     }
                 }

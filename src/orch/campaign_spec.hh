@@ -65,6 +65,19 @@ struct JobSpec
      */
     double arrivalRate = 0.0;
 
+    /**
+     * Retry-policy axis value ("none"/"naive"/"budgeted"; "" = no
+     * axis). Like arrivalRate, empty keeps historical keys intact.
+     */
+    std::string retryPolicy;
+
+    /**
+     * Tenant-mix axis value ("HI:LO" rates; "" = single tenant).
+     * A mix implies its own total arrival rate, so specs use either
+     * arrivalRates or tenantMixes, never both.
+     */
+    std::string tenantMix;
+
     /** Stable identity string (manifest cross-checking). */
     std::string key() const;
 };
@@ -124,6 +137,18 @@ struct CampaignSpec
         std::string serviceDist;
         /** Dispatch-queue capacity override (0 = app default). */
         std::uint64_t queueCap = 0;
+        /** Latency SLO in ticks for every job (0 = no SLO). */
+        std::uint64_t slo = 0;
+        /** Retry-policy axis ("none"/"naive"/"budgeted"). */
+        std::vector<std::string> retryPolicies;
+        /** Budget ratio for budgeted-policy jobs (0 = app default). */
+        double retryBudget = 0.0;
+        /**
+         * Tenant-mix axis ("HI:LO" rate strings). Each mix fixes its
+         * own total arrival rate, so this axis and arrivalRates are
+         * mutually exclusive.
+         */
+        std::vector<std::string> tenantMixes;
     };
     ServerSweep server;
 

@@ -240,6 +240,24 @@ jobArgv(const CampaignSpec &spec, const JobSpec &j,
         argv.push_back("--queue-cap");
         argv.push_back(std::to_string(spec.server.queueCap));
     }
+    if (spec.server.slo) {
+        argv.push_back("--slo");
+        argv.push_back(std::to_string(spec.server.slo));
+    }
+    if (!j.retryPolicy.empty()) {
+        argv.push_back("--retry-policy");
+        argv.push_back(j.retryPolicy);
+        // misar_sim rejects --retry-budget for non-budgeted policies,
+        // so the override rides along only where it applies.
+        if (spec.server.retryBudget > 0 && j.retryPolicy == "budgeted") {
+            argv.push_back("--retry-budget");
+            argv.push_back(formatRate(spec.server.retryBudget));
+        }
+    }
+    if (!j.tenantMix.empty()) {
+        argv.push_back("--tenants");
+        argv.push_back(j.tenantMix);
+    }
     return argv;
 }
 
@@ -331,6 +349,28 @@ ingestReport(JobRecord &r, const CampaignSpec &spec,
         r.srvThroughput = sv.at("throughput").numberOr(0.0);
         r.srvKnee = sv.at("knee").boolOr(false);
         obs::LogHistogram::fromJson(sv.at("latency"), r.srvLatency);
+        // Schema v4 extensions; absent in v3 reports (fields stay
+        // zeroed, and goodput falls back to throughput).
+        r.srvRejectedSlo = sv.at("rejectedSlo").uintOr(0);
+        r.srvGoodput = sv.has("goodput")
+                           ? sv.at("goodput").numberOr(0.0)
+                           : r.srvThroughput;
+        if (sv.has("retries"))
+            r.srvRetries = sv.at("retries").at("attempts").uintOr(0);
+        if (sv.has("tenants") && sv.at("tenants").isArr()) {
+            for (const Json &tj : sv.at("tenants").arr) {
+                JobRecord::TenantRecord tr;
+                tr.name = tj.at("name").stringOr("");
+                tr.generated = tj.at("generated").uintOr(0);
+                tr.completed = tj.at("completed").uintOr(0);
+                tr.rejected = tj.at("rejected").uintOr(0) +
+                              tj.at("rejectedSlo").uintOr(0);
+                tr.goodput = tj.at("goodput").numberOr(0.0);
+                obs::LogHistogram::fromJson(tj.at("latency"),
+                                            tr.latency);
+                r.srvTenants.push_back(std::move(tr));
+            }
+        }
     }
 }
 
@@ -597,6 +637,27 @@ runCampaignInProcess(const CampaignSpec &spec, const InProcessHooks &hooks)
         }
         if (spec.server.queueCap)
             app.server.queueCap = spec.server.queueCap;
+        if (spec.server.slo)
+            app.server.sloTicks = spec.server.slo;
+        if (!j.retryPolicy.empty()) {
+            srv::RetryPolicy p;
+            if (!srv::parseRetryPolicy(j.retryPolicy, p))
+                fatal("unknown retry policy '%s' (validate the spec "
+                      "before running it)", j.retryPolicy.c_str());
+            app.server.retryPolicy = p;
+            if (spec.server.retryBudget > 0 &&
+                p == srv::RetryPolicy::Budgeted)
+                app.server.retryBudgetRatio = spec.server.retryBudget;
+        }
+        if (!j.tenantMix.empty()) {
+            double hi = 0, lo = 0;
+            if (!srv::parseTenantMix(j.tenantMix, hi, lo))
+                fatal("bad tenant mix '%s' (validate the spec before "
+                      "running it)", j.tenantMix.c_str());
+            app.server.tenantHiRate = hi;
+            app.server.tenantLoRate = lo;
+            app.server.arrivalRate = hi + lo;
+        }
         workload::RunResult rr = workload::runAppWithConfig(
             app, cfg, flavor, j.seed, j.preset.name, ro);
 
@@ -642,6 +703,19 @@ runCampaignInProcess(const CampaignSpec &spec, const InProcessHooks &hooks)
             r.srvThroughput = rr.server.throughput;
             r.srvKnee = rr.server.knee;
             r.srvLatency = rr.server.latency;
+            r.srvRejectedSlo = rr.server.rejectedSlo;
+            r.srvRetries = rr.server.retries;
+            r.srvGoodput = rr.server.goodput;
+            for (const srv::TenantStats &ts : rr.server.tenants) {
+                JobRecord::TenantRecord tr;
+                tr.name = ts.name;
+                tr.generated = ts.generated;
+                tr.completed = ts.completed;
+                tr.rejected = ts.rejected + ts.rejectedSlo;
+                tr.goodput = ts.goodput;
+                tr.latency = ts.latency;
+                r.srvTenants.push_back(std::move(tr));
+            }
         }
         out.push_back(std::move(r));
     }

@@ -101,6 +101,25 @@ struct JobRecord
     bool srvKnee = false;
     /** Per-request latency; mergeable across reps like syncWait. */
     obs::LogHistogram srvLatency;
+    /** Final SLO-admission sheds (schema v4; 0 in older reports). */
+    std::uint64_t srvRejectedSlo = 0;
+    /** Retry attempts beyond first tries (schema v4). */
+    std::uint64_t srvRetries = 0;
+    /** SLO-met completions per kilotick; == srvThroughput when the
+     *  job ran without an SLO (or predates schema v4). */
+    double srvGoodput = 0.0;
+
+    /** Per-tenant slice (schema v4 "tenants"; empty single-tenant). */
+    struct TenantRecord
+    {
+        std::string name;
+        std::uint64_t generated = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t rejected = 0; ///< full-ring + SLO final sheds
+        double goodput = 0.0;
+        obs::LogHistogram latency;
+    };
+    std::vector<TenantRecord> srvTenants;
     /** @} */
 
     /** Failure context (log tail) for non-Finished outcomes. */

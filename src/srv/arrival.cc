@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "sim/rng.hh"
 
@@ -43,6 +44,50 @@ drawService(Rng &rng, ServiceDist dist, Tick mean)
     return std::max<Tick>(1, t);
 }
 
+/**
+ * Draw @p requests arrival ticks at @p rate per kilotick from @p rng.
+ * Shared by the single- and two-tenant schedule builders; the draw
+ * sequence is exactly the historical makeSchedule() one, so existing
+ * seeds reproduce byte-identical schedules.
+ */
+std::vector<Tick>
+genArrivals(ArrivalMode mode, double rate, unsigned requests,
+            Tick burst_dwell, Rng &rng)
+{
+    std::vector<Tick> out;
+    out.reserve(requests);
+
+    const double mean_gap = 1000.0 / rate; // rate is per kilotick
+    if (mode == ArrivalMode::Poisson) {
+        double now = 0;
+        for (unsigned i = 0; i < requests; ++i) {
+            now += expo(rng, mean_gap);
+            out.push_back(static_cast<Tick>(std::llround(now)));
+        }
+        return out;
+    }
+
+    // MMPP-2 by thinning: propose at the high rate everywhere, accept
+    // low-phase proposals with probability rate_lo/rate_hi. Phase
+    // boundaries advance on their own exponential clock.
+    const double hi_gap = mean_gap / 1.8;
+    const double accept_lo = 0.2 / 1.8;
+    const double dwell = static_cast<double>(burst_dwell);
+    double now = 0;
+    bool high = true;
+    double phase_end = expo(rng, dwell);
+    while (out.size() < requests) {
+        now += expo(rng, hi_gap);
+        while (now >= phase_end) {
+            high = !high;
+            phase_end += expo(rng, dwell);
+        }
+        if (high || rng.uniform() < accept_lo)
+            out.push_back(static_cast<Tick>(std::llround(now)));
+    }
+    return out;
+}
+
 } // namespace
 
 bool
@@ -79,13 +124,38 @@ serviceDistNames()
     return "fixed, exp, pareto";
 }
 
+bool
+parseTenantMix(const std::string &text, double &hi, double &lo)
+{
+    const std::size_t colon = text.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= text.size())
+        return false;
+    if (text.find(':', colon + 1) != std::string::npos)
+        return false;
+    const std::string hi_s = text.substr(0, colon);
+    const std::string lo_s = text.substr(colon + 1);
+    char *end = nullptr;
+    const double h = std::strtod(hi_s.c_str(), &end);
+    if (end != hi_s.c_str() + hi_s.size())
+        return false;
+    const double l = std::strtod(lo_s.c_str(), &end);
+    if (end != lo_s.c_str() + lo_s.size())
+        return false;
+    if (!(h > 0.0) || !(l > 0.0) || !std::isfinite(h) ||
+        !std::isfinite(l))
+        return false;
+    hi = h;
+    lo = l;
+    return true;
+}
+
 RequestSchedule
 makeSchedule(ArrivalMode mode, double rate, ServiceDist dist,
              Tick service_mean, unsigned requests, Tick burst_dwell,
              std::uint64_t seed)
 {
     RequestSchedule s;
-    s.arrival.reserve(requests);
     s.service.reserve(requests);
 
     // Two independent streams so changing the arrival mode never
@@ -101,33 +171,61 @@ makeSchedule(ArrivalMode mode, double rate, ServiceDist dist,
         return s;
     }
 
-    const double mean_gap = 1000.0 / rate; // rate is per kilotick
-    if (mode == ArrivalMode::Poisson) {
-        double now = 0;
-        for (unsigned i = 0; i < requests; ++i) {
-            now += expo(arrivals_rng, mean_gap);
-            s.arrival.push_back(static_cast<Tick>(std::llround(now)));
-        }
-        return s;
-    }
+    s.arrival = genArrivals(mode, rate, requests, burst_dwell,
+                            arrivals_rng);
+    return s;
+}
 
-    // MMPP-2 by thinning: propose at the high rate everywhere, accept
-    // low-phase proposals with probability rate_lo/rate_hi. Phase
-    // boundaries advance on their own exponential clock.
-    const double hi_gap = mean_gap / 1.8;
-    const double accept_lo = 0.2 / 1.8;
-    const double dwell = static_cast<double>(burst_dwell);
-    double now = 0;
-    bool high = true;
-    double phase_end = expo(arrivals_rng, dwell);
-    while (s.arrival.size() < requests) {
-        now += expo(arrivals_rng, hi_gap);
-        while (now >= phase_end) {
-            high = !high;
-            phase_end += expo(arrivals_rng, dwell);
+RequestSchedule
+makeTenantSchedule(ArrivalMode mode, double hi_rate, double lo_rate,
+                   ServiceDist dist, Tick service_mean,
+                   unsigned requests, Tick burst_dwell,
+                   std::uint64_t seed)
+{
+    // Split the request budget proportionally to the offered rates;
+    // both tenants always get at least one request so per-tenant
+    // stats are never vacuous.
+    const double total = hi_rate + lo_rate;
+    unsigned n_hi = static_cast<unsigned>(
+        std::llround(requests * (hi_rate / total)));
+    n_hi = std::min(std::max(n_hi, 1u), requests - 1);
+    const unsigned n_lo = requests - n_hi;
+
+    // Independent seed-derived streams per tenant (and the usual
+    // separate service stream), so changing one tenant's rate never
+    // perturbs the other tenant's arrival draws.
+    Rng hi_rng(seed * 0x9e3779b97f4a7c15ULL + 0x5afe5eedULL);
+    Rng lo_rng(seed * 0x94d049bb133111ebULL + 0x10a7e2ULL);
+    Rng service_rng(seed * 0xbf58476d1ce4e5b9ULL + 0x5e91ceULL);
+
+    // High priority is always steady Poisson traffic; the low tenant
+    // inherits the app's arrival mode, so Burst apps model a bursty
+    // batch tenant behind steady interactive load.
+    const std::vector<Tick> hi =
+        genArrivals(ArrivalMode::Poisson, hi_rate, n_hi, burst_dwell,
+                    hi_rng);
+    const std::vector<Tick> lo =
+        genArrivals(mode, lo_rate, n_lo, burst_dwell, lo_rng);
+
+    RequestSchedule s;
+    s.arrival.reserve(requests);
+    s.service.reserve(requests);
+    s.tenant.reserve(requests);
+
+    // Merge by arrival tick; ties admit the high-priority request
+    // first. Service times are drawn in merged order.
+    std::size_t i = 0, j = 0;
+    while (i < hi.size() || j < lo.size()) {
+        const bool take_hi =
+            i < hi.size() && (j >= lo.size() || hi[i] <= lo[j]);
+        if (take_hi) {
+            s.arrival.push_back(hi[i++]);
+            s.tenant.push_back(0);
+        } else {
+            s.arrival.push_back(lo[j++]);
+            s.tenant.push_back(1);
         }
-        if (high || arrivals_rng.uniform() < accept_lo)
-            s.arrival.push_back(static_cast<Tick>(std::llround(now)));
+        s.service.push_back(drawService(service_rng, dist, service_mean));
     }
     return s;
 }

@@ -48,6 +48,14 @@ const char *serviceDistName(ServiceDist d);
 /** Comma-joined list of valid names, for error messages. */
 std::string serviceDistNames();
 
+/**
+ * Parse a "HI:LO" tenant mix (two positive finite decimal rates in
+ * requests per kilotick, separated by exactly one ':'). Shared by the
+ * misar_sim CLI, campaign specs, and the in-process engine so every
+ * layer accepts exactly the same strings.
+ */
+bool parseTenantMix(const std::string &text, double &hi, double &lo);
+
 /** Immutable per-request tables, generated before the run. */
 struct RequestSchedule
 {
@@ -55,6 +63,12 @@ struct RequestSchedule
     std::vector<Tick> arrival;
     /** Service cost of request i in compute cycles (>= 1). */
     std::vector<Tick> service;
+    /**
+     * Tenant of request i (0 = high priority, 1 = low priority).
+     * Empty for single-tenant schedules — every consumer treats an
+     * empty table as "all tenant 0".
+     */
+    std::vector<std::uint8_t> tenant;
 };
 
 /**
@@ -70,6 +84,22 @@ RequestSchedule makeSchedule(ArrivalMode mode, double rate,
                              ServiceDist dist, Tick service_mean,
                              unsigned requests, Tick burst_dwell,
                              std::uint64_t seed);
+
+/**
+ * Two-tenant schedule: the high-priority stream (tenant 0) always
+ * arrives Poisson at @p hi_rate; the low-priority stream (tenant 1)
+ * arrives at @p lo_rate using @p mode — Burst makes only the low
+ * tenant bursty, which is the brownout experiment's shape (steady
+ * interactive traffic plus a bursty batch tenant). The two streams
+ * are drawn from independent seed-derived RNGs and merged by arrival
+ * tick (ties: high priority first); request counts split
+ * proportionally to the rates. Service times are drawn from the same
+ * independent stream as single-tenant schedules, in merged order.
+ */
+RequestSchedule makeTenantSchedule(ArrivalMode mode, double hi_rate,
+                                   double lo_rate, ServiceDist dist,
+                                   Tick service_mean, unsigned requests,
+                                   Tick burst_dwell, std::uint64_t seed);
 
 } // namespace srv
 } // namespace misar

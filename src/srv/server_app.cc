@@ -1,5 +1,7 @@
 #include "srv/server_app.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "sim/logging.hh"
@@ -24,13 +26,58 @@ constexpr unsigned drainBatch = 8;
 /** Idle worker back-off between steal sweeps, in cycles. */
 constexpr Tick idleBackoff = 300;
 
+/** EWMA weight: new = old + (sample - old) / ewmaShift. */
+constexpr int ewmaShift = 3;
+
 std::string
 corePrefix(CoreId id)
 {
     return "core" + std::to_string(id) + ".srv.";
 }
 
+/** Why a request was shed at admission this attempt. */
+enum class ShedCause
+{
+    None,
+    Full, ///< dispatch ring full — the PR 9 rejection
+    Slo,  ///< predicted wait would bust the SLO
+};
+
 } // namespace
+
+bool
+parseRetryPolicy(const std::string &name, RetryPolicy &out)
+{
+    if (name == "none")
+        out = RetryPolicy::None;
+    else if (name == "naive")
+        out = RetryPolicy::Naive;
+    else if (name == "budgeted")
+        out = RetryPolicy::Budgeted;
+    else
+        return false;
+    return true;
+}
+
+const char *
+retryPolicyName(RetryPolicy p)
+{
+    switch (p) {
+    case RetryPolicy::None:
+        return "none";
+    case RetryPolicy::Naive:
+        return "naive";
+    case RetryPolicy::Budgeted:
+        return "budgeted";
+    }
+    return "?";
+}
+
+std::string
+retryPolicyNames()
+{
+    return "none, naive, budgeted";
+}
 
 unsigned
 ServerHarness::dispatchers(unsigned num_threads)
@@ -45,6 +92,12 @@ ServerHarness::ServerHarness(const ServerSpec &spec, unsigned num_threads,
     if (!spec_.enabled)
         fatal("ServerHarness built from a non-server app spec");
     const bool closed = spec_.mode == ArrivalMode::Closed;
+    const bool overload = spec_.sloTicks > 0 ||
+                          spec_.retryPolicy != RetryPolicy::None ||
+                          spec_.tenantsEnabled();
+    if (closed && overload)
+        fatal("overload controls (slo/retries/tenants) need an "
+              "open-loop arrival mode");
     if (!closed) {
         numDisp = dispatchers(num_threads);
         if (num_threads < 2 * numDisp)
@@ -53,15 +106,47 @@ ServerHarness::ServerHarness(const ServerSpec &spec, unsigned num_threads,
         if (spec_.arrivalRate <= 0)
             fatal("server arrival rate must be positive");
     }
+    if ((spec_.tenantHiRate > 0.0) != (spec_.tenantLoRate > 0.0))
+        fatal("tenant mix needs both a hi and a lo rate");
+    if (spec_.tenantsEnabled()) {
+        const double sum = spec_.tenantHiRate + spec_.tenantLoRate;
+        if (std::fabs(sum - spec_.arrivalRate) > 1e-9 * sum)
+            fatal("tenant mix %g:%g sums to %g, not the arrival "
+                  "rate %g",
+                  spec_.tenantHiRate, spec_.tenantLoRate, sum,
+                  spec_.arrivalRate);
+    }
+    if (!(spec_.brownoutRatio > 0.0) || spec_.brownoutRatio > 1.0)
+        fatal("brownout ratio must be in (0, 1]");
+    if (spec_.retryPolicy == RetryPolicy::Budgeted &&
+        !(spec_.retryBudgetRatio > 0.0))
+        fatal("retry budget ratio must be positive");
+    if (spec_.retryPolicy != RetryPolicy::None &&
+        (spec_.retryBackoffBase == 0 ||
+         spec_.retryBackoffCap < spec_.retryBackoffBase))
+        fatal("retry backoff must be positive and cap >= base");
 
     const unsigned total_requests =
         closed ? num_threads * spec_.tasksPerWorker : spec_.requests;
-    sched = makeSchedule(spec_.mode, spec_.arrivalRate, spec_.serviceDist,
-                         spec_.serviceMean, total_requests,
-                         spec_.burstDwell, seed);
+    if (spec_.tenantsEnabled())
+        sched = makeTenantSchedule(spec_.mode, spec_.tenantHiRate,
+                                   spec_.tenantLoRate, spec_.serviceDist,
+                                   spec_.serviceMean, total_requests,
+                                   spec_.burstDwell, seed);
+    else
+        sched = makeSchedule(spec_.mode, spec_.arrivalRate,
+                             spec_.serviceDist, spec_.serviceMean,
+                             total_requests, spec_.burstDwell, seed);
 
     stopAddr = srvBase;
     producersDoneAddr = srvBase + srvBlock;
+
+    // Overload-control words live in their own region between the
+    // rings (srvBase + 0x1000) and the deques (srvBase + 0x100000),
+    // so arming them never shifts the layout PR 9 runs depend on.
+    ctrlBase = srvBase + 0xF0000;
+    successesAddr = ctrlBase;
+    retrySpentAddr = ctrlBase + srvBlock;
 
     Addr next = srvBase + 0x1000;
     for (unsigned q = 0; q < numDisp; ++q) {
@@ -87,6 +172,45 @@ ServerHarness::thread(ThreadApi t, SyncLib *lib)
     return workerThread(t, lib);
 }
 
+Tick
+ServerHarness::retryDelay(std::uint64_t id, unsigned attempt) const
+{
+    // Capped exponential backoff with deterministic jitter: the
+    // jitter stream is keyed on (seed, id, attempt) alone, so it is
+    // independent of dispatcher interleaving and identical across
+    // `--threads N`.
+    const unsigned shift = std::min(attempt, 31u);
+    const Tick backoff = std::min(spec_.retryBackoffCap,
+                                  spec_.retryBackoffBase << shift);
+    Rng jitter(seed ^ (id * 0x9e3779b97f4a7c15ULL) ^
+               ((attempt + 1) * 0xc2b2ae3d27d4eb4fULL));
+    const Tick half = std::max<Tick>(1, backoff / 2);
+    return half + jitter.range(half + 1);
+}
+
+/**
+ * Claim one retry token. The bucket holds retryBurst tokens plus
+ * retryBudgetRatio per success so far; claims are a fetchAdd on the
+ * spent counter, refunded when the claim overshot the cap. Both words
+ * live in simulated memory, so the budget is globally consistent
+ * across dispatchers and deterministic.
+ */
+SubTask<bool>
+ServerHarness::claimRetryToken(ThreadApi t)
+{
+    const std::uint64_t successes = co_await t.read(successesAddr);
+    const std::uint64_t cap =
+        spec_.retryBurst +
+        static_cast<std::uint64_t>(
+            static_cast<double>(successes) * spec_.retryBudgetRatio);
+    const std::uint64_t before = co_await t.fetchAdd(retrySpentAddr, 1);
+    if (before < cap)
+        co_return true;
+    co_await t.fetchAdd(retrySpentAddr,
+                        static_cast<std::uint64_t>(-1));
+    co_return false;
+}
+
 /** Serve request @p id: burn its service cost, record its latency. */
 SubTask<>
 ServerHarness::execRequest(ThreadApi t, std::uint64_t id)
@@ -95,12 +219,51 @@ ServerHarness::execRequest(ThreadApi t, std::uint64_t id)
     PerCore &pc = perCore[t.id()];
     pc.completed += 1;
     t.stats().counter(corePrefix(t.id()) + "completed").inc();
-    if (spec_.mode != ArrivalMode::Closed) {
-        // Latency from the *scheduled* arrival tick: queueing delay a
-        // saturated server inflicts is part of the number (no
-        // coordinated omission).
-        pc.lat.record(t.now() - sched.arrival[id]);
+    if (spec_.mode == ArrivalMode::Closed)
+        co_return;
+    // Latency from the *scheduled* arrival tick: queueing delay a
+    // saturated server inflicts is part of the number (no
+    // coordinated omission).
+    const Tick latency = t.now() - sched.arrival[id];
+    pc.lat.record(latency);
+
+    const unsigned ten = tenantOf(id);
+    if (spec_.tenantsEnabled()) {
+        pc.tenant[ten].completed += 1;
+        pc.tenant[ten].lat.record(latency);
     }
+    if (spec_.sloTicks > 0) {
+        if (latency <= spec_.sloTicks) {
+            pc.sloMet += 1;
+            if (spec_.tenantsEnabled())
+                pc.tenant[ten].sloMet += 1;
+        }
+        // Feed the admission EWMA with this ring's observed service
+        // interval (gap between consecutive completions), which
+        // tracks the *effective* per-request cost including dispatch
+        // and queue hand-off — a raw burn-cycles EWMA would
+        // systematically undershoot the true wait. The unlocked
+        // read-modify-write can lose concurrent samples; that only
+        // slows convergence and stays deterministic.
+        const unsigned q = ringOf(id);
+        const Tick done = t.now();
+        const std::uint64_t last = co_await t.read(lastDoneAddr(q));
+        co_await t.write(lastDoneAddr(q), done);
+        const std::int64_t sample =
+            last == 0 || done <= last
+                ? static_cast<std::int64_t>(sched.service[id])
+                : static_cast<std::int64_t>(done - last);
+        const std::int64_t old = static_cast<std::int64_t>(
+            co_await t.read(ewmaAddr(q)));
+        std::int64_t next =
+            old == 0 ? sample : old + ((sample - old) >> ewmaShift);
+        if (next < 1)
+            next = 1;
+        co_await t.write(ewmaAddr(q),
+                         static_cast<std::uint64_t>(next));
+    }
+    if (spec_.retryPolicy == RetryPolicy::Budgeted)
+        co_await t.fetchAdd(successesAddr, 1);
 }
 
 ThreadTask
@@ -110,25 +273,119 @@ ServerHarness::dispatcherThread(ThreadApi t, SyncLib *lib)
     PerCore &pc = perCore[d];
     StatRegistry &st = t.stats();
     const std::string prefix = corePrefix(d);
+    const bool slo_on = spec_.sloTicks > 0;
+    const bool tenants_on = spec_.tenantsEnabled();
 
-    for (std::uint64_t id = d; id < sched.arrival.size();
-         id += numDisp) {
-        const Tick due = sched.arrival[id];
+    // Min-heap of this dispatcher's pending client retries, ordered
+    // by due tick (ties by id). Host-side state is fine here: a retry
+    // belongs to the dispatcher that generated the request, and every
+    // tick in it comes from simulated time.
+    std::vector<PendingRetry> retries;
+    const auto later = [](const PendingRetry &a, const PendingRetry &b) {
+        return a.due != b.due ? a.due > b.due : a.id > b.id;
+    };
+
+    std::uint64_t next = d; // next fresh request id for this dispatcher
+    const std::uint64_t total = sched.arrival.size();
+
+    while (next < total || !retries.empty()) {
+        // Serve whichever is due first: the next fresh arrival or the
+        // earliest pending retry.
+        PendingRetry cur;
+        const bool take_retry =
+            !retries.empty() &&
+            (next >= total || retries.front().due <= sched.arrival[next]);
+        if (take_retry) {
+            std::pop_heap(retries.begin(), retries.end(), later);
+            cur = retries.back();
+            retries.pop_back();
+        } else {
+            cur = {sched.arrival[next], next, 0};
+            next += numDisp;
+        }
+
         const Tick now = t.now();
-        if (due > now)
-            co_await t.compute(due - now);
-        pc.generated += 1;
-        st.counter(prefix + "generated").inc();
+        if (cur.due > now)
+            co_await t.compute(cur.due - now);
+
+        const std::uint64_t id = cur.id;
+        const unsigned ten = tenantOf(id);
+        if (cur.attempt == 0) {
+            // A request is generated exactly once, at its first
+            // admission attempt; retries are tracked separately.
+            pc.generated += 1;
+            st.counter(prefix + "generated").inc();
+            if (tenants_on)
+                pc.tenant[ten].generated += 1;
+        } else {
+            pc.retries += 1;
+            st.counter(prefix + "retries").inc();
+        }
+
         // Round-robin over the rings so each one sees every producer.
-        const DispatchQueue &q = queues[(id / numDisp) % queues.size()];
-        const bool ok = co_await q.tryPush(t, lib, id + 1);
-        if (!ok) {
+        const unsigned qi = ringOf(id);
+        const DispatchQueue &q = queues[qi];
+
+        ShedCause cause = ShedCause::None;
+        if (slo_on) {
+            // Predicted wait = ring depth x the EWMA of the ring's
+            // observed service interval. Brownout: the low tenant
+            // only gets brownoutRatio of the SLO headroom, so under
+            // pressure it sheds first and the high tenant's p99
+            // holds.
+            const std::uint64_t depth = co_await q.depth(t);
+            std::uint64_t ewma = co_await t.read(ewmaAddr(qi));
+            if (ewma == 0)
+                ewma = spec_.serviceMean;
+            const double limit =
+                ten == 1 && tenants_on
+                    ? spec_.brownoutRatio *
+                          static_cast<double>(spec_.sloTicks)
+                    : static_cast<double>(spec_.sloTicks);
+            if (static_cast<double>(depth * ewma) > limit)
+                cause = ShedCause::Slo;
+        }
+        if (cause == ShedCause::None) {
+            const bool ok = co_await q.tryPush(t, lib, id + 1);
+            if (!ok)
+                cause = ShedCause::Full;
+        }
+        if (cause == ShedCause::None)
+            continue;
+
+        // Shed: the client retries if the policy and budget allow,
+        // otherwise this is the request's final disposition.
+        bool retry = spec_.retryPolicy != RetryPolicy::None &&
+                     cur.attempt < spec_.retryLimit;
+        if (retry && spec_.retryPolicy == RetryPolicy::Budgeted) {
+            retry = co_await claimRetryToken(t);
+            if (!retry) {
+                pc.retryDenied += 1;
+                st.counter(prefix + "retryDenied").inc();
+            }
+        }
+        if (retry) {
+            const Tick due = t.now() + retryDelay(id, cur.attempt);
+            retries.push_back({due, id, cur.attempt + 1});
+            std::push_heap(retries.begin(), retries.end(), later);
+            continue;
+        }
+        if (cause == ShedCause::Slo) {
+            pc.rejectedSlo += 1;
+            st.counter(prefix + "rejectedSlo").inc();
+            if (tenants_on)
+                pc.tenant[ten].rejectedSlo += 1;
+        } else {
             pc.rejected += 1;
             st.counter(prefix + "rejected").inc();
+            if (tenants_on)
+                pc.tenant[ten].rejected += 1;
         }
     }
 
     // Last producer out raises the stop flag and wakes the drainers.
+    // Retry heaps are fully drained above, so no request is still in
+    // flight on the client side when the flag goes up.
     const std::uint64_t before =
         co_await t.fetchAdd(producersDoneAddr, 1);
     if (before + 1 == numDisp) {
@@ -273,6 +530,8 @@ ServerHarness::finalize(Tick makespan) const
     ServerStats s;
     const bool open = spec_.mode != ArrivalMode::Closed;
     s.offeredRate = open ? spec_.arrivalRate : 0.0;
+    s.sloTicks = spec_.sloTicks;
+    s.retryPolicy = spec_.retryPolicy;
     // Merge in core order so the result is independent of host
     // scheduling under `--threads N`.
     for (const PerCore &pc : perCore) {
@@ -280,20 +539,69 @@ ServerHarness::finalize(Tick makespan) const
         s.completed += pc.completed;
         s.rejected += pc.rejected;
         s.steals += pc.steals;
+        s.rejectedSlo += pc.rejectedSlo;
+        s.retries += pc.retries;
+        s.retryBudgetDenied += pc.retryDenied;
+        s.sloMet += pc.sloMet;
         s.latency.merge(pc.lat);
     }
-    const std::uint64_t done = s.completed + s.rejected;
+    // Final-disposition accounting: every generated request is
+    // completed, finally rejected (full ring or SLO), or stranded by
+    // a fault — retried attempts never add a second disposition.
+    const std::uint64_t done =
+        s.completed + s.rejected + s.rejectedSlo;
     s.stranded = s.generated > done ? s.generated - done : 0;
-    if (makespan > 0)
+    if (spec_.sloTicks == 0)
+        s.sloMet = s.completed;
+    if (makespan > 0) {
         s.throughput =
             static_cast<double>(s.completed) * 1000.0 / makespan;
+        s.goodput =
+            static_cast<double>(s.sloMet) * 1000.0 / makespan;
+    }
     // Saturation knee: with bounded queues, sustained overload always
     // surfaces as shed (or fault-stranded) requests. Throughput-vs-
     // offered comparisons are noisy at small request counts (the
     // post-arrival drain tail dilutes the rate), so shed fraction >1%
-    // is the criterion.
+    // is the criterion — counting each request's *final* disposition
+    // once, so retries cannot push a run over the knee by themselves.
     if (open && s.generated > 0)
-        s.knee = (s.rejected + s.stranded) * 100 > s.generated;
+        s.knee =
+            (s.rejected + s.rejectedSlo + s.stranded) * 100 >
+            s.generated;
+
+    if (spec_.tenantsEnabled()) {
+        const double rates[2] = {spec_.tenantHiRate,
+                                 spec_.tenantLoRate};
+        const char *names[2] = {"hi", "lo"};
+        for (unsigned i = 0; i < 2; ++i) {
+            TenantStats ts;
+            ts.name = names[i];
+            ts.offeredRate = rates[i];
+            for (const PerCore &pc : perCore) {
+                const TenantSlot &slot = pc.tenant[i];
+                ts.generated += slot.generated;
+                ts.completed += slot.completed;
+                ts.rejected += slot.rejected;
+                ts.rejectedSlo += slot.rejectedSlo;
+                ts.sloMet += slot.sloMet;
+                ts.latency.merge(slot.lat);
+            }
+            const std::uint64_t tdone =
+                ts.completed + ts.rejected + ts.rejectedSlo;
+            ts.stranded =
+                ts.generated > tdone ? ts.generated - tdone : 0;
+            if (spec_.sloTicks == 0)
+                ts.sloMet = ts.completed;
+            if (makespan > 0) {
+                ts.throughput = static_cast<double>(ts.completed) *
+                                1000.0 / makespan;
+                ts.goodput = static_cast<double>(ts.sloMet) * 1000.0 /
+                             makespan;
+            }
+            s.tenants.push_back(std::move(ts));
+        }
+    }
     return s;
 }
 

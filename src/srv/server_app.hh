@@ -72,6 +72,61 @@ struct ServerSpec
 
     /** Mean dwell ticks per MMPP phase (burst mode). */
     Tick burstDwell = 20000;
+
+    // --- Overload control (all inert at their defaults) ------------
+
+    /**
+     * Per-request latency SLO in ticks; 0 disables SLO-aware
+     * admission. When set, the dispatcher sheds a request at
+     * admission if predicted wait (ring depth x per-queue EWMA of
+     * observed service intervals) exceeds the SLO, and completions
+     * within the SLO count toward goodput.
+     */
+    Tick sloTicks = 0;
+
+    /** What a shed request's client does next. */
+    RetryPolicy retryPolicy = RetryPolicy::None;
+
+    /** First retry backoff in ticks; doubles per attempt. */
+    Tick retryBackoffBase = 400;
+
+    /** Backoff ceiling in ticks. */
+    Tick retryBackoffCap = 6400;
+
+    /** Maximum retry attempts per request beyond the first try. */
+    unsigned retryLimit = 3;
+
+    /**
+     * Budgeted policy: the retry bucket holds retryBurst tokens up
+     * front plus retryBudgetRatio tokens per completed request, so
+     * sustained retry volume is capped at a fraction of successes.
+     */
+    double retryBudgetRatio = 0.1;
+    std::uint64_t retryBurst = 8;
+
+    /**
+     * Two-tenant mix in requests per kilotick; both zero (the
+     * default) serves a single anonymous tenant. When set, they must
+     * sum to arrivalRate, tenant 0 ("hi") arrives Poisson at
+     * tenantHiRate, tenant 1 ("lo") uses the app's arrival mode at
+     * tenantLoRate.
+     */
+    double tenantHiRate = 0.0;
+    double tenantLoRate = 0.0;
+
+    /**
+     * Brownout: fraction of the SLO the *low* tenant's predicted
+     * wait may consume before it is shed. 1.0 means no priority
+     * (both tenants shed at the full SLO); 0.5 sheds low-priority
+     * load at half the headroom, which is what holds the high
+     * tenant's p99 through a low-tenant burst.
+     */
+    double brownoutRatio = 0.5;
+
+    bool tenantsEnabled() const
+    {
+        return tenantHiRate > 0.0 && tenantLoRate > 0.0;
+    }
 };
 
 /**
@@ -97,6 +152,17 @@ class ServerHarness
     static unsigned dispatchers(unsigned num_threads);
 
   private:
+    /** Per-tenant recording slice inside a PerCore slot. */
+    struct TenantSlot
+    {
+        obs::LogHistogram lat;
+        std::uint64_t generated = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t rejected = 0;
+        std::uint64_t rejectedSlo = 0;
+        std::uint64_t sloMet = 0;
+    };
+
     /** Per-core recording slot; core i touches only slot i. */
     struct PerCore
     {
@@ -105,7 +171,48 @@ class ServerHarness
         std::uint64_t completed = 0;
         std::uint64_t rejected = 0;
         std::uint64_t steals = 0;
+        std::uint64_t rejectedSlo = 0;
+        std::uint64_t retries = 0;
+        std::uint64_t retryDenied = 0;
+        std::uint64_t sloMet = 0;
+        TenantSlot tenant[2]; ///< touched only in multi-tenant runs
     };
+
+    /** One pending client retry inside a dispatcher's timer heap. */
+    struct PendingRetry
+    {
+        Tick due = 0;
+        std::uint64_t id = 0;
+        unsigned attempt = 0; ///< admission tries already made
+    };
+
+    unsigned tenantOf(std::uint64_t id) const
+    {
+        return sched.tenant.empty() ? 0 : sched.tenant[id];
+    }
+
+    /** Which dispatch ring serves request @p id (open loop only). */
+    unsigned ringOf(std::uint64_t id) const
+    {
+        return static_cast<unsigned>((id / numDisp) % queues.size());
+    }
+
+    /** EWMA word of ring @p q's observed service interval. */
+    Addr ewmaAddr(unsigned q) const
+    {
+        return ctrlBase + (2 + 2 * q) * srvBlock;
+    }
+    /** Last-completion tick of ring @p q (EWMA sampling clock). */
+    Addr lastDoneAddr(unsigned q) const
+    {
+        return ctrlBase + (3 + 2 * q) * srvBlock;
+    }
+
+    /** Deterministic backoff + jitter before attempt @p attempt + 1. */
+    Tick retryDelay(std::uint64_t id, unsigned attempt) const;
+
+    /** Take a retry token; false when the budget is exhausted. */
+    cpu::SubTask<bool> claimRetryToken(cpu::ThreadApi t);
 
     cpu::SubTask<> execRequest(cpu::ThreadApi t, std::uint64_t id);
     cpu::ThreadTask dispatcherThread(cpu::ThreadApi t,
@@ -122,6 +229,10 @@ class ServerHarness
 
     Addr stopAddr;
     Addr producersDoneAddr;
+    /** Base of the overload-control words (EWMAs, retry budget). */
+    Addr ctrlBase;
+    Addr successesAddr;  ///< completions, feeds the retry budget
+    Addr retrySpentAddr; ///< retry tokens claimed so far
     std::vector<DispatchQueue> queues;
     std::vector<LocalDeque> deques; ///< indexed by core id
 

@@ -9,6 +9,8 @@
 #define MISAR_SRV_SERVER_STATS_HH
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "obs/histogram.hh"
 #include "sim/types.hh"
@@ -17,11 +19,51 @@ namespace misar {
 namespace srv {
 
 /**
+ * What a shed request's client does next. Shedding happens at
+ * admission (full ring, or predicted wait past the SLO); the policy
+ * decides whether the request comes back.
+ */
+enum class RetryPolicy
+{
+    None,     ///< shed is final — the PR 9 behavior
+    Naive,    ///< always retry (up to the attempt cap): storm-prone
+    Budgeted, ///< retries draw from a token bucket refilled by successes
+};
+
+/** Parse a CLI/spec name ("none", "naive", "budgeted"). */
+bool parseRetryPolicy(const std::string &name, RetryPolicy &out);
+
+const char *retryPolicyName(RetryPolicy p);
+
+/** Comma-joined list of valid names, for error messages. */
+std::string retryPolicyNames();
+
+/** Per-tenant slice of the run's request accounting. */
+struct TenantStats
+{
+    std::string name;          ///< "hi" or "lo"
+    double offeredRate = 0.0;  ///< requests per kilotick
+    std::uint64_t generated = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;    ///< final sheds at a full ring
+    std::uint64_t rejectedSlo = 0; ///< final sheds by SLO admission
+    std::uint64_t stranded = 0;    ///< lost to a dead core
+    std::uint64_t sloMet = 0;      ///< completions within the SLO
+    double throughput = 0.0;       ///< completions per kilotick
+    double goodput = 0.0;          ///< SLO-met completions per kilotick
+    obs::LogHistogram latency;
+};
+
+/**
  * Aggregated request accounting and latency of one run.
  *
- * Invariant: generated == completed + rejected + stranded. `stranded`
- * is nonzero only when a core died mid-request (fault presets) —
- * requests are otherwise completed or counted rejected, never lost.
+ * Invariant (final-disposition accounting): generated == completed +
+ * rejected + rejectedSlo + stranded. Each *request* is generated once
+ * and reaches exactly one final disposition; retried attempts are
+ * tracked separately in `retries` and never double-count the request.
+ * `stranded` is nonzero only when a core died mid-request (fault
+ * presets) — requests are otherwise completed or counted rejected,
+ * never lost.
  */
 struct ServerStats
 {
@@ -29,24 +71,49 @@ struct ServerStats
     double offeredRate = 0.0;
     std::uint64_t generated = 0;
     std::uint64_t completed = 0;
-    std::uint64_t rejected = 0; ///< shed at a full dispatch queue
+    std::uint64_t rejected = 0; ///< finally shed at a full dispatch queue
     std::uint64_t stranded = 0; ///< lost to a dead core (faults only)
     std::uint64_t steals = 0;   ///< successful deque steals
 
+    /** Finally shed by SLO admission (predicted wait past the SLO). */
+    std::uint64_t rejectedSlo = 0;
+    /** Retry attempts made beyond each request's first admission try. */
+    std::uint64_t retries = 0;
+    /** Retries the budget refused (Budgeted policy only). */
+    std::uint64_t retryBudgetDenied = 0;
+    /** Completions within the SLO (== completed when no SLO is set). */
+    std::uint64_t sloMet = 0;
+
+    /** The run's latency SLO in ticks; 0 when none was set. */
+    Tick sloTicks = 0;
+    /** Retry policy the run used. */
+    RetryPolicy retryPolicy = RetryPolicy::None;
+
     /** Achieved throughput in requests per kilotick of makespan. */
     double throughput = 0.0;
+    /**
+     * SLO-met completions per kilotick of makespan. Equal to
+     * `throughput` when no SLO is set — every completion counts.
+     */
+    double goodput = 0.0;
 
     /**
      * Past the saturation knee: more than 1% of generated requests
-     * were shed at a full queue (or stranded by a fault). Bounded
-     * queues turn sustained overload into rejections, so this is the
-     * saturation signal.
+     * reached a shed/stranded final disposition. Final-disposition
+     * accounting means a request that retried five times and then
+     * completed contributes nothing here.
      */
     bool knee = false;
 
     /** Per-request latency (ticks from scheduled arrival to done).
      *  Empty for closed-loop runs, which have no arrival instant. */
     obs::LogHistogram latency;
+
+    /**
+     * Per-tenant accounting, in priority order ("hi" then "lo").
+     * Empty unless the run served a two-tenant mix.
+     */
+    std::vector<TenantStats> tenants;
 };
 
 } // namespace srv

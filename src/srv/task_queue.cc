@@ -62,6 +62,16 @@ DispatchQueue::wakeAll(ThreadApi t, SyncLib *lib) const
     co_await lib->mutexUnlock(t, lockAddr());
 }
 
+SubTask<std::uint64_t>
+DispatchQueue::depth(ThreadApi t) const
+{
+    const std::uint64_t head = co_await t.read(headAddr());
+    const std::uint64_t tail = co_await t.read(tailAddr());
+    // tail can read older than head (unlocked): clamp to 0 rather
+    // than wrap.
+    co_return tail >= head ? tail - head : 0;
+}
+
 SubTask<bool>
 LocalDeque::pushBack(ThreadApi t, SyncLib *lib,
                      std::uint64_t value) const

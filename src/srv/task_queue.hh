@@ -72,6 +72,15 @@ struct DispatchQueue
 
     /** Wake a consumer blocked in popBatch (after raising stop). */
     cpu::SubTask<> wakeAll(cpu::ThreadApi t, sync::SyncLib *lib) const;
+
+    /**
+     * Unlocked occupancy probe: reads head and tail without taking
+     * the ring lock, so the answer can be momentarily stale — fine
+     * for admission heuristics (SLO-aware shedding), wrong for
+     * anything that needs an exact count. Staleness is itself
+     * deterministic: the reads are ordinary simulated-memory loads.
+     */
+    cpu::SubTask<std::uint64_t> depth(cpu::ThreadApi t) const;
 };
 
 /** Bounded per-worker deque: owner at the front, thieves at the back. */

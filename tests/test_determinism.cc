@@ -45,8 +45,9 @@ struct RunSnapshot
  * identically).
  */
 RunSnapshot
-runOnce(sys::PaperConfig pc, unsigned cores, const char *app,
-        std::uint64_t seed, unsigned threads = 1, bool profile = true)
+runOnceSpec(sys::PaperConfig pc, unsigned cores,
+            const workload::AppSpec &spec, std::uint64_t seed,
+            unsigned threads = 1, bool profile = true)
 {
     SystemConfig cfg = sys::configFor(pc, cores);
     cfg.seed = seed;
@@ -58,7 +59,6 @@ runOnce(sys::PaperConfig pc, unsigned cores, const char *app,
         lib.setDeadQuery(
             [&s](CoreId c) { return s.isDeclaredDead(c); });
     workload::AppLayout layout;
-    const workload::AppSpec &spec = workload::appByName(app);
     std::unique_ptr<srv::ServerHarness> harness;
     if (spec.server.enabled)
         harness = std::make_unique<srv::ServerHarness>(spec.server,
@@ -82,6 +82,28 @@ runOnce(sys::PaperConfig pc, unsigned cores, const char *app,
     snap.makespan = s.eventQueue().now();
     snap.executed = s.eventQueue().executedEvents();
     return snap;
+}
+
+RunSnapshot
+runOnce(sys::PaperConfig pc, unsigned cores, const char *app,
+        std::uint64_t seed, unsigned threads = 1, bool profile = true)
+{
+    return runOnceSpec(pc, cores, workload::appByName(app), seed,
+                       threads, profile);
+}
+
+/** server-poisson past the knee with SLO admission + budgeted
+ *  retries armed: the overload layer's own RNG streams (backoff
+ *  jitter) and host-side retry heaps join the fingerprint. */
+workload::AppSpec
+retryingServerSpec()
+{
+    workload::AppSpec spec = workload::appByName("server-poisson");
+    spec.server.arrivalRate = 6.0;
+    spec.server.queueCap = 256;
+    spec.server.sloTicks = 20000;
+    spec.server.retryPolicy = srv::RetryPolicy::Budgeted;
+    return spec;
 }
 
 void
@@ -231,6 +253,37 @@ TEST(Determinism, McsTourStatsIdenticalAcrossThreadCounts)
     // this under -fsanitize=thread.
     expectStatsIdenticalAcrossThreads(sys::PaperConfig::McsTour, 16,
                                       "radiosity");
+}
+
+TEST(Determinism, ServerRetryTwoRunsBitIdentical)
+{
+    // SLO shedding + budgeted retries: backoff jitter and the retry
+    // heap are seed-derived, so two runs must still be bit-identical.
+    workload::AppSpec spec = retryingServerSpec();
+    RunSnapshot a =
+        runOnceSpec(sys::PaperConfig::MsaOmu2, 16, spec, 7);
+    RunSnapshot b =
+        runOnceSpec(sys::PaperConfig::MsaOmu2, 16, spec, 7);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.executed, b.executed);
+    EXPECT_EQ(a.statsDump, b.statsDump);
+    EXPECT_FALSE(a.statsDump.empty());
+    EXPECT_EQ(a.profJson, b.profJson);
+}
+
+TEST(Determinism, ServerRetryStatsIdenticalAcrossThreadCounts)
+{
+    // Retry state (heaps, token bucket, EWMA words) must not leak
+    // host scheduling into the run: `--threads 2` merges to the same
+    // stats dump as the serial kernel.
+    workload::AppSpec spec = retryingServerSpec();
+    RunSnapshot t1 = runOnceSpec(sys::PaperConfig::MsaOmu2, 16, spec,
+                                 7, 1, /*profile=*/false);
+    EXPECT_FALSE(t1.statsDump.empty());
+    RunSnapshot t2 = runOnceSpec(sys::PaperConfig::MsaOmu2, 16, spec,
+                                 7, 2, false);
+    EXPECT_EQ(t1.makespan, t2.makespan);
+    EXPECT_EQ(t1.statsDump, t2.statsDump);
 }
 
 TEST(Determinism, ThreadedRunsAreRunToRunDeterministic)

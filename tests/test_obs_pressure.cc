@@ -522,7 +522,7 @@ TEST(RunReportV2, StrictSupersetOfV1WithLatencyAndHeatmap)
                         s->sampler(), &s->eventQueue(), s->monitor());
     const util::Json r = parsed(os.str());
 
-    EXPECT_EQ(r.at("schemaVersion").uintOr(0), 3u);
+    EXPECT_EQ(r.at("schemaVersion").uintOr(0), 4u);
     // Every v1 required field, same type and place.
     for (const char *k : {"app", "preset", "accel", "flavor", "outcome"})
         EXPECT_TRUE(r.at("meta").at(k).isStr()) << "meta." << k;

@@ -40,6 +40,35 @@ expectServerEq(const srv::ServerStats &a, const srv::ServerStats &b)
     EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
     EXPECT_EQ(a.knee, b.knee);
     EXPECT_TRUE(a.latency == b.latency);
+    EXPECT_EQ(a.rejectedSlo, b.rejectedSlo);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.retryBudgetDenied, b.retryBudgetDenied);
+    EXPECT_EQ(a.sloMet, b.sloMet);
+    EXPECT_EQ(a.sloTicks, b.sloTicks);
+    EXPECT_EQ(a.retryPolicy, b.retryPolicy);
+    EXPECT_DOUBLE_EQ(a.goodput, b.goodput);
+    ASSERT_EQ(a.tenants.size(), b.tenants.size());
+    for (std::size_t i = 0; i < a.tenants.size(); ++i) {
+        const srv::TenantStats &ta = a.tenants[i], &tb = b.tenants[i];
+        EXPECT_EQ(ta.name, tb.name);
+        EXPECT_DOUBLE_EQ(ta.offeredRate, tb.offeredRate);
+        EXPECT_EQ(ta.generated, tb.generated);
+        EXPECT_EQ(ta.completed, tb.completed);
+        EXPECT_EQ(ta.rejected, tb.rejected);
+        EXPECT_EQ(ta.rejectedSlo, tb.rejectedSlo);
+        EXPECT_EQ(ta.stranded, tb.stranded);
+        EXPECT_EQ(ta.sloMet, tb.sloMet);
+        EXPECT_DOUBLE_EQ(ta.goodput, tb.goodput);
+        EXPECT_TRUE(ta.latency == tb.latency);
+    }
+}
+
+/** The final-disposition conservation invariant. */
+void
+expectConserved(const srv::ServerStats &s)
+{
+    EXPECT_EQ(s.generated,
+              s.completed + s.rejected + s.rejectedSlo + s.stranded);
 }
 
 } // namespace
@@ -132,6 +161,74 @@ TEST(Arrival, ServiceDistributionShapes)
     EXPECT_GT(mx, 1000u) << "heavy tail never materialized";
 }
 
+TEST(Arrival, ParseRetryPolicyNames)
+{
+    srv::RetryPolicy p;
+    EXPECT_TRUE(srv::parseRetryPolicy("none", p));
+    EXPECT_EQ(p, srv::RetryPolicy::None);
+    EXPECT_TRUE(srv::parseRetryPolicy("naive", p));
+    EXPECT_EQ(p, srv::RetryPolicy::Naive);
+    EXPECT_TRUE(srv::parseRetryPolicy("budgeted", p));
+    EXPECT_EQ(p, srv::RetryPolicy::Budgeted);
+    EXPECT_FALSE(srv::parseRetryPolicy("always", p));
+    EXPECT_FALSE(srv::parseRetryPolicy("", p));
+    // Every advertised name parses back.
+    EXPECT_EQ(srv::retryPolicyNames(), "none, naive, budgeted");
+}
+
+TEST(Arrival, ParseTenantMixStrict)
+{
+    double hi = 0, lo = 0;
+    EXPECT_TRUE(srv::parseTenantMix("1:3", hi, lo));
+    EXPECT_DOUBLE_EQ(hi, 1.0);
+    EXPECT_DOUBLE_EQ(lo, 3.0);
+    EXPECT_TRUE(srv::parseTenantMix("0.5:1.5", hi, lo));
+    EXPECT_DOUBLE_EQ(hi, 0.5);
+    EXPECT_DOUBLE_EQ(lo, 1.5);
+    for (const char *bad :
+         {"", "1", "1:", ":3", "1:3:5", "0:3", "1:0", "-1:3", "1:-3",
+          "x:3", "1:y", "1x:3", "inf:3", "nan:3", "1 :3"})
+        EXPECT_FALSE(srv::parseTenantMix(bad, hi, lo)) << bad;
+}
+
+TEST(Arrival, TenantScheduleSplitsAndMerges)
+{
+    srv::RequestSchedule a = srv::makeTenantSchedule(
+        ArrivalMode::Burst, 1.0, 3.0, ServiceDist::Exp, 300, 1000,
+        20000, 7);
+    srv::RequestSchedule b = srv::makeTenantSchedule(
+        ArrivalMode::Burst, 1.0, 3.0, ServiceDist::Exp, 300, 1000,
+        20000, 7);
+    EXPECT_EQ(a.arrival, b.arrival);
+    EXPECT_EQ(a.service, b.service);
+    EXPECT_EQ(a.tenant, b.tenant);
+
+    ASSERT_EQ(a.arrival.size(), 1000u);
+    ASSERT_EQ(a.tenant.size(), 1000u);
+    for (std::size_t i = 1; i < a.arrival.size(); ++i)
+        ASSERT_GE(a.arrival[i], a.arrival[i - 1]) << i;
+
+    // Counts split proportionally to the rates (1:3 of 1000).
+    unsigned hi = 0;
+    for (std::uint8_t t : a.tenant) {
+        ASSERT_LE(t, 1u);
+        hi += t == 0;
+    }
+    EXPECT_EQ(hi, 250u);
+
+    // Both tenants present and a different seed moves the arrivals.
+    srv::RequestSchedule c = srv::makeTenantSchedule(
+        ArrivalMode::Burst, 1.0, 3.0, ServiceDist::Exp, 300, 1000,
+        20000, 8);
+    EXPECT_NE(a.arrival, c.arrival);
+
+    // Single-tenant schedules keep the tenant table empty (inert).
+    srv::RequestSchedule s = srv::makeSchedule(
+        ArrivalMode::Poisson, 2.0, ServiceDist::Exp, 300, 500, 20000,
+        7);
+    EXPECT_TRUE(s.tenant.empty());
+}
+
 // --- End-to-end runs ------------------------------------------------------
 
 TEST(ServerRun, AccountingInvariantHolds)
@@ -143,7 +240,7 @@ TEST(ServerRun, AccountingInvariantHolds)
     ASSERT_TRUE(r.hasServer);
     const srv::ServerStats &s = r.server;
     EXPECT_EQ(s.generated, spec.server.requests);
-    EXPECT_EQ(s.generated, s.completed + s.rejected + s.stranded);
+    expectConserved(s);
     EXPECT_EQ(s.stranded, 0u) << "requests lost without any fault";
     EXPECT_EQ(s.latency.count(), s.completed);
     EXPECT_GT(s.throughput, 0.0);
@@ -161,7 +258,7 @@ TEST(ServerRun, OverloadShedsAtTheAdmissionBound)
     const srv::ServerStats &s = r.server;
     EXPECT_GT(s.rejected, 0u);
     EXPECT_TRUE(s.knee);
-    EXPECT_EQ(s.generated, s.completed + s.rejected + s.stranded);
+    expectConserved(s);
 }
 
 TEST(ServerRun, TwoRunsAtFixedSeedAreBitIdentical)
@@ -209,7 +306,7 @@ TEST(ServerRun, CoreFaultsNeverLoseRequests)
     EXPECT_GT(r.coreKills, 0u) << "fault preset did not kill a core";
     const srv::ServerStats &s = r.server;
     EXPECT_EQ(s.generated, spec.server.requests);
-    EXPECT_EQ(s.generated, s.completed + s.rejected + s.stranded);
+    expectConserved(s);
 }
 
 TEST(ServerRun, CoreFaultRunsAreDeterministicToo)
@@ -339,6 +436,90 @@ TEST(ServerSweep, RateAxisExpandsBetweenCoresAndSeeds)
               "msa-omu|server-poisson|c16|s1|r0");
 }
 
+TEST(ServerSweep, OverloadKnobsAreValidated)
+{
+    struct Case
+    {
+        const char *server;
+        const char *needle;
+    };
+    const Case cases[] = {
+        {R"({"arrivalRates":[2],"slo":0})",
+         "\"server.slo\" must be a positive tick count"},
+        {R"({"arrivalRates":[2],"retryPolicies":["always"]})",
+         "unknown server.retryPolicies entry 'always'"},
+        {R"({"arrivalRates":[2],"retryPolicies":[]})",
+         "\"server.retryPolicies\" must be a non-empty"},
+        {R"({"arrivalRates":[2],"retryBudget":0.1})",
+         "server.retryBudget needs \"budgeted\""},
+        {R"({"arrivalRates":[2],"retryPolicies":["naive"],)"
+         R"("retryBudget":0.1})",
+         "server.retryBudget needs \"budgeted\""},
+        {R"({"arrivalRates":[2],"retryBudget":-0.1})",
+         "\"server.retryBudget\" must be a positive"},
+        {R"({"tenantMixes":["1:3:5"]})",
+         "bad server.tenantMixes entry '1:3:5'"},
+        {R"({"tenantMixes":["1:3"],"arrivalRates":[2]})",
+         "mutually exclusive"},
+        {R"({"slo":20000,"budget":0.1})",
+         "unknown \"server\" key 'budget'"},
+    };
+    for (const Case &c : cases) {
+        SCOPED_TRACE(c.server);
+        orch::CampaignSpec s;
+        std::string err;
+        EXPECT_FALSE(orch::CampaignSpec::parse(
+            specJson(R"(["server-poisson"])", c.server), s, err));
+        EXPECT_NE(err.find(c.needle), std::string::npos) << err;
+    }
+}
+
+TEST(ServerSweep, OverloadAxesOnClosedLoopAppAreRejected)
+{
+    for (const char *server :
+         {R"({"slo":20000})", R"({"retryPolicies":["naive"]})",
+          R"({"tenantMixes":["1:3"]})"}) {
+        SCOPED_TRACE(server);
+        orch::CampaignSpec s;
+        std::string err;
+        ASSERT_TRUE(orch::CampaignSpec::parse(
+            specJson(R"(["taskqueue"])", server), s, err))
+            << err;
+        EXPECT_NE(s.validate().find("closed-loop"), std::string::npos);
+    }
+}
+
+TEST(ServerSweep, PolicyAndMixAxesExpandIntoJobKeys)
+{
+    orch::CampaignSpec s;
+    std::string err;
+    ASSERT_TRUE(orch::CampaignSpec::parse(
+        specJson(R"(["server-poisson"])",
+                 R"({"arrivalRates":[2],"slo":20000,)"
+                 R"("retryPolicies":["none","budgeted"],)"
+                 R"("retryBudget":0.1})"),
+        s, err))
+        << err;
+    ASSERT_EQ(s.validate(), "");
+    std::vector<orch::JobSpec> jobs = s.expand();
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_EQ(jobs[0].key(),
+              "msa-omu|server-poisson|c16|s1|r0|a2|pnone");
+    EXPECT_EQ(jobs[1].key(),
+              "msa-omu|server-poisson|c16|s1|r0|a2|pbudgeted");
+
+    orch::CampaignSpec m;
+    ASSERT_TRUE(orch::CampaignSpec::parse(
+        specJson(R"(["server-burst"])",
+                 R"({"slo":30000,"tenantMixes":["1:3"]})"),
+        m, err))
+        << err;
+    ASSERT_EQ(m.validate(), "");
+    std::vector<orch::JobSpec> mjobs = m.expand();
+    ASSERT_EQ(mjobs.size(), 1u);
+    EXPECT_EQ(mjobs[0].key(), "msa-omu|server-burst|c16|s1|r0|t1:3");
+}
+
 // --- misar_sim CLI guards -------------------------------------------------
 
 namespace {
@@ -388,6 +569,30 @@ TEST(ServerCli, BadServerFlagsAreRejected)
         {"--app fft --queue-cap 8", "only apply to server workloads"},
         {"--app taskqueue --arrival-rate 2",
          "does not apply to the closed-loop"},
+        {"--app server-poisson --slo 0",
+         "--slo expects a positive"},
+        {"--app server-poisson --slo -5",
+         "--slo expects a positive"},
+        {"--app server-poisson --retry-policy always",
+         "unknown --retry-policy 'always'"},
+        {"--app server-poisson --retry-budget 0.1",
+         "--retry-budget only applies with --retry-policy budgeted"},
+        {"--app server-poisson --retry-policy naive "
+         "--retry-budget 0.1",
+         "--retry-budget only applies with --retry-policy budgeted"},
+        {"--app server-poisson --retry-budget 0",
+         "--retry-budget expects a positive"},
+        {"--app server-poisson --tenants 1:3:5",
+         "--tenants expects HI:LO"},
+        {"--app server-poisson --tenants 0:3",
+         "--tenants expects HI:LO"},
+        {"--app server-poisson --arrival-rate 2 --tenants 1:3",
+         "sums to 4, not the --arrival-rate 2"},
+        {"--app fft --slo 20000", "only apply to server workloads"},
+        {"--app taskqueue --slo 20000",
+         "do not apply to the closed-loop"},
+        {"--app taskqueue --retry-policy naive",
+         "do not apply to the closed-loop"},
     };
     for (const Case &c : cases) {
         SCOPED_TRACE(c.args);
